@@ -1,0 +1,33 @@
+//! An OpenWhisk-architecture baseline control plane.
+//!
+//! §2.2 describes the architecture this crate models: "user requests ... go
+//! through a reverse proxy (NGINX) to the central controller ... The
+//! controller puts the function invocation request into a shared Apache
+//! Kafka queue. Inside the worker, the invoker service pulls function
+//! invocations from the Kafka queue ... OpenWhisk logs function results in a
+//! CouchDB instance. Importantly, both Kafka and CouchDB are on the critical
+//! path, and add 100s of ms to invocation latency. All of these, combined
+//! with the JVM GC ... results in large and unpredictable latency spikes."
+//!
+//! The model is an executable latency/behaviour substitute for the real
+//! Scala system (which cannot be vendored into a Rust workspace):
+//!
+//! * every invocation pays controller + Kafka costs, with the shared queue
+//!   under one contended lock;
+//! * a fixed pool of invoker slots pulls from the queue — CPU is
+//!   overcommitted, so concurrent executions inflate each other
+//!   (proportional-share interference);
+//! * a CouchDB activation-record write (right-skewed, up to ~0.5 s under
+//!   load) sits on the critical path;
+//! * a JVM GC thread periodically stops the world;
+//! * keep-alive is the classic 10-minute TTL with LRU-order eviction,
+//!   reusing the identical [`iluvatar_core::pool::ContainerPool`] machinery
+//!   so the *only* difference from FaasCache in keep-alive experiments is
+//!   the policy;
+//! * memory is never overcommitted; requests that cannot be placed are
+//!   buffered briefly and then **dropped**, matching "OpenWhisk buffers and
+//!   eventually drops requests if it cannot fulfill them".
+
+pub mod model;
+
+pub use model::{OpenWhiskConfig, OpenWhiskModel, OwResult, OwStats};

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of keep-alive policy operations and the
+//! discrete-event simulator's replay throughput — simulation speed is a
+//! first-class feature (§3.4: "simulate large systems and workloads").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use iluvatar_core::config::KeepalivePolicyKind;
+use iluvatar_core::policies::{make_policy, EntryMeta};
+use iluvatar_sim::{KeepaliveSim, SimConfig};
+use iluvatar_trace::azure::{AzureTraceConfig, SyntheticAzureTrace};
+
+fn bench_policy_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_access_evict");
+    for kind in KeepalivePolicyKind::all() {
+        g.bench_function(kind.name(), |b| {
+            let mut policy = make_policy(kind, 600_000);
+            let mut entries: Vec<EntryMeta> = (0..64)
+                .map(|i| {
+                    let mut e =
+                        EntryMeta::new(format!("f{i}-1"), 64 + i * 8, 100.0 + i as f64, 0);
+                    policy.on_insert(&mut e, 0);
+                    e
+                })
+                .collect();
+            let mut t = 1u64;
+            b.iter(|| {
+                t += 1;
+                let i = (t % 64) as usize;
+                policy.on_arrival(&entries[i].fqdn.clone(), t);
+                policy.on_access(&mut entries[i], t);
+                policy.priority(&entries[i], t)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_replay(c: &mut Criterion) {
+    // A small trace replayed end-to-end: events/second of simulation.
+    let trace = SyntheticAzureTrace::generate(&AzureTraceConfig {
+        apps: 100,
+        duration_ms: 3600_000,
+        seed: 99,
+        diurnal_fraction: 0.0,
+        rate_scale: 1.0,
+    });
+    let mut g = c.benchmark_group("keepalive_sim_replay_1h_100apps");
+    g.sample_size(10);
+    for kind in [KeepalivePolicyKind::Gdsf, KeepalivePolicyKind::Ttl, KeepalivePolicyKind::Hist] {
+        g.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || (trace.profiles.clone(), trace.events.clone()),
+                |(profiles, events)| {
+                    KeepaliveSim::run(profiles, &events, SimConfig::new(kind, 4_096))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy_ops, bench_sim_replay);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the concurrency substrates: the sharded map vs a
+//! single-mutex map (the §5 claim that a concurrent associative map beats a
+//! mutex for the container pool), queue operations, and CH-BL picks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use iluvatar_core::config::{QueueConfig, QueuePolicyKind};
+use iluvatar_core::invocation::InvocationHandle;
+use iluvatar_core::queue::{InvocationQueue, QueuedInvocation};
+use iluvatar_lb::chbl::{ChBl, ChBlConfig};
+use iluvatar_sync::ShardedMap;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+fn bench_shardmap_vs_mutex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("map_contention_8_threads");
+    g.bench_function("sharded_map", |b| {
+        b.iter_batched(
+            || Arc::new(ShardedMap::<u64, u64>::new()),
+            |m| {
+                let threads: Vec<_> = (0..8)
+                    .map(|t| {
+                        let m = Arc::clone(&m);
+                        thread::spawn(move || {
+                            for i in 0..2_000u64 {
+                                m.insert(t * 100_000 + i, i);
+                                m.get(&(t * 100_000 + i));
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("mutex_hashmap", |b| {
+        b.iter_batched(
+            || Arc::new(Mutex::new(HashMap::<u64, u64>::new())),
+            |m| {
+                let threads: Vec<_> = (0..8)
+                    .map(|t| {
+                        let m = Arc::clone(&m);
+                        thread::spawn(move || {
+                            for i in 0..2_000u64 {
+                                m.lock().insert(t * 100_000 + i, i);
+                                let _ = m.lock().get(&(t * 100_000 + i)).copied();
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let q = InvocationQueue::new(QueueConfig {
+        policy: QueuePolicyKind::Eedf,
+        ..Default::default()
+    });
+    c.bench_function("queue/push_pop_eedf", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let (tx, _h) = InvocationHandle::pair();
+            q.push(QueuedInvocation {
+                fqdn: "f-1".into(),
+                args: String::new(),
+                arrived_at: t,
+                expected_exec_ms: (t % 100) as f64,
+                iat_ms: 10.0,
+                expect_warm: true,
+                result_tx: tx,
+            })
+            .unwrap();
+            q.try_pop().unwrap()
+        })
+    });
+}
+
+fn bench_chbl_pick(c: &mut Criterion) {
+    let ring = ChBl::new(32, ChBlConfig::default());
+    let loads: Vec<f64> = (0..32).map(|i| (i % 7) as f64).collect();
+    let mut i = 0u64;
+    c.bench_function("chbl/pick_32_workers", |b| {
+        b.iter(|| {
+            i += 1;
+            ring.pick(&format!("fn-{}", i % 500), &loads)
+        })
+    });
+}
+
+criterion_group!(benches, bench_shardmap_vs_mutex, bench_queue_ops, bench_chbl_pick);
+criterion_main!(benches);

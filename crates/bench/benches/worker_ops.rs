@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the worker's invocation hot path — the
+//! per-operation costs behind Table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iluvatar::prelude::*;
+use iluvatar_core::config::ConcurrencyConfig;
+use std::sync::Arc;
+
+fn worker_with_sim() -> Arc<Worker> {
+    let clock = SystemClock::shared();
+    // Zero-latency backend: the benchmark isolates control-plane cost.
+    let backend = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig { time_scale: 0.0, ..Default::default() },
+    ));
+    let cfg = WorkerConfig {
+        name: "bench".into(),
+        cores: 8,
+        memory_mb: 8 * 1024,
+        concurrency: ConcurrencyConfig { limit: 16, ..Default::default() },
+        ..Default::default()
+    };
+    let w = Arc::new(Worker::new(cfg, backend, clock));
+    w.register(FunctionSpec::new("f", "1").with_timing(0, 0)).unwrap();
+    w.invoke("f-1", "{}").unwrap(); // prime the warm container
+    w
+}
+
+fn bench_invoke(c: &mut Criterion) {
+    let w = worker_with_sim();
+    c.bench_function("worker/warm_invoke_e2e", |b| {
+        b.iter(|| {
+            let r = w.invoke("f-1", "{}").unwrap();
+            assert!(!r.cold);
+            r
+        })
+    });
+}
+
+fn bench_async_submit_and_wait(c: &mut Criterion) {
+    let w = worker_with_sim();
+    c.bench_function("worker/async_invoke", |b| {
+        b.iter(|| w.async_invoke("f-1", "{}").unwrap().wait().unwrap())
+    });
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let w = worker_with_sim();
+    let mut i = 0u64;
+    c.bench_function("worker/register", |b| {
+        b.iter(|| {
+            i += 1;
+            w.register(FunctionSpec::new(format!("reg{i}"), "1")).unwrap()
+        })
+    });
+}
+
+fn bench_status(c: &mut Criterion) {
+    let w = worker_with_sim();
+    c.bench_function("worker/status", |b| b.iter(|| w.status()));
+}
+
+criterion_group!(benches, bench_invoke, bench_async_submit_and_wait, bench_registration, bench_status);
+criterion_main!(benches);

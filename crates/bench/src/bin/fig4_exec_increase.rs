@@ -1,0 +1,54 @@
+//! Figure 4 (a–c) — increase in execution time due to cold starts, per
+//! trace sample, keep-alive policy, and cache size.
+//!
+//! §6.2: for the Representative trace, GD should cut the overhead >3× vs
+//! TTL across 15–80 GB and reach ~TTL-at-50GB quality with a ~3× smaller
+//! cache; LRU should win on Rare and Random, where recency dominates.
+
+use iluvatar_bench::{cache_sizes_gb, full_run, print_table, sweep_cell};
+use iluvatar_core::config::KeepalivePolicyKind;
+use iluvatar_trace::samples::base_population_config;
+use iluvatar_trace::{SampleKind, SyntheticAzureTrace, TraceSample};
+
+fn main() {
+    let full = full_run();
+    let mut cfg = base_population_config(0xA22E);
+    if !full {
+        cfg.apps = 400;
+        cfg.duration_ms = 6 * 3600 * 1000;
+    }
+    eprintln!("generating base population...");
+    let base = SyntheticAzureTrace::generate(&cfg);
+    let sizes = cache_sizes_gb(full);
+    let policies = KeepalivePolicyKind::all();
+
+    for kind in SampleKind::all() {
+        let sample = TraceSample::draw(kind, &base, 7);
+        let trace = &sample.trace;
+        eprintln!(
+            "fig4({}): {} functions, {} invocations",
+            kind.name(),
+            trace.profiles.len(),
+            trace.events.len()
+        );
+        let mut rows = Vec::new();
+        for &gb in &sizes {
+            let mut row = vec![format!("{gb:.0} GB")];
+            for &p in &policies {
+                let out = sweep_cell(&trace.profiles, &trace.events, p, gb);
+                row.push(format!("{:.2}%", out.exec_increase_pct()));
+            }
+            rows.push(row);
+        }
+        let header: Vec<String> = std::iter::once("cache".to_string())
+            .chain(policies.iter().map(|p| p.name().to_string()))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!("Figure 4 ({}): increase in execution time vs cache size", kind.name()),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!("\nExpected shape: GD lowest on Representative (≥3× below TTL mid-range); LRU best on Rare/Random; HIST between TTL and caching policies on Rare.");
+}

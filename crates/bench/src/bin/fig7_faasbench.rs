@@ -1,0 +1,131 @@
+//! Figure 7 — per-function breakdown of warm/cold/dropped invocations for
+//! the faasbench workload (CNN, disk-bench, web-serving at 1500 ms IAT; the
+//! floating-point function at 400 ms): vanilla OpenWhisk (10-minute TTL)
+//! vs FaasCache ("modified OpenWhisk" — the same system with Greedy-Dual
+//! keep-alive installed).
+//!
+//! §6.2: "FaasCache increases the warm requests by more than 2×. ...
+//! Because the floating-point function has a high initialization overhead,
+//! it sees a 3× increase in hit-ratio compared to OpenWhisk. ...
+//! OpenWhisk drops a significant number (50%) of requests due to its high
+//! cold start overheads" — cold starts hold memory and CPU longer, load
+//! amplifies, placements time out.
+//!
+//! This harness runs the *threaded* OpenWhisk-architecture model (shared
+//! queue, invoker slots, CPU-overcommit inflation, placement timeouts) with
+//! the two keep-alive policies under identical open-loop load, compressed
+//! in time (`ILU_SCALE`, default 0.05).
+
+use iluvatar::prelude::*;
+use iluvatar::OpenWhiskTarget;
+use iluvatar_baseline::{OpenWhiskConfig, OpenWhiskModel};
+use iluvatar_bench::{env_f64, env_u64, print_table};
+use iluvatar_core::config::KeepalivePolicyKind;
+use iluvatar_trace::loadgen::{FireOutcome, InvokerTarget, OpenLoopRunner, ScheduledInvocation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const APPS: [(FbApp, u64); 4] = [
+    (FbApp::MlInference, 1_500),
+    (FbApp::DiskBench, 1_500),
+    (FbApp::WebServing, 1_500),
+    (FbApp::FloatingPoint, 400),
+];
+
+/// Poisson open-loop schedule over the four functions, virtual ms.
+fn schedule(duration_ms: u64, scale: f64) -> Vec<ScheduledInvocation> {
+    let mut rng = StdRng::seed_from_u64(0xFA57);
+    let mut out = Vec::new();
+    for (app, iat) in APPS {
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -(iat as f64) * u.ln();
+            if t >= duration_ms as f64 {
+                break;
+            }
+            out.push(ScheduledInvocation {
+                at_ms: (t * scale) as u64,
+                fqdn: format!("{}-1", app.name()),
+                args: "{}".into(),
+            });
+        }
+    }
+    out
+}
+
+fn run(policy: KeepalivePolicyKind, duration_ms: u64, scale: f64, memory_mb: u64) -> Vec<FireOutcome> {
+    let cfg = OpenWhiskConfig {
+        cores: env_u64("ILU_CORES", 4) as usize,
+        invoker_slots: env_u64("ILU_SLOTS", 16) as usize,
+        memory_mb,
+        // All virtual-time knobs pre-scaled to wall time.
+        ttl_ms: (600_000.0 * scale) as u64,
+        placement_timeout_ms: (3_000.0 * scale / 0.05).max(50.0) as u64,
+        gc_period_ms: 2_500,
+        gc_pause_ms: 60,
+        time_scale: scale,
+        keepalive: policy,
+        ..Default::default()
+    };
+    let ow = Arc::new(OpenWhiskModel::new(cfg, SystemClock::shared()));
+    for (app, _) in APPS {
+        ow.register(app.spec());
+    }
+    let runner = OpenLoopRunner::new(schedule(duration_ms, scale));
+    runner.run(Arc::new(OpenWhiskTarget(Arc::clone(&ow))) as Arc<dyn InvokerTarget>)
+}
+
+fn main() {
+    let duration = env_u64("ILU_DURATION_MS", 20 * 60_000); // virtual
+    let scale = env_f64("ILU_SCALE", 0.05);
+    let memory_mb = env_u64("ILU_CACHE_MB", 3_000);
+    eprintln!("faasbench: {}min virtual at {scale}x on a {memory_mb}MB pool...", duration / 60_000);
+    let ow = run(KeepalivePolicyKind::Ttl, duration, scale, memory_mb);
+    let fc = run(KeepalivePolicyKind::Gdsf, duration, scale, memory_mb);
+
+    let mut rows = Vec::new();
+    let mut fp_ratio = [0.0f64; 2];
+    for (app, iat) in APPS {
+        let fqdn = format!("{}-1", app.name());
+        for (k, (label, out)) in [("OpenWhisk", &ow), ("FaasCache", &fc)].iter().enumerate() {
+            let mine: Vec<&FireOutcome> = out.iter().filter(|o| o.fqdn == fqdn).collect();
+            let warm = mine.iter().filter(|o| !o.dropped && !o.cold).count();
+            let cold = mine.iter().filter(|o| o.cold).count();
+            let dropped = mine.iter().filter(|o| o.dropped).count();
+            let hit = warm as f64 / (warm + cold).max(1) as f64;
+            if app == FbApp::FloatingPoint {
+                fp_ratio[k] = hit;
+            }
+            rows.push(vec![
+                format!("{} ({iat}ms)", app.name()),
+                label.to_string(),
+                warm.to_string(),
+                cold.to_string(),
+                dropped.to_string(),
+                format!("{hit:.3}"),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 7: faasbench on the OpenWhisk architecture, {memory_mb}MB pool"),
+        &["function", "system", "warm", "cold", "dropped", "hit ratio"],
+        &rows,
+    );
+    let count = |out: &[FireOutcome], f: fn(&FireOutcome) -> bool| out.iter().filter(|o| f(o)).count();
+    println!(
+        "\nTotals: OpenWhisk warm {} / dropped {}; FaasCache warm {} / dropped {}",
+        count(&ow, |o| !o.dropped && !o.cold),
+        count(&ow, |o| o.dropped),
+        count(&fc, |o| !o.dropped && !o.cold),
+        count(&fc, |o| o.dropped),
+    );
+    println!(
+        "floating-point hit-ratio: OpenWhisk {:.3} vs FaasCache {:.3} ({:.2}x; paper ~3x)",
+        fp_ratio[0],
+        fp_ratio[1],
+        fp_ratio[1] / fp_ratio[0].max(1e-9)
+    );
+    println!("Expected shape: FaasCache more warm requests and fewer drops; FP (high init, small memory) gains most under GD.");
+}

@@ -1,0 +1,54 @@
+//! Appendix figures — invocations/second timeseries for the full synthetic
+//! Azure trace and the three samples (the diurnal wave of the full trace
+//! should be visible in the Representative sample too).
+
+use iluvatar_bench::full_run;
+use iluvatar_trace::samples::base_population_config;
+use iluvatar_trace::{SampleKind, SyntheticAzureTrace, TraceSample};
+
+fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    series
+        .iter()
+        .map(|&v| BARS[((v / max) * 7.0).round().clamp(0.0, 7.0) as usize])
+        .collect()
+}
+
+fn downsample(series: &[f64], points: usize) -> Vec<f64> {
+    if series.len() <= points {
+        return series.to_vec();
+    }
+    let chunk = series.len() / points;
+    series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+fn print_series(name: &str, trace: &SyntheticAzureTrace) {
+    let per_min = trace.rate_timeseries(60_000);
+    let ds = downsample(&per_min, 72);
+    let mean = per_min.iter().sum::<f64>() / per_min.len() as f64;
+    let peak = per_min.iter().cloned().fold(0.0f64, f64::max);
+    println!("\n{name}: mean {mean:.1}/s, peak {peak:.1}/s, {} invocations", trace.events.len());
+    println!("  {}", sparkline(&ds));
+}
+
+fn main() {
+    let full = full_run();
+    let mut cfg = base_population_config(0xA22E);
+    if !full {
+        cfg.apps = 400;
+        cfg.duration_ms = 24 * 3600 * 1000; // keep a full day: diurnality
+    }
+    eprintln!("generating traces...");
+    let base = SyntheticAzureTrace::generate(&cfg);
+    println!("== Appendix: invocation-rate timeseries (one day) ==");
+    print_series("Full trace", &base);
+    for kind in SampleKind::all() {
+        let s = TraceSample::draw(kind, &base, 7);
+        print_series(kind.name(), &s.trace);
+    }
+    println!("\nExpected shape: a diurnal wave in the full trace, echoed by the Representative sample; Rare is sparse and flat by comparison.");
+}

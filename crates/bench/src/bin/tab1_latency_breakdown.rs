@@ -1,0 +1,49 @@
+//! Table 1 — latency of the worker components for a single warm invocation.
+//!
+//! Runs the real hot path: in-process containers serving the genuine agent
+//! HTTP protocol over loopback, per-component spans recorded by the worker.
+//! Prints the same grouping and rows as the paper's Table 1.
+
+use iluvatar::prelude::*;
+use iluvatar_bench::{env_u64, print_table};
+use iluvatar_containers::NamespacePool;
+use iluvatar_core::spans::names;
+use std::sync::Arc;
+
+fn main() {
+    let iterations = env_u64("ILU_ITERS", 500);
+    let clock = SystemClock::shared();
+    let netns = Arc::new(NamespacePool::new(4, 0, Arc::clone(&clock)));
+    netns.prefill();
+    let backend = Arc::new(InProcessBackend::new(netns));
+    backend.register_behavior("pyaes-1", FbApp::PyAes.behavior());
+    let worker = Arc::new(Worker::new(WorkerConfig::default(), backend, clock));
+    worker.register(FbApp::PyAes.spec()).unwrap();
+
+    // One cold start, then measure pure warm invocations.
+    worker.invoke("pyaes-1", "{}").unwrap();
+    for _ in 0..iterations {
+        let r = worker.invoke("pyaes-1", "{}").unwrap();
+        assert!(!r.cold, "Table 1 measures warm invocations");
+    }
+
+    let mut rows = Vec::new();
+    for (group, spans) in names::GROUPS {
+        for (i, span) in spans.iter().enumerate() {
+            let s = worker.spans().summary(span);
+            let (mean, p99) = s.map(|s| (s.mean_ms, s.p99_ms)).unwrap_or((0.0, 0.0));
+            rows.push(vec![
+                if i == 0 { group.to_string() } else { String::new() },
+                span.to_string(),
+                format!("{:.3}", mean),
+                format!("{:.3}", p99),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Table 1: worker component latency over {iterations} warm invocations"),
+        &["group", "component", "mean ms", "p99 ms"],
+        &rows,
+    );
+    println!("\nExpected shape: agent communication (call_container) dominates at ~1-2ms; queuing/container ops each well under 0.1ms.");
+}

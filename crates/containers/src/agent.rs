@@ -1,0 +1,171 @@
+//! The in-container agent.
+//!
+//! §3.2: "The images consist of the user-provided function code and our
+//! agent, which is a simple Python HTTP server ... The agent has two simple
+//! commands, a `GET /` endpoint for simple status checking, and a
+//! `POST /invoke` to run an invocation with some arguments."
+//!
+//! Here the agent hosts a Rust closure instead of Python code; the wire
+//! protocol is identical. Function *initialization* (imports, model loading)
+//! runs when the agent boots — matching how a Python agent pays import cost
+//! at server start — so a `prewarm`ed container has already absorbed it.
+
+use crossbeam::channel;
+use iluvatar_http::server::Handler;
+use iluvatar_http::{HttpServer, Method, Request, Response, Status};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The function body: JSON arguments in, JSON result out.
+pub type FunctionBody = Arc<dyn Fn(&str) -> String + Send + Sync>;
+
+/// Everything a function registers with the in-process backend.
+#[derive(Clone)]
+pub struct FunctionBehavior {
+    /// One-time initialization, run at agent boot (import cost).
+    pub init: Arc<dyn Fn() + Send + Sync>,
+    /// Per-invocation body.
+    pub body: FunctionBody,
+}
+
+impl FunctionBehavior {
+    /// A behavior with no init work.
+    pub fn from_body(body: impl Fn(&str) -> String + Send + Sync + 'static) -> Self {
+        Self { init: Arc::new(|| {}), body: Arc::new(body) }
+    }
+
+    /// A behavior whose init sleeps `init_ms` (models import latency) and
+    /// whose body sleeps `exec_ms` then echoes the arguments.
+    pub fn sleeper(init_ms: u64, exec_ms: u64) -> Self {
+        Self {
+            init: Arc::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(init_ms))
+            }),
+            body: Arc::new(move |args: &str| {
+                std::thread::sleep(std::time::Duration::from_millis(exec_ms));
+                format!("{{\"echo\":{}}}", if args.is_empty() { "null" } else { args })
+            }),
+        }
+    }
+}
+
+/// A running agent: HTTP server + hosted function.
+pub struct Agent {
+    server: HttpServer,
+    addr: SocketAddr,
+}
+
+impl Agent {
+    /// Boot the agent: run init, start the HTTP server, and block until it
+    /// accepts connections. The worker detects readiness via this return —
+    /// the stand-in for the paper's inotify readiness callback.
+    pub fn boot(behavior: FunctionBehavior) -> std::io::Result<Self> {
+        // Initialization (imports / model download) happens before the
+        // server is reachable, exactly like a Python agent's import block.
+        (behavior.init)();
+        let body = Arc::clone(&behavior.body);
+        let handler: Handler = Arc::new(move |req: Request| match (req.method, req.path.as_str()) {
+            (Method::Get, "/") => Response::ok(&b"{\"status\":\"ok\"}"[..]),
+            (Method::Post, "/invoke") => {
+                let args = std::str::from_utf8(&req.body).unwrap_or("");
+                let start = Instant::now();
+                let result = body(args);
+                let dur_ms = start.elapsed().as_millis() as u64;
+                Response::ok(result)
+                    .with_header("X-Duration-Ms", dur_ms.to_string())
+                    .with_header("Content-Type", "application/json")
+            }
+            _ => Response::new(Status::NOT_FOUND),
+        });
+        let server = HttpServer::start(handler)?;
+        let addr = server.addr();
+        // Confirm the accept loop is live with a status probe.
+        let (tx, rx) = channel::bounded(1);
+        std::thread::spawn(move || {
+            let req = Request::new(Method::Get, "/");
+            let r = iluvatar_http::HttpClient::send(
+                addr,
+                &req,
+                std::time::Duration::from_secs(5),
+            );
+            let _ = tx.send(r.is_ok());
+        });
+        match rx.recv_timeout(std::time::Duration::from_secs(5)) {
+            Ok(true) => Ok(Self { server, addr }),
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "agent did not become ready",
+            )),
+        }
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served (status checks + invocations).
+    pub fn served(&self) -> u64 {
+        self.server.handle().served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iluvatar_http::HttpClient;
+    use std::time::Duration;
+
+    fn probe(addr: SocketAddr, req: &Request) -> Response {
+        HttpClient::send(addr, req, Duration::from_secs(5)).unwrap()
+    }
+
+    #[test]
+    fn status_endpoint() {
+        let agent = Agent::boot(FunctionBehavior::from_body(|_| "{}".into())).unwrap();
+        let resp = probe(agent.addr(), &Request::new(Method::Get, "/"));
+        assert_eq!(resp.status, Status::OK);
+        assert!(resp.body_str().contains("ok"));
+    }
+
+    #[test]
+    fn invoke_runs_body_and_reports_duration() {
+        let agent = Agent::boot(FunctionBehavior::sleeper(0, 25)).unwrap();
+        let resp = probe(
+            agent.addr(),
+            &Request::new(Method::Post, "/invoke").with_body(&b"{\"k\":1}"[..]),
+        );
+        assert_eq!(resp.status, Status::OK);
+        assert!(resp.body_str().contains("\"k\":1"));
+        let dur: u64 = resp.header("x-duration-ms").unwrap().parse().unwrap();
+        assert!(dur >= 20, "reported duration {dur} below sleep time");
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let agent = Agent::boot(FunctionBehavior::from_body(|_| "{}".into())).unwrap();
+        let resp = probe(agent.addr(), &Request::new(Method::Get, "/nope"));
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn init_runs_before_ready() {
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let behavior = FunctionBehavior {
+            init: Arc::new(move || f2.store(true, std::sync::atomic::Ordering::SeqCst)),
+            body: Arc::new(|_| "{}".into()),
+        };
+        let _agent = Agent::boot(behavior).unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst), "init must run at boot");
+    }
+
+    #[test]
+    fn served_counts_requests() {
+        let agent = Agent::boot(FunctionBehavior::from_body(|_| "{}".into())).unwrap();
+        let before = agent.served(); // boot probe counted
+        probe(agent.addr(), &Request::new(Method::Post, "/invoke"));
+        probe(agent.addr(), &Request::new(Method::Post, "/invoke"));
+        assert_eq!(agent.served(), before + 2);
+    }
+}

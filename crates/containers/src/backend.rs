@@ -1,0 +1,60 @@
+//! The container backend trait — the "narrow waist" below the control plane.
+//!
+//! §3.4: "The basic container operations we use are: i) Create a
+//! container/sandbox with specified resource limits and disk
+//! image/snapshot, ii) launch a task inside it for the agent, and iii)
+//! destroy the container." Everything the worker does with containers goes
+//! through this trait, which is what makes the in-situ simulation backend a
+//! drop-in replacement for real isolation (§3.4, "Simulation Backend").
+
+use crate::types::{Container, FunctionSpec};
+
+/// Result of one invocation inside a container.
+#[derive(Debug, Clone)]
+pub struct InvokeOutput {
+    /// Function result payload (JSON).
+    pub body: String,
+    /// Function-code execution time as reported by the agent, ms. This is
+    /// the denominator of the paper's *stretch* metric.
+    pub exec_ms: u64,
+}
+
+/// Backend failures.
+#[derive(Debug)]
+pub enum BackendError {
+    /// Sandbox creation failed (image missing, resources, ...).
+    CreateFailed(String),
+    /// The invocation could not be delivered or the agent errored.
+    InvokeFailed(String),
+    /// Operation on a container this backend does not know (already
+    /// destroyed, or created by another backend).
+    UnknownContainer,
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::CreateFailed(m) => write!(f, "container create failed: {m}"),
+            BackendError::InvokeFailed(m) => write!(f, "invoke failed: {m}"),
+            BackendError::UnknownContainer => write!(f, "unknown container"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The three-operation container interface.
+pub trait ContainerBackend: Send + Sync + 'static {
+    /// Human-readable backend name (for logs and metrics).
+    fn name(&self) -> &'static str;
+
+    /// Create a sandbox for `spec` and boot the agent inside it. Blocks for
+    /// the full cold-start cost; returns a pool-ready container.
+    fn create(&self, spec: &FunctionSpec) -> Result<Container, BackendError>;
+
+    /// Run one invocation inside `container`, blocking until completion.
+    fn invoke(&self, container: &Container, args: &str) -> Result<InvokeOutput, BackendError>;
+
+    /// Tear the sandbox down and release its resources.
+    fn destroy(&self, container: &Container) -> Result<(), BackendError>;
+}

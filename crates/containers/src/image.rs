@@ -1,0 +1,236 @@
+//! Registration-time container image preparation.
+//!
+//! §3.2: registration "entails downloading and preparing its container disk
+//! image. ... Container images are composed of multiple copy-on-write
+//! layers, and we prepare the images by selecting the relevant layers for
+//! the operating system and CPU architecture." This is done out-of-band of
+//! the invocation path.
+//!
+//! The simulated registry resolves an image reference to a manifest of
+//! layers tagged by (os, arch) and computes the prepared rootfs: the ordered
+//! subset of layers matching the worker's platform.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Target platform of a layer or worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Platform {
+    pub os: Os,
+    pub arch: Arch,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    Linux,
+    Windows,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    Amd64,
+    Arm64,
+}
+
+impl Platform {
+    pub const LINUX_AMD64: Platform = Platform { os: Os::Linux, arch: Arch::Amd64 };
+    pub const LINUX_ARM64: Platform = Platform { os: Os::Linux, arch: Arch::Arm64 };
+}
+
+/// One copy-on-write layer in an image manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Layer {
+    /// Content digest, e.g. `sha256:ab12…`.
+    pub digest: String,
+    pub size_mb: u64,
+    /// `None` means platform-independent (applies everywhere).
+    pub platform: Option<Platform>,
+}
+
+/// A multi-platform image manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    pub reference: String,
+    pub layers: Vec<Layer>,
+}
+
+/// A prepared, platform-specific rootfs ready to launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedImage {
+    pub reference: String,
+    /// Ordered digests of the selected layers.
+    pub layers: Vec<String>,
+    pub total_size_mb: u64,
+}
+
+/// Errors during image preparation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The reference is not in the registry.
+    NotFound(String),
+    /// No layer stack exists for the requested platform.
+    NoPlatformMatch { reference: String },
+    /// An empty or syntactically invalid reference.
+    BadReference(String),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::NotFound(r) => write!(f, "image not found: {r}"),
+            ImageError::NoPlatformMatch { reference } => {
+                write!(f, "no layers match platform for {reference}")
+            }
+            ImageError::BadReference(r) => write!(f, "bad image reference: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// An in-memory image registry (the DockerHub stand-in).
+#[derive(Default)]
+pub struct ImageRegistry {
+    manifests: HashMap<String, Manifest>,
+}
+
+impl ImageRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a manifest (test/bench setup).
+    pub fn publish(&mut self, manifest: Manifest) {
+        self.manifests.insert(manifest.reference.clone(), manifest);
+    }
+
+    /// A registry pre-populated with a generic base image for any reference:
+    /// used by backends that don't care about real layer contents.
+    pub fn synthesize(reference: &str) -> Manifest {
+        Manifest {
+            reference: reference.to_string(),
+            layers: vec![
+                Layer { digest: format!("sha256:base-{reference}"), size_mb: 60, platform: None },
+                Layer {
+                    digest: format!("sha256:os-{reference}"),
+                    size_mb: 40,
+                    platform: Some(Platform::LINUX_AMD64),
+                },
+                Layer {
+                    digest: format!("sha256:os-arm-{reference}"),
+                    size_mb: 40,
+                    platform: Some(Platform::LINUX_ARM64),
+                },
+                Layer {
+                    digest: format!("sha256:app-{reference}"),
+                    size_mb: 25,
+                    platform: None,
+                },
+            ],
+        }
+    }
+
+    /// Resolve and prepare `reference` for `platform`: select the layers
+    /// that are platform-independent or exactly matching, preserving order.
+    pub fn prepare(
+        &self,
+        reference: &str,
+        platform: Platform,
+    ) -> Result<PreparedImage, ImageError> {
+        if reference.trim().is_empty() {
+            return Err(ImageError::BadReference(reference.to_string()));
+        }
+        let manifest = self
+            .manifests
+            .get(reference)
+            .ok_or_else(|| ImageError::NotFound(reference.to_string()))?;
+        let selected: Vec<&Layer> = manifest
+            .layers
+            .iter()
+            .filter(|l| l.platform.map(|p| p == platform).unwrap_or(true))
+            .collect();
+        // A valid image needs at least one platform-specific layer when the
+        // manifest is multi-platform at all.
+        let has_platform_layers = manifest.layers.iter().any(|l| l.platform.is_some());
+        let selected_specific = selected.iter().any(|l| l.platform.is_some());
+        if has_platform_layers && !selected_specific {
+            return Err(ImageError::NoPlatformMatch { reference: reference.to_string() });
+        }
+        Ok(PreparedImage {
+            reference: reference.to_string(),
+            layers: selected.iter().map(|l| l.digest.clone()).collect(),
+            total_size_mb: selected.iter().map(|l| l.size_mb).sum(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(reference: &str) -> ImageRegistry {
+        let mut r = ImageRegistry::new();
+        r.publish(ImageRegistry::synthesize(reference));
+        r
+    }
+
+    #[test]
+    fn prepare_selects_platform_layers() {
+        let r = registry_with("lib/pyaes:latest");
+        let img = r.prepare("lib/pyaes:latest", Platform::LINUX_AMD64).unwrap();
+        assert_eq!(img.layers.len(), 3); // base + amd64 + app
+        assert!(img.layers.iter().any(|d| d.contains("os-lib")));
+        assert!(!img.layers.iter().any(|d| d.contains("os-arm")));
+        assert_eq!(img.total_size_mb, 125);
+    }
+
+    #[test]
+    fn prepare_arm_selects_arm() {
+        let r = registry_with("f:1");
+        let img = r.prepare("f:1", Platform::LINUX_ARM64).unwrap();
+        assert!(img.layers.iter().any(|d| d.contains("os-arm")));
+    }
+
+    #[test]
+    fn missing_image_errors() {
+        let r = ImageRegistry::new();
+        assert_eq!(
+            r.prepare("ghost:1", Platform::LINUX_AMD64),
+            Err(ImageError::NotFound("ghost:1".into()))
+        );
+    }
+
+    #[test]
+    fn empty_reference_rejected() {
+        let r = ImageRegistry::new();
+        assert!(matches!(
+            r.prepare("  ", Platform::LINUX_AMD64),
+            Err(ImageError::BadReference(_))
+        ));
+    }
+
+    #[test]
+    fn platform_mismatch_detected() {
+        let mut r = ImageRegistry::new();
+        r.publish(Manifest {
+            reference: "winonly:1".into(),
+            layers: vec![Layer {
+                digest: "sha256:w".into(),
+                size_mb: 10,
+                platform: Some(Platform { os: Os::Windows, arch: Arch::Amd64 }),
+            }],
+        });
+        assert!(matches!(
+            r.prepare("winonly:1", Platform::LINUX_AMD64),
+            Err(ImageError::NoPlatformMatch { .. })
+        ));
+    }
+
+    #[test]
+    fn layer_order_preserved() {
+        let r = registry_with("ord:1");
+        let img = r.prepare("ord:1", Platform::LINUX_AMD64).unwrap();
+        assert!(img.layers[0].contains("base"));
+        assert!(img.layers[2].contains("app"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the container substrate.
+
+use iluvatar_containers::image::{ImageRegistry, Platform};
+use iluvatar_containers::latency::{RuntimeKind, RuntimeLatencyModel};
+use iluvatar_containers::simulated::{sim_args, SimBackend, SimBackendConfig};
+use iluvatar_containers::{ContainerBackend, FunctionSpec, NamespacePool};
+use iluvatar_sync::{Clock, ManualClock};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+proptest! {
+    /// The null backend's virtual-time accounting is exact: cold invoke
+    /// charges warm+init, warm invoke charges warm, for any timing.
+    #[test]
+    fn sim_backend_time_accounting(warm in 0u64..100_000, init in 0u64..100_000) {
+        let clock = Arc::new(ManualClock::new());
+        let b = SimBackend::new(clock.clone(), SimBackendConfig::default());
+        let spec = FunctionSpec::new("f", "1").with_timing(warm, init);
+        let c = b.create(&spec).unwrap();
+        let t0 = clock.now_ms();
+        let out = b.invoke(&c, "{}").unwrap();
+        prop_assert_eq!(out.exec_ms, warm + init);
+        prop_assert_eq!(clock.now_ms() - t0, warm + init);
+        let t1 = clock.now_ms();
+        let out = b.invoke(&c, "{}").unwrap();
+        prop_assert_eq!(out.exec_ms, warm);
+        prop_assert_eq!(clock.now_ms() - t1, warm);
+    }
+
+    /// The args timing envelope overrides the spec for any values.
+    #[test]
+    fn sim_args_envelope_overrides(spec_warm in 0u64..10_000, env_warm in 0u64..10_000, env_init in 0u64..10_000) {
+        let clock = Arc::new(ManualClock::new());
+        let b = SimBackend::new(clock.clone(), SimBackendConfig::default());
+        let spec = FunctionSpec::new("f", "1").with_timing(spec_warm, 0);
+        let c = b.create(&spec).unwrap();
+        let out = b.invoke(&c, &sim_args(env_warm, env_init)).unwrap();
+        prop_assert_eq!(out.exec_ms, env_warm + env_init);
+    }
+
+    /// Latency samples are reproducible for a fixed seed and stay within
+    /// sane bounds across runtimes.
+    #[test]
+    fn latency_model_deterministic(seed in any::<u64>(), kind_idx in 0usize..3) {
+        let kind = [RuntimeKind::Containerd, RuntimeKind::Docker, RuntimeKind::Crun][kind_idx];
+        let model = RuntimeLatencyModel::new(kind);
+        let a = model.sample(&mut StdRng::seed_from_u64(seed));
+        let b = model.sample(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.create_ms, b.create_ms);
+        prop_assert_eq!(a.destroy_ms, b.destroy_ms);
+        prop_assert!(a.create_ms < 30_000, "pathological sample {}", a.create_ms);
+    }
+
+    /// Namespace pool: any interleaving of acquires and releases conserves
+    /// namespaces (created == free + outstanding) and never double-leases.
+    #[test]
+    fn netns_pool_conservation(ops in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let clock = Arc::new(ManualClock::new());
+        let pool = NamespacePool::new(3, 1, clock.clone());
+        pool.prefill();
+        let mut held = Vec::new();
+        for acquire in ops {
+            if acquire {
+                held.push(pool.acquire());
+            } else if let Some(l) = held.pop() {
+                drop(l);
+            }
+            let mut ids: Vec<u64> = held.iter().map(|l| l.id()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), held.len(), "duplicate namespace leased");
+            prop_assert_eq!(
+                pool.created() as usize,
+                pool.free_count() + held.len(),
+                "namespace conservation"
+            );
+        }
+    }
+
+    /// Image preparation is deterministic and total size equals the sum of
+    /// selected layers.
+    #[test]
+    fn image_prepare_deterministic(name in "[a-z]{1,12}", tag in "[a-z0-9]{1,5}") {
+        let reference = format!("{name}:{tag}");
+        let mut reg = ImageRegistry::new();
+        reg.publish(ImageRegistry::synthesize(&reference));
+        let a = reg.prepare(&reference, Platform::LINUX_AMD64).unwrap();
+        let b = reg.prepare(&reference, Platform::LINUX_AMD64).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.total_size_mb > 0);
+        prop_assert!(!a.layers.is_empty());
+    }
+}

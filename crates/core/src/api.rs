@@ -1,0 +1,407 @@
+//! The worker's HTTP API (§3.1).
+//!
+//! "Clients/users invoke functions using an HTTP or RPC API, with the main
+//! operations being `register, invoke, async_invoke, and prewarm`", plus
+//! the status endpoint the load balancer polls. The server shares the
+//! minimal HTTP substrate with the in-container agent; [`WorkerApiClient`]
+//! is the typed client used by remote load balancers and load generators.
+//!
+//! Routes:
+//!
+//! | method & path            | body                     | response |
+//! |--------------------------|--------------------------|----------|
+//! | `POST /register`         | `FunctionSpec` JSON      | `{"fqdn":…}` |
+//! | `POST /invoke`           | `{"fqdn":…, "args":…}`   | `InvocationResult` JSON |
+//! | `POST /async_invoke`     | `{"fqdn":…, "args":…}`   | `{"cookie":…}` |
+//! | `GET  /result/<cookie>`  |                          | result JSON or 404-pending |
+//! | `POST /prewarm`          | `{"fqdn":…}`             | `{}` |
+//! | `GET  /status`           |                          | `WorkerStatus` JSON |
+
+use crate::invocation::{InvocationHandle, InvocationResult, InvokeError};
+use crate::worker::{Worker, WorkerStatus};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_http::server::Handler;
+use iluvatar_http::{HttpServer, Method, PooledClient, Request, Response, Status};
+use iluvatar_sync::ShardedMap;
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Serialize, Deserialize)]
+struct InvokeBody {
+    fqdn: String,
+    #[serde(default)]
+    args: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PrewarmBody {
+    fqdn: String,
+}
+
+/// Wire form of an invocation result.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct WireResult {
+    pub body: String,
+    pub exec_ms: u64,
+    pub e2e_ms: u64,
+    pub cold: bool,
+    pub queue_ms: u64,
+}
+
+impl From<InvocationResult> for WireResult {
+    fn from(r: InvocationResult) -> Self {
+        Self { body: r.body, exec_ms: r.exec_ms, e2e_ms: r.e2e_ms, cold: r.cold, queue_ms: r.queue_ms }
+    }
+}
+
+/// Wire form of the worker status.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct WireStatus {
+    pub name: String,
+    pub queue_len: usize,
+    pub running: usize,
+    pub concurrency_limit: usize,
+    pub used_mem_mb: u64,
+    pub free_mem_mb: u64,
+    pub normalized_load: f64,
+    pub completed: u64,
+    pub dropped: u64,
+    pub warm_hits: u64,
+    pub cold_starts: u64,
+}
+
+impl From<WorkerStatus> for WireStatus {
+    fn from(s: WorkerStatus) -> Self {
+        Self {
+            name: s.name,
+            queue_len: s.queue_len,
+            running: s.running,
+            concurrency_limit: s.concurrency_limit,
+            used_mem_mb: s.used_mem_mb,
+            free_mem_mb: s.free_mem_mb,
+            normalized_load: s.normalized_load,
+            completed: s.completed,
+            dropped: s.dropped,
+            warm_hits: s.warm_hits,
+            cold_starts: s.cold_starts,
+        }
+    }
+}
+
+fn json_resp(status: Status, body: String) -> Response {
+    Response::new(status)
+        .with_header("Content-Type", "application/json")
+        .with_body(body)
+}
+
+fn error_resp(e: &InvokeError) -> Response {
+    let status = match e {
+        InvokeError::NotRegistered(_) => Status::NOT_FOUND,
+        InvokeError::QueueFull | InvokeError::NoResources => Status::TOO_MANY_REQUESTS,
+        InvokeError::Backend(_) => Status::INTERNAL_ERROR,
+        InvokeError::ShuttingDown => Status::SERVICE_UNAVAILABLE,
+    };
+    json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))
+}
+
+/// The HTTP front-end of one worker.
+pub struct WorkerApi {
+    server: HttpServer,
+}
+
+impl WorkerApi {
+    /// Serve `worker` on an ephemeral loopback port.
+    pub fn serve(worker: Arc<Worker>) -> std::io::Result<Self> {
+        let pending: Arc<ShardedMap<u64, InvocationHandle>> = Arc::new(ShardedMap::new());
+        let cookie_seq = Arc::new(AtomicU64::new(1));
+        let handler: Handler = Arc::new(move |req: Request| {
+            route(&worker, &pending, &cookie_seq, req)
+        });
+        Ok(Self { server: HttpServer::start(handler)? })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+}
+
+fn route(
+    worker: &Arc<Worker>,
+    pending: &Arc<ShardedMap<u64, InvocationHandle>>,
+    cookie_seq: &Arc<AtomicU64>,
+    req: Request,
+) -> Response {
+    let body = std::str::from_utf8(&req.body).unwrap_or("");
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/status") => {
+            let wire: WireStatus = worker.status().into();
+            json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+        }
+        (Method::Post, "/register") => match serde_json::from_str::<FunctionSpec>(body) {
+            Ok(spec) => match worker.register(spec) {
+                Ok(reg) => json_resp(Status::OK, format!("{{\"fqdn\":{:?}}}", reg.spec.fqdn)),
+                Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+            },
+            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+        },
+        (Method::Post, "/invoke") => match serde_json::from_str::<InvokeBody>(body) {
+            Ok(b) => match worker.invoke(&b.fqdn, &b.args) {
+                Ok(r) => {
+                    let wire: WireResult = r.into();
+                    json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                }
+                Err(e) => error_resp(&e),
+            },
+            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+        },
+        (Method::Post, "/async_invoke") => match serde_json::from_str::<InvokeBody>(body) {
+            Ok(b) => match worker.async_invoke(&b.fqdn, &b.args) {
+                Ok(handle) => {
+                    let cookie = cookie_seq.fetch_add(1, Ordering::Relaxed);
+                    pending.insert(cookie, handle);
+                    json_resp(Status::OK, format!("{{\"cookie\":{cookie}}}"))
+                }
+                Err(e) => error_resp(&e),
+            },
+            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+        },
+        (Method::Get, path) if path.starts_with("/result/") => {
+            match path["/result/".len()..].parse::<u64>() {
+                Ok(cookie) => match pending.remove(&cookie) {
+                    Some(handle) => match handle.poll() {
+                        Some(Ok(r)) => {
+                            let wire: WireResult = r.into();
+                            json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                        }
+                        Some(Err(e)) => error_resp(&e),
+                        None => {
+                            // Still in flight: put it back, report pending.
+                            pending.insert(cookie, handle);
+                            json_resp(Status::NOT_FOUND, "{\"pending\":true}".into())
+                        }
+                    },
+                    None => json_resp(Status::NOT_FOUND, "{\"error\":\"unknown cookie\"}".into()),
+                },
+                Err(_) => json_resp(Status::BAD_REQUEST, "{\"error\":\"bad cookie\"}".into()),
+            }
+        }
+        (Method::Post, "/prewarm") => match serde_json::from_str::<PrewarmBody>(body) {
+            Ok(b) => match worker.prewarm(&b.fqdn) {
+                Ok(()) => json_resp(Status::OK, "{}".into()),
+                Err(e) => error_resp(&e),
+            },
+            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+        },
+        _ => Response::new(Status::NOT_FOUND),
+    }
+}
+
+/// Typed client for a remote worker's HTTP API, with pooled connections.
+pub struct WorkerApiClient {
+    addr: SocketAddr,
+    client: PooledClient,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ApiError {
+    /// Transport failure.
+    Http(String),
+    /// Server answered with a non-success status.
+    Status(u16, String),
+    /// Response body did not parse.
+    Decode(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Http(m) => write!(f, "http: {m}"),
+            ApiError::Status(c, m) => write!(f, "status {c}: {m}"),
+            ApiError::Decode(m) => write!(f, "decode: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl WorkerApiClient {
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, client: PooledClient::new(Duration::from_secs(120)) }
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn call(&self, req: Request) -> Result<Response, ApiError> {
+        self.client
+            .send(self.addr, &req)
+            .map_err(|e| ApiError::Http(e.to_string()))
+    }
+
+    fn expect_ok(resp: Response) -> Result<Response, ApiError> {
+        if resp.status.is_success() {
+            Ok(resp)
+        } else {
+            Err(ApiError::Status(resp.status.0, resp.body_str().to_string()))
+        }
+    }
+
+    pub fn register(&self, spec: &FunctionSpec) -> Result<(), ApiError> {
+        let req = Request::new(Method::Post, "/register")
+            .with_body(serde_json::to_vec(spec).map_err(|e| ApiError::Decode(e.to_string()))?);
+        Self::expect_ok(self.call(req)?).map(|_| ())
+    }
+
+    pub fn invoke(&self, fqdn: &str, args: &str) -> Result<WireResult, ApiError> {
+        let body = serde_json::to_vec(&InvokeBody { fqdn: fqdn.into(), args: args.into() })
+            .map_err(|e| ApiError::Decode(e.to_string()))?;
+        let resp = Self::expect_ok(self.call(Request::new(Method::Post, "/invoke").with_body(body))?)?;
+        serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    /// Submit without waiting; redeem with [`WorkerApiClient::result`].
+    pub fn async_invoke(&self, fqdn: &str, args: &str) -> Result<u64, ApiError> {
+        let body = serde_json::to_vec(&InvokeBody { fqdn: fqdn.into(), args: args.into() })
+            .map_err(|e| ApiError::Decode(e.to_string()))?;
+        let resp = Self::expect_ok(
+            self.call(Request::new(Method::Post, "/async_invoke").with_body(body))?,
+        )?;
+        #[derive(Deserialize)]
+        struct Cookie {
+            cookie: u64,
+        }
+        serde_json::from_str::<Cookie>(resp.body_str())
+            .map(|c| c.cookie)
+            .map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    /// Poll for an async result; `Ok(None)` while still pending.
+    pub fn result(&self, cookie: u64) -> Result<Option<WireResult>, ApiError> {
+        let resp = self.call(Request::new(Method::Get, format!("/result/{cookie}")))?;
+        if resp.status == Status::NOT_FOUND && resp.body_str().contains("pending") {
+            return Ok(None);
+        }
+        let resp = Self::expect_ok(resp)?;
+        serde_json::from_str(resp.body_str())
+            .map(Some)
+            .map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    pub fn prewarm(&self, fqdn: &str) -> Result<(), ApiError> {
+        let body = serde_json::to_vec(&PrewarmBody { fqdn: fqdn.into() })
+            .map_err(|e| ApiError::Decode(e.to_string()))?;
+        Self::expect_ok(self.call(Request::new(Method::Post, "/prewarm").with_body(body))?)
+            .map(|_| ())
+    }
+
+    pub fn status(&self) -> Result<WireStatus, ApiError> {
+        let resp = Self::expect_ok(self.call(Request::new(Method::Get, "/status"))?)?;
+        serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkerConfig;
+    use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+    use iluvatar_sync::SystemClock;
+
+    fn served_worker() -> (Arc<Worker>, WorkerApi, WorkerApiClient) {
+        let clock = SystemClock::shared();
+        let backend = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        ));
+        let worker = Arc::new(Worker::new(WorkerConfig::for_testing(), backend, clock));
+        let api = WorkerApi::serve(Arc::clone(&worker)).unwrap();
+        let client = WorkerApiClient::new(api.addr());
+        (worker, api, client)
+    }
+
+    #[test]
+    fn register_invoke_over_http() {
+        let (_w, _api, client) = served_worker();
+        client
+            .register(&FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        let r = client.invoke("f-1", "{}").unwrap();
+        assert!(r.cold);
+        let r2 = client.invoke("f-1", "{}").unwrap();
+        assert!(!r2.cold);
+        assert!(r2.exec_ms > 0);
+    }
+
+    #[test]
+    fn invoke_unregistered_is_404() {
+        let (_w, _api, client) = served_worker();
+        match client.invoke("ghost-1", "{}") {
+            Err(ApiError::Status(404, _)) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn async_invoke_and_poll() {
+        let (_w, _api, client) = served_worker();
+        client
+            .register(&FunctionSpec::new("slow", "1").with_timing(500, 0))
+            .unwrap();
+        let cookie = client.async_invoke("slow-1", "{}").unwrap();
+        // Poll until done.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.result(cookie).unwrap() {
+                Some(r) => {
+                    assert!(r.exec_ms >= 5);
+                    break;
+                }
+                None => {
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        // The cookie is consumed.
+        match client.result(cookie) {
+            Err(ApiError::Status(404, _)) => {}
+            other => panic!("consumed cookie should 404, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prewarm_and_status_over_http() {
+        let (_w, _api, client) = served_worker();
+        client
+            .register(&FunctionSpec::new("p", "1").with_timing(50, 1000))
+            .unwrap();
+        client.prewarm("p-1").unwrap();
+        let r = client.invoke("p-1", "{}").unwrap();
+        assert!(!r.cold, "prewarmed over HTTP");
+        let st = client.status().unwrap();
+        assert_eq!(st.name, "test-worker");
+        assert_eq!(st.completed, 1);
+        assert!(st.used_mem_mb > 0);
+    }
+
+    #[test]
+    fn bad_register_body_is_400() {
+        let (_w, _api, client) = served_worker();
+        let resp = client
+            .call(Request::new(Method::Post, "/register").with_body(&b"not json"[..]))
+            .unwrap();
+        assert_eq!(resp.status.0, 400);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let (_w, _api, client) = served_worker();
+        let resp = client.call(Request::new(Method::Get, "/nope")).unwrap();
+        assert_eq!(resp.status.0, 404);
+    }
+}

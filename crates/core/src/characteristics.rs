@@ -1,0 +1,255 @@
+//! Per-function execution characteristics.
+//!
+//! §3.1: "Function characteristics such as their cold and warm execution
+//! times are captured in various data-structures and are made available
+//! using APIs for developing data-driven resource management policies."
+//! §4.2 uses the "(moving window) warm time" as the execution estimate for
+//! SJF/EEDF, the IAT for RARE, and "new/unseen functions have their times
+//! set to 0, to prioritize their execution".
+
+use iluvatar_sync::{MovingWindow, ShardedMap, TimeMs, Welford};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Point-in-time summary of one function's history.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionSummary {
+    pub invocations: u64,
+    pub cold_starts: u64,
+    /// Moving-window mean warm execution time, ms; 0 if never seen.
+    pub warm_ms: f64,
+    /// Moving-window mean cold execution time, ms; 0 if never seen.
+    pub cold_ms: f64,
+    /// Mean inter-arrival time, ms; 0 with fewer than two arrivals.
+    pub iat_ms: f64,
+    /// Coefficient of variation of the IAT (HIST policy input).
+    pub iat_cov: f64,
+    /// Last arrival timestamp.
+    pub last_arrival: TimeMs,
+    /// Memory footprint of the function's containers, MB.
+    pub memory_mb: u64,
+}
+
+struct FuncStats {
+    warm: MovingWindow,
+    cold: MovingWindow,
+    iat: Welford,
+    invocations: u64,
+    cold_starts: u64,
+    last_arrival: Option<TimeMs>,
+    memory_mb: u64,
+}
+
+impl FuncStats {
+    fn new(window: usize) -> Self {
+        Self {
+            warm: MovingWindow::new(window),
+            cold: MovingWindow::new(window),
+            iat: Welford::new(),
+            invocations: 0,
+            cold_starts: 0,
+            last_arrival: None,
+            memory_mb: 0,
+        }
+    }
+}
+
+/// Thread-safe per-function characteristics store.
+pub struct Characteristics {
+    stats: ShardedMap<String, Arc<Mutex<FuncStats>>>,
+    window: usize,
+}
+
+impl Characteristics {
+    pub fn new(window: usize) -> Self {
+        Self { stats: ShardedMap::new(), window }
+    }
+
+    fn slot(&self, fqdn: &str) -> Arc<Mutex<FuncStats>> {
+        if let Some(s) = self.stats.get(fqdn) {
+            return s;
+        }
+        let window = self.window;
+        self.stats.update_or_insert(
+            fqdn.to_string(),
+            || Arc::new(Mutex::new(FuncStats::new(window))),
+            |s| Arc::clone(s),
+        )
+    }
+
+    /// Record an arrival (invoke entry); updates the IAT estimate.
+    pub fn on_arrival(&self, fqdn: &str, now: TimeMs) {
+        let slot = self.slot(fqdn);
+        let mut st = slot.lock();
+        if let Some(prev) = st.last_arrival {
+            st.iat.push(now.saturating_sub(prev) as f64);
+        }
+        st.last_arrival = Some(now);
+    }
+
+    /// Record a completed execution and its temperature.
+    pub fn on_completion(&self, fqdn: &str, exec_ms: u64, cold: bool) {
+        let slot = self.slot(fqdn);
+        let mut st = slot.lock();
+        st.invocations += 1;
+        if cold {
+            st.cold_starts += 1;
+            st.cold.push(exec_ms as f64);
+        } else {
+            st.warm.push(exec_ms as f64);
+        }
+    }
+
+    /// Record the memory footprint observed for the function's containers.
+    pub fn on_memory(&self, fqdn: &str, memory_mb: u64) {
+        let slot = self.slot(fqdn);
+        slot.lock().memory_mb = memory_mb;
+    }
+
+    /// Expected execution time for queue ordering: the moving-window warm
+    /// time when a warm container is expected, the cold time otherwise.
+    /// Unseen functions report 0 so they are prioritized (§4.2).
+    pub fn expected_exec_ms(&self, fqdn: &str, expect_warm: bool) -> f64 {
+        match self.stats.get(fqdn) {
+            None => 0.0,
+            Some(slot) => {
+                let st = slot.lock();
+                if expect_warm {
+                    if st.warm.is_empty() {
+                        // Never ran warm; fall back to cold history.
+                        st.cold.mean()
+                    } else {
+                        st.warm.mean()
+                    }
+                } else if st.cold.is_empty() {
+                    st.warm.mean()
+                } else {
+                    st.cold.mean()
+                }
+            }
+        }
+    }
+
+    /// Mean inter-arrival time; 0 if unknown (new function).
+    pub fn mean_iat_ms(&self, fqdn: &str) -> f64 {
+        self.stats
+            .get(fqdn)
+            .map(|s| s.lock().iat.mean())
+            .unwrap_or(0.0)
+    }
+
+    /// Full summary for one function.
+    pub fn summary(&self, fqdn: &str) -> FunctionSummary {
+        match self.stats.get(fqdn) {
+            None => FunctionSummary::default(),
+            Some(slot) => {
+                let st = slot.lock();
+                FunctionSummary {
+                    invocations: st.invocations,
+                    cold_starts: st.cold_starts,
+                    warm_ms: st.warm.mean(),
+                    cold_ms: st.cold.mean(),
+                    iat_ms: st.iat.mean(),
+                    iat_cov: st.iat.cov(),
+                    last_arrival: st.last_arrival.unwrap_or(0),
+                    memory_mb: st.memory_mb,
+                }
+            }
+        }
+    }
+
+    /// Estimated initialization cost: cold minus warm time. This is the
+    /// Greedy-Dual miss cost (and matches the trace adaptation rule
+    /// "cold start overhead ≈ maximum − average runtime", §6).
+    pub fn init_cost_ms(&self, fqdn: &str) -> f64 {
+        let s = self.summary(fqdn);
+        (s.cold_ms - s.warm_ms).max(0.0)
+    }
+
+    pub fn tracked_functions(&self) -> usize {
+        self.stats.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_function_reports_zero() {
+        let c = Characteristics::new(8);
+        assert_eq!(c.expected_exec_ms("ghost-1", true), 0.0);
+        assert_eq!(c.mean_iat_ms("ghost-1"), 0.0);
+        assert_eq!(c.summary("ghost-1").invocations, 0);
+    }
+
+    #[test]
+    fn warm_and_cold_tracked_separately() {
+        let c = Characteristics::new(8);
+        c.on_completion("f-1", 1000, true);
+        c.on_completion("f-1", 100, false);
+        c.on_completion("f-1", 120, false);
+        let s = c.summary("f-1");
+        assert_eq!(s.invocations, 3);
+        assert_eq!(s.cold_starts, 1);
+        assert_eq!(s.cold_ms, 1000.0);
+        assert_eq!(s.warm_ms, 110.0);
+        assert_eq!(c.init_cost_ms("f-1"), 890.0);
+    }
+
+    #[test]
+    fn expected_exec_prefers_requested_temperature() {
+        let c = Characteristics::new(8);
+        c.on_completion("f-1", 900, true);
+        c.on_completion("f-1", 100, false);
+        assert_eq!(c.expected_exec_ms("f-1", true), 100.0);
+        assert_eq!(c.expected_exec_ms("f-1", false), 900.0);
+    }
+
+    #[test]
+    fn expected_exec_falls_back_across_temperature() {
+        let c = Characteristics::new(8);
+        c.on_completion("onlycold-1", 700, true);
+        assert_eq!(c.expected_exec_ms("onlycold-1", true), 700.0);
+        c.on_completion("onlywarm-1", 50, false);
+        assert_eq!(c.expected_exec_ms("onlywarm-1", false), 50.0);
+    }
+
+    #[test]
+    fn iat_tracks_arrivals() {
+        let c = Characteristics::new(8);
+        c.on_arrival("f-1", 1000);
+        c.on_arrival("f-1", 1500);
+        c.on_arrival("f-1", 2000);
+        assert_eq!(c.mean_iat_ms("f-1"), 500.0);
+        let s = c.summary("f-1");
+        assert_eq!(s.last_arrival, 2000);
+        assert_eq!(s.iat_cov, 0.0, "constant IATs have zero CoV");
+    }
+
+    #[test]
+    fn moving_window_forgets_history() {
+        let c = Characteristics::new(2);
+        for ms in [100, 200, 300] {
+            c.on_completion("f-1", ms, false);
+        }
+        // Window of 2: mean of 200,300.
+        assert_eq!(c.summary("f-1").warm_ms, 250.0);
+    }
+
+    #[test]
+    fn init_cost_never_negative() {
+        let c = Characteristics::new(4);
+        c.on_completion("odd-1", 10, true); // cold faster than warm
+        c.on_completion("odd-1", 100, false);
+        assert_eq!(c.init_cost_ms("odd-1"), 0.0);
+    }
+
+    #[test]
+    fn memory_recorded() {
+        let c = Characteristics::new(4);
+        c.on_memory("f-1", 512);
+        assert_eq!(c.summary("f-1").memory_mb, 512);
+        assert_eq!(c.tracked_functions(), 1);
+    }
+}

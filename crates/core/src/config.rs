@@ -1,0 +1,266 @@
+//! Worker configuration.
+//!
+//! §5: "Workers are configured with a json file on startup, with the various
+//! policy options (such as queuing), keep-alive, timeouts, networking,
+//! logging, etc." Every knob used by an experiment lives here so runs are
+//! reproducible from a single serialized config.
+
+use serde::{Deserialize, Serialize};
+
+/// Which keep-alive eviction policy the container pool runs (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeepalivePolicyKind {
+    /// OpenWhisk-style fixed TTL; evicts in LRU order under pressure.
+    Ttl,
+    /// Least-recently-used.
+    Lru,
+    /// Least-frequently-used (the paper's FREQ variant).
+    Lfu,
+    /// Greedy-Dual-Size-Frequency (the paper's GD policy).
+    Gdsf,
+    /// Landlord (the paper's LND variant, GD without frequency).
+    Landlord,
+    /// Histogram keep-alive of Shahrad et al. (the paper's HIST baseline).
+    Hist,
+}
+
+impl KeepalivePolicyKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeepalivePolicyKind::Ttl => "TTL",
+            KeepalivePolicyKind::Lru => "LRU",
+            KeepalivePolicyKind::Lfu => "FREQ",
+            KeepalivePolicyKind::Gdsf => "GD",
+            KeepalivePolicyKind::Landlord => "LND",
+            KeepalivePolicyKind::Hist => "HIST",
+        }
+    }
+
+    /// All policies, in the order the paper's figures plot them.
+    pub fn all() -> [KeepalivePolicyKind; 6] {
+        [
+            KeepalivePolicyKind::Ttl,
+            KeepalivePolicyKind::Gdsf,
+            KeepalivePolicyKind::Lru,
+            KeepalivePolicyKind::Lfu,
+            KeepalivePolicyKind::Landlord,
+            KeepalivePolicyKind::Hist,
+        ]
+    }
+}
+
+/// Queue discipline (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueuePolicyKind {
+    /// Arrival order.
+    Fcfs,
+    /// Shortest job first on the (moving-window) expected execution time.
+    Sjf,
+    /// Earliest effective deadline first: arrival + expected execution.
+    Eedf,
+    /// Prioritize the most unexpected functions (highest IAT).
+    Rare,
+}
+
+impl QueuePolicyKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueuePolicyKind::Fcfs => "FCFS",
+            QueuePolicyKind::Sjf => "SJF",
+            QueuePolicyKind::Eedf => "EEDF",
+            QueuePolicyKind::Rare => "RARE",
+        }
+    }
+
+    pub fn all() -> [QueuePolicyKind; 4] {
+        [
+            QueuePolicyKind::Fcfs,
+            QueuePolicyKind::Sjf,
+            QueuePolicyKind::Eedf,
+            QueuePolicyKind::Rare,
+        ]
+    }
+}
+
+/// Concurrency regulator configuration (§4.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcurrencyConfig {
+    /// Initial (and, in fixed mode, permanent) concurrency limit.
+    pub limit: usize,
+    /// Enable the TCP-like AIMD dynamic limit.
+    pub dynamic: bool,
+    /// Congestion threshold on normalized load (running / cores).
+    pub congestion_load: f64,
+    /// AIMD additive increase per control interval.
+    pub aimd_increase: f64,
+    /// AIMD multiplicative decrease on congestion.
+    pub aimd_decrease: f64,
+    /// Control interval, ms.
+    pub interval_ms: u64,
+    /// Hard cap for the dynamic limit.
+    pub max_limit: usize,
+}
+
+impl Default for ConcurrencyConfig {
+    fn default() -> Self {
+        Self {
+            limit: 48,
+            dynamic: false,
+            congestion_load: 1.0,
+            aimd_increase: 1.0,
+            aimd_decrease: 0.5,
+            interval_ms: 500,
+            max_limit: 512,
+        }
+    }
+}
+
+/// Invocation queue configuration (§4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueConfig {
+    pub policy: QueuePolicyKind,
+    /// Functions with expected warm time below this bypass the queue when
+    /// the system is under `bypass_load_limit` (§4.1, "queue bypass").
+    pub bypass_threshold_ms: u64,
+    /// Normalized load above which bypass is disabled.
+    pub bypass_load_limit: f64,
+    /// Bound on queued invocations; beyond it, invokes are rejected
+    /// (explicit backpressure, §4).
+    pub max_len: usize,
+    /// Concurrent cold-start ("herd") suppression, §4: when a warm miss
+    /// happens while another invocation of the same function is running,
+    /// wait up to this long for its container to free up before paying a
+    /// concurrent cold start. 0 disables.
+    pub herd_wait_ms: u64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            policy: QueuePolicyKind::Eedf,
+            bypass_threshold_ms: 0, // disabled unless configured
+            bypass_load_limit: 0.8,
+            max_len: 16 * 1024,
+            herd_wait_ms: 0,
+        }
+    }
+}
+
+/// Top-level worker configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerConfig {
+    /// Worker name (cluster identity).
+    pub name: String,
+    /// CPU cores available to functions; load is normalized over this.
+    pub cores: usize,
+    /// Keep-alive cache capacity in MB — the container pool's memory.
+    pub memory_mb: u64,
+    /// Free-memory buffer kept ahead of demand by background eviction
+    /// ("we maintain a minimum free-memory buffer for dealing with
+    /// invocation bursts", §3.3).
+    pub free_buffer_mb: u64,
+    /// Background eviction sweep period, ms.
+    pub eviction_period_ms: u64,
+    pub keepalive: KeepalivePolicyKind,
+    /// TTL for the Ttl policy, ms (default: the classic 10 minutes).
+    pub ttl_ms: u64,
+    pub queue: QueueConfig,
+    pub concurrency: ConcurrencyConfig,
+    /// Predictive prewarming horizon, ms: when the keep-alive policy (HIST)
+    /// anticipates an invocation within this window and no warm container
+    /// exists, the worker prewarms one (§3.2). 0 disables.
+    pub prewarm_horizon_ms: u64,
+    /// Pre-created network namespaces to keep pooled.
+    pub netns_pool: usize,
+    /// Moving-window length for per-function characteristics.
+    pub char_window: usize,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            name: "worker-0".into(),
+            cores: 48,
+            memory_mb: 32 * 1024,
+            free_buffer_mb: 1024,
+            eviction_period_ms: 500,
+            keepalive: KeepalivePolicyKind::Gdsf,
+            ttl_ms: 10 * 60 * 1000,
+            queue: QueueConfig::default(),
+            concurrency: ConcurrencyConfig::default(),
+            prewarm_horizon_ms: 0,
+            netns_pool: 16,
+            char_window: 32,
+        }
+    }
+}
+
+impl WorkerConfig {
+    /// Parse from the JSON format the deployment tooling writes.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// A small config for unit tests: tiny timers, 4 cores, 1 GB.
+    pub fn for_testing() -> Self {
+        Self {
+            name: "test-worker".into(),
+            cores: 4,
+            memory_mb: 1024,
+            free_buffer_mb: 64,
+            eviction_period_ms: 20,
+            concurrency: ConcurrencyConfig { limit: 8, ..Default::default() },
+            netns_pool: 2,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = WorkerConfig::default();
+        assert!(c.cores > 0 && c.memory_mb > 0);
+        assert!(c.free_buffer_mb < c.memory_mb);
+        assert_eq!(c.keepalive.name(), "GD");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = WorkerConfig::for_testing();
+        let json = c.to_json();
+        let back = WorkerConfig::from_json(&json).unwrap();
+        assert_eq!(back.name, "test-worker");
+        assert_eq!(back.cores, 4);
+        assert_eq!(back.keepalive, c.keepalive);
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(WorkerConfig::from_json("{\"name\": 42}").is_err());
+    }
+
+    #[test]
+    fn policy_names_match_paper_labels() {
+        use KeepalivePolicyKind::*;
+        assert_eq!(Gdsf.name(), "GD");
+        assert_eq!(Landlord.name(), "LND");
+        assert_eq!(Lfu.name(), "FREQ");
+        assert_eq!(Hist.name(), "HIST");
+        assert_eq!(KeepalivePolicyKind::all().len(), 6);
+        assert_eq!(QueuePolicyKind::all().len(), 4);
+    }
+
+    #[test]
+    fn partial_json_uses_no_defaults() {
+        // Config requires all fields — experiments must be explicit.
+        assert!(WorkerConfig::from_json("{\"name\":\"w\"}").is_err());
+    }
+}

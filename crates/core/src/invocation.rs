@@ -1,0 +1,152 @@
+//! Invocation request/response types and the async invocation handle.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use iluvatar_sync::TimeMs;
+
+/// Why an invocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeError {
+    /// The function was never registered.
+    NotRegistered(String),
+    /// The queue hit its length bound — explicit backpressure.
+    QueueFull,
+    /// The container backend failed the invocation.
+    Backend(String),
+    /// No memory could be freed for a cold start — the request is dropped.
+    NoResources,
+    /// The worker is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvokeError::NotRegistered(f_) => write!(f, "function not registered: {f_}"),
+            InvokeError::QueueFull => write!(f, "invocation queue full"),
+            InvokeError::Backend(m) => write!(f, "backend error: {m}"),
+            InvokeError::NoResources => write!(f, "insufficient memory for cold start"),
+            InvokeError::ShuttingDown => write!(f, "worker shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}
+
+/// The completed invocation, with the latency breakdown of Figure 3:
+/// end-to-end *flow time* = control-plane overhead + execution time.
+#[derive(Debug, Clone)]
+pub struct InvocationResult {
+    /// Function result payload.
+    pub body: String,
+    /// Function-code execution time, ms (the *stretch* denominator).
+    pub exec_ms: u64,
+    /// End-to-end latency from `invoke` entry to result, ms.
+    pub e2e_ms: u64,
+    /// Whether this run paid a cold start.
+    pub cold: bool,
+    /// Time spent queued, ms (part of the overhead).
+    pub queue_ms: u64,
+    /// Arrival timestamp (worker clock).
+    pub arrived_at: TimeMs,
+}
+
+impl InvocationResult {
+    /// Control-plane overhead: everything that was not function execution.
+    pub fn overhead_ms(&self) -> u64 {
+        self.e2e_ms.saturating_sub(self.exec_ms)
+    }
+
+    /// The paper's *stretch*: end-to-end latency normalized by execution
+    /// time. Returns `None` for zero-length executions.
+    pub fn stretch(&self) -> Option<f64> {
+        if self.exec_ms == 0 {
+            None
+        } else {
+            Some(self.e2e_ms as f64 / self.exec_ms as f64)
+        }
+    }
+}
+
+/// Sender half for delivering an invocation outcome (the queue item's
+/// completion channel).
+pub type ResultSender = Sender<Result<InvocationResult, InvokeError>>;
+
+/// Handle returned by `async_invoke`; redeem with [`InvocationHandle::wait`].
+pub struct InvocationHandle {
+    rx: Receiver<Result<InvocationResult, InvokeError>>,
+}
+
+impl InvocationHandle {
+    /// Create a connected (sender, handle) pair — public so external queue
+    /// drivers and benchmarks can construct `QueuedInvocation`s.
+    pub fn pair() -> (ResultSender, Self) {
+        let (tx, rx) = bounded(1);
+        (tx, Self { rx })
+    }
+
+    /// Block until the invocation completes.
+    pub fn wait(self) -> Result<InvocationResult, InvokeError> {
+        self.rx.recv().unwrap_or(Err(InvokeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while still in flight.
+    pub fn poll(&self) -> Option<Result<InvocationResult, InvokeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(e2e: u64, exec: u64) -> InvocationResult {
+        InvocationResult {
+            body: String::new(),
+            exec_ms: exec,
+            e2e_ms: e2e,
+            cold: false,
+            queue_ms: 0,
+            arrived_at: 0,
+        }
+    }
+
+    #[test]
+    fn overhead_and_stretch() {
+        let r = result(150, 100);
+        assert_eq!(r.overhead_ms(), 50);
+        assert_eq!(r.stretch(), Some(1.5));
+        let zero = result(10, 0);
+        assert_eq!(zero.stretch(), None);
+        assert_eq!(zero.overhead_ms(), 10);
+    }
+
+    #[test]
+    fn overhead_saturates() {
+        // exec reported larger than e2e (clock skew) must not underflow.
+        let r = result(5, 9);
+        assert_eq!(r.overhead_ms(), 0);
+    }
+
+    #[test]
+    fn handle_wait_receives() {
+        let (tx, handle) = InvocationHandle::pair();
+        tx.send(Ok(result(10, 5))).unwrap();
+        let r = handle.wait().unwrap();
+        assert_eq!(r.e2e_ms, 10);
+    }
+
+    #[test]
+    fn handle_poll_pending_then_ready() {
+        let (tx, handle) = InvocationHandle::pair();
+        assert!(handle.poll().is_none());
+        tx.send(Err(InvokeError::QueueFull)).unwrap();
+        assert_eq!(handle.poll().unwrap().unwrap_err(), InvokeError::QueueFull);
+    }
+
+    #[test]
+    fn dropped_sender_means_shutdown() {
+        let (tx, handle) = InvocationHandle::pair();
+        drop(tx);
+        assert_eq!(handle.wait().unwrap_err(), InvokeError::ShuttingDown);
+    }
+}

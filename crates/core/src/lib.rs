@@ -1,0 +1,42 @@
+//! The Ilúvatar worker — a fast, predictable FaaS control plane.
+//!
+//! This crate is the paper's primary contribution: a worker-centric control
+//! plane (§3) whose per-invocation overhead is ~2 ms against OpenWhisk's
+//! 10–600 ms. The worker API mirrors §3.1: `register`, `invoke`,
+//! `async_invoke`, and `prewarm`.
+//!
+//! Structure:
+//!
+//! * [`registration`] — function registration and image preparation (§3.2).
+//! * [`characteristics`] — per-function warm/cold time and IAT histories,
+//!   the inputs to every data-driven policy (§3.1, §4.2).
+//! * [`policies`] — keep-alive eviction policies: TTL, LRU, LFU, the
+//!   Greedy-Dual-Size-Frequency family, Landlord, and the histogram (HIST)
+//!   policy of Shahrad et al. (§6.1).
+//! * [`pool`] — the container pool / keep-alive cache with background
+//!   eviction and a free-memory buffer (§3.3).
+//! * [`queue`] — the per-worker invocation queue: FCFS/SJF/EEDF/RARE
+//!   disciplines, short-function bypass, and the concurrency regulator with
+//!   fixed or AIMD-dynamic limits (§4).
+//! * [`worker`] — the assembled worker and its invocation hot path.
+//! * [`spans`] — lightweight per-component latency tracking (Table 1).
+
+pub mod api;
+pub mod characteristics;
+pub mod config;
+pub mod invocation;
+pub mod metrics;
+pub mod policies;
+pub mod pool;
+pub mod queue;
+pub mod registration;
+pub mod spans;
+pub mod worker;
+
+pub use config::{ConcurrencyConfig, KeepalivePolicyKind, QueueConfig, QueuePolicyKind, WorkerConfig};
+pub use invocation::{InvocationHandle, InvocationResult, InvokeError};
+pub use registration::{RegisterError, Registration, Registry};
+pub use worker::{Worker, WorkerStatus};
+
+// Re-export the substrate types callers need to build a worker.
+pub use iluvatar_containers::{ContainerBackend, FunctionSpec, ResourceLimits};

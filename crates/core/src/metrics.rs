@@ -1,0 +1,193 @@
+//! Worker-local system metrics (§5).
+//!
+//! "We thus track key system metrics like CPU usage, load averages, and
+//! even CPU performance counters and system energy usage using RAPL and
+//! external power meters. These metrics are collected using async worker
+//! threads, and provide a single consistent view of the system
+//! performance."
+//!
+//! The collector here samples the worker's own activity (running
+//! invocations, queue depth) into classic 1/5/15-style exponentially
+//! damped load averages, and integrates a RAPL-like energy model: a
+//! baseline (idle) power plus per-core active power, which is exactly the
+//! linear CPU-power model FaaS energy accounting work uses.
+
+use iluvatar_sync::{Clock, TimeMs};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One metrics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Exponentially damped load averages over ~1/5/15 sample horizons,
+    /// in units of busy cores.
+    pub load_1: f64,
+    pub load_5: f64,
+    pub load_15: f64,
+    /// Estimated cumulative energy, joules.
+    pub energy_j: f64,
+    /// Estimated instantaneous power at the last sample, watts.
+    pub power_w: f64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// RAPL-style linear power model: `idle_w + busy_cores × per_core_w`.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    pub idle_w: f64,
+    pub per_core_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // A mid-range dual-socket server: ~100W idle, ~4.5W/core active.
+        Self { idle_w: 100.0, per_core_w: 4.5 }
+    }
+}
+
+struct State {
+    load_1: f64,
+    load_5: f64,
+    load_15: f64,
+    energy_j: f64,
+    power_w: f64,
+    last_sample: Option<TimeMs>,
+    samples: u64,
+}
+
+/// The metrics collector. Drive [`SystemMetrics::sample`] from a periodic
+/// background task with the current busy-core count.
+pub struct SystemMetrics {
+    power: PowerModel,
+    clock: Arc<dyn Clock>,
+    state: Mutex<State>,
+}
+
+impl SystemMetrics {
+    pub fn new(power: PowerModel, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            power,
+            clock,
+            state: Mutex::new(State {
+                load_1: 0.0,
+                load_5: 0.0,
+                load_15: 0.0,
+                energy_j: 0.0,
+                power_w: power.idle_w,
+                last_sample: None,
+                samples: 0,
+            }),
+        }
+    }
+
+    /// Record one sample: `busy_cores` is the instantaneous number of
+    /// occupied cores (running invocations bounded by the core count).
+    pub fn sample(&self, busy_cores: f64) {
+        let now = self.clock.now_ms();
+        let mut st = self.state.lock();
+        let dt_ms = st.last_sample.map(|t| now.saturating_sub(t)).unwrap_or(0);
+        st.last_sample = Some(now);
+        st.samples += 1;
+        // Exponential damping à la the kernel loadavg, with horizons in
+        // sample periods scaled by the actual elapsed time.
+        let dt_s = dt_ms as f64 / 1000.0;
+        let damp = |horizon_s: f64| -> f64 {
+            if dt_s <= 0.0 {
+                1.0
+            } else {
+                (-dt_s / horizon_s).exp()
+            }
+        };
+        let (e1, e5, e15) = (damp(60.0), damp(300.0), damp(900.0));
+        st.load_1 = st.load_1 * e1 + busy_cores * (1.0 - e1);
+        st.load_5 = st.load_5 * e5 + busy_cores * (1.0 - e5);
+        st.load_15 = st.load_15 * e15 + busy_cores * (1.0 - e15);
+        // Energy: integrate the linear power model over the interval.
+        let power = self.power.idle_w + self.power.per_core_w * busy_cores;
+        st.energy_j += power * dt_s;
+        st.power_w = power;
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let st = self.state.lock();
+        MetricsSnapshot {
+            load_1: st.load_1,
+            load_5: st.load_5,
+            load_15: st.load_15,
+            energy_j: st.energy_j,
+            power_w: st.power_w,
+            samples: st.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iluvatar_sync::ManualClock;
+
+    fn collector() -> (Arc<ManualClock>, SystemMetrics) {
+        let clock = Arc::new(ManualClock::new());
+        let m = SystemMetrics::new(PowerModel { idle_w: 100.0, per_core_w: 5.0 }, clock.clone());
+        (clock, m)
+    }
+
+    #[test]
+    fn first_sample_establishes_baseline() {
+        let (_c, m) = collector();
+        m.sample(4.0);
+        let s = m.snapshot();
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.energy_j, 0.0, "no elapsed time yet");
+        assert_eq!(s.power_w, 120.0, "100 + 4*5");
+    }
+
+    #[test]
+    fn load_converges_to_constant_input() {
+        let (c, m) = collector();
+        for _ in 0..600 {
+            c.advance(1_000);
+            m.sample(8.0);
+        }
+        let s = m.snapshot();
+        assert!((s.load_1 - 8.0).abs() < 0.01, "load_1 {}", s.load_1);
+        assert!(s.load_5 > 6.0, "load_5 {}", s.load_5);
+        assert!(s.load_15 > 3.0, "load_15 converges slowest: {}", s.load_15);
+        assert!(s.load_1 >= s.load_5 && s.load_5 >= s.load_15);
+    }
+
+    #[test]
+    fn load_decays_after_idle() {
+        let (c, m) = collector();
+        // 10 busy minutes builds substantial 15-min history...
+        for _ in 0..600 {
+            c.advance(1_000);
+            m.sample(8.0);
+        }
+        // ...then 5 idle minutes: the 1-min average collapses while the
+        // 15-min one still remembers the burst.
+        for _ in 0..300 {
+            c.advance(1_000);
+            m.sample(0.0);
+        }
+        let s = m.snapshot();
+        assert!(s.load_1 < 0.5, "1-min load decays fast: {}", s.load_1);
+        assert!(s.load_15 > 1.0, "15-min remembers the burst: {}", s.load_15);
+        assert!(s.load_15 > s.load_1);
+    }
+
+    #[test]
+    fn energy_integrates_power_over_time() {
+        let (c, m) = collector();
+        m.sample(0.0); // baseline at t=0
+        c.advance(10_000);
+        m.sample(0.0); // 10s idle at 100W = 1000J
+        let s = m.snapshot();
+        assert!((s.energy_j - 1000.0).abs() < 1e-9);
+        c.advance(10_000);
+        m.sample(10.0); // the *elapsed* interval is billed at the new busy level
+        let s = m.snapshot();
+        assert!((s.energy_j - (1000.0 + 1500.0)).abs() < 1e-9, "got {}", s.energy_j);
+    }
+}

@@ -1,0 +1,71 @@
+//! Least-frequently-used keep-alive (the paper's FREQ variant).
+//!
+//! Evicts the container whose function has been invoked the fewest times.
+//! Pure frequency without aging favours long-lived heavy hitters and is
+//! slow to adapt when popularity shifts — the classic LFU weakness, visible
+//! in the paper's cyclic-workload litmus test.
+
+use super::{EntryMeta, KeepalivePolicy};
+use iluvatar_sync::TimeMs;
+
+#[derive(Default)]
+pub struct LfuPolicy;
+
+impl LfuPolicy {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl KeepalivePolicy for LfuPolicy {
+    fn name(&self) -> &'static str {
+        "FREQ"
+    }
+
+    fn on_insert(&mut self, e: &mut EntryMeta, now: TimeMs) {
+        e.last_access_ms = now;
+    }
+
+    fn on_access(&mut self, e: &mut EntryMeta, now: TimeMs) {
+        e.last_access_ms = now;
+    }
+
+    /// Frequency, with recency as an implicit tiebreak via fractional ms.
+    fn priority(&self, e: &EntryMeta, _now: TimeMs) -> f64 {
+        // freq dominates; last access breaks ties between equal-frequency
+        // entries in LRU order (scaled to stay below 1 count).
+        e.freq as f64 + (e.last_access_ms as f64) * 1e-15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_ordering() {
+        let p = LfuPolicy::new();
+        let mut hot = EntryMeta::new("hot-1", 128, 0.0, 0);
+        hot.freq = 100;
+        let cold = EntryMeta::new("cold-1", 128, 0.0, 0);
+        assert!(p.priority(&cold, 10) < p.priority(&hot, 10));
+    }
+
+    #[test]
+    fn ties_break_lru() {
+        let p = LfuPolicy::new();
+        let mut a = EntryMeta::new("a-1", 128, 0.0, 0);
+        let mut b = EntryMeta::new("b-1", 128, 0.0, 0);
+        a.last_access_ms = 100;
+        b.last_access_ms = 900;
+        assert_eq!(a.freq, b.freq);
+        assert!(p.priority(&a, 1000) < p.priority(&b, 1000));
+    }
+
+    #[test]
+    fn work_conserving() {
+        let p = LfuPolicy::new();
+        let e = EntryMeta::new("f-1", 128, 0.0, 0);
+        assert!(!p.expired(&e, u64::MAX));
+    }
+}

@@ -1,0 +1,60 @@
+//! Least-recently-used keep-alive.
+//!
+//! Work-conserving recency: containers stay warm until memory pressure, and
+//! the longest-idle one goes first. §6.2 finds LRU the best policy for the
+//! Rare and Random traces, where "recency is a more pertinent
+//! characteristic" than the Greedy-Dual four-way tradeoff.
+
+use super::{EntryMeta, KeepalivePolicy};
+use iluvatar_sync::TimeMs;
+
+#[derive(Default)]
+pub struct LruPolicy;
+
+impl LruPolicy {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl KeepalivePolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_insert(&mut self, e: &mut EntryMeta, now: TimeMs) {
+        e.last_access_ms = now;
+    }
+
+    fn on_access(&mut self, e: &mut EntryMeta, now: TimeMs) {
+        e.last_access_ms = now;
+    }
+
+    fn priority(&self, e: &EntryMeta, _now: TimeMs) -> f64 {
+        e.last_access_ms as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_expires() {
+        let p = LruPolicy::new();
+        let e = EntryMeta::new("f-1", 128, 0.0, 0);
+        assert!(!p.expired(&e, u64::MAX), "LRU is work-conserving");
+    }
+
+    #[test]
+    fn recency_ordering() {
+        let mut p = LruPolicy::new();
+        let mut a = EntryMeta::new("a-1", 128, 0.0, 0);
+        let mut b = EntryMeta::new("b-1", 128, 0.0, 0);
+        p.on_insert(&mut a, 100);
+        p.on_insert(&mut b, 200);
+        assert!(p.priority(&a, 300) < p.priority(&b, 300));
+        p.on_access(&mut a, 400);
+        assert!(p.priority(&a, 500) > p.priority(&b, 500), "access moves to MRU");
+    }
+}

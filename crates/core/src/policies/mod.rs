@@ -1,0 +1,133 @@
+//! Keep-alive eviction policies.
+//!
+//! The paper's central insight is that "keep-alive is analogous to caching":
+//! a warm container is a cache entry whose *size* is its memory footprint,
+//! whose *miss cost* is the function's initialization time, and whose
+//! *frequency* is the function's invocation rate. The policies here are the
+//! exact set the evaluation compares (§6.1):
+//!
+//! | label | module | family |
+//! |-------|--------|--------|
+//! | TTL   | [`ttl`]      | OpenWhisk's 10-minute fixed TTL, LRU order under pressure |
+//! | GD    | [`gdsf`]     | Greedy-Dual-Size-Frequency |
+//! | LND   | [`landlord`] | Landlord (Greedy-Dual without frequency) |
+//! | LRU   | [`lru`]      | recency |
+//! | FREQ  | [`lfu`]      | frequency |
+//! | HIST  | [`hist`]     | Shahrad et al.'s histogram keep-alive ("TTL + prefetching") |
+//!
+//! A policy sees three kinds of events: function arrivals (every invocation,
+//! warm or cold — HIST builds its IAT histograms from these), cache entry
+//! insertion/access, and eviction. Eviction candidates are ranked by
+//! [`KeepalivePolicy::priority`], lowest first. Work-*non*-conserving
+//! policies additionally expire entries via [`KeepalivePolicy::expired`]
+//! even when memory is free.
+
+pub mod gdsf;
+pub mod hist;
+pub mod landlord;
+pub mod lfu;
+pub mod lru;
+pub mod ttl;
+
+use crate::config::KeepalivePolicyKind;
+use iluvatar_sync::TimeMs;
+
+/// Cache metadata for one warm container.
+#[derive(Debug, Clone)]
+pub struct EntryMeta {
+    /// Owning function.
+    pub fqdn: String,
+    /// Entry size: the container's memory footprint, MB.
+    pub memory_mb: u64,
+    /// Per-function access frequency, maintained by the cache.
+    pub freq: u64,
+    /// Miss cost: the function's initialization overhead, ms.
+    pub init_cost_ms: f64,
+    pub inserted_ms: TimeMs,
+    pub last_access_ms: TimeMs,
+    /// Policy-owned value (Greedy-Dual H-value / Landlord credit).
+    pub tag: f64,
+}
+
+impl EntryMeta {
+    pub fn new(fqdn: impl Into<String>, memory_mb: u64, init_cost_ms: f64, now: TimeMs) -> Self {
+        Self {
+            fqdn: fqdn.into(),
+            memory_mb: memory_mb.max(1),
+            freq: 1,
+            init_cost_ms,
+            inserted_ms: now,
+            last_access_ms: now,
+            tag: 0.0,
+        }
+    }
+}
+
+/// A keep-alive eviction policy. Implementations are driven by the container
+/// pool (live worker) and by the discrete-event keep-alive simulator —
+/// identical code, per the in-situ simulation principle (§3.4).
+pub trait KeepalivePolicy: Send {
+    /// Paper label (e.g. "GD").
+    fn name(&self) -> &'static str;
+
+    /// Every invocation arrival of `fqdn`, before cache lookup. Default:
+    /// ignored; HIST builds its per-function histograms here.
+    fn on_arrival(&mut self, _fqdn: &str, _now: TimeMs) {}
+
+    /// A new warm container entered the cache.
+    fn on_insert(&mut self, e: &mut EntryMeta, now: TimeMs);
+
+    /// A warm hit on an existing entry.
+    fn on_access(&mut self, e: &mut EntryMeta, now: TimeMs);
+
+    /// Eviction rank; the entry with the LOWEST priority is evicted first.
+    fn priority(&self, e: &EntryMeta, now: TimeMs) -> f64;
+
+    /// The entry was evicted (Greedy-Dual advances its clock here).
+    fn on_evict(&mut self, _e: &EntryMeta, _now: TimeMs) {}
+
+    /// Proactive expiry for non-work-conserving policies (TTL, HIST).
+    fn expired(&self, _e: &EntryMeta, _now: TimeMs) -> bool {
+        false
+    }
+
+    /// HIST prefetching: when should `fqdn` be preloaded next, if the policy
+    /// anticipates an invocation? `None` for every other policy.
+    fn predicted_next(&self, _fqdn: &str, _now: TimeMs) -> Option<TimeMs> {
+        None
+    }
+}
+
+/// Construct a policy by kind. `ttl_ms` parameterizes the TTL policy (the
+/// classic OpenWhisk value is 10 minutes).
+pub fn make_policy(kind: KeepalivePolicyKind, ttl_ms: u64) -> Box<dyn KeepalivePolicy> {
+    match kind {
+        KeepalivePolicyKind::Ttl => Box::new(ttl::TtlPolicy::new(ttl_ms)),
+        KeepalivePolicyKind::Lru => Box::new(lru::LruPolicy::new()),
+        KeepalivePolicyKind::Lfu => Box::new(lfu::LfuPolicy::new()),
+        KeepalivePolicyKind::Gdsf => Box::new(gdsf::GdsfPolicy::new()),
+        KeepalivePolicyKind::Landlord => Box::new(landlord::LandlordPolicy::new()),
+        KeepalivePolicyKind::Hist => Box::new(hist::HistPolicy::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_all_kinds() {
+        for kind in KeepalivePolicyKind::all() {
+            let p = make_policy(kind, 600_000);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn entry_meta_clamps_zero_memory() {
+        let e = EntryMeta::new("f-1", 0, 100.0, 5);
+        assert_eq!(e.memory_mb, 1, "zero-size entries would break size-aware policies");
+        assert_eq!(e.freq, 1);
+        assert_eq!(e.last_access_ms, 5);
+    }
+}

@@ -1,0 +1,81 @@
+//! The OpenWhisk-style fixed TTL policy.
+//!
+//! §6.1: "the default keep-alive policy in OpenWhisk (10 minute TTL). When
+//! the server is full, this TTL policy evicts containers in an LRU order."
+//! TTL is *not* work-conserving: a container idle past the TTL is removed
+//! even when memory is free — which is exactly why caching-based policies
+//! beat it on rare functions.
+
+use super::{EntryMeta, KeepalivePolicy};
+use iluvatar_sync::TimeMs;
+
+pub struct TtlPolicy {
+    ttl_ms: u64,
+}
+
+impl TtlPolicy {
+    pub fn new(ttl_ms: u64) -> Self {
+        Self { ttl_ms }
+    }
+
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+}
+
+impl KeepalivePolicy for TtlPolicy {
+    fn name(&self) -> &'static str {
+        "TTL"
+    }
+
+    fn on_insert(&mut self, e: &mut EntryMeta, now: TimeMs) {
+        e.last_access_ms = now;
+    }
+
+    fn on_access(&mut self, e: &mut EntryMeta, now: TimeMs) {
+        e.last_access_ms = now;
+    }
+
+    /// LRU order under memory pressure.
+    fn priority(&self, e: &EntryMeta, _now: TimeMs) -> f64 {
+        e.last_access_ms as f64
+    }
+
+    fn expired(&self, e: &EntryMeta, now: TimeMs) -> bool {
+        now.saturating_sub(e.last_access_ms) > self.ttl_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_after_ttl() {
+        let mut p = TtlPolicy::new(1000);
+        let mut e = EntryMeta::new("f-1", 128, 0.0, 0);
+        p.on_insert(&mut e, 0);
+        assert!(!p.expired(&e, 1000));
+        assert!(p.expired(&e, 1001));
+    }
+
+    #[test]
+    fn access_refreshes_ttl() {
+        let mut p = TtlPolicy::new(1000);
+        let mut e = EntryMeta::new("f-1", 128, 0.0, 0);
+        p.on_insert(&mut e, 0);
+        p.on_access(&mut e, 900);
+        assert!(!p.expired(&e, 1800));
+        assert!(p.expired(&e, 1901));
+    }
+
+    #[test]
+    fn pressure_eviction_is_lru_order() {
+        let mut p = TtlPolicy::new(600_000);
+        let mut old = EntryMeta::new("old-1", 128, 0.0, 0);
+        let mut newer = EntryMeta::new("new-1", 128, 0.0, 0);
+        p.on_insert(&mut old, 10);
+        p.on_insert(&mut newer, 500);
+        assert!(p.priority(&old, 600) < p.priority(&newer, 600));
+    }
+}

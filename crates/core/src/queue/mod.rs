@@ -1,0 +1,336 @@
+//! The per-worker invocation queue (§4).
+//!
+//! "Function invocations go through this queuing system before reaching the
+//! container manager ... Each worker manages its own queue, differentiating
+//! our design from OpenWhisk's shared Kafka queue."
+//!
+//! Components, right to left in Figure 2:
+//!
+//! * [`regulator::ConcurrencyRegulator`] — bounds concurrently running
+//!   functions; fixed or AIMD-dynamic limit.
+//! * [`InvocationQueue`] — priority queue under a mutex (§5 found a mutex
+//!   good enough here) with the FCFS/SJF/EEDF/RARE disciplines of §4.2.
+//! * queue bypass — short functions skip the queue when the system is under
+//!   a load limit; decided by [`InvocationQueue::should_bypass`].
+
+pub mod regulator;
+
+use crate::config::{QueueConfig, QueuePolicyKind};
+use crate::invocation::ResultSender;
+use iluvatar_sync::TimeMs;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// An invocation waiting for dispatch.
+pub struct QueuedInvocation {
+    pub fqdn: String,
+    pub args: String,
+    pub arrived_at: TimeMs,
+    /// Expected execution time (moving-window), ms. 0 for unseen functions,
+    /// which prioritizes them (§4.2).
+    pub expected_exec_ms: f64,
+    /// Mean inter-arrival time, ms (RARE input).
+    pub iat_ms: f64,
+    /// Whether a warm container is expected (picks warm vs cold estimate).
+    pub expect_warm: bool,
+    pub result_tx: ResultSender,
+}
+
+/// Compute the dequeue priority; LOWER dequeues first.
+pub fn priority_of(policy: QueuePolicyKind, q: &QueuedInvocation) -> f64 {
+    match policy {
+        QueuePolicyKind::Fcfs => q.arrived_at as f64,
+        QueuePolicyKind::Sjf => q.expected_exec_ms,
+        // Effective deadline = arrival + expected execution (§4.2).
+        QueuePolicyKind::Eedf => q.arrived_at as f64 + q.expected_exec_ms,
+        // Most unexpected (highest IAT) first.
+        QueuePolicyKind::Rare => -q.iat_ms,
+    }
+}
+
+struct HeapItem {
+    priority: f64,
+    seq: u64,
+    item: QueuedInvocation,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert so the LOWEST priority pops
+        // first, with FIFO (seq) tiebreak.
+        other
+            .priority
+            .total_cmp(&self.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<HeapItem>,
+    closed: bool,
+}
+
+/// Reasons a push can fail.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// Backpressure: the queue is at its configured bound.
+    Full,
+    /// The worker is shutting down.
+    Closed,
+}
+
+/// The priority invocation queue.
+pub struct InvocationQueue {
+    cfg: QueueConfig,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    seq: AtomicU64,
+    enqueued: AtomicU64,
+    bypassed: AtomicU64,
+}
+
+impl InvocationQueue {
+    pub fn new(cfg: QueueConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(QueueState { heap: BinaryHeap::new(), closed: false }),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            bypassed: AtomicU64::new(0),
+        }
+    }
+
+    pub fn policy(&self) -> QueuePolicyKind {
+        self.cfg.policy
+    }
+
+    /// Queue-bypass decision (§4.1): short functions run immediately when
+    /// the normalized system load is under the configured limit.
+    pub fn should_bypass(&self, expected_exec_ms: f64, normalized_load: f64) -> bool {
+        self.cfg.bypass_threshold_ms > 0
+            && expected_exec_ms > 0.0
+            && expected_exec_ms <= self.cfg.bypass_threshold_ms as f64
+            && normalized_load <= self.cfg.bypass_load_limit
+    }
+
+    pub fn note_bypass(&self) {
+        self.bypassed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Enqueue; fails when the bound is hit (backpressure) or closed.
+    pub fn push(&self, item: QueuedInvocation) -> Result<(), PushError> {
+        let priority = priority_of(self.cfg.policy, &item);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.heap.len() >= self.cfg.max_len {
+            return Err(PushError::Full);
+        }
+        st.heap.push(HeapItem { priority, seq, item });
+        drop(st);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop with timeout. `None` on timeout or when closed+drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<QueuedInvocation> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(hi) = st.heap.pop() {
+                return Some(hi.item);
+            }
+            if st.closed {
+                return None;
+            }
+            if self.cv.wait_for(&mut st, timeout).timed_out() {
+                return st.heap.pop().map(|hi| hi.item);
+            }
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<QueuedInvocation> {
+        self.state.lock().heap.pop().map(|hi| hi.item)
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total enqueued (excluding bypasses).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    pub fn bypassed(&self) -> u64 {
+        self.bypassed.load(Ordering::Relaxed)
+    }
+
+    /// Close the queue; waiters drain the remaining items and then get None.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::InvocationHandle;
+
+    fn item(fqdn: &str, arrived: TimeMs, exec: f64, iat: f64) -> QueuedInvocation {
+        let (tx, _h) = InvocationHandle::pair();
+        // Keep the handle alive is unnecessary; sender send may fail later.
+        std::mem::forget(_h);
+        QueuedInvocation {
+            fqdn: fqdn.into(),
+            args: String::new(),
+            arrived_at: arrived,
+            expected_exec_ms: exec,
+            iat_ms: iat,
+            expect_warm: true,
+            result_tx: tx,
+        }
+    }
+
+    fn queue(policy: QueuePolicyKind) -> InvocationQueue {
+        InvocationQueue::new(QueueConfig { policy, ..Default::default() })
+    }
+
+    #[test]
+    fn fcfs_orders_by_arrival() {
+        let q = queue(QueuePolicyKind::Fcfs);
+        q.push(item("b", 20, 1.0, 0.0)).unwrap();
+        q.push(item("a", 10, 100.0, 0.0)).unwrap();
+        assert_eq!(q.try_pop().unwrap().fqdn, "a");
+        assert_eq!(q.try_pop().unwrap().fqdn, "b");
+    }
+
+    #[test]
+    fn sjf_orders_by_exec_time() {
+        let q = queue(QueuePolicyKind::Sjf);
+        q.push(item("long", 0, 5000.0, 0.0)).unwrap();
+        q.push(item("short", 100, 10.0, 0.0)).unwrap();
+        q.push(item("new", 200, 0.0, 0.0)).unwrap(); // unseen → highest prio
+        assert_eq!(q.try_pop().unwrap().fqdn, "new");
+        assert_eq!(q.try_pop().unwrap().fqdn, "short");
+        assert_eq!(q.try_pop().unwrap().fqdn, "long");
+    }
+
+    #[test]
+    fn eedf_balances_arrival_and_size() {
+        let q = queue(QueuePolicyKind::Eedf);
+        // Early long job: deadline 0+1000=1000. Later short: 300+10=310.
+        q.push(item("early-long", 0, 1000.0, 0.0)).unwrap();
+        q.push(item("late-short", 300, 10.0, 0.0)).unwrap();
+        assert_eq!(q.try_pop().unwrap().fqdn, "late-short");
+        assert_eq!(q.try_pop().unwrap().fqdn, "early-long", "drain part 1");
+        // But a short job can't starve an old one forever: deadline grows
+        // with arrival time.
+        q.push(item("old-long", 0, 1000.0, 0.0)).unwrap();
+        q.push(item("new-short", 2000, 10.0, 0.0)).unwrap();
+        assert_eq!(q.try_pop().unwrap().fqdn, "old-long");
+    }
+
+    #[test]
+    fn rare_prioritizes_high_iat() {
+        let q = queue(QueuePolicyKind::Rare);
+        q.push(item("popular", 0, 10.0, 50.0)).unwrap();
+        q.push(item("rare", 10, 10.0, 60_000.0)).unwrap();
+        assert_eq!(q.try_pop().unwrap().fqdn, "rare");
+    }
+
+    #[test]
+    fn fifo_tiebreak_on_equal_priority() {
+        let q = queue(QueuePolicyKind::Sjf);
+        for name in ["first", "second", "third"] {
+            q.push(item(name, 0, 42.0, 0.0)).unwrap();
+        }
+        assert_eq!(q.try_pop().unwrap().fqdn, "first");
+        assert_eq!(q.try_pop().unwrap().fqdn, "second");
+        assert_eq!(q.try_pop().unwrap().fqdn, "third");
+    }
+
+    #[test]
+    fn backpressure_at_bound() {
+        let q = InvocationQueue::new(QueueConfig {
+            policy: QueuePolicyKind::Fcfs,
+            max_len: 2,
+            ..Default::default()
+        });
+        q.push(item("a", 0, 0.0, 0.0)).unwrap();
+        q.push(item("b", 0, 0.0, 0.0)).unwrap();
+        assert_eq!(q.push(item("c", 0, 0.0, 0.0)).unwrap_err(), PushError::Full);
+        q.try_pop().unwrap();
+        assert!(q.push(item("c", 0, 0.0, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_empty() {
+        let q = queue(QueuePolicyKind::Fcfs);
+        assert!(q.pop_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(queue(QueuePolicyKind::Fcfs));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(item("x", 0, 0.0, 0.0)).unwrap();
+        assert_eq!(t.join().unwrap().unwrap().fqdn, "x");
+    }
+
+    #[test]
+    fn close_rejects_push_and_drains() {
+        let q = queue(QueuePolicyKind::Fcfs);
+        q.push(item("x", 0, 0.0, 0.0)).unwrap();
+        q.close();
+        assert_eq!(q.push(item("y", 0, 0.0, 0.0)).unwrap_err(), PushError::Closed);
+        assert!(q.pop_timeout(Duration::from_millis(5)).is_some(), "drains");
+        assert!(q.pop_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn bypass_rules() {
+        let q = InvocationQueue::new(QueueConfig {
+            policy: QueuePolicyKind::Fcfs,
+            bypass_threshold_ms: 20,
+            bypass_load_limit: 0.8,
+            ..Default::default()
+        });
+        assert!(q.should_bypass(10.0, 0.5), "short fn, low load");
+        assert!(!q.should_bypass(10.0, 0.9), "load too high");
+        assert!(!q.should_bypass(100.0, 0.5), "function too long");
+        assert!(!q.should_bypass(0.0, 0.5), "unseen functions must queue");
+        let q_off = queue(QueuePolicyKind::Fcfs); // threshold 0 = disabled
+        assert!(!q_off.should_bypass(1.0, 0.0));
+    }
+}

@@ -1,0 +1,181 @@
+//! Function registration and image preparation.
+//!
+//! §3.2: "New functions need to be first *registered*, which entails
+//! downloading and preparing its container disk image. ... we prepare the
+//! images by selecting the relevant layers for the operating system and CPU
+//! architecture." Registration is out-of-band of the invocation path; the
+//! registry is read-heavy afterwards, so it lives in a sharded map.
+
+use iluvatar_containers::image::{ImageError, ImageRegistry, Platform, PreparedImage};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_sync::ShardedMap;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Registration failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RegisterError {
+    /// A function with this fqdn already exists.
+    AlreadyRegistered(String),
+    /// Image preparation failed.
+    Image(ImageError),
+    /// Spec failed validation (empty name, zero memory, ...).
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::AlreadyRegistered(f_) => write!(f, "already registered: {f_}"),
+            RegisterError::Image(e) => write!(f, "image error: {e}"),
+            RegisterError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+impl From<ImageError> for RegisterError {
+    fn from(e: ImageError) -> Self {
+        RegisterError::Image(e)
+    }
+}
+
+/// A registered function: the validated spec plus its prepared image.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    pub spec: FunctionSpec,
+    pub image: PreparedImage,
+}
+
+/// The worker's function registry.
+pub struct Registry {
+    functions: ShardedMap<String, Arc<Registration>>,
+    images: Mutex<ImageRegistry>,
+    platform: Platform,
+}
+
+impl Registry {
+    pub fn new(platform: Platform) -> Self {
+        Self { functions: ShardedMap::new(), images: Mutex::new(ImageRegistry::new()), platform }
+    }
+
+    /// Validate `spec`, prepare its image, and store the registration.
+    ///
+    /// Unknown image references are synthesized on the fly (the simulated
+    /// DockerHub serves any reference) — real deployments would fail here.
+    pub fn register(&self, spec: FunctionSpec) -> Result<Arc<Registration>, RegisterError> {
+        if spec.name.trim().is_empty() || spec.version.trim().is_empty() {
+            return Err(RegisterError::InvalidSpec("empty name or version".into()));
+        }
+        if spec.limits.memory_mb == 0 {
+            return Err(RegisterError::InvalidSpec("zero memory limit".into()));
+        }
+        if spec.limits.cpus <= 0.0 {
+            return Err(RegisterError::InvalidSpec("non-positive cpu limit".into()));
+        }
+        if self.functions.contains_key(&spec.fqdn) {
+            return Err(RegisterError::AlreadyRegistered(spec.fqdn.clone()));
+        }
+        let reference = if spec.image.is_empty() {
+            format!("synth/{}:{}", spec.name, spec.version)
+        } else {
+            spec.image.clone()
+        };
+        let image = {
+            let mut images = self.images.lock();
+            match images.prepare(&reference, self.platform) {
+                Ok(img) => img,
+                Err(ImageError::NotFound(_)) => {
+                    images.publish(ImageRegistry::synthesize(&reference));
+                    images.prepare(&reference, self.platform)?
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let reg = Arc::new(Registration { spec, image });
+        // A concurrent duplicate registration loses: first insert wins.
+        if self.functions.insert(reg.spec.fqdn.clone(), Arc::clone(&reg)).is_some() {
+            return Err(RegisterError::AlreadyRegistered(reg.spec.fqdn.clone()));
+        }
+        Ok(reg)
+    }
+
+    pub fn get(&self, fqdn: &str) -> Option<Arc<Registration>> {
+        self.functions.get(fqdn)
+    }
+
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    pub fn fqdns(&self) -> Vec<String> {
+        self.functions.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iluvatar_containers::ResourceLimits;
+
+    fn registry() -> Registry {
+        Registry::new(Platform::LINUX_AMD64)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = registry();
+        let reg = r.register(FunctionSpec::new("hello", "1")).unwrap();
+        assert_eq!(reg.spec.fqdn, "hello-1");
+        assert!(!reg.image.layers.is_empty(), "image prepared at registration");
+        assert_eq!(r.get("hello-1").unwrap().spec.name, "hello");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let r = registry();
+        r.register(FunctionSpec::new("f", "1")).unwrap();
+        assert_eq!(
+            r.register(FunctionSpec::new("f", "1")).unwrap_err(),
+            RegisterError::AlreadyRegistered("f-1".into())
+        );
+        // Different version is a different function.
+        assert!(r.register(FunctionSpec::new("f", "2")).is_ok());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let r = registry();
+        assert!(matches!(
+            r.register(FunctionSpec::new("", "1")),
+            Err(RegisterError::InvalidSpec(_))
+        ));
+        let mut s = FunctionSpec::new("f", "1");
+        s.limits = ResourceLimits { cpus: 1.0, memory_mb: 0 };
+        assert!(matches!(r.register(s), Err(RegisterError::InvalidSpec(_))));
+        let mut s = FunctionSpec::new("f", "1");
+        s.limits = ResourceLimits { cpus: 0.0, memory_mb: 128 };
+        assert!(matches!(r.register(s), Err(RegisterError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn explicit_image_reference_used() {
+        let r = registry();
+        let reg = r
+            .register(FunctionSpec::new("ml", "3").with_image("hub/ml-infer:3"))
+            .unwrap();
+        assert_eq!(reg.image.reference, "hub/ml-infer:3");
+    }
+
+    #[test]
+    fn missing_function_is_none() {
+        assert!(registry().get("ghost-1").is_none());
+    }
+}

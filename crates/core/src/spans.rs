@@ -1,0 +1,227 @@
+//! Per-component latency tracking.
+//!
+//! §5: "we also use and provide Rust-function tracing for fine-grained
+//! performance logging and analysis ... to instrument the passage of
+//! invocations through the control plane components". The worker's hot path
+//! records a span per component; aggregating them regenerates Table 1's
+//! latency breakdown.
+//!
+//! Span recording is two atomic adds on a pre-registered slot — cheap enough
+//! to leave on (unlike the paper's full tracing, which they disable by
+//! default for overhead reasons).
+
+use iluvatar_sync::{MovingWindow, ShardedMap};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The hot-path span names, in invocation order (Table 1 rows).
+pub mod names {
+    pub const INVOKE: &str = "invoke";
+    pub const SYNC_INVOKE: &str = "sync_invoke";
+    pub const ENQUEUE_INVOCATION: &str = "enqueue_invocation";
+    pub const ADD_ITEM_TO_Q: &str = "add_item_to_q";
+    pub const SPAWN_WORKER: &str = "spawn_worker";
+    pub const DEQUEUE: &str = "dequeue";
+    pub const ACQUIRE_CONTAINER: &str = "acquire_container";
+    pub const TRY_LOCK_CONTAINER: &str = "try_lock_container";
+    pub const PREPARE_INVOKE: &str = "prepare_invoke";
+    pub const CALL_CONTAINER: &str = "call_container";
+    pub const DOWNLOAD_RESULT: &str = "download_result";
+    pub const RETURN_CONTAINER: &str = "return_container";
+    pub const RETURN_RESULTS: &str = "return_results";
+
+    /// Table 1 grouping: (group, spans).
+    pub const GROUPS: &[(&str, &[&str])] = &[
+        ("Ingestion & Queuing", &[INVOKE, SYNC_INVOKE, ENQUEUE_INVOCATION, ADD_ITEM_TO_Q]),
+        ("Container Operations", &[SPAWN_WORKER, DEQUEUE, ACQUIRE_CONTAINER, TRY_LOCK_CONTAINER]),
+        ("Agent Communication", &[PREPARE_INVOKE, CALL_CONTAINER, DOWNLOAD_RESULT]),
+        ("Returning", &[RETURN_CONTAINER, RETURN_RESULTS]),
+    ];
+}
+
+struct SpanStats {
+    count: AtomicU64,
+    total_us: AtomicU64,
+    window: Mutex<MovingWindow>,
+}
+
+impl SpanStats {
+    fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            window: Mutex::new(MovingWindow::new(512)),
+        }
+    }
+}
+
+/// Aggregated view of one span.
+#[derive(Debug, Clone)]
+pub struct SpanSummary {
+    pub name: String,
+    pub count: u64,
+    /// Mean duration, ms.
+    pub mean_ms: f64,
+    /// p99 over the recent window, ms.
+    pub p99_ms: f64,
+}
+
+/// Registry of named spans.
+#[derive(Clone)]
+pub struct Spans {
+    stats: Arc<ShardedMap<&'static str, Arc<SpanStats>>>,
+}
+
+/// RAII timer: records the elapsed time into its span on drop.
+pub struct SpanGuard {
+    stats: Arc<SpanStats>,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_micros() as u64;
+        self.stats.count.fetch_add(1, Ordering::Relaxed);
+        self.stats.total_us.fetch_add(us, Ordering::Relaxed);
+        self.stats.window.lock().push(us as f64);
+    }
+}
+
+impl Spans {
+    pub fn new() -> Self {
+        Self { stats: Arc::new(ShardedMap::new()) }
+    }
+
+    fn slot(&self, name: &'static str) -> Arc<SpanStats> {
+        if let Some(s) = self.stats.get(name) {
+            return s;
+        }
+        self.stats
+            .update_or_insert(name, || Arc::new(SpanStats::new()), |s| Arc::clone(s))
+    }
+
+    /// Start timing `name`; the span records when the guard drops.
+    pub fn time(&self, name: &'static str) -> SpanGuard {
+        SpanGuard { stats: self.slot(name), start: Instant::now() }
+    }
+
+    /// Record an externally measured duration (µs).
+    pub fn record_us(&self, name: &'static str, us: u64) {
+        let s = self.slot(name);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.total_us.fetch_add(us, Ordering::Relaxed);
+        s.window.lock().push(us as f64);
+    }
+
+    pub fn summary(&self, name: &'static str) -> Option<SpanSummary> {
+        let s = self.stats.get(&name)?;
+        let count = s.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let total_us = s.total_us.load(Ordering::Relaxed);
+        let p99_us = s.window.lock().percentile(0.99);
+        Some(SpanSummary {
+            name: name.to_string(),
+            count,
+            mean_ms: total_us as f64 / count as f64 / 1000.0,
+            p99_ms: p99_us / 1000.0,
+        })
+    }
+
+    /// All spans with at least one sample.
+    pub fn all(&self) -> Vec<SpanSummary> {
+        let mut out = Vec::new();
+        self.stats.for_each(|name, s| {
+            let count = s.count.load(Ordering::Relaxed);
+            if count > 0 {
+                let total_us = s.total_us.load(Ordering::Relaxed);
+                out.push(SpanSummary {
+                    name: name.to_string(),
+                    count,
+                    mean_ms: total_us as f64 / count as f64 / 1000.0,
+                    p99_ms: s.window.lock().percentile(0.99) / 1000.0,
+                });
+            }
+        });
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+impl Default for Spans {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let spans = Spans::new();
+        {
+            let _g = spans.time(names::CALL_CONTAINER);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let s = spans.summary(names::CALL_CONTAINER).unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.mean_ms >= 4.0, "mean {} too small", s.mean_ms);
+    }
+
+    #[test]
+    fn record_us_accumulates() {
+        let spans = Spans::new();
+        spans.record_us(names::DEQUEUE, 100);
+        spans.record_us(names::DEQUEUE, 300);
+        let s = spans.summary(names::DEQUEUE).unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean_ms - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_span_is_none() {
+        let spans = Spans::new();
+        assert!(spans.summary(names::INVOKE).is_none());
+    }
+
+    #[test]
+    fn all_lists_active_spans_sorted() {
+        let spans = Spans::new();
+        spans.record_us(names::RETURN_RESULTS, 10);
+        spans.record_us(names::ACQUIRE_CONTAINER, 10);
+        let all = spans.all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, names::ACQUIRE_CONTAINER);
+    }
+
+    #[test]
+    fn groups_cover_all_table_rows() {
+        let total: usize = names::GROUPS.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, 13, "Table 1 has 13 component rows");
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let spans = Spans::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let spans = spans.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        spans.record_us(names::INVOKE, 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(spans.summary(names::INVOKE).unwrap().count, 8000);
+    }
+}

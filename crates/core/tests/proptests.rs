@@ -1,0 +1,171 @@
+//! Property-based tests for the control plane's core invariants.
+
+use iluvatar_core::config::{KeepalivePolicyKind, QueueConfig, QueuePolicyKind};
+use iluvatar_core::invocation::InvocationHandle;
+use iluvatar_core::policies::{make_policy, EntryMeta};
+use iluvatar_core::pool::ContainerPool;
+use iluvatar_core::queue::{priority_of, InvocationQueue, QueuedInvocation};
+use iluvatar_containers::types::Container;
+use iluvatar_containers::ResourceLimits;
+use iluvatar_sync::ManualClock;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn item(fqdn: String, arrived: u64, exec: f64, iat: f64) -> QueuedInvocation {
+    let (tx, h) = InvocationHandle::pair();
+    std::mem::forget(h);
+    QueuedInvocation {
+        fqdn,
+        args: String::new(),
+        arrived_at: arrived,
+        expected_exec_ms: exec,
+        iat_ms: iat,
+        expect_warm: true,
+        result_tx: tx,
+    }
+}
+
+proptest! {
+    /// Every queue policy dequeues in non-decreasing priority order.
+    #[test]
+    fn queue_pops_in_priority_order(
+        entries in proptest::collection::vec((0u64..10_000, 0.0f64..5_000.0, 0.0f64..60_000.0), 1..60),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = QueuePolicyKind::all()[policy_idx];
+        let q = InvocationQueue::new(QueueConfig { policy, ..Default::default() });
+        for (i, &(t, exec, iat)) in entries.iter().enumerate() {
+            q.push(item(format!("f{i}"), t, exec, iat)).unwrap();
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some(popped) = q.try_pop() {
+            let p = priority_of(policy, &popped);
+            prop_assert!(p >= last - 1e-9, "{policy:?}: {p} after {last}");
+            last = p;
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// The Greedy-Dual clock is monotone non-decreasing under any event
+    /// sequence, and priorities never go below the current clock for
+    /// freshly accessed entries.
+    #[test]
+    fn gdsf_clock_monotone(ops in proptest::collection::vec((0u8..3, 0usize..8), 1..200)) {
+        let mut policy = make_policy(KeepalivePolicyKind::Gdsf, 0);
+        let mut entries: Vec<EntryMeta> = (0..8)
+            .map(|i| EntryMeta::new(format!("f{i}"), 64 + i * 32, (i as f64 + 1.0) * 50.0, 0))
+            .collect();
+        for e in entries.iter_mut() {
+            policy.on_insert(e, 0);
+        }
+        let mut last_evict_prio = f64::NEG_INFINITY;
+        for (step, &(op, idx)) in ops.iter().enumerate() {
+            let now = step as u64;
+            match op {
+                0 => {
+                    entries[idx].freq += 1;
+                    policy.on_access(&mut entries[idx], now);
+                }
+                1 => {
+                    let p = policy.priority(&entries[idx], now);
+                    policy.on_evict(&entries[idx], now);
+                    // Re-insert (fresh container) — its new priority must be
+                    // at least the evicted one's (clock inflation).
+                    policy.on_insert(&mut entries[idx], now);
+                    let p2 = policy.priority(&entries[idx], now);
+                    prop_assert!(p2 >= p - 1e-9);
+                    prop_assert!(p >= last_evict_prio - 1e9, "sanity");
+                    last_evict_prio = p;
+                }
+                _ => {
+                    let _ = policy.priority(&entries[idx], now);
+                }
+            }
+        }
+    }
+
+    /// Pool memory accounting: used never exceeds capacity, and frees add
+    /// up after any interleaving of reserve/release/acquire/discard.
+    #[test]
+    fn pool_memory_conservation(ops in proptest::collection::vec((0u8..4, 0u8..6), 1..120)) {
+        let clock = Arc::new(ManualClock::new());
+        let pool = ContainerPool::new(
+            1024,
+            make_policy(KeepalivePolicyKind::Lru, 600_000),
+            clock.clone(),
+            Arc::new(|_c| {}),
+        );
+        // Track our own view of live reservations.
+        let mut live: Vec<Arc<Container>> = Vec::new(); // in-use containers
+        for (step, &(op, f)) in ops.iter().enumerate() {
+            clock.advance(1 + step as u64 % 7);
+            let fqdn = format!("f{}", f % 3);
+            match op {
+                0 => {
+                    // Cold start attempt.
+                    if pool.reserve(128) {
+                        live.push(Arc::new(Container::new(
+                            &fqdn,
+                            ResourceLimits { cpus: 1.0, memory_mb: 128 },
+                        )));
+                    }
+                }
+                1 => {
+                    // Finish one in-use container into the pool.
+                    if let Some(c) = live.pop() {
+                        pool.release(c, 100.0);
+                    }
+                }
+                2 => {
+                    // Warm acquire.
+                    if let Some(c) = pool.acquire(&fqdn) {
+                        live.push(c);
+                    }
+                }
+                _ => {
+                    // Failed invocation: discard.
+                    if let Some(c) = live.pop() {
+                        pool.discard(c);
+                    }
+                }
+            }
+            prop_assert!(pool.used_mb() <= 1024, "used {} > capacity", pool.used_mb());
+            let expected_used = (live.len() * 128) as u64 + pool.stats().idle_mb;
+            prop_assert_eq!(pool.used_mb(), expected_used,
+                "accounting drift at step {}", step);
+        }
+    }
+
+    /// TTL expiry is exact: entries idle longer than the TTL are expired,
+    /// younger ones never are.
+    #[test]
+    fn ttl_expiry_boundary(ttl in 1u64..1_000_000, idle in 0u64..2_000_000) {
+        let policy = make_policy(KeepalivePolicyKind::Ttl, ttl);
+        let mut e = EntryMeta::new("f", 128, 0.0, 0);
+        e.last_access_ms = 0;
+        let expired = policy.expired(&e, idle);
+        prop_assert_eq!(expired, idle > ttl);
+    }
+
+    /// EEDF dominance: given equal arrivals, the shorter job pops first;
+    /// given equal sizes, the earlier arrival pops first.
+    #[test]
+    fn eedf_dominance(a in 0u64..1_000, b in 0u64..1_000, x in 0.0f64..1_000.0, y in 0.0f64..1_000.0) {
+        let q = InvocationQueue::new(QueueConfig { policy: QueuePolicyKind::Eedf, ..Default::default() });
+        q.push(item("same-arrival-x".into(), 100, x, 0.0)).unwrap();
+        q.push(item("same-arrival-y".into(), 100, y, 0.0)).unwrap();
+        let first = q.try_pop().unwrap();
+        if (x - y).abs() > 1e-9 {
+            let want = if x < y { "same-arrival-x" } else { "same-arrival-y" };
+            prop_assert_eq!(first.fqdn, want);
+        }
+        q.try_pop();
+        q.push(item("arr-a".into(), a, 500.0, 0.0)).unwrap();
+        q.push(item("arr-b".into(), b, 500.0, 0.0)).unwrap();
+        let first = q.try_pop().unwrap();
+        if a != b {
+            let want = if a < b { "arr-a" } else { "arr-b" };
+            prop_assert_eq!(first.fqdn, want);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! HTTP request/response value types and serialization.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// The request methods the agent protocol uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Post,
+    Put,
+    Delete,
+    Head,
+}
+
+impl Method {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+}
+
+/// Response status codes used by the agent and worker APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    pub const OK: Status = Status(200);
+    pub const BAD_REQUEST: Status = Status(400);
+    pub const NOT_FOUND: Status = Status(404);
+    pub const TOO_MANY_REQUESTS: Status = Status(429);
+    pub const INTERNAL_ERROR: Status = Status(500);
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: Method,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Bytes,
+}
+
+impl Request {
+    pub fn new(method: Method, path: impl Into<String>) -> Self {
+        Self { method, path: path.into(), headers: Vec::new(), body: Bytes::new() }
+    }
+
+    pub fn with_body(mut self, body: impl Into<Bytes>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Serialize onto the wire. `Content-Length` is always emitted.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(128 + self.body.len());
+        buf.put_slice(self.method.as_str().as_bytes());
+        buf.put_u8(b' ');
+        buf.put_slice(self.path.as_bytes());
+        buf.put_slice(b" HTTP/1.1\r\n");
+        for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                continue; // always recomputed
+            }
+            buf.put_slice(k.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        buf.put_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: Status,
+    pub headers: Vec<(String, String)>,
+    pub body: Bytes,
+}
+
+impl Response {
+    pub fn new(status: Status) -> Self {
+        Self { status, headers: Vec::new(), body: Bytes::new() }
+    }
+
+    pub fn ok(body: impl Into<Bytes>) -> Self {
+        Self::new(Status::OK).with_body(body)
+    }
+
+    pub fn with_body(mut self, body: impl Into<Bytes>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(128 + self.body.len());
+        buf.put_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason()).as_bytes(),
+        );
+        for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            buf.put_slice(k.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        buf.put_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_roundtrip() {
+        for m in [Method::Get, Method::Post, Method::Put, Method::Delete, Method::Head] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(Status::OK.reason(), "OK");
+        assert!(Status::OK.is_success());
+        assert!(!Status::INTERNAL_ERROR.is_success());
+        assert_eq!(Status(599).reason(), "Unknown");
+    }
+
+    #[test]
+    fn request_encode_includes_length() {
+        let r = Request::new(Method::Post, "/invoke")
+            .with_header("Host", "container")
+            .with_body(&b"{\"x\":1}"[..]);
+        let wire = r.encode();
+        let text = std::str::from_utf8(&wire).unwrap();
+        assert!(text.starts_with("POST /invoke HTTP/1.1\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn user_content_length_is_overridden() {
+        let r = Request::new(Method::Get, "/").with_header("Content-Length", "999");
+        let text = String::from_utf8(r.encode().to_vec()).unwrap();
+        assert!(text.contains("Content-Length: 0\r\n"));
+        assert!(!text.contains("999"));
+    }
+
+    #[test]
+    fn header_lookup_case_insensitive() {
+        let r = Response::new(Status::OK).with_header("X-Duration-Ms", "12");
+        assert_eq!(r.header("x-duration-ms"), Some("12"));
+        assert_eq!(r.header("missing"), None);
+    }
+
+    #[test]
+    fn response_body_str() {
+        let r = Response::ok(&b"hello"[..]);
+        assert_eq!(r.body_str(), "hello");
+    }
+}

@@ -1,0 +1,291 @@
+//! Incremental HTTP/1.1 message parsing.
+//!
+//! Parsers take the bytes buffered so far and either produce a complete
+//! message plus the number of bytes consumed, or report that more input is
+//! needed. Callers loop `read -> parse` until complete — the usual shape for
+//! a blocking reader with keep-alive connections.
+
+use crate::message::{Method, Request, Response, Status};
+use bytes::Bytes;
+
+/// Parse failures that can never be fixed by more input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The start line was malformed.
+    BadStartLine(String),
+    /// An unsupported method token.
+    BadMethod(String),
+    /// A header line without a colon, or invalid UTF-8.
+    BadHeader(String),
+    /// Content-Length was present but not a number.
+    BadContentLength(String),
+    /// Headers exceeded the sanity cap.
+    TooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadStartLine(l) => write!(f, "bad start line: {l:?}"),
+            ParseError::BadMethod(m) => write!(f, "bad method: {m:?}"),
+            ParseError::BadHeader(h) => write!(f, "bad header: {h:?}"),
+            ParseError::BadContentLength(v) => write!(f, "bad content-length: {v:?}"),
+            ParseError::TooLarge => write!(f, "header section too large"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of attempting to parse a buffered prefix.
+#[derive(Debug)]
+pub enum ParseOutcome<T> {
+    /// A full message and how many input bytes it consumed.
+    Complete(T, usize),
+    /// Valid so far, but incomplete.
+    Incomplete,
+}
+
+/// Sanity cap on the header section; the agent protocol's headers are tiny.
+const MAX_HEAD: usize = 64 * 1024;
+
+/// Find `\r\n\r\n`, returning the offset just past it.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+struct Head {
+    start_line: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+    head_len: usize,
+}
+
+fn parse_head(buf: &[u8]) -> Result<Option<Head>, ParseError> {
+    let head_end = match find_head_end(buf) {
+        Some(e) => e,
+        None => {
+            if buf.len() > MAX_HEAD {
+                return Err(ParseError::TooLarge);
+            }
+            return Ok(None);
+        }
+    };
+    if head_end > MAX_HEAD {
+        return Err(ParseError::TooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end - 4])
+        .map_err(|_| ParseError::BadHeader("non-utf8 header section".into()))?;
+    let mut lines = head.split("\r\n");
+    let start_line = lines
+        .next()
+        .ok_or_else(|| ParseError::BadStartLine(String::new()))?
+        .to_string();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let colon = line
+            .find(':')
+            .ok_or_else(|| ParseError::BadHeader(line.to_string()))?;
+        let name = line[..colon].trim().to_string();
+        let value = line[colon + 1..].trim().to_string();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ParseError::BadContentLength(value.clone()))?;
+        }
+        headers.push((name, value));
+    }
+    Ok(Some(Head { start_line, headers, content_length, head_len: head_end }))
+}
+
+/// Try to parse one request from `buf`.
+pub fn parse_request(buf: &[u8]) -> Result<ParseOutcome<Request>, ParseError> {
+    let head = match parse_head(buf)? {
+        Some(h) => h,
+        None => return Ok(ParseOutcome::Incomplete),
+    };
+    let total = head.head_len + head.content_length;
+    if buf.len() < total {
+        return Ok(ParseOutcome::Incomplete);
+    }
+    let mut parts = head.start_line.split_whitespace();
+    let method_tok = parts
+        .next()
+        .ok_or_else(|| ParseError::BadStartLine(head.start_line.clone()))?;
+    let method =
+        Method::parse(method_tok).ok_or_else(|| ParseError::BadMethod(method_tok.to_string()))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| ParseError::BadStartLine(head.start_line.clone()))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1") => {}
+        _ => return Err(ParseError::BadStartLine(head.start_line.clone())),
+    }
+    let body = Bytes::copy_from_slice(&buf[head.head_len..total]);
+    Ok(ParseOutcome::Complete(
+        Request { method, path, headers: head.headers, body },
+        total,
+    ))
+}
+
+/// Try to parse one response from `buf`.
+pub fn parse_response(buf: &[u8]) -> Result<ParseOutcome<Response>, ParseError> {
+    let head = match parse_head(buf)? {
+        Some(h) => h,
+        None => return Ok(ParseOutcome::Incomplete),
+    };
+    let total = head.head_len + head.content_length;
+    if buf.len() < total {
+        return Ok(ParseOutcome::Incomplete);
+    }
+    let mut parts = head.start_line.split_whitespace();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1") => {}
+        _ => return Err(ParseError::BadStartLine(head.start_line.clone())),
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| ParseError::BadStartLine(head.start_line.clone()))?;
+    let body = Bytes::copy_from_slice(&buf[head.head_len..total]);
+    Ok(ParseOutcome::Complete(
+        Response { status: Status(code), headers: head.headers, body },
+        total,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let wire = b"GET / HTTP/1.1\r\nHost: a\r\n\r\n";
+        match parse_request(wire).unwrap() {
+            ParseOutcome::Complete(req, used) => {
+                assert_eq!(req.method, Method::Get);
+                assert_eq!(req.path, "/");
+                assert_eq!(req.header("host"), Some("a"));
+                assert_eq!(used, wire.len());
+                assert!(req.body.is_empty());
+            }
+            _ => panic!("should be complete"),
+        }
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let wire = b"POST /invoke HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        match parse_request(wire).unwrap() {
+            ParseOutcome::Complete(req, used) => {
+                assert_eq!(req.method, Method::Post);
+                assert_eq!(&req.body[..], b"hello");
+                assert_eq!(used, wire.len());
+            }
+            _ => panic!("should be complete"),
+        }
+    }
+
+    #[test]
+    fn incomplete_head_needs_more() {
+        assert!(matches!(
+            parse_request(b"POST /invoke HTT").unwrap(),
+            ParseOutcome::Incomplete
+        ));
+    }
+
+    #[test]
+    fn incomplete_body_needs_more() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse_request(wire).unwrap(), ParseOutcome::Incomplete));
+    }
+
+    #[test]
+    fn pipelined_messages_report_consumed() {
+        let one = b"GET /a HTTP/1.1\r\n\r\n";
+        let mut wire = one.to_vec();
+        wire.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\n");
+        match parse_request(&wire).unwrap() {
+            ParseOutcome::Complete(req, used) => {
+                assert_eq!(req.path, "/a");
+                assert_eq!(used, one.len());
+                match parse_request(&wire[used..]).unwrap() {
+                    ParseOutcome::Complete(req2, _) => assert_eq!(req2.path, "/b"),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_method() {
+        let wire = b"BREW / HTTP/1.1\r\n\r\n";
+        assert!(matches!(parse_request(wire), Err(ParseError::BadMethod(_))));
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        let wire = b"GET / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n";
+        assert!(matches!(parse_request(wire), Err(ParseError::BadContentLength(_))));
+    }
+
+    #[test]
+    fn rejects_missing_version() {
+        let wire = b"GET /\r\n\r\n";
+        assert!(matches!(parse_request(wire), Err(ParseError::BadStartLine(_))));
+    }
+
+    #[test]
+    fn rejects_header_without_colon() {
+        let wire = b"GET / HTTP/1.1\r\nbadheader\r\n\r\n";
+        assert!(matches!(parse_request(wire), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok(&b"{\"ok\":true}"[..]).with_header("X-Duration-Ms", "3");
+        let wire = resp.encode();
+        match parse_response(&wire).unwrap() {
+            ParseOutcome::Complete(r, used) => {
+                assert_eq!(r.status, Status::OK);
+                assert_eq!(r.header("x-duration-ms"), Some("3"));
+                assert_eq!(r.body_str(), "{\"ok\":true}");
+                assert_eq!(used, wire.len());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Method::Post, "/invoke")
+            .with_header("Host", "x")
+            .with_body(&b"payload"[..]);
+        let wire = req.encode();
+        match parse_request(&wire).unwrap() {
+            ParseOutcome::Complete(r, used) => {
+                assert_eq!(r.method, Method::Post);
+                assert_eq!(r.path, "/invoke");
+                assert_eq!(&r.body[..], b"payload");
+                assert_eq!(used, wire.len());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        while wire.len() <= MAX_HEAD {
+            wire.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        // No terminating blank line: parser must give up rather than wait.
+        assert!(matches!(parse_request(&wire), Err(ParseError::TooLarge)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Consistent hashing with bounded loads.
+//!
+//! Functions hash onto a ring of virtual nodes. An invocation starts at its
+//! function's home position (locality → warm starts) and walks clockwise
+//! past workers whose load exceeds the bound `c × max(1, mean load)`,
+//! falling back to the least-loaded worker if every stop is saturated.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// CH-BL parameters.
+#[derive(Debug, Clone)]
+pub struct ChBlConfig {
+    /// Load-bound factor `c` (>1). 1.0 degenerates to always-forward;
+    /// typical values are 1.2–2.0.
+    pub c: f64,
+    /// Virtual nodes per worker: smooths the ring.
+    pub vnodes: usize,
+}
+
+impl Default for ChBlConfig {
+    fn default() -> Self {
+        Self { c: 1.5, vnodes: 64 }
+    }
+}
+
+/// The hash ring. Workers are identified by dense indices `0..n`.
+pub struct ChBl {
+    cfg: ChBlConfig,
+    /// (ring position, worker index), sorted by position.
+    ring: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+fn hash_of(x: impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
+}
+
+impl ChBl {
+    pub fn new(workers: usize, cfg: ChBlConfig) -> Self {
+        assert!(workers > 0 && cfg.vnodes > 0 && cfg.c >= 1.0);
+        let mut ring = Vec::with_capacity(workers * cfg.vnodes);
+        for w in 0..workers {
+            for v in 0..cfg.vnodes {
+                ring.push((hash_of((w, v, "chbl-vnode")), w));
+            }
+        }
+        ring.sort_unstable();
+        Self { cfg, ring, workers }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The home worker of `fqdn` (ignoring loads): where locality puts it.
+    pub fn home(&self, fqdn: &str) -> usize {
+        let h = hash_of(fqdn);
+        let start = self.ring.partition_point(|&(pos, _)| pos < h) % self.ring.len();
+        self.ring[start].1
+    }
+
+    /// Pick a worker for `fqdn` given current per-worker loads. Walks the
+    /// ring from the home position, skipping workers over the bound;
+    /// returns (worker, forwarded_hops).
+    pub fn pick(&self, fqdn: &str, loads: &[f64]) -> (usize, usize) {
+        assert_eq!(loads.len(), self.workers);
+        let h = hash_of(fqdn);
+        let start = self.ring.partition_point(|&(pos, _)| pos < h) % self.ring.len();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        let bound = self.cfg.c * mean.max(1.0);
+        let mut hops = 0;
+        let mut seen = vec![false; self.workers];
+        let mut distinct = 0;
+        for i in 0..self.ring.len() {
+            let (_, w) = self.ring[(start + i) % self.ring.len()];
+            if seen[w] {
+                continue;
+            }
+            seen[w] = true;
+            if loads[w] <= bound {
+                return (w, hops);
+            }
+            hops += 1;
+            distinct += 1;
+            if distinct == self.workers {
+                break;
+            }
+        }
+        // Everyone saturated: least loaded.
+        let w = (0..self.workers)
+            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+            .unwrap();
+        (w, hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_is_deterministic_and_sticky() {
+        let ring = ChBl::new(8, ChBlConfig::default());
+        let a = ring.home("video-encode-1");
+        assert_eq!(a, ring.home("video-encode-1"));
+        // Under zero load, pick == home: locality preserved.
+        let loads = vec![0.0; 8];
+        assert_eq!(ring.pick("video-encode-1", &loads).0, a);
+        assert_eq!(ring.pick("video-encode-1", &loads).1, 0, "no forwarding");
+    }
+
+    #[test]
+    fn different_functions_spread() {
+        let ring = ChBl::new(8, ChBlConfig::default());
+        let mut used = std::collections::HashSet::new();
+        for i in 0..256 {
+            used.insert(ring.home(&format!("fn-{i}")));
+        }
+        assert_eq!(used.len(), 8, "256 functions should hit all 8 workers");
+    }
+
+    #[test]
+    fn forwards_past_overloaded_home() {
+        let ring = ChBl::new(4, ChBlConfig { c: 1.5, vnodes: 64 });
+        let fqdn = "hot-1";
+        let home = ring.home(fqdn);
+        let mut loads = vec![0.0; 4];
+        loads[home] = 100.0; // way over bound
+        let (picked, hops) = ring.pick(fqdn, &loads);
+        assert_ne!(picked, home, "overloaded home must be skipped");
+        assert!(hops >= 1);
+    }
+
+    #[test]
+    fn picked_worker_always_under_bound_when_one_exists() {
+        let ring = ChBl::new(4, ChBlConfig { c: 1.0, vnodes: 32 });
+        let loads = vec![50.0, 40.0, 60.0, 45.0];
+        // mean = 48.75 = bound with c=1: workers 1 and 3 qualify.
+        let (picked, _) = ring.pick("f-1", &loads);
+        assert!(loads[picked] <= 48.75, "picked over-bound worker {picked}");
+        // With c=1 some worker is always at or below the mean, so the
+        // walk must always terminate on an under-bound worker.
+        for seed in 0..32 {
+            let (p, _) = ring.pick(&format!("g-{seed}"), &loads);
+            assert!(loads[p] <= 48.75);
+        }
+    }
+
+    #[test]
+    fn bound_scales_with_mean_load() {
+        let ring = ChBl::new(2, ChBlConfig { c: 1.2, vnodes: 32 });
+        let fqdn = "f-1";
+        let home = ring.home(fqdn);
+        // Home at 3, other at 2: mean 2.5 → bound 3.0: home at the bound
+        // stays (locality preserved under mild imbalance).
+        let mut loads = vec![2.0, 2.0];
+        loads[home] = 3.0;
+        assert_eq!(ring.pick(fqdn, &loads).0, home);
+        // Home hot (30) while the other idles (2): mean 16 → bound 19.2,
+        // home is over and the invocation forwards.
+        loads[home] = 30.0;
+        loads[1 - home] = 2.0;
+        assert_eq!(ring.pick(fqdn, &loads).0, 1 - home);
+        // Same home load but the whole cluster busy: mean 29 → bound 34.8,
+        // so the home is back under the (relative) bound and keeps the
+        // function — the bound scales with mean load.
+        loads[1 - home] = 28.0;
+        assert_eq!(ring.pick(fqdn, &loads).0, home);
+    }
+
+    #[test]
+    fn minimal_disruption_on_resize() {
+        // Consistent hashing: adding a worker remaps only ~1/n of keys.
+        let small = ChBl::new(8, ChBlConfig::default());
+        let big = ChBl::new(9, ChBlConfig::default());
+        let keys: Vec<String> = (0..2000).map(|i| format!("fn-{i}")).collect();
+        let moved = keys
+            .iter()
+            .filter(|k| {
+                let a = small.home(k);
+                let b = big.home(k);
+                a != b
+            })
+            .count();
+        let frac = moved as f64 / keys.len() as f64;
+        assert!(
+            frac < 0.25,
+            "adding 1 of 9 workers should move ~11% of keys, moved {frac}"
+        );
+    }
+}

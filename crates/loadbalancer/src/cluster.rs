@@ -1,0 +1,314 @@
+//! Cluster front-end: a load-balancing policy over worker handles.
+
+use crate::chbl::{ChBl, ChBlConfig};
+use iluvatar_core::{InvocationResult, InvokeError, Worker};
+use iluvatar_containers::FunctionSpec;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Anything the balancer can dispatch to: a live worker or a test stub.
+pub trait WorkerHandle: Send + Sync + 'static {
+    fn name(&self) -> String;
+    /// The queue-aware normalized load the worker reports (§4).
+    fn load(&self) -> f64;
+    fn register(&self, spec: FunctionSpec) -> Result<(), String>;
+    fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError>;
+}
+
+/// A remote worker reached over its HTTP API — the distributed deployment
+/// mode. Status polls and invocations go over pooled connections.
+pub struct RemoteWorker {
+    client: iluvatar_core::api::WorkerApiClient,
+}
+
+impl RemoteWorker {
+    pub fn connect(addr: std::net::SocketAddr) -> Self {
+        Self { client: iluvatar_core::api::WorkerApiClient::new(addr) }
+    }
+}
+
+impl WorkerHandle for RemoteWorker {
+    fn name(&self) -> String {
+        self.client
+            .status()
+            .map(|s| s.name)
+            .unwrap_or_else(|_| format!("remote@{}", self.client.addr()))
+    }
+
+    fn load(&self) -> f64 {
+        // An unreachable worker reports infinite load so CH-BL routes
+        // around it.
+        self.client.status().map(|s| s.normalized_load).unwrap_or(f64::INFINITY)
+    }
+
+    fn register(&self, spec: FunctionSpec) -> Result<(), String> {
+        self.client.register(&spec).map_err(|e| e.to_string())
+    }
+
+    fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
+        match self.client.invoke(fqdn, args) {
+            Ok(r) => Ok(InvocationResult {
+                body: r.body,
+                exec_ms: r.exec_ms,
+                e2e_ms: r.e2e_ms,
+                cold: r.cold,
+                queue_ms: r.queue_ms,
+                arrived_at: 0,
+            }),
+            Err(iluvatar_core::api::ApiError::Status(404, _)) => {
+                Err(InvokeError::NotRegistered(fqdn.to_string()))
+            }
+            Err(iluvatar_core::api::ApiError::Status(429, _)) => Err(InvokeError::QueueFull),
+            Err(e) => Err(InvokeError::Backend(e.to_string())),
+        }
+    }
+}
+
+impl WorkerHandle for Worker {
+    fn name(&self) -> String {
+        self.status().name
+    }
+
+    fn load(&self) -> f64 {
+        self.status().normalized_load
+    }
+
+    fn register(&self, spec: FunctionSpec) -> Result<(), String> {
+        Worker::register(self, spec).map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
+        Worker::invoke(self, fqdn, args)
+    }
+}
+
+/// Load-balancing policies; CH-BL is the paper's default.
+pub enum LbPolicy {
+    ChBl(ChBlConfig),
+    RoundRobin,
+    LeastLoaded,
+}
+
+enum PolicyState {
+    ChBl(ChBl),
+    RoundRobin(AtomicU64),
+    LeastLoaded,
+}
+
+/// Per-worker dispatch counters.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    pub dispatched: Vec<u64>,
+    pub forwarded: u64,
+}
+
+/// The cluster: a policy over a fixed set of workers.
+pub struct Cluster {
+    workers: Vec<Arc<dyn WorkerHandle>>,
+    policy: PolicyState,
+    dispatched: Vec<AtomicU64>,
+    forwarded: AtomicU64,
+    /// Cached loads, refreshed on each dispatch (stateless balancer —
+    /// loads come from worker status, not balancer bookkeeping).
+    loads: Mutex<Vec<f64>>,
+}
+
+impl Cluster {
+    pub fn new(workers: Vec<Arc<dyn WorkerHandle>>, policy: LbPolicy) -> Self {
+        assert!(!workers.is_empty());
+        let n = workers.len();
+        let policy = match policy {
+            LbPolicy::ChBl(cfg) => PolicyState::ChBl(ChBl::new(n, cfg)),
+            LbPolicy::RoundRobin => PolicyState::RoundRobin(AtomicU64::new(0)),
+            LbPolicy::LeastLoaded => PolicyState::LeastLoaded,
+        };
+        Self {
+            policy,
+            dispatched: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            forwarded: AtomicU64::new(0),
+            loads: Mutex::new(vec![0.0; n]),
+            workers,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Register on every worker (functions can run anywhere).
+    pub fn register_all(&self, spec: FunctionSpec) -> Result<(), String> {
+        for w in &self.workers {
+            w.register(spec.clone())?;
+        }
+        Ok(())
+    }
+
+    fn refresh_loads(&self) -> Vec<f64> {
+        let loads: Vec<f64> = self.workers.iter().map(|w| w.load()).collect();
+        *self.loads.lock() = loads.clone();
+        loads
+    }
+
+    /// Choose the worker for `fqdn` under the configured policy.
+    pub fn pick(&self, fqdn: &str) -> usize {
+        match &self.policy {
+            PolicyState::ChBl(ring) => {
+                let loads = self.refresh_loads();
+                let (w, hops) = ring.pick(fqdn, &loads);
+                if hops > 0 {
+                    self.forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+                w
+            }
+            PolicyState::RoundRobin(ctr) => {
+                (ctr.fetch_add(1, Ordering::Relaxed) as usize) % self.workers.len()
+            }
+            PolicyState::LeastLoaded => {
+                let loads = self.refresh_loads();
+                (0..loads.len())
+                    .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+                    .unwrap()
+            }
+        }
+    }
+
+    /// Balance and invoke synchronously.
+    pub fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
+        let w = self.pick(fqdn);
+        self.dispatched[w].fetch_add(1, Ordering::Relaxed);
+        self.workers[w].invoke(fqdn, args)
+    }
+
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            dispatched: self.dispatched.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::RwLock;
+
+    /// A stub worker with a settable load that records invocations.
+    struct StubWorker {
+        name: String,
+        load: RwLock<f64>,
+        calls: AtomicU64,
+    }
+
+    impl StubWorker {
+        fn new(name: &str) -> Arc<Self> {
+            Arc::new(Self { name: name.into(), load: RwLock::new(0.0), calls: AtomicU64::new(0) })
+        }
+    }
+
+    impl WorkerHandle for StubWorker {
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+
+        fn load(&self) -> f64 {
+            *self.load.read()
+        }
+
+        fn register(&self, _spec: FunctionSpec) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn invoke(&self, _fqdn: &str, _args: &str) -> Result<InvocationResult, InvokeError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Ok(InvocationResult {
+                body: String::new(),
+                exec_ms: 1,
+                e2e_ms: 1,
+                cold: false,
+                queue_ms: 0,
+                arrived_at: 0,
+            })
+        }
+    }
+
+    fn stub_cluster(n: usize, policy: LbPolicy) -> (Vec<Arc<StubWorker>>, Cluster) {
+        let stubs: Vec<Arc<StubWorker>> =
+            (0..n).map(|i| StubWorker::new(&format!("w{i}"))).collect();
+        let handles: Vec<Arc<dyn WorkerHandle>> =
+            stubs.iter().map(|s| Arc::clone(s) as Arc<dyn WorkerHandle>).collect();
+        (stubs, Cluster::new(handles, policy))
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let (stubs, cluster) = stub_cluster(3, LbPolicy::RoundRobin);
+        for _ in 0..9 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        for s in &stubs {
+            assert_eq!(s.calls.load(Ordering::SeqCst), 3);
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle() {
+        let (stubs, cluster) = stub_cluster(3, LbPolicy::LeastLoaded);
+        *stubs[0].load.write() = 5.0;
+        *stubs[1].load.write() = 0.1;
+        *stubs[2].load.write() = 3.0;
+        for _ in 0..4 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        assert_eq!(stubs[1].calls.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn chbl_is_sticky_until_overload() {
+        let (stubs, cluster) = stub_cluster(4, LbPolicy::ChBl(ChBlConfig::default()));
+        // Low load: all invocations of one function land on one worker.
+        for _ in 0..10 {
+            cluster.invoke("sticky-1", "{}").unwrap();
+        }
+        let with_calls: Vec<_> =
+            stubs.iter().filter(|s| s.calls.load(Ordering::SeqCst) > 0).collect();
+        assert_eq!(with_calls.len(), 1, "locality: one home worker");
+        let home_idx = stubs
+            .iter()
+            .position(|s| s.calls.load(Ordering::SeqCst) > 0)
+            .unwrap();
+        assert_eq!(cluster.stats().forwarded, 0);
+        // Overload the home: next invocation forwards.
+        *stubs[home_idx].load.write() = 1_000.0;
+        cluster.invoke("sticky-1", "{}").unwrap();
+        assert_eq!(
+            stubs[home_idx].calls.load(Ordering::SeqCst),
+            10,
+            "overloaded home skipped"
+        );
+        assert_eq!(cluster.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn register_all_propagates() {
+        let (_stubs, cluster) = stub_cluster(3, LbPolicy::RoundRobin);
+        cluster
+            .register_all(FunctionSpec::new("f", "1"))
+            .unwrap();
+        assert_eq!(cluster.len(), 3);
+    }
+
+    #[test]
+    fn stats_count_dispatches() {
+        let (_stubs, cluster) = stub_cluster(2, LbPolicy::RoundRobin);
+        for _ in 0..5 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        let st = cluster.stats();
+        assert_eq!(st.dispatched.iter().sum::<u64>(), 5);
+    }
+}

@@ -1,0 +1,18 @@
+//! Cluster load balancing for Ilúvatar workers.
+//!
+//! §3.1: "We use stateless load-balancing, by using variants of consistent
+//! hashing with bounded loads (CH-BL) ... This is a locality-aware scheme,
+//! which runs functions on the same servers to maximize warm starts, and
+//! forwards them to other servers only when the server's load exceeds some
+//! pre-specified load-bound." The worker-reported queue-aware load (§4) is
+//! the bound's input.
+//!
+//! [`chbl`] implements the hash ring with bounded-load forwarding;
+//! [`cluster`] wires policies to worker handles (live [`iluvatar_core::Worker`]s
+//! or test stubs) and exposes the cluster-level invoke API.
+
+pub mod chbl;
+pub mod cluster;
+
+pub use chbl::{ChBl, ChBlConfig};
+pub use cluster::{Cluster, LbPolicy, WorkerHandle};

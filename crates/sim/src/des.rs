@@ -1,0 +1,126 @@
+//! A minimal discrete-event engine: a time-ordered event queue with stable
+//! FIFO ordering among simultaneous events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The event queue. `E` is the caller's event payload.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: std::collections::HashMap<u64, (u64, E)>,
+    seq: u64,
+    now: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`. Panics on scheduling into
+    /// the past — always a simulator bug.
+    pub fn push(&mut self, at: u64, event: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.payloads.insert(id, (at, event));
+    }
+
+    /// Pop the earliest event, advancing simulated time to it.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((at, id)) = self.heap.pop()?;
+        let (_, e) = self.payloads.remove(&id).expect("payload exists");
+        self.now = at;
+        Some((at, e))
+    }
+
+    /// Peek the next event time without consuming it.
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.push(100, ());
+        q.pop();
+        assert_eq!(q.now(), 100);
+        q.push(100, ()); // same-time scheduling allowed
+        q.push(150, ());
+        assert_eq!(q.next_time(), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(100, ());
+        q.pop();
+        q.push(50, ());
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the keep-alive simulator's conservation laws.
+
+use iluvatar_core::config::KeepalivePolicyKind;
+use iluvatar_sim::{KeepaliveSim, ReuseAnalysis, SimConfig};
+use iluvatar_trace::azure::{FunctionProfile, TraceEvent};
+use proptest::prelude::*;
+
+fn profiles(n: usize, mems: &[u64]) -> Vec<FunctionProfile> {
+    (0..n)
+        .map(|i| FunctionProfile {
+            fqdn: format!("f{i}"),
+            app: 0,
+            mean_iat_ms: 1_000.0,
+            warm_ms: 200 + (i as u64 % 5) * 100,
+            init_ms: 500 + (i as u64 % 3) * 700,
+            memory_mb: mems[i % mems.len()],
+            diurnal: false,
+        })
+        .collect()
+}
+
+fn arb_trace() -> impl Strategy<Value = (usize, Vec<TraceEvent>)> {
+    (2usize..8).prop_flat_map(|n| {
+        let events = proptest::collection::vec((0u64..3_600_000, 0..n as u32), 1..300).prop_map(
+            |mut raw| {
+                raw.sort();
+                raw.into_iter()
+                    .map(|(t, f)| TraceEvent { time_ms: t, func: f })
+                    .collect::<Vec<_>>()
+            },
+        );
+        (Just(n), events)
+    })
+}
+
+proptest! {
+    /// Conservation: every invocation is exactly one of warm/cold/dropped,
+    /// for every policy, and occupancy never exceeds capacity.
+    #[test]
+    fn counts_conserved_for_all_policies(
+        (n, events) in arb_trace(),
+        policy_idx in 0usize..6,
+        cache_mb in 128u64..4_096,
+        drop_on_full: bool,
+    ) {
+        let policy = KeepalivePolicyKind::all()[policy_idx];
+        let out = KeepaliveSim::run(
+            profiles(n, &[64, 128, 256, 512]),
+            &events,
+            SimConfig { drop_on_full, ..SimConfig::new(policy, cache_mb) },
+        );
+        prop_assert_eq!(out.total, events.len() as u64);
+        prop_assert_eq!(out.warm + out.cold + out.dropped, out.total);
+        if !drop_on_full {
+            prop_assert_eq!(out.dropped, 0);
+        }
+        prop_assert!(out.peak_used_mb <= cache_mb.max(512),
+            "peak {} must stay within capacity (one ephemeral overshoot at most)", out.peak_used_mb);
+        prop_assert!(out.mean_used_mb <= out.peak_used_mb as f64 + 1e-9);
+        // Per-function counters sum to the totals.
+        let pf_total: u64 = out.per_function.iter().map(|f| f.warm + f.cold + f.dropped).sum();
+        prop_assert_eq!(pf_total, out.total);
+    }
+
+    /// An infinite cache makes every repeat arrival warm (after the spawn
+    /// start effect is excluded by serializing events).
+    #[test]
+    fn infinite_cache_only_compulsory_misses(
+        n in 1usize..6,
+        reps in 1usize..20,
+    ) {
+        // Serialized arrivals: spaced beyond any exec time, so no spawn starts.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for r in 0..reps {
+            for f in 0..n {
+                events.push(TraceEvent { time_ms: t, func: f as u32 });
+                t += 10_000;
+                let _ = r;
+            }
+        }
+        let out = KeepaliveSim::run(
+            profiles(n, &[128]),
+            &events,
+            SimConfig::new(KeepalivePolicyKind::Lru, u64::MAX / 2),
+        );
+        prop_assert_eq!(out.cold, n as u64, "only compulsory misses");
+        prop_assert_eq!(out.warm, (n * reps - n) as u64);
+        prop_assert_eq!(out.evictions, 0);
+    }
+
+    /// LRU cold counts are monotone non-increasing in cache size.
+    #[test]
+    fn lru_monotone_in_cache_size((n, events) in arb_trace()) {
+        let p = profiles(n, &[128, 256]);
+        let mut last_cold = u64::MAX;
+        for cache in [256u64, 512, 1_024, 4_096, 16_384] {
+            let out = KeepaliveSim::run(
+                p.clone(),
+                &events,
+                SimConfig::new(KeepalivePolicyKind::Lru, cache),
+            );
+            prop_assert!(
+                out.cold <= last_cold,
+                "LRU inclusion property violated: {} colds at {}MB after {} at smaller",
+                out.cold, cache, last_cold
+            );
+            last_cold = out.cold;
+        }
+    }
+
+    /// The reuse-distance hit-ratio curve is monotone and bounded by the
+    /// compulsory-miss ceiling.
+    #[test]
+    fn reuse_curve_monotone((n, events) in arb_trace()) {
+        let p = profiles(n, &[100, 300]);
+        let r = ReuseAnalysis::compute(&p, &events);
+        let sizes = [0u64, 100, 200, 500, 1_000, 10_000, 1_000_000];
+        let curve = r.curve(&sizes);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        let ceiling = 1.0 - r.compulsory_misses() as f64 / events.len() as f64;
+        prop_assert!(curve.last().unwrap().1 <= ceiling + 1e-12);
+    }
+}

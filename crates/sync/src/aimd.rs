@@ -1,0 +1,124 @@
+//! TCP-like additive-increase / multiplicative-decrease controller.
+//!
+//! §4.1: "In the dynamic mode, we use a simple TCP-like AIMD policy which
+//! increases the concurrency limit until we hit congestion, which in our
+//! case is hit if the system load average increases above some specified
+//! threshold."
+
+/// Configuration for the [`Aimd`] controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AimdConfig {
+    /// Additive step applied when a probe sees no congestion.
+    pub increase: f64,
+    /// Multiplicative factor (<1) applied on congestion.
+    pub decrease: f64,
+    /// Lower clamp for the limit.
+    pub min: f64,
+    /// Upper clamp for the limit.
+    pub max: f64,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        Self { increase: 1.0, decrease: 0.5, min: 1.0, max: 1024.0 }
+    }
+}
+
+/// The AIMD state machine. Callers feed it a congestion signal per control
+/// interval and read back the integer limit.
+#[derive(Debug, Clone)]
+pub struct Aimd {
+    cfg: AimdConfig,
+    limit: f64,
+    congested_intervals: u64,
+    clear_intervals: u64,
+}
+
+impl Aimd {
+    pub fn new(initial: f64, cfg: AimdConfig) -> Self {
+        let limit = initial.clamp(cfg.min, cfg.max);
+        Self { cfg, limit, congested_intervals: 0, clear_intervals: 0 }
+    }
+
+    /// Apply one control interval's observation. Returns the new limit.
+    pub fn observe(&mut self, congested: bool) -> usize {
+        if congested {
+            self.congested_intervals += 1;
+            self.limit = (self.limit * self.cfg.decrease).clamp(self.cfg.min, self.cfg.max);
+        } else {
+            self.clear_intervals += 1;
+            self.limit = (self.limit + self.cfg.increase).clamp(self.cfg.min, self.cfg.max);
+        }
+        self.limit()
+    }
+
+    /// Current limit, rounded down to a whole permit count (never below the
+    /// configured minimum).
+    pub fn limit(&self) -> usize {
+        self.limit.floor().max(self.cfg.min.floor()).max(1.0) as usize
+    }
+
+    pub fn congested_intervals(&self) -> u64 {
+        self.congested_intervals
+    }
+
+    pub fn clear_intervals(&self) -> u64 {
+        self.clear_intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AimdConfig {
+        AimdConfig { increase: 2.0, decrease: 0.5, min: 1.0, max: 64.0 }
+    }
+
+    #[test]
+    fn additive_increase() {
+        let mut a = Aimd::new(4.0, cfg());
+        assert_eq!(a.observe(false), 6);
+        assert_eq!(a.observe(false), 8);
+        assert_eq!(a.clear_intervals(), 2);
+    }
+
+    #[test]
+    fn multiplicative_decrease() {
+        let mut a = Aimd::new(32.0, cfg());
+        assert_eq!(a.observe(true), 16);
+        assert_eq!(a.observe(true), 8);
+        assert_eq!(a.congested_intervals(), 2);
+    }
+
+    #[test]
+    fn clamps_at_bounds() {
+        let mut a = Aimd::new(63.0, cfg());
+        assert_eq!(a.observe(false), 64);
+        assert_eq!(a.observe(false), 64);
+        let mut a = Aimd::new(1.5, cfg());
+        assert_eq!(a.observe(true), 1);
+        assert_eq!(a.observe(true), 1);
+    }
+
+    #[test]
+    fn sawtooth_converges_around_capacity() {
+        // Simulate a system that is congested above 20 concurrent.
+        let mut a = Aimd::new(1.0, AimdConfig { increase: 1.0, decrease: 0.5, min: 1.0, max: 256.0 });
+        let mut seen_max = 0usize;
+        for _ in 0..200 {
+            let lim = a.limit();
+            seen_max = seen_max.max(lim);
+            a.observe(lim > 20);
+        }
+        // The sawtooth should oscillate near the knee, never running away.
+        assert!(seen_max <= 22, "ran away to {seen_max}");
+        assert!(a.limit() >= 10, "collapsed to {}", a.limit());
+    }
+
+    #[test]
+    fn initial_clamped() {
+        let a = Aimd::new(1000.0, cfg());
+        assert_eq!(a.limit(), 64);
+    }
+}

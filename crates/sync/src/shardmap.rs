@@ -1,0 +1,337 @@
+//! A sharded concurrent hash map.
+//!
+//! The paper's container pool is "implemented using the `dashmap` crate,
+//! which is a concurrent associative hashmap — this provides noticeable
+//! latency improvements compared to a mutex or read-write lock" (§5). We
+//! build the same structure from scratch: the key space is split across
+//! `2^k` independently locked shards so that concurrent invocations touching
+//! different functions never contend.
+
+use parking_lot::RwLock;
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+/// FxHash: the multiply-xor hash used throughout rustc. Keys in the control
+/// plane are short strings (function FQNs) and small integers (container
+/// ids); Fx beats SipHash by a wide margin there and HashDoS is irrelevant
+/// for a trusted in-process map.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Number of shards. 32 is enough to make contention negligible for the
+/// worker's thread counts (tens of dispatch threads) while keeping the
+/// memory overhead of empty maps trivial.
+const SHARD_BITS: u32 = 5;
+const NUM_SHARDS: usize = 1 << SHARD_BITS;
+
+/// A concurrent hash map sharded over [`NUM_SHARDS`] reader-writer locks.
+///
+/// Values are returned by clone; in the control plane they are `Arc`s, so a
+/// lookup is a refcount bump and the lock is never held across user code.
+pub struct ShardedMap<K, V> {
+    shards: Box<[RwLock<HashMap<K, V, FxBuildHasher>>]>,
+    hasher: FxBuildHasher,
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    pub fn new() -> Self {
+        let shards = (0..NUM_SHARDS)
+            .map(|_| RwLock::new(HashMap::with_hasher(FxBuildHasher::default())))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { shards, hasher: FxBuildHasher::default() }
+    }
+
+    #[inline]
+    fn shard_for<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        // Use the top bits: Fx mixes entropy upward.
+        (h.finish() >> (64 - SHARD_BITS)) as usize
+    }
+
+    /// Insert, returning the previous value if the key was present.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shards[self.shard_for(&key)].write().insert(key, value)
+    }
+
+    /// Remove, returning the value if present.
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_for(key)].write().remove(key)
+    }
+
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_for(key)].read().contains_key(key)
+    }
+
+    /// Run `f` on the value without cloning it. Returns `None` if absent.
+    pub fn get_with<Q, R>(&self, key: &Q, f: impl FnOnce(&V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_for(key)].read().get(key).map(f)
+    }
+
+    /// Mutate the value in place under the shard's write lock.
+    pub fn update<Q, R>(&self, key: &Q, f: impl FnOnce(&mut V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_for(key)].write().get_mut(key).map(f)
+    }
+
+    /// Get the value for `key`, inserting `default()` first if absent, then
+    /// run `f` on a mutable reference to it.
+    pub fn update_or_insert<R>(
+        &self,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        let mut shard = self.shards[self.shard_for(&key)].write();
+        f(shard.entry(key).or_insert_with(default))
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
+    }
+
+    /// Remove every entry for which `pred` returns false.
+    pub fn retain(&self, mut pred: impl FnMut(&K, &mut V) -> bool) {
+        for s in self.shards.iter() {
+            s.write().retain(|k, v| pred(k, v));
+        }
+    }
+
+    /// Visit every entry under shard read locks. `f` must not re-enter the
+    /// map for the same shard (it would deadlock on the shard lock).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in self.shards.iter() {
+            for (k, v) in s.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedMap<K, V> {
+    /// Lookup by clone — for `Arc` values this is a refcount bump.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_for(key)].read().get(key).cloned()
+    }
+
+    /// A point-in-time copy of all entries. Consistent per shard, not
+    /// globally — fine for metrics and eviction scans.
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in self.shards.iter() {
+            for (k, v) in s.read().iter() {
+                out.push((k.clone(), v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Clone of all keys.
+    pub fn keys(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in self.shards.iter() {
+            out.extend(s.read().keys().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn insert_get_remove() {
+        let m: ShardedMap<String, u32> = ShardedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a".into(), 1), None);
+        assert_eq!(m.insert("a".into(), 2), Some(1));
+        assert_eq!(m.get("a"), Some(2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove("a"), Some(2));
+        assert_eq!(m.get("a"), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn update_in_place() {
+        let m: ShardedMap<&'static str, Vec<u32>> = ShardedMap::new();
+        m.insert("k", vec![]);
+        m.update("k", |v| v.push(7));
+        assert_eq!(m.get_with("k", |v| v.len()), Some(1));
+        assert_eq!(m.update("missing", |v| v.push(0)), None);
+    }
+
+    #[test]
+    fn update_or_insert_creates_default() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        let r = m.update_or_insert(9, || 100, |v| {
+            *v += 1;
+            *v
+        });
+        assert_eq!(r, 101);
+        let r = m.update_or_insert(9, || 100, |v| {
+            *v += 1;
+            *v
+        });
+        assert_eq!(r, 102);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        m.retain(|_, v| *v % 2 == 0);
+        assert_eq!(m.len(), 50);
+        assert!(m.get(&2).is_some());
+        assert!(m.get(&3).is_none());
+    }
+
+    #[test]
+    fn snapshot_and_keys() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        for i in 0..10 {
+            m.insert(i, i * 10);
+        }
+        let mut snap = m.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap.len(), 10);
+        assert_eq!(snap[3], (3, 30));
+        let mut keys = m.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        m.insert(t * 1000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.len(), 8000);
+    }
+
+    #[test]
+    fn concurrent_update_or_insert_is_atomic() {
+        let m: Arc<ShardedMap<&'static str, u64>> = Arc::new(ShardedMap::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.update_or_insert("ctr", || 0, |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.get("ctr"), Some(80_000));
+    }
+
+    #[test]
+    fn fx_hash_spreads_shards() {
+        let m: ShardedMap<u64, ()> = ShardedMap::new();
+        let mut used = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            used.insert(m.shard_for(&i));
+        }
+        // All 32 shards should be hit by a few thousand sequential keys.
+        assert_eq!(used.len(), NUM_SHARDS);
+    }
+}

@@ -1,0 +1,191 @@
+//! Background task execution.
+//!
+//! §3.3: the worker handles "various aspects of the function's lifecycle
+//! asynchronously off the critical path ... through background worker
+//! threads for certain tasks". [`TaskPool`] provides:
+//!
+//! * a pool of job threads consuming one-off closures from a crossbeam
+//!   channel (result logging, container teardown, metric flushes), and
+//! * named periodic tasks on dedicated timer threads (keep-alive eviction
+//!   sweeps, AIMD control intervals, status reporting).
+//!
+//! Shutdown is cooperative: periodic tasks observe a shared flag between
+//! ticks, job threads drain the channel and exit when it disconnects.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of background job threads plus registered periodic tasks.
+pub struct TaskPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    periodic: Mutex<Vec<JoinHandle<()>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TaskPool {
+    /// Spawn `threads` job-consumer threads.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("iluvatar-bg-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn background worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+            periodic: Mutex::new(Vec::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Queue a one-off job. Returns false if the pool is shutting down.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Run `tick` every `period`, starting one period from now, on a
+    /// dedicated thread named `name`. The task stops at pool shutdown.
+    pub fn spawn_periodic(
+        &self,
+        name: &str,
+        period: Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) {
+        let shutdown = Arc::clone(&self.shutdown);
+        let handle = std::thread::Builder::new()
+            .name(format!("iluvatar-{name}"))
+            .spawn(move || {
+                // Sleep in short slices so shutdown latency stays bounded
+                // even for long periods.
+                let slice = period.min(Duration::from_millis(50));
+                let mut acc = Duration::ZERO;
+                loop {
+                    while acc < period {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(slice);
+                        acc += slice;
+                    }
+                    acc = Duration::ZERO;
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    tick();
+                }
+            })
+            .expect("spawn periodic task");
+        self.periodic.lock().push(handle);
+    }
+
+    /// True once [`TaskPool::shutdown`] has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Stop periodic tasks, drain queued jobs, and join all threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the sender disconnects job threads after the drain.
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.periodic.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn jobs_run() {
+        let pool = TaskPool::new(4);
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let n = Arc::clone(&n);
+            assert!(pool.spawn(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // shutdown drains the queue
+        assert_eq!(n.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn periodic_ticks() {
+        let pool = TaskPool::new(1);
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        pool.spawn_periodic("test-tick", Duration::from_millis(10), move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        drop(pool);
+        let ticks = n.load(Ordering::SeqCst);
+        assert!(ticks >= 3, "expected a few ticks, got {ticks}");
+    }
+
+    #[test]
+    fn spawn_after_shutdown_fails() {
+        let mut pool = TaskPool::new(1);
+        pool.shutdown();
+        assert!(!pool.spawn(|| {}));
+        assert!(pool.is_shutting_down());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut pool = TaskPool::new(2);
+        pool.spawn(|| {});
+        pool.shutdown();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = TaskPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let (b, n) = (Arc::clone(&barrier), Arc::clone(&n));
+            pool.spawn(move || {
+                // All four must rendezvous — only possible with >= 4 threads.
+                b.wait();
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! A token-bucket rate limiter over an abstract [`Clock`].
+//!
+//! Used by the queue regulator to cap the discharge rate of invocations into
+//! the container backend ("other factors can also be used to regulate the
+//! queue discharge rate", §4.1), and by the load generator to shape open-loop
+//! arrival processes.
+
+use crate::clock::{Clock, TimeMs};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct State {
+    tokens: f64,
+    last_refill: TimeMs,
+}
+
+/// Token bucket: refills at `rate_per_sec`, holds at most `burst` tokens.
+pub struct TokenBucket {
+    rate_per_ms: f64,
+    burst: f64,
+    state: Mutex<State>,
+    clock: Arc<dyn Clock>,
+}
+
+impl TokenBucket {
+    pub fn new(rate_per_sec: f64, burst: f64, clock: Arc<dyn Clock>) -> Self {
+        assert!(rate_per_sec > 0.0 && burst > 0.0);
+        let now = clock.now_ms();
+        Self {
+            rate_per_ms: rate_per_sec / 1000.0,
+            burst,
+            state: Mutex::new(State { tokens: burst, last_refill: now }),
+            clock,
+        }
+    }
+
+    fn refill(&self, st: &mut State) {
+        let now = self.clock.now_ms();
+        let elapsed = now.saturating_sub(st.last_refill) as f64;
+        st.tokens = (st.tokens + elapsed * self.rate_per_ms).min(self.burst);
+        st.last_refill = now;
+    }
+
+    /// Take one token if available.
+    pub fn try_take(&self) -> bool {
+        self.try_take_n(1.0)
+    }
+
+    /// Take `n` tokens if available.
+    pub fn try_take_n(&self, n: f64) -> bool {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        if st.tokens >= n {
+            st.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Milliseconds until `n` tokens will be available (0 if already).
+    pub fn wait_hint_ms(&self, n: f64) -> u64 {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        if st.tokens >= n {
+            0
+        } else {
+            ((n - st.tokens) / self.rate_per_ms).ceil() as u64
+        }
+    }
+
+    /// Current token count (post-refill).
+    pub fn tokens(&self) -> f64 {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        st.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn bucket(rate: f64, burst: f64) -> (Arc<ManualClock>, TokenBucket) {
+        let clock = Arc::new(ManualClock::new());
+        let tb = TokenBucket::new(rate, burst, clock.clone());
+        (clock, tb)
+    }
+
+    #[test]
+    fn starts_full() {
+        let (_c, tb) = bucket(10.0, 5.0);
+        for _ in 0..5 {
+            assert!(tb.try_take());
+        }
+        assert!(!tb.try_take());
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let (c, tb) = bucket(10.0, 5.0); // 10 tokens/sec
+        for _ in 0..5 {
+            tb.try_take();
+        }
+        assert!(!tb.try_take());
+        c.advance(100); // 1 token
+        assert!(tb.try_take());
+        assert!(!tb.try_take());
+    }
+
+    #[test]
+    fn burst_caps_refill() {
+        let (c, tb) = bucket(1000.0, 3.0);
+        c.advance(60_000);
+        assert!((tb.tokens() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_hint_accurate() {
+        let (c, tb) = bucket(10.0, 1.0);
+        assert!(tb.try_take());
+        let hint = tb.wait_hint_ms(1.0);
+        assert_eq!(hint, 100);
+        c.advance(hint);
+        assert!(tb.try_take());
+    }
+
+    #[test]
+    fn take_n_fractional() {
+        let (_c, tb) = bucket(10.0, 2.5);
+        assert!(tb.try_take_n(2.5));
+        assert!(!tb.try_take_n(0.1));
+    }
+}

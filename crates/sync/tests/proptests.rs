@@ -1,0 +1,130 @@
+//! Property-based tests for the concurrency substrates.
+
+use iluvatar_sync::stats::{percentile, Histogram, MovingWindow, Welford};
+use iluvatar_sync::{Aimd, ManualClock, ShardedMap, TokenBucket};
+use iluvatar_sync::aimd::AimdConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+proptest! {
+    /// ShardedMap must agree with a reference HashMap under any sequence of
+    /// insert/remove/update operations.
+    #[test]
+    fn shardmap_matches_hashmap(ops in proptest::collection::vec((0u8..4, 0u16..64, any::<u32>()), 1..200)) {
+        let sm: ShardedMap<u16, u32> = ShardedMap::new();
+        let mut hm: HashMap<u16, u32> = HashMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(sm.insert(k, v), hm.insert(k, v));
+                }
+                1 => {
+                    prop_assert_eq!(sm.remove(&k), hm.remove(&k));
+                }
+                2 => {
+                    prop_assert_eq!(sm.get(&k), hm.get(&k).copied());
+                }
+                _ => {
+                    let a = sm.update(&k, |x| { *x = x.wrapping_add(1); *x });
+                    let b = hm.get_mut(&k).map(|x| { *x = x.wrapping_add(1); *x });
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(sm.len(), hm.len());
+        }
+        let mut snap = sm.snapshot();
+        snap.sort_unstable();
+        let mut expect: Vec<_> = hm.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(snap, expect);
+    }
+
+    /// Welford mean/variance must match the two-pass closed form.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() < 1e-4 * var.abs().max(1.0));
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max.
+    #[test]
+    fn percentile_monotone(xs in proptest::collection::vec(-1e9f64..1e9, 1..100),
+                           q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = percentile(&xs, lo);
+        let p_hi = percentile(&xs, hi);
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_lo >= min - 1e-9 && p_hi <= max + 1e-9);
+    }
+
+    /// MovingWindow statistics are always over the last `cap` samples.
+    #[test]
+    fn moving_window_is_suffix(cap in 1usize..20, xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut mw = MovingWindow::new(cap);
+        for &x in &xs {
+            mw.push(x);
+        }
+        let suffix: Vec<f64> = xs.iter().rev().take(cap).copied().collect();
+        let mean = suffix.iter().sum::<f64>() / suffix.len() as f64;
+        prop_assert!((mw.mean() - mean).abs() < 1e-9);
+        prop_assert_eq!(mw.last(), Some(*xs.last().unwrap()));
+        prop_assert_eq!(mw.len(), xs.len().min(cap));
+    }
+
+    /// AIMD limit always stays within [min, max] clamps.
+    #[test]
+    fn aimd_respects_clamps(signals in proptest::collection::vec(any::<bool>(), 1..500),
+                            init in 1.0f64..100.0) {
+        let cfg = AimdConfig { increase: 1.0, decrease: 0.5, min: 2.0, max: 48.0 };
+        let mut a = Aimd::new(init, cfg);
+        for s in signals {
+            let lim = a.observe(s);
+            prop_assert!(lim >= 2 && lim <= 48, "limit {lim} out of clamp");
+        }
+    }
+
+    /// A token bucket never grants more than burst + rate * elapsed tokens.
+    #[test]
+    fn token_bucket_conserves(advances in proptest::collection::vec(0u64..500, 1..60)) {
+        let clock = Arc::new(ManualClock::new());
+        let rate = 100.0; // per second
+        let burst = 10.0;
+        let tb = TokenBucket::new(rate, burst, clock.clone());
+        let mut granted = 0u64;
+        let mut elapsed = 0u64;
+        for adv in advances {
+            clock.advance(adv);
+            elapsed += adv;
+            while tb.try_take() {
+                granted += 1;
+            }
+        }
+        let budget = burst + rate * elapsed as f64 / 1000.0;
+        prop_assert!((granted as f64) <= budget + 1e-6,
+            "granted {granted} > budget {budget}");
+    }
+
+    /// Histogram total equals the number of recorded samples and the
+    /// bucketed quantile is monotone.
+    #[test]
+    fn histogram_invariants(xs in proptest::collection::vec(0.0f64..500.0, 1..300)) {
+        let mut h = Histogram::new(10.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let in_buckets: u64 = h.counts().iter().sum();
+        prop_assert_eq!(in_buckets + h.overflow(), h.total());
+        prop_assert!(h.quantile_lower_edge(0.25) <= h.quantile_lower_edge(0.75));
+    }
+}

@@ -1,0 +1,372 @@
+//! Synthetic Azure-Functions-like trace generation.
+//!
+//! Reproduces the published marginals of the Azure 2019 dataset that the
+//! evaluation depends on (§2, §6):
+//!
+//! * extreme popularity skew — "a tiny 1% of functions account for nearly
+//!   90% of all invocations, with an IAT of under a minute", while "over
+//!   half of all functions have an inter-arrival time over 30 minutes";
+//! * execution times whose 50th–95th percentiles span ~1 s to ~1 min;
+//! * memory recorded per *application* and split evenly across the app's
+//!   functions;
+//! * invocations delivered in minute buckets: a single invocation lands at
+//!   the start of its minute, multiple invocations are equally spaced
+//!   through it (the paper's replay rule);
+//! * optional diurnal modulation matching the day-scale wave of the full
+//!   trace (App. Fig. "whole trace").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One function of the synthetic population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    /// Stable identifier, e.g. `app12-fn3`.
+    pub fqdn: String,
+    /// Owning application (memory is tracked per app).
+    pub app: u32,
+    /// Mean inter-arrival time of this function's Poisson process, ms.
+    pub mean_iat_ms: f64,
+    /// Warm execution time, ms.
+    pub warm_ms: u64,
+    /// Initialization overhead (the cold-start penalty), ms. Estimated in
+    /// the paper as `maximum - average` runtime.
+    pub init_ms: u64,
+    /// Per-function memory: the app allocation split evenly.
+    pub memory_mb: u64,
+    /// Whether this function's rate follows the diurnal wave.
+    pub diurnal: bool,
+}
+
+impl FunctionProfile {
+    pub fn cold_ms(&self) -> u64 {
+        self.warm_ms + self.init_ms
+    }
+}
+
+/// One invocation in the replayable trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Arrival time since trace start, ms.
+    pub time_ms: u64,
+    /// Index into the profile table.
+    pub func: u32,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AzureTraceConfig {
+    /// Number of applications; each has 1–4 functions.
+    pub apps: usize,
+    /// Trace duration, ms (default: one day, matching "we use the first
+    /// day's data").
+    pub duration_ms: u64,
+    /// RNG seed: the population and arrivals are fully reproducible.
+    pub seed: u64,
+    /// Fraction of functions carrying the diurnal wave.
+    pub diurnal_fraction: f64,
+    /// Global rate multiplier — the Little's-law load scaling hook (§5):
+    /// scale IATs to match the system under test.
+    pub rate_scale: f64,
+}
+
+impl Default for AzureTraceConfig {
+    fn default() -> Self {
+        Self {
+            apps: 400,
+            duration_ms: 24 * 3600 * 1000,
+            seed: 0xA22E,
+            diurnal_fraction: 0.25,
+            rate_scale: 1.0,
+        }
+    }
+}
+
+/// A generated population plus its replayable event stream.
+#[derive(Debug, Clone)]
+pub struct SyntheticAzureTrace {
+    pub profiles: Vec<FunctionProfile>,
+    /// Sorted by time.
+    pub events: Vec<TraceEvent>,
+    pub duration_ms: u64,
+}
+
+/// Draw from LogUniform(lo, hi).
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo);
+    (rng.gen_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Sample one function's mean IAT from the popularity mixture.
+fn sample_iat_ms(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen();
+    if u < 0.01 {
+        // Heavy hitters: sub-minute IATs, dominating total invocations.
+        log_uniform(rng, 100.0, 30_000.0)
+    } else if u < 0.15 {
+        // Warm-friendly middle class: 30 s – 5 min.
+        log_uniform(rng, 30_000.0, 300_000.0)
+    } else if u < 0.55 {
+        // The TTL-sensitive bulk: 5 – 40 min idle between invocations —
+        // cold forever under a 10-minute TTL, trivially warm for any
+        // work-conserving policy with memory to spare.
+        log_uniform(rng, 300_000.0, 2_400_000.0)
+    } else {
+        // The long tail: 40 min – 12 h.
+        log_uniform(rng, 2_400_000.0, 12.0 * 3600_000.0)
+    }
+}
+
+/// Sample a warm execution time, ms, conditioned on the function's mean
+/// IAT: frequently invoked functions are short interactive handlers, while
+/// long runtimes (up to the trace's ~1 min tail) appear only among rarer
+/// functions. Capping warm time at half the IAT also bounds the steady
+/// concurrency any single function needs (Little's law ≤ 0.5).
+fn sample_warm_ms(rng: &mut StdRng, mean_iat_ms: f64) -> u64 {
+    let hi = (mean_iat_ms * 0.5).clamp(250.0, 80_000.0);
+    log_uniform(rng, 100.0, hi).round().max(1.0) as u64
+}
+
+/// Diurnal rate multiplier at `t` (period = 1 day): a smooth day/night wave
+/// between 0.4× and 1.6×.
+pub fn diurnal_factor(t_ms: u64) -> f64 {
+    let day = 24.0 * 3600_000.0;
+    let phase = 2.0 * std::f64::consts::PI * (t_ms as f64 % day) / day;
+    1.0 + 0.6 * phase.sin()
+}
+
+impl SyntheticAzureTrace {
+    /// Generate the population and one day of arrivals.
+    pub fn generate(cfg: &AzureTraceConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut profiles = Vec::new();
+        for app in 0..cfg.apps as u32 {
+            let fns = rng.gen_range(1..=4usize);
+            // App-level memory split evenly across its functions
+            // (geometric mean ≈ 190 MB, matching the trace's skew toward
+            // small applications).
+            let app_mem = log_uniform(&mut rng, 48.0, 768.0) as u64;
+            let per_fn_mem = (app_mem / fns as u64).max(32);
+            let diurnal = rng.gen_bool(cfg.diurnal_fraction);
+            for i in 0..fns {
+                let mean_iat_ms = sample_iat_ms(&mut rng) / cfg.rate_scale;
+                let warm_ms = sample_warm_ms(&mut rng, mean_iat_ms);
+                // Cold penalty: a fraction-to-multiple of warm time,
+                // right-skewed — the paper's `max − avg` estimate, which it
+                // notes "ends up with pretty small startup overheads".
+                let init_ms = (warm_ms as f64 * log_uniform(&mut rng, 0.1, 2.0)) as u64;
+                profiles.push(FunctionProfile {
+                    fqdn: format!("app{app}-fn{i}"),
+                    app,
+                    mean_iat_ms,
+                    warm_ms,
+                    init_ms,
+                    memory_mb: per_fn_mem,
+                    diurnal,
+                });
+            }
+        }
+        let events = Self::arrivals(&profiles, cfg.duration_ms, &mut rng);
+        Self { profiles, events, duration_ms: cfg.duration_ms }
+    }
+
+    /// Regenerate the event stream for an existing (sub)population.
+    pub fn regenerate_events(
+        profiles: Vec<FunctionProfile>,
+        duration_ms: u64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events = Self::arrivals(&profiles, duration_ms, &mut rng);
+        Self { profiles, events, duration_ms }
+    }
+
+    /// Poisson arrivals per function (thinned by the diurnal wave where
+    /// enabled), then minute-bucketed and re-spread per the replay rule.
+    fn arrivals(profiles: &[FunctionProfile], duration_ms: u64, rng: &mut StdRng) -> Vec<TraceEvent> {
+        // Minute buckets: counts per (function, minute).
+        let minutes = (duration_ms / 60_000).max(1) as usize;
+        let mut events = Vec::new();
+        for (idx, p) in profiles.iter().enumerate() {
+            let mut counts = vec![0u32; minutes];
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival; thinning for diurnal functions.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -p.mean_iat_ms * u.ln();
+                if t >= duration_ms as f64 {
+                    break;
+                }
+                if p.diurnal && rng.gen::<f64>() > diurnal_factor(t as u64) / 1.6 {
+                    continue;
+                }
+                let m = (t / 60_000.0) as usize;
+                if m < minutes {
+                    counts[m] += 1;
+                }
+            }
+            // Replay rule: 1 invocation at minute start; k invocations
+            // equally spaced through the minute.
+            for (m, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let base = m as u64 * 60_000;
+                if c == 1 {
+                    events.push(TraceEvent { time_ms: base, func: idx as u32 });
+                } else {
+                    let step = 60_000 / c as u64;
+                    for k in 0..c as u64 {
+                        events.push(TraceEvent { time_ms: base + k * step, func: idx as u32 });
+                    }
+                }
+            }
+        }
+        events.sort_by_key(|e| e.time_ms);
+        events
+    }
+
+    /// Total invocations per function index.
+    pub fn invocations_per_function(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.profiles.len()];
+        for e in &self.events {
+            counts[e.func as usize] += 1;
+        }
+        counts
+    }
+
+    /// Invocations per second over `bucket_ms` windows — the appendix
+    /// timeseries figures.
+    pub fn rate_timeseries(&self, bucket_ms: u64) -> Vec<f64> {
+        assert!(bucket_ms > 0);
+        let buckets = (self.duration_ms / bucket_ms + 1) as usize;
+        let mut counts = vec![0u64; buckets];
+        for e in &self.events {
+            counts[(e.time_ms / bucket_ms) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 * 1000.0 / bucket_ms as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticAzureTrace {
+        SyntheticAzureTrace::generate(&AzureTraceConfig {
+            apps: 120,
+            duration_ms: 2 * 3600 * 1000, // 2h keeps tests fast
+            seed: 7,
+            diurnal_fraction: 0.2,
+            rate_scale: 1.0,
+        })
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events.first(), b.events.first());
+        assert_eq!(a.profiles.len(), b.profiles.len());
+    }
+
+    #[test]
+    fn events_sorted_and_in_range() {
+        let t = small();
+        assert!(!t.events.is_empty());
+        let mut prev = 0;
+        for e in &t.events {
+            assert!(e.time_ms >= prev, "events must be time-sorted");
+            assert!(e.time_ms < t.duration_ms);
+            assert!((e.func as usize) < t.profiles.len());
+            prev = e.time_ms;
+        }
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let t = SyntheticAzureTrace::generate(&AzureTraceConfig {
+            apps: 400,
+            duration_ms: 24 * 3600 * 1000,
+            seed: 11,
+            diurnal_fraction: 0.0,
+            rate_scale: 1.0,
+        });
+        let mut counts = t.invocations_per_function();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top5pct: u64 = counts.iter().take(counts.len() / 20).sum();
+        assert!(
+            top5pct as f64 / total as f64 > 0.5,
+            "top 5% of functions should dominate: {top5pct}/{total}"
+        );
+        // And the long tail: many functions with >30min IATs → <48/day.
+        let rare = counts.iter().filter(|&&c| c < 48).count();
+        assert!(rare as f64 / counts.len() as f64 > 0.3, "rare fraction {rare}");
+    }
+
+    #[test]
+    fn minute_bucket_replay_rule() {
+        // A single-function trace with a slow rate: every event lands at a
+        // minute boundary (single invocations inject at minute start).
+        let profiles = vec![FunctionProfile {
+            fqdn: "app0-fn0".into(),
+            app: 0,
+            mean_iat_ms: 10.0 * 60_000.0,
+            warm_ms: 1000,
+            init_ms: 500,
+            memory_mb: 128,
+            diurnal: false,
+        }];
+        let t = SyntheticAzureTrace::regenerate_events(profiles, 6 * 3600 * 1000, 3);
+        assert!(!t.events.is_empty());
+        let singles = t.events.iter().filter(|e| e.time_ms % 60_000 == 0).count();
+        assert!(
+            singles as f64 / t.events.len() as f64 > 0.8,
+            "slow functions mostly inject at minute starts"
+        );
+    }
+
+    #[test]
+    fn memory_split_across_app() {
+        let t = small();
+        // All functions of an app share the same per-function allocation.
+        for w in t.profiles.windows(2) {
+            if w[0].app == w[1].app {
+                assert_eq!(w[0].memory_mb, w[1].memory_mb);
+            }
+        }
+        assert!(t.profiles.iter().all(|p| p.memory_mb >= 32));
+    }
+
+    #[test]
+    fn rate_scale_multiplies_load() {
+        let base = AzureTraceConfig { apps: 100, duration_ms: 3600_000, seed: 5, diurnal_fraction: 0.0, rate_scale: 1.0 };
+        let slow = SyntheticAzureTrace::generate(&base);
+        let fast = SyntheticAzureTrace::generate(&AzureTraceConfig { rate_scale: 4.0, ..base });
+        let r = fast.events.len() as f64 / slow.events.len() as f64;
+        assert!(r > 2.5 && r < 6.0, "4x rate scale gave {r}x events");
+    }
+
+    #[test]
+    fn diurnal_factor_waves() {
+        assert!((diurnal_factor(0) - 1.0).abs() < 1e-9);
+        let peak = diurnal_factor(6 * 3600_000); // quarter day
+        let trough = diurnal_factor(18 * 3600_000);
+        assert!(peak > 1.5 && trough < 0.5);
+    }
+
+    #[test]
+    fn timeseries_covers_duration() {
+        let t = small();
+        let ts = t.rate_timeseries(60_000);
+        assert_eq!(ts.len() as u64, t.duration_ms / 60_000 + 1);
+        let total_from_ts: f64 = ts.iter().sum::<f64>() * 60.0;
+        assert!((total_from_ts - t.events.len() as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Importer for the real Azure Functions 2019 dataset.
+//!
+//! The synthetic generator ([`crate::azure`]) stands in for the dataset in
+//! this repository, but users who download Microsoft's actual release
+//! (`AzureFunctionsDataset2019`) can load it here and drive every
+//! experiment with the genuine trace. Three CSV schemas are consumed, as
+//! described in the dataset's README:
+//!
+//! * `invocations_per_function_md.anon.d01.csv` — `HashOwner, HashApp,
+//!   HashFunction, Trigger, 1, 2, …, 1440` (per-minute invocation counts);
+//! * `function_durations_percentiles.anon.d01.csv` — per-function
+//!   `Average, Count, Minimum, Maximum, percentile_* …` execution times;
+//! * `app_memory_percentiles.anon.d01.csv` — per-app `AverageAllocatedMb`.
+//!
+//! The adaptation rules follow §6 exactly: functions with fewer than two
+//! invocations are discarded, app memory is split evenly across the app's
+//! functions, the cold-start penalty is estimated as `Maximum − Average`
+//! duration, and minute-bucket counts are replayed with one invocation at
+//! the minute start or `k` equally spaced.
+
+use crate::azure::{FunctionProfile, SyntheticAzureTrace, TraceEvent};
+use std::collections::HashMap;
+
+/// Import failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// Header missing a required column.
+    MissingColumn(&'static str),
+    /// A row had too few fields.
+    ShortRow(usize),
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: String },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingColumn(c) => write!(f, "missing column {c}"),
+            CsvError::ShortRow(l) => write!(f, "short row at line {l}"),
+            CsvError::BadNumber { line, field } => {
+                write!(f, "bad number {field:?} at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split a CSV line (the Azure files are plain comma-separated, unquoted).
+fn fields(line: &str) -> Vec<&str> {
+    line.split(',').map(|s| s.trim()).collect()
+}
+
+fn col(header: &[&str], name: &'static str) -> Result<usize, CsvError> {
+    header
+        .iter()
+        .position(|&h| h.eq_ignore_ascii_case(name))
+        .ok_or(CsvError::MissingColumn(name))
+}
+
+fn parse_num(s: &str, line: usize) -> Result<f64, CsvError> {
+    s.parse()
+        .map_err(|_| CsvError::BadNumber { line, field: s.to_string() })
+}
+
+/// Per-minute invocation counts for one function.
+#[derive(Debug)]
+pub struct InvocationRow {
+    pub app: String,
+    pub function: String,
+    /// 1440 per-minute counts (one day).
+    pub counts: Vec<u32>,
+}
+
+/// Parse the invocations-per-function CSV.
+pub fn parse_invocations(csv: &str) -> Result<Vec<InvocationRow>, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::ShortRow(0))?;
+    let header = fields(header);
+    let app_i = col(&header, "HashApp")?;
+    let func_i = col(&header, "HashFunction")?;
+    let first_min = col(&header, "1")?;
+    let mut out = Vec::new();
+    for (ln, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = fields(line);
+        if f.len() <= first_min {
+            return Err(CsvError::ShortRow(ln + 1));
+        }
+        let counts = f[first_min..]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| parse_num(s, ln + 1).map(|v| v as u32).map_err(|_| CsvError::BadNumber {
+                line: ln + 1,
+                field: f[first_min + i].to_string(),
+            }))
+            .collect::<Result<Vec<u32>, _>>()?;
+        out.push(InvocationRow {
+            app: f[app_i].to_string(),
+            function: f[func_i].to_string(),
+            counts,
+        });
+    }
+    Ok(out)
+}
+
+/// Per-function duration stats (ms).
+#[derive(Debug)]
+pub struct DurationRow {
+    pub function: String,
+    pub average_ms: f64,
+    pub maximum_ms: f64,
+}
+
+/// Parse the durations CSV.
+pub fn parse_durations(csv: &str) -> Result<Vec<DurationRow>, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::ShortRow(0))?;
+    let header = fields(header);
+    let func_i = col(&header, "HashFunction")?;
+    let avg_i = col(&header, "Average")?;
+    let max_i = col(&header, "Maximum")?;
+    let mut out = Vec::new();
+    for (ln, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = fields(line);
+        let need = func_i.max(avg_i).max(max_i);
+        if f.len() <= need {
+            return Err(CsvError::ShortRow(ln + 1));
+        }
+        out.push(DurationRow {
+            function: f[func_i].to_string(),
+            average_ms: parse_num(f[avg_i], ln + 1)?,
+            maximum_ms: parse_num(f[max_i], ln + 1)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Per-app memory (MB).
+#[derive(Debug)]
+pub struct MemoryRow {
+    pub app: String,
+    pub average_mb: f64,
+}
+
+/// Parse the app-memory CSV.
+pub fn parse_memory(csv: &str) -> Result<Vec<MemoryRow>, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::ShortRow(0))?;
+    let header = fields(header);
+    let app_i = col(&header, "HashApp")?;
+    let mem_i = col(&header, "AverageAllocatedMb")?;
+    let mut out = Vec::new();
+    for (ln, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = fields(line);
+        if f.len() <= app_i.max(mem_i) {
+            return Err(CsvError::ShortRow(ln + 1));
+        }
+        out.push(MemoryRow {
+            app: f[app_i].to_string(),
+            average_mb: parse_num(f[mem_i], ln + 1)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Assemble the three parsed files into a replayable trace, applying the
+/// paper's adaptation rules (§6).
+pub fn assemble(
+    invocations: Vec<InvocationRow>,
+    durations: Vec<DurationRow>,
+    memory: Vec<MemoryRow>,
+) -> SyntheticAzureTrace {
+    let dur_by_fn: HashMap<&str, &DurationRow> =
+        durations.iter().map(|d| (d.function.as_str(), d)).collect();
+    let mem_by_app: HashMap<&str, f64> =
+        memory.iter().map(|m| (m.app.as_str(), m.average_mb)).collect();
+    // Functions per app, to split the app allocation evenly.
+    let mut fns_per_app: HashMap<&str, u64> = HashMap::new();
+    for r in &invocations {
+        *fns_per_app.entry(r.app.as_str()).or_insert(0) += 1;
+    }
+
+    let mut app_ids: HashMap<String, u32> = HashMap::new();
+    let mut profiles = Vec::new();
+    let mut events = Vec::new();
+    for row in &invocations {
+        let total: u64 = row.counts.iter().map(|&c| c as u64).sum();
+        if total < 2 {
+            continue; // "we do not consider functions that are never reused"
+        }
+        let dur = dur_by_fn.get(row.function.as_str());
+        let average_ms = dur.map(|d| d.average_ms).unwrap_or(1_000.0).max(1.0);
+        let maximum_ms = dur.map(|d| d.maximum_ms).unwrap_or(average_ms);
+        // Cold penalty: maximum − average (§6).
+        let init_ms = (maximum_ms - average_ms).max(0.0) as u64;
+        let next_app = app_ids.len() as u32;
+        let app_id = *app_ids.entry(row.app.clone()).or_insert(next_app);
+        let app_mem = mem_by_app.get(row.app.as_str()).copied().unwrap_or(170.0);
+        let split = fns_per_app.get(row.app.as_str()).copied().unwrap_or(1).max(1);
+        let minutes = row.counts.len() as u64;
+        let idx = profiles.len() as u32;
+        profiles.push(FunctionProfile {
+            fqdn: format!("{}-{}", &row.app[..row.app.len().min(8)], &row.function[..row.function.len().min(8)]),
+            app: app_id,
+            mean_iat_ms: minutes as f64 * 60_000.0 / total as f64,
+            warm_ms: average_ms as u64,
+            init_ms,
+            memory_mb: ((app_mem / split as f64) as u64).max(32),
+            diurnal: false,
+        });
+        // Replay rule: 1 invocation at minute start, k equally spaced.
+        for (m, &c) in row.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let base = m as u64 * 60_000;
+            if c == 1 {
+                events.push(TraceEvent { time_ms: base, func: idx });
+            } else {
+                let step = 60_000 / c as u64;
+                for k in 0..c as u64 {
+                    events.push(TraceEvent { time_ms: base + k * step, func: idx });
+                }
+            }
+        }
+    }
+    events.sort_by_key(|e| e.time_ms);
+    let duration_ms = invocations
+        .first()
+        .map(|r| r.counts.len() as u64 * 60_000)
+        .unwrap_or(24 * 3600 * 1000);
+    SyntheticAzureTrace { profiles, events, duration_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minute_header() -> String {
+        let mins: Vec<String> = (1..=5).map(|m| m.to_string()).collect();
+        format!("HashOwner,HashApp,HashFunction,Trigger,{}", mins.join(","))
+    }
+
+    #[test]
+    fn parses_invocations() {
+        let csv = format!(
+            "{}\nown1,appA,fn1,http,0,2,0,1,0\nown1,appA,fn2,timer,1,0,0,0,0\n",
+            minute_header()
+        );
+        let rows = parse_invocations(&csv).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].function, "fn1");
+        assert_eq!(rows[0].counts, vec![0, 2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_missing_column() {
+        let csv = "HashOwner,HashApp,Trigger,1\na,b,c,0\n";
+        assert_eq!(
+            parse_invocations(csv).unwrap_err(),
+            CsvError::MissingColumn("HashFunction")
+        );
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        let csv = format!("{}\no,a,f,t,0,xyz,0,0,0\n", minute_header());
+        assert!(matches!(
+            parse_invocations(&csv),
+            Err(CsvError::BadNumber { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_durations_and_memory() {
+        let d = "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n\
+                 o,a,fn1,1500.5,10,100,9000\n";
+        let rows = parse_durations(d).unwrap();
+        assert_eq!(rows[0].average_ms, 1500.5);
+        assert_eq!(rows[0].maximum_ms, 9000.0);
+        let m = "HashOwner,HashApp,SampleCount,AverageAllocatedMb\no,appA,42,340\n";
+        let rows = parse_memory(m).unwrap();
+        assert_eq!(rows[0].average_mb, 340.0);
+        assert_eq!(rows[0].app, "appA");
+    }
+
+    #[test]
+    fn assemble_applies_adaptation_rules() {
+        let inv = format!(
+            "{}\no,appA,fn1,http,0,3,0,0,1\no,appA,fn2,http,0,1,0,0,0\n",
+            minute_header()
+        );
+        let dur = "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n\
+                   o,appA,fn1,1000,4,900,4000\n";
+        let mem = "HashOwner,HashApp,SampleCount,AverageAllocatedMb\no,appA,9,400\n";
+        let trace = assemble(
+            parse_invocations(&inv).unwrap(),
+            parse_durations(dur).unwrap(),
+            parse_memory(mem).unwrap(),
+        );
+        // fn2 has <2 invocations → discarded.
+        assert_eq!(trace.profiles.len(), 1);
+        let p = &trace.profiles[0];
+        assert_eq!(p.warm_ms, 1000);
+        assert_eq!(p.init_ms, 3000, "max - avg");
+        assert_eq!(p.memory_mb, 200, "400MB app split over 2 functions");
+        // Replay: 3 invocations in minute 2 → equally spaced at 20s; 1 in
+        // minute 5 → at minute start.
+        let times: Vec<u64> = trace.events.iter().map(|e| e.time_ms).collect();
+        assert_eq!(times, vec![60_000, 80_000, 100_000, 240_000]);
+        assert_eq!(trace.duration_ms, 5 * 60_000);
+    }
+
+    #[test]
+    fn assemble_handles_missing_side_tables() {
+        let inv = format!("{}\no,appB,fnX,http,1,1,0,0,0\n", minute_header());
+        let trace = assemble(parse_invocations(&inv).unwrap(), vec![], vec![]);
+        assert_eq!(trace.profiles.len(), 1);
+        assert_eq!(trace.profiles[0].memory_mb, 170, "dataset-wide default");
+    }
+}

@@ -1,0 +1,97 @@
+//! `lookbusy`-style synthetic load functions.
+//!
+//! §5: the load framework "can use ... custom sized functions that run
+//! lookbusy for generating specific CPU and memory load". A lookbusy
+//! function is parameterized by its busy duration and resident memory; the
+//! in-process behavior actually spins the CPU and holds an allocation.
+
+use iluvatar_containers::agent::FunctionBehavior;
+use iluvatar_containers::{FunctionSpec, ResourceLimits};
+use std::time::{Duration, Instant};
+
+/// Parameters of one synthetic function.
+#[derive(Debug, Clone, Copy)]
+pub struct LookbusySpec {
+    /// Busy-loop duration per invocation, ms.
+    pub busy_ms: u64,
+    /// Extra one-time initialization spin, ms (cold-start cost).
+    pub init_ms: u64,
+    /// Resident memory to hold, MB.
+    pub memory_mb: u64,
+    pub cpus: f64,
+}
+
+impl LookbusySpec {
+    /// The registry spec for this synthetic function.
+    pub fn function_spec(&self, name: &str) -> FunctionSpec {
+        FunctionSpec::new(name, "1")
+            .with_image(format!("lookbusy/{name}:1"))
+            .with_limits(ResourceLimits { cpus: self.cpus, memory_mb: self.memory_mb })
+            .with_timing(self.busy_ms, self.init_ms)
+    }
+
+    /// An in-process behavior that really burns CPU for `busy_ms` and pins
+    /// `memory_mb` of heap while running; init spins for `init_ms`.
+    pub fn behavior(&self) -> FunctionBehavior {
+        let busy = Duration::from_millis(self.busy_ms);
+        let init = Duration::from_millis(self.init_ms);
+        let mem_bytes = (self.memory_mb as usize) * 1024 * 1024;
+        FunctionBehavior {
+            init: std::sync::Arc::new(move || spin_for(init)),
+            body: std::sync::Arc::new(move |_args| {
+                // Hold the working set while spinning, like lookbusy -m.
+                let held: Vec<u8> = vec![0xAB; mem_bytes.min(8 * 1024 * 1024)];
+                spin_for(busy);
+                format!("{{\"held_mb\":{},\"busy_ms\":{}}}", held.len() >> 20, busy.as_millis())
+            }),
+        }
+    }
+}
+
+/// Busy-wait (not sleep): consumes real CPU like lookbusy.
+fn spin_for(d: Duration) {
+    let start = Instant::now();
+    let mut x = 0u64;
+    while start.elapsed() < d {
+        for _ in 0..512 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        std::hint::black_box(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_carries_parameters() {
+        let lb = LookbusySpec { busy_ms: 250, init_ms: 100, memory_mb: 256, cpus: 2.0 };
+        let s = lb.function_spec("load-a");
+        assert_eq!(s.fqdn, "load-a-1");
+        assert_eq!(s.warm_exec_ms, 250);
+        assert_eq!(s.init_ms, 100);
+        assert_eq!(s.limits.memory_mb, 256);
+        assert_eq!(s.limits.cpus, 2.0);
+    }
+
+    #[test]
+    fn behavior_burns_cpu_for_duration() {
+        let lb = LookbusySpec { busy_ms: 30, init_ms: 0, memory_mb: 1, cpus: 1.0 };
+        let b = lb.behavior();
+        let start = Instant::now();
+        let out = (b.body)("");
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(28), "spun {elapsed:?}");
+        assert!(out.contains("busy_ms"));
+    }
+
+    #[test]
+    fn init_spins_separately() {
+        let lb = LookbusySpec { busy_ms: 0, init_ms: 25, memory_mb: 1, cpus: 1.0 };
+        let b = lb.behavior();
+        let start = Instant::now();
+        (b.init)();
+        assert!(start.elapsed() >= Duration::from_millis(23));
+    }
+}

@@ -1,0 +1,224 @@
+//! The three evaluation trace samples (Table 2).
+//!
+//! §6: "We use the following three trace samples:
+//! **RARE** — a random sample of 1000 of the rarest, most infrequently
+//! invoked functions (usually cold under a classic 10-minute TTL);
+//! **REPRESENTATIVE** — ~400 functions sampled from each quartile of the
+//! dataset by frequency; **RANDOM** — a random sample of 200 functions."
+
+use crate::azure::{AzureTraceConfig, SyntheticAzureTrace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which Table 2 sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    Rare,
+    Representative,
+    Random,
+}
+
+impl SampleKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SampleKind::Rare => "Rare",
+            SampleKind::Representative => "Representative",
+            SampleKind::Random => "Random",
+        }
+    }
+
+    pub fn all() -> [SampleKind; 3] {
+        [SampleKind::Representative, SampleKind::Rare, SampleKind::Random]
+    }
+}
+
+/// Aggregate statistics of a sample — the Table 2 columns.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    pub functions: usize,
+    pub invocations: u64,
+    pub reqs_per_sec: f64,
+    /// Mean IAT of the merged arrival stream, ms.
+    pub avg_iat_ms: f64,
+}
+
+/// A named sample with its regenerated event stream.
+pub struct TraceSample {
+    pub kind: SampleKind,
+    pub trace: SyntheticAzureTrace,
+}
+
+impl TraceSample {
+    /// Draw `kind` from a base population. The base should be generated
+    /// with [`base_population_config`] so quartiles are well-populated.
+    pub fn draw(kind: SampleKind, base: &SyntheticAzureTrace, seed: u64) -> Self {
+        let counts = base.invocations_per_function();
+        // Function indexes sorted by invocation count, ascending.
+        let mut by_freq: Vec<usize> = (0..base.profiles.len()).collect();
+        by_freq.sort_by_key(|&i| counts[i]);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let picked: Vec<usize> = match kind {
+            SampleKind::Rare => {
+                // The rarest active functions ("we do not consider
+                // functions that are never reused"). Capped at a third of
+                // the active population so the sample stays genuinely
+                // rare even for small synthetic bases.
+                let active: Vec<usize> =
+                    by_freq.iter().copied().filter(|&i| counts[i] >= 2).collect();
+                let n = 1000.min((active.len() / 3).max(1));
+                let pool = (n * 3 / 2).min(active.len());
+                let mut rare: Vec<usize> = active[..pool].to_vec();
+                rare.shuffle(&mut rng);
+                rare.truncate(n);
+                rare
+            }
+            SampleKind::Representative => {
+                // 98 per frequency quartile → 392 functions.
+                let active: Vec<usize> =
+                    by_freq.iter().copied().filter(|&i| counts[i] >= 2).collect();
+                let q = active.len() / 4;
+                let mut picked = Vec::new();
+                for quartile in 0..4 {
+                    let lo = quartile * q;
+                    let hi = if quartile == 3 { active.len() } else { (quartile + 1) * q };
+                    let mut slice: Vec<usize> = active[lo..hi].to_vec();
+                    slice.shuffle(&mut rng);
+                    picked.extend(slice.into_iter().take(98));
+                }
+                picked
+            }
+            SampleKind::Random => {
+                let mut all: Vec<usize> = by_freq
+                    .iter()
+                    .copied()
+                    .filter(|&i| counts[i] >= 2)
+                    .collect();
+                all.shuffle(&mut rng);
+                all.truncate(200);
+                all
+            }
+        };
+
+        let profiles = picked
+            .iter()
+            .map(|&i| base.profiles[i].clone())
+            .collect::<Vec<_>>();
+        let trace =
+            SyntheticAzureTrace::regenerate_events(profiles, base.duration_ms, seed ^ 0xDEAD);
+        Self { kind, trace }
+    }
+
+    pub fn stats(&self) -> TraceStats {
+        let invocations = self.trace.events.len() as u64;
+        let secs = self.trace.duration_ms as f64 / 1000.0;
+        TraceStats {
+            functions: self.trace.profiles.len(),
+            invocations,
+            reqs_per_sec: invocations as f64 / secs,
+            avg_iat_ms: if invocations > 1 {
+                self.trace.duration_ms as f64 / invocations as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The base population the samples are drawn from: large enough that the
+/// rare tail and all quartiles are well populated.
+pub fn base_population_config(seed: u64) -> AzureTraceConfig {
+    AzureTraceConfig {
+        apps: 1200, // ~3000 functions
+        duration_ms: 24 * 3600 * 1000,
+        seed,
+        diurnal_fraction: 0.25,
+        rate_scale: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SyntheticAzureTrace {
+        // Smaller population for test speed; same structure.
+        SyntheticAzureTrace::generate(&AzureTraceConfig {
+            apps: 300,
+            duration_ms: 6 * 3600 * 1000,
+            seed: 21,
+            diurnal_fraction: 0.2,
+            rate_scale: 1.0,
+        })
+    }
+
+    #[test]
+    fn rare_sample_is_infrequent() {
+        let b = base();
+        let rare = TraceSample::draw(SampleKind::Rare, &b, 1);
+        let random = TraceSample::draw(SampleKind::Random, &b, 1);
+        let rare_rate = rare.stats().invocations as f64 / rare.trace.profiles.len() as f64;
+        let rand_rate = random.stats().invocations as f64 / random.trace.profiles.len() as f64;
+        assert!(
+            rare_rate < rand_rate,
+            "rare per-fn rate {rare_rate} should be below random {rand_rate}"
+        );
+        // Rare functions mostly have IATs beyond the 10-minute TTL.
+        let long_iat = rare
+            .trace
+            .profiles
+            .iter()
+            .filter(|p| p.mean_iat_ms > 600_000.0)
+            .count();
+        assert!(
+            long_iat as f64 / rare.trace.profiles.len() as f64 > 0.5,
+            "most rare functions exceed the TTL: {long_iat}"
+        );
+    }
+
+    #[test]
+    fn representative_has_392_functions() {
+        let b = base();
+        let rep = TraceSample::draw(SampleKind::Representative, &b, 2);
+        assert_eq!(rep.trace.profiles.len(), 392);
+        // Spread: both frequent and rare functions present.
+        let iats: Vec<f64> = rep.trace.profiles.iter().map(|p| p.mean_iat_ms).collect();
+        let min = iats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = iats.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 50.0, "quartile sampling spans frequencies");
+    }
+
+    #[test]
+    fn random_has_200_functions() {
+        let b = base();
+        let r = TraceSample::draw(SampleKind::Random, &b, 3);
+        assert_eq!(r.trace.profiles.len(), 200);
+        assert!(r.stats().invocations > 0);
+    }
+
+    #[test]
+    fn stats_consistent() {
+        let b = base();
+        let s = TraceSample::draw(SampleKind::Representative, &b, 4);
+        let st = s.stats();
+        assert_eq!(st.functions, 392);
+        let recomputed = st.invocations as f64 / (s.trace.duration_ms as f64 / 1000.0);
+        assert!((st.reqs_per_sec - recomputed).abs() < 1e-9);
+        assert!(st.avg_iat_ms > 0.0);
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let b = base();
+        let a1 = TraceSample::draw(SampleKind::Random, &b, 9);
+        let a2 = TraceSample::draw(SampleKind::Random, &b, 9);
+        assert_eq!(a1.trace.events.len(), a2.trace.events.len());
+        let d = TraceSample::draw(SampleKind::Random, &b, 10);
+        assert_ne!(
+            a1.trace.profiles.iter().map(|p| &p.fqdn).collect::<Vec<_>>(),
+            d.trace.profiles.iter().map(|p| &p.fqdn).collect::<Vec<_>>(),
+            "different seeds draw different samples"
+        );
+    }
+}

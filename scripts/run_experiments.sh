@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure. Pass --full for paper-scale runs.
+set -u
+cd "$(dirname "$0")/.."
+mode="${1:-}"
+out="results"
+mkdir -p "$out"
+bins="tab3_workloads tab2_trace_details tab1_latency_breakdown fig1_overhead_scaling \
+      fig4_exec_increase fig5_cold_ratio fig6_litmus fig7_faasbench fig8_dynamic \
+      figs_trace_timeseries abl_queue_policies abl_concurrency abl_load_balancer"
+for b in $bins; do
+  echo "=== $b ==="
+  cargo run --release -q -p iluvatar-bench --bin "$b" -- $mode 2>&1 | tee "$out/$b.txt"
+done
+echo "all experiment outputs in $out/"

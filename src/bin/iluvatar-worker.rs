@@ -1,0 +1,78 @@
+//! The Ilúvatar worker daemon.
+//!
+//! Starts a worker from a JSON config file (§5: "Workers are configured
+//! with a json file on startup") and serves its HTTP API. The container
+//! backend is the null simulation backend by default, or the in-process
+//! backend with FunctionBench behaviors via `--backend inprocess`.
+//!
+//! ```text
+//! iluvatar-worker [--config worker.json] [--backend sim|inprocess]
+//!                 [--port-file path] [--time-scale f]
+//! ```
+//!
+//! The bound address is printed to stdout (and to `--port-file` when
+//! given) so clients and load balancers can connect.
+
+use iluvatar::prelude::*;
+use iluvatar_containers::NamespacePool;
+use iluvatar_core::api::WorkerApi;
+use iluvatar_core::ContainerBackend;
+use std::sync::Arc;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = match arg_value(&args, "--config") {
+        Some(path) => {
+            let json = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            WorkerConfig::from_json(&json).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+        }
+        None => WorkerConfig::default(),
+    };
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let backend_kind = arg_value(&args, "--backend").unwrap_or_else(|| "sim".into());
+
+    let clock = SystemClock::shared();
+    let backend: Arc<dyn ContainerBackend> = match backend_kind.as_str() {
+        "inprocess" => {
+            let netns = Arc::new(NamespacePool::new(cfg.netns_pool, 0, Arc::clone(&clock)));
+            netns.prefill();
+            let b = Arc::new(InProcessBackend::new(netns));
+            // Pre-register the FunctionBench behaviors so the standard
+            // suite is invocable out of the box.
+            for app in FbApp::all() {
+                b.register_behavior(format!("{}-1", app.name()), app.behavior());
+            }
+            b
+        }
+        "sim" => Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig { time_scale, ..Default::default() },
+        )),
+        other => panic!("unknown backend {other:?}; use sim or inprocess"),
+    };
+
+    let name = cfg.name.clone();
+    let worker = Arc::new(Worker::new(cfg, backend, clock));
+    // Make the FunctionBench suite invocable immediately.
+    for app in FbApp::all() {
+        let _ = worker.register(app.spec());
+    }
+    let api = WorkerApi::serve(Arc::clone(&worker)).expect("bind worker API");
+    println!("{}", api.addr());
+    if let Some(path) = arg_value(&args, "--port-file") {
+        std::fs::write(&path, api.addr().to_string()).expect("write port file");
+    }
+    eprintln!("worker {name} serving on {} (backend: {backend_kind})", api.addr());
+
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,145 @@
+//! In-situ vs in-silico fidelity (§3.4): the same workload replayed through
+//! the live worker (threads + null backend, compressed wall time) and
+//! through the discrete-event keep-alive simulator must agree on what the
+//! control plane did — cold-start counts, warm hits, eviction behaviour.
+
+use iluvatar::prelude::*;
+use iluvatar::WorkerTarget;
+use iluvatar_core::config::{ConcurrencyConfig, KeepalivePolicyKind};
+use iluvatar_trace::azure::{FunctionProfile, TraceEvent};
+use iluvatar_trace::loadgen::{InvokerTarget, OpenLoopRunner, ScheduledInvocation};
+use std::sync::Arc;
+
+/// Deterministic workload: 3 functions, strictly periodic, 2 virtual min.
+fn workload() -> (Vec<FunctionProfile>, Vec<TraceEvent>) {
+    let profiles: Vec<FunctionProfile> = [
+        ("a", 2_000u64, 400u64, 2_000u64, 128u64),
+        ("b", 5_000, 800, 4_000, 256),
+        ("c", 11_000, 600, 3_000, 192),
+    ]
+    .iter()
+    .map(|&(name, iat, warm, init, mem)| FunctionProfile {
+        fqdn: format!("{name}-1"),
+        app: 0,
+        mean_iat_ms: iat as f64,
+        warm_ms: warm,
+        init_ms: init,
+        memory_mb: mem,
+        diurnal: false,
+    })
+    .collect();
+    let duration = 2 * 60_000u64;
+    let mut events = Vec::new();
+    for (i, p) in profiles.iter().enumerate() {
+        let mut t = 0u64;
+        while t < duration {
+            events.push(TraceEvent { time_ms: t, func: i as u32 });
+            t += p.mean_iat_ms as u64;
+        }
+    }
+    events.sort_by_key(|e| e.time_ms);
+    (profiles, events)
+}
+
+#[test]
+fn des_and_live_worker_agree_on_cold_starts() {
+    let (profiles, events) = workload();
+
+    // --- in-silico: discrete-event simulator --------------------------
+    let des = KeepaliveSim::run(
+        profiles.clone(),
+        &events,
+        SimConfig::new(KeepalivePolicyKind::Gdsf, 16 * 1024),
+    );
+
+    // --- in-situ: live worker, 50x compressed wall time ---------------
+    let scale = 0.02;
+    let clock = SystemClock::shared();
+    let backend = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig { time_scale: scale, ..Default::default() },
+    ));
+    let cfg = WorkerConfig {
+        name: "fidelity".into(),
+        cores: 16,
+        memory_mb: 16 * 1024,
+        keepalive: KeepalivePolicyKind::Gdsf,
+        concurrency: ConcurrencyConfig { limit: 32, ..Default::default() },
+        ..WorkerConfig::for_testing()
+    };
+    let worker = Arc::new(Worker::new(cfg, backend, clock));
+    for p in &profiles {
+        let name = p.fqdn.trim_end_matches("-1");
+        worker
+            .register(
+                FunctionSpec::new(name, "1")
+                    .with_timing(p.warm_ms, p.init_ms)
+                    .with_limits(ResourceLimits { cpus: 1.0, memory_mb: p.memory_mb }),
+            )
+            .unwrap();
+    }
+    let schedule: Vec<ScheduledInvocation> = events
+        .iter()
+        .map(|e| ScheduledInvocation {
+            at_ms: (e.time_ms as f64 * scale) as u64,
+            fqdn: profiles[e.func as usize].fqdn.clone(),
+            args: "{}".into(),
+        })
+        .collect();
+    let out = OpenLoopRunner::new(schedule)
+        .run(Arc::new(WorkerTarget(Arc::clone(&worker))) as Arc<dyn InvokerTarget>);
+
+    let live_cold = out.iter().filter(|o| o.cold).count() as u64;
+    let live_served = out.iter().filter(|o| !o.dropped).count() as u64;
+
+    assert_eq!(live_served, des.total, "both paths serve every invocation");
+    // Identical code paths, but wall-time jitter can shift a borderline
+    // concurrent arrival: allow a small tolerance around the DES count.
+    let diff = live_cold.abs_diff(des.cold);
+    assert!(
+        diff <= des.cold / 2 + 2,
+        "cold starts diverged: live {live_cold} vs DES {}",
+        des.cold
+    );
+    // With 16GB for a <1GB working set, neither path should ever evict.
+    assert_eq!(des.evictions, 0);
+    assert_eq!(worker.pool_stats().evictions, 0);
+}
+
+#[test]
+fn reuse_distance_curve_predicts_lru_simulation() {
+    // The Mattson one-pass hit-ratio curve must match the actual LRU
+    // simulator at each size (for a serialized, non-concurrent trace).
+    let profiles: Vec<FunctionProfile> = (0..6)
+        .map(|i| FunctionProfile {
+            fqdn: format!("f{i}-1"),
+            app: 0,
+            mean_iat_ms: 0.0,
+            warm_ms: 1, // ~instant: no concurrent containers
+            init_ms: 10,
+            memory_mb: 100,
+            diurnal: false,
+        })
+        .collect();
+    // Cyclic access a,b,c,d,e,f,a,b,c,... 20 rounds, spaced out.
+    let mut events = Vec::new();
+    for r in 0..20u64 {
+        for f in 0..6u32 {
+            events.push(TraceEvent { time_ms: (r * 6 + f as u64) * 1_000, func: f });
+        }
+    }
+    let reuse = iluvatar_sim::ReuseAnalysis::compute(&profiles, &events);
+    for cache_mb in [250u64, 450, 601, 850] {
+        let sim = KeepaliveSim::run(
+            profiles.clone(),
+            &events,
+            SimConfig::new(KeepalivePolicyKind::Lru, cache_mb),
+        );
+        let sim_hit = sim.warm as f64 / sim.total as f64;
+        let curve_hit = reuse.hit_ratio(cache_mb);
+        assert!(
+            (sim_hit - curve_hit).abs() < 0.02,
+            "cache {cache_mb}MB: sim {sim_hit:.3} vs curve {curve_hit:.3}"
+        );
+    }
+}
