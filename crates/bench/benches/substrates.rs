@@ -75,6 +75,7 @@ fn bench_queue_ops(c: &mut Criterion) {
             q.push(QueuedInvocation {
                 fqdn: "f-1".into(),
                 args: String::new(),
+                trace_id: 0,
                 arrived_at: t,
                 expected_exec_ms: (t % 100) as f64,
                 iat_ms: 10.0,

@@ -1,13 +1,18 @@
 //! Table 1 — latency of the worker components for a single warm invocation.
 //!
-//! Runs the real hot path: in-process containers serving the genuine agent
-//! HTTP protocol over loopback, per-component spans recorded by the worker.
-//! Prints the same grouping and rows as the paper's Table 1.
+//! Runs the real hot path end-to-end over HTTP: the worker serves its API on
+//! loopback, invocations arrive through the typed client, and in-process
+//! containers serve the genuine agent protocol. Afterwards the span
+//! distributions are scraped back over `GET /spans` — the same mergeable
+//! histograms a load balancer aggregates — and printed in the paper's
+//! Table 1 grouping (mean/p50/p99 per component).
 
 use iluvatar::prelude::*;
 use iluvatar_bench::{env_u64, print_table};
 use iluvatar_containers::NamespacePool;
+use iluvatar_core::api::{WorkerApi, WorkerApiClient};
 use iluvatar_core::spans::names;
+use iluvatar_core::SpanExport;
 use std::sync::Arc;
 
 fn main() {
@@ -18,32 +23,56 @@ fn main() {
     let backend = Arc::new(InProcessBackend::new(netns));
     backend.register_behavior("pyaes-1", FbApp::PyAes.behavior());
     let worker = Arc::new(Worker::new(WorkerConfig::default(), backend, clock));
-    worker.register(FbApp::PyAes.spec()).unwrap();
+    let api = WorkerApi::serve(Arc::clone(&worker)).expect("serve worker API");
+    let client = WorkerApiClient::new(api.addr());
+    client.register(&FbApp::PyAes.spec()).expect("register over HTTP");
 
     // One cold start, then measure pure warm invocations.
-    worker.invoke("pyaes-1", "{}").unwrap();
+    client.invoke("pyaes-1", "{}").expect("cold start");
     for _ in 0..iterations {
-        let r = worker.invoke("pyaes-1", "{}").unwrap();
+        let r = client.invoke("pyaes-1", "{}").expect("warm invoke");
         assert!(!r.cold, "Table 1 measures warm invocations");
     }
+
+    // Scrape the span distributions back over the wire, as a balancer would.
+    let exports: Vec<SpanExport> = client.spans().expect("scrape /spans");
+    let find = |name: &str| exports.iter().find(|e| e.name == name);
 
     let mut rows = Vec::new();
     for (group, spans) in names::GROUPS {
         for (i, span) in spans.iter().enumerate() {
-            let s = worker.spans().summary(span);
-            let (mean, p99) = s.map(|s| (s.mean_ms, s.p99_ms)).unwrap_or((0.0, 0.0));
+            let (mean, p50, p99) = find(span)
+                .map(|e| (e.mean_ms(), e.percentile_ms(0.50), e.percentile_ms(0.99)))
+                .unwrap_or((0.0, 0.0, 0.0));
             rows.push(vec![
                 if i == 0 { group.to_string() } else { String::new() },
                 span.to_string(),
                 format!("{:.3}", mean),
+                format!("{:.3}", p50),
                 format!("{:.3}", p99),
             ]);
         }
     }
     print_table(
-        &format!("Table 1: worker component latency over {iterations} warm invocations"),
-        &["group", "component", "mean ms", "p99 ms"],
+        &format!("Table 1: worker component latency over {iterations} warm invocations (scraped from GET /spans)"),
+        &["group", "component", "mean ms", "p50 ms", "p99 ms"],
         &rows,
     );
+
+    let trace = client
+        .traces(1)
+        .ok()
+        .and_then(|mut t| t.pop())
+        .expect("journal holds the last invocation");
+    println!(
+        "\nLast trace {} ({}): {} events, cold={:?}",
+        trace.trace_id,
+        trace.fqdn,
+        trace.events.len(),
+        trace.cold()
+    );
+    let metrics = client.metrics_text().expect("scrape /metrics");
+    let hist_lines = metrics.lines().filter(|l| l.starts_with("iluvatar_span_seconds_bucket")).count();
+    println!("GET /metrics: {} bytes, {hist_lines} span histogram bucket lines", metrics.len());
     println!("\nExpected shape: agent communication (call_container) dominates at ~1-2ms; queuing/container ops each well under 0.1ms.");
 }

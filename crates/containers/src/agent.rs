@@ -12,10 +12,16 @@
 
 use crossbeam::channel;
 use iluvatar_http::server::Handler;
-use iluvatar_http::{HttpServer, Method, Request, Response, Status};
+use iluvatar_http::{HttpServer, Method, Request, Response, Status, TRACE_HEADER};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How many recent trace ids the agent remembers for observability tests
+/// and debugging.
+const TRACE_MEMORY: usize = 256;
 
 /// The function body: JSON arguments in, JSON result out.
 pub type FunctionBody = Arc<dyn Fn(&str) -> String + Send + Sync>;
@@ -54,6 +60,7 @@ impl FunctionBehavior {
 pub struct Agent {
     server: HttpServer,
     addr: SocketAddr,
+    traces: Arc<Mutex<VecDeque<String>>>,
 }
 
 impl Agent {
@@ -65,16 +72,32 @@ impl Agent {
         // server is reachable, exactly like a Python agent's import block.
         (behavior.init)();
         let body = Arc::clone(&behavior.body);
+        let traces: Arc<Mutex<VecDeque<String>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let traces2 = Arc::clone(&traces);
         let handler: Handler = Arc::new(move |req: Request| match (req.method, req.path.as_str()) {
             (Method::Get, "/") => Response::ok(&b"{\"status\":\"ok\"}"[..]),
             (Method::Post, "/invoke") => {
+                // Trace propagation: remember and echo the worker's trace id
+                // so agent-side time joins the same end-to-end trace.
+                let trace = req.header(TRACE_HEADER).map(|t| t.to_string());
+                if let Some(t) = &trace {
+                    let mut seen = traces2.lock();
+                    if seen.len() == TRACE_MEMORY {
+                        seen.pop_front();
+                    }
+                    seen.push_back(t.clone());
+                }
                 let args = std::str::from_utf8(&req.body).unwrap_or("");
                 let start = Instant::now();
                 let result = body(args);
                 let dur_ms = start.elapsed().as_millis() as u64;
-                Response::ok(result)
+                let mut resp = Response::ok(result)
                     .with_header("X-Duration-Ms", dur_ms.to_string())
-                    .with_header("Content-Type", "application/json")
+                    .with_header("Content-Type", "application/json");
+                if let Some(t) = trace {
+                    resp = resp.with_header(TRACE_HEADER, t);
+                }
+                resp
             }
             _ => Response::new(Status::NOT_FOUND),
         });
@@ -92,7 +115,7 @@ impl Agent {
             let _ = tx.send(r.is_ok());
         });
         match rx.recv_timeout(std::time::Duration::from_secs(5)) {
-            Ok(true) => Ok(Self { server, addr }),
+            Ok(true) => Ok(Self { server, addr, traces }),
             _ => Err(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 "agent did not become ready",
@@ -107,6 +130,12 @@ impl Agent {
     /// Requests served (status checks + invocations).
     pub fn served(&self) -> u64 {
         self.server.handle().served()
+    }
+
+    /// Trace ids observed on `/invoke` requests, oldest first (bounded to
+    /// the most recent 256 entries).
+    pub fn observed_traces(&self) -> Vec<String> {
+        self.traces.lock().iter().cloned().collect()
     }
 }
 

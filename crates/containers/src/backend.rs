@@ -55,6 +55,20 @@ pub trait ContainerBackend: Send + Sync + 'static {
     /// Run one invocation inside `container`, blocking until completion.
     fn invoke(&self, container: &Container, args: &str) -> Result<InvokeOutput, BackendError>;
 
+    /// Like [`ContainerBackend::invoke`], but carrying an end-to-end trace
+    /// id for backends with a real agent hop to propagate (as the
+    /// `X-Iluvatar-Trace` HTTP header). Backends without a wire hop ignore
+    /// it; the default implementation delegates to `invoke`.
+    fn invoke_traced(
+        &self,
+        container: &Container,
+        args: &str,
+        trace: Option<&str>,
+    ) -> Result<InvokeOutput, BackendError> {
+        let _ = trace;
+        self.invoke(container, args)
+    }
+
     /// Tear the sandbox down and release its resources.
     fn destroy(&self, container: &Container) -> Result<(), BackendError>;
 }

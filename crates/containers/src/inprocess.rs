@@ -11,7 +11,7 @@ use crate::agent::{Agent, FunctionBehavior};
 use crate::backend::{BackendError, ContainerBackend, InvokeOutput};
 use crate::netns::NamespacePool;
 use crate::types::{Container, FunctionSpec};
-use iluvatar_http::{Method, PooledClient, Request};
+use iluvatar_http::{Method, PooledClient, Request, TRACE_HEADER};
 use iluvatar_sync::ShardedMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,6 +46,16 @@ impl InProcessBackend {
     pub fn live_containers(&self) -> usize {
         self.agents.len()
     }
+
+    /// Trace ids observed by all live agents — the agent-side half of the
+    /// end-to-end trace propagation check.
+    pub fn observed_traces(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.agents.for_each(|_, agent| {
+            out.extend(agent.observed_traces());
+        });
+        out
+    }
 }
 
 impl ContainerBackend for InProcessBackend {
@@ -71,15 +81,27 @@ impl ContainerBackend for InProcessBackend {
     }
 
     fn invoke(&self, container: &Container, args: &str) -> Result<InvokeOutput, BackendError> {
+        self.invoke_traced(container, args, None)
+    }
+
+    fn invoke_traced(
+        &self,
+        container: &Container,
+        args: &str,
+        trace: Option<&str>,
+    ) -> Result<InvokeOutput, BackendError> {
         let addr = container
             .agent_addr
             .ok_or(BackendError::UnknownContainer)?;
         if !self.agents.contains_key(&container.backend_cookie) {
             return Err(BackendError::UnknownContainer);
         }
-        let req = Request::new(Method::Post, "/invoke")
+        let mut req = Request::new(Method::Post, "/invoke")
             .with_header("Content-Type", "application/json")
             .with_body(args.as_bytes().to_vec());
+        if let Some(t) = trace {
+            req = req.with_header(TRACE_HEADER, t);
+        }
         let resp = self
             .client
             .send(addr, &req)
@@ -188,6 +210,21 @@ mod tests {
         assert_eq!(hits.load(Ordering::SeqCst), 5);
         assert_eq!(c.invocations(), 5);
         assert_eq!(b.live_containers(), 1, "same container served all warm hits");
+    }
+
+    #[test]
+    fn trace_header_reaches_agent() {
+        let b = backend();
+        b.register_behavior("echo-1", FunctionBehavior::from_body(|_| "{}".into()));
+        let c = b.create(&spec()).unwrap();
+        b.invoke_traced(&c, "{}", Some("00000000deadbeef")).unwrap();
+        assert!(
+            b.observed_traces().contains(&"00000000deadbeef".to_string()),
+            "agent must observe the propagated trace id"
+        );
+        // Untraced invocations add nothing.
+        b.invoke(&c, "{}").unwrap();
+        assert_eq!(b.observed_traces().len(), 1);
     }
 
     #[test]

@@ -16,17 +16,24 @@
 //! | `GET  /result/<cookie>`  |                          | result JSON or 404-pending |
 //! | `POST /prewarm`          | `{"fqdn":…}`             | `{}` |
 //! | `GET  /status`           |                          | `WorkerStatus` JSON |
+//! | `GET  /metrics`          |                          | Prometheus text |
+//! | `GET  /spans`            |                          | `[SpanExport]` JSON |
+//! | `GET  /trace/<id>`       |                          | `TraceRecord` JSON or 404 |
+//! | `GET  /traces?last=N`    |                          | `[TraceRecord]` JSON, newest first |
 
+use crate::exposition;
 use crate::invocation::{InvocationHandle, InvocationResult, InvokeError};
+use crate::journal::TraceRecord;
+use crate::spans::SpanExport;
 use crate::worker::{Worker, WorkerStatus};
 use iluvatar_containers::FunctionSpec;
-use iluvatar_http::server::Handler;
+use iluvatar_http::server::{Handler, ServerHandle};
 use iluvatar_http::{HttpServer, Method, PooledClient, Request, Response, Status};
 use iluvatar_sync::ShardedMap;
 use serde::{Deserialize, Serialize};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 #[derive(Serialize, Deserialize)]
@@ -49,11 +56,21 @@ pub struct WireResult {
     pub e2e_ms: u64,
     pub cold: bool,
     pub queue_ms: u64,
+    /// End-to-end trace id; redeem via `GET /trace/{id}` on the worker.
+    #[serde(default)]
+    pub trace_id: u64,
 }
 
 impl From<InvocationResult> for WireResult {
     fn from(r: InvocationResult) -> Self {
-        Self { body: r.body, exec_ms: r.exec_ms, e2e_ms: r.e2e_ms, cold: r.cold, queue_ms: r.queue_ms }
+        Self {
+            body: r.body,
+            exec_ms: r.exec_ms,
+            e2e_ms: r.e2e_ms,
+            cold: r.cold,
+            queue_ms: r.queue_ms,
+            trace_id: r.trace_id,
+        }
     }
 }
 
@@ -69,8 +86,13 @@ pub struct WireStatus {
     pub normalized_load: f64,
     pub completed: u64,
     pub dropped: u64,
+    #[serde(default)]
+    pub failed: u64,
     pub warm_hits: u64,
     pub cold_starts: u64,
+    /// Requests served by this worker's API server.
+    #[serde(default)]
+    pub http_requests: u64,
 }
 
 impl From<WorkerStatus> for WireStatus {
@@ -85,8 +107,10 @@ impl From<WorkerStatus> for WireStatus {
             normalized_load: s.normalized_load,
             completed: s.completed,
             dropped: s.dropped,
+            failed: s.failed,
             warm_hits: s.warm_hits,
             cold_starts: s.cold_starts,
+            http_requests: 0,
         }
     }
 }
@@ -117,14 +141,25 @@ impl WorkerApi {
     pub fn serve(worker: Arc<Worker>) -> std::io::Result<Self> {
         let pending: Arc<ShardedMap<u64, InvocationHandle>> = Arc::new(ShardedMap::new());
         let cookie_seq = Arc::new(AtomicU64::new(1));
+        // The handler closure exists before the server it runs in, so the
+        // served-request counter arrives through a slot filled after start.
+        let own_handle: Arc<OnceLock<ServerHandle>> = Arc::new(OnceLock::new());
+        let slot = Arc::clone(&own_handle);
         let handler: Handler = Arc::new(move |req: Request| {
-            route(&worker, &pending, &cookie_seq, req)
+            route(&worker, &pending, &cookie_seq, &slot, req)
         });
-        Ok(Self { server: HttpServer::start(handler)? })
+        let server = HttpServer::start(handler)?;
+        let _ = own_handle.set(server.handle());
+        Ok(Self { server })
     }
 
     pub fn addr(&self) -> SocketAddr {
         self.server.addr()
+    }
+
+    /// Requests served by this API server so far.
+    pub fn served(&self) -> u64 {
+        self.server.handle().served()
     }
 }
 
@@ -132,13 +167,43 @@ fn route(
     worker: &Arc<Worker>,
     pending: &Arc<ShardedMap<u64, InvocationHandle>>,
     cookie_seq: &Arc<AtomicU64>,
+    own_handle: &Arc<OnceLock<ServerHandle>>,
     req: Request,
 ) -> Response {
     let body = std::str::from_utf8(&req.body).unwrap_or("");
-    match (req.method, req.path.as_str()) {
+    // Strip the query string; only /traces uses one.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let served = || own_handle.get().map(|h| h.served()).unwrap_or(0);
+    match (req.method, path) {
         (Method::Get, "/status") => {
-            let wire: WireStatus = worker.status().into();
+            let mut wire: WireStatus = worker.status().into();
+            wire.http_requests = served();
             json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+        }
+        (Method::Get, "/metrics") => Response::ok(exposition::render_worker(worker, served()))
+            .with_header("Content-Type", "text/plain; version=0.0.4"),
+        (Method::Get, "/spans") => {
+            json_resp(Status::OK, serde_json::to_string(&worker.spans().export()).unwrap())
+        }
+        (Method::Get, p) if p.starts_with("/trace/") => {
+            match p["/trace/".len()..].parse::<u64>() {
+                Ok(id) => match worker.trace(id) {
+                    Some(r) => json_resp(Status::OK, serde_json::to_string(&r).unwrap()),
+                    None => json_resp(Status::NOT_FOUND, "{\"error\":\"unknown trace\"}".into()),
+                },
+                Err(_) => json_resp(Status::BAD_REQUEST, "{\"error\":\"bad trace id\"}".into()),
+            }
+        }
+        (Method::Get, "/traces") => {
+            let last = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("last="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(20);
+            json_resp(Status::OK, serde_json::to_string(&worker.recent_traces(last)).unwrap())
         }
         (Method::Post, "/register") => match serde_json::from_str::<FunctionSpec>(body) {
             Ok(spec) => match worker.register(spec) {
@@ -303,6 +368,37 @@ impl WorkerApiClient {
         let resp = Self::expect_ok(self.call(Request::new(Method::Get, "/status"))?)?;
         serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
     }
+
+    /// The worker's Prometheus `/metrics` payload, verbatim.
+    pub fn metrics_text(&self) -> Result<String, ApiError> {
+        let resp = Self::expect_ok(self.call(Request::new(Method::Get, "/metrics"))?)?;
+        Ok(resp.body_str().to_string())
+    }
+
+    /// Span distributions for cluster aggregation.
+    pub fn spans(&self) -> Result<Vec<SpanExport>, ApiError> {
+        let resp = Self::expect_ok(self.call(Request::new(Method::Get, "/spans"))?)?;
+        serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    /// One invocation's trace timeline; `Ok(None)` if it aged out.
+    pub fn trace(&self, id: u64) -> Result<Option<TraceRecord>, ApiError> {
+        let resp = self.call(Request::new(Method::Get, format!("/trace/{id}")))?;
+        if resp.status == Status::NOT_FOUND {
+            return Ok(None);
+        }
+        let resp = Self::expect_ok(resp)?;
+        serde_json::from_str(resp.body_str())
+            .map(Some)
+            .map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    /// The `last` most recent traces, newest first.
+    pub fn traces(&self, last: usize) -> Result<Vec<TraceRecord>, ApiError> {
+        let resp =
+            Self::expect_ok(self.call(Request::new(Method::Get, format!("/traces?last={last}")))?)?;
+        serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
+    }
 }
 
 #[cfg(test)]
@@ -403,5 +499,70 @@ mod tests {
         let (_w, _api, client) = served_worker();
         let resp = client.call(Request::new(Method::Get, "/nope")).unwrap();
         assert_eq!(resp.status.0, 404);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (_w, api, client) = served_worker();
+        client
+            .register(&FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        client.invoke("f-1", "{}").unwrap();
+        let text = client.metrics_text().unwrap();
+        assert!(text.contains("# TYPE iluvatar_queue_depth gauge"), "text:\n{text}");
+        assert!(text.contains("iluvatar_invocations_completed_total{worker=\"test-worker\"} 1"));
+        assert!(text.contains("iluvatar_span_seconds_bucket"), "span histograms exported");
+        // The served counter is live: /register + /invoke + this scrape.
+        assert!(text.contains("iluvatar_http_requests_total"), "text:\n{text}");
+        assert!(api.served() >= 3);
+        let st = client.status().unwrap();
+        assert!(st.http_requests >= 3, "status carries the served count");
+        assert_eq!(st.failed, 0);
+    }
+
+    #[test]
+    fn trace_endpoints_roundtrip() {
+        let (_w, _api, client) = served_worker();
+        client
+            .register(&FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        let r = client.invoke("f-1", "{}").unwrap();
+        assert_ne!(r.trace_id, 0, "results carry their trace id");
+        // `result_returned` lands just after the result is delivered; poll.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let tr = loop {
+            let tr = client.trace(r.trace_id).unwrap().expect("trace journaled");
+            if tr.completed() || std::time::Instant::now() > deadline {
+                break tr;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(tr.trace_id, r.trace_id);
+        assert_eq!(tr.fqdn, "f-1");
+        assert_eq!(tr.cold(), Some(true));
+        assert!(tr.completed());
+        // Unknown ids are a clean None, bad ids a 400.
+        assert!(client.trace(u64::MAX).unwrap().is_none());
+        let resp = client.call(Request::new(Method::Get, "/trace/xyz")).unwrap();
+        assert_eq!(resp.status.0, 400);
+        // /traces lists newest-first and honors last=N.
+        client.invoke("f-1", "{}").unwrap();
+        let recent = client.traces(1).unwrap();
+        assert_eq!(recent.len(), 1);
+        assert!(recent[0].trace_id > r.trace_id);
+    }
+
+    #[test]
+    fn spans_endpoint_returns_distributions() {
+        let (_w, _api, client) = served_worker();
+        client
+            .register(&FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        client.invoke("f-1", "{}").unwrap();
+        let spans = client.spans().unwrap();
+        assert!(!spans.is_empty());
+        let call = spans.iter().find(|s| s.name == "call_container").unwrap();
+        assert_eq!(call.count, 1);
+        assert_eq!(call.hist.count(), 1);
     }
 }

@@ -1,0 +1,274 @@
+//! Prometheus text-format exposition (§5).
+//!
+//! The paper's worker tracks "key system metrics like CPU usage, load
+//! averages ... and system energy usage" and exports function latencies for
+//! analysis. This module renders that state — span histograms, queue depth,
+//! pool occupancy, cold/warm/failed counters, load averages, energy — in the
+//! Prometheus text format, so `GET /metrics` on a worker (or the merged
+//! cluster view on the load balancer) is scrapeable by any standard stack.
+//!
+//! The writer emits `# HELP`/`# TYPE` once per metric family even when a
+//! family repeats with different label sets, as the format requires.
+
+use crate::spans::SpanExport;
+use crate::worker::Worker;
+use iluvatar_sync::LogHistogram;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Bucket edges for span histograms, µs. Spans range from sub-millisecond
+/// control-plane hops to multi-second cold starts; `le` labels are rendered
+/// in seconds per Prometheus convention.
+pub const DEFAULT_EDGES_US: &[u64] = &[
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+];
+
+/// Incremental Prometheus text writer.
+pub struct PromWriter {
+    out: String,
+    seen: HashSet<String>,
+}
+
+impl PromWriter {
+    pub fn new() -> Self {
+        Self { out: String::new(), seen: HashSet::new() }
+    }
+
+    fn preamble(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn label_str(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}={:?}", v))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+
+    /// Extend a label set with one more pair (for `le` on buckets).
+    fn label_str_plus(labels: &[(&str, &str)], extra: (&str, &str)) -> String {
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        all.push(extra);
+        Self::label_str(&all)
+    }
+
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.preamble(name, help, "counter");
+        let _ = writeln!(self.out, "{name}{} {value}", Self::label_str(labels));
+    }
+
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.preamble(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {value}", Self::label_str(labels));
+    }
+
+    /// Render a [`LogHistogram`] of **microsecond** samples as a Prometheus
+    /// histogram in **seconds** at the given µs bucket edges.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LogHistogram,
+        edges_us: &[u64],
+    ) {
+        self.preamble(name, help, "histogram");
+        for &edge in edges_us {
+            let le = edge as f64 / 1e6;
+            let ls = Self::label_str_plus(labels, ("le", &le.to_string()));
+            let _ = writeln!(self.out, "{name}_bucket{ls} {}", hist.count_le(edge));
+        }
+        let inf = Self::label_str_plus(labels, ("le", "+Inf"));
+        let _ = writeln!(self.out, "{name}_bucket{inf} {}", hist.count());
+        let ls = Self::label_str(labels);
+        let _ = writeln!(self.out, "{name}_sum{ls} {}", hist.sum() as f64 / 1e6);
+        let _ = writeln!(self.out, "{name}_count{ls} {}", hist.count());
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl Default for PromWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Render one `iluvatar_span_seconds` histogram per span export, labeled
+/// with the span name. Shared by the worker and the load balancer's merged
+/// cluster view.
+pub fn render_span_histograms(w: &mut PromWriter, base: &[(&str, &str)], spans: &[SpanExport]) {
+    for e in spans {
+        let mut labels: Vec<(&str, &str)> = base.to_vec();
+        labels.push(("span", &e.name));
+        w.histogram(
+            "iluvatar_span_seconds",
+            "Control-plane component latency (Table 1 spans)",
+            &labels,
+            &e.hist,
+            DEFAULT_EDGES_US,
+        );
+    }
+}
+
+/// The full `/metrics` payload for one worker. `http_requests` is the API
+/// server's served-request count (0 when unserved).
+pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
+    let st = worker.status();
+    let pool = worker.pool_stats();
+    let m = worker.metrics();
+    let base: &[(&str, &str)] = &[("worker", &st.name)];
+    let mut w = PromWriter::new();
+
+    w.gauge("iluvatar_queue_depth", "Invocations waiting in the queue", base, st.queue_len as f64);
+    w.gauge("iluvatar_running_invocations", "Invocations currently executing", base, st.running as f64);
+    w.gauge(
+        "iluvatar_concurrency_limit",
+        "Current concurrency limit (fixed or AIMD)",
+        base,
+        st.concurrency_limit as f64,
+    );
+    w.gauge("iluvatar_normalized_load", "(running + queued) / cores", base, st.normalized_load);
+    w.gauge("iluvatar_pool_used_mem_mb", "Memory held by pooled containers, MB", base, st.used_mem_mb as f64);
+    w.gauge("iluvatar_pool_free_mem_mb", "Memory available for cold starts, MB", base, st.free_mem_mb as f64);
+    w.gauge("iluvatar_pool_idle_containers", "Warm containers parked in the pool", base, pool.idle_containers as f64);
+
+    w.counter("iluvatar_invocations_completed_total", "Successfully completed invocations", base, st.completed as f64);
+    w.counter("iluvatar_invocations_dropped_total", "Invocations dropped (backpressure / no memory)", base, st.dropped as f64);
+    w.counter("iluvatar_invocations_failed_total", "Invocations that errored at dispatch", base, st.failed as f64);
+    w.counter("iluvatar_cold_starts_total", "Invocations that paid a cold start", base, st.cold_starts as f64);
+    w.counter("iluvatar_warm_hits_total", "Invocations served by a warm container", base, st.warm_hits as f64);
+    w.counter("iluvatar_pool_evictions_total", "Keep-alive evictions", base, pool.evictions as f64);
+    w.counter("iluvatar_http_requests_total", "Requests served by the worker API", base, http_requests as f64);
+
+    w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "1m")], m.load_1);
+    w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "5m")], m.load_5);
+    w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "15m")], m.load_15);
+    w.counter("iluvatar_energy_joules_total", "Modelled cumulative energy", base, m.energy_j);
+    w.gauge("iluvatar_power_watts", "Modelled instantaneous power", base, m.power_w);
+
+    render_span_histograms(&mut w, base, &worker.spans().export());
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkerConfig;
+    use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+    use iluvatar_containers::FunctionSpec;
+    use iluvatar_sync::SystemClock;
+    use std::sync::Arc;
+
+    /// Minimal validity check for the Prometheus text format: every line is
+    /// a comment or `name{labels} value` with a parseable float value.
+    fn assert_valid_prom(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable value in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn writer_emits_help_and_type_once() {
+        let mut w = PromWriter::new();
+        w.gauge("x_depth", "depth", &[("worker", "a")], 1.0);
+        w.gauge("x_depth", "depth", &[("worker", "b")], 2.0);
+        let out = w.finish();
+        assert_eq!(out.matches("# HELP x_depth").count(), 1);
+        assert_eq!(out.matches("# TYPE x_depth gauge").count(), 1);
+        assert!(out.contains("x_depth{worker=\"a\"} 1"));
+        assert!(out.contains("x_depth{worker=\"b\"} 2"));
+        assert_valid_prom(&out);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut h = LogHistogram::new();
+        for us in [50u64, 200, 900, 40_000] {
+            h.record(us);
+        }
+        let mut w = PromWriter::new();
+        w.histogram("x_seconds", "x", &[("span", "s")], &h, DEFAULT_EDGES_US);
+        let out = w.finish();
+        assert!(out.contains("x_seconds_bucket{span=\"s\",le=\"0.0001\"} 1"), "out: {out}");
+        assert!(out.contains("x_seconds_bucket{span=\"s\",le=\"0.001\"} 3"), "out: {out}");
+        assert!(out.contains("x_seconds_bucket{span=\"s\",le=\"+Inf\"} 4"));
+        assert!(out.contains("x_seconds_count{span=\"s\"} 4"));
+        // Cumulative counts never decrease across increasing edges.
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("x_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_valid_prom(&out);
+    }
+
+    #[test]
+    fn worker_metrics_cover_the_checklist() {
+        let clock = SystemClock::shared();
+        let backend = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        ));
+        let worker = Worker::new(WorkerConfig::for_testing(), backend, clock);
+        worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        worker.invoke("f-1", "{}").unwrap();
+        worker.invoke("f-1", "{}").unwrap();
+        let text = render_worker(&worker, 7);
+        assert_valid_prom(&text);
+        for family in [
+            "iluvatar_queue_depth",
+            "iluvatar_running_invocations",
+            "iluvatar_pool_used_mem_mb",
+            "iluvatar_pool_free_mem_mb",
+            "iluvatar_invocations_completed_total",
+            "iluvatar_invocations_dropped_total",
+            "iluvatar_invocations_failed_total",
+            "iluvatar_cold_starts_total",
+            "iluvatar_warm_hits_total",
+            "iluvatar_load_average",
+            "iluvatar_energy_joules_total",
+            "iluvatar_power_watts",
+            "iluvatar_http_requests_total",
+            "iluvatar_span_seconds_bucket",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        assert!(text.contains("iluvatar_http_requests_total{worker=\"test-worker\"} 7"));
+        // At least one span histogram per Table-1 group that ran.
+        assert!(text.contains("span=\"call_container\""), "span labels present");
+        assert!(text.contains("span=\"invoke\""));
+    }
+}

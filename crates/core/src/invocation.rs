@@ -48,6 +48,8 @@ pub struct InvocationResult {
     pub queue_ms: u64,
     /// Arrival timestamp (worker clock).
     pub arrived_at: TimeMs,
+    /// End-to-end trace id; redeem via `GET /trace/{id}` on the worker.
+    pub trace_id: u64,
 }
 
 impl InvocationResult {
@@ -107,6 +109,7 @@ mod tests {
             cold: false,
             queue_ms: 0,
             arrived_at: 0,
+            trace_id: 0,
         }
     }
 

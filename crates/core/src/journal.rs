@@ -1,0 +1,283 @@
+//! End-to-end invocation tracing.
+//!
+//! §5: the paper instruments "the passage of invocations through the control
+//! plane components". Here each invocation is minted a `trace_id` at ingest;
+//! every hot-path stage appends a timestamped [`TraceEvent`] to the
+//! invocation's [`TraceRecord`]. The journal is a lock-sharded, bounded ring
+//! buffer — recording is O(1) and old traces age out, so it is safe to leave
+//! on under sustained load. The worker serves records over `GET /trace/{id}`
+//! and `GET /traces?last=N`; the same id crosses the worker → agent HTTP hop
+//! as the `X-Iluvatar-Trace` header, tying agent-side time to the record.
+
+use iluvatar_sync::{Clock, TimeMs};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shards for the journal's ring buffers (power of two).
+const SHARDS: usize = 8;
+
+/// One stage of an invocation's passage through the control plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TraceEventKind {
+    /// The request entered `invoke`/`async_invoke`.
+    Ingested,
+    /// Placed on the invocation queue.
+    Enqueued,
+    /// Skipped the queue via the short-function bypass.
+    Bypassed,
+    /// Popped off the queue by the dispatch loop.
+    Dequeued,
+    /// A container was acquired — `cold` says whether one had to be created.
+    ContainerAcquired { cold: bool },
+    /// The in-container agent was called over HTTP.
+    AgentCalled,
+    /// The result (or error) was delivered back to the caller.
+    ResultReturned { ok: bool },
+}
+
+/// A timestamped stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Worker-clock timestamp, ms.
+    pub at_ms: TimeMs,
+    #[serde(flatten)]
+    pub kind: TraceEventKind,
+}
+
+/// The full ordered timeline of one invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceRecord {
+    pub trace_id: u64,
+    pub fqdn: String,
+    /// When the trace was minted (worker clock, ms).
+    pub ingest_ms: TimeMs,
+    /// Events in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceRecord {
+    /// Whether this invocation paid a cold start (`None` if it never
+    /// acquired a container).
+    pub fn cold(&self) -> Option<bool> {
+        self.events.iter().find_map(|e| match e.kind {
+            TraceEventKind::ContainerAcquired { cold } => Some(cold),
+            _ => None,
+        })
+    }
+
+    /// Whether the result has been delivered.
+    pub fn completed(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::ResultReturned { .. }))
+    }
+}
+
+struct Shard {
+    /// Ring of recent traces, oldest first.
+    ring: Mutex<VecDeque<Arc<Mutex<TraceRecord>>>>,
+}
+
+/// Bounded journal of recent invocation traces.
+pub struct TraceJournal {
+    shards: Vec<Shard>,
+    /// Per-shard capacity.
+    per_shard: usize,
+    next_id: AtomicU64,
+    clock: Arc<dyn Clock>,
+}
+
+impl TraceJournal {
+    /// A journal remembering roughly `capacity` recent traces. `seed`
+    /// offsets the id space so two workers' ids rarely collide (derive it
+    /// from the worker name).
+    pub fn new(capacity: usize, seed: u64, clock: Arc<dyn Clock>) -> Self {
+        let per_shard = (capacity / SHARDS).max(1);
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| Shard { ring: Mutex::new(VecDeque::with_capacity(per_shard)) })
+                .collect(),
+            per_shard,
+            // Spread seeds across the id space; low bits stay sequential.
+            next_id: AtomicU64::new((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)) << 20 | 1),
+            clock,
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Shard {
+        &self.shards[(id as usize) & (SHARDS - 1)]
+    }
+
+    /// Mint a trace for a new invocation and record `Ingested`.
+    pub fn begin(&self, fqdn: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now_ms();
+        let record = Arc::new(Mutex::new(TraceRecord {
+            trace_id: id,
+            fqdn: fqdn.to_string(),
+            ingest_ms: now,
+            events: vec![TraceEvent { at_ms: now, kind: TraceEventKind::Ingested }],
+        }));
+        let mut ring = self.shard(id).ring.lock();
+        if ring.len() == self.per_shard {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+        id
+    }
+
+    /// Append an event to trace `id`. A no-op if the trace has aged out.
+    pub fn record(&self, id: u64, kind: TraceEventKind) {
+        let record = {
+            let ring = self.shard(id).ring.lock();
+            ring.iter().find(|r| r.lock().trace_id == id).cloned()
+        };
+        if let Some(r) = record {
+            r.lock().events.push(TraceEvent { at_ms: self.clock.now_ms(), kind });
+        }
+    }
+
+    /// The full timeline of trace `id`, if still in the journal.
+    pub fn get(&self, id: u64) -> Option<TraceRecord> {
+        let ring = self.shard(id).ring.lock();
+        ring.iter().find_map(|r| {
+            let r = r.lock();
+            (r.trace_id == id).then(|| r.clone())
+        })
+    }
+
+    /// The most recent `n` traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = Vec::new();
+        for shard in &self.shards {
+            let ring = shard.ring.lock();
+            out.extend(ring.iter().map(|r| r.lock().clone()));
+        }
+        // Newest first: ids are monotone per journal.
+        out.sort_by(|a, b| b.trace_id.cmp(&a.trace_id));
+        out.truncate(n);
+        out
+    }
+
+    /// Traces currently held (bounded by capacity).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.ring.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iluvatar_sync::{ManualClock, SystemClock};
+
+    fn journal() -> TraceJournal {
+        TraceJournal::new(64, 1, SystemClock::shared())
+    }
+
+    #[test]
+    fn begin_records_ingest() {
+        let j = journal();
+        let id = j.begin("echo-1");
+        let r = j.get(id).unwrap();
+        assert_eq!(r.trace_id, id);
+        assert_eq!(r.fqdn, "echo-1");
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].kind, TraceEventKind::Ingested);
+        assert!(!r.completed());
+        assert_eq!(r.cold(), None);
+    }
+
+    #[test]
+    fn events_stay_ordered() {
+        let clock = Arc::new(ManualClock::starting_at(1000));
+        let j = TraceJournal::new(64, 7, Arc::clone(&clock) as Arc<dyn Clock>);
+        let id = j.begin("f-1");
+        clock.advance(5);
+        j.record(id, TraceEventKind::Enqueued);
+        clock.advance(5);
+        j.record(id, TraceEventKind::Dequeued);
+        clock.advance(5);
+        j.record(id, TraceEventKind::ContainerAcquired { cold: true });
+        j.record(id, TraceEventKind::AgentCalled);
+        clock.advance(5);
+        j.record(id, TraceEventKind::ResultReturned { ok: true });
+        let r = j.get(id).unwrap();
+        let kinds: Vec<_> = r.events.iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::Ingested,
+                TraceEventKind::Enqueued,
+                TraceEventKind::Dequeued,
+                TraceEventKind::ContainerAcquired { cold: true },
+                TraceEventKind::AgentCalled,
+                TraceEventKind::ResultReturned { ok: true },
+            ]
+        );
+        let times: Vec<_> = r.events.iter().map(|e| e.at_ms).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "timestamps ordered: {times:?}");
+        assert_eq!(r.cold(), Some(true));
+        assert!(r.completed());
+    }
+
+    #[test]
+    fn distinct_ids() {
+        let j = journal();
+        let a = j.begin("f-1");
+        let b = j.begin("f-1");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bounded_capacity_ages_out_oldest() {
+        let j = TraceJournal::new(16, 1, SystemClock::shared());
+        let first = j.begin("f-1");
+        let ids: Vec<u64> = (0..200).map(|_| j.begin("f-1")).collect();
+        assert!(j.len() <= 16 + SHARDS, "len {} must stay bounded", j.len());
+        assert!(j.get(first).is_none(), "oldest trace must age out");
+        // Recording into an aged-out trace is a silent no-op.
+        j.record(first, TraceEventKind::Dequeued);
+        // The newest survive.
+        assert!(j.get(*ids.last().unwrap()).is_some());
+    }
+
+    #[test]
+    fn recent_is_newest_first() {
+        let j = journal();
+        let ids: Vec<u64> = (0..10).map(|_| j.begin("f-1")).collect();
+        let recent = j.recent(3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].trace_id, ids[9]);
+        assert!(recent.windows(2).all(|w| w[0].trace_id > w[1].trace_id));
+    }
+
+    #[test]
+    fn seeds_separate_id_spaces() {
+        let a = TraceJournal::new(8, 1, SystemClock::shared());
+        let b = TraceJournal::new(8, 2, SystemClock::shared());
+        assert_ne!(a.begin("f-1"), b.begin("f-1"));
+    }
+
+    #[test]
+    fn record_serde_roundtrip() {
+        let j = journal();
+        let id = j.begin("f-1");
+        j.record(id, TraceEventKind::ContainerAcquired { cold: false });
+        j.record(id, TraceEventKind::ResultReturned { ok: false });
+        let r = j.get(id).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"kind\":\"container_acquired\""), "json: {json}");
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace_id, r.trace_id);
+        assert_eq!(back.events, r.events);
+        assert_eq!(back.cold(), Some(false));
+    }
+}

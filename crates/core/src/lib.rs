@@ -20,11 +20,15 @@
 //!   fixed or AIMD-dynamic limits (§4).
 //! * [`worker`] — the assembled worker and its invocation hot path.
 //! * [`spans`] — lightweight per-component latency tracking (Table 1).
+//! * [`journal`] — per-invocation trace timelines (`GET /trace/{id}`).
+//! * [`exposition`] — Prometheus text rendering for `GET /metrics`.
 
 pub mod api;
 pub mod characteristics;
 pub mod config;
+pub mod exposition;
 pub mod invocation;
+pub mod journal;
 pub mod metrics;
 pub mod policies;
 pub mod pool;
@@ -35,7 +39,9 @@ pub mod worker;
 
 pub use config::{ConcurrencyConfig, KeepalivePolicyKind, QueueConfig, QueuePolicyKind, WorkerConfig};
 pub use invocation::{InvocationHandle, InvocationResult, InvokeError};
+pub use journal::{TraceEvent, TraceEventKind, TraceJournal, TraceRecord};
 pub use registration::{RegisterError, Registration, Registry};
+pub use spans::{merge_span_exports, SpanExport, Spans};
 pub use worker::{Worker, WorkerStatus};
 
 // Re-export the substrate types callers need to build a worker.

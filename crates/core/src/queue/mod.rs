@@ -28,6 +28,8 @@ use std::time::Duration;
 pub struct QueuedInvocation {
     pub fqdn: String,
     pub args: String,
+    /// End-to-end trace id minted at ingest (see [`crate::journal`]).
+    pub trace_id: u64,
     pub arrived_at: TimeMs,
     /// Expected execution time (moving-window), ms. 0 for unseen functions,
     /// which prioritizes them (§4.2).
@@ -212,6 +214,7 @@ mod tests {
         QueuedInvocation {
             fqdn: fqdn.into(),
             args: String::new(),
+            trace_id: 0,
             arrived_at: arrived,
             expected_exec_ms: exec,
             iat_ms: iat,

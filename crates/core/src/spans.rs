@@ -6,12 +6,16 @@
 //! records a span per component; aggregating them regenerates Table 1's
 //! latency breakdown.
 //!
-//! Span recording is two atomic adds on a pre-registered slot — cheap enough
-//! to leave on (unlike the paper's full tracing, which they disable by
-//! default for overhead reasons).
+//! Span recording is two atomic adds plus two short lock-protected pushes on
+//! a pre-registered slot — cheap enough to leave on (unlike the paper's full
+//! tracing, which they disable by default for overhead reasons). Each span
+//! keeps both an exact recent [`MovingWindow`] and a mergeable
+//! [`LogHistogram`], so percentiles can be exported over the wire and
+//! aggregated across workers without shipping raw samples.
 
-use iluvatar_sync::{MovingWindow, ShardedMap};
+use iluvatar_sync::{LogHistogram, MovingWindow, ShardedMap};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,6 +49,7 @@ struct SpanStats {
     count: AtomicU64,
     total_us: AtomicU64,
     window: Mutex<MovingWindow>,
+    hist: Mutex<LogHistogram>,
 }
 
 impl SpanStats {
@@ -53,7 +58,17 @@ impl SpanStats {
             count: AtomicU64::new(0),
             total_us: AtomicU64::new(0),
             window: Mutex::new(MovingWindow::new(512)),
+            hist: Mutex::new(LogHistogram::new()),
         }
+    }
+
+    /// The single recording path: every way a sample enters a span —
+    /// guard drop or external measurement — funnels through here.
+    fn record(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.window.lock().push(us as f64);
+        self.hist.lock().record(us);
     }
 }
 
@@ -66,6 +81,51 @@ pub struct SpanSummary {
     pub mean_ms: f64,
     /// p99 over the recent window, ms.
     pub p99_ms: f64,
+}
+
+/// Wire form of one span's full distribution: what a load balancer scrapes
+/// from `GET /spans` and merges into its cluster view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanExport {
+    pub name: String,
+    pub count: u64,
+    pub total_us: u64,
+    /// Mergeable log-linear histogram of durations, µs.
+    pub hist: LogHistogram,
+}
+
+impl SpanExport {
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64 / 1000.0
+        }
+    }
+
+    /// The `q`-percentile in milliseconds, from the histogram.
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        self.hist.percentile(q) / 1000.0
+    }
+}
+
+/// Merge span exports from many workers by span name (cluster aggregation).
+pub fn merge_span_exports(sets: &[Vec<SpanExport>]) -> Vec<SpanExport> {
+    let mut merged: Vec<SpanExport> = Vec::new();
+    for set in sets {
+        for e in set {
+            match merged.iter_mut().find(|m| m.name == e.name) {
+                Some(m) => {
+                    m.count += e.count;
+                    m.total_us = m.total_us.saturating_add(e.total_us);
+                    m.hist.merge(&e.hist);
+                }
+                None => merged.push(e.clone()),
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    merged
 }
 
 /// Registry of named spans.
@@ -82,10 +142,7 @@ pub struct SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let us = self.start.elapsed().as_micros() as u64;
-        self.stats.count.fetch_add(1, Ordering::Relaxed);
-        self.stats.total_us.fetch_add(us, Ordering::Relaxed);
-        self.stats.window.lock().push(us as f64);
+        self.stats.record(self.start.elapsed().as_micros() as u64);
     }
 }
 
@@ -109,10 +166,7 @@ impl Spans {
 
     /// Record an externally measured duration (µs).
     pub fn record_us(&self, name: &'static str, us: u64) {
-        let s = self.slot(name);
-        s.count.fetch_add(1, Ordering::Relaxed);
-        s.total_us.fetch_add(us, Ordering::Relaxed);
-        s.window.lock().push(us as f64);
+        self.slot(name).record(us);
     }
 
     pub fn summary(&self, name: &'static str) -> Option<SpanSummary> {
@@ -143,6 +197,25 @@ impl Spans {
                     count,
                     mean_ms: total_us as f64 / count as f64 / 1000.0,
                     p99_ms: s.window.lock().percentile(0.99) / 1000.0,
+                });
+            }
+        });
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Exportable distributions for every span with at least one sample,
+    /// sorted by name. This is the `GET /spans` payload.
+    pub fn export(&self) -> Vec<SpanExport> {
+        let mut out = Vec::new();
+        self.stats.for_each(|name, s| {
+            let count = s.count.load(Ordering::Relaxed);
+            if count > 0 {
+                out.push(SpanExport {
+                    name: name.to_string(),
+                    count,
+                    total_us: s.total_us.load(Ordering::Relaxed),
+                    hist: s.hist.lock().clone(),
                 });
             }
         });
@@ -223,5 +296,48 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(spans.summary(names::INVOKE).unwrap().count, 8000);
+    }
+
+    #[test]
+    fn export_carries_histogram() {
+        let spans = Spans::new();
+        for us in [100u64, 200, 300, 400, 10_000] {
+            spans.record_us(names::CALL_CONTAINER, us);
+        }
+        let export = spans.export();
+        assert_eq!(export.len(), 1);
+        let e = &export[0];
+        assert_eq!(e.name, names::CALL_CONTAINER);
+        assert_eq!(e.count, 5);
+        assert_eq!(e.hist.count(), 5);
+        assert!((e.mean_ms() - 2.2).abs() < 1e-9, "mean {}", e.mean_ms());
+        let p99 = e.percentile_ms(0.99);
+        assert!((p99 - 10.0).abs() / 10.0 < 0.02, "p99 {} should be ~10ms", p99);
+    }
+
+    #[test]
+    fn merged_exports_equal_union() {
+        let a = Spans::new();
+        let b = Spans::new();
+        let union = Spans::new();
+        for us in [10u64, 20, 30] {
+            a.record_us(names::DEQUEUE, us);
+            union.record_us(names::DEQUEUE, us);
+        }
+        for us in [40u64, 50] {
+            b.record_us(names::DEQUEUE, us);
+            union.record_us(names::DEQUEUE, us);
+        }
+        b.record_us(names::INVOKE, 7);
+        union.record_us(names::INVOKE, 7);
+        let merged = merge_span_exports(&[a.export(), b.export()]);
+        let expect = union.export();
+        assert_eq!(merged.len(), expect.len());
+        for (m, e) in merged.iter().zip(expect.iter()) {
+            assert_eq!(m.name, e.name);
+            assert_eq!(m.count, e.count);
+            assert_eq!(m.total_us, e.total_us);
+            assert_eq!(m.hist, e.hist);
+        }
     }
 }

@@ -18,6 +18,7 @@
 use crate::characteristics::Characteristics;
 use crate::config::WorkerConfig;
 use crate::invocation::{InvocationHandle, InvocationResult, InvokeError};
+use crate::journal::{TraceEventKind, TraceJournal, TraceRecord};
 use crate::metrics::{MetricsSnapshot, PowerModel, SystemMetrics};
 use crate::policies::make_policy;
 use crate::pool::{ContainerPool, EvictSink};
@@ -49,9 +50,14 @@ pub struct WorkerStatus {
     pub normalized_load: f64,
     pub completed: u64,
     pub dropped: u64,
+    /// Invocations that reached dispatch but errored (backend failures).
+    pub failed: u64,
     pub warm_hits: u64,
     pub cold_starts: u64,
 }
+
+/// Traces the journal remembers before the oldest age out.
+const TRACE_CAPACITY: usize = 4096;
 
 struct Shared {
     cfg: WorkerConfig,
@@ -63,12 +69,14 @@ struct Shared {
     regulator: ConcurrencyRegulator,
     backend: Arc<dyn ContainerBackend>,
     spans: Spans,
+    journal: TraceJournal,
     metrics: SystemMetrics,
     /// Currently executing invocations per function (herd suppression).
     running_fn: iluvatar_sync::ShardedMap<String, u64>,
     running: AtomicUsize,
     completed: AtomicU64,
     dropped: AtomicU64,
+    failed: AtomicU64,
     cold_starts: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -100,6 +108,14 @@ impl Worker {
             let _ = sink_tx.send(c);
         });
         let policy = make_policy(cfg.keepalive, cfg.ttl_ms);
+        // FNV-1a of the worker name seeds the trace id space, so ids from
+        // different workers in one cluster rarely collide.
+        let trace_seed = cfg
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            });
         let shared = Arc::new(Shared {
             registry: Registry::new(Platform::LINUX_AMD64),
             chars: Characteristics::new(cfg.char_window),
@@ -108,11 +124,13 @@ impl Worker {
             regulator: ConcurrencyRegulator::new(cfg.concurrency.clone()),
             backend: Arc::clone(&backend),
             spans: Spans::new(),
+            journal: TraceJournal::new(TRACE_CAPACITY, trace_seed, Arc::clone(&clock)),
             metrics: SystemMetrics::new(PowerModel::default(), Arc::clone(&clock)),
             running_fn: iluvatar_sync::ShardedMap::new(),
             running: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             cold_starts: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             clock,
@@ -235,16 +253,21 @@ impl Worker {
         let expected_exec_ms = s.chars.expected_exec_ms(fqdn, expect_warm);
         let iat_ms = s.chars.mean_iat_ms(fqdn);
         let (tx, handle) = InvocationHandle::pair();
+        // Mint the end-to-end trace at ingest; every later stage appends to
+        // this timeline, and the id crosses the agent hop as a header.
+        let trace_id = s.journal.begin(fqdn);
 
         // Queue bypass (§4.1): short functions run immediately when load
         // allows and a run slot is free right now.
         if s.queue.should_bypass(expected_exec_ms, s.normalized_load()) {
             if let Some(permit) = s.regulator.try_acquire() {
                 s.queue.note_bypass();
+                s.journal.record(trace_id, TraceEventKind::Bypassed);
                 let s2 = Arc::clone(s);
                 let item = QueuedInvocation {
                     fqdn: fqdn.to_string(),
                     args: args.to_string(),
+                    trace_id,
                     arrived_at: now,
                     expected_exec_ms,
                     iat_ms,
@@ -266,6 +289,7 @@ impl Worker {
         let item = QueuedInvocation {
             fqdn: fqdn.to_string(),
             args: args.to_string(),
+            trace_id,
             arrived_at: now,
             expected_exec_ms,
             iat_ms,
@@ -278,9 +302,13 @@ impl Worker {
         };
         drop(enq);
         match push {
-            Ok(()) => Ok(handle),
+            Ok(()) => {
+                s.journal.record(trace_id, TraceEventKind::Enqueued);
+                Ok(handle)
+            }
             Err(PushError::Full) => {
                 s.dropped.fetch_add(1, Ordering::Relaxed);
+                s.journal.record(trace_id, TraceEventKind::ResultReturned { ok: false });
                 Err(InvokeError::QueueFull)
             }
             Err(PushError::Closed) => Err(InvokeError::ShuttingDown),
@@ -306,6 +334,7 @@ impl Worker {
             normalized_load: s.normalized_load(),
             completed: s.completed.load(Ordering::Relaxed),
             dropped: s.dropped.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
             warm_hits: pool.warm_hits,
             cold_starts: s.cold_starts.load(Ordering::Relaxed),
         }
@@ -314,6 +343,16 @@ impl Worker {
     /// Per-component latency spans (Table 1).
     pub fn spans(&self) -> &Spans {
         &self.shared.spans
+    }
+
+    /// The full timeline of one invocation, if still journaled.
+    pub fn trace(&self, id: u64) -> Option<TraceRecord> {
+        self.shared.journal.get(id)
+    }
+
+    /// The `n` most recent invocation traces, newest first.
+    pub fn recent_traces(&self, n: usize) -> Vec<TraceRecord> {
+        self.shared.journal.recent(n)
     }
 
     /// Per-function characteristics (§3.1 data-driven policy API).
@@ -376,6 +415,7 @@ fn monitor_loop(s: Arc<Shared>) {
             }
         };
         let dequeued_at = s.clock.now_ms();
+        s.journal.record(item.trace_id, TraceEventKind::Dequeued);
         // Hold dispatch until a run slot frees up — the concurrency limit.
         let permit = s.regulator.acquire();
         let spawn_g = s.spans.time(names::SPAWN_WORKER);
@@ -436,6 +476,7 @@ fn run_invocation(s: &Shared, item: QueuedInvocation, dequeued_at: TimeMs) {
     s.running_fn.update(&item.fqdn, |n| *n = n.saturating_sub(1));
     s.running.fetch_sub(1, Ordering::Relaxed);
     let ret_g = s.spans.time(names::RETURN_RESULTS);
+    let ok = outcome.is_ok();
     match &outcome {
         Ok(result) => {
             s.completed.fetch_add(1, Ordering::Relaxed);
@@ -445,9 +486,12 @@ fn run_invocation(s: &Shared, item: QueuedInvocation, dequeued_at: TimeMs) {
         Err(InvokeError::NoResources) => {
             s.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        Err(_) => {}
+        Err(_) => {
+            s.failed.fetch_add(1, Ordering::Relaxed);
+        }
     }
     let _ = item.result_tx.send(outcome);
+    s.journal.record(item.trace_id, TraceEventKind::ResultReturned { ok });
     drop(ret_g);
 }
 
@@ -488,6 +532,8 @@ fn execute(
             }
             if let Some(c) = herd_hit {
                 drop(acq_g);
+                s.journal
+                    .record(item.trace_id, TraceEventKind::ContainerAcquired { cold: false });
                 return finish_invoke(s, item, dequeued_at, c, false);
             }
             let mb = reg.spec.limits.memory_mb;
@@ -509,6 +555,8 @@ fn execute(
         }
     };
     drop(acq_g);
+    s.journal
+        .record(item.trace_id, TraceEventKind::ContainerAcquired { cold });
     finish_invoke(s, item, dequeued_at, container, cold)
 }
 
@@ -530,7 +578,10 @@ fn finish_invoke(
     let args: &str = &item.args;
     drop(prep_g);
     let call_g = s.spans.time(names::CALL_CONTAINER);
-    let invoked = s.backend.invoke(&container, args);
+    s.journal.record(item.trace_id, TraceEventKind::AgentCalled);
+    let invoked = s
+        .backend
+        .invoke_traced(&container, args, Some(&format!("{:016x}", item.trace_id)));
     drop(call_g);
     let output = match invoked {
         Ok(o) => o,
@@ -557,6 +608,7 @@ fn finish_invoke(
         cold,
         queue_ms: dequeued_at.saturating_sub(item.arrived_at),
         arrived_at: item.arrived_at,
+        trace_id: item.trace_id,
     })
 }
 

@@ -17,6 +17,7 @@ fn item(fqdn: String, arrived: u64, exec: f64, iat: f64) -> QueuedInvocation {
     QueuedInvocation {
         fqdn,
         args: String::new(),
+        trace_id: 0,
         arrived_at: arrived,
         expected_exec_ms: exec,
         iat_ms: iat,

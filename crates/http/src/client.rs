@@ -156,9 +156,9 @@ mod tests {
         let pc = PooledClient::new(Duration::from_secs(2));
         for i in 0..5 {
             let resp = pc
-                .send(s.addr(), &Request::new(Method::Get, "/").with_body(format!("{i}")))
+                .send(s.addr(), &Request::new(Method::Get, "/").with_body(i.to_string()))
                 .unwrap();
-            assert_eq!(resp.body_str(), format!("{i}"));
+            assert_eq!(resp.body_str(), i.to_string());
         }
         assert_eq!(hits.load(Ordering::SeqCst), 5);
         assert_eq!(pc.idle_count(s.addr()), 1, "one idle pooled connection");

@@ -22,6 +22,10 @@ pub use message::{Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response, ParseError, ParseOutcome};
 pub use server::{HttpServer, ServerHandle};
 
+/// Header carrying the invocation trace id across the worker → agent hop,
+/// so agent-side time is attributed to the same end-to-end trace.
+pub const TRACE_HEADER: &str = "X-Iluvatar-Trace";
+
 /// Errors surfaced by the client and server.
 #[derive(Debug)]
 pub enum HttpError {

@@ -1,0 +1,289 @@
+//! The load balancer's HTTP front-end.
+//!
+//! Clients invoke through the balancer (`POST /invoke`), and operators
+//! scrape it: a background task periodically polls every worker's status
+//! and `/spans` distributions and merges them into one [`ClusterSnapshot`];
+//! `GET /metrics` renders that snapshot — per-worker loads, dispatch
+//! counters, and the cluster-wide Table-1 span histograms (merged
+//! losslessly across workers) — in the Prometheus text format.
+//!
+//! Routes:
+//!
+//! | method & path   | body                   | response |
+//! |-----------------|------------------------|----------|
+//! | `POST /invoke`  | `{"fqdn":…, "args":…}` | `WireResult` JSON |
+//! | `GET  /status`  |                        | `LbStatus` JSON |
+//! | `GET  /metrics` |                        | Prometheus text |
+
+use crate::cluster::{Cluster, ClusterSnapshot};
+use iluvatar_core::api::WireResult;
+use iluvatar_core::exposition::{render_span_histograms, PromWriter};
+use iluvatar_core::InvokeError;
+use iluvatar_http::server::Handler;
+use iluvatar_http::{HttpServer, Method, Request, Response, Status};
+use iluvatar_sync::TaskPool;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Serialize, Deserialize)]
+struct InvokeBody {
+    fqdn: String,
+    #[serde(default)]
+    args: String,
+}
+
+/// Wire form of the balancer's status.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct LbStatus {
+    pub workers: Vec<LbWorkerStatus>,
+    pub forwarded: u64,
+}
+
+/// One worker as the balancer sees it.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct LbWorkerStatus {
+    pub name: String,
+    pub load: f64,
+    pub dispatched: u64,
+}
+
+fn status_of(snap: &ClusterSnapshot) -> LbStatus {
+    LbStatus {
+        workers: snap
+            .workers
+            .iter()
+            .zip(snap.dispatched.iter())
+            .map(|((name, load), &dispatched)| LbWorkerStatus {
+                name: name.clone(),
+                load: *load,
+                dispatched,
+            })
+            .collect(),
+        forwarded: snap.forwarded,
+    }
+}
+
+fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
+    let mut w = PromWriter::new();
+    w.gauge("iluvatar_lb_workers", "Workers in the cluster", &[], snap.workers.len() as f64);
+    for ((name, load), dispatched) in snap.workers.iter().zip(snap.dispatched.iter()) {
+        w.gauge(
+            "iluvatar_lb_worker_load",
+            "Worker-reported normalized load at last scrape",
+            &[("worker", name)],
+            *load,
+        );
+        w.counter(
+            "iluvatar_lb_dispatched_total",
+            "Invocations dispatched to this worker",
+            &[("worker", name)],
+            *dispatched as f64,
+        );
+    }
+    w.counter(
+        "iluvatar_lb_forwarded_total",
+        "Invocations forwarded off their CH-BL home worker",
+        &[],
+        snap.forwarded as f64,
+    );
+    w.counter("iluvatar_lb_http_requests_total", "Requests served by the balancer API", &[], served as f64);
+    // Cluster-wide Table-1 histograms, merged across workers.
+    render_span_histograms(&mut w, &[("scope", "cluster")], &snap.spans);
+    w.finish()
+}
+
+fn json_resp(status: Status, body: String) -> Response {
+    Response::new(status)
+        .with_header("Content-Type", "application/json")
+        .with_body(body)
+}
+
+fn error_resp(e: &InvokeError) -> Response {
+    let status = match e {
+        InvokeError::NotRegistered(_) => Status::NOT_FOUND,
+        InvokeError::QueueFull | InvokeError::NoResources => Status::TOO_MANY_REQUESTS,
+        InvokeError::Backend(_) => Status::INTERNAL_ERROR,
+        InvokeError::ShuttingDown => Status::SERVICE_UNAVAILABLE,
+    };
+    json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))
+}
+
+/// The balancer's HTTP server plus its background scrape task.
+pub struct LbApi {
+    server: HttpServer,
+    tasks: TaskPool,
+    snapshot: Arc<Mutex<ClusterSnapshot>>,
+}
+
+impl LbApi {
+    /// Serve `cluster` on an ephemeral loopback port, rescraping every
+    /// worker each `scrape_period`.
+    pub fn serve(cluster: Arc<Cluster>, scrape_period: Duration) -> std::io::Result<Self> {
+        let snapshot = Arc::new(Mutex::new(cluster.scrape()));
+        let tasks = TaskPool::new(1);
+        {
+            let cluster = Arc::clone(&cluster);
+            let snapshot = Arc::clone(&snapshot);
+            tasks.spawn_periodic("lb-scrape", scrape_period, move || {
+                *snapshot.lock() = cluster.scrape();
+            });
+        }
+        let snap = Arc::clone(&snapshot);
+        let served = Arc::new(Mutex::new(None::<iluvatar_http::ServerHandle>));
+        let served2 = Arc::clone(&served);
+        let handler: Handler = Arc::new(move |req: Request| {
+            let body = std::str::from_utf8(&req.body).unwrap_or("");
+            match (req.method, req.path.as_str()) {
+                (Method::Get, "/status") => {
+                    json_resp(Status::OK, serde_json::to_string(&status_of(&snap.lock())).unwrap())
+                }
+                (Method::Get, "/metrics") => {
+                    let n = served2.lock().as_ref().map(|h| h.served()).unwrap_or(0);
+                    Response::ok(render_metrics(&snap.lock(), n))
+                        .with_header("Content-Type", "text/plain; version=0.0.4")
+                }
+                (Method::Post, "/invoke") => match serde_json::from_str::<InvokeBody>(body) {
+                    Ok(b) => match cluster.invoke(&b.fqdn, &b.args) {
+                        Ok(r) => {
+                            let wire: WireResult = r.into();
+                            json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                        }
+                        Err(e) => error_resp(&e),
+                    },
+                    Err(e) => {
+                        json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string()))
+                    }
+                },
+                _ => Response::new(Status::NOT_FOUND),
+            }
+        });
+        let server = HttpServer::start(handler)?;
+        *served.lock() = Some(server.handle());
+        Ok(Self { server, tasks, snapshot })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The most recent cluster scrape.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        self.snapshot.lock().clone()
+    }
+
+    pub fn shutdown(&mut self) {
+        self.tasks.shutdown();
+        self.server.shutdown();
+    }
+}
+
+impl Drop for LbApi {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{LbPolicy, WorkerHandle};
+    use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+    use iluvatar_core::config::WorkerConfig;
+    use iluvatar_core::{FunctionSpec, Worker};
+    use iluvatar_http::HttpClient;
+    use iluvatar_sync::SystemClock;
+    use std::time::Instant;
+
+    fn live_worker(name: &str) -> Arc<Worker> {
+        let clock = SystemClock::shared();
+        let backend = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        ));
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.name = name.to_string();
+        Arc::new(Worker::new(cfg, backend, clock))
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> Response {
+        HttpClient::send(addr, &Request::new(Method::Get, path), Duration::from_secs(5)).unwrap()
+    }
+
+    #[test]
+    fn invoke_status_metrics_over_http() {
+        let workers: Vec<Arc<dyn WorkerHandle>> = vec![live_worker("w0"), live_worker("w1")];
+        let cluster = Arc::new(Cluster::new(workers, LbPolicy::RoundRobin));
+        cluster.register_all(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        let api = LbApi::serve(Arc::clone(&cluster), Duration::from_millis(25)).unwrap();
+
+        // Invoke twice through the balancer: round-robin touches both workers.
+        for _ in 0..2 {
+            let body = serde_json::to_vec(&InvokeBody { fqdn: "f-1".into(), args: "{}".into() })
+                .unwrap();
+            let resp = HttpClient::send(
+                api.addr(),
+                &Request::new(Method::Post, "/invoke").with_body(body),
+                Duration::from_secs(10),
+            )
+            .unwrap();
+            assert_eq!(resp.status, Status::OK, "body: {}", resp.body_str());
+            let wire: WireResult = serde_json::from_str(resp.body_str()).unwrap();
+            assert_ne!(wire.trace_id, 0, "trace id survives the LB hop");
+        }
+
+        // The periodic scraper merges both workers' spans into /metrics.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let text = loop {
+            let text = get(api.addr(), "/metrics").body_str().to_string();
+            if text.contains("iluvatar_span_seconds_bucket") || Instant::now() > deadline {
+                break text;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(text.contains("iluvatar_lb_workers 2"), "text:\n{text}");
+        assert!(text.contains("iluvatar_lb_worker_load{worker=\"w0\"}"));
+        assert!(text.contains("iluvatar_lb_dispatched_total{worker=\"w1\"} 1"));
+        assert!(
+            text.contains("iluvatar_span_seconds_bucket{scope=\"cluster\",span=\"call_container\""),
+            "merged cluster histograms present:\n{text}"
+        );
+        assert!(text.contains("iluvatar_lb_http_requests_total"));
+
+        // The merged call_container count covers both workers' invocations.
+        let snap = api.snapshot();
+        let call = snap.spans.iter().find(|s| s.name == "call_container").unwrap();
+        assert_eq!(call.count, 2, "one invocation per worker merged");
+        assert_eq!(call.hist.count(), 2);
+
+        // /status mirrors the snapshot as JSON.
+        let st: LbStatus = serde_json::from_str(get(api.addr(), "/status").body_str()).unwrap();
+        assert_eq!(st.workers.len(), 2);
+        assert_eq!(st.workers.iter().map(|w| w.dispatched).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn invoke_unregistered_is_404_and_bad_body_400() {
+        let workers: Vec<Arc<dyn WorkerHandle>> = vec![live_worker("w0")];
+        let cluster = Arc::new(Cluster::new(workers, LbPolicy::LeastLoaded));
+        let api = LbApi::serve(cluster, Duration::from_secs(60)).unwrap();
+        let resp = HttpClient::send(
+            api.addr(),
+            &Request::new(Method::Post, "/invoke")
+                .with_body(&b"{\"fqdn\":\"ghost-1\"}"[..]),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status.0, 404);
+        let resp = HttpClient::send(
+            api.addr(),
+            &Request::new(Method::Post, "/invoke").with_body(&b"not json"[..]),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(resp.status.0, 400);
+        assert_eq!(get(api.addr(), "/nope").status.0, 404);
+    }
+}

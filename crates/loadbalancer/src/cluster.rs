@@ -1,7 +1,7 @@
 //! Cluster front-end: a load-balancing policy over worker handles.
 
 use crate::chbl::{ChBl, ChBlConfig};
-use iluvatar_core::{InvocationResult, InvokeError, Worker};
+use iluvatar_core::{merge_span_exports, InvocationResult, InvokeError, SpanExport, Worker};
 use iluvatar_containers::FunctionSpec;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,6 +14,11 @@ pub trait WorkerHandle: Send + Sync + 'static {
     fn load(&self) -> f64;
     fn register(&self, spec: FunctionSpec) -> Result<(), String>;
     fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError>;
+    /// Span distributions for cluster aggregation (§5). Handles without
+    /// observability (test stubs) report none.
+    fn span_export(&self) -> Vec<SpanExport> {
+        Vec::new()
+    }
 }
 
 /// A remote worker reached over its HTTP API — the distributed deployment
@@ -55,6 +60,7 @@ impl WorkerHandle for RemoteWorker {
                 cold: r.cold,
                 queue_ms: r.queue_ms,
                 arrived_at: 0,
+                trace_id: r.trace_id,
             }),
             Err(iluvatar_core::api::ApiError::Status(404, _)) => {
                 Err(InvokeError::NotRegistered(fqdn.to_string()))
@@ -62,6 +68,11 @@ impl WorkerHandle for RemoteWorker {
             Err(iluvatar_core::api::ApiError::Status(429, _)) => Err(InvokeError::QueueFull),
             Err(e) => Err(InvokeError::Backend(e.to_string())),
         }
+    }
+
+    fn span_export(&self) -> Vec<SpanExport> {
+        // A momentarily unreachable worker contributes nothing this scrape.
+        self.client.spans().unwrap_or_default()
     }
 }
 
@@ -81,6 +92,10 @@ impl WorkerHandle for Worker {
     fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
         Worker::invoke(self, fqdn, args)
     }
+
+    fn span_export(&self) -> Vec<SpanExport> {
+        self.spans().export()
+    }
 }
 
 /// Load-balancing policies; CH-BL is the paper's default.
@@ -99,6 +114,18 @@ enum PolicyState {
 /// Per-worker dispatch counters.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
+    pub dispatched: Vec<u64>,
+    pub forwarded: u64,
+}
+
+/// One scrape of the whole cluster: per-worker loads plus span histograms
+/// merged across workers (lossless — see `LogHistogram::merge`).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSnapshot {
+    /// (worker name, normalized load) per worker, cluster order.
+    pub workers: Vec<(String, f64)>,
+    /// Cluster-wide span distributions, merged by span name.
+    pub spans: Vec<SpanExport>,
     pub dispatched: Vec<u64>,
     pub forwarded: u64,
 }
@@ -190,6 +217,22 @@ impl Cluster {
             forwarded: self.forwarded.load(Ordering::Relaxed),
         }
     }
+
+    /// Scrape every worker's status and span distributions and merge them
+    /// into one cluster view (§5 aggregation).
+    pub fn scrape(&self) -> ClusterSnapshot {
+        let workers: Vec<(String, f64)> =
+            self.workers.iter().map(|w| (w.name(), w.load())).collect();
+        let sets: Vec<Vec<SpanExport>> =
+            self.workers.iter().map(|w| w.span_export()).collect();
+        let st = self.stats();
+        ClusterSnapshot {
+            workers,
+            spans: merge_span_exports(&sets),
+            dispatched: st.dispatched,
+            forwarded: st.forwarded,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +275,7 @@ mod tests {
                 cold: false,
                 queue_ms: 0,
                 arrived_at: 0,
+                trace_id: 0,
             })
         }
     }
@@ -310,5 +354,18 @@ mod tests {
         }
         let st = cluster.stats();
         assert_eq!(st.dispatched.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn scrape_reports_loads_and_dispatches() {
+        let (stubs, cluster) = stub_cluster(2, LbPolicy::RoundRobin);
+        *stubs[1].load.write() = 2.5;
+        cluster.invoke("f-1", "{}").unwrap();
+        let snap = cluster.scrape();
+        assert_eq!(snap.workers.len(), 2);
+        assert_eq!(snap.workers[0].0, "w0");
+        assert_eq!(snap.workers[1].1, 2.5);
+        assert!(snap.spans.is_empty(), "stubs export no spans");
+        assert_eq!(snap.dispatched.iter().sum::<u64>(), 1);
     }
 }

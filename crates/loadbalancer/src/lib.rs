@@ -9,10 +9,15 @@
 //!
 //! [`chbl`] implements the hash ring with bounded-load forwarding;
 //! [`cluster`] wires policies to worker handles (live [`iluvatar_core::Worker`]s
-//! or test stubs) and exposes the cluster-level invoke API.
+//! or test stubs) and exposes the cluster-level invoke API. [`api`] is the
+//! balancer's HTTP front-end: it dispatches invocations and aggregates
+//! worker observability — a background task scrapes every worker's span
+//! distributions and serves the merged cluster view on `GET /metrics`.
 
+pub mod api;
 pub mod chbl;
 pub mod cluster;
 
+pub use api::{LbApi, LbStatus};
 pub use chbl::{ChBl, ChBlConfig};
-pub use cluster::{Cluster, LbPolicy, WorkerHandle};
+pub use cluster::{Cluster, ClusterSnapshot, LbPolicy, WorkerHandle};

@@ -16,6 +16,7 @@
 
 pub mod aimd;
 pub mod clock;
+pub mod loghist;
 pub mod semaphore;
 pub mod shardmap;
 pub mod stats;
@@ -24,6 +25,7 @@ pub mod tokenbucket;
 
 pub use aimd::Aimd;
 pub use clock::{Clock, ManualClock, SystemClock, TimeMs};
+pub use loghist::LogHistogram;
 pub use semaphore::{Semaphore, SemaphorePermit};
 pub use shardmap::ShardedMap;
 pub use stats::{ExpMovingAvg, Histogram, MovingWindow, Welford};

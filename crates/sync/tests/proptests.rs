@@ -1,7 +1,7 @@
 //! Property-based tests for the concurrency substrates.
 
 use iluvatar_sync::stats::{percentile, Histogram, MovingWindow, Welford};
-use iluvatar_sync::{Aimd, ManualClock, ShardedMap, TokenBucket};
+use iluvatar_sync::{Aimd, LogHistogram, ManualClock, ShardedMap, TokenBucket};
 use iluvatar_sync::aimd::AimdConfig;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -126,5 +126,54 @@ proptest! {
         let in_buckets: u64 = h.counts().iter().sum();
         prop_assert_eq!(in_buckets + h.overflow(), h.total());
         prop_assert!(h.quantile_lower_edge(0.25) <= h.quantile_lower_edge(0.75));
+    }
+
+    /// LogHistogram percentiles stay within the advertised relative-error
+    /// bound of the exact nearest-rank sample, at every quantile.
+    #[test]
+    fn loghist_percentile_error_bounded(
+        xs in proptest::collection::vec(0u64..1_000_000_000_000, 1..500),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = sorted[rank] as f64;
+        let est = h.percentile(q);
+        let tol = exact * LogHistogram::REL_ERROR + 1e-9;
+        prop_assert!((est - exact).abs() <= tol,
+            "q={} exact={} est={} tol={}", q, exact, est, tol);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    /// Merging two LogHistograms is exactly equivalent to recording the
+    /// union of their samples into one, and survives a serde round trip.
+    #[test]
+    fn loghist_merge_equals_union(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        ys in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut union = LogHistogram::new();
+        for &x in &xs {
+            a.record(x);
+            union.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            union.record(y);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &union);
+        let wire = serde_json::to_string(&a).unwrap();
+        let back: LogHistogram = serde_json::from_str(&wire).unwrap();
+        prop_assert_eq!(&back, &union);
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# One-shot gate: build, test, lint. Run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build (release) ==="
+cargo build --workspace --release
+
+echo "=== cargo test ==="
+cargo test --workspace -q
+
+echo "=== cargo clippy ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "all checks passed"
