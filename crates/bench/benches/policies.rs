@@ -38,7 +38,7 @@ fn bench_sim_replay(c: &mut Criterion) {
     // A small trace replayed end-to-end: events/second of simulation.
     let trace = SyntheticAzureTrace::generate(&AzureTraceConfig {
         apps: 100,
-        duration_ms: 3600_000,
+        duration_ms: 3_600_000,
         seed: 99,
         diurnal_fraction: 0.0,
         rate_scale: 1.0,

@@ -58,7 +58,7 @@ fn main() {
         .step_by(step)
         .map(|s| {
             vec![
-                format!("{:.1} h", s.t_ms as f64 / 3600_000.0),
+                format!("{:.1} h", s.t_ms as f64 / 3_600_000.0),
                 s.cache_mb.to_string(),
                 format!("{:.4}", s.miss_per_sec),
                 if s.resized { "*".into() } else { String::new() },

@@ -12,7 +12,7 @@ fn main() {
         cfg.apps = 400;
         cfg.duration_ms = 6 * 3600 * 1000;
     }
-    eprintln!("generating base population ({} apps, {}h)...", cfg.apps, cfg.duration_ms / 3600_000);
+    eprintln!("generating base population ({} apps, {}h)...", cfg.apps, cfg.duration_ms / 3_600_000);
     let base = SyntheticAzureTrace::generate(&cfg);
 
     let mut rows = Vec::new();

@@ -93,6 +93,18 @@ pub struct WireStatus {
     /// Requests served by this worker's API server.
     #[serde(default)]
     pub http_requests: u64,
+    /// Retries scheduled after transient backend failures.
+    #[serde(default)]
+    pub retries: u64,
+    /// Agent calls abandoned at the agent timeout.
+    #[serde(default)]
+    pub agent_timeouts: u64,
+    /// Containers quarantined (discarded) after a failed agent hop.
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Invocations failed after the retry budget was exhausted or shed.
+    #[serde(default)]
+    pub dropped_retry_exhausted: u64,
 }
 
 impl From<WorkerStatus> for WireStatus {
@@ -111,6 +123,10 @@ impl From<WorkerStatus> for WireStatus {
             warm_hits: s.warm_hits,
             cold_starts: s.cold_starts,
             http_requests: 0,
+            retries: s.retries,
+            agent_timeouts: s.agent_timeouts,
+            quarantined: s.quarantined,
+            dropped_retry_exhausted: s.dropped_retry_exhausted,
         }
     }
 }

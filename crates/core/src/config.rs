@@ -146,6 +146,45 @@ impl Default for QueueConfig {
     }
 }
 
+/// Retry/timeout hardening around the agent hop. All knobs default to
+/// disabled so the baseline hot path is untouched; chaos/e2e configurations
+/// turn them on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Retries after a transient (backend) failure; 0 disables retrying.
+    pub max_retries: u32,
+    /// Backoff: delay before the first retry, ms.
+    pub backoff_base_ms: u64,
+    /// Backoff: upper bound on any single delay, ms.
+    pub backoff_cap_ms: u64,
+    /// Backoff: jitter fraction in `[0, 1]` (deterministic per trace id).
+    pub backoff_jitter: f64,
+    /// Per-invocation deadline from arrival, ms: retries never extend past
+    /// it. 0 disables the deadline.
+    pub invoke_deadline_ms: u64,
+    /// Agent-call timeout, ms: a call exceeding it is abandoned and the
+    /// container quarantined. 0 calls inline with no timeout.
+    pub agent_timeout_ms: u64,
+    /// Shed fraction: when invocations currently in retry-wait exceed this
+    /// fraction of the concurrency limit, further failures fail fast
+    /// instead of retrying (queue-level degrade under fault storms).
+    pub retry_saturation: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1_000,
+            backoff_jitter: 0.5,
+            invoke_deadline_ms: 0,
+            agent_timeout_ms: 0,
+            retry_saturation: 0.5,
+        }
+    }
+}
+
 /// Top-level worker configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkerConfig {
@@ -174,6 +213,10 @@ pub struct WorkerConfig {
     pub netns_pool: usize,
     /// Moving-window length for per-function characteristics.
     pub char_window: usize,
+    /// Retry/timeout hardening; defaults to fully disabled so configs
+    /// written before this field existed still parse.
+    #[serde(default)]
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for WorkerConfig {
@@ -191,6 +234,7 @@ impl Default for WorkerConfig {
             prewarm_horizon_ms: 0,
             netns_pool: 16,
             char_window: 32,
+            resilience: ResilienceConfig::default(),
         }
     }
 }

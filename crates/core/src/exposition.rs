@@ -165,6 +165,16 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
     w.counter("iluvatar_pool_evictions_total", "Keep-alive evictions", base, pool.evictions as f64);
     w.counter("iluvatar_http_requests_total", "Requests served by the worker API", base, http_requests as f64);
 
+    w.counter("iluvatar_retries_total", "Retries scheduled after transient backend failures", base, st.retries as f64);
+    w.counter("iluvatar_agent_timeouts_total", "Agent calls abandoned at the agent timeout", base, st.agent_timeouts as f64);
+    w.counter("iluvatar_containers_quarantined_total", "Containers quarantined after a failed agent hop", base, st.quarantined as f64);
+    w.counter(
+        "iluvatar_dropped_retry_exhausted_total",
+        "Invocations failed after the retry budget was exhausted or shed",
+        base,
+        st.dropped_retry_exhausted as f64,
+    );
+
     w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "1m")], m.load_1);
     w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "5m")], m.load_5);
     w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "15m")], m.load_15);
@@ -262,6 +272,10 @@ mod tests {
             "iluvatar_energy_joules_total",
             "iluvatar_power_watts",
             "iluvatar_http_requests_total",
+            "iluvatar_retries_total",
+            "iluvatar_agent_timeouts_total",
+            "iluvatar_containers_quarantined_total",
+            "iluvatar_dropped_retry_exhausted_total",
             "iluvatar_span_seconds_bucket",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");

@@ -35,8 +35,65 @@ pub enum TraceEventKind {
     ContainerAcquired { cold: bool },
     /// The in-container agent was called over HTTP.
     AgentCalled,
+    /// The agent call exceeded the configured timeout and was abandoned.
+    AgentTimeout,
+    /// The failed container was removed from circulation (destroyed rather
+    /// than returned to the keep-alive pool).
+    ContainerQuarantined,
+    /// A retry was scheduled after a transient failure.
+    RetryScheduled { attempt: u32, delay_ms: u64 },
+    /// The retry budget was exhausted (or shed under saturation); the
+    /// invocation fails with the last error.
+    RetriesExhausted,
     /// The result (or error) was delivered back to the caller.
     ResultReturned { ok: bool },
+}
+
+impl TraceEventKind {
+    /// Stable timestamp-free label, the unit of [`journal_digest`].
+    pub fn label(&self) -> String {
+        match self {
+            TraceEventKind::Ingested => "ingested".into(),
+            TraceEventKind::Enqueued => "enqueued".into(),
+            TraceEventKind::Bypassed => "bypassed".into(),
+            TraceEventKind::Dequeued => "dequeued".into(),
+            TraceEventKind::ContainerAcquired { cold } => format!("container_acquired({cold})"),
+            TraceEventKind::AgentCalled => "agent_called".into(),
+            TraceEventKind::AgentTimeout => "agent_timeout".into(),
+            TraceEventKind::ContainerQuarantined => "container_quarantined".into(),
+            TraceEventKind::RetryScheduled { attempt, delay_ms } => {
+                format!("retry_scheduled({attempt},{delay_ms})")
+            }
+            TraceEventKind::RetriesExhausted => "retries_exhausted".into(),
+            TraceEventKind::ResultReturned { ok } => format!("result_returned({ok})"),
+        }
+    }
+}
+
+/// Timestamp-free digest over a set of timelines: FNV-1a of each record's
+/// fqdn and event labels, records ordered by trace id. Two chaos runs with
+/// the same seed and workload produce the same digest even though their
+/// wall-clock timestamps differ — the flake detector in `scripts/check.sh`
+/// diffs this value across runs.
+pub fn journal_digest(records: &[TraceRecord]) -> u64 {
+    let mut sorted: Vec<&TraceRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.trace_id);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for r in sorted {
+        eat(r.fqdn.as_bytes());
+        eat(b"|");
+        for e in &r.events {
+            eat(e.kind.label().as_bytes());
+            eat(b";");
+        }
+        eat(b"\n");
+    }
+    h
 }
 
 /// A timestamped stage.
@@ -158,7 +215,7 @@ impl TraceJournal {
             out.extend(ring.iter().map(|r| r.lock().clone()));
         }
         // Newest first: ids are monotone per journal.
-        out.sort_by(|a, b| b.trace_id.cmp(&a.trace_id));
+        out.sort_by_key(|r| std::cmp::Reverse(r.trace_id));
         out.truncate(n);
         out
     }

@@ -37,9 +37,12 @@ pub mod registration;
 pub mod spans;
 pub mod worker;
 
-pub use config::{ConcurrencyConfig, KeepalivePolicyKind, QueueConfig, QueuePolicyKind, WorkerConfig};
+pub use config::{
+    ConcurrencyConfig, KeepalivePolicyKind, QueueConfig, QueuePolicyKind, ResilienceConfig,
+    WorkerConfig,
+};
 pub use invocation::{InvocationHandle, InvocationResult, InvokeError};
-pub use journal::{TraceEvent, TraceEventKind, TraceJournal, TraceRecord};
+pub use journal::{journal_digest, TraceEvent, TraceEventKind, TraceJournal, TraceRecord};
 pub use registration::{RegisterError, Registration, Registry};
 pub use spans::{merge_span_exports, SpanExport, Spans};
 pub use worker::{Worker, WorkerStatus};

@@ -26,11 +26,11 @@ use crate::queue::regulator::ConcurrencyRegulator;
 use crate::queue::{InvocationQueue, PushError, QueuedInvocation};
 use crate::registration::{RegisterError, Registration, Registry};
 use crate::spans::{names, Spans};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use iluvatar_containers::image::Platform;
 use iluvatar_containers::types::SharedContainer;
-use iluvatar_containers::{ContainerBackend, FunctionSpec};
-use iluvatar_sync::{Clock, TaskPool, TimeMs};
+use iluvatar_containers::{BackendError, ContainerBackend, FunctionSpec};
+use iluvatar_sync::{Backoff, BackoffConfig, Clock, TaskPool, TimeMs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -54,6 +54,15 @@ pub struct WorkerStatus {
     pub failed: u64,
     pub warm_hits: u64,
     pub cold_starts: u64,
+    /// Retries taken after transient backend failures.
+    pub retries: u64,
+    /// Agent calls abandoned at the configured timeout.
+    pub agent_timeouts: u64,
+    /// Containers quarantined (destroyed instead of pooled) after failures.
+    pub quarantined: u64,
+    /// Invocations that failed after exhausting (or shedding) their retry
+    /// budget.
+    pub dropped_retry_exhausted: u64,
 }
 
 /// Traces the journal remembers before the oldest age out.
@@ -78,6 +87,12 @@ struct Shared {
     dropped: AtomicU64,
     failed: AtomicU64,
     cold_starts: AtomicU64,
+    retries: AtomicU64,
+    agent_timeouts: AtomicU64,
+    quarantined: AtomicU64,
+    dropped_retry_exhausted: AtomicU64,
+    /// Invocations currently sleeping out a retry backoff (shed signal).
+    retrying: AtomicUsize,
     shutdown: AtomicBool,
 }
 
@@ -132,6 +147,11 @@ impl Worker {
             dropped: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cold_starts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            agent_timeouts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            dropped_retry_exhausted: AtomicU64::new(0),
+            retrying: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             clock,
             cfg,
@@ -296,16 +316,19 @@ impl Worker {
             expect_warm,
             result_tx: tx,
         };
+        // Journal `Enqueued` before the push: once the item is in the queue
+        // the dispatch loop races us, and a `Dequeued` landing first would
+        // scramble the timeline (and the deterministic journal digest). On
+        // the rare rejected push the event is immediately contradicted by
+        // `ResultReturned(false)`, which reads fine.
+        s.journal.record(trace_id, TraceEventKind::Enqueued);
         let push = {
             let _g = s.spans.time(names::ADD_ITEM_TO_Q);
             s.queue.push(item)
         };
         drop(enq);
         match push {
-            Ok(()) => {
-                s.journal.record(trace_id, TraceEventKind::Enqueued);
-                Ok(handle)
-            }
+            Ok(()) => Ok(handle),
             Err(PushError::Full) => {
                 s.dropped.fetch_add(1, Ordering::Relaxed);
                 s.journal.record(trace_id, TraceEventKind::ResultReturned { ok: false });
@@ -337,6 +360,10 @@ impl Worker {
             failed: s.failed.load(Ordering::Relaxed),
             warm_hits: pool.warm_hits,
             cold_starts: s.cold_starts.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            agent_timeouts: s.agent_timeouts.load(Ordering::Relaxed),
+            quarantined: s.quarantined.load(Ordering::Relaxed),
+            dropped_retry_exhausted: s.dropped_retry_exhausted.load(Ordering::Relaxed),
         }
     }
 
@@ -495,7 +522,79 @@ fn run_invocation(s: &Shared, item: QueuedInvocation, dequeued_at: TimeMs) {
     drop(ret_g);
 }
 
+/// One invocation, hardened: transient backend failures (cold-start
+/// failures, agent errors, agent timeouts) are retried on a **fresh**
+/// container with seeded exponential backoff — the failed container was
+/// quarantined by the attempt. The retry budget is bounded three ways:
+/// `max_retries`, the per-invocation deadline, and a saturation shed that
+/// fails fast when too many invocations are already waiting out backoffs
+/// (a fault storm must degrade, not amplify).
 fn execute(
+    s: &Shared,
+    item: &QueuedInvocation,
+    dequeued_at: TimeMs,
+) -> Result<InvocationResult, InvokeError> {
+    let res = &s.cfg.resilience;
+    if res.max_retries == 0 {
+        return attempt_invoke(s, item, dequeued_at);
+    }
+    // Seeding with the trace id keeps the whole schedule deterministic per
+    // invocation while decorrelating concurrent retriers.
+    let backoff = Backoff::new(
+        BackoffConfig {
+            base_ms: res.backoff_base_ms,
+            cap_ms: res.backoff_cap_ms,
+            max_retries: res.max_retries,
+            jitter: res.backoff_jitter,
+            deadline_ms: res.invoke_deadline_ms,
+        },
+        item.trace_id,
+    );
+    let deadline =
+        (res.invoke_deadline_ms > 0).then(|| item.arrived_at + res.invoke_deadline_ms);
+    let mut attempt: u32 = 0;
+    loop {
+        let err = match attempt_invoke(s, item, dequeued_at) {
+            Ok(r) => return Ok(r),
+            // Backend failures are transient by assumption (the container
+            // was quarantined); everything else is a control-plane verdict.
+            Err(e @ InvokeError::Backend(_)) => e,
+            Err(e) => return Err(e),
+        };
+        if attempt >= res.max_retries {
+            return retries_exhausted(s, item, err);
+        }
+        let shed_at = ((s.regulator.limit() as f64) * res.retry_saturation).max(1.0) as usize;
+        if s.retrying.load(Ordering::Relaxed) >= shed_at {
+            return retries_exhausted(s, item, err);
+        }
+        let delay = backoff.delay_ms(attempt);
+        if let Some(d) = deadline {
+            if s.clock.now_ms().saturating_add(delay) >= d {
+                return retries_exhausted(s, item, err);
+            }
+        }
+        s.journal
+            .record(item.trace_id, TraceEventKind::RetryScheduled { attempt, delay_ms: delay });
+        s.retries.fetch_add(1, Ordering::Relaxed);
+        s.retrying.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(delay));
+        s.retrying.fetch_sub(1, Ordering::Relaxed);
+        attempt += 1;
+    }
+}
+
+fn retries_exhausted(
+    s: &Shared,
+    item: &QueuedInvocation,
+    err: InvokeError,
+) -> Result<InvocationResult, InvokeError> {
+    s.dropped_retry_exhausted.fetch_add(1, Ordering::Relaxed);
+    s.journal.record(item.trace_id, TraceEventKind::RetriesExhausted);
+    Err(err)
+}
+
+fn attempt_invoke(
     s: &Shared,
     item: &QueuedInvocation,
     dequeued_at: TimeMs,
@@ -579,14 +678,47 @@ fn finish_invoke(
     drop(prep_g);
     let call_g = s.spans.time(names::CALL_CONTAINER);
     s.journal.record(item.trace_id, TraceEventKind::AgentCalled);
-    let invoked = s
-        .backend
-        .invoke_traced(&container, args, Some(&format!("{:016x}", item.trace_id)));
+    let trace_hex = format!("{:016x}", item.trace_id);
+    let timeout_ms = s.cfg.resilience.agent_timeout_ms;
+    let invoked = if timeout_ms == 0 {
+        s.backend.invoke_traced(&container, args, Some(&trace_hex))
+    } else {
+        // Bound the agent hop: run the call on a helper thread and abandon
+        // it on timeout. The container is quarantined below, so the orphaned
+        // call can only touch a container already leaving the pool.
+        let (tx, rx) = bounded(1);
+        let backend = Arc::clone(&s.backend);
+        let c2 = Arc::clone(&container);
+        let args2 = args.to_string();
+        let hex2 = trace_hex.clone();
+        let spawned = std::thread::Builder::new()
+            .name("iluvatar-agent-call".into())
+            .spawn(move || {
+                let _ = tx.send(backend.invoke_traced(&c2, &args2, Some(&hex2)));
+            });
+        match spawned {
+            Err(_) => s.backend.invoke_traced(&container, args, Some(&trace_hex)),
+            Ok(_) => match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
+                Ok(r) => r,
+                Err(_) => {
+                    s.agent_timeouts.fetch_add(1, Ordering::Relaxed);
+                    s.journal.record(item.trace_id, TraceEventKind::AgentTimeout);
+                    Err(BackendError::InvokeFailed(format!(
+                        "agent call timed out after {timeout_ms}ms"
+                    )))
+                }
+            },
+        }
+    };
     drop(call_g);
     let output = match invoked {
         Ok(o) => o,
         Err(e) => {
-            // A failed container is not returned to the pool.
+            // A failed container is not returned to the pool: quarantine it
+            // (memory freed, container routed to the destroyer).
+            s.quarantined.fetch_add(1, Ordering::Relaxed);
+            s.journal
+                .record(item.trace_id, TraceEventKind::ContainerQuarantined);
             s.pool.discard(container);
             return Err(InvokeError::Backend(e.to_string()));
         }

@@ -1,0 +1,185 @@
+//! HTTP-level fault injection: dropped and garbled responses.
+//!
+//! The container-backend injector (`iluvatar-chaos`) covers faults *below*
+//! the control plane; this module covers the wire *between* control-plane
+//! components — the load balancer → worker hop and the worker → agent hop.
+//! [`wrap_handler`] interposes on a server's [`Handler`] and, per the seeded
+//! plan, either drops the response (the connection closes with no bytes, so
+//! the client sees `ConnectionClosed`) or garbles the body (bytes arrive but
+//! are not the JSON the caller expects).
+//!
+//! Decisions are deterministic in `(seed, occurrence index)` — the same
+//! seeded plan replays the same fault sequence, which is what lets the chaos
+//! suite diff journal digests across runs.
+
+use crate::message::{Request, Response, Status};
+use crate::server::Handler;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Seeded plan for response-level faults.
+#[derive(Debug, Clone)]
+pub struct HttpFaultConfig {
+    pub seed: u64,
+    /// Probability a response is dropped (connection closed, no bytes).
+    pub drop_prob: f64,
+    /// Probability a response body is garbled (invalid JSON bytes).
+    pub garble_prob: f64,
+}
+
+impl Default for HttpFaultConfig {
+    fn default() -> Self {
+        Self { seed: 0, drop_prob: 0.0, garble_prob: 0.0 }
+    }
+}
+
+/// What the injector decided for one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpFault {
+    None,
+    Dropped,
+    Garbled,
+}
+
+/// Counters of fired HTTP faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HttpFaultStats {
+    pub seen: u64,
+    pub dropped: u64,
+    pub garbled: u64,
+}
+
+/// splitmix64 finalizer, same mixing as the backend-level plan.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic response-fault decisions with fired counters.
+pub struct HttpFaultInjector {
+    cfg: HttpFaultConfig,
+    seen: AtomicU64,
+    dropped: AtomicU64,
+    garbled: AtomicU64,
+}
+
+impl HttpFaultInjector {
+    pub fn new(cfg: HttpFaultConfig) -> Self {
+        Self { cfg, seen: AtomicU64::new(0), dropped: AtomicU64::new(0), garbled: AtomicU64::new(0) }
+    }
+
+    /// Decide the fate of the next response. One occurrence is consumed per
+    /// call; the drop and garble draws are independent hashes of it, with
+    /// drop taking priority when both fire.
+    pub fn decide(&self) -> HttpFault {
+        let idx = self.seen.fetch_add(1, Ordering::Relaxed);
+        let unit = |salt: u64| {
+            (mix(self.cfg.seed ^ salt ^ idx.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11) as f64
+                / (1u64 << 53) as f64
+        };
+        if self.cfg.drop_prob > 0.0 && unit(0x64726f70) < self.cfg.drop_prob {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return HttpFault::Dropped;
+        }
+        if self.cfg.garble_prob > 0.0 && unit(0x67617262) < self.cfg.garble_prob {
+            self.garbled.fetch_add(1, Ordering::Relaxed);
+            return HttpFault::Garbled;
+        }
+        HttpFault::None
+    }
+
+    pub fn stats(&self) -> HttpFaultStats {
+        HttpFaultStats {
+            seen: self.seen.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            garbled: self.garbled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sentinel header signalling the connection thread to close the socket
+/// without writing the response — the client observes a dropped response.
+pub const DROP_HEADER: &str = "X-Chaos-Drop";
+
+/// Wrap `handler` so its responses pass through `injector`.
+///
+/// * `Dropped` → the response is tagged with [`DROP_HEADER`]; the server's
+///   connection loop closes the socket instead of writing it.
+/// * `Garbled` → the body is replaced with bytes that parse as HTTP but not
+///   as the JSON payload the caller expects.
+pub fn wrap_handler(handler: Handler, injector: Arc<HttpFaultInjector>) -> Handler {
+    Arc::new(move |req: Request| {
+        let resp = handler(req);
+        match injector.decide() {
+            HttpFault::None => resp,
+            HttpFault::Dropped => resp.with_header(DROP_HEADER, "1"),
+            HttpFault::Garbled => Response::new(Status::OK)
+                .with_header("Content-Type", "application/json")
+                .with_body(&b"\x00\xff{garbled"[..]),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(cfg: HttpFaultConfig, n: u64) -> Vec<HttpFault> {
+        let inj = HttpFaultInjector::new(cfg);
+        (0..n).map(|_| inj.decide()).collect()
+    }
+
+    #[test]
+    fn zero_probs_never_fault() {
+        let out = decisions(HttpFaultConfig::default(), 100);
+        assert!(out.iter().all(|&f| f == HttpFault::None));
+    }
+
+    #[test]
+    fn decisions_replay_with_seed() {
+        let cfg = HttpFaultConfig { seed: 11, drop_prob: 0.2, garble_prob: 0.2 };
+        assert_eq!(decisions(cfg.clone(), 256), decisions(cfg.clone(), 256));
+        let other = HttpFaultConfig { seed: 12, ..cfg };
+        assert_ne!(decisions(other, 256), decisions(cfg, 256));
+    }
+
+    #[test]
+    fn stats_count_fired_faults() {
+        let inj = HttpFaultInjector::new(HttpFaultConfig { seed: 3, drop_prob: 0.5, garble_prob: 0.5 });
+        for _ in 0..200 {
+            inj.decide();
+        }
+        let st = inj.stats();
+        assert_eq!(st.seen, 200);
+        assert!(st.dropped > 0 && st.garbled > 0);
+        assert!(st.dropped + st.garbled <= 200);
+    }
+
+    #[test]
+    fn wrapped_handler_tags_and_garbles() {
+        let inner: Handler = Arc::new(|_req| Response::ok("{\"ok\":true}"));
+        // drop_prob 1.0: every response is tagged for dropping.
+        let inj = Arc::new(HttpFaultInjector::new(HttpFaultConfig {
+            seed: 1,
+            drop_prob: 1.0,
+            garble_prob: 0.0,
+        }));
+        let wrapped = wrap_handler(inner.clone(), Arc::clone(&inj));
+        let resp = wrapped(Request::new(crate::Method::Get, "/"));
+        assert_eq!(resp.header(DROP_HEADER), Some("1"));
+
+        // garble_prob 1.0: body is replaced with non-JSON bytes.
+        let inj = Arc::new(HttpFaultInjector::new(HttpFaultConfig {
+            seed: 1,
+            drop_prob: 0.0,
+            garble_prob: 1.0,
+        }));
+        let wrapped = wrap_handler(inner, inj);
+        let resp = wrapped(Request::new(crate::Method::Get, "/"));
+        assert_eq!(resp.header(DROP_HEADER), None);
+        assert!(std::str::from_utf8(&resp.body).is_err() || resp.body_str().contains("garbled"));
+    }
+}

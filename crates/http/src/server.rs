@@ -126,6 +126,11 @@ fn connection_loop(
                     .unwrap_or(false);
                 let resp = handler(req);
                 served.fetch_add(1, Ordering::Relaxed);
+                // Chaos drop: a handler wrapped by `chaos::wrap_handler` tags
+                // responses to be dropped; close without writing a byte.
+                if resp.header(crate::chaos::DROP_HEADER).is_some() {
+                    return;
+                }
                 if stream.write_all(&resp.encode()).is_err() {
                     return;
                 }
@@ -177,9 +182,8 @@ mod tests {
         let mut out = Vec::new();
         let mut tmp = [0u8; 4096];
         loop {
-            match crate::parse::parse_response(&out) {
-                Ok(ParseOutcome::Complete(..)) => break,
-                _ => {}
+            if let Ok(ParseOutcome::Complete(..)) = crate::parse::parse_response(&out) {
+                break;
             }
             match s.read(&mut tmp) {
                 Ok(0) => break,

@@ -40,14 +40,23 @@ struct InvokeBody {
 pub struct LbStatus {
     pub workers: Vec<LbWorkerStatus>,
     pub forwarded: u64,
+    /// Health-check evictions (healthy→unhealthy transitions).
+    #[serde(default)]
+    pub evictions: u64,
+    /// Invocations re-dispatched after a worker failed mid-call.
+    #[serde(default)]
+    pub rerouted: u64,
 }
 
 /// One worker as the balancer sees it.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct LbWorkerStatus {
     pub name: String,
+    /// Normalized load; `-1` for an evicted worker (JSON has no infinity).
     pub load: f64,
     pub dispatched: u64,
+    #[serde(default)]
+    pub healthy: bool,
 }
 
 fn status_of(snap: &ClusterSnapshot) -> LbStatus {
@@ -56,25 +65,37 @@ fn status_of(snap: &ClusterSnapshot) -> LbStatus {
             .workers
             .iter()
             .zip(snap.dispatched.iter())
-            .map(|((name, load), &dispatched)| LbWorkerStatus {
+            .enumerate()
+            .map(|(i, ((name, load), &dispatched))| LbWorkerStatus {
                 name: name.clone(),
-                load: *load,
+                load: if load.is_finite() { *load } else { -1.0 },
                 dispatched,
+                healthy: snap.healthy.get(i).copied().unwrap_or(true),
             })
             .collect(),
         forwarded: snap.forwarded,
+        evictions: snap.evictions,
+        rerouted: snap.rerouted,
     }
 }
 
 fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
     let mut w = PromWriter::new();
     w.gauge("iluvatar_lb_workers", "Workers in the cluster", &[], snap.workers.len() as f64);
-    for ((name, load), dispatched) in snap.workers.iter().zip(snap.dispatched.iter()) {
+    for (i, ((name, load), dispatched)) in
+        snap.workers.iter().zip(snap.dispatched.iter()).enumerate()
+    {
         w.gauge(
             "iluvatar_lb_worker_load",
-            "Worker-reported normalized load at last scrape",
+            "Worker-reported normalized load at last scrape (-1 when evicted)",
             &[("worker", name)],
-            *load,
+            if load.is_finite() { *load } else { -1.0 },
+        );
+        w.gauge(
+            "iluvatar_lb_worker_healthy",
+            "1 while the worker passes health checks, 0 after eviction",
+            &[("worker", name)],
+            if snap.healthy.get(i).copied().unwrap_or(true) { 1.0 } else { 0.0 },
         );
         w.counter(
             "iluvatar_lb_dispatched_total",
@@ -88,6 +109,18 @@ fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
         "Invocations forwarded off their CH-BL home worker",
         &[],
         snap.forwarded as f64,
+    );
+    w.counter(
+        "iluvatar_lb_worker_evictions_total",
+        "Workers evicted by health checks or failed invocations",
+        &[],
+        snap.evictions as f64,
+    );
+    w.counter(
+        "iluvatar_lb_rerouted_total",
+        "Invocations re-dispatched to another worker after a failure",
+        &[],
+        snap.rerouted as f64,
     );
     w.counter("iluvatar_lb_http_requests_total", "Requests served by the balancer API", &[], served as f64);
     // Cluster-wide Table-1 histograms, merged across workers.
@@ -234,11 +267,20 @@ mod tests {
             assert_ne!(wire.trace_id, 0, "trace id survives the LB hop");
         }
 
-        // The periodic scraper merges both workers' spans into /metrics.
+        // The periodic scraper merges both workers' spans into /metrics. Wait
+        // until a scrape taken *after both* invocations lands: a scrape
+        // between the two sees only one worker's call_container sample.
         let deadline = Instant::now() + Duration::from_secs(5);
         let text = loop {
             let text = get(api.addr(), "/metrics").body_str().to_string();
-            if text.contains("iluvatar_span_seconds_bucket") || Instant::now() > deadline {
+            let both_merged = api
+                .snapshot()
+                .spans
+                .iter()
+                .any(|s| s.name == "call_container" && s.count >= 2);
+            if (text.contains("iluvatar_span_seconds_bucket") && both_merged)
+                || Instant::now() > deadline
+            {
                 break text;
             }
             std::thread::sleep(Duration::from_millis(20));

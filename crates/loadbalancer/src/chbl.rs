@@ -69,7 +69,13 @@ impl ChBl {
         assert_eq!(loads.len(), self.workers);
         let h = hash_of(fqdn);
         let start = self.ring.partition_point(|&(pos, _)| pos < h) % self.ring.len();
-        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        // Evicted workers report infinite load; they must not poison the
+        // mean (an infinite bound admits everyone, including the dead).
+        let (sum, finite) = loads
+            .iter()
+            .filter(|l| l.is_finite())
+            .fold((0.0, 0usize), |(s, n), l| (s + l, n + 1));
+        let mean = if finite == 0 { 0.0 } else { sum / finite as f64 };
         let bound = self.cfg.c * mean.max(1.0);
         let mut hops = 0;
         let mut seen = vec![false; self.workers];
@@ -80,7 +86,7 @@ impl ChBl {
                 continue;
             }
             seen[w] = true;
-            if loads[w] <= bound {
+            if loads[w].is_finite() && loads[w] <= bound {
                 return (w, hops);
             }
             hops += 1;

@@ -4,7 +4,7 @@ use crate::chbl::{ChBl, ChBlConfig};
 use iluvatar_core::{merge_span_exports, InvocationResult, InvokeError, SpanExport, Worker};
 use iluvatar_containers::FunctionSpec;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Anything the balancer can dispatch to: a live worker or a test stub.
@@ -116,6 +116,12 @@ enum PolicyState {
 pub struct ClusterStats {
     pub dispatched: Vec<u64>,
     pub forwarded: u64,
+    /// Health-check evictions: transitions of a worker to unhealthy.
+    pub evictions: u64,
+    /// Invocations re-dispatched to another worker after a worker failed.
+    pub rerouted: u64,
+    /// Current per-worker health, cluster order.
+    pub healthy: Vec<bool>,
 }
 
 /// One scrape of the whole cluster: per-worker loads plus span histograms
@@ -128,6 +134,10 @@ pub struct ClusterSnapshot {
     pub spans: Vec<SpanExport>,
     pub dispatched: Vec<u64>,
     pub forwarded: u64,
+    pub evictions: u64,
+    pub rerouted: u64,
+    /// Current per-worker health, cluster order.
+    pub healthy: Vec<bool>,
 }
 
 /// The cluster: a policy over a fixed set of workers.
@@ -139,6 +149,12 @@ pub struct Cluster {
     /// Cached loads, refreshed on each dispatch (stateless balancer —
     /// loads come from worker status, not balancer bookkeeping).
     loads: Mutex<Vec<f64>>,
+    /// Per-worker health. A worker is evicted (marked unhealthy) when its
+    /// status poll fails (non-finite load) or an invocation dies on it; a
+    /// later successful status poll readmits it.
+    healthy: Vec<AtomicBool>,
+    evictions: AtomicU64,
+    rerouted: AtomicU64,
 }
 
 impl Cluster {
@@ -155,6 +171,9 @@ impl Cluster {
             dispatched: (0..n).map(|_| AtomicU64::new(0)).collect(),
             forwarded: AtomicU64::new(0),
             loads: Mutex::new(vec![0.0; n]),
+            healthy: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            evictions: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
             workers,
         }
     }
@@ -175,8 +194,29 @@ impl Cluster {
         Ok(())
     }
 
+    /// Mark a worker unhealthy; counts only the healthy→unhealthy edge.
+    fn evict(&self, idx: usize) {
+        if self.healthy[idx].swap(false, Ordering::Relaxed) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn refresh_loads(&self) -> Vec<f64> {
-        let loads: Vec<f64> = self.workers.iter().map(|w| w.load()).collect();
+        let mut loads: Vec<f64> = self.workers.iter().map(|w| w.load()).collect();
+        for (i, l) in loads.iter_mut().enumerate() {
+            if !l.is_finite() {
+                // The status poll failed: health-check eviction.
+                self.evict(i);
+            } else if !self.healthy[i].load(Ordering::Relaxed) {
+                // A finite load means the worker answered again: readmit.
+                self.healthy[i].store(true, Ordering::Relaxed);
+            }
+            if !self.healthy[i].load(Ordering::Relaxed) {
+                // Evicted workers look infinitely loaded so every
+                // load-aware policy routes around them.
+                *l = f64::INFINITY;
+            }
+        }
         *self.loads.lock() = loads.clone();
         loads
     }
@@ -193,7 +233,17 @@ impl Cluster {
                 w
             }
             PolicyState::RoundRobin(ctr) => {
-                (ctr.fetch_add(1, Ordering::Relaxed) as usize) % self.workers.len()
+                let n = self.workers.len();
+                let mut choice = (ctr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+                // Skip evicted workers; with none healthy, fall through and
+                // let the invocation fail loudly rather than stall.
+                for _ in 0..n {
+                    if self.healthy[choice].load(Ordering::Relaxed) {
+                        break;
+                    }
+                    choice = (ctr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+                }
+                choice
             }
             PolicyState::LeastLoaded => {
                 let loads = self.refresh_loads();
@@ -204,25 +254,75 @@ impl Cluster {
         }
     }
 
-    /// Balance and invoke synchronously.
+    /// Balance and invoke synchronously. A transport/backend failure evicts
+    /// the worker and re-routes the invocation to the least-loaded healthy
+    /// peer, so a worker dying mid-run loses no in-flight work at this
+    /// layer — callers see an error only when every worker has failed.
     pub fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
         let w = self.pick(fqdn);
         self.dispatched[w].fetch_add(1, Ordering::Relaxed);
-        self.workers[w].invoke(fqdn, args)
+        match self.workers[w].invoke(fqdn, args) {
+            Err(InvokeError::Backend(e)) => self.reroute(fqdn, args, w, InvokeError::Backend(e)),
+            other => other,
+        }
+    }
+
+    fn reroute(
+        &self,
+        fqdn: &str,
+        args: &str,
+        failed: usize,
+        first_err: InvokeError,
+    ) -> Result<InvocationResult, InvokeError> {
+        self.evict(failed);
+        let mut err = first_err;
+        let mut tried = vec![false; self.workers.len()];
+        tried[failed] = true;
+        loop {
+            let loads = self.loads.lock().clone();
+            let next = (0..self.workers.len())
+                .filter(|&i| !tried[i] && self.healthy[i].load(Ordering::Relaxed))
+                .min_by(|&a, &b| {
+                    loads[a].partial_cmp(&loads[b]).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let Some(i) = next else { return Err(err) };
+            tried[i] = true;
+            self.rerouted.fetch_add(1, Ordering::Relaxed);
+            self.dispatched[i].fetch_add(1, Ordering::Relaxed);
+            match self.workers[i].invoke(fqdn, args) {
+                Err(InvokeError::Backend(e)) => {
+                    self.evict(i);
+                    err = InvokeError::Backend(e);
+                }
+                other => return other,
+            }
+        }
     }
 
     pub fn stats(&self) -> ClusterStats {
         ClusterStats {
             dispatched: self.dispatched.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
             forwarded: self.forwarded.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rerouted: self.rerouted.load(Ordering::Relaxed),
+            healthy: self.healthy.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
         }
     }
 
     /// Scrape every worker's status and span distributions and merge them
     /// into one cluster view (§5 aggregation).
     pub fn scrape(&self) -> ClusterSnapshot {
-        let workers: Vec<(String, f64)> =
-            self.workers.iter().map(|w| (w.name(), w.load())).collect();
+        // The scrape doubles as the periodic health check: refresh_loads
+        // evicts workers whose status poll failed and readmits recovered
+        // ones, so the LB's scrape task keeps the health view current even
+        // when no invocations are flowing.
+        let loads = self.refresh_loads();
+        let workers: Vec<(String, f64)> = self
+            .workers
+            .iter()
+            .zip(&loads)
+            .map(|(w, &l)| (w.name(), l))
+            .collect();
         let sets: Vec<Vec<SpanExport>> =
             self.workers.iter().map(|w| w.span_export()).collect();
         let st = self.stats();
@@ -231,6 +331,9 @@ impl Cluster {
             spans: merge_span_exports(&sets),
             dispatched: st.dispatched,
             forwarded: st.forwarded,
+            evictions: st.evictions,
+            rerouted: st.rerouted,
+            healthy: st.healthy,
         }
     }
 }

@@ -227,7 +227,7 @@ mod tests {
         // controller should shrink toward min.
         let run = DynamicScaler::new(cfg()).run(
             profiles(1),
-            &round_robin(1, 5_000, 3 * 3600_000),
+            &round_robin(1, 5_000, 3 * 3_600_000),
             SimConfig::new(KeepalivePolicyKind::Gdsf, 4_000),
         );
         let last = run.samples.last().unwrap();
@@ -246,7 +246,7 @@ mod tests {
         let c = ProvisioningConfig { initial_mb: 800, ..cfg() };
         let run = DynamicScaler::new(c).run(
             profiles(40),
-            &round_robin(40, 2_000, 2 * 3600_000),
+            &round_robin(40, 2_000, 2 * 3_600_000),
             SimConfig::new(KeepalivePolicyKind::Gdsf, 800),
         );
         let peak = run.samples.iter().map(|s| s.cache_mb).max().unwrap();
@@ -258,7 +258,7 @@ mod tests {
         let c = ProvisioningConfig { min_mb: 1_000, max_mb: 2_000, initial_mb: 1_500, ..cfg() };
         let run = DynamicScaler::new(c).run(
             profiles(40),
-            &round_robin(40, 1_000, 3600_000),
+            &round_robin(40, 1_000, 3_600_000),
             SimConfig::new(KeepalivePolicyKind::Gdsf, 1_500),
         );
         for s in &run.samples {
@@ -279,7 +279,7 @@ mod tests {
         let c = ProvisioningConfig { error_tolerance: 1e9, ..cfg() };
         let run = DynamicScaler::new(c).run(
             profiles(5),
-            &round_robin(5, 10_000, 3600_000),
+            &round_robin(5, 10_000, 3_600_000),
             SimConfig::new(KeepalivePolicyKind::Gdsf, 4_000),
         );
         assert!(run.samples.iter().all(|s| !s.resized));
@@ -291,7 +291,7 @@ mod tests {
         // The Fig. 8 claim: dynamic sizing averages below a conservative
         // static provision without large cold-start regressions.
         let static_mb = 4_000u64;
-        let events = round_robin(10, 4_000, 4 * 3600_000);
+        let events = round_robin(10, 4_000, 4 * 3_600_000);
         let stat = KeepaliveSim::run(
             profiles(10),
             &events,

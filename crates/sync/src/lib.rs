@@ -15,6 +15,7 @@
 //! time (in-situ simulation, §3.4).
 
 pub mod aimd;
+pub mod backoff;
 pub mod clock;
 pub mod loghist;
 pub mod semaphore;
@@ -24,6 +25,7 @@ pub mod taskpool;
 pub mod tokenbucket;
 
 pub use aimd::Aimd;
+pub use backoff::{Backoff, BackoffConfig};
 pub use clock::{Clock, ManualClock, SystemClock, TimeMs};
 pub use loghist::LogHistogram;
 pub use semaphore::{Semaphore, SemaphorePermit};

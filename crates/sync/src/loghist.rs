@@ -242,14 +242,14 @@ impl From<SparseHist> for LogHistogram {
 }
 
 impl serde::Serialize for LogHistogram {
-    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
-        SparseHist::from(self).serialize(ser)
+    fn serialize(&self) -> serde::Value {
+        serde::Serialize::serialize(&SparseHist::from(self))
     }
 }
 
-impl<'de> serde::Deserialize<'de> for LogHistogram {
-    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-        SparseHist::deserialize(de).map(LogHistogram::from)
+impl serde::Deserialize for LogHistogram {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        SparseHist::deserialize(v).map(LogHistogram::from)
     }
 }
 

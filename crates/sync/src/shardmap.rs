@@ -93,10 +93,8 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 
     #[inline]
     fn shard_for<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
         // Use the top bits: Fx mixes entropy upward.
-        (h.finish() >> (64 - SHARD_BITS)) as usize
+        (self.hasher.hash_one(key) >> (64 - SHARD_BITS)) as usize
     }
 
     /// Insert, returning the previous value if the key was present.

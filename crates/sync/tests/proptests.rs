@@ -1,7 +1,7 @@
 //! Property-based tests for the concurrency substrates.
 
 use iluvatar_sync::stats::{percentile, Histogram, MovingWindow, Welford};
-use iluvatar_sync::{Aimd, LogHistogram, ManualClock, ShardedMap, TokenBucket};
+use iluvatar_sync::{Aimd, Backoff, BackoffConfig, LogHistogram, ManualClock, ShardedMap, TokenBucket};
 use iluvatar_sync::aimd::AimdConfig;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -89,7 +89,7 @@ proptest! {
         let mut a = Aimd::new(init, cfg);
         for s in signals {
             let lim = a.observe(s);
-            prop_assert!(lim >= 2 && lim <= 48, "limit {lim} out of clamp");
+            prop_assert!((2..=48).contains(&lim), "limit {lim} out of clamp");
         }
     }
 
@@ -175,5 +175,74 @@ proptest! {
         let wire = serde_json::to_string(&a).unwrap();
         let back: LogHistogram = serde_json::from_str(&wire).unwrap();
         prop_assert_eq!(&back, &union);
+    }
+
+    /// Nominal (jitter-free) backoff delays are monotone non-decreasing in
+    /// the attempt number and saturate at the cap.
+    #[test]
+    fn backoff_nominal_monotone_and_capped(
+        base in 1u64..1_000,
+        cap in 1u64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BackoffConfig { base_ms: base, cap_ms: cap, max_retries: 32, jitter: 0.0, deadline_ms: 0 };
+        let b = Backoff::new(cfg, seed);
+        let mut prev = 0u64;
+        for attempt in 0..64u32 {
+            let d = b.nominal_ms(attempt);
+            prop_assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+            prop_assert!(d <= cap.max(base.min(cap)), "attempt {attempt}: {d} > cap {cap}");
+            prev = d;
+        }
+        // With zero jitter the realized delay equals the nominal one.
+        prop_assert_eq!(b.delay_ms(5), b.nominal_ms(5));
+    }
+
+    /// Jitter only ever shrinks a delay, and never below `(1 - jitter)` of
+    /// nominal — so every realized delay is bounded by the cap.
+    #[test]
+    fn backoff_jitter_bounded_by_cap(
+        base in 1u64..1_000,
+        cap in 1u64..100_000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+        attempt in 0u32..64,
+    ) {
+        let cfg = BackoffConfig { base_ms: base, cap_ms: cap, max_retries: 32, jitter, deadline_ms: 0 };
+        let b = Backoff::new(cfg.clone(), seed);
+        let nominal = b.nominal_ms(attempt);
+        let d = b.delay_ms(attempt);
+        prop_assert!(d <= nominal, "jitter must not inflate: {d} > {nominal}");
+        prop_assert!(d <= cap, "delay {d} above cap {cap}");
+        let floor = (nominal as f64 * (1.0 - jitter)).floor() as u64;
+        prop_assert!(d + 1 >= floor, "delay {d} below jitter floor {floor}");
+        // Same seed and attempt always produce the same delay.
+        prop_assert_eq!(d, Backoff::new(cfg.clone(), seed).delay_ms(attempt));
+    }
+
+    /// The full retry schedule never spends more than the configured
+    /// deadline, and its length never exceeds the retry budget.
+    #[test]
+    fn backoff_schedule_respects_deadline_and_budget(
+        base in 1u64..500,
+        cap in 1u64..10_000,
+        jitter in 0.0f64..1.0,
+        deadline in 1u64..20_000,
+        retries in 0u32..16,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BackoffConfig {
+            base_ms: base,
+            cap_ms: cap,
+            max_retries: retries,
+            jitter,
+            deadline_ms: deadline,
+        };
+        let b = Backoff::new(cfg, seed);
+        let sched = b.schedule();
+        prop_assert!(sched.len() <= retries as usize, "len {} > budget {retries}", sched.len());
+        prop_assert!(b.total_budget_ms() <= deadline,
+            "budget {} exceeds deadline {deadline}", b.total_budget_ms());
+        prop_assert_eq!(b.total_budget_ms(), sched.iter().sum::<u64>());
     }
 }

@@ -114,7 +114,7 @@ fn sample_iat_ms(rng: &mut StdRng) -> f64 {
         log_uniform(rng, 300_000.0, 2_400_000.0)
     } else {
         // The long tail: 40 min – 12 h.
-        log_uniform(rng, 2_400_000.0, 12.0 * 3600_000.0)
+        log_uniform(rng, 2_400_000.0, 12.0 * 3_600_000.0)
     }
 }
 
@@ -131,7 +131,7 @@ fn sample_warm_ms(rng: &mut StdRng, mean_iat_ms: f64) -> u64 {
 /// Diurnal rate multiplier at `t` (period = 1 day): a smooth day/night wave
 /// between 0.4× and 1.6×.
 pub fn diurnal_factor(t_ms: u64) -> f64 {
-    let day = 24.0 * 3600_000.0;
+    let day = 24.0 * 3_600_000.0;
     let phase = 2.0 * std::f64::consts::PI * (t_ms as f64 % day) / day;
     1.0 + 0.6 * phase.sin()
 }
@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn rate_scale_multiplies_load() {
-        let base = AzureTraceConfig { apps: 100, duration_ms: 3600_000, seed: 5, diurnal_fraction: 0.0, rate_scale: 1.0 };
+        let base = AzureTraceConfig { apps: 100, duration_ms: 3_600_000, seed: 5, diurnal_fraction: 0.0, rate_scale: 1.0 };
         let slow = SyntheticAzureTrace::generate(&base);
         let fast = SyntheticAzureTrace::generate(&AzureTraceConfig { rate_scale: 4.0, ..base });
         let r = fast.events.len() as f64 / slow.events.len() as f64;
@@ -356,8 +356,8 @@ mod tests {
     #[test]
     fn diurnal_factor_waves() {
         assert!((diurnal_factor(0) - 1.0).abs() < 1e-9);
-        let peak = diurnal_factor(6 * 3600_000); // quarter day
-        let trough = diurnal_factor(18 * 3600_000);
+        let peak = diurnal_factor(6 * 3_600_000); // quarter day
+        let trough = diurnal_factor(18 * 3_600_000);
         assert!(peak > 1.5 && trough < 0.5);
     }
 

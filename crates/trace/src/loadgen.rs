@@ -210,7 +210,7 @@ pub fn littles_law_concurrency(mean_iat_ms: f64, mean_exec_ms: f64) -> f64 {
 
 /// Expected system load for a set of functions — the sum of per-function
 /// concurrencies; used to pick a `rate_scale` that fits the target server.
-pub fn expected_load<'a>(functions: impl Iterator<Item = (f64, f64)>) -> f64 {
+pub fn expected_load(functions: impl Iterator<Item = (f64, f64)>) -> f64 {
     functions
         .map(|(iat, exec)| littles_law_concurrency(iat, exec))
         .sum()
@@ -231,7 +231,7 @@ mod tests {
     impl InvokerTarget for FakeTarget {
         fn fire(&self, _fqdn: &str, _args: &str) -> Result<(u64, bool), String> {
             let n = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
-            if self.drop_every > 0 && n % self.drop_every == 0 {
+            if self.drop_every > 0 && n.is_multiple_of(self.drop_every) {
                 return Err("dropped".into());
             }
             std::thread::sleep(Duration::from_millis(self.exec_ms));

@@ -12,4 +12,17 @@ cargo test --workspace -q
 echo "=== cargo clippy ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== chaos determinism (fixed seed, two runs) ==="
+# The seeded chaos session must replay bit-identically: same seed, same
+# journal digest. A mismatch means nondeterminism leaked into the retry /
+# fault path — the root cause of flaky chaos tests — so fail loudly.
+CHAOS_SEED=42
+digest_a=$(./target/release/chaos_session --seed "$CHAOS_SEED")
+digest_b=$(./target/release/chaos_session --seed "$CHAOS_SEED")
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "chaos digests diverged for seed $CHAOS_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "chaos digest stable: $digest_a"
+
 echo "all checks passed"

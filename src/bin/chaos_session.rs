@@ -1,0 +1,104 @@
+//! Deterministic chaos session: one seeded fault-injected run, one digest.
+//!
+//! Drives a worker over a fault-injecting backend with the acceptance mix
+//! (5% cold-start failures, 2% agent hangs, 10% agent errors) and retries
+//! enabled, then prints the journal digest of every invocation's timeline
+//! to stdout. Identical seeds must print identical digests — `check.sh`
+//! runs this twice and diffs the output to catch nondeterminism/flakes.
+//!
+//! ```text
+//! chaos_session [--seed n] [--invocations n] [--time-scale f]
+//! ```
+//!
+//! Stdout carries exactly one line (the hex digest); the human-readable
+//! run summary — fault counts and recovery counters — goes to stderr.
+
+use iluvatar_chaos::{sites, FaultInjector, FaultPlanConfig, FaultSpec};
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::{ContainerBackend, FunctionSpec};
+use iluvatar_core::{journal_digest, ResilienceConfig, Worker, WorkerConfig};
+use iluvatar_sync::SystemClock;
+use std::sync::Arc;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let invocations: usize =
+        arg_value(&args, "--invocations").and_then(|v| v.parse().ok()).unwrap_or(30);
+    let time_scale: f64 =
+        arg_value(&args, "--time-scale").and_then(|v| v.parse().ok()).unwrap_or(0.02);
+
+    let clock = SystemClock::shared();
+    let sim = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig { time_scale, ..Default::default() },
+    ));
+    let faults = FaultPlanConfig {
+        seed,
+        create_fail: FaultSpec::with_prob(0.05),
+        invoke_hang: FaultSpec::with_prob(0.02),
+        invoke_error: FaultSpec::with_prob(0.10),
+        hang_ms: 150,
+        ..Default::default()
+    };
+    let injector = Arc::new(FaultInjector::new(sim, faults));
+    let cfg = WorkerConfig {
+        resilience: ResilienceConfig {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            agent_timeout_ms: 40,
+            ..Default::default()
+        },
+        ..WorkerConfig::for_testing()
+    };
+    let mut worker =
+        Worker::new(cfg, Arc::clone(&injector) as Arc<dyn ContainerBackend>, clock);
+    worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).expect("register");
+
+    let mut ids = Vec::with_capacity(invocations);
+    let mut failed = 0usize;
+    for i in 0..invocations {
+        match worker.invoke("f-1", &format!("{{\"i\":{i}}}")) {
+            Ok(r) => ids.push(r.trace_id),
+            // Retry-exhausted failures are part of the timeline too.
+            Err(_) => {
+                failed += 1;
+                ids.push(worker.recent_traces(1)[0].trace_id);
+            }
+        }
+    }
+    // `ResultReturned` is journaled just after the result reaches us; wait
+    // for every record to complete so the digest covers full timelines.
+    let records: Vec<_> = ids
+        .iter()
+        .map(|&id| loop {
+            let r = worker.trace(id).expect("trace journaled");
+            if r.completed() {
+                break r;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        })
+        .collect();
+    let digest = journal_digest(&records);
+
+    let st = worker.status();
+    let stats = injector.plan().stats();
+    eprintln!(
+        "seed={seed} invocations={invocations} ok={} failed={failed}",
+        invocations - failed
+    );
+    for site in sites::ALL {
+        eprintln!("  fault {site}: fired {}", stats.fired(site));
+    }
+    eprintln!(
+        "  recovery: retries={} agent_timeouts={} quarantined={} dropped_retry_exhausted={}",
+        st.retries, st.agent_timeouts, st.quarantined, st.dropped_retry_exhausted
+    );
+    worker.shutdown();
+    println!("{digest:016x}");
+}

@@ -17,6 +17,7 @@
 //! ```
 
 pub use iluvatar_baseline as baseline;
+pub use iluvatar_chaos as chaos;
 pub use iluvatar_containers as containers;
 pub use iluvatar_core as core;
 pub use iluvatar_http as http;

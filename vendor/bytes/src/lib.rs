@@ -1,0 +1,224 @@
+//! Minimal offline stand-in for the `bytes` crate: a cheaply-cloneable
+//! immutable byte buffer (`Bytes`), a growable builder (`BytesMut`) and the
+//! slice of the `BufMut` trait the workspace's HTTP codec uses.
+
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable contiguous bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self { data: Arc::new(Vec::new()) }
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self { data: Arc::new(src.to_vec()) }
+    }
+
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Self::copy_from_slice(src)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.as_ref().clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:?}", String::from_utf8_lossy(&self.data))
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::new(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self { data: Arc::new(s.into_bytes()) }
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        Self { data: Arc::new(b.into_vec()) }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+/// Append-oriented byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Growable byte buffer; `freeze` converts to an immutable [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: Arc::new(self.data) }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:?}", String::from_utf8_lossy(&self.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_freeze() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_slice(b"ab");
+        b.put_u8(b'c');
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], b"abc");
+        assert_eq!(frozen.len(), 3);
+    }
+
+    #[test]
+    fn conversions() {
+        let from_vec: Bytes = vec![1u8, 2].into();
+        let from_str: Bytes = "hi".into();
+        let from_static: Bytes = (&b"xy"[..]).into();
+        assert_eq!(from_vec.to_vec(), vec![1, 2]);
+        assert_eq!(&from_str[..], b"hi");
+        assert_eq!(&from_static[..], b"xy");
+        assert_eq!(from_str.clone(), from_str);
+    }
+}

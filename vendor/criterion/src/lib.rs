@@ -1,0 +1,178 @@
+//! Minimal offline stand-in for `criterion`. Provides the structural API the
+//! workspace's benches use (`Criterion`, `benchmark_group`, `bench_function`,
+//! `iter`, `iter_batched`, `BatchSize`, the `criterion_group!` /
+//! `criterion_main!` macros and `black_box`) with naive wall-clock timing:
+//! each benchmark runs a fixed small number of iterations and prints a
+//! mean. Statistical rigour is out of scope — the point is that `cargo
+//! bench` / `cargo test --benches` compile and run offline.
+
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is grouped. Ignored by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Iteration driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self { iters, total: Duration::ZERO }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.total = measured;
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(iters);
+    f(&mut b);
+    let mean_ns = b.total.as_nanos() as f64 / iters.max(1) as f64;
+    println!("bench {label:<48} {mean_ns:>14.0} ns/iter ({iters} iters)");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_SHIM_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self { iters }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), iters: self.iters, _parent: self }
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.iters, &mut f);
+        self
+    }
+
+    /// Criterion tunes statistical sample count; the shim reuses it as the
+    /// iteration count so heavyweight groups run fewer repetitions.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1).min(self.iters.max(1));
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test --benches` pass harness flags like
+            // `--bench`/`--test`; a plain `--test` run should not spin
+            // benchmark loops.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut hits = 0u64;
+        let mut b = Bencher::new(5);
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 5);
+
+        let mut batched = 0u64;
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| 2u64, |x| batched += x, BatchSize::SmallInput);
+        assert_eq!(batched, 6);
+    }
+
+    #[test]
+    fn criterion_api_composes() {
+        let mut c = Criterion { iters: 2 };
+        c.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("two", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

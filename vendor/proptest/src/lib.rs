@@ -1,0 +1,611 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Random-input property testing without shrinking: each `proptest!` test
+//! runs its body for [`cases`] deterministic pseudo-random inputs (seeded
+//! from the test name, so failures reproduce run-to-run). The strategy
+//! combinators the workspace uses are provided: numeric ranges, `any`,
+//! `Just`, tuples, `collection::vec`, `prop_map`/`prop_flat_map`,
+//! `prop_oneof!`, and regex-subset string strategies (`"[a-z]{1,12}"`).
+
+#![allow(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases per property. Override with `PROPTEST_CASES`.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+// ---------------------------------------------------------------------- rng
+
+/// Deterministic xoshiro256** generator, seeded from the test name.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 to fill the state.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut x = h ^ 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+// ----------------------------------------------------------------- strategy
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe core, for heterogeneous strategy collections (`prop_oneof!`).
+pub trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<V>>;
+
+impl<V> Strategy for Box<dyn DynStrategy<V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate_dyn(rng)
+    }
+}
+
+/// Uniform choice over a set of strategies (the `prop_oneof!` backend).
+pub struct Union<V> {
+    options: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+// ----------------------------------------------------------- numeric ranges
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ------------------------------------------------------------------- any<T>
+
+/// Types with a natural full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats spanning a wide magnitude range.
+        let mag = rng.unit_f64() * 600.0 - 300.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated strings debuggable.
+        (b' ' + rng.below(95) as u8) as char
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ------------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// -------------------------------------------------------------- collections
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, min..max)`: a vector whose length is uniform in the
+    /// size range and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ------------------------------------------------- regex-subset string gen
+
+/// One repeatable unit of a string pattern.
+enum Atom {
+    Literal(char),
+    /// Choice over an explicit character set.
+    Class(Vec<char>),
+}
+
+struct Pattern {
+    atoms: Vec<(Atom, usize, usize)>, // atom, min reps, max reps
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // `chars[i]` is just past '['. Supports ranges (`a-z`), literals,
+    // trailing `-`, and `&&[^…]` subtraction (character-class intersection
+    // with a negation, as in `[ -~&&[^:]]`).
+    let mut set: Vec<char> = Vec::new();
+    let mut exclude: Vec<char> = Vec::new();
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '&' && chars.get(i + 1) == Some(&'&') && chars.get(i + 2) == Some(&'[') {
+            let (sub, ni) = parse_class(chars, i + 3);
+            // parse_class on `[^…]` returns the *negation complement* as an
+            // exclusion via `negated`; for subtraction we want the raw set.
+            // Recurse manually instead: the inner class starts with '^'.
+            exclude = sub;
+            i = ni;
+            continue;
+        }
+        let c = chars[i];
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).map_or(false, |&c2| c2 != ']') {
+            let hi = chars[i + 2];
+            for code in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    let i = i + 1; // consume ']'
+    if negated {
+        // Negation over printable ASCII.
+        let all: Vec<char> = (b' '..=b'~').map(|b| b as char).collect();
+        let out: Vec<char> = all.into_iter().filter(|c| !set.contains(c)).collect();
+        return (out, i);
+    }
+    if !exclude.is_empty() {
+        // `exclude` holds the complement set from `[^…]`; keep intersection.
+        let out: Vec<char> = set.into_iter().filter(|c| exclude.contains(c)).collect();
+        return (out, i);
+    }
+    (set, i)
+}
+
+fn parse_pattern(pat: &str) -> Pattern {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, ni) = parse_class(&chars, i + 1);
+                assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+                i = ni;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m} / {m,n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {} in pattern") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                None => {
+                    let m: usize = body.trim().parse().unwrap();
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    Pattern { atoms }
+}
+
+/// String literals act as regex-subset strategies, like in real proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, min, max) in &pattern.atoms {
+            let reps = *min + rng.below((*max - *min + 1) as u64) as usize;
+            for _ in 0..reps {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------- macros
+
+/// Define property tests. Each `pat in strategy` argument is drawn fresh
+/// for every case; the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::cases() {
+                    let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $crate::__prop_bind!(__rng, $($params)*);
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name), __case + 1, $crate::cases(), __msg
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Internal: turn `pat in strategy, …` into `let` bindings.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __prop_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__prop_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__prop_bind!($rng, $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?}` != `{:?}`", __a, __b),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", __a, __b, format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::DynStrategy<_>>),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        Strategy,
+    };
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let x = crate::Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let f = crate::Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut rng = crate::TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = crate::Strategy::generate(&"/[a-zA-Z0-9_/]{0,30}", &mut rng);
+            assert!(p.starts_with('/') && p.len() <= 31);
+
+            let h = crate::Strategy::generate(&"[ -~&&[^:]]{0,30}", &mut rng);
+            assert!(h.chars().all(|c| (' '..='~').contains(&c) && c != ':'), "{h:?}");
+
+            let d = crate::Strategy::generate(&"[a-zA-Z][a-zA-Z-]{0,15}", &mut rng);
+            assert!(d.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(d.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));
+        }
+    }
+
+    proptest! {
+        /// The harness itself: bindings, tuples, vec, oneof, map all compose.
+        #[test]
+        fn harness_composes(
+            n in 1usize..5,
+            (a, b) in (0u64..10, 0u64..10),
+            v in crate::collection::vec(any::<u8>(), 0..8),
+            pick in prop_oneof![Just(1u32), Just(2u32)],
+            s in "[a-z]{2,4}",
+            w in (1usize..4).prop_flat_map(|k| crate::collection::vec(Just(k), 1..3)),
+        ) {
+            prop_assert!(n >= 1 && n < 5);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 8);
+            prop_assert!(pick == 1u32 || pick == 2u32);
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert_eq!(w.iter().filter(|&&x| x == w[0]).count(), w.len());
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this shim uses a concrete
+//! value-tree model: [`Serialize`] renders a type into a [`Value`] and
+//! [`Deserialize`] rebuilds the type from a `&Value`. `serde_json` (the
+//! sibling shim) converts between `Value` and JSON text. The `derive`
+//! feature re-exports `#[derive(Serialize, Deserialize)]` proc macros that
+//! generate impls against these traits, honouring the attribute subset the
+//! workspace uses: `#[serde(default)]`, `#[serde(flatten)]`,
+//! `#[serde(tag = "…", rename_all = "snake_case")]`.
+
+#![allow(clippy::all)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form: a JSON-shaped tree. Object keys keep insertion
+/// order so serialized field order matches declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Look up `key` in an object body; used by derive-generated code.
+pub fn field<'a>(kvs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self { msg: msg.to_string() }
+    }
+
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Self { msg: format!("missing field `{field}` in `{ty}`") }
+    }
+
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        };
+        Self { msg: format!("expected {expected}, got {kind}") }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` as a [`Value`].
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} overflows i64")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::unexpected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::unexpected("single-char string", other)),
+        }
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(|x| x.serialize()).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(|x| x.serialize()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(|x| x.serialize()).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Arr(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => Err(DeError::unexpected("2-element array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Arr(vec![self.0.serialize(), self.1.serialize(), self.2.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::deserialize(&items[0])?,
+                B::deserialize(&items[1])?,
+                C::deserialize(&items[2])?,
+            )),
+            other => Err(DeError::unexpected("3-element array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+/// Map keys must render to/from strings (JSON object keys).
+pub trait MapKey: Sized + Ord {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::custom(format!("bad integer map key: {s:?}")))
+            }
+        }
+    )*};
+}
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(kvs) => kvs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::unexpected("object", other)),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        // Sort for a stable wire form.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Obj(entries.into_iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(kvs) => kvs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::unexpected("object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(f64::deserialize(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::deserialize(&Value::U64(1)).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn maps_use_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(3usize, 9u64);
+        let v = m.serialize();
+        assert_eq!(v, Value::Obj(vec![("3".into(), Value::U64(9))]));
+        let back: BTreeMap<usize, u64> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        assert!(u64::deserialize(&Value::Str("x".into())).is_err());
+        assert!(Vec::<u64>::deserialize(&Value::U64(3)).is_err());
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+    }
+}

@@ -1,0 +1,492 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (the value-tree model) for named-field structs and enums. Because
+//! no third-party parser crates are available offline, the item is parsed
+//! directly from the `proc_macro` token stream.
+//!
+//! Supported attribute subset (what this workspace uses):
+//! - `#[serde(default)]` on fields — missing field takes `Default::default()`
+//! - `#[serde(flatten)]` on fields — field's object merges into the parent
+//! - `#[serde(tag = "…", rename_all = "snake_case")]` on enums — internal tagging
+//!
+//! `Option<T>` fields follow serde semantics: a missing key deserializes to
+//! `None`. Tuple structs, tuple variants, and generic types are rejected
+//! with a compile-time panic naming the construct.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    flatten: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// `tag = "…"` container attribute (internally tagged enums).
+    tag: Option<String>,
+    /// `rename_all = "…"` container attribute.
+    rename_all: Option<String>,
+    body: Body,
+}
+
+// ------------------------------------------------------------------ parsing
+
+/// Consume leading attributes (`#[...]`), returning the inner text of every
+/// `#[serde(...)]` encountered.
+fn take_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Vec<String>) {
+    let mut serde_attrs = Vec::new();
+    while i + 1 < toks.len() {
+        let is_hash = matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        serde_attrs.push(args.stream().to_string());
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, serde_attrs)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Split a `serde(...)` attribute body into `word` / `word = "value"` parts.
+fn parse_attr_parts(text: &str) -> Vec<(String, Option<String>)> {
+    text.split(',')
+        .map(|part| {
+            let part = part.trim();
+            match part.split_once('=') {
+                Some((k, v)) => {
+                    let v = v.trim().trim_matches('"').to_string();
+                    (k.trim().to_string(), Some(v))
+                }
+                None => (part.to_string(), None),
+            }
+        })
+        .filter(|(k, _)| !k.is_empty())
+        .collect()
+}
+
+fn field_attrs(serde_attrs: &[String]) -> FieldAttrs {
+    let mut out = FieldAttrs::default();
+    for attr in serde_attrs {
+        for (k, _) in parse_attr_parts(attr) {
+            match k.as_str() {
+                "default" => out.default = true,
+                "flatten" => out.flatten = true,
+                other => panic!("serde shim: unsupported field attribute `{other}`"),
+            }
+        }
+    }
+    out
+}
+
+/// Parse the named fields inside a brace group. Types are skipped (the
+/// generated code relies on inference), but the leading type ident is
+/// inspected to spot `Option<…>` fields.
+fn parse_fields(group: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, serde_attrs) = take_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        let name = match &toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde shim: expected field name, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        match &toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde shim: expected `:` after field `{name}`"),
+        }
+        let is_option =
+            matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "Option");
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i64 = 0;
+        while let Some(tok) = toks.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs: field_attrs(&serde_attrs), is_option });
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _attrs) = take_attrs(&toks, i);
+        i = j;
+        let name = match &toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde shim: expected variant name, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        let fields = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_fields(g.stream());
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim: tuple variant `{name}` is unsupported")
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = &toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (j, serde_attrs) = take_attrs(&toks, 0);
+    let mut i = skip_vis(&toks, j);
+
+    let mut tag = None;
+    let mut rename_all = None;
+    for attr in &serde_attrs {
+        for (k, v) in parse_attr_parts(attr) {
+            match (k.as_str(), v) {
+                ("tag", Some(v)) => tag = Some(v),
+                ("rename_all", Some(v)) => rename_all = Some(v),
+                (other, _) => panic!("serde shim: unsupported container attribute `{other}`"),
+            }
+        }
+    }
+
+    let kind = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic type `{name}` is unsupported");
+    }
+    let body_group = match &toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde shim: tuple struct `{name}` is unsupported")
+        }
+        other => panic!("serde shim: expected `{{…}}` body for `{name}`, found {other:?}"),
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_fields(body_group)),
+        "enum" => Body::Enum(parse_variants(body_group)),
+        other => panic!("serde shim: unsupported item kind `{other}`"),
+    };
+    Item { name, tag, rename_all, body }
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => variant.to_string(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in variant.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => variant.to_lowercase(),
+        Some(other) => panic!("serde shim: unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn gen_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.attrs.flatten {
+            body.push_str(&format!(
+                "match ::serde::Serialize::serialize(&self.{fname}) {{\n\
+                 ::serde::Value::Obj(__kvs) => __obj.extend(__kvs),\n\
+                 __other => __obj.push((\"{fname}\".to_string(), __other)),\n\
+                 }}\n"
+            ));
+        } else {
+            body.push_str(&format!(
+                "__obj.push((\"{fname}\".to_string(), ::serde::Serialize::serialize(&self.{fname})));\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+         {body}\
+         ::serde::Value::Obj(__obj)\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_field_extract(f: &Field, ty_name: &str) -> String {
+    let fname = &f.name;
+    let on_missing = if f.attrs.default || f.is_option {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{fname}\", \"{ty_name}\"))"
+        )
+    };
+    format!(
+        "{fname}: match ::serde::field(__kvs, \"{fname}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+         ::std::option::Option::None => {on_missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.attrs.flatten {
+            inits.push_str(&format!(
+                "{}: ::serde::Deserialize::deserialize(__v)?,\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&gen_field_extract(f, name));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let __kvs = match __v {{\n\
+         ::serde::Value::Obj(__kvs) => __kvs,\n\
+         __other => return ::std::result::Result::Err(::serde::DeError::unexpected(\"object for `{name}`\", __other)),\n\
+         }};\n\
+         let _ = &__kvs;\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.rename_all.as_deref();
+    let mut arms = String::new();
+    match &item.tag {
+        None => {
+            for v in variants {
+                if v.fields.is_some() {
+                    panic!(
+                        "serde shim: non-unit variant `{}` requires #[serde(tag = …)]",
+                        v.name
+                    );
+                }
+                let wire = rename(&v.name, rule);
+                arms.push_str(&format!(
+                    "{name}::{} => ::serde::Value::Str(\"{wire}\".to_string()),\n",
+                    v.name
+                ));
+            }
+        }
+        Some(tag) => {
+            for v in variants {
+                let wire = rename(&v.name, rule);
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{} => ::serde::Value::Obj(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string()))]),\n",
+                        v.name
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__obj.push((\"{0}\".to_string(), ::serde::Serialize::serialize({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string()))];\n\
+                             {pushes}\
+                             ::serde::Value::Obj(__obj)\n\
+                             }},\n",
+                            vn = v.name,
+                            binds = bindings.join(", "),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.rename_all.as_deref();
+    match &item.tag {
+        None => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = rename(&v.name, rule);
+                arms.push_str(&format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{}),\n",
+                    v.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::unexpected(\"string variant of `{name}`\", __other)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+        Some(tag) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = rename(&v.name, rule);
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{}),\n",
+                        v.name
+                    )),
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&gen_field_extract(f, name));
+                        }
+                        arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n",
+                            vn = v.name,
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __kvs = match __v {{\n\
+                 ::serde::Value::Obj(__kvs) => __kvs,\n\
+                 __other => return ::std::result::Result::Err(::serde::DeError::unexpected(\"object for `{name}`\", __other)),\n\
+                 }};\n\
+                 let __tag = match ::serde::field(__kvs, \"{tag}\") {{\n\
+                 ::std::option::Option::Some(::serde::Value::Str(__s)) => __s.as_str(),\n\
+                 _ => return ::std::result::Result::Err(::serde::DeError::missing_field(\"{tag}\", \"{name}\")),\n\
+                 }};\n\
+                 match __tag {{\n\
+                 {arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => gen_struct_ser(&item.name, fields),
+        Body::Enum(variants) => gen_enum_ser(&item, variants),
+    };
+    code.parse().expect("serde shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => gen_struct_de(&item.name, fields),
+        Body::Enum(variants) => gen_enum_de(&item, variants),
+    };
+    code.parse().expect("serde shim: generated Deserialize impl parses")
+}
