@@ -1,0 +1,447 @@
+//! Multi-tenant admission control for the Ilúvatar worker.
+//!
+//! The paper's worker queue (§4) optimizes per-invocation latency but is
+//! tenant-blind: one aggressive function can monopolize the queue, the
+//! container pool, and the dispatch slots. This crate adds the missing
+//! subsystem: a [`TenantRegistry`] of per-tenant weights, priority classes
+//! and token-bucket rate limits, and an [`AdmissionController`] consulted at
+//! worker ingest. Rate-limited tenants are rejected outright (429-style)
+//! instead of growing the queue; under overload (queue delay past a
+//! threshold) best-effort tenants are shed while guaranteed tenants stay
+//! admitted.
+//!
+//! Everything is built on `iluvatar_sync::{Clock, TokenBucket}` so decisions
+//! are identical under wall-clock and virtual (simulation) time — the same
+//! property the paper exploits for in-situ simulation (§6).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use iluvatar_sync::{Clock, TokenBucket};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Tenant used when an invocation carries no explicit tenant label and the
+/// function's registration does not name one.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Service class for a tenant (priority under overload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PriorityClass {
+    /// Never shed by overload control; only explicit rate limits apply.
+    Guaranteed,
+    /// Shed first when queue delay crosses the configured threshold.
+    #[default]
+    BestEffort,
+}
+
+impl PriorityClass {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityClass::Guaranteed => "guaranteed",
+            PriorityClass::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// Static description of one tenant. Unknown tenants get
+/// `TenantSpec::default_for(id)` on first sight (weight 1, best-effort,
+/// unlimited rate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantSpec {
+    pub id: String,
+    /// DRR scheduling weight; `0` (e.g. omitted in JSON) means 1.0.
+    #[serde(default)]
+    pub weight: f64,
+    #[serde(default)]
+    pub class: PriorityClass,
+    /// Sustained admission rate, invocations/sec. `0` = unlimited.
+    #[serde(default)]
+    pub rate_per_sec: f64,
+    /// Token-bucket burst size; `0` defaults to `rate_per_sec.max(1)`.
+    #[serde(default)]
+    pub burst: f64,
+}
+
+impl TenantSpec {
+    pub fn new(id: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            weight: 1.0,
+            class: PriorityClass::BestEffort,
+            rate_per_sec: 0.0,
+            burst: 0.0,
+        }
+    }
+
+    pub fn default_for(id: &str) -> Self {
+        Self::new(id)
+    }
+
+    pub fn with_weight(mut self, w: f64) -> Self {
+        self.weight = w;
+        self
+    }
+
+    pub fn with_class(mut self, c: PriorityClass) -> Self {
+        self.class = c;
+        self
+    }
+
+    pub fn with_rate(mut self, rate_per_sec: f64, burst: f64) -> Self {
+        self.rate_per_sec = rate_per_sec;
+        self.burst = burst;
+        self
+    }
+
+    /// Effective DRR weight (serde-default 0 means "unset").
+    pub fn effective_weight(&self) -> f64 {
+        if self.weight > 0.0 {
+            self.weight
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Worker-level admission configuration. Default is fully disabled so the
+/// baseline hot path (and the paper's Table-1 spans) are untouched.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Master switch; everything below is inert while false.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Shed best-effort tenants once observed queue delay exceeds this many
+    /// ms. `0` disables overload shedding.
+    #[serde(default)]
+    pub shed_queue_delay_ms: u64,
+    /// Statically configured tenants; others are created lazily with
+    /// default weight/class and no rate limit.
+    #[serde(default)]
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl AdmissionConfig {
+    pub fn enabled_with(tenants: Vec<TenantSpec>) -> Self {
+        Self { enabled: true, shed_queue_delay_ms: 0, tenants }
+    }
+}
+
+/// Outcome of one admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    Admit,
+    /// Rejected by the tenant's token-bucket rate limit.
+    Throttled,
+    /// Rejected by overload control (best-effort class, queue delay high).
+    Shed,
+}
+
+/// Point-in-time per-tenant counters, serializable so it can ride in
+/// `/status` bodies and be merged into cluster snapshots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct TenantSnapshot {
+    #[serde(default)]
+    pub tenant: String,
+    #[serde(default)]
+    pub weight: f64,
+    #[serde(default)]
+    pub class: PriorityClass,
+    #[serde(default)]
+    pub admitted: u64,
+    #[serde(default)]
+    pub throttled: u64,
+    #[serde(default)]
+    pub shed: u64,
+    #[serde(default)]
+    pub served: u64,
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    bucket: Option<TokenBucket>,
+    admitted: AtomicU64,
+    throttled: AtomicU64,
+    shed: AtomicU64,
+    served: AtomicU64,
+}
+
+impl TenantState {
+    fn new(spec: TenantSpec, clock: Arc<dyn Clock>) -> Self {
+        let bucket = if spec.rate_per_sec > 0.0 {
+            let burst = if spec.burst > 0.0 { spec.burst } else { spec.rate_per_sec.max(1.0) };
+            Some(TokenBucket::new(spec.rate_per_sec, burst, clock))
+        } else {
+            None
+        };
+        Self {
+            spec,
+            bucket,
+            admitted: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant: self.spec.id.clone(),
+            weight: self.spec.effective_weight(),
+            class: self.spec.class,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Registry of tenants: static specs from config plus lazily created
+/// defaults for tenants first seen at ingest.
+pub struct TenantRegistry {
+    clock: Arc<dyn Clock>,
+    tenants: RwLock<HashMap<String, Arc<TenantState>>>,
+}
+
+impl TenantRegistry {
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self { clock, tenants: RwLock::new(HashMap::new()) }
+    }
+
+    /// Insert or replace a tenant spec (counters reset on replace).
+    pub fn upsert(&self, spec: TenantSpec) {
+        let state = Arc::new(TenantState::new(spec.clone(), Arc::clone(&self.clock)));
+        self.tenants.write().insert(spec.id, state);
+    }
+
+    fn resolve(&self, id: &str) -> Arc<TenantState> {
+        if let Some(t) = self.tenants.read().get(id) {
+            return Arc::clone(t);
+        }
+        let mut w = self.tenants.write();
+        Arc::clone(
+            w.entry(id.to_string()).or_insert_with(|| {
+                Arc::new(TenantState::new(TenantSpec::default_for(id), Arc::clone(&self.clock)))
+            }),
+        )
+    }
+
+    /// Effective DRR weight of a tenant (1.0 for unknown tenants).
+    pub fn weight_of(&self, id: &str) -> f64 {
+        self.tenants
+            .read()
+            .get(id)
+            .map(|t| t.spec.effective_weight())
+            .unwrap_or(1.0)
+    }
+
+    pub fn class_of(&self, id: &str) -> PriorityClass {
+        self.tenants.read().get(id).map(|t| t.spec.class).unwrap_or_default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tenants.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tenants.read().is_empty()
+    }
+
+    /// Per-tenant counters, sorted by tenant id for deterministic output.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let mut out: Vec<TenantSnapshot> =
+            self.tenants.read().values().map(|t| t.snapshot()).collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
+/// The admission controller consulted at worker ingest, before the
+/// invocation touches the queue. Order of checks:
+///
+/// 1. token-bucket rate limit (all classes) → [`AdmissionDecision::Throttled`]
+/// 2. overload shedding (best-effort only, queue delay over threshold) →
+///    [`AdmissionDecision::Shed`]
+/// 3. otherwise → [`AdmissionDecision::Admit`]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    registry: TenantRegistry,
+    dropped: AtomicU64,
+}
+
+impl AdmissionController {
+    pub fn new(cfg: AdmissionConfig, clock: Arc<dyn Clock>) -> Self {
+        let registry = TenantRegistry::new(clock);
+        for spec in &cfg.tenants {
+            registry.upsert(spec.clone());
+        }
+        Self { cfg, registry, dropped: AtomicU64::new(0) }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// Decide whether to admit one invocation for `tenant` given the
+    /// currently observed queue delay (the overload signal).
+    pub fn admit(&self, tenant: &str, queue_delay_ms: u64) -> AdmissionDecision {
+        if !self.cfg.enabled {
+            return AdmissionDecision::Admit;
+        }
+        let state = self.registry.resolve(tenant);
+        if let Some(bucket) = &state.bucket {
+            if !bucket.try_take() {
+                state.throttled.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return AdmissionDecision::Throttled;
+            }
+        }
+        if self.cfg.shed_queue_delay_ms > 0
+            && queue_delay_ms > self.cfg.shed_queue_delay_ms
+            && state.spec.class == PriorityClass::BestEffort
+        {
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return AdmissionDecision::Shed;
+        }
+        state.admitted.fetch_add(1, Ordering::Relaxed);
+        AdmissionDecision::Admit
+    }
+
+    /// Record a successful completion for `tenant`.
+    pub fn on_served(&self, tenant: &str) {
+        self.registry.resolve(tenant).served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn weight_of(&self, tenant: &str) -> f64 {
+        // Resolve (not just read) so the tenant appears in snapshots even
+        // before its first completed invocation.
+        self.registry.resolve(tenant).spec.effective_weight()
+    }
+
+    pub fn class_of(&self, tenant: &str) -> PriorityClass {
+        self.registry.class_of(tenant)
+    }
+
+    /// Total rejected (throttled + shed) — the worker's `dropped_admission`.
+    pub fn dropped_admission(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iluvatar_sync::ManualClock;
+
+    fn manual() -> Arc<ManualClock> {
+        Arc::new(ManualClock::new())
+    }
+
+    #[test]
+    fn disabled_admits_everything() {
+        let ctl = AdmissionController::new(AdmissionConfig::default(), manual());
+        assert!(!ctl.enabled());
+        for _ in 0..1000 {
+            assert_eq!(ctl.admit("anyone", 10_000), AdmissionDecision::Admit);
+        }
+        assert_eq!(ctl.dropped_admission(), 0);
+    }
+
+    #[test]
+    fn rate_limit_throttles_then_refills_on_virtual_time() {
+        let clock = manual();
+        let cfg = AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("free").with_rate(10.0, 2.0),
+        ]);
+        let ctl = AdmissionController::new(cfg, clock.clone());
+        // Burst of 2 admitted, third throttled.
+        assert_eq!(ctl.admit("free", 0), AdmissionDecision::Admit);
+        assert_eq!(ctl.admit("free", 0), AdmissionDecision::Admit);
+        assert_eq!(ctl.admit("free", 0), AdmissionDecision::Throttled);
+        // 10/sec = 1 token per 100ms of virtual time.
+        clock.advance(100);
+        assert_eq!(ctl.admit("free", 0), AdmissionDecision::Admit);
+        assert_eq!(ctl.admit("free", 0), AdmissionDecision::Throttled);
+        let snap = ctl.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].admitted, 3);
+        assert_eq!(snap[0].throttled, 2);
+        assert_eq!(ctl.dropped_admission(), 2);
+    }
+
+    #[test]
+    fn shed_hits_best_effort_but_not_guaranteed() {
+        let cfg = AdmissionConfig {
+            enabled: true,
+            shed_queue_delay_ms: 50,
+            tenants: vec![
+                TenantSpec::new("paid").with_class(PriorityClass::Guaranteed),
+                TenantSpec::new("free"),
+            ],
+        };
+        let ctl = AdmissionController::new(cfg, manual());
+        // Below the threshold both are admitted.
+        assert_eq!(ctl.admit("free", 50), AdmissionDecision::Admit);
+        // Over the threshold best-effort is shed, guaranteed is not.
+        assert_eq!(ctl.admit("free", 51), AdmissionDecision::Shed);
+        assert_eq!(ctl.admit("paid", 10_000), AdmissionDecision::Admit);
+        let snap = ctl.snapshot();
+        let free = snap.iter().find(|t| t.tenant == "free").unwrap();
+        let paid = snap.iter().find(|t| t.tenant == "paid").unwrap();
+        assert_eq!(free.shed, 1);
+        assert_eq!(paid.shed, 0);
+        assert_eq!(paid.admitted, 1);
+    }
+
+    #[test]
+    fn unknown_tenants_get_lazy_defaults() {
+        let ctl = AdmissionController::new(
+            AdmissionConfig { enabled: true, ..Default::default() },
+            manual(),
+        );
+        assert_eq!(ctl.admit("surprise", 0), AdmissionDecision::Admit);
+        assert_eq!(ctl.weight_of("surprise"), 1.0);
+        assert_eq!(ctl.class_of("surprise"), PriorityClass::BestEffort);
+        ctl.on_served("surprise");
+        let snap = ctl.snapshot();
+        assert_eq!(snap[0].tenant, "surprise");
+        assert_eq!(snap[0].served, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_serializable() {
+        let ctl = AdmissionController::new(
+            AdmissionConfig { enabled: true, ..Default::default() },
+            manual(),
+        );
+        ctl.admit("zeta", 0);
+        ctl.admit("alpha", 0);
+        let snap = ctl.snapshot();
+        assert_eq!(snap[0].tenant, "alpha");
+        assert_eq!(snap[1].tenant, "zeta");
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Vec<TenantSnapshot> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn spec_json_defaults_fill_in() {
+        let spec: TenantSpec = serde_json::from_str(r#"{"id":"t1"}"#).unwrap();
+        assert_eq!(spec.effective_weight(), 1.0);
+        assert_eq!(spec.class, PriorityClass::BestEffort);
+        assert_eq!(spec.rate_per_sec, 0.0);
+        let cfg: AdmissionConfig = serde_json::from_str("{}").unwrap();
+        assert!(!cfg.enabled);
+    }
+}

@@ -80,6 +80,36 @@ fn bench_queue_ops(c: &mut Criterion) {
                 expected_exec_ms: (t % 100) as f64,
                 iat_ms: 10.0,
                 expect_warm: true,
+                tenant: None,
+                tenant_weight: 1.0,
+                result_tx: tx,
+            })
+            .unwrap();
+            q.try_pop().unwrap()
+        })
+    });
+
+    // The DRR fair queue: same push/pop cycle, alternating tenants, so the
+    // cost of the sub-queue bookkeeping shows up next to the heap policies.
+    let q = InvocationQueue::new(QueueConfig {
+        policy: QueuePolicyKind::Drr,
+        ..Default::default()
+    });
+    c.bench_function("queue/push_pop_drr", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let (tx, _h) = InvocationHandle::pair();
+            q.push(QueuedInvocation {
+                fqdn: "f-1".into(),
+                args: String::new(),
+                trace_id: 0,
+                arrived_at: t,
+                expected_exec_ms: (t % 100) as f64,
+                iat_ms: 10.0,
+                expect_warm: true,
+                tenant: Some(if t.is_multiple_of(2) { "gold".into() } else { "bronze".into() }),
+                tenant_weight: if t.is_multiple_of(2) { 3.0 } else { 1.0 },
                 result_tx: tx,
             })
             .unwrap();

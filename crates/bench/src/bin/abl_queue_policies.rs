@@ -17,7 +17,12 @@ fn build_schedule(duration_ms: u64) -> Vec<ScheduledInvocation> {
     // Short function: every 40ms. Long functions: bursts of 6 every 800ms.
     let mut t = 0;
     while t < duration_ms {
-        schedule.push(ScheduledInvocation { at_ms: t, fqdn: "short-1".into(), args: "{}".into() });
+        schedule.push(ScheduledInvocation {
+            at_ms: t,
+            fqdn: "short-1".into(),
+            args: "{}".into(),
+            tenant: None,
+        });
         t += 40;
     }
     let mut t = 100;
@@ -27,6 +32,7 @@ fn build_schedule(duration_ms: u64) -> Vec<ScheduledInvocation> {
                 at_ms: t + k,
                 fqdn: "long-1".into(),
                 args: "{}".into(),
+                tenant: None,
             });
         }
         t += 800;

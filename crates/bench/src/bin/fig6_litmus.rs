@@ -42,6 +42,7 @@ fn poisson_schedule(
                 at_ms: (t * scale) as u64,
                 fqdn: format!("{}-1", app.name()),
                 args: "{}".into(),
+                tenant: None,
             });
         }
     }
@@ -66,6 +67,7 @@ fn cyclic_schedule(
                 at_ms: (t as f64 * scale) as u64,
                 fqdn: format!("{}-1", app.name()),
                 args: "{}".into(),
+                tenant: None,
             });
             t += iat;
         }

@@ -49,6 +49,7 @@ fn schedule(duration_ms: u64, scale: f64) -> Vec<ScheduledInvocation> {
                 at_ms: (t * scale) as u64,
                 fqdn: format!("{}-1", app.name()),
                 args: "{}".into(),
+                tenant: None,
             });
         }
     }

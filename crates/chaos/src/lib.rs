@@ -299,6 +299,19 @@ impl ContainerBackend for FaultInjector {
         self.inner.invoke_traced(container, args, trace)
     }
 
+    fn invoke_ctx(
+        &self,
+        container: &Container,
+        args: &str,
+        trace: Option<&str>,
+        tenant: Option<&str>,
+    ) -> Result<InvokeOutput, BackendError> {
+        if let Some(e) = self.fault_invoke() {
+            return Err(e);
+        }
+        self.inner.invoke_ctx(container, args, trace, tenant)
+    }
+
     fn destroy(&self, container: &Container) -> Result<(), BackendError> {
         self.inner.destroy(container)
     }

@@ -12,7 +12,7 @@
 
 use crossbeam::channel;
 use iluvatar_http::server::Handler;
-use iluvatar_http::{HttpServer, Method, Request, Response, Status, TRACE_HEADER};
+use iluvatar_http::{HttpServer, Method, Request, Response, Status, TENANT_HEADER, TRACE_HEADER};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::net::SocketAddr;
@@ -61,6 +61,7 @@ pub struct Agent {
     server: HttpServer,
     addr: SocketAddr,
     traces: Arc<Mutex<VecDeque<String>>>,
+    tenants: Arc<Mutex<VecDeque<String>>>,
 }
 
 impl Agent {
@@ -74,6 +75,8 @@ impl Agent {
         let body = Arc::clone(&behavior.body);
         let traces: Arc<Mutex<VecDeque<String>>> = Arc::new(Mutex::new(VecDeque::new()));
         let traces2 = Arc::clone(&traces);
+        let tenants: Arc<Mutex<VecDeque<String>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let tenants2 = Arc::clone(&tenants);
         let handler: Handler = Arc::new(move |req: Request| match (req.method, req.path.as_str()) {
             (Method::Get, "/") => Response::ok(&b"{\"status\":\"ok\"}"[..]),
             (Method::Post, "/invoke") => {
@@ -82,6 +85,16 @@ impl Agent {
                 let trace = req.header(TRACE_HEADER).map(|t| t.to_string());
                 if let Some(t) = &trace {
                     let mut seen = traces2.lock();
+                    if seen.len() == TRACE_MEMORY {
+                        seen.pop_front();
+                    }
+                    seen.push_back(t.clone());
+                }
+                // Tenant propagation mirrors trace propagation: remember and
+                // echo the label so per-tenant accounting spans the hop.
+                let tenant = req.header(TENANT_HEADER).map(|t| t.to_string());
+                if let Some(t) = &tenant {
+                    let mut seen = tenants2.lock();
                     if seen.len() == TRACE_MEMORY {
                         seen.pop_front();
                     }
@@ -96,6 +109,9 @@ impl Agent {
                     .with_header("Content-Type", "application/json");
                 if let Some(t) = trace {
                     resp = resp.with_header(TRACE_HEADER, t);
+                }
+                if let Some(t) = tenant {
+                    resp = resp.with_header(TENANT_HEADER, t);
                 }
                 resp
             }
@@ -115,7 +131,7 @@ impl Agent {
             let _ = tx.send(r.is_ok());
         });
         match rx.recv_timeout(std::time::Duration::from_secs(5)) {
-            Ok(true) => Ok(Self { server, addr, traces }),
+            Ok(true) => Ok(Self { server, addr, traces, tenants }),
             _ => Err(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 "agent did not become ready",
@@ -136,6 +152,12 @@ impl Agent {
     /// the most recent 256 entries).
     pub fn observed_traces(&self) -> Vec<String> {
         self.traces.lock().iter().cloned().collect()
+    }
+
+    /// Tenant labels observed on `/invoke` requests, oldest first (bounded
+    /// to the most recent 256 entries).
+    pub fn observed_tenants(&self) -> Vec<String> {
+        self.tenants.lock().iter().cloned().collect()
     }
 }
 

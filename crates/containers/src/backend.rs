@@ -69,6 +69,21 @@ pub trait ContainerBackend: Send + Sync + 'static {
         self.invoke(container, args)
     }
 
+    /// Like [`ContainerBackend::invoke_traced`], but additionally carrying
+    /// the invocation's tenant label for backends with a real agent hop to
+    /// propagate (as the `X-Iluvatar-Tenant` HTTP header, next to the trace
+    /// header). The default implementation drops the tenant and delegates.
+    fn invoke_ctx(
+        &self,
+        container: &Container,
+        args: &str,
+        trace: Option<&str>,
+        tenant: Option<&str>,
+    ) -> Result<InvokeOutput, BackendError> {
+        let _ = tenant;
+        self.invoke_traced(container, args, trace)
+    }
+
     /// Tear the sandbox down and release its resources.
     fn destroy(&self, container: &Container) -> Result<(), BackendError>;
 }

@@ -11,7 +11,7 @@ use crate::agent::{Agent, FunctionBehavior};
 use crate::backend::{BackendError, ContainerBackend, InvokeOutput};
 use crate::netns::NamespacePool;
 use crate::types::{Container, FunctionSpec};
-use iluvatar_http::{Method, PooledClient, Request, TRACE_HEADER};
+use iluvatar_http::{Method, PooledClient, Request, TENANT_HEADER, TRACE_HEADER};
 use iluvatar_sync::ShardedMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,6 +56,16 @@ impl InProcessBackend {
         });
         out
     }
+
+    /// Tenant labels observed by all live agents — the agent-side half of
+    /// the tenant propagation check.
+    pub fn observed_tenants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.agents.for_each(|_, agent| {
+            out.extend(agent.observed_tenants());
+        });
+        out
+    }
 }
 
 impl ContainerBackend for InProcessBackend {
@@ -90,6 +100,16 @@ impl ContainerBackend for InProcessBackend {
         args: &str,
         trace: Option<&str>,
     ) -> Result<InvokeOutput, BackendError> {
+        self.invoke_ctx(container, args, trace, None)
+    }
+
+    fn invoke_ctx(
+        &self,
+        container: &Container,
+        args: &str,
+        trace: Option<&str>,
+        tenant: Option<&str>,
+    ) -> Result<InvokeOutput, BackendError> {
         let addr = container
             .agent_addr
             .ok_or(BackendError::UnknownContainer)?;
@@ -101,6 +121,9 @@ impl ContainerBackend for InProcessBackend {
             .with_body(args.as_bytes().to_vec());
         if let Some(t) = trace {
             req = req.with_header(TRACE_HEADER, t);
+        }
+        if let Some(t) = tenant {
+            req = req.with_header(TENANT_HEADER, t);
         }
         let resp = self
             .client
@@ -225,6 +248,22 @@ mod tests {
         // Untraced invocations add nothing.
         b.invoke(&c, "{}").unwrap();
         assert_eq!(b.observed_traces().len(), 1);
+    }
+
+    #[test]
+    fn tenant_header_reaches_agent() {
+        let b = backend();
+        b.register_behavior("echo-1", FunctionBehavior::from_body(|_| "{}".into()));
+        let c = b.create(&spec()).unwrap();
+        b.invoke_ctx(&c, "{}", Some("00000000deadbeef"), Some("acme")).unwrap();
+        assert!(
+            b.observed_tenants().contains(&"acme".to_string()),
+            "agent must observe the propagated tenant label"
+        );
+        // Unlabelled invocations add nothing.
+        b.invoke(&c, "{}").unwrap();
+        assert_eq!(b.observed_tenants().len(), 1);
+        assert_eq!(b.observed_traces().len(), 1, "trace still propagated alongside tenant");
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub struct FunctionSpec {
     /// Modelled extra initialization on the first invocation in a fresh
     /// container (imports, model downloads, ...), ms.
     pub init_ms: u64,
+    /// Owning tenant for multi-tenant admission control; `None` means the
+    /// platform default tenant. An explicit per-invocation label overrides
+    /// this registration-time default.
+    #[serde(default)]
+    pub tenant: Option<String>,
 }
 
 impl FunctionSpec {
@@ -87,6 +92,7 @@ impl FunctionSpec {
             limits: ResourceLimits::default(),
             warm_exec_ms: 10,
             init_ms: 100,
+            tenant: None,
         }
     }
 
@@ -97,6 +103,11 @@ impl FunctionSpec {
 
     pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 

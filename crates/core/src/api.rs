@@ -41,6 +41,10 @@ struct InvokeBody {
     fqdn: String,
     #[serde(default)]
     args: String,
+    /// Tenant label for admission control; the `X-Iluvatar-Tenant` header
+    /// takes precedence when both are present.
+    #[serde(default)]
+    tenant: Option<String>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -59,6 +63,9 @@ pub struct WireResult {
     /// End-to-end trace id; redeem via `GET /trace/{id}` on the worker.
     #[serde(default)]
     pub trace_id: u64,
+    /// Tenant the invocation was accounted to.
+    #[serde(default)]
+    pub tenant: Option<String>,
 }
 
 impl From<InvocationResult> for WireResult {
@@ -70,6 +77,7 @@ impl From<InvocationResult> for WireResult {
             cold: r.cold,
             queue_ms: r.queue_ms,
             trace_id: r.trace_id,
+            tenant: r.tenant,
         }
     }
 }
@@ -105,6 +113,12 @@ pub struct WireStatus {
     /// Invocations failed after the retry budget was exhausted or shed.
     #[serde(default)]
     pub dropped_retry_exhausted: u64,
+    /// Invocations rejected by admission control (throttled + shed).
+    #[serde(default)]
+    pub dropped_admission: u64,
+    /// Per-tenant accounting; empty when admission control is disabled.
+    #[serde(default)]
+    pub tenants: Vec<iluvatar_admission::TenantSnapshot>,
 }
 
 impl From<WorkerStatus> for WireStatus {
@@ -127,6 +141,8 @@ impl From<WorkerStatus> for WireStatus {
             agent_timeouts: s.agent_timeouts,
             quarantined: s.quarantined,
             dropped_retry_exhausted: s.dropped_retry_exhausted,
+            dropped_admission: s.dropped_admission,
+            tenants: Vec::new(),
         }
     }
 }
@@ -143,6 +159,8 @@ fn error_resp(e: &InvokeError) -> Response {
         InvokeError::QueueFull | InvokeError::NoResources => Status::TOO_MANY_REQUESTS,
         InvokeError::Backend(_) => Status::INTERNAL_ERROR,
         InvokeError::ShuttingDown => Status::SERVICE_UNAVAILABLE,
+        // Admission rejections are backpressure, like a full queue.
+        InvokeError::Throttled(_) | InvokeError::Shed(_) => Status::TOO_MANY_REQUESTS,
     };
     json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))
 }
@@ -197,6 +215,7 @@ fn route(
         (Method::Get, "/status") => {
             let mut wire: WireStatus = worker.status().into();
             wire.http_requests = served();
+            wire.tenants = worker.tenant_stats();
             json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
         }
         (Method::Get, "/metrics") => Response::ok(exposition::render_worker(worker, served()))
@@ -229,24 +248,30 @@ fn route(
             Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
         },
         (Method::Post, "/invoke") => match serde_json::from_str::<InvokeBody>(body) {
-            Ok(b) => match worker.invoke(&b.fqdn, &b.args) {
-                Ok(r) => {
-                    let wire: WireResult = r.into();
-                    json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+            Ok(b) => {
+                let tenant = req.header(iluvatar_http::TENANT_HEADER).map(str::to_string).or(b.tenant);
+                match worker.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
+                    Ok(r) => {
+                        let wire: WireResult = r.into();
+                        json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                    }
+                    Err(e) => error_resp(&e),
                 }
-                Err(e) => error_resp(&e),
-            },
+            }
             Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
         },
         (Method::Post, "/async_invoke") => match serde_json::from_str::<InvokeBody>(body) {
-            Ok(b) => match worker.async_invoke(&b.fqdn, &b.args) {
-                Ok(handle) => {
-                    let cookie = cookie_seq.fetch_add(1, Ordering::Relaxed);
-                    pending.insert(cookie, handle);
-                    json_resp(Status::OK, format!("{{\"cookie\":{cookie}}}"))
+            Ok(b) => {
+                let tenant = req.header(iluvatar_http::TENANT_HEADER).map(str::to_string).or(b.tenant);
+                match worker.async_invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
+                    Ok(handle) => {
+                        let cookie = cookie_seq.fetch_add(1, Ordering::Relaxed);
+                        pending.insert(cookie, handle);
+                        json_resp(Status::OK, format!("{{\"cookie\":{cookie}}}"))
+                    }
+                    Err(e) => error_resp(&e),
                 }
-                Err(e) => error_resp(&e),
-            },
+            }
             Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
         },
         (Method::Get, path) if path.starts_with("/result/") => {
@@ -339,19 +364,55 @@ impl WorkerApiClient {
     }
 
     pub fn invoke(&self, fqdn: &str, args: &str) -> Result<WireResult, ApiError> {
-        let body = serde_json::to_vec(&InvokeBody { fqdn: fqdn.into(), args: args.into() })
-            .map_err(|e| ApiError::Decode(e.to_string()))?;
-        let resp = Self::expect_ok(self.call(Request::new(Method::Post, "/invoke").with_body(body))?)?;
+        self.invoke_tenant(fqdn, args, None)
+    }
+
+    /// Invoke on behalf of a tenant: the label rides both the body and the
+    /// `X-Iluvatar-Tenant` header (so proxies that only forward headers
+    /// still attribute correctly).
+    pub fn invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<WireResult, ApiError> {
+        let body = serde_json::to_vec(&InvokeBody {
+            fqdn: fqdn.into(),
+            args: args.into(),
+            tenant: tenant.map(str::to_string),
+        })
+        .map_err(|e| ApiError::Decode(e.to_string()))?;
+        let mut req = Request::new(Method::Post, "/invoke").with_body(body);
+        if let Some(t) = tenant {
+            req = req.with_header(iluvatar_http::TENANT_HEADER, t);
+        }
+        let resp = Self::expect_ok(self.call(req)?)?;
         serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
     }
 
     /// Submit without waiting; redeem with [`WorkerApiClient::result`].
     pub fn async_invoke(&self, fqdn: &str, args: &str) -> Result<u64, ApiError> {
-        let body = serde_json::to_vec(&InvokeBody { fqdn: fqdn.into(), args: args.into() })
-            .map_err(|e| ApiError::Decode(e.to_string()))?;
-        let resp = Self::expect_ok(
-            self.call(Request::new(Method::Post, "/async_invoke").with_body(body))?,
-        )?;
+        self.async_invoke_tenant(fqdn, args, None)
+    }
+
+    /// Tenant-labelled async submission.
+    pub fn async_invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<u64, ApiError> {
+        let body = serde_json::to_vec(&InvokeBody {
+            fqdn: fqdn.into(),
+            args: args.into(),
+            tenant: tenant.map(str::to_string),
+        })
+        .map_err(|e| ApiError::Decode(e.to_string()))?;
+        let mut req = Request::new(Method::Post, "/async_invoke").with_body(body);
+        if let Some(t) = tenant {
+            req = req.with_header(iluvatar_http::TENANT_HEADER, t);
+        }
+        let resp = Self::expect_ok(self.call(req)?)?;
         #[derive(Deserialize)]
         struct Cookie {
             cookie: u64,
@@ -566,6 +627,52 @@ mod tests {
         let recent = client.traces(1).unwrap();
         assert_eq!(recent.len(), 1);
         assert!(recent[0].trace_id > r.trace_id);
+    }
+
+    #[test]
+    fn tenant_label_and_429_over_http() {
+        use iluvatar_admission::{AdmissionConfig, TenantSpec};
+        let clock = SystemClock::shared();
+        let backend = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        ));
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.admission = AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("free").with_rate(0.001, 1.0),
+        ]);
+        let worker = Arc::new(Worker::new(cfg, backend, clock));
+        let api = WorkerApi::serve(Arc::clone(&worker)).unwrap();
+        let client = WorkerApiClient::new(api.addr());
+        client
+            .register(&FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        let r = client.invoke_tenant("f-1", "{}", Some("free")).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("free"));
+        match client.invoke_tenant("f-1", "{}", Some("free")) {
+            Err(ApiError::Status(429, body)) => assert!(body.contains("throttled"), "{body}"),
+            other => panic!("expected 429, got {other:?}"),
+        }
+        // The header alone is enough — no body field needed.
+        let body = serde_json::to_vec(&InvokeBody {
+            fqdn: "f-1".into(),
+            args: String::new(),
+            tenant: None,
+        })
+        .unwrap();
+        let req = Request::new(Method::Post, "/invoke")
+            .with_body(body)
+            .with_header(iluvatar_http::TENANT_HEADER, "paid");
+        let resp = client.call(req).unwrap();
+        assert_eq!(resp.status.0, 200);
+        let wire: WireResult = serde_json::from_str(resp.body_str()).unwrap();
+        assert_eq!(wire.tenant.as_deref(), Some("paid"));
+        // Status carries the per-tenant rollup and the drop counter.
+        let st = client.status().unwrap();
+        assert_eq!(st.dropped_admission, 1);
+        let free = st.tenants.iter().find(|t| t.tenant == "free").unwrap();
+        assert_eq!(free.throttled, 1);
+        assert!(st.tenants.iter().any(|t| t.tenant == "paid" && t.served == 1));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! logging, etc." Every knob used by an experiment lives here so runs are
 //! reproducible from a single serialized config.
 
+use iluvatar_admission::AdmissionConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which keep-alive eviction policy the container pool runs (§6.1).
@@ -60,6 +61,10 @@ pub enum QueuePolicyKind {
     Eedf,
     /// Prioritize the most unexpected functions (highest IAT).
     Rare,
+    /// Deficit-weighted round robin across per-tenant sub-queues (the
+    /// multi-tenant fair queue; not one of the paper's four heap
+    /// disciplines, so excluded from [`QueuePolicyKind::all`]).
+    Drr,
 }
 
 impl QueuePolicyKind {
@@ -69,9 +74,12 @@ impl QueuePolicyKind {
             QueuePolicyKind::Sjf => "SJF",
             QueuePolicyKind::Eedf => "EEDF",
             QueuePolicyKind::Rare => "RARE",
+            QueuePolicyKind::Drr => "DRR",
         }
     }
 
+    /// The paper's four single-queue heap disciplines (§4.2); DRR is a
+    /// separate multi-queue structure and is not enumerated here.
     pub fn all() -> [QueuePolicyKind; 4] {
         [
             QueuePolicyKind::Fcfs,
@@ -132,6 +140,11 @@ pub struct QueueConfig {
     /// wait up to this long for its container to free up before paying a
     /// concurrent cold start. 0 disables.
     pub herd_wait_ms: u64,
+    /// DRR quantum: cost credit (expected-exec milliseconds) granted to a
+    /// tenant per scheduling round, scaled by its weight. 0 (the serde
+    /// default for older configs) means the built-in default of 50 ms.
+    #[serde(default)]
+    pub drr_quantum_ms: u64,
 }
 
 impl Default for QueueConfig {
@@ -142,6 +155,7 @@ impl Default for QueueConfig {
             bypass_load_limit: 0.8,
             max_len: 16 * 1024,
             herd_wait_ms: 0,
+            drr_quantum_ms: 0,
         }
     }
 }
@@ -217,6 +231,10 @@ pub struct WorkerConfig {
     /// written before this field existed still parse.
     #[serde(default)]
     pub resilience: ResilienceConfig,
+    /// Multi-tenant admission control; defaults to fully disabled so the
+    /// baseline hot path (and Table-1 spans) are unchanged.
+    #[serde(default)]
+    pub admission: AdmissionConfig,
 }
 
 impl Default for WorkerConfig {
@@ -235,6 +253,7 @@ impl Default for WorkerConfig {
             netns_pool: 16,
             char_window: 32,
             resilience: ResilienceConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -300,6 +319,31 @@ mod tests {
         assert_eq!(Hist.name(), "HIST");
         assert_eq!(KeepalivePolicyKind::all().len(), 6);
         assert_eq!(QueuePolicyKind::all().len(), 4);
+        assert_eq!(QueuePolicyKind::Drr.name(), "DRR");
+        assert!(
+            !QueuePolicyKind::all().contains(&QueuePolicyKind::Drr),
+            "DRR is a multi-queue structure, not a heap discipline"
+        );
+    }
+
+    #[test]
+    fn admission_defaults_off_and_old_configs_parse() {
+        let c = WorkerConfig::default();
+        assert!(!c.admission.enabled, "admission must be opt-in");
+        assert_eq!(c.queue.drr_quantum_ms, 0, "0 = use built-in quantum");
+        // A queue config serialized before the DRR field existed still
+        // parses (serde default), keeping old experiment configs stable.
+        let old = r#"{"policy":"Fcfs","bypass_threshold_ms":0,
+                      "bypass_load_limit":0.8,"max_len":64,"herd_wait_ms":0}"#;
+        let q: QueueConfig = serde_json::from_str(old).expect("pre-DRR config parses");
+        assert_eq!(q.drr_quantum_ms, 0);
+        // And the full config roundtrips with admission enabled.
+        let mut c = WorkerConfig::for_testing();
+        c.admission.enabled = true;
+        c.queue.policy = QueuePolicyKind::Drr;
+        let back = WorkerConfig::from_json(&c.to_json()).unwrap();
+        assert!(back.admission.enabled);
+        assert_eq!(back.queue.policy, QueuePolicyKind::Drr);
     }
 
     #[test]

@@ -175,6 +175,21 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
         st.dropped_retry_exhausted as f64,
     );
 
+    w.counter(
+        "iluvatar_dropped_admission_total",
+        "Invocations rejected by admission control (throttled + shed)",
+        base,
+        st.dropped_admission as f64,
+    );
+    for t in worker.tenant_stats() {
+        let labels: &[(&str, &str)] = &[("worker", &st.name), ("tenant", &t.tenant)];
+        w.gauge("iluvatar_tenant_weight", "DRR fair-share weight", labels, t.weight);
+        w.counter("iluvatar_tenant_admitted_total", "Invocations admitted for the tenant", labels, t.admitted as f64);
+        w.counter("iluvatar_tenant_throttled_total", "Invocations throttled by the tenant rate limit", labels, t.throttled as f64);
+        w.counter("iluvatar_tenant_shed_total", "Best-effort invocations shed under overload", labels, t.shed as f64);
+        w.counter("iluvatar_tenant_served_total", "Invocations completed for the tenant", labels, t.served as f64);
+    }
+
     w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "1m")], m.load_1);
     w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "5m")], m.load_5);
     w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "15m")], m.load_15);
@@ -276,6 +291,7 @@ mod tests {
             "iluvatar_agent_timeouts_total",
             "iluvatar_containers_quarantined_total",
             "iluvatar_dropped_retry_exhausted_total",
+            "iluvatar_dropped_admission_total",
             "iluvatar_span_seconds_bucket",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
@@ -284,5 +300,34 @@ mod tests {
         // At least one span histogram per Table-1 group that ran.
         assert!(text.contains("span=\"call_container\""), "span labels present");
         assert!(text.contains("span=\"invoke\""));
+        // Admission disabled: no per-tenant families rendered.
+        assert!(!text.contains("iluvatar_tenant_admitted_total{"));
+    }
+
+    #[test]
+    fn per_tenant_metrics_render_when_admission_enabled() {
+        use iluvatar_admission::{AdmissionConfig, TenantSpec};
+        let clock = SystemClock::shared();
+        let backend = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        ));
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.admission = AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("gold").with_weight(3.0),
+            TenantSpec::new("free").with_rate(0.001, 1.0),
+        ]);
+        let worker = Worker::new(cfg, backend, clock);
+        worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        worker.invoke_tenant("f-1", "{}", Some("gold")).unwrap();
+        worker.invoke_tenant("f-1", "{}", Some("free")).unwrap();
+        let _ = worker.invoke_tenant("f-1", "{}", Some("free")); // throttled
+        let text = render_worker(&worker, 0);
+        assert_valid_prom(&text);
+        assert!(text.contains("iluvatar_tenant_weight{worker=\"test-worker\",tenant=\"gold\"} 3"), "{text}");
+        assert!(text.contains("iluvatar_tenant_admitted_total{worker=\"test-worker\",tenant=\"gold\"} 1"));
+        assert!(text.contains("iluvatar_tenant_throttled_total{worker=\"test-worker\",tenant=\"free\"} 1"));
+        assert!(text.contains("iluvatar_tenant_served_total{worker=\"test-worker\",tenant=\"gold\"} 1"));
+        assert!(text.contains("iluvatar_dropped_admission_total{worker=\"test-worker\"} 1"));
     }
 }

@@ -16,6 +16,11 @@ pub enum InvokeError {
     NoResources,
     /// The worker is shutting down.
     ShuttingDown,
+    /// Rejected by admission control: the tenant's rate limit fired.
+    Throttled(String),
+    /// Rejected by admission control: best-effort tenant shed under
+    /// overload (queue delay past the configured threshold).
+    Shed(String),
 }
 
 impl std::fmt::Display for InvokeError {
@@ -26,6 +31,8 @@ impl std::fmt::Display for InvokeError {
             InvokeError::Backend(m) => write!(f, "backend error: {m}"),
             InvokeError::NoResources => write!(f, "insufficient memory for cold start"),
             InvokeError::ShuttingDown => write!(f, "worker shutting down"),
+            InvokeError::Throttled(t) => write!(f, "tenant throttled: {t}"),
+            InvokeError::Shed(t) => write!(f, "tenant shed under overload: {t}"),
         }
     }
 }
@@ -50,6 +57,9 @@ pub struct InvocationResult {
     pub arrived_at: TimeMs,
     /// End-to-end trace id; redeem via `GET /trace/{id}` on the worker.
     pub trace_id: u64,
+    /// Tenant the invocation was accounted to (None when admission control
+    /// is disabled and no label was supplied).
+    pub tenant: Option<String>,
 }
 
 impl InvocationResult {
@@ -110,6 +120,7 @@ mod tests {
             queue_ms: 0,
             arrived_at: 0,
             trace_id: 0,
+            tenant: None,
         }
     }
 

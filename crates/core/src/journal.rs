@@ -45,6 +45,11 @@ pub enum TraceEventKind {
     /// The retry budget was exhausted (or shed under saturation); the
     /// invocation fails with the last error.
     RetriesExhausted,
+    /// Rejected at ingest by overload shedding (best-effort tenant, queue
+    /// delay past the configured threshold).
+    AdmissionRejected,
+    /// Rejected at ingest by the tenant's token-bucket rate limit.
+    TenantThrottled,
     /// The result (or error) was delivered back to the caller.
     ResultReturned { ok: bool },
 }
@@ -65,6 +70,8 @@ impl TraceEventKind {
                 format!("retry_scheduled({attempt},{delay_ms})")
             }
             TraceEventKind::RetriesExhausted => "retries_exhausted".into(),
+            TraceEventKind::AdmissionRejected => "admission_rejected".into(),
+            TraceEventKind::TenantThrottled => "tenant_throttled".into(),
             TraceEventKind::ResultReturned { ok } => format!("result_returned({ok})"),
         }
     }

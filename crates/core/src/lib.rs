@@ -16,7 +16,8 @@
 //! * [`pool`] — the container pool / keep-alive cache with background
 //!   eviction and a free-memory buffer (§3.3).
 //! * [`queue`] — the per-worker invocation queue: FCFS/SJF/EEDF/RARE
-//!   disciplines, short-function bypass, and the concurrency regulator with
+//!   disciplines plus a deficit-weighted-round-robin (DRR) multi-tenant
+//!   fair queue, short-function bypass, and the concurrency regulator with
 //!   fixed or AIMD-dynamic limits (§4).
 //! * [`worker`] — the assembled worker and its invocation hot path.
 //! * [`spans`] — lightweight per-component latency tracking (Table 1).
@@ -41,6 +42,7 @@ pub use config::{
     ConcurrencyConfig, KeepalivePolicyKind, QueueConfig, QueuePolicyKind, ResilienceConfig,
     WorkerConfig,
 };
+pub use queue::{DrrQueue, DEFAULT_DRR_QUANTUM_MS};
 pub use invocation::{InvocationHandle, InvocationResult, InvokeError};
 pub use journal::{journal_digest, TraceEvent, TraceEventKind, TraceJournal, TraceRecord};
 pub use registration::{RegisterError, Registration, Registry};
@@ -49,3 +51,10 @@ pub use worker::{Worker, WorkerStatus};
 
 // Re-export the substrate types callers need to build a worker.
 pub use iluvatar_containers::{ContainerBackend, FunctionSpec, ResourceLimits};
+
+// Re-export the admission-control surface so downstream crates (load
+// balancer, binaries) don't need a direct dependency edge.
+pub use iluvatar_admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, PriorityClass, TenantRegistry,
+    TenantSnapshot, TenantSpec, DEFAULT_TENANT,
+};

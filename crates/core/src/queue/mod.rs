@@ -9,7 +9,9 @@
 //! * [`regulator::ConcurrencyRegulator`] — bounds concurrently running
 //!   functions; fixed or AIMD-dynamic limit.
 //! * [`InvocationQueue`] — priority queue under a mutex (§5 found a mutex
-//!   good enough here) with the FCFS/SJF/EEDF/RARE disciplines of §4.2.
+//!   good enough here) with the FCFS/SJF/EEDF/RARE disciplines of §4.2,
+//!   plus the multi-tenant [`DrrQueue`] (deficit-weighted round robin over
+//!   per-tenant sub-queues).
 //! * queue bypass — short functions skip the queue when the system is under
 //!   a load limit; decided by [`InvocationQueue::should_bypass`].
 
@@ -20,9 +22,12 @@ use crate::invocation::ResultSender;
 use iluvatar_sync::TimeMs;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Quantum used when `QueueConfig::drr_quantum_ms` is 0 (unset).
+pub const DEFAULT_DRR_QUANTUM_MS: u64 = 50;
 
 /// An invocation waiting for dispatch.
 pub struct QueuedInvocation {
@@ -38,6 +43,11 @@ pub struct QueuedInvocation {
     pub iat_ms: f64,
     /// Whether a warm container is expected (picks warm vs cold estimate).
     pub expect_warm: bool,
+    /// Tenant label for the DRR fair queue and per-tenant accounting;
+    /// `None` lands in the default tenant's sub-queue.
+    pub tenant: Option<String>,
+    /// DRR weight of the tenant at enqueue time (`<= 0` means 1.0).
+    pub tenant_weight: f64,
     pub result_tx: ResultSender,
 }
 
@@ -50,6 +60,9 @@ pub fn priority_of(policy: QueuePolicyKind, q: &QueuedInvocation) -> f64 {
         QueuePolicyKind::Eedf => q.arrived_at as f64 + q.expected_exec_ms,
         // Most unexpected (highest IAT) first.
         QueuePolicyKind::Rare => -q.iat_ms,
+        // DRR does not use a scalar priority (it is a multi-queue
+        // structure); arrival order is the total-order fallback.
+        QueuePolicyKind::Drr => q.arrived_at as f64,
     }
 }
 
@@ -82,8 +95,142 @@ impl PartialOrd for HeapItem {
     }
 }
 
+struct SubQueue {
+    items: VecDeque<QueuedInvocation>,
+    /// Remaining cost credit, in expected-exec milliseconds.
+    deficit: f64,
+    weight: f64,
+    /// Whether this sub-queue already received its quantum for the current
+    /// visit at the head of the active rotation.
+    credited: bool,
+}
+
+impl SubQueue {
+    fn new(weight: f64) -> Self {
+        Self { items: VecDeque::new(), deficit: 0.0, weight, credited: false }
+    }
+}
+
+/// Deficit-weighted round robin over per-tenant sub-queues.
+///
+/// Each backlogged tenant sits in a rotation; on reaching the head it is
+/// credited `quantum × weight` milliseconds of cost and serves invocations
+/// (cost = expected execution time, floored at 1 ms) while its deficit
+/// covers them, then rotates to the back. Unspent deficit carries over
+/// while the tenant stays backlogged, so long-run service converges to the
+/// weight ratio; it resets to zero when the sub-queue drains, so an idle
+/// tenant cannot hoard credit and later starve others.
+pub struct DrrQueue {
+    quantum_ms: f64,
+    active: VecDeque<String>,
+    subs: HashMap<String, SubQueue>,
+    len: usize,
+}
+
+/// Sub-queue key for invocations without a tenant label.
+const UNLABELLED: &str = "default";
+
+impl DrrQueue {
+    /// `quantum_ms` of 0 selects [`DEFAULT_DRR_QUANTUM_MS`].
+    pub fn new(quantum_ms: u64) -> Self {
+        let q = if quantum_ms == 0 { DEFAULT_DRR_QUANTUM_MS } else { quantum_ms };
+        Self {
+            quantum_ms: q as f64,
+            active: VecDeque::new(),
+            subs: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current deficit of a tenant (0 for unknown/idle tenants).
+    pub fn deficit_of(&self, tenant: &str) -> f64 {
+        self.subs.get(tenant).map(|s| s.deficit).unwrap_or(0.0)
+    }
+
+    pub fn push(&mut self, item: QueuedInvocation) {
+        let key = item.tenant.clone().unwrap_or_else(|| UNLABELLED.to_string());
+        let weight = if item.tenant_weight > 0.0 { item.tenant_weight } else { 1.0 };
+        let sub = self.subs.entry(key.clone()).or_insert_with(|| SubQueue::new(weight));
+        sub.weight = weight;
+        if sub.items.is_empty() {
+            // Invariant: a tenant is in the rotation iff its sub-queue is
+            // non-empty, so an empty sub-queue is never in `active`.
+            self.active.push_back(key);
+        }
+        sub.items.push_back(item);
+        self.len += 1;
+    }
+
+    pub fn pop(&mut self) -> Option<QueuedInvocation> {
+        if self.len == 0 {
+            return None;
+        }
+        // Terminates: some sub-queue is non-empty, and every full rotation
+        // grows its deficit by quantum × weight > 0 until it covers the
+        // head item's cost.
+        loop {
+            let key = self.active.front()?.clone();
+            let sub = self.subs.get_mut(&key).expect("active tenant has a sub-queue");
+            if !sub.credited {
+                sub.deficit += self.quantum_ms * sub.weight;
+                sub.credited = true;
+            }
+            let cost = sub
+                .items
+                .front()
+                .map(|i| i.expected_exec_ms.max(1.0))
+                .expect("active sub-queue is non-empty");
+            if sub.deficit >= cost {
+                let item = sub.items.pop_front().expect("non-empty");
+                sub.deficit -= cost;
+                self.len -= 1;
+                if sub.items.is_empty() {
+                    // Idle tenants carry no credit.
+                    sub.deficit = 0.0;
+                    sub.credited = false;
+                    self.active.pop_front();
+                }
+                return Some(item);
+            }
+            // Out of credit: rotate to the back; fresh quantum next visit.
+            sub.credited = false;
+            let k = self.active.pop_front().expect("checked front above");
+            self.active.push_back(k);
+        }
+    }
+}
+
+enum QueueImpl {
+    Heap(BinaryHeap<HeapItem>),
+    Drr(DrrQueue),
+}
+
+impl QueueImpl {
+    fn len(&self) -> usize {
+        match self {
+            QueueImpl::Heap(h) => h.len(),
+            QueueImpl::Drr(d) => d.len(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedInvocation> {
+        match self {
+            QueueImpl::Heap(h) => h.pop().map(|hi| hi.item),
+            QueueImpl::Drr(d) => d.pop(),
+        }
+    }
+}
+
 struct QueueState {
-    heap: BinaryHeap<HeapItem>,
+    q: QueueImpl,
     closed: bool,
 }
 
@@ -108,9 +255,13 @@ pub struct InvocationQueue {
 
 impl InvocationQueue {
     pub fn new(cfg: QueueConfig) -> Self {
+        let q = match cfg.policy {
+            QueuePolicyKind::Drr => QueueImpl::Drr(DrrQueue::new(cfg.drr_quantum_ms)),
+            _ => QueueImpl::Heap(BinaryHeap::new()),
+        };
         Self {
             cfg,
-            state: Mutex::new(QueueState { heap: BinaryHeap::new(), closed: false }),
+            state: Mutex::new(QueueState { q, closed: false }),
             cv: Condvar::new(),
             seq: AtomicU64::new(0),
             enqueued: AtomicU64::new(0),
@@ -123,12 +274,21 @@ impl InvocationQueue {
     }
 
     /// Queue-bypass decision (§4.1): short functions run immediately when
-    /// the normalized system load is under the configured limit.
+    /// the normalized system load is under the configured limit. Under DRR
+    /// a non-empty queue additionally disables bypass — letting a flooding
+    /// tenant's short functions around the fair queue would defeat it.
     pub fn should_bypass(&self, expected_exec_ms: f64, normalized_load: f64) -> bool {
-        self.cfg.bypass_threshold_ms > 0
-            && expected_exec_ms > 0.0
-            && expected_exec_ms <= self.cfg.bypass_threshold_ms as f64
-            && normalized_load <= self.cfg.bypass_load_limit
+        if self.cfg.bypass_threshold_ms == 0
+            || expected_exec_ms <= 0.0
+            || expected_exec_ms > self.cfg.bypass_threshold_ms as f64
+            || normalized_load > self.cfg.bypass_load_limit
+        {
+            return false;
+        }
+        if self.cfg.policy == QueuePolicyKind::Drr && !self.is_empty() {
+            return false;
+        }
+        true
     }
 
     pub fn note_bypass(&self) {
@@ -143,10 +303,13 @@ impl InvocationQueue {
         if st.closed {
             return Err(PushError::Closed);
         }
-        if st.heap.len() >= self.cfg.max_len {
+        if st.q.len() >= self.cfg.max_len {
             return Err(PushError::Full);
         }
-        st.heap.push(HeapItem { priority, seq, item });
+        match &mut st.q {
+            QueueImpl::Heap(h) => h.push(HeapItem { priority, seq, item }),
+            QueueImpl::Drr(d) => d.push(item),
+        }
         drop(st);
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_one();
@@ -157,29 +320,38 @@ impl InvocationQueue {
     pub fn pop_timeout(&self, timeout: Duration) -> Option<QueuedInvocation> {
         let mut st = self.state.lock();
         loop {
-            if let Some(hi) = st.heap.pop() {
-                return Some(hi.item);
+            if let Some(item) = st.q.pop() {
+                return Some(item);
             }
             if st.closed {
                 return None;
             }
             if self.cv.wait_for(&mut st, timeout).timed_out() {
-                return st.heap.pop().map(|hi| hi.item);
+                return st.q.pop();
             }
         }
     }
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<QueuedInvocation> {
-        self.state.lock().heap.pop().map(|hi| hi.item)
+        self.state.lock().q.pop()
     }
 
     pub fn len(&self) -> usize {
-        self.state.lock().heap.len()
+        self.state.lock().q.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Current DRR deficit of a tenant; `None` unless the DRR policy is
+    /// active (diagnostics / tests).
+    pub fn drr_deficit(&self, tenant: &str) -> Option<f64> {
+        match &self.state.lock().q {
+            QueueImpl::Drr(d) => Some(d.deficit_of(tenant)),
+            QueueImpl::Heap(_) => None,
+        }
     }
 
     /// Total enqueued (excluding bypasses).
@@ -208,6 +380,17 @@ mod tests {
     use crate::invocation::InvocationHandle;
 
     fn item(fqdn: &str, arrived: TimeMs, exec: f64, iat: f64) -> QueuedInvocation {
+        titem(fqdn, arrived, exec, iat, None, 1.0)
+    }
+
+    fn titem(
+        fqdn: &str,
+        arrived: TimeMs,
+        exec: f64,
+        iat: f64,
+        tenant: Option<&str>,
+        weight: f64,
+    ) -> QueuedInvocation {
         let (tx, _h) = InvocationHandle::pair();
         // Keep the handle alive is unnecessary; sender send may fail later.
         std::mem::forget(_h);
@@ -219,6 +402,8 @@ mod tests {
             expected_exec_ms: exec,
             iat_ms: iat,
             expect_warm: true,
+            tenant: tenant.map(|t| t.to_string()),
+            tenant_weight: weight,
             result_tx: tx,
         }
     }
@@ -335,5 +520,131 @@ mod tests {
         assert!(!q.should_bypass(0.0, 0.5), "unseen functions must queue");
         let q_off = queue(QueuePolicyKind::Fcfs); // threshold 0 = disabled
         assert!(!q_off.should_bypass(1.0, 0.0));
+    }
+
+    /// Serve `n` pops and count how many went to each of two tenants.
+    fn drain_counts(q: &InvocationQueue, n: usize, a: &str, b: &str) -> (usize, usize) {
+        let (mut ca, mut cb) = (0, 0);
+        for _ in 0..n {
+            match q.try_pop() {
+                Some(i) if i.tenant.as_deref() == Some(a) => ca += 1,
+                Some(i) if i.tenant.as_deref() == Some(b) => cb += 1,
+                _ => {}
+            }
+        }
+        (ca, cb)
+    }
+
+    #[test]
+    fn drr_equal_weights_serve_equally_under_flood() {
+        // Tenant "flood" offers 10× the load of "meek" at equal weight;
+        // while both stay backlogged, service must stay ~1:1.
+        let q = queue(QueuePolicyKind::Drr);
+        for i in 0..400 {
+            q.push(titem("f", i, 10.0, 0.0, Some("flood"), 1.0)).unwrap();
+        }
+        for i in 0..40 {
+            q.push(titem("m", i, 10.0, 0.0, Some("meek"), 1.0)).unwrap();
+        }
+        // Serve only while both are backlogged: meek has 40 items, so take
+        // 60 pops — at fair 1:1 that consumes ≤ 35 of meek's backlog.
+        let (flood, meek) = drain_counts(&q, 60, "flood", "meek");
+        assert_eq!(flood + meek, 60);
+        let ratio = flood as f64 / meek as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "equal weights must serve ~1:1 under 10:1 offered load, got {flood}:{meek}"
+        );
+    }
+
+    #[test]
+    fn drr_weighted_service_matches_ratio() {
+        let q = queue(QueuePolicyKind::Drr);
+        for i in 0..300 {
+            q.push(titem("g", i, 10.0, 0.0, Some("gold"), 3.0)).unwrap();
+            q.push(titem("b", i, 10.0, 0.0, Some("bronze"), 1.0)).unwrap();
+        }
+        let (gold, bronze) = drain_counts(&q, 200, "gold", "bronze");
+        assert_eq!(gold + bronze, 200);
+        let ratio = gold as f64 / bronze as f64;
+        assert!(
+            (2.7..=3.3).contains(&ratio),
+            "3:1 weights must serve ~3:1, got {gold}:{bronze} ({ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn drr_idle_tenant_deficit_resets() {
+        let mut d = DrrQueue::new(10);
+        for i in 0..5 {
+            d.push(titem("a", i, 3.0, 0.0, Some("t1"), 1.0));
+        }
+        while d.pop().is_some() {}
+        assert_eq!(d.deficit_of("t1"), 0.0, "drained tenant keeps no credit");
+        assert!(d.is_empty());
+        // After idling, t1 cannot burst ahead of a newly active tenant.
+        d.push(titem("a", 100, 3.0, 0.0, Some("t1"), 1.0));
+        d.push(titem("b", 100, 3.0, 0.0, Some("t2"), 1.0));
+        assert_eq!(d.pop().unwrap().tenant.as_deref(), Some("t1"));
+        assert_eq!(d.pop().unwrap().tenant.as_deref(), Some("t2"));
+    }
+
+    #[test]
+    fn drr_unlabelled_items_share_default_subqueue() {
+        let q = queue(QueuePolicyKind::Drr);
+        q.push(item("x", 0, 5.0, 0.0)).unwrap();
+        q.push(item("y", 1, 5.0, 0.0)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop().unwrap().fqdn, "x", "FIFO within a sub-queue");
+        assert_eq!(q.try_pop().unwrap().fqdn, "y");
+        assert!(q.drr_deficit("default").is_some());
+        assert!(queue(QueuePolicyKind::Fcfs).drr_deficit("default").is_none());
+    }
+
+    #[test]
+    fn drr_no_starvation_with_expensive_items() {
+        // An item costing many quanta must still be served eventually.
+        let mut d = DrrQueue::new(10);
+        d.push(titem("big", 0, 500.0, 0.0, Some("heavy"), 1.0));
+        d.push(titem("small", 0, 1.0, 0.0, Some("light"), 1.0));
+        let mut seen = Vec::new();
+        while let Some(i) = d.pop() {
+            seen.push(i.fqdn);
+        }
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&"big".to_string()), "expensive item not starved");
+    }
+
+    #[test]
+    fn drr_bypass_disabled_while_backlogged() {
+        let q = InvocationQueue::new(QueueConfig {
+            policy: QueuePolicyKind::Drr,
+            bypass_threshold_ms: 20,
+            bypass_load_limit: 0.8,
+            ..Default::default()
+        });
+        assert!(q.should_bypass(10.0, 0.1), "empty fair queue may bypass");
+        q.push(titem("f", 0, 10.0, 0.0, Some("flood"), 1.0)).unwrap();
+        assert!(
+            !q.should_bypass(10.0, 0.1),
+            "backlogged fair queue must not be bypassed"
+        );
+    }
+
+    #[test]
+    fn drr_respects_bound_and_close() {
+        let q = InvocationQueue::new(QueueConfig {
+            policy: QueuePolicyKind::Drr,
+            max_len: 1,
+            ..Default::default()
+        });
+        q.push(titem("a", 0, 1.0, 0.0, Some("t"), 1.0)).unwrap();
+        assert_eq!(
+            q.push(titem("b", 0, 1.0, 0.0, Some("t"), 1.0)).unwrap_err(),
+            PushError::Full
+        );
+        q.close();
+        assert!(q.pop_timeout(Duration::from_millis(5)).is_some(), "drains");
+        assert!(q.pop_timeout(Duration::from_millis(5)).is_none());
     }
 }

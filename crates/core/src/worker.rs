@@ -27,6 +27,9 @@ use crate::queue::{InvocationQueue, PushError, QueuedInvocation};
 use crate::registration::{RegisterError, Registration, Registry};
 use crate::spans::{names, Spans};
 use crossbeam::channel::{bounded, unbounded, Sender};
+use iluvatar_admission::{
+    AdmissionController, AdmissionDecision, TenantSnapshot, DEFAULT_TENANT,
+};
 use iluvatar_containers::image::Platform;
 use iluvatar_containers::types::SharedContainer;
 use iluvatar_containers::{BackendError, ContainerBackend, FunctionSpec};
@@ -63,6 +66,9 @@ pub struct WorkerStatus {
     /// Invocations that failed after exhausting (or shedding) their retry
     /// budget.
     pub dropped_retry_exhausted: u64,
+    /// Invocations rejected at ingest by admission control (tenant rate
+    /// limit or overload shedding). 0 while admission is disabled.
+    pub dropped_admission: u64,
 }
 
 /// Traces the journal remembers before the oldest age out.
@@ -93,6 +99,11 @@ struct Shared {
     dropped_retry_exhausted: AtomicU64,
     /// Invocations currently sleeping out a retry backoff (shed signal).
     retrying: AtomicUsize,
+    /// Multi-tenant admission control; a no-op pass-through when disabled.
+    admission: AdmissionController,
+    /// Queue delay of the most recently dequeued invocation, ms — the
+    /// overload signal feeding best-effort shedding.
+    last_queue_delay_ms: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -152,6 +163,8 @@ impl Worker {
             quarantined: AtomicU64::new(0),
             dropped_retry_exhausted: AtomicU64::new(0),
             retrying: AtomicUsize::new(0),
+            admission: AdmissionController::new(cfg.admission.clone(), Arc::clone(&clock)),
+            last_queue_delay_ms: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             clock,
             cfg,
@@ -249,12 +262,34 @@ impl Worker {
 
     /// Synchronous invocation: blocks until the function completes.
     pub fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
+        self.invoke_tenant(fqdn, args, None)
+    }
+
+    /// Synchronous invocation on behalf of an explicit tenant.
+    pub fn invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<InvocationResult, InvokeError> {
         let _g = self.shared.spans.time(names::SYNC_INVOKE);
-        self.async_invoke(fqdn, args)?.wait()
+        self.async_invoke_tenant(fqdn, args, tenant)?.wait()
     }
 
     /// Asynchronous invocation: returns a handle immediately.
     pub fn async_invoke(&self, fqdn: &str, args: &str) -> Result<InvocationHandle, InvokeError> {
+        self.async_invoke_tenant(fqdn, args, None)
+    }
+
+    /// Asynchronous invocation on behalf of an explicit tenant. A `None`
+    /// tenant falls back to the function registration's tenant, then to the
+    /// default tenant.
+    pub fn async_invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<InvocationHandle, InvokeError> {
         let s = &self.shared;
         let _g = s.spans.time(names::INVOKE);
         if s.shutdown.load(Ordering::Relaxed) {
@@ -265,6 +300,33 @@ impl Worker {
             .registry
             .get(fqdn)
             .ok_or_else(|| InvokeError::NotRegistered(fqdn.to_string()))?;
+        // Tenant resolution: explicit label → registration default → None
+        // (accounted to the platform default tenant when admission is on).
+        let tenant: Option<String> =
+            tenant.map(|t| t.to_string()).or_else(|| reg.spec.tenant.clone());
+        let mut tenant_weight = 1.0;
+        if s.admission.enabled() {
+            let tname = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+            tenant_weight = s.admission.weight_of(tname);
+            let queue_delay = s.last_queue_delay_ms.load(Ordering::Relaxed);
+            match s.admission.admit(tname, queue_delay) {
+                AdmissionDecision::Admit => {}
+                AdmissionDecision::Throttled => {
+                    let trace_id = s.journal.begin(fqdn);
+                    s.journal.record(trace_id, TraceEventKind::TenantThrottled);
+                    s.journal
+                        .record(trace_id, TraceEventKind::ResultReturned { ok: false });
+                    return Err(InvokeError::Throttled(tname.to_string()));
+                }
+                AdmissionDecision::Shed => {
+                    let trace_id = s.journal.begin(fqdn);
+                    s.journal.record(trace_id, TraceEventKind::AdmissionRejected);
+                    s.journal
+                        .record(trace_id, TraceEventKind::ResultReturned { ok: false });
+                    return Err(InvokeError::Shed(tname.to_string()));
+                }
+            }
+        }
         s.chars.on_arrival(fqdn, now);
         s.pool.note_arrival(fqdn);
         s.chars.on_memory(fqdn, reg.spec.limits.memory_mb);
@@ -292,6 +354,8 @@ impl Worker {
                     expected_exec_ms,
                     iat_ms,
                     expect_warm,
+                    tenant,
+                    tenant_weight,
                     result_tx: tx,
                 };
                 std::thread::Builder::new()
@@ -314,6 +378,8 @@ impl Worker {
             expected_exec_ms,
             iat_ms,
             expect_warm,
+            tenant,
+            tenant_weight,
             result_tx: tx,
         };
         // Journal `Enqueued` before the push: once the item is in the queue
@@ -364,7 +430,17 @@ impl Worker {
             agent_timeouts: s.agent_timeouts.load(Ordering::Relaxed),
             quarantined: s.quarantined.load(Ordering::Relaxed),
             dropped_retry_exhausted: s.dropped_retry_exhausted.load(Ordering::Relaxed),
+            dropped_admission: s.admission.dropped_admission(),
         }
+    }
+
+    /// Per-tenant admission/serve counters; empty while admission control
+    /// is disabled.
+    pub fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        if !self.shared.admission.enabled() {
+            return Vec::new();
+        }
+        self.shared.admission.snapshot()
     }
 
     /// Per-component latency spans (Table 1).
@@ -442,6 +518,9 @@ fn monitor_loop(s: Arc<Shared>) {
             }
         };
         let dequeued_at = s.clock.now_ms();
+        // Publish the observed queue delay — the overload-shedding signal.
+        s.last_queue_delay_ms
+            .store(dequeued_at.saturating_sub(item.arrived_at), Ordering::Relaxed);
         s.journal.record(item.trace_id, TraceEventKind::Dequeued);
         // Hold dispatch until a run slot frees up — the concurrency limit.
         let permit = s.regulator.acquire();
@@ -509,6 +588,10 @@ fn run_invocation(s: &Shared, item: QueuedInvocation, dequeued_at: TimeMs) {
             s.completed.fetch_add(1, Ordering::Relaxed);
             s.chars
                 .on_completion(&item.fqdn, result.exec_ms, result.cold);
+            if s.admission.enabled() {
+                s.admission
+                    .on_served(item.tenant.as_deref().unwrap_or(DEFAULT_TENANT));
+            }
         }
         Err(InvokeError::NoResources) => {
             s.dropped.fetch_add(1, Ordering::Relaxed);
@@ -679,9 +762,10 @@ fn finish_invoke(
     let call_g = s.spans.time(names::CALL_CONTAINER);
     s.journal.record(item.trace_id, TraceEventKind::AgentCalled);
     let trace_hex = format!("{:016x}", item.trace_id);
+    let tenant = item.tenant.as_deref();
     let timeout_ms = s.cfg.resilience.agent_timeout_ms;
     let invoked = if timeout_ms == 0 {
-        s.backend.invoke_traced(&container, args, Some(&trace_hex))
+        s.backend.invoke_ctx(&container, args, Some(&trace_hex), tenant)
     } else {
         // Bound the agent hop: run the call on a helper thread and abandon
         // it on timeout. The container is quarantined below, so the orphaned
@@ -691,13 +775,15 @@ fn finish_invoke(
         let c2 = Arc::clone(&container);
         let args2 = args.to_string();
         let hex2 = trace_hex.clone();
+        let tenant2 = item.tenant.clone();
         let spawned = std::thread::Builder::new()
             .name("iluvatar-agent-call".into())
             .spawn(move || {
-                let _ = tx.send(backend.invoke_traced(&c2, &args2, Some(&hex2)));
+                let _ =
+                    tx.send(backend.invoke_ctx(&c2, &args2, Some(&hex2), tenant2.as_deref()));
             });
         match spawned {
-            Err(_) => s.backend.invoke_traced(&container, args, Some(&trace_hex)),
+            Err(_) => s.backend.invoke_ctx(&container, args, Some(&trace_hex), tenant),
             Ok(_) => match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
                 Ok(r) => r,
                 Err(_) => {
@@ -741,6 +827,7 @@ fn finish_invoke(
         queue_ms: dequeued_at.saturating_sub(item.arrived_at),
         arrived_at: item.arrived_at,
         trace_id: item.trace_id,
+        tenant: item.tenant.clone(),
     })
 }
 
@@ -1007,6 +1094,138 @@ mod tests {
         let m = w.metrics();
         assert!(m.samples >= 1, "metrics task must run");
         assert!(m.power_w >= 100.0, "at least idle power");
+    }
+
+    #[test]
+    fn admission_throttles_rate_limited_tenant() {
+        use iluvatar_admission::{AdmissionConfig, TenantSpec};
+        let mut cfg = WorkerConfig::for_testing();
+        // Burst of 1 and a negligible refill rate: the first invocation is
+        // admitted, the second deterministically throttled.
+        cfg.admission = AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("free").with_rate(0.001, 1.0),
+        ]);
+        let w = test_worker(cfg);
+        w.register(spec("f", 20, 0, 64)).unwrap();
+        let r = w.invoke_tenant("f-1", "{}", Some("free")).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("free"));
+        match w.invoke_tenant("f-1", "{}", Some("free")) {
+            Err(InvokeError::Throttled(t)) => assert_eq!(t, "free"),
+            other => panic!("expected Throttled, got {other:?}"),
+        }
+        let st = w.status();
+        assert_eq!(st.dropped_admission, 1);
+        let tstats = w.tenant_stats();
+        let free = tstats.iter().find(|t| t.tenant == "free").unwrap();
+        assert_eq!(free.admitted, 1);
+        assert_eq!(free.throttled, 1);
+        assert_eq!(free.served, 1);
+        // Unlimited tenants are unaffected.
+        w.invoke_tenant("f-1", "{}", Some("other")).unwrap();
+    }
+
+    #[test]
+    fn admission_sheds_best_effort_but_not_guaranteed() {
+        use iluvatar_admission::{AdmissionConfig, PriorityClass, TenantSpec};
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.concurrency.limit = 1;
+        cfg.admission = AdmissionConfig {
+            enabled: true,
+            shed_queue_delay_ms: 5,
+            tenants: vec![
+                TenantSpec::new("paid").with_class(PriorityClass::Guaranteed),
+                TenantSpec::new("free"),
+            ],
+        };
+        let w = test_worker(cfg);
+        w.register(spec("slow", 1500, 0, 64)).unwrap(); // 75ms at 0.05 scale
+        // Saturate: one runs, the rest queue behind it.
+        let handles: Vec<_> =
+            (0..4).map(|_| w.async_invoke_tenant("slow-1", "{}", Some("paid")).unwrap()).collect();
+        // Wait until a queued invocation has been dequeued, so the observed
+        // queue delay (≥ one execution, 75ms) exceeds the 5ms threshold.
+        for _ in 0..500 {
+            if w.status().completed >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(w.status().completed >= 2, "saturation did not develop");
+        match w.invoke_tenant("slow-1", "{}", Some("free")) {
+            Err(InvokeError::Shed(t)) => assert_eq!(t, "free"),
+            other => panic!("expected Shed for best-effort, got {other:?}"),
+        }
+        // Guaranteed class is still admitted under the same overload.
+        let h = w.async_invoke_tenant("slow-1", "{}", Some("paid")).unwrap();
+        for hh in handles {
+            hh.wait().unwrap();
+        }
+        h.wait().unwrap();
+        let tstats = w.tenant_stats();
+        let freet = tstats.iter().find(|t| t.tenant == "free").unwrap();
+        let paid = tstats.iter().find(|t| t.tenant == "paid").unwrap();
+        assert_eq!(freet.shed, 1);
+        assert_eq!(paid.shed, 0);
+        assert_eq!(paid.served, 5);
+    }
+
+    #[test]
+    fn registration_tenant_is_the_default_label() {
+        use iluvatar_admission::AdmissionConfig;
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.admission = AdmissionConfig { enabled: true, ..Default::default() };
+        let w = test_worker(cfg);
+        w.register(spec("f", 20, 0, 64).with_tenant("acme")).unwrap();
+        let r = w.invoke("f-1", "{}").unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("acme"), "spec tenant used by default");
+        // An explicit per-invocation label overrides the registration.
+        let r = w.invoke_tenant("f-1", "{}", Some("umbrella")).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("umbrella"));
+        let tstats = w.tenant_stats();
+        assert!(tstats.iter().any(|t| t.tenant == "acme" && t.served == 1));
+        assert!(tstats.iter().any(|t| t.tenant == "umbrella" && t.served == 1));
+    }
+
+    #[test]
+    fn admission_disabled_reports_no_tenants() {
+        let w = test_worker(WorkerConfig::for_testing());
+        w.register(spec("f", 20, 0, 64)).unwrap();
+        let r = w.invoke_tenant("f-1", "{}", Some("acme")).unwrap();
+        // The label still threads through to the result and agent hop...
+        assert_eq!(r.tenant.as_deref(), Some("acme"));
+        // ...but no accounting happens on the disabled hot path.
+        assert!(w.tenant_stats().is_empty());
+        assert_eq!(w.status().dropped_admission, 0);
+    }
+
+    #[test]
+    fn drr_worker_serves_tenants_by_weight() {
+        use iluvatar_admission::{AdmissionConfig, TenantSpec};
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.queue.policy = QueuePolicyKind::Drr;
+        cfg.concurrency.limit = 1;
+        cfg.admission = AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("gold").with_weight(3.0),
+            TenantSpec::new("bronze").with_weight(1.0),
+        ]);
+        let w = test_worker(cfg);
+        w.register(spec("f", 200, 0, 64)).unwrap();
+        // Prime the characteristics store so queued items carry a cost.
+        w.invoke_tenant("f-1", "{}", Some("gold")).unwrap();
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let t = if i % 2 == 0 { "gold" } else { "bronze" };
+                w.async_invoke_tenant("f-1", "{}", Some(t)).unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let tstats = w.tenant_stats();
+        let gold = tstats.iter().find(|t| t.tenant == "gold").unwrap();
+        let bronze = tstats.iter().find(|t| t.tenant == "bronze").unwrap();
+        // Everything completes eventually (work-conserving, no starvation).
+        assert_eq!(gold.served + bronze.served, 13);
     }
 
     #[test]

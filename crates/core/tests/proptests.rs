@@ -4,7 +4,7 @@ use iluvatar_core::config::{KeepalivePolicyKind, QueueConfig, QueuePolicyKind};
 use iluvatar_core::invocation::InvocationHandle;
 use iluvatar_core::policies::{make_policy, EntryMeta};
 use iluvatar_core::pool::ContainerPool;
-use iluvatar_core::queue::{priority_of, InvocationQueue, QueuedInvocation};
+use iluvatar_core::queue::{priority_of, DrrQueue, InvocationQueue, QueuedInvocation};
 use iluvatar_containers::types::Container;
 use iluvatar_containers::ResourceLimits;
 use iluvatar_sync::ManualClock;
@@ -12,6 +12,17 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn item(fqdn: String, arrived: u64, exec: f64, iat: f64) -> QueuedInvocation {
+    titem(fqdn, arrived, exec, iat, None, 1.0)
+}
+
+fn titem(
+    fqdn: String,
+    arrived: u64,
+    exec: f64,
+    iat: f64,
+    tenant: Option<&str>,
+    weight: f64,
+) -> QueuedInvocation {
     let (tx, h) = InvocationHandle::pair();
     std::mem::forget(h);
     QueuedInvocation {
@@ -22,6 +33,8 @@ fn item(fqdn: String, arrived: u64, exec: f64, iat: f64) -> QueuedInvocation {
         expected_exec_ms: exec,
         iat_ms: iat,
         expect_warm: true,
+        tenant: tenant.map(str::to_string),
+        tenant_weight: weight,
         result_tx: tx,
     }
 }
@@ -146,6 +159,59 @@ proptest! {
         e.last_access_ms = 0;
         let expired = policy.expired(&e, idle);
         prop_assert_eq!(expired, idle > ttl);
+    }
+
+    /// DRR long-run service tracks the weight ratio within 10% under
+    /// saturating load, for any weight pair and item cost.
+    #[test]
+    fn drr_service_tracks_weights(w1 in 1u32..=5, w2 in 1u32..=5, cost in 5.0f64..50.0) {
+        let mut q = DrrQueue::new(50);
+        for i in 0..2_000u32 {
+            q.push(titem(format!("a{i}"), 0, cost, 0.0, Some("t1"), w1 as f64));
+            q.push(titem(format!("b{i}"), 0, cost, 0.0, Some("t2"), w2 as f64));
+        }
+        // 2000 pops spans ≥20 visit rounds for every (w1, w2, cost) in
+        // range, so partial-round quantization stays well under the 10%
+        // fairness tolerance while neither sub-queue runs dry.
+        let pops = 2_000;
+        let (mut s1, mut s2) = (0usize, 0usize);
+        for _ in 0..pops {
+            match q.pop().unwrap().tenant.as_deref() {
+                Some("t1") => s1 += 1,
+                _ => s2 += 1,
+            }
+        }
+        prop_assert!(s1 > 0 && s2 > 0, "no starvation: {s1}/{s2}");
+        let ratio = s1 as f64 / s2 as f64;
+        let want = w1 as f64 / w2 as f64;
+        prop_assert!(
+            (ratio - want).abs() / want <= 0.10,
+            "served ratio {ratio:.3} deviates >10% from weight ratio {want:.3}"
+        );
+    }
+
+    /// Idle tenants carry no deficit: once a sub-queue drains, its deficit
+    /// resets to zero regardless of prior service history.
+    #[test]
+    fn drr_idle_deficit_is_bounded(
+        counts in proptest::collection::vec(1usize..30, 1..5),
+        cost in 1.0f64..100.0,
+    ) {
+        let mut q = DrrQueue::new(50);
+        for (t, &n) in counts.iter().enumerate() {
+            for i in 0..n {
+                q.push(titem(format!("f{t}-{i}"), 0, cost, 0.0, Some(&format!("t{t}")), 1.0));
+            }
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, counts.iter().sum::<usize>(), "work-conserving");
+        for t in 0..counts.len() {
+            let d = q.deficit_of(&format!("t{t}"));
+            prop_assert!(d == 0.0, "tenant t{t} kept deficit {d} while idle");
+        }
     }
 
     /// EEDF dominance: given equal arrivals, the shorter job pops first;

@@ -94,6 +94,33 @@ fn sync_invoke_journals_timeline_and_agent_sees_the_id() {
 }
 
 #[test]
+fn tenant_label_crosses_the_agent_hop() {
+    let (mut worker, backend) = worker_over_inprocess();
+
+    // An explicit label rides the invocation all the way into the container:
+    // the agent records the `X-Iluvatar-Tenant` header it was called with.
+    let r = worker.invoke_tenant("echo-1", "7", Some("acme")).unwrap();
+    assert_eq!(r.body, "[7]");
+    assert_eq!(r.tenant.as_deref(), Some("acme"));
+    assert!(
+        backend.observed_tenants().contains(&"acme".to_string()),
+        "agent must see the tenant label, got {:?}",
+        backend.observed_tenants()
+    );
+
+    // A registration-level tenant is the default when the caller sends none.
+    backend.register_behavior("billed-1", FunctionBehavior::from_body(|a| a.to_string()));
+    worker
+        .register(FunctionSpec::new("billed", "1").with_tenant("umbrella"))
+        .unwrap();
+    let r = worker.invoke("billed-1", "x").unwrap();
+    assert_eq!(r.tenant.as_deref(), Some("umbrella"));
+    assert!(backend.observed_tenants().contains(&"umbrella".to_string()));
+
+    worker.shutdown();
+}
+
+#[test]
 fn async_invoke_carries_the_same_id_end_to_end() {
     let (mut worker, backend) = worker_over_inprocess();
 

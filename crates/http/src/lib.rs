@@ -28,6 +28,11 @@ pub use server::{HttpServer, ServerHandle};
 /// so agent-side time is attributed to the same end-to-end trace.
 pub const TRACE_HEADER: &str = "X-Iluvatar-Trace";
 
+/// Header carrying the tenant label for multi-tenant admission control and
+/// fair scheduling; propagated alongside [`TRACE_HEADER`] on every hop
+/// (client → worker → agent).
+pub const TENANT_HEADER: &str = "X-Iluvatar-Tenant";
+
 /// Errors surfaced by the client and server.
 #[derive(Debug)]
 pub enum HttpError {

@@ -15,7 +15,7 @@
 //! | `GET  /status`  |                        | `LbStatus` JSON |
 //! | `GET  /metrics` |                        | Prometheus text |
 
-use crate::cluster::{Cluster, ClusterSnapshot};
+use crate::cluster::{Cluster, ClusterSnapshot, TenantClusterStats};
 use iluvatar_core::api::WireResult;
 use iluvatar_core::exposition::{render_span_histograms, PromWriter};
 use iluvatar_core::InvokeError;
@@ -33,6 +33,9 @@ struct InvokeBody {
     fqdn: String,
     #[serde(default)]
     args: String,
+    /// Tenant label; the `X-Iluvatar-Tenant` header takes precedence.
+    #[serde(default)]
+    tenant: Option<String>,
 }
 
 /// Wire form of the balancer's status.
@@ -46,6 +49,9 @@ pub struct LbStatus {
     /// Invocations re-dispatched after a worker failed mid-call.
     #[serde(default)]
     pub rerouted: u64,
+    /// Cluster-wide per-tenant rollup (admission + LB counters).
+    #[serde(default)]
+    pub tenants: Vec<TenantClusterStats>,
 }
 
 /// One worker as the balancer sees it.
@@ -76,6 +82,7 @@ fn status_of(snap: &ClusterSnapshot) -> LbStatus {
         forwarded: snap.forwarded,
         evictions: snap.evictions,
         rerouted: snap.rerouted,
+        tenants: snap.tenants.clone(),
     }
 }
 
@@ -122,6 +129,15 @@ fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
         &[],
         snap.rerouted as f64,
     );
+    for t in &snap.tenants {
+        let labels: &[(&str, &str)] = &[("tenant", &t.tenant)];
+        w.counter("iluvatar_lb_tenant_dispatched_total", "Tenant invocations dispatched by the balancer", labels, t.lb_dispatched as f64);
+        w.counter("iluvatar_lb_tenant_rerouted_total", "Tenant invocations re-routed after worker failures", labels, t.lb_rerouted as f64);
+        w.counter("iluvatar_lb_tenant_admitted_total", "Tenant invocations admitted across workers", labels, t.admitted as f64);
+        w.counter("iluvatar_lb_tenant_throttled_total", "Tenant invocations throttled across workers", labels, t.throttled as f64);
+        w.counter("iluvatar_lb_tenant_shed_total", "Tenant invocations shed across workers", labels, t.shed as f64);
+        w.counter("iluvatar_lb_tenant_served_total", "Tenant invocations completed across workers", labels, t.served as f64);
+    }
     w.counter("iluvatar_lb_http_requests_total", "Requests served by the balancer API", &[], served as f64);
     // Cluster-wide Table-1 histograms, merged across workers.
     render_span_histograms(&mut w, &[("scope", "cluster")], &snap.spans);
@@ -140,6 +156,7 @@ fn error_resp(e: &InvokeError) -> Response {
         InvokeError::QueueFull | InvokeError::NoResources => Status::TOO_MANY_REQUESTS,
         InvokeError::Backend(_) => Status::INTERNAL_ERROR,
         InvokeError::ShuttingDown => Status::SERVICE_UNAVAILABLE,
+        InvokeError::Throttled(_) | InvokeError::Shed(_) => Status::TOO_MANY_REQUESTS,
     };
     json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))
 }
@@ -179,13 +196,19 @@ impl LbApi {
                         .with_header("Content-Type", "text/plain; version=0.0.4")
                 }
                 (Method::Post, "/invoke") => match serde_json::from_str::<InvokeBody>(body) {
-                    Ok(b) => match cluster.invoke(&b.fqdn, &b.args) {
-                        Ok(r) => {
-                            let wire: WireResult = r.into();
-                            json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                    Ok(b) => {
+                        let tenant = req
+                            .header(iluvatar_http::TENANT_HEADER)
+                            .map(str::to_string)
+                            .or(b.tenant);
+                        match cluster.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
+                            Ok(r) => {
+                                let wire: WireResult = r.into();
+                                json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                            }
+                            Err(e) => error_resp(&e),
                         }
-                        Err(e) => error_resp(&e),
-                    },
+                    }
                     Err(e) => {
                         json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string()))
                     }
@@ -254,8 +277,12 @@ mod tests {
 
         // Invoke twice through the balancer: round-robin touches both workers.
         for _ in 0..2 {
-            let body = serde_json::to_vec(&InvokeBody { fqdn: "f-1".into(), args: "{}".into() })
-                .unwrap();
+            let body = serde_json::to_vec(&InvokeBody {
+                fqdn: "f-1".into(),
+                args: "{}".into(),
+                tenant: None,
+            })
+            .unwrap();
             let resp = HttpClient::send(
                 api.addr(),
                 &Request::new(Method::Post, "/invoke").with_body(body),
@@ -304,6 +331,72 @@ mod tests {
         let st: LbStatus = serde_json::from_str(get(api.addr(), "/status").body_str()).unwrap();
         assert_eq!(st.workers.len(), 2);
         assert_eq!(st.workers.iter().map(|w| w.dispatched).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn tenant_label_rides_the_lb_hop() {
+        use crate::cluster::RemoteWorker;
+        use iluvatar_core::api::WorkerApi;
+        use iluvatar_core::{AdmissionConfig, TenantSpec};
+        let clock = SystemClock::shared();
+        let backend = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        ));
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.admission = AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("free").with_rate(0.001, 1.0),
+        ]);
+        let worker = Arc::new(Worker::new(cfg, backend, clock));
+        let wapi = WorkerApi::serve(Arc::clone(&worker)).unwrap();
+        let remote: Arc<dyn WorkerHandle> = Arc::new(RemoteWorker::connect(wapi.addr()));
+        let cluster = Arc::new(Cluster::new(vec![remote], LbPolicy::RoundRobin));
+        cluster.register_all(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        let api = LbApi::serve(Arc::clone(&cluster), Duration::from_millis(25)).unwrap();
+
+        let body = serde_json::to_vec(&InvokeBody {
+            fqdn: "f-1".into(),
+            args: "{}".into(),
+            tenant: None,
+        })
+        .unwrap();
+        let send = || {
+            HttpClient::send(
+                api.addr(),
+                &Request::new(Method::Post, "/invoke")
+                    .with_body(body.clone())
+                    .with_header(iluvatar_http::TENANT_HEADER, "free"),
+                Duration::from_secs(10),
+            )
+            .unwrap()
+        };
+        let resp = send();
+        assert_eq!(resp.status.0, 200, "body: {}", resp.body_str());
+        let wire: WireResult = serde_json::from_str(resp.body_str()).unwrap();
+        assert_eq!(wire.tenant.as_deref(), Some("free"), "label survives LB→worker→result");
+        // The tenant's rate bucket is empty: the rejection propagates as a
+        // 429 through both HTTP hops.
+        let resp = send();
+        assert_eq!(resp.status.0, 429, "body: {}", resp.body_str());
+        assert!(resp.body_str().contains("throttled"), "body: {}", resp.body_str());
+        // The rollup lands in /status once a scrape observes the worker.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let st: LbStatus =
+                serde_json::from_str(get(api.addr(), "/status").body_str()).unwrap();
+            let free = st.tenants.iter().find(|t| t.tenant == "free");
+            if free.map(|t| t.throttled == 1 && t.served == 1 && t.lb_dispatched == 2)
+                == Some(true)
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "rollup never converged: {:?}", st.tenants);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Per-tenant families render on the balancer's /metrics.
+        let text = get(api.addr(), "/metrics").body_str().to_string();
+        assert!(text.contains("iluvatar_lb_tenant_dispatched_total{tenant=\"free\"} 2"), "{text}");
+        assert!(text.contains("iluvatar_lb_tenant_throttled_total{tenant=\"free\"} 1"), "{text}");
     }
 
     #[test]

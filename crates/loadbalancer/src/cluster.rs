@@ -1,9 +1,13 @@
 //! Cluster front-end: a load-balancing policy over worker handles.
 
 use crate::chbl::{ChBl, ChBlConfig};
-use iluvatar_core::{merge_span_exports, InvocationResult, InvokeError, SpanExport, Worker};
+use iluvatar_core::{
+    merge_span_exports, InvocationResult, InvokeError, SpanExport, TenantSnapshot, Worker,
+};
 use iluvatar_containers::FunctionSpec;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,9 +18,25 @@ pub trait WorkerHandle: Send + Sync + 'static {
     fn load(&self) -> f64;
     fn register(&self, spec: FunctionSpec) -> Result<(), String>;
     fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError>;
+    /// Tenant-labelled invoke; handles without admission support drop the
+    /// label and dispatch as usual.
+    fn invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<InvocationResult, InvokeError> {
+        let _ = tenant;
+        self.invoke(fqdn, args)
+    }
     /// Span distributions for cluster aggregation (§5). Handles without
     /// observability (test stubs) report none.
     fn span_export(&self) -> Vec<SpanExport> {
+        Vec::new()
+    }
+    /// Per-tenant accounting; empty when admission control is disabled or
+    /// the handle doesn't track tenants.
+    fn tenant_stats(&self) -> Vec<TenantSnapshot> {
         Vec::new()
     }
 }
@@ -52,7 +72,16 @@ impl WorkerHandle for RemoteWorker {
     }
 
     fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
-        match self.client.invoke(fqdn, args) {
+        self.invoke_tenant(fqdn, args, None)
+    }
+
+    fn invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<InvocationResult, InvokeError> {
+        match self.client.invoke_tenant(fqdn, args, tenant) {
             Ok(r) => Ok(InvocationResult {
                 body: r.body,
                 exec_ms: r.exec_ms,
@@ -61,11 +90,23 @@ impl WorkerHandle for RemoteWorker {
                 queue_ms: r.queue_ms,
                 arrived_at: 0,
                 trace_id: r.trace_id,
+                tenant: r.tenant,
             }),
             Err(iluvatar_core::api::ApiError::Status(404, _)) => {
                 Err(InvokeError::NotRegistered(fqdn.to_string()))
             }
-            Err(iluvatar_core::api::ApiError::Status(429, _)) => Err(InvokeError::QueueFull),
+            Err(iluvatar_core::api::ApiError::Status(429, body)) => {
+                // Distinguish admission rejections from queue backpressure
+                // so the LB does not reroute a policy decision.
+                let t = tenant.unwrap_or(iluvatar_core::DEFAULT_TENANT).to_string();
+                if body.contains("throttled") {
+                    Err(InvokeError::Throttled(t))
+                } else if body.contains("shed") {
+                    Err(InvokeError::Shed(t))
+                } else {
+                    Err(InvokeError::QueueFull)
+                }
+            }
             Err(e) => Err(InvokeError::Backend(e.to_string())),
         }
     }
@@ -73,6 +114,10 @@ impl WorkerHandle for RemoteWorker {
     fn span_export(&self) -> Vec<SpanExport> {
         // A momentarily unreachable worker contributes nothing this scrape.
         self.client.spans().unwrap_or_default()
+    }
+
+    fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        self.client.status().map(|s| s.tenants).unwrap_or_default()
     }
 }
 
@@ -93,8 +138,21 @@ impl WorkerHandle for Worker {
         Worker::invoke(self, fqdn, args)
     }
 
+    fn invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<InvocationResult, InvokeError> {
+        Worker::invoke_tenant(self, fqdn, args, tenant)
+    }
+
     fn span_export(&self) -> Vec<SpanExport> {
         self.spans().export()
+    }
+
+    fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        Worker::tenant_stats(self)
     }
 }
 
@@ -124,6 +182,21 @@ pub struct ClusterStats {
     pub healthy: Vec<bool>,
 }
 
+/// Cluster-wide rollup for one tenant: admission counters merged across
+/// workers plus the balancer's own dispatch accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantClusterStats {
+    pub tenant: String,
+    pub admitted: u64,
+    pub throttled: u64,
+    pub shed: u64,
+    pub served: u64,
+    /// Invocations the balancer dispatched for this tenant.
+    pub lb_dispatched: u64,
+    /// Tenant invocations re-routed after a worker failure.
+    pub lb_rerouted: u64,
+}
+
 /// One scrape of the whole cluster: per-worker loads plus span histograms
 /// merged across workers (lossless — see `LogHistogram::merge`).
 #[derive(Debug, Clone, Default)]
@@ -138,6 +211,9 @@ pub struct ClusterSnapshot {
     pub rerouted: u64,
     /// Current per-worker health, cluster order.
     pub healthy: Vec<bool>,
+    /// Per-tenant rollup, sorted by tenant id. Evicted workers contribute
+    /// their last-known counters, so tenant accounting survives eviction.
+    pub tenants: Vec<TenantClusterStats>,
 }
 
 /// The cluster: a policy over a fixed set of workers.
@@ -155,6 +231,12 @@ pub struct Cluster {
     healthy: Vec<AtomicBool>,
     evictions: AtomicU64,
     rerouted: AtomicU64,
+    /// Balancer-side per-tenant (dispatched, rerouted) counters. These live
+    /// here — not on the workers — so they survive worker eviction.
+    tenant_lb: Mutex<HashMap<String, (u64, u64)>>,
+    /// Last-known per-worker tenant snapshots; an unreachable worker keeps
+    /// contributing its final counters to the cluster rollup.
+    tenant_cache: Mutex<Vec<Vec<TenantSnapshot>>>,
 }
 
 impl Cluster {
@@ -174,6 +256,8 @@ impl Cluster {
             healthy: (0..n).map(|_| AtomicBool::new(true)).collect(),
             evictions: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
+            tenant_lb: Mutex::new(HashMap::new()),
+            tenant_cache: Mutex::new(vec![Vec::new(); n]),
             workers,
         }
     }
@@ -259,10 +343,31 @@ impl Cluster {
     /// peer, so a worker dying mid-run loses no in-flight work at this
     /// layer — callers see an error only when every worker has failed.
     pub fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
-        let w = self.pick(fqdn);
+        self.invoke_tenant(fqdn, args, None)
+    }
+
+    /// Tenant-labelled dispatch. The balancing key includes the tenant so
+    /// two tenants sharing a hot function land on different home workers
+    /// (per-tenant locality), and the label rides the worker hop for
+    /// admission control and accounting.
+    pub fn invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<InvocationResult, InvokeError> {
+        let w = match tenant {
+            Some(t) => self.pick(&format!("{fqdn}@{t}")),
+            None => self.pick(fqdn),
+        };
         self.dispatched[w].fetch_add(1, Ordering::Relaxed);
-        match self.workers[w].invoke(fqdn, args) {
-            Err(InvokeError::Backend(e)) => self.reroute(fqdn, args, w, InvokeError::Backend(e)),
+        if let Some(t) = tenant {
+            self.tenant_lb.lock().entry(t.to_string()).or_default().0 += 1;
+        }
+        match self.workers[w].invoke_tenant(fqdn, args, tenant) {
+            Err(InvokeError::Backend(e)) => {
+                self.reroute(fqdn, args, tenant, w, InvokeError::Backend(e))
+            }
             other => other,
         }
     }
@@ -271,6 +376,7 @@ impl Cluster {
         &self,
         fqdn: &str,
         args: &str,
+        tenant: Option<&str>,
         failed: usize,
         first_err: InvokeError,
     ) -> Result<InvocationResult, InvokeError> {
@@ -289,7 +395,13 @@ impl Cluster {
             tried[i] = true;
             self.rerouted.fetch_add(1, Ordering::Relaxed);
             self.dispatched[i].fetch_add(1, Ordering::Relaxed);
-            match self.workers[i].invoke(fqdn, args) {
+            if let Some(t) = tenant {
+                let mut lb = self.tenant_lb.lock();
+                let e = lb.entry(t.to_string()).or_default();
+                e.0 += 1;
+                e.1 += 1;
+            }
+            match self.workers[i].invoke_tenant(fqdn, args, tenant) {
                 Err(InvokeError::Backend(e)) => {
                     self.evict(i);
                     err = InvokeError::Backend(e);
@@ -297,6 +409,40 @@ impl Cluster {
                 other => return other,
             }
         }
+    }
+
+    /// Merge per-worker tenant snapshots (last-known for unreachable
+    /// workers) with the balancer's own per-tenant counters.
+    pub fn tenant_rollup(&self) -> Vec<TenantClusterStats> {
+        let mut cache = self.tenant_cache.lock();
+        for (i, w) in self.workers.iter().enumerate() {
+            let ts = w.tenant_stats();
+            if !ts.is_empty() {
+                cache[i] = ts;
+            }
+        }
+        let mut merged: HashMap<String, TenantClusterStats> = HashMap::new();
+        for snap in cache.iter().flatten() {
+            let e = merged.entry(snap.tenant.clone()).or_insert_with(|| TenantClusterStats {
+                tenant: snap.tenant.clone(),
+                ..Default::default()
+            });
+            e.admitted += snap.admitted;
+            e.throttled += snap.throttled;
+            e.shed += snap.shed;
+            e.served += snap.served;
+        }
+        for (t, &(dispatched, rerouted)) in self.tenant_lb.lock().iter() {
+            let e = merged.entry(t.clone()).or_insert_with(|| TenantClusterStats {
+                tenant: t.clone(),
+                ..Default::default()
+            });
+            e.lb_dispatched = dispatched;
+            e.lb_rerouted = rerouted;
+        }
+        let mut out: Vec<TenantClusterStats> = merged.into_values().collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
     }
 
     pub fn stats(&self) -> ClusterStats {
@@ -334,6 +480,7 @@ impl Cluster {
             evictions: st.evictions,
             rerouted: st.rerouted,
             healthy: st.healthy,
+            tenants: self.tenant_rollup(),
         }
     }
 }
@@ -379,7 +526,17 @@ mod tests {
                 queue_ms: 0,
                 arrived_at: 0,
                 trace_id: 0,
+                tenant: None,
             })
+        }
+
+        fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+            vec![TenantSnapshot {
+                tenant: "acme".into(),
+                weight: 1.0,
+                served: self.calls.load(Ordering::SeqCst),
+                ..Default::default()
+            }]
         }
     }
 
@@ -457,6 +614,39 @@ mod tests {
         }
         let st = cluster.stats();
         assert_eq!(st.dispatched.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn tenant_rollup_merges_workers_and_lb_counters() {
+        let (stubs, cluster) = stub_cluster(2, LbPolicy::RoundRobin);
+        for _ in 0..4 {
+            cluster.invoke_tenant("f-1", "{}", Some("acme")).unwrap();
+        }
+        cluster.invoke("f-1", "{}").unwrap(); // unlabelled: no tenant counter
+        let roll = cluster.tenant_rollup();
+        let acme = roll.iter().find(|t| t.tenant == "acme").unwrap();
+        assert_eq!(acme.lb_dispatched, 4);
+        assert_eq!(acme.lb_rerouted, 0);
+        // Worker-side served counts merged across both stubs (5 calls total).
+        assert_eq!(acme.served, 5);
+        assert_eq!(stubs.len(), 2);
+        // Snapshot carries the same rollup.
+        let snap = cluster.scrape();
+        assert_eq!(snap.tenants, roll);
+    }
+
+    #[test]
+    fn tenant_key_separates_home_workers() {
+        // With CH-BL, the same function under different tenants may hash to
+        // different homes; at minimum the dispatch must stay deterministic
+        // per (fqdn, tenant) pair under low load.
+        let (stubs, cluster) = stub_cluster(4, LbPolicy::ChBl(ChBlConfig::default()));
+        for _ in 0..6 {
+            cluster.invoke_tenant("pin-1", "{}", Some("t1")).unwrap();
+        }
+        let homes: Vec<u64> = stubs.iter().map(|s| s.calls.load(Ordering::SeqCst)).collect();
+        assert_eq!(homes.iter().sum::<u64>(), 6);
+        assert_eq!(homes.iter().filter(|&&c| c > 0).count(), 1, "sticky per tenant: {homes:?}");
     }
 
     #[test]

@@ -76,6 +76,7 @@ impl WorkerHandle for KillableWorker {
             queue_ms: 0,
             arrived_at: 0,
             trace_id: 0,
+            tenant: None,
         })
     }
 }
@@ -127,6 +128,10 @@ fn mid_call_death_evicts_and_reroutes_without_loss() {
 }
 
 fn served_worker(name: &str) -> (Arc<Worker>, WorkerApi) {
+    served_worker_with(name, |_| {})
+}
+
+fn served_worker_with(name: &str, tweak: impl FnOnce(&mut WorkerConfig)) -> (Arc<Worker>, WorkerApi) {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
@@ -134,6 +139,7 @@ fn served_worker(name: &str) -> (Arc<Worker>, WorkerApi) {
     ));
     let mut cfg = WorkerConfig::for_testing();
     cfg.name = name.to_string();
+    tweak(&mut cfg);
     let worker = Arc::new(Worker::new(cfg, backend, clock));
     let api = WorkerApi::serve(Arc::clone(&worker)).unwrap();
     (worker, api)
@@ -246,4 +252,112 @@ fn killing_a_worker_api_mid_run_loses_no_invocations() {
     );
 
     lb.shutdown();
+}
+
+/// A [`KillableWorker`] that also tracks per-tenant served counts, so the
+/// rollup's eviction behaviour can be pinned deterministically: a dead
+/// worker reports no tenant stats (like a failed scrape), and the balancer
+/// must keep serving its last-known counters from the cache.
+struct TenantKillableWorker {
+    inner: Arc<KillableWorker>,
+    tenant_calls: AtomicU64,
+}
+
+impl WorkerHandle for TenantKillableWorker {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn load(&self) -> f64 {
+        self.inner.load()
+    }
+
+    fn register(&self, spec: FunctionSpec) -> Result<(), String> {
+        self.inner.register(spec)
+    }
+
+    fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
+        self.invoke_tenant(fqdn, args, None)
+    }
+
+    fn invoke_tenant(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<InvocationResult, InvokeError> {
+        let mut r = self.inner.invoke(fqdn, args)?;
+        if tenant == Some("acme") {
+            self.tenant_calls.fetch_add(1, Ordering::SeqCst);
+            r.tenant = Some("acme".into());
+        }
+        Ok(r)
+    }
+
+    fn tenant_stats(&self) -> Vec<iluvatar_core::TenantSnapshot> {
+        if self.inner.dead.load(Ordering::SeqCst) {
+            return Vec::new(); // a dead worker's scrape comes back empty
+        }
+        let served = self.tenant_calls.load(Ordering::SeqCst);
+        vec![iluvatar_core::TenantSnapshot {
+            tenant: "acme".into(),
+            weight: 1.0,
+            admitted: served,
+            served,
+            ..Default::default()
+        }]
+    }
+}
+
+/// Per-tenant accounting must survive a worker eviction: the balancer keeps
+/// the dead worker's last-known tenant counters in the rollup, its own
+/// per-tenant dispatch counters live on, and re-routed tenant invocations
+/// keep flowing to the survivor under their label.
+#[test]
+fn tenant_metrics_survive_worker_eviction_and_reroute() {
+    let stubs = [KillableWorker::new("w0"), KillableWorker::new("w1")];
+    let handles: Vec<Arc<dyn WorkerHandle>> = stubs
+        .iter()
+        .map(|s| {
+            Arc::new(TenantKillableWorker {
+                inner: Arc::clone(s),
+                tenant_calls: AtomicU64::new(0),
+            }) as Arc<dyn WorkerHandle>
+        })
+        .collect();
+    let cluster = Cluster::new(handles, LbPolicy::ChBl(ChBlConfig::default()));
+    cluster.register_all(FunctionSpec::new("f", "1")).unwrap();
+
+    for _ in 0..5 {
+        let r = cluster.invoke_tenant("f-1", "{}", Some("acme")).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("acme"));
+    }
+    // Both workers reachable: the home worker's counters enter the rollup
+    // (and the balancer's last-known cache).
+    let before = cluster.tenant_rollup();
+    let acme = before.iter().find(|t| t.tenant == "acme").expect("tenant tracked");
+    assert_eq!(acme.lb_dispatched, 5);
+    assert_eq!(acme.served, 5);
+    assert_eq!(acme.lb_rerouted, 0);
+    let home = if cluster.stats().dispatched[0] > 0 { 0 } else { 1 };
+
+    // The home dies with one stale status read, so the next dispatch goes
+    // into the death and must recover by re-routing under the label.
+    stubs[home].kill();
+    for i in 0..6 {
+        let r = cluster
+            .invoke_tenant("f-1", "{}", Some("acme"))
+            .unwrap_or_else(|e| panic!("tenant invocation {i} lost: {e}"));
+        assert_eq!(r.tenant.as_deref(), Some("acme"), "label survives re-route");
+    }
+
+    let after = cluster.tenant_rollup();
+    let acme = after.iter().find(|t| t.tenant == "acme").unwrap();
+    assert_eq!(acme.lb_rerouted, 1, "the in-flight invocation was re-dispatched");
+    // 5 + 6 first dispatches plus one per re-route attempt.
+    assert_eq!(acme.lb_dispatched, 11 + acme.lb_rerouted, "LB counters survive eviction");
+    // The dead home scrapes empty, yet its 5 served stay in the rollup via
+    // the last-known cache; the survivor contributes the re-routed 6.
+    assert_eq!(acme.served, 11, "dead worker's counters kept from cache");
+    assert!(cluster.stats().evictions >= 1, "home worker evicted");
 }

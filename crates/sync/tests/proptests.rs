@@ -114,6 +114,65 @@ proptest! {
             "granted {granted} > budget {budget}");
     }
 
+    /// Advancing the clock never *decreases* a token bucket's balance
+    /// (refill monotonicity), and the balance is always capped at burst —
+    /// the determinism contract the admission controller's per-tenant rate
+    /// limits rely on under a virtual clock.
+    #[test]
+    fn token_bucket_refill_monotone(
+        rate in 0.1f64..1_000.0,
+        burst in 1.0f64..100.0,
+        steps in proptest::collection::vec((0u64..2_000, any::<bool>()), 1..80),
+    ) {
+        let clock = Arc::new(ManualClock::new());
+        let tb = TokenBucket::new(rate, burst, clock.clone());
+        prop_assert!((tb.tokens() - burst).abs() < 1e-9, "starts full");
+        for (adv, take) in steps {
+            let before = tb.tokens();
+            clock.advance(adv);
+            let after = tb.tokens();
+            prop_assert!(after >= before - 1e-9,
+                "refill went backwards: {before} -> {after} after +{adv}ms");
+            prop_assert!(after <= burst + 1e-9, "balance {after} above burst {burst}");
+            if take {
+                let had = tb.tokens();
+                let got = tb.try_take();
+                prop_assert_eq!(got, had >= 1.0 - 1e-9, "grant iff a whole token is present");
+                if got {
+                    prop_assert!((had - tb.tokens() - 1.0).abs() < 1e-9, "take removes one token");
+                }
+            }
+        }
+        // A fresh bucket at any starting offset is still full: refill
+        // depends only on virtual-time deltas, not absolute time.
+        let tb2 = TokenBucket::new(rate, burst, Arc::new(ManualClock::starting_at(123_456)));
+        prop_assert!((tb2.tokens() - burst).abs() < 1e-9);
+    }
+
+    /// `wait_hint_ms` is honest: advancing by the hint always makes the
+    /// next `try_take` succeed, and a zero hint means tokens are available
+    /// right now.
+    #[test]
+    fn token_bucket_wait_hint_is_sufficient(
+        rate in 0.1f64..1_000.0,
+        burst in 1.0f64..50.0,
+        drain in 0u32..200,
+    ) {
+        let clock = Arc::new(ManualClock::new());
+        let tb = TokenBucket::new(rate, burst, clock.clone());
+        for _ in 0..drain {
+            tb.try_take();
+        }
+        let hint = tb.wait_hint_ms(1.0);
+        if hint == 0 {
+            prop_assert!(tb.try_take(), "zero hint must mean a token is ready");
+        } else {
+            clock.advance(hint);
+            prop_assert!(tb.try_take(),
+                "advancing by the hint ({hint}ms) must yield a token");
+        }
+    }
+
     /// Histogram total equals the number of recorded samples and the
     /// bucketed quantile is monotone.
     #[test]

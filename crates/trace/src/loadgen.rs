@@ -25,6 +25,8 @@ pub struct FireOutcome {
     pub dropped: bool,
     /// Client-side send timestamp, ms since generator start.
     pub sent_at_ms: u64,
+    /// Tenant label the invocation was fired under, if any.
+    pub tenant: Option<String>,
 }
 
 impl FireOutcome {
@@ -39,6 +41,18 @@ pub trait InvokerTarget: Send + Sync + 'static {
     /// Fire `fqdn` synchronously. Returns (exec_ms, cold) or Err for a
     /// dropped/rejected request.
     fn fire(&self, fqdn: &str, args: &str) -> Result<(u64, bool), String>;
+
+    /// Fire under a tenant label. Targets without multi-tenant support
+    /// drop the label and dispatch as usual.
+    fn fire_as(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<(u64, bool), String> {
+        let _ = tenant;
+        self.fire(fqdn, args)
+    }
 }
 
 /// Closed-loop configuration: `clients` threads each invoking their
@@ -83,6 +97,7 @@ pub fn closed_loop(
                             cold,
                             dropped: false,
                             sent_at_ms,
+                            tenant: None,
                         },
                         Err(_) => FireOutcome {
                             fqdn: fqdn.clone(),
@@ -91,6 +106,7 @@ pub fn closed_loop(
                             cold: false,
                             dropped: true,
                             sent_at_ms,
+                            tenant: None,
                         },
                     });
                 }
@@ -112,6 +128,8 @@ pub struct ScheduledInvocation {
     pub at_ms: u64,
     pub fqdn: String,
     pub args: String,
+    /// Tenant label to fire under, if any.
+    pub tenant: Option<String>,
 }
 
 /// Open-loop runner: fires a pre-computed schedule at (scaled) wall-clock
@@ -138,9 +156,31 @@ impl OpenLoopRunner {
                 at_ms: (t as f64 * time_scale) as u64,
                 fqdn: f.to_string(),
                 args: "{}".to_string(),
+                tenant: None,
             })
             .collect();
         Self::new(schedule)
+    }
+
+    /// Assign tenants to the schedule round-robin, weighted by `share`
+    /// (e.g. `[("gold", 3), ("free", 1)]` labels 3 of every 4 invocations
+    /// "gold"). Deterministic: same schedule + shares → same labels.
+    pub fn with_tenants(mut self, shares: &[(&str, u32)]) -> Self {
+        let total: u32 = shares.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return self;
+        }
+        for (i, inv) in self.schedule.iter_mut().enumerate() {
+            let mut slot = (i as u32) % total;
+            for &(tenant, n) in shares {
+                if slot < n {
+                    inv.tenant = Some(tenant.to_string());
+                    break;
+                }
+                slot -= n;
+            }
+        }
+        self
     }
 
     pub fn len(&self) -> usize {
@@ -167,10 +207,11 @@ impl OpenLoopRunner {
             let target = Arc::clone(&target);
             let fqdn = inv.fqdn.clone();
             let args = inv.args.clone();
+            let tenant = inv.tenant.clone();
             let sent_at_ms = start.elapsed().as_millis() as u64;
             handles.push(std::thread::spawn(move || {
                 let sent = Instant::now();
-                let res = target.fire(&fqdn, &args);
+                let res = target.fire_as(&fqdn, &args, tenant.as_deref());
                 let e2e_ms = sent.elapsed().as_millis() as u64;
                 match res {
                     Ok((exec_ms, cold)) => FireOutcome {
@@ -180,6 +221,7 @@ impl OpenLoopRunner {
                         cold,
                         dropped: false,
                         sent_at_ms,
+                        tenant,
                     },
                     Err(_) => FireOutcome {
                         fqdn,
@@ -188,6 +230,7 @@ impl OpenLoopRunner {
                         cold: false,
                         dropped: true,
                         sent_at_ms,
+                        tenant,
                     },
                 }
             }));
@@ -292,10 +335,54 @@ mod tests {
     #[test]
     fn open_loop_sorts_schedule() {
         let runner = OpenLoopRunner::new(vec![
-            ScheduledInvocation { at_ms: 50, fqdn: "b-1".into(), args: "{}".into() },
-            ScheduledInvocation { at_ms: 10, fqdn: "a-1".into(), args: "{}".into() },
+            ScheduledInvocation { at_ms: 50, fqdn: "b-1".into(), args: "{}".into(), tenant: None },
+            ScheduledInvocation { at_ms: 10, fqdn: "a-1".into(), args: "{}".into(), tenant: None },
         ]);
         assert_eq!(runner.schedule[0].fqdn, "a-1");
+    }
+
+    #[test]
+    fn with_tenants_assigns_weighted_shares() {
+        let runner = OpenLoopRunner::from_events(
+            (0..8u64).map(|t| (t, "f-1")),
+            1.0,
+        )
+        .with_tenants(&[("gold", 3), ("free", 1)]);
+        let gold = runner.schedule.iter().filter(|s| s.tenant.as_deref() == Some("gold")).count();
+        let free = runner.schedule.iter().filter(|s| s.tenant.as_deref() == Some("free")).count();
+        assert_eq!((gold, free), (6, 2), "3:1 share over 8 invocations");
+    }
+
+    /// Target that records the tenant labels it saw.
+    struct TenantTarget {
+        seen: std::sync::Mutex<Vec<Option<String>>>,
+    }
+
+    impl InvokerTarget for TenantTarget {
+        fn fire(&self, _fqdn: &str, _args: &str) -> Result<(u64, bool), String> {
+            self.fire_as(_fqdn, _args, None)
+        }
+
+        fn fire_as(
+            &self,
+            _fqdn: &str,
+            _args: &str,
+            tenant: Option<&str>,
+        ) -> Result<(u64, bool), String> {
+            self.seen.lock().unwrap().push(tenant.map(str::to_string));
+            Ok((1, false))
+        }
+    }
+
+    #[test]
+    fn open_loop_fires_under_tenant_labels() {
+        let t = Arc::new(TenantTarget { seen: std::sync::Mutex::new(Vec::new()) });
+        let runner = OpenLoopRunner::from_events((0..4u64).map(|i| (i, "f-1")), 1.0)
+            .with_tenants(&[("acme", 1)]);
+        let out = runner.run(Arc::clone(&t) as Arc<dyn InvokerTarget>);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|o| o.tenant.as_deref() == Some("acme")));
+        assert!(t.seen.lock().unwrap().iter().all(|s| s.as_deref() == Some("acme")));
     }
 
     #[test]
@@ -315,6 +402,7 @@ mod tests {
             cold: false,
             dropped: false,
             sent_at_ms: 0,
+            tenant: None,
         };
         assert_eq!(o.overhead_ms(), 10);
     }

@@ -60,6 +60,7 @@ fn main() {
             at_ms: (e.time_ms as f64 * time_scale) as u64,
             fqdn: trace.profiles[e.func as usize].fqdn.clone(),
             args: "{}".to_string(),
+            tenant: None,
         })
         .collect();
     let runner = OpenLoopRunner::new(schedule);

@@ -25,4 +25,17 @@ if [[ "$digest_a" != "$digest_b" ]]; then
 fi
 echo "chaos digest stable: $digest_a"
 
+echo "=== admission determinism (fixed seed, two runs) ==="
+# Same contract for the multi-tenant path: the seeded admission session
+# (DRR drain order, virtual-time throttling, per-tenant served counts)
+# must replay bit-identically.
+ADMISSION_SEED=42
+digest_a=$(./target/release/admission_session --seed "$ADMISSION_SEED")
+digest_b=$(./target/release/admission_session --seed "$ADMISSION_SEED")
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "admission digests diverged for seed $ADMISSION_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "admission digest stable: $digest_a"
+
 echo "all checks passed"

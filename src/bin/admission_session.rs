@@ -1,0 +1,168 @@
+//! Deterministic admission session: one seeded multi-tenant run, one digest.
+//!
+//! Exercises the three admission-control layers with a seeded workload and
+//! folds everything observable into a single FNV-1a digest printed to
+//! stdout — `check.sh` runs this twice and diffs the output to catch
+//! nondeterminism in the fair queue or the admission bookkeeping:
+//!
+//! 1. a DRR drill: seeded pushes into a [`DrrQueue`] (3:1:1 weights), full
+//!    drain, the exact pop order hashed;
+//! 2. an [`AdmissionController`] drill on a [`ManualClock`]: a rate-limited
+//!    best-effort tenant and an unlimited guaranteed tenant, with virtual
+//!    time advanced by the seeded stream — throttle decisions are a pure
+//!    function of the seed;
+//! 3. a worker run over the simulated backend with admission enabled and
+//!    unlimited rates: every seeded invocation completes, so the per-tenant
+//!    served counts are exact.
+//!
+//! ```text
+//! admission_session [--seed n] [--invocations n]
+//! ```
+//!
+//! Stdout carries exactly one line (the hex digest); the human-readable
+//! per-tenant summary goes to stderr.
+
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_core::invocation::InvocationHandle;
+use iluvatar_core::queue::QueuedInvocation;
+use iluvatar_core::{
+    AdmissionConfig, AdmissionController, DrrQueue, PriorityClass, TenantSpec, Worker, WorkerConfig,
+};
+use iluvatar_sync::{ManualClock, SystemClock};
+use std::sync::Arc;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Minimal splitmix64 so the workload stream is stable across toolchains.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+struct Fnv(u64);
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+const TENANTS: [&str; 3] = ["gold", "bronze", "free"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let invocations: usize =
+        arg_value(&args, "--invocations").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let mut digest = Fnv::new();
+
+    // --- 1. DRR drill: seeded pushes, full drain, pop order hashed. -------
+    let mut rng = Rng(seed);
+    let mut drr = DrrQueue::new(20);
+    for i in 0..invocations {
+        let t = TENANTS[(rng.next() % 3) as usize];
+        let (tx, _h) = InvocationHandle::pair();
+        drr.push(QueuedInvocation {
+            fqdn: "f-1".into(),
+            args: String::new(),
+            trace_id: i as u64,
+            arrived_at: i as u64,
+            expected_exec_ms: 5.0 + (rng.next() % 45) as f64,
+            iat_ms: 10.0,
+            expect_warm: true,
+            tenant: Some(t.to_string()),
+            tenant_weight: if t == "gold" { 3.0 } else { 1.0 },
+            result_tx: tx,
+        });
+    }
+    let mut drr_counts = [0u64; 3];
+    while let Some(item) = drr.pop() {
+        let t = item.tenant.as_deref().unwrap_or("?");
+        digest.eat(t.as_bytes());
+        drr_counts[TENANTS.iter().position(|x| *x == t).unwrap()] += 1;
+    }
+
+    // --- 2. Admission drill on virtual time: throttling is seed-pure. -----
+    let clock = Arc::new(ManualClock::new());
+    let ctl = AdmissionController::new(
+        AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("paid").with_class(PriorityClass::Guaranteed),
+            TenantSpec::new("free").with_rate(2.0, 2.0),
+        ]),
+        Arc::clone(&clock) as Arc<dyn iluvatar_sync::Clock>,
+    );
+    let mut rng = Rng(seed ^ 0xadee);
+    for _ in 0..invocations {
+        let t = if rng.next().is_multiple_of(2) { "paid" } else { "free" };
+        let d = ctl.admit(t, 0);
+        digest.eat(format!("{t}:{d:?};").as_bytes());
+        clock.advance(rng.next() % 300);
+    }
+    let mut admission_snap = ctl.snapshot();
+    admission_snap.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    for s in &admission_snap {
+        digest.eat(
+            format!("{}:{}:{}:{}:{};", s.tenant, s.admitted, s.throttled, s.shed, s.served)
+                .as_bytes(),
+        );
+    }
+
+    // --- 3. Worker run: unlimited rates, so served counts are exact. ------
+    let wall = SystemClock::shared();
+    let sim = Arc::new(SimBackend::new(
+        Arc::clone(&wall),
+        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+    ));
+    let mut cfg = WorkerConfig::for_testing();
+    cfg.queue.policy = iluvatar_core::QueuePolicyKind::Drr;
+    cfg.admission = AdmissionConfig::enabled_with(vec![
+        TenantSpec::new("gold").with_weight(3.0),
+        TenantSpec::new("bronze").with_weight(1.0),
+    ]);
+    let mut worker = Worker::new(cfg, sim, wall);
+    worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).expect("register");
+    let mut rng = Rng(seed ^ 0x3057);
+    for i in 0..invocations {
+        let t = if rng.next() % 4 < 3 { "gold" } else { "bronze" };
+        worker.invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(t)).expect("invoke");
+    }
+    let mut tstats = worker.tenant_stats();
+    tstats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    for t in &tstats {
+        digest.eat(
+            format!("{}:{}:{}:{}:{};", t.tenant, t.admitted, t.throttled, t.shed, t.served)
+                .as_bytes(),
+        );
+    }
+
+    eprintln!("seed={seed} invocations={invocations}");
+    eprintln!(
+        "  drr pops: gold={} bronze={} free={}",
+        drr_counts[0], drr_counts[1], drr_counts[2]
+    );
+    for s in &admission_snap {
+        eprintln!(
+            "  admission {}: admitted={} throttled={} (class drill)",
+            s.tenant, s.admitted, s.throttled
+        );
+    }
+    for t in &tstats {
+        eprintln!("  worker {}: admitted={} served={}", t.tenant, t.admitted, t.served);
+    }
+    worker.shutdown();
+    println!("{:016x}", digest.0);
+}

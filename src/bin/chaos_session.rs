@@ -16,7 +16,9 @@
 use iluvatar_chaos::{sites, FaultInjector, FaultPlanConfig, FaultSpec};
 use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
 use iluvatar_containers::{ContainerBackend, FunctionSpec};
-use iluvatar_core::{journal_digest, ResilienceConfig, Worker, WorkerConfig};
+use iluvatar_core::{
+    journal_digest, AdmissionConfig, ResilienceConfig, TenantSpec, Worker, WorkerConfig,
+};
 use iluvatar_sync::SystemClock;
 use std::sync::Arc;
 
@@ -54,6 +56,12 @@ fn main() {
             agent_timeout_ms: 40,
             ..Default::default()
         },
+        // Admission on with unlimited rates: faults must not corrupt the
+        // per-tenant books, and the counts fold into the digest below.
+        admission: AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("chaos-a"),
+            TenantSpec::new("chaos-b"),
+        ]),
         ..WorkerConfig::for_testing()
     };
     let mut worker =
@@ -63,7 +71,8 @@ fn main() {
     let mut ids = Vec::with_capacity(invocations);
     let mut failed = 0usize;
     for i in 0..invocations {
-        match worker.invoke("f-1", &format!("{{\"i\":{i}}}")) {
+        let tenant = if i.is_multiple_of(2) { "chaos-a" } else { "chaos-b" };
+        match worker.invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant)) {
             Ok(r) => ids.push(r.trace_id),
             // Retry-exhausted failures are part of the timeline too.
             Err(_) => {
@@ -84,7 +93,19 @@ fn main() {
             std::thread::sleep(std::time::Duration::from_millis(2));
         })
         .collect();
-    let digest = journal_digest(&records);
+    // Per-tenant books are part of the determinism contract too: fold the
+    // sorted (tenant, admitted, served) tuples into the journal digest.
+    let mut digest = journal_digest(&records);
+    let mut tstats = worker.tenant_stats();
+    tstats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    for t in &tstats {
+        for b in format!("{}:{}:{}:{}:{};", t.tenant, t.admitted, t.throttled, t.shed, t.served)
+            .bytes()
+        {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
 
     let st = worker.status();
     let stats = injector.plan().stats();
@@ -99,6 +120,9 @@ fn main() {
         "  recovery: retries={} agent_timeouts={} quarantined={} dropped_retry_exhausted={}",
         st.retries, st.agent_timeouts, st.quarantined, st.dropped_retry_exhausted
     );
+    for t in &tstats {
+        eprintln!("  tenant {}: admitted={} served={}", t.tenant, t.admitted, t.served);
+    }
     worker.shutdown();
     println!("{digest:016x}");
 }

@@ -53,7 +53,11 @@ pub struct WorkerTarget(pub std::sync::Arc<Worker>);
 
 impl InvokerTarget for WorkerTarget {
     fn fire(&self, fqdn: &str, args: &str) -> Result<(u64, bool), String> {
-        match self.0.invoke(fqdn, args) {
+        self.fire_as(fqdn, args, None)
+    }
+
+    fn fire_as(&self, fqdn: &str, args: &str, tenant: Option<&str>) -> Result<(u64, bool), String> {
+        match self.0.invoke_tenant(fqdn, args, tenant) {
             Ok(r) => Ok((r.exec_ms, r.cold)),
             Err(e) => Err(e.to_string()),
         }

@@ -84,6 +84,7 @@ fn des_and_live_worker_agree_on_cold_starts() {
             at_ms: (e.time_ms as f64 * scale) as u64,
             fqdn: profiles[e.func as usize].fqdn.clone(),
             args: "{}".into(),
+            tenant: None,
         })
         .collect();
     let out = OpenLoopRunner::new(schedule)
