@@ -256,6 +256,20 @@ impl TenantRegistry {
         out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         out
     }
+
+    /// Current token-bucket levels for rate-limited tenants, sorted by id.
+    /// Captured into lifecycle snapshots so a restarted worker resumes
+    /// throttling from where it left off instead of granting a fresh burst.
+    pub fn bucket_levels(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .tenants
+            .read()
+            .iter()
+            .filter_map(|(id, t)| t.bucket.as_ref().map(|b| (id.clone(), b.tokens())))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 /// The admission controller consulted at worker ingest, before the
@@ -336,6 +350,34 @@ impl AdmissionController {
 
     pub fn snapshot(&self) -> Vec<TenantSnapshot> {
         self.registry.snapshot()
+    }
+
+    /// Add per-tenant counter baselines from a pre-restart snapshot on top
+    /// of the (normally zero) live counters, so exported counters resume
+    /// monotonically instead of resetting. `dropped_admission` absorbs the
+    /// restored throttled + shed totals to stay consistent.
+    pub fn restore_counters(&self, snaps: &[TenantSnapshot]) {
+        for s in snaps {
+            let state = self.registry.resolve(&s.tenant);
+            state.admitted.fetch_add(s.admitted, Ordering::Relaxed);
+            state.throttled.fetch_add(s.throttled, Ordering::Relaxed);
+            state.shed.fetch_add(s.shed, Ordering::Relaxed);
+            state.served.fetch_add(s.served, Ordering::Relaxed);
+            self.dropped.fetch_add(s.throttled + s.shed, Ordering::Relaxed);
+        }
+    }
+
+    /// Current token-bucket levels for rate-limited tenants, sorted by id.
+    pub fn bucket_levels(&self) -> Vec<(String, f64)> {
+        self.registry.bucket_levels()
+    }
+
+    /// Restore one tenant's token-bucket level from a snapshot. No-op for
+    /// tenants without a rate limit.
+    pub fn restore_bucket_level(&self, tenant: &str, tokens: f64) {
+        if let Some(b) = &self.registry.resolve(tenant).bucket {
+            b.restore(tokens);
+        }
     }
 }
 

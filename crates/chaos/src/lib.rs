@@ -85,6 +85,12 @@ pub struct FaultPlanConfig {
     /// container dies and `invoke` errors.
     #[serde(default)]
     pub container_death: FaultSpec,
+    /// Whole-worker crash: the chaos harness kills the worker process
+    /// outright (no drain, no final snapshot). The injector itself only
+    /// counts the decision — the session owning the worker performs the
+    /// kill, since the injector sits below the control plane it terminates.
+    #[serde(default)]
+    pub worker_kill: FaultSpec,
     /// Stall duration for `invoke_hang`, ms.
     #[serde(default)]
     pub hang_ms: u64,
@@ -102,6 +108,7 @@ impl Default for FaultPlanConfig {
             invoke_hang: FaultSpec::never(),
             latency_spike: FaultSpec::never(),
             container_death: FaultSpec::never(),
+            worker_kill: FaultSpec::never(),
             hang_ms: 1_000,
             spike_ms: 50,
         }
@@ -115,9 +122,10 @@ pub mod sites {
     pub const INVOKE_HANG: &str = "invoke_hang";
     pub const LATENCY_SPIKE: &str = "latency_spike";
     pub const CONTAINER_DEATH: &str = "container_death";
+    pub const WORKER_KILL: &str = "worker_kill";
 
-    pub const ALL: [&str; 5] =
-        [CREATE_FAIL, INVOKE_ERROR, INVOKE_HANG, LATENCY_SPIKE, CONTAINER_DEATH];
+    pub const ALL: [&str; 6] =
+        [CREATE_FAIL, INVOKE_ERROR, INVOKE_HANG, LATENCY_SPIKE, CONTAINER_DEATH, WORKER_KILL];
 }
 
 /// Injected-fault counts per site, plus total decisions taken.
@@ -186,6 +194,7 @@ impl FaultPlan {
             sites::INVOKE_HANG => &self.cfg.invoke_hang,
             sites::LATENCY_SPIKE => &self.cfg.latency_spike,
             sites::CONTAINER_DEATH => &self.cfg.container_death,
+            sites::WORKER_KILL => &self.cfg.worker_kill,
             _ => panic!("unknown fault site {site}"),
         }
     }
@@ -398,6 +407,17 @@ mod tests {
         let c = inj.create(&spec()).unwrap();
         assert!(inj.invoke(&c, "{}").is_err(), "first invoke injected");
         assert!(inj.invoke(&c, "{}").is_ok(), "second passes through");
+    }
+
+    #[test]
+    fn worker_kill_site_schedules_like_any_other() {
+        let plan = FaultPlan::new(FaultPlanConfig {
+            worker_kill: FaultSpec::on_occurrences(vec![1]),
+            ..Default::default()
+        });
+        assert!(!plan.decide(sites::WORKER_KILL), "occurrence 0 clean");
+        assert!(plan.decide(sites::WORKER_KILL), "occurrence 1 scheduled");
+        assert_eq!(plan.stats().fired(sites::WORKER_KILL), 1);
     }
 
     #[test]

@@ -119,6 +119,17 @@ pub struct WireStatus {
     /// Per-tenant accounting; empty when admission control is disabled.
     #[serde(default)]
     pub tenants: Vec<iluvatar_admission::TenantSnapshot>,
+    /// Quarantined containers released back to the pool after their TTL.
+    #[serde(default)]
+    pub quarantine_released: u64,
+    /// Lifecycle state: `running`, `draining`, or `stopped`. Empty when
+    /// talking to a pre-lifecycle worker.
+    #[serde(default)]
+    pub lifecycle: String,
+    /// Invocations (queued + running) still to finish before a drain
+    /// completes.
+    #[serde(default)]
+    pub drain_pending: u64,
 }
 
 impl From<WorkerStatus> for WireStatus {
@@ -143,6 +154,9 @@ impl From<WorkerStatus> for WireStatus {
             dropped_retry_exhausted: s.dropped_retry_exhausted,
             dropped_admission: s.dropped_admission,
             tenants: Vec::new(),
+            quarantine_released: s.quarantine_released,
+            lifecycle: s.lifecycle,
+            drain_pending: s.drain_pending,
         }
     }
 }
@@ -153,7 +167,7 @@ fn json_resp(status: Status, body: String) -> Response {
         .with_body(body)
 }
 
-fn error_resp(e: &InvokeError) -> Response {
+fn error_resp(e: &InvokeError, retry_after_secs: u64) -> Response {
     let status = match e {
         InvokeError::NotRegistered(_) => Status::NOT_FOUND,
         InvokeError::QueueFull | InvokeError::NoResources => Status::TOO_MANY_REQUESTS,
@@ -162,7 +176,13 @@ fn error_resp(e: &InvokeError) -> Response {
         // Admission rejections are backpressure, like a full queue.
         InvokeError::Throttled(_) | InvokeError::Shed(_) => Status::TOO_MANY_REQUESTS,
     };
-    json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))
+    let resp = json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()));
+    if status == Status::SERVICE_UNAVAILABLE {
+        // Draining/stopped: tell well-behaved clients when to come back.
+        resp.with_header("Retry-After", retry_after_secs.to_string())
+    } else {
+        resp
+    }
 }
 
 /// The HTTP front-end of one worker.
@@ -255,7 +275,7 @@ fn route(
                         let wire: WireResult = r.into();
                         json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
                     }
-                    Err(e) => error_resp(&e),
+                    Err(e) => error_resp(&e, worker.config().lifecycle.effective_retry_after_secs()),
                 }
             }
             Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
@@ -269,7 +289,7 @@ fn route(
                         pending.insert(cookie, handle);
                         json_resp(Status::OK, format!("{{\"cookie\":{cookie}}}"))
                     }
-                    Err(e) => error_resp(&e),
+                    Err(e) => error_resp(&e, worker.config().lifecycle.effective_retry_after_secs()),
                 }
             }
             Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
@@ -282,7 +302,9 @@ fn route(
                             let wire: WireResult = r.into();
                             json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
                         }
-                        Some(Err(e)) => error_resp(&e),
+                        Some(Err(e)) => {
+                            error_resp(&e, worker.config().lifecycle.effective_retry_after_secs())
+                        }
                         None => {
                             // Still in flight: put it back, report pending.
                             pending.insert(cookie, handle);
@@ -294,10 +316,22 @@ fn route(
                 Err(_) => json_resp(Status::BAD_REQUEST, "{\"error\":\"bad cookie\"}".into()),
             }
         }
+        (Method::Post, "/drain") => {
+            // Idempotent: repeated drains just report current progress.
+            worker.drain();
+            let s = worker.status();
+            json_resp(
+                Status::OK,
+                format!(
+                    "{{\"lifecycle\":{:?},\"drain_pending\":{}}}",
+                    s.lifecycle, s.drain_pending
+                ),
+            )
+        }
         (Method::Post, "/prewarm") => match serde_json::from_str::<PrewarmBody>(body) {
             Ok(b) => match worker.prewarm(&b.fqdn) {
                 Ok(()) => json_resp(Status::OK, "{}".into()),
-                Err(e) => error_resp(&e),
+                Err(e) => error_resp(&e, worker.config().lifecycle.effective_retry_after_secs()),
             },
             Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
         },
@@ -343,7 +377,9 @@ impl WorkerApiClient {
         self.addr
     }
 
-    fn call(&self, req: Request) -> Result<Response, ApiError> {
+    /// Send a raw request to the worker API (escape hatch for routes
+    /// without a typed helper and for header-level assertions in tests).
+    pub fn call(&self, req: Request) -> Result<Response, ApiError> {
         self.client
             .send(self.addr, &req)
             .map_err(|e| ApiError::Http(e.to_string()))
@@ -431,6 +467,19 @@ impl WorkerApiClient {
         let resp = Self::expect_ok(resp)?;
         serde_json::from_str(resp.body_str())
             .map(Some)
+            .map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    /// Ask the worker to stop accepting work and finish what it has.
+    /// Returns the number of invocations still pending at request time.
+    pub fn drain(&self) -> Result<u64, ApiError> {
+        let resp = Self::expect_ok(self.call(Request::new(Method::Post, "/drain"))?)?;
+        #[derive(Deserialize)]
+        struct DrainResp {
+            drain_pending: u64,
+        }
+        serde_json::from_str::<DrainResp>(resp.body_str())
+            .map(|d| d.drain_pending)
             .map_err(|e| ApiError::Decode(e.to_string()))
     }
 

@@ -183,6 +183,12 @@ pub struct ResilienceConfig {
     /// fraction of the concurrency limit, further failures fail fast
     /// instead of retrying (queue-level degrade under fault storms).
     pub retry_saturation: f64,
+    /// How long a quarantined container is held before being released back
+    /// to the pool for another chance, ms. 0 (the default, and the serde
+    /// default for older configs) destroys quarantined containers
+    /// immediately — the pre-TTL behavior.
+    #[serde(default)]
+    pub quarantine_ttl_ms: u64,
 }
 
 impl Default for ResilienceConfig {
@@ -195,7 +201,41 @@ impl Default for ResilienceConfig {
             invoke_deadline_ms: 0,
             agent_timeout_ms: 0,
             retry_saturation: 0.5,
+            quarantine_ttl_ms: 0,
         }
+    }
+}
+
+/// Crash-safety / lifecycle configuration. Defaults to fully disabled (no
+/// write-ahead log, no recovery) so the baseline hot path is untouched.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    /// Path of the queue write-ahead log. `None` disables WAL journaling
+    /// (and with it snapshotting and recovery).
+    #[serde(default)]
+    pub wal_path: Option<String>,
+    /// Append a compacted snapshot after this many WAL records. 0 selects
+    /// the built-in default of 64.
+    #[serde(default)]
+    pub snapshot_every: u64,
+    /// `Retry-After` seconds advertised on 503s while draining or stopped.
+    /// 0 selects the built-in default of 1.
+    #[serde(default)]
+    pub drain_retry_after_secs: u64,
+}
+
+impl LifecycleConfig {
+    /// Enable the WAL at `path` with default cadence.
+    pub fn with_wal(path: &str) -> Self {
+        Self { wal_path: Some(path.to_string()), ..Default::default() }
+    }
+
+    pub fn effective_snapshot_every(&self) -> u64 {
+        if self.snapshot_every == 0 { 64 } else { self.snapshot_every }
+    }
+
+    pub fn effective_retry_after_secs(&self) -> u64 {
+        if self.drain_retry_after_secs == 0 { 1 } else { self.drain_retry_after_secs }
     }
 }
 
@@ -235,6 +275,10 @@ pub struct WorkerConfig {
     /// baseline hot path (and Table-1 spans) are unchanged.
     #[serde(default)]
     pub admission: AdmissionConfig,
+    /// Crash-safe lifecycle (queue WAL, snapshots, drain); defaults to
+    /// fully disabled so configs written before this field existed parse.
+    #[serde(default)]
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for WorkerConfig {
@@ -254,6 +298,7 @@ impl Default for WorkerConfig {
             char_window: 32,
             resilience: ResilienceConfig::default(),
             admission: AdmissionConfig::default(),
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }

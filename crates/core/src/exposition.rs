@@ -168,6 +168,7 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
     w.counter("iluvatar_retries_total", "Retries scheduled after transient backend failures", base, st.retries as f64);
     w.counter("iluvatar_agent_timeouts_total", "Agent calls abandoned at the agent timeout", base, st.agent_timeouts as f64);
     w.counter("iluvatar_containers_quarantined_total", "Containers quarantined after a failed agent hop", base, st.quarantined as f64);
+    w.counter("iluvatar_quarantine_released_total", "Quarantined containers released back to the pool after their TTL", base, st.quarantine_released as f64);
     w.counter(
         "iluvatar_dropped_retry_exhausted_total",
         "Invocations failed after the retry budget was exhausted or shed",
@@ -290,6 +291,7 @@ mod tests {
             "iluvatar_retries_total",
             "iluvatar_agent_timeouts_total",
             "iluvatar_containers_quarantined_total",
+            "iluvatar_quarantine_released_total",
             "iluvatar_dropped_retry_exhausted_total",
             "iluvatar_dropped_admission_total",
             "iluvatar_span_seconds_bucket",

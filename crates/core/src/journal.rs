@@ -50,6 +50,9 @@ pub enum TraceEventKind {
     AdmissionRejected,
     /// Rejected at ingest by the tenant's token-bucket rate limit.
     TenantThrottled,
+    /// Restored from the write-ahead log after a restart and re-enqueued
+    /// (crash recovery; see [`crate::wal`]).
+    Recovered,
     /// The result (or error) was delivered back to the caller.
     ResultReturned { ok: bool },
 }
@@ -72,6 +75,7 @@ impl TraceEventKind {
             TraceEventKind::RetriesExhausted => "retries_exhausted".into(),
             TraceEventKind::AdmissionRejected => "admission_rejected".into(),
             TraceEventKind::TenantThrottled => "tenant_throttled".into(),
+            TraceEventKind::Recovered => "recovered".into(),
             TraceEventKind::ResultReturned { ok } => format!("result_returned({ok})"),
         }
     }
@@ -192,6 +196,31 @@ impl TraceJournal {
         }
         ring.push_back(record);
         id
+    }
+
+    /// Re-mint a trace under an id recovered from the write-ahead log,
+    /// opening its timeline with [`TraceEventKind::Recovered`] so replayed
+    /// invocations are distinguishable from fresh ingests.
+    pub fn begin_recovered(&self, id: u64, fqdn: &str) {
+        let now = self.clock.now_ms();
+        let record = Arc::new(Mutex::new(TraceRecord {
+            trace_id: id,
+            fqdn: fqdn.to_string(),
+            ingest_ms: now,
+            events: vec![TraceEvent { at_ms: now, kind: TraceEventKind::Recovered }],
+        }));
+        let mut ring = self.shard(id).ring.lock();
+        if ring.len() == self.per_shard {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Ensure future minted ids are strictly greater than `floor` — called
+    /// on recovery so new invocations cannot collide with ids already
+    /// present in the write-ahead log.
+    pub fn ensure_ids_above(&self, floor: u64) {
+        self.next_id.fetch_max(floor + 1, Ordering::Relaxed);
     }
 
     /// Append an event to trace `id`. A no-op if the trace has aged out.

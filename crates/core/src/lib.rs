@@ -36,18 +36,20 @@ pub mod pool;
 pub mod queue;
 pub mod registration;
 pub mod spans;
+pub mod wal;
 pub mod worker;
 
 pub use config::{
-    ConcurrencyConfig, KeepalivePolicyKind, QueueConfig, QueuePolicyKind, ResilienceConfig,
-    WorkerConfig,
+    ConcurrencyConfig, KeepalivePolicyKind, LifecycleConfig, QueueConfig, QueuePolicyKind,
+    ResilienceConfig, WorkerConfig,
 };
 pub use queue::{DrrQueue, DEFAULT_DRR_QUANTUM_MS};
 pub use invocation::{InvocationHandle, InvocationResult, InvokeError};
 pub use journal::{journal_digest, TraceEvent, TraceEventKind, TraceJournal, TraceRecord};
 pub use registration::{RegisterError, Registration, Registry};
 pub use spans::{merge_span_exports, SpanExport, Spans};
-pub use worker::{Worker, WorkerStatus};
+pub use wal::{CounterBaselines, PendingInvocation, ReplayState, Wal, WalRecord, WalSnapshot};
+pub use worker::{RecoveryReport, Worker, WorkerStatus};
 
 // Re-export the substrate types callers need to build a worker.
 pub use iluvatar_containers::{ContainerBackend, FunctionSpec, ResourceLimits};

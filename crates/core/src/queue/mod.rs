@@ -155,6 +155,26 @@ impl DrrQueue {
         self.subs.get(tenant).map(|s| s.deficit).unwrap_or(0.0)
     }
 
+    /// Dump every tenant's deficit, sorted by tenant id (snapshot input).
+    pub fn deficits(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> =
+            self.subs.iter().map(|(k, s)| (k.clone(), s.deficit)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Restore a tenant's deficit from a snapshot. Only applies to tenants
+    /// that are currently backlogged — an idle tenant carries no credit
+    /// (same rule as the drain-time reset), so restoring credit to one
+    /// would let it burst ahead after recovery.
+    pub fn restore_deficit(&mut self, tenant: &str, deficit: f64) {
+        if let Some(sub) = self.subs.get_mut(tenant) {
+            if !sub.items.is_empty() {
+                sub.deficit = deficit.max(0.0);
+            }
+        }
+    }
+
     pub fn push(&mut self, item: QueuedInvocation) {
         let key = item.tenant.clone().unwrap_or_else(|| UNLABELLED.to_string());
         let weight = if item.tenant_weight > 0.0 { item.tenant_weight } else { 1.0 };
@@ -351,6 +371,25 @@ impl InvocationQueue {
         match &self.state.lock().q {
             QueueImpl::Drr(d) => Some(d.deficit_of(tenant)),
             QueueImpl::Heap(_) => None,
+        }
+    }
+
+    /// Dump all DRR tenant deficits, sorted by tenant id; empty unless the
+    /// DRR policy is active (WAL snapshot input).
+    pub fn drr_deficits(&self) -> Vec<(String, f64)> {
+        match &self.state.lock().q {
+            QueueImpl::Drr(d) => d.deficits(),
+            QueueImpl::Heap(_) => Vec::new(),
+        }
+    }
+
+    /// Restore DRR deficits from a snapshot. No-op for non-DRR policies and
+    /// for tenants without a current backlog (idle tenants carry no credit).
+    pub fn restore_drr_deficits(&self, deficits: &[(String, f64)]) {
+        if let QueueImpl::Drr(d) = &mut self.state.lock().q {
+            for (tenant, deficit) in deficits {
+                d.restore_deficit(tenant, *deficit);
+            }
         }
     }
 

@@ -1,0 +1,573 @@
+//! Queue write-ahead log + snapshot recovery.
+//!
+//! The worker keeps all invocation state in memory (§3); a crash therefore
+//! loses every queued invocation and accounting book. This module makes the
+//! queue durable: every queue mutation (enqueue / dequeue / completion /
+//! admission shed) is appended to a JSON-lines log, and a periodic compacted
+//! snapshot captures the full recoverable state — pending invocations,
+//! Prometheus counter baselines, per-tenant admission books, token-bucket
+//! levels, DRR deficits, and the quarantine set. Recovery replays the last
+//! snapshot plus the tail after it, deduplicating by invocation id, so a
+//! duplicated or re-replayed tail converges to the same state (idempotent
+//! replay).
+//!
+//! Durability contract: an invocation is *accepted* only after its
+//! `Enqueued` record hit the log ([`Wal::append`] returns `false` once the
+//! log is poisoned or broken, and the worker then rejects the invocation).
+//! Completions whose record did not land before a crash are re-enqueued and
+//! re-executed on recovery — at-least-once execution, exactly-once
+//! accounting (the completion is only booked when its record lands).
+
+use iluvatar_admission::TenantSnapshot;
+use iluvatar_sync::TimeMs;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::fs::OpenOptions;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A queued-but-not-completed invocation, as recorded in the log. Carries
+/// everything needed to rebuild the original [`crate::queue::QueuedInvocation`]
+/// with its original arrival time, cost estimate, and tenant label.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PendingInvocation {
+    /// End-to-end trace id — the dedup key for idempotent replay.
+    #[serde(default)]
+    pub id: u64,
+    #[serde(default)]
+    pub fqdn: String,
+    #[serde(default)]
+    pub args: String,
+    #[serde(default)]
+    pub tenant: Option<String>,
+    #[serde(default)]
+    pub tenant_weight: f64,
+    #[serde(default)]
+    pub arrived_at: TimeMs,
+    #[serde(default)]
+    pub expected_exec_ms: f64,
+    #[serde(default)]
+    pub iat_ms: f64,
+    #[serde(default)]
+    pub expect_warm: bool,
+    /// Whether the invocation had left the queue (was in flight) at the
+    /// time of the last record. In-flight invocations are re-enqueued on
+    /// recovery like queued ones — their execution died with the process.
+    #[serde(default)]
+    pub dequeued: bool,
+}
+
+/// Monotonic worker counter baselines persisted in snapshots so a restart
+/// does not read as a Prometheus counter reset mid-scrape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterBaselines {
+    #[serde(default)]
+    pub completed: u64,
+    #[serde(default)]
+    pub dropped: u64,
+    #[serde(default)]
+    pub failed: u64,
+    #[serde(default)]
+    pub cold_starts: u64,
+    #[serde(default)]
+    pub retries: u64,
+    #[serde(default)]
+    pub agent_timeouts: u64,
+    #[serde(default)]
+    pub quarantined: u64,
+    #[serde(default)]
+    pub quarantine_released: u64,
+    #[serde(default)]
+    pub dropped_retry_exhausted: u64,
+}
+
+/// One tenant's token-bucket fill level at snapshot time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BucketLevel {
+    #[serde(default)]
+    pub tenant: String,
+    #[serde(default)]
+    pub tokens: f64,
+}
+
+/// One tenant's DRR deficit at snapshot time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DrrDeficit {
+    #[serde(default)]
+    pub tenant: String,
+    #[serde(default)]
+    pub deficit: f64,
+}
+
+/// A compacted point-in-time image of all recoverable worker state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WalSnapshot {
+    #[serde(default)]
+    pub pending: Vec<PendingInvocation>,
+    #[serde(default)]
+    pub counters: CounterBaselines,
+    #[serde(default)]
+    pub tenants: Vec<TenantSnapshot>,
+    #[serde(default)]
+    pub bucket_levels: Vec<BucketLevel>,
+    #[serde(default)]
+    pub drr_deficits: Vec<DrrDeficit>,
+    /// Fqdns with a container in quarantine (informational; the containers
+    /// themselves died with the process).
+    #[serde(default)]
+    pub quarantine: Vec<String>,
+}
+
+/// One queue mutation, as a JSON line. The `op` tag keeps the log
+/// greppable: `{"op":"enqueued","inv":{...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum WalRecord {
+    /// Admitted and queued (or bypassed — a bypass logs Enqueued+Dequeued).
+    Enqueued { inv: PendingInvocation },
+    /// Left the queue for dispatch.
+    Dequeued { id: u64 },
+    /// Finished (either way); the invocation leaves the pending set.
+    Completed {
+        id: u64,
+        ok: bool,
+        #[serde(default)]
+        tenant: Option<String>,
+    },
+    /// Rejected at admission; never entered the pending set but must be
+    /// replayed into the tenant books.
+    Shed {
+        id: u64,
+        #[serde(default)]
+        tenant: Option<String>,
+        /// true = tenant rate limit, false = best-effort overload shed.
+        throttled: bool,
+    },
+    /// Compaction point: replay restarts from the latest of these.
+    Snapshot { snap: WalSnapshot },
+}
+
+impl WalRecord {
+    fn id(&self) -> Option<u64> {
+        match self {
+            WalRecord::Enqueued { inv } => Some(inv.id),
+            WalRecord::Dequeued { id }
+            | WalRecord::Completed { id, .. }
+            | WalRecord::Shed { id, .. } => Some(*id),
+            WalRecord::Snapshot { .. } => None,
+        }
+    }
+}
+
+struct Writer {
+    out: BufWriter<std::fs::File>,
+    /// The WAL's own book of incomplete invocations — the `pending` section
+    /// of the next snapshot. Keyed by trace id; ids are minted
+    /// monotonically, so iteration order is enqueue order.
+    pending: BTreeMap<u64, PendingInvocation>,
+    mutations_since_snapshot: u64,
+    /// Crash simulation: a poisoned log drops every append (as if the
+    /// process died), so recovery sees exactly the pre-kill prefix.
+    poisoned: bool,
+    /// A real I/O error also stops the log; the worker then rejects new
+    /// work rather than accepting invocations it cannot make durable.
+    broken: bool,
+}
+
+/// The append-only write-ahead log. One per worker; all methods take `&self`
+/// (internally locked) so the worker can append from any hot-path thread.
+pub struct Wal {
+    path: PathBuf,
+    snapshot_every: u64,
+    writer: Mutex<Writer>,
+}
+
+impl Wal {
+    /// Open (append mode, creating if absent). `snapshot_every` is the
+    /// number of mutations between compaction snapshots.
+    pub fn open(path: &Path, snapshot_every: u64) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            snapshot_every: snapshot_every.max(1),
+            writer: Mutex::new(Writer {
+                out: BufWriter::new(file),
+                pending: BTreeMap::new(),
+                mutations_since_snapshot: 0,
+                poisoned: false,
+                broken: false,
+            }),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one mutation and flush it to the OS. Returns `false` when the
+    /// log is poisoned or broken — the caller must then treat the mutation
+    /// as not-durable (reject the invocation at enqueue time).
+    pub fn append(&self, rec: &WalRecord) -> bool {
+        let mut w = self.writer.lock();
+        self.append_locked(&mut w, rec)
+    }
+
+    fn append_locked(&self, w: &mut Writer, rec: &WalRecord) -> bool {
+        if w.poisoned || w.broken {
+            return false;
+        }
+        let line = match serde_json::to_string(rec) {
+            Ok(l) => l,
+            Err(_) => {
+                w.broken = true;
+                return false;
+            }
+        };
+        let wrote = writeln!(w.out, "{line}").and_then(|_| w.out.flush());
+        if wrote.is_err() {
+            w.broken = true;
+            return false;
+        }
+        match rec {
+            WalRecord::Enqueued { inv } => {
+                w.pending.insert(inv.id, inv.clone());
+            }
+            WalRecord::Dequeued { id } => {
+                if let Some(p) = w.pending.get_mut(id) {
+                    p.dequeued = true;
+                }
+            }
+            WalRecord::Completed { id, .. } => {
+                w.pending.remove(id);
+            }
+            WalRecord::Shed { .. } => {}
+            WalRecord::Snapshot { .. } => {
+                w.mutations_since_snapshot = 0;
+                return true;
+            }
+        }
+        w.mutations_since_snapshot += 1;
+        true
+    }
+
+    /// Whether enough mutations accumulated for the next compaction.
+    pub fn snapshot_due(&self) -> bool {
+        let w = self.writer.lock();
+        !w.poisoned && !w.broken && w.mutations_since_snapshot >= self.snapshot_every
+    }
+
+    /// Append a compaction snapshot. The non-queue half of the state is
+    /// supplied by `fill`, which runs **under the writer lock** so no
+    /// mutation record can interleave between reading the live counters and
+    /// writing the snapshot (such a record would otherwise be replayed on
+    /// top of a snapshot that already includes it, double-counting).
+    /// The pending set comes from the log's own book.
+    pub fn snapshot_with<F>(&self, fill: F) -> bool
+    where
+        F: FnOnce() -> WalSnapshot,
+    {
+        let mut w = self.writer.lock();
+        if w.poisoned || w.broken {
+            return false;
+        }
+        let mut snap = fill();
+        snap.pending = w.pending.values().cloned().collect();
+        let rec = WalRecord::Snapshot { snap };
+        self.append_locked(&mut w, &rec)
+    }
+
+    /// Prime the pending book after recovery (the re-enqueued invocations
+    /// are already durable in the replayed prefix; they must reappear in
+    /// the next snapshot without re-appending their `Enqueued` records).
+    pub fn prime_pending(&self, pending: &[PendingInvocation]) {
+        let mut w = self.writer.lock();
+        for p in pending {
+            w.pending.insert(p.id, p.clone());
+        }
+    }
+
+    /// Crash simulation: all further appends are dropped, as if the process
+    /// had died at this instant. Used by `Worker::kill` and the chaos
+    /// harness; never by graceful drain.
+    pub fn poison(&self) {
+        self.writer.lock().poisoned = true;
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.writer.lock().poisoned
+    }
+
+    /// Number of incomplete invocations in the log's book (drain progress).
+    pub fn pending_len(&self) -> usize {
+        self.writer.lock().pending.len()
+    }
+}
+
+/// The state reconstructed by [`replay`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplayState {
+    /// Incomplete invocations in original enqueue order.
+    pub pending: Vec<PendingInvocation>,
+    pub counters: CounterBaselines,
+    /// Per-tenant books: snapshot baselines plus tail mutations.
+    pub tenants: Vec<TenantSnapshot>,
+    pub bucket_levels: Vec<BucketLevel>,
+    pub drr_deficits: Vec<DrrDeficit>,
+    pub quarantine: Vec<String>,
+    /// Highest trace id seen anywhere in the log; the recovered journal
+    /// must mint above this so replayed and fresh ids never collide.
+    pub max_id: u64,
+    pub records_read: u64,
+    /// Unparseable lines (torn tail writes); skipped, not fatal.
+    pub torn_lines: u64,
+}
+
+fn tenant_entry<'a>(
+    tenants: &'a mut Vec<TenantSnapshot>,
+    name: &Option<String>,
+) -> &'a mut TenantSnapshot {
+    let key = name.clone().unwrap_or_else(|| "default".to_string());
+    if let Some(i) = tenants.iter().position(|t| t.tenant == key) {
+        return &mut tenants[i];
+    }
+    tenants.push(TenantSnapshot { tenant: key, weight: 1.0, ..Default::default() });
+    let last = tenants.len() - 1;
+    &mut tenants[last]
+}
+
+/// Replay a WAL file: last snapshot + tail, deduplicated by invocation id.
+/// A missing file replays to the empty state. Replay is idempotent: feeding
+/// it a log with duplicated records (or replaying twice) yields the same
+/// pending set and counters, because each id transitions each set at most
+/// once.
+pub fn replay(path: &Path) -> std::io::Result<ReplayState> {
+    let mut st = ReplayState::default();
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(st),
+        Err(e) => return Err(e),
+    };
+    // Dedup sets for the current tail (reset at each snapshot, which is a
+    // fresh authoritative baseline).
+    let mut pending: BTreeMap<u64, PendingInvocation> = BTreeMap::new();
+    let mut completed: HashSet<u64> = HashSet::new();
+    let mut shed: HashSet<u64> = HashSet::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: WalRecord = match serde_json::from_str(&line) {
+            Ok(r) => r,
+            Err(_) => {
+                st.torn_lines += 1;
+                continue;
+            }
+        };
+        st.records_read += 1;
+        if let Some(id) = rec.id() {
+            st.max_id = st.max_id.max(id);
+        }
+        match rec {
+            WalRecord::Snapshot { snap } => {
+                pending = snap.pending.into_iter().map(|p| (p.id, p)).collect();
+                completed.clear();
+                shed.clear();
+                st.max_id =
+                    pending.keys().next_back().copied().unwrap_or(0).max(st.max_id);
+                st.counters = snap.counters;
+                st.tenants = snap.tenants;
+                st.bucket_levels = snap.bucket_levels;
+                st.drr_deficits = snap.drr_deficits;
+                st.quarantine = snap.quarantine;
+            }
+            WalRecord::Enqueued { inv } => {
+                if completed.contains(&inv.id)
+                    || shed.contains(&inv.id)
+                    || pending.contains_key(&inv.id)
+                {
+                    continue; // duplicate
+                }
+                tenant_entry(&mut st.tenants, &inv.tenant).admitted += 1;
+                pending.insert(inv.id, inv);
+            }
+            WalRecord::Dequeued { id } => {
+                if let Some(p) = pending.get_mut(&id) {
+                    p.dequeued = true;
+                }
+            }
+            WalRecord::Completed { id, ok, tenant } => {
+                if !completed.insert(id) {
+                    continue; // duplicate
+                }
+                pending.remove(&id);
+                if ok {
+                    st.counters.completed += 1;
+                    tenant_entry(&mut st.tenants, &tenant).served += 1;
+                } else {
+                    st.counters.failed += 1;
+                }
+            }
+            WalRecord::Shed { id, tenant, throttled } => {
+                if !shed.insert(id) {
+                    continue; // duplicate
+                }
+                let t = tenant_entry(&mut st.tenants, &tenant);
+                if throttled {
+                    t.throttled += 1;
+                } else {
+                    t.shed += 1;
+                }
+            }
+        }
+    }
+    st.pending = pending.into_values().collect();
+    Ok(st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("iluvatar-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let unique = format!(
+            "{name}-{}-{:p}.wal",
+            std::process::id(),
+            &dir as *const _
+        );
+        dir.join(unique)
+    }
+
+    fn inv(id: u64, fqdn: &str, tenant: Option<&str>) -> PendingInvocation {
+        PendingInvocation {
+            id,
+            fqdn: fqdn.into(),
+            args: "{}".into(),
+            tenant: tenant.map(|t| t.to_string()),
+            tenant_weight: 1.0,
+            arrived_at: 100,
+            expected_exec_ms: 7.5,
+            iat_ms: 0.0,
+            expect_warm: true,
+            dequeued: false,
+        }
+    }
+
+    #[test]
+    fn roundtrip_enqueue_complete() {
+        let p = tmp("roundtrip");
+        let _ = std::fs::remove_file(&p);
+        let wal = Wal::open(&p, 1000).unwrap();
+        assert!(wal.append(&WalRecord::Enqueued { inv: inv(1, "f-1", Some("a")) }));
+        assert!(wal.append(&WalRecord::Enqueued { inv: inv(2, "f-1", None) }));
+        assert!(wal.append(&WalRecord::Dequeued { id: 1 }));
+        assert!(wal.append(&WalRecord::Completed { id: 1, ok: true, tenant: Some("a".into()) }));
+        let st = replay(&p).unwrap();
+        assert_eq!(st.pending.len(), 1);
+        assert_eq!(st.pending[0].id, 2);
+        assert_eq!(st.counters.completed, 1);
+        assert_eq!(st.max_id, 2);
+        let a = st.tenants.iter().find(|t| t.tenant == "a").unwrap();
+        assert_eq!((a.admitted, a.served), (1, 1));
+        let d = st.tenants.iter().find(|t| t.tenant == "default").unwrap();
+        assert_eq!((d.admitted, d.served), (1, 0));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_is_empty_state() {
+        let st = replay(Path::new("/nonexistent/dir/never.wal")).unwrap();
+        assert!(st.pending.is_empty());
+        assert_eq!(st.records_read, 0);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_tail_extends() {
+        let p = tmp("snapshot");
+        let _ = std::fs::remove_file(&p);
+        let wal = Wal::open(&p, 2).unwrap();
+        wal.append(&WalRecord::Enqueued { inv: inv(10, "f-1", Some("a")) });
+        wal.append(&WalRecord::Completed { id: 10, ok: true, tenant: Some("a".into()) });
+        assert!(wal.snapshot_due());
+        assert!(wal.snapshot_with(|| WalSnapshot {
+            counters: CounterBaselines { completed: 1, ..Default::default() },
+            tenants: vec![TenantSnapshot {
+                tenant: "a".into(),
+                admitted: 1,
+                served: 1,
+                ..Default::default()
+            }],
+            ..Default::default()
+        }));
+        assert!(!wal.snapshot_due());
+        // Tail after the snapshot.
+        wal.append(&WalRecord::Enqueued { inv: inv(11, "f-1", Some("a")) });
+        let st = replay(&p).unwrap();
+        assert_eq!(st.counters.completed, 1, "baseline from snapshot");
+        assert_eq!(st.pending.len(), 1);
+        assert_eq!(st.pending[0].id, 11);
+        let a = st.tenants.iter().find(|t| t.tenant == "a").unwrap();
+        assert_eq!(a.admitted, 2, "snapshot baseline + tail enqueue");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn replay_skips_torn_tail_line() {
+        let p = tmp("torn");
+        let _ = std::fs::remove_file(&p);
+        let wal = Wal::open(&p, 1000).unwrap();
+        wal.append(&WalRecord::Enqueued { inv: inv(1, "f-1", None) });
+        drop(wal);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        write!(f, "{{\"op\":\"enqueued\",\"inv\":{{\"id\":9").unwrap(); // torn
+        drop(f);
+        let st = replay(&p).unwrap();
+        assert_eq!(st.torn_lines, 1);
+        assert_eq!(st.pending.len(), 1);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn poisoned_log_rejects_appends() {
+        let p = tmp("poison");
+        let _ = std::fs::remove_file(&p);
+        let wal = Wal::open(&p, 1000).unwrap();
+        assert!(wal.append(&WalRecord::Enqueued { inv: inv(1, "f-1", None) }));
+        wal.poison();
+        assert!(!wal.append(&WalRecord::Completed { id: 1, ok: true, tenant: None }));
+        assert!(!wal.snapshot_with(WalSnapshot::default));
+        let st = replay(&p).unwrap();
+        assert_eq!(st.pending.len(), 1, "completion after poison never landed");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn duplicated_tail_replays_identically() {
+        let p = tmp("dup");
+        let _ = std::fs::remove_file(&p);
+        let wal = Wal::open(&p, 1000).unwrap();
+        let records = vec![
+            WalRecord::Enqueued { inv: inv(1, "f-1", Some("a")) },
+            WalRecord::Dequeued { id: 1 },
+            WalRecord::Enqueued { inv: inv(2, "f-1", Some("b")) },
+            WalRecord::Completed { id: 1, ok: true, tenant: Some("a".into()) },
+            WalRecord::Shed { id: 3, tenant: Some("b".into()), throttled: true },
+        ];
+        for r in &records {
+            wal.append(r);
+        }
+        let once = replay(&p).unwrap();
+        for r in &records {
+            wal.append(r); // duplicate the whole tail
+        }
+        let twice = replay(&p).unwrap();
+        assert_eq!(once.pending, twice.pending);
+        assert_eq!(once.counters, twice.counters);
+        assert_eq!(once.tenants, twice.tenants);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -26,6 +26,9 @@ use crate::queue::regulator::ConcurrencyRegulator;
 use crate::queue::{InvocationQueue, PushError, QueuedInvocation};
 use crate::registration::{RegisterError, Registration, Registry};
 use crate::spans::{names, Spans};
+use crate::wal::{
+    BucketLevel, CounterBaselines, DrrDeficit, PendingInvocation, Wal, WalRecord, WalSnapshot,
+};
 use crossbeam::channel::{bounded, unbounded, Sender};
 use iluvatar_admission::{
     AdmissionController, AdmissionDecision, TenantSnapshot, DEFAULT_TENANT,
@@ -34,7 +37,9 @@ use iluvatar_containers::image::Platform;
 use iluvatar_containers::types::SharedContainer;
 use iluvatar_containers::{BackendError, ContainerBackend, FunctionSpec};
 use iluvatar_sync::{Backoff, BackoffConfig, Clock, TaskPool, TimeMs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -69,7 +74,19 @@ pub struct WorkerStatus {
     /// Invocations rejected at ingest by admission control (tenant rate
     /// limit or overload shedding). 0 while admission is disabled.
     pub dropped_admission: u64,
+    /// Quarantined containers released back to the pool after their TTL.
+    pub quarantine_released: u64,
+    /// Lifecycle state: `running`, `draining`, or `stopped`.
+    pub lifecycle: String,
+    /// Invocations (queued + running) still to finish before a drain
+    /// completes.
+    pub drain_pending: u64,
 }
+
+/// Lifecycle state machine: Running → Draining → Stopped.
+const LIFECYCLE_RUNNING: u8 = 0;
+const LIFECYCLE_DRAINING: u8 = 1;
+const LIFECYCLE_STOPPED: u8 = 2;
 
 /// Traces the journal remembers before the oldest age out.
 const TRACE_CAPACITY: usize = 4096;
@@ -105,12 +122,37 @@ struct Shared {
     /// overload signal feeding best-effort shedding.
     last_queue_delay_ms: AtomicU64,
     shutdown: AtomicBool,
+    /// Queue write-ahead log; `None` when lifecycle journaling is disabled.
+    wal: Option<Wal>,
+    /// Containers quarantined with a TTL, awaiting probe-on-idle release.
+    quarantine: Mutex<Vec<(SharedContainer, TimeMs)>>,
+    quarantine_released: AtomicU64,
+    /// Running → Draining → Stopped (see the `LIFECYCLE_*` constants).
+    lifecycle: AtomicU8,
+    /// Hard-stop (crash simulation): abandon queued work immediately.
+    killed: AtomicBool,
 }
 
 impl Shared {
     fn normalized_load(&self) -> f64 {
         (self.running.load(Ordering::Relaxed) + self.queue.len()) as f64
             / self.cfg.cores.max(1) as f64
+    }
+
+    fn lifecycle_label(&self) -> &'static str {
+        match self.lifecycle.load(Ordering::Relaxed) {
+            LIFECYCLE_DRAINING => "draining",
+            LIFECYCLE_STOPPED => "stopped",
+            _ => "running",
+        }
+    }
+
+    /// Append to the WAL; trivially succeeds when journaling is disabled.
+    fn wal_append(&self, rec: &WalRecord) -> bool {
+        match &self.wal {
+            Some(w) => w.append(rec),
+            None => true,
+        }
     }
 }
 
@@ -142,6 +184,9 @@ impl Worker {
             .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
                 (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
             });
+        let wal = cfg.lifecycle.wal_path.as_ref().and_then(|p| {
+            Wal::open(Path::new(p), cfg.lifecycle.effective_snapshot_every()).ok()
+        });
         let shared = Arc::new(Shared {
             registry: Registry::new(Platform::LINUX_AMD64),
             chars: Characteristics::new(cfg.char_window),
@@ -166,6 +211,11 @@ impl Worker {
             admission: AdmissionController::new(cfg.admission.clone(), Arc::clone(&clock)),
             last_queue_delay_ms: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            wal,
+            quarantine: Mutex::new(Vec::new()),
+            quarantine_released: AtomicU64::new(0),
+            lifecycle: AtomicU8::new(LIFECYCLE_RUNNING),
+            killed: AtomicBool::new(false),
             clock,
             cfg,
         });
@@ -210,6 +260,16 @@ impl Worker {
             tasks.spawn_periodic("metrics-sample", Duration::from_millis(250), move || {
                 let busy = s.running.load(Ordering::Relaxed).min(s.cfg.cores) as f64;
                 s.metrics.sample(busy);
+                maybe_finalize(&s);
+            });
+        }
+        // Quarantine probe-on-idle: containers parked after a failure are
+        // released back to the pool once their TTL expires, so a transient
+        // agent hiccup doesn't permanently shrink the pool.
+        if shared.cfg.resilience.quarantine_ttl_ms > 0 {
+            let s = Arc::clone(&shared);
+            tasks.spawn_periodic("quarantine-sweep", Duration::from_millis(50), move || {
+                release_expired_quarantine(&s);
             });
         }
         // Predictive prewarm (§3.2): prepare containers the policy expects
@@ -292,7 +352,9 @@ impl Worker {
     ) -> Result<InvocationHandle, InvokeError> {
         let s = &self.shared;
         let _g = s.spans.time(names::INVOKE);
-        if s.shutdown.load(Ordering::Relaxed) {
+        if s.shutdown.load(Ordering::Relaxed)
+            || s.lifecycle.load(Ordering::Relaxed) != LIFECYCLE_RUNNING
+        {
             return Err(InvokeError::ShuttingDown);
         }
         let now = s.clock.now_ms();
@@ -316,6 +378,11 @@ impl Worker {
                     s.journal.record(trace_id, TraceEventKind::TenantThrottled);
                     s.journal
                         .record(trace_id, TraceEventKind::ResultReturned { ok: false });
+                    let _ = s.wal_append(&WalRecord::Shed {
+                        id: trace_id,
+                        tenant: Some(tname.to_string()),
+                        throttled: true,
+                    });
                     return Err(InvokeError::Throttled(tname.to_string()));
                 }
                 AdmissionDecision::Shed => {
@@ -323,6 +390,11 @@ impl Worker {
                     s.journal.record(trace_id, TraceEventKind::AdmissionRejected);
                     s.journal
                         .record(trace_id, TraceEventKind::ResultReturned { ok: false });
+                    let _ = s.wal_append(&WalRecord::Shed {
+                        id: trace_id,
+                        tenant: Some(tname.to_string()),
+                        throttled: false,
+                    });
                     return Err(InvokeError::Shed(tname.to_string()));
                 }
             }
@@ -343,9 +415,6 @@ impl Worker {
         // allows and a run slot is free right now.
         if s.queue.should_bypass(expected_exec_ms, s.normalized_load()) {
             if let Some(permit) = s.regulator.try_acquire() {
-                s.queue.note_bypass();
-                s.journal.record(trace_id, TraceEventKind::Bypassed);
-                let s2 = Arc::clone(s);
                 let item = QueuedInvocation {
                     fqdn: fqdn.to_string(),
                     args: args.to_string(),
@@ -358,6 +427,14 @@ impl Worker {
                     tenant_weight,
                     result_tx: tx,
                 };
+                // A bypassed invocation is logged as enqueued+dequeued in
+                // one record; if the record can't land, don't accept it.
+                if !s.wal_append(&WalRecord::Enqueued { inv: pending_of(&item, true) }) {
+                    return Err(InvokeError::ShuttingDown);
+                }
+                s.queue.note_bypass();
+                s.journal.record(trace_id, TraceEventKind::Bypassed);
+                let s2 = Arc::clone(s);
                 std::thread::Builder::new()
                     .name("iluvatar-bypass".into())
                     .spawn(move || {
@@ -382,6 +459,14 @@ impl Worker {
             tenant_weight,
             result_tx: tx,
         };
+        // WAL before the push: an invocation is *accepted* only once its
+        // `Enqueued` record is durable, so a crash can never lose an
+        // accepted invocation (a poisoned/broken log rejects instead).
+        if !s.wal_append(&WalRecord::Enqueued { inv: pending_of(&item, false) }) {
+            drop(enq);
+            s.journal.record(trace_id, TraceEventKind::ResultReturned { ok: false });
+            return Err(InvokeError::ShuttingDown);
+        }
         // Journal `Enqueued` before the push: once the item is in the queue
         // the dispatch loop races us, and a `Dequeued` landing first would
         // scramble the timeline (and the deterministic journal digest). On
@@ -398,9 +483,23 @@ impl Worker {
             Err(PushError::Full) => {
                 s.dropped.fetch_add(1, Ordering::Relaxed);
                 s.journal.record(trace_id, TraceEventKind::ResultReturned { ok: false });
+                // The enqueue record already landed; retract it so replay
+                // doesn't resurrect a rejected invocation.
+                let _ = s.wal_append(&WalRecord::Completed {
+                    id: trace_id,
+                    ok: false,
+                    tenant: None,
+                });
                 Err(InvokeError::QueueFull)
             }
-            Err(PushError::Closed) => Err(InvokeError::ShuttingDown),
+            Err(PushError::Closed) => {
+                let _ = s.wal_append(&WalRecord::Completed {
+                    id: trace_id,
+                    ok: false,
+                    tenant: None,
+                });
+                Err(InvokeError::ShuttingDown)
+            }
         }
     }
 
@@ -431,6 +530,9 @@ impl Worker {
             quarantined: s.quarantined.load(Ordering::Relaxed),
             dropped_retry_exhausted: s.dropped_retry_exhausted.load(Ordering::Relaxed),
             dropped_admission: s.admission.dropped_admission(),
+            quarantine_released: s.quarantine_released.load(Ordering::Relaxed),
+            lifecycle: s.lifecycle_label().to_string(),
+            drain_pending: (s.queue.len() + s.running.load(Ordering::Relaxed)) as u64,
         }
     }
 
@@ -477,14 +579,178 @@ impl Worker {
         &self.shared.cfg
     }
 
-    /// Drain and stop. Queued invocations are completed first.
+    /// Begin a graceful drain: new invocations are rejected with
+    /// `ShuttingDown` (503 + `Retry-After` over HTTP) while queued and
+    /// in-flight ones finish. Once idle, the worker writes a final WAL
+    /// snapshot and reports `stopped` on `/status`. Idempotent; does not
+    /// stop the worker's threads — use [`Worker::shutdown`] for that.
+    pub fn drain(&self) {
+        let s = &self.shared;
+        if s
+            .lifecycle
+            .compare_exchange(
+                LIFECYCLE_RUNNING,
+                LIFECYCLE_DRAINING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            return;
+        }
+        maybe_finalize(s);
+    }
+
+    /// Hard stop simulating a crash: the WAL is poisoned first (no further
+    /// record lands), queued invocations are abandoned, and no final
+    /// snapshot is written — recovery must rebuild from the pre-kill log
+    /// image. In-flight invocations may still execute, but their unlogged
+    /// completions are replayed after restart (at-least-once execution,
+    /// exactly-once accounting).
+    pub fn kill(&mut self) {
+        let s = &self.shared;
+        s.killed.store(true, Ordering::SeqCst);
+        if let Some(w) = &s.wal {
+            w.poison();
+        }
+        s.lifecycle.store(LIFECYCLE_STOPPED, Ordering::SeqCst);
+        if s.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        s.queue.close();
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+        self.tasks.shutdown();
+        self.destroy_tx = None;
+        if let Some(d) = self.destroyer.take() {
+            let _ = d.join();
+        }
+    }
+
+    /// Rebuild a worker from its write-ahead log: replay the last snapshot
+    /// plus tail (idempotent, deduplicated by invocation id), restore the
+    /// counter baselines, tenant books, token-bucket levels, and DRR
+    /// deficits, then re-enqueue every incomplete invocation with its
+    /// original arrival time and tenant label. `specs` re-registers the
+    /// function set — registration is control-plane configuration, not
+    /// queue state, and is re-applied on boot exactly like the load
+    /// balancer re-registers a re-admitted worker.
+    pub fn recover(
+        cfg: WorkerConfig,
+        backend: Arc<dyn ContainerBackend>,
+        clock: Arc<dyn Clock>,
+        specs: &[FunctionSpec],
+    ) -> (Worker, RecoveryReport) {
+        let st = cfg
+            .lifecycle
+            .wal_path
+            .as_ref()
+            .and_then(|p| crate::wal::replay(Path::new(p)).ok())
+            .unwrap_or_default();
+        let worker = Worker::new(cfg, backend, clock);
+        for spec in specs {
+            let _ = worker.register(spec.clone());
+        }
+        let s = &worker.shared;
+        // Fresh ids must mint above every replayed id.
+        s.journal.ensure_ids_above(st.max_id);
+        let c = &st.counters;
+        s.completed.store(c.completed, Ordering::Relaxed);
+        s.dropped.store(c.dropped, Ordering::Relaxed);
+        s.failed.store(c.failed, Ordering::Relaxed);
+        s.cold_starts.store(c.cold_starts, Ordering::Relaxed);
+        s.retries.store(c.retries, Ordering::Relaxed);
+        s.agent_timeouts.store(c.agent_timeouts, Ordering::Relaxed);
+        s.quarantined.store(c.quarantined, Ordering::Relaxed);
+        s.quarantine_released.store(c.quarantine_released, Ordering::Relaxed);
+        s.dropped_retry_exhausted.store(c.dropped_retry_exhausted, Ordering::Relaxed);
+        if s.admission.enabled() {
+            s.admission.restore_counters(&st.tenants);
+            for bl in &st.bucket_levels {
+                s.admission.restore_bucket_level(&bl.tenant, bl.tokens);
+            }
+        }
+        if let Some(w) = &s.wal {
+            // The re-enqueued invocations are already durable in the
+            // replayed prefix; they must reappear in the next snapshot
+            // without re-appending their records.
+            w.prime_pending(&st.pending);
+        }
+        let mut handles = Vec::with_capacity(st.pending.len());
+        for p in &st.pending {
+            s.journal.begin_recovered(p.id, &p.fqdn);
+            s.journal.record(p.id, TraceEventKind::Enqueued);
+            let (tx, handle) = InvocationHandle::pair();
+            let item = QueuedInvocation {
+                fqdn: p.fqdn.clone(),
+                args: p.args.clone(),
+                trace_id: p.id,
+                arrived_at: p.arrived_at,
+                expected_exec_ms: p.expected_exec_ms,
+                iat_ms: p.iat_ms,
+                expect_warm: p.expect_warm,
+                tenant: p.tenant.clone(),
+                tenant_weight: p.tenant_weight,
+                result_tx: tx,
+            };
+            if s.queue.push(item).is_ok() {
+                handles.push((p.id, handle));
+            } else {
+                // Re-enqueue over a smaller queue bound: not silently lost —
+                // book the drop and retract the record.
+                s.dropped.fetch_add(1, Ordering::Relaxed);
+                let _ = s.wal_append(&WalRecord::Completed {
+                    id: p.id,
+                    ok: false,
+                    tenant: None,
+                });
+            }
+        }
+        let deficits: Vec<(String, f64)> =
+            st.drr_deficits.iter().map(|d| (d.tenant.clone(), d.deficit)).collect();
+        s.queue.restore_drr_deficits(&deficits);
+        // Compact immediately: the recovered state becomes the new
+        // baseline, so a second crash replays from here, not from genesis.
+        wal_snapshot_now(s);
+        let report = RecoveryReport {
+            replayed: handles.len(),
+            handles,
+            records_read: st.records_read,
+            torn_lines: st.torn_lines,
+            max_trace_id: st.max_id,
+        };
+        (worker, report)
+    }
+
+    /// Drain and stop. Queued invocations are completed first; a final
+    /// compacted snapshot is written unless the worker was killed.
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.shared.queue.close();
+        let s = Arc::clone(&self.shared);
+        let _ = s.lifecycle.compare_exchange(
+            LIFECYCLE_RUNNING,
+            LIFECYCLE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        s.queue.close();
         if let Some(m) = self.monitor.take() {
             let _ = m.join();
+        }
+        if !s.killed.load(Ordering::SeqCst) {
+            // Final compaction + flush (the WAL flushes per append; this
+            // folds the tail into one authoritative snapshot).
+            wal_snapshot_now(&s);
+            s.lifecycle.store(LIFECYCLE_STOPPED, Ordering::SeqCst);
+        }
+        // Destroy any containers still parked in quarantine.
+        let parked: Vec<SharedContainer> =
+            s.quarantine.lock().drain(..).map(|(c, _)| c).collect();
+        for c in parked {
+            s.pool.discard(c);
         }
         self.tasks.shutdown();
         self.destroy_tx = None; // disconnects the destroyer
@@ -492,6 +758,20 @@ impl Worker {
             let _ = d.join();
         }
     }
+}
+
+/// What [`Worker::recover`] rebuilt from the write-ahead log.
+pub struct RecoveryReport {
+    /// Incomplete invocations re-enqueued with their original ids.
+    pub replayed: usize,
+    /// Completion handles for the re-enqueued invocations, by trace id, so
+    /// a caller can await the replayed executions.
+    pub handles: Vec<(u64, InvocationHandle)>,
+    pub records_read: u64,
+    /// Unparseable log lines skipped (torn tail writes).
+    pub torn_lines: u64,
+    /// Highest trace id found in the log; fresh ids mint above it.
+    pub max_trace_id: u64,
 }
 
 impl Drop for Worker {
@@ -502,6 +782,9 @@ impl Drop for Worker {
 
 fn monitor_loop(s: Arc<Shared>) {
     loop {
+        if s.killed.load(Ordering::Relaxed) {
+            return;
+        }
         // Fast path: time the dequeue op itself (a Table 1 row); fall back
         // to a blocking wait when the queue is momentarily empty.
         let fast = {
@@ -517,11 +800,17 @@ fn monitor_loop(s: Arc<Shared>) {
                 continue;
             }
         };
+        if s.killed.load(Ordering::Relaxed) {
+            // Crash semantics: abandon the popped item. Its WAL state (no
+            // Dequeued/Completed record) replays it after recovery.
+            return;
+        }
         let dequeued_at = s.clock.now_ms();
         // Publish the observed queue delay — the overload-shedding signal.
         s.last_queue_delay_ms
             .store(dequeued_at.saturating_sub(item.arrived_at), Ordering::Relaxed);
         s.journal.record(item.trace_id, TraceEventKind::Dequeued);
+        let _ = s.wal_append(&WalRecord::Dequeued { id: item.trace_id });
         // Hold dispatch until a run slot frees up — the concurrency limit.
         let permit = s.regulator.acquire();
         let spawn_g = s.spans.time(names::SPAWN_WORKER);
@@ -600,9 +889,133 @@ fn run_invocation(s: &Shared, item: QueuedInvocation, dequeued_at: TimeMs) {
             s.failed.fetch_add(1, Ordering::Relaxed);
         }
     }
+    // Book the completion before the client sees it: once this record
+    // lands the invocation will never be replayed. An unlogged completion
+    // (crash in between) is re-executed on recovery — at-least-once
+    // execution, exactly-once accounting.
+    let _ = s.wal_append(&WalRecord::Completed {
+        id: item.trace_id,
+        ok,
+        tenant: item.tenant.clone(),
+    });
     let _ = item.result_tx.send(outcome);
     s.journal.record(item.trace_id, TraceEventKind::ResultReturned { ok });
     drop(ret_g);
+    if s.wal.as_ref().is_some_and(|w| w.snapshot_due()) {
+        wal_snapshot_now(s);
+    }
+    maybe_finalize(s);
+}
+
+/// The WAL image of a queue item (shared between the enqueue and bypass
+/// paths).
+fn pending_of(item: &QueuedInvocation, dequeued: bool) -> PendingInvocation {
+    PendingInvocation {
+        id: item.trace_id,
+        fqdn: item.fqdn.clone(),
+        args: item.args.clone(),
+        tenant: item.tenant.clone(),
+        tenant_weight: item.tenant_weight,
+        arrived_at: item.arrived_at,
+        expected_exec_ms: item.expected_exec_ms,
+        iat_ms: item.iat_ms,
+        expect_warm: item.expect_warm,
+        dequeued,
+    }
+}
+
+/// Append a compacted snapshot of all recoverable state. The state reads
+/// run under the WAL writer lock (see [`Wal::snapshot_with`]) so no
+/// mutation record can interleave between reading the live counters and
+/// writing the snapshot.
+fn wal_snapshot_now(s: &Shared) {
+    let Some(wal) = &s.wal else { return };
+    wal.snapshot_with(|| WalSnapshot {
+        pending: Vec::new(), // filled from the WAL's own book
+        counters: CounterBaselines {
+            completed: s.completed.load(Ordering::Relaxed),
+            dropped: s.dropped.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            cold_starts: s.cold_starts.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            agent_timeouts: s.agent_timeouts.load(Ordering::Relaxed),
+            quarantined: s.quarantined.load(Ordering::Relaxed),
+            quarantine_released: s.quarantine_released.load(Ordering::Relaxed),
+            dropped_retry_exhausted: s.dropped_retry_exhausted.load(Ordering::Relaxed),
+        },
+        tenants: if s.admission.enabled() { s.admission.snapshot() } else { Vec::new() },
+        bucket_levels: s
+            .admission
+            .bucket_levels()
+            .into_iter()
+            .map(|(tenant, tokens)| BucketLevel { tenant, tokens })
+            .collect(),
+        drr_deficits: s
+            .queue
+            .drr_deficits()
+            .into_iter()
+            .map(|(tenant, deficit)| DrrDeficit { tenant, deficit })
+            .collect(),
+        quarantine: s.quarantine.lock().iter().map(|(c, _)| c.fqdn.clone()).collect(),
+    });
+}
+
+/// Drain completion check: once draining and idle (nothing queued, running,
+/// retrying, or incomplete in the WAL book), write the final snapshot and
+/// move to Stopped. Called from the completion path and the periodic
+/// metrics task, so a drain with an empty queue still terminates.
+fn maybe_finalize(s: &Shared) {
+    if s.lifecycle.load(Ordering::SeqCst) != LIFECYCLE_DRAINING {
+        return;
+    }
+    if !s.queue.is_empty()
+        || s.running.load(Ordering::Relaxed) > 0
+        || s.retrying.load(Ordering::Relaxed) > 0
+    {
+        return;
+    }
+    if let Some(w) = &s.wal {
+        if w.pending_len() > 0 {
+            return;
+        }
+    }
+    if s
+        .lifecycle
+        .compare_exchange(
+            LIFECYCLE_DRAINING,
+            LIFECYCLE_STOPPED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    {
+        wal_snapshot_now(s);
+    }
+}
+
+/// Release quarantined containers whose TTL expired back to the pool. The
+/// next invocation probes the container; a still-bad one fails again and is
+/// re-quarantined.
+fn release_expired_quarantine(s: &Shared) {
+    let now = s.clock.now_ms();
+    let expired: Vec<SharedContainer> = {
+        let mut parked = s.quarantine.lock();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < parked.len() {
+            if parked[i].1 <= now {
+                out.push(parked.remove(i).0);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    };
+    for c in expired {
+        let init = s.registry.get(&c.fqdn).map(|r| init_cost(s, &r)).unwrap_or(0.0);
+        s.pool.release(c, init);
+        s.quarantine_released.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// One invocation, hardened: transient backend failures (cold-start
@@ -800,12 +1213,22 @@ fn finish_invoke(
     let output = match invoked {
         Ok(o) => o,
         Err(e) => {
-            // A failed container is not returned to the pool: quarantine it
-            // (memory freed, container routed to the destroyer).
+            // A failed container is not returned to the pool: quarantine it.
             s.quarantined.fetch_add(1, Ordering::Relaxed);
             s.journal
                 .record(item.trace_id, TraceEventKind::ContainerQuarantined);
-            s.pool.discard(container);
+            let ttl = s.cfg.resilience.quarantine_ttl_ms;
+            if ttl == 0 {
+                // No TTL configured: destroy immediately (memory freed,
+                // container routed to the destroyer).
+                s.pool.discard(container);
+            } else {
+                // Park it; the sweep releases it back to the pool after the
+                // TTL so a transient agent hiccup doesn't permanently
+                // shrink the pool.
+                let until = s.clock.now_ms() + ttl;
+                s.quarantine.lock().push((container, until));
+            }
             return Err(InvokeError::Backend(e.to_string()));
         }
     };

@@ -63,6 +63,12 @@ pub struct LbWorkerStatus {
     pub dispatched: u64,
     #[serde(default)]
     pub healthy: bool,
+    /// Circuit breaker state: `closed`, `open`, or `half_open`.
+    #[serde(default)]
+    pub breaker: String,
+    /// Whether the worker reported itself draining at the last scrape.
+    #[serde(default)]
+    pub draining: bool,
 }
 
 fn status_of(snap: &ClusterSnapshot) -> LbStatus {
@@ -77,6 +83,8 @@ fn status_of(snap: &ClusterSnapshot) -> LbStatus {
                 load: if load.is_finite() { *load } else { -1.0 },
                 dispatched,
                 healthy: snap.healthy.get(i).copied().unwrap_or(true),
+                breaker: snap.breaker.get(i).cloned().unwrap_or_else(|| "closed".into()),
+                draining: snap.draining.get(i).copied().unwrap_or(false),
             })
             .collect(),
         forwarded: snap.forwarded,
@@ -103,6 +111,23 @@ fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
             "1 while the worker passes health checks, 0 after eviction",
             &[("worker", name)],
             if snap.healthy.get(i).copied().unwrap_or(true) { 1.0 } else { 0.0 },
+        );
+        w.gauge(
+            "iluvatar_lb_worker_draining",
+            "1 while the worker reports a draining/stopped lifecycle",
+            &[("worker", name)],
+            if snap.draining.get(i).copied().unwrap_or(false) { 1.0 } else { 0.0 },
+        );
+        let breaker = snap.breaker.get(i).map(String::as_str).unwrap_or("closed");
+        w.gauge(
+            "iluvatar_lb_worker_breaker_open",
+            "0 closed, 1 half-open, 2 open",
+            &[("worker", name)],
+            match breaker {
+                "half_open" => 1.0,
+                "open" => 2.0,
+                _ => 0.0,
+            },
         );
         w.counter(
             "iluvatar_lb_dispatched_total",

@@ -10,12 +10,27 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// One health probe of a worker: its load plus whether it is draining.
+/// Draining workers are routed around but not treated as failed — they are
+/// finishing in-flight work and will either stop or return to service.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeResult {
+    pub load: f64,
+    pub draining: bool,
+}
 
 /// Anything the balancer can dispatch to: a live worker or a test stub.
 pub trait WorkerHandle: Send + Sync + 'static {
     fn name(&self) -> String;
     /// The queue-aware normalized load the worker reports (§4).
     fn load(&self) -> f64;
+    /// Health probe: load plus lifecycle. The default derives it from
+    /// [`load`](Self::load) and never reports draining.
+    fn probe(&self) -> ProbeResult {
+        ProbeResult { load: self.load(), draining: false }
+    }
     fn register(&self, spec: FunctionSpec) -> Result<(), String>;
     fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError>;
     /// Tenant-labelled invoke; handles without admission support drop the
@@ -67,6 +82,16 @@ impl WorkerHandle for RemoteWorker {
         self.client.status().map(|s| s.normalized_load).unwrap_or(f64::INFINITY)
     }
 
+    fn probe(&self) -> ProbeResult {
+        match self.client.status() {
+            Ok(s) => ProbeResult {
+                load: s.normalized_load,
+                draining: matches!(s.lifecycle.as_str(), "draining" | "stopped"),
+            },
+            Err(_) => ProbeResult { load: f64::INFINITY, draining: false },
+        }
+    }
+
     fn register(&self, spec: FunctionSpec) -> Result<(), String> {
         self.client.register(&spec).map_err(|e| e.to_string())
     }
@@ -94,6 +119,11 @@ impl WorkerHandle for RemoteWorker {
             }),
             Err(iluvatar_core::api::ApiError::Status(404, _)) => {
                 Err(InvokeError::NotRegistered(fqdn.to_string()))
+            }
+            Err(iluvatar_core::api::ApiError::Status(503, _)) => {
+                // The worker is draining (or stopped): re-routable, but not
+                // a failure — the balancer must not trip its breaker.
+                Err(InvokeError::ShuttingDown)
             }
             Err(iluvatar_core::api::ApiError::Status(429, body)) => {
                 // Distinguish admission rejections from queue backpressure
@@ -147,6 +177,11 @@ impl WorkerHandle for Worker {
         Worker::invoke_tenant(self, fqdn, args, tenant)
     }
 
+    fn probe(&self) -> ProbeResult {
+        let s = self.status();
+        ProbeResult { load: s.normalized_load, draining: s.lifecycle != "running" }
+    }
+
     fn span_export(&self) -> Vec<SpanExport> {
         self.spans().export()
     }
@@ -169,17 +204,72 @@ enum PolicyState {
     LeastLoaded,
 }
 
+/// Per-worker circuit breaker configuration. The defaults (trip on the
+/// first failure, probe immediately) reproduce the pre-breaker behaviour:
+/// one failed call evicts, one healthy status poll readmits.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker Closed→Open.
+    pub failure_threshold: u32,
+    /// Minimum time an open breaker waits before a half-open probe.
+    pub open_cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 1, open_cooldown_ms: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: dispatches flow; failures accumulate toward the threshold.
+    Closed,
+    /// Tripped: the worker looks infinitely loaded, no dispatches.
+    Open,
+    /// Cooldown elapsed: the next status poll decides (success → Closed,
+    /// failure → Open again).
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+struct Breaker {
+    state: BreakerState,
+    failures: u32,
+    opened_at: Option<Instant>,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Self { state: BreakerState::Closed, failures: 0, opened_at: None }
+    }
+}
+
 /// Per-worker dispatch counters.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
     pub dispatched: Vec<u64>,
     pub forwarded: u64,
-    /// Health-check evictions: transitions of a worker to unhealthy.
+    /// Health-check evictions: breaker trips (Closed→Open edges).
     pub evictions: u64,
     /// Invocations re-dispatched to another worker after a worker failed.
     pub rerouted: u64,
-    /// Current per-worker health, cluster order.
+    /// Current per-worker health (breaker Closed), cluster order.
     pub healthy: Vec<bool>,
+    /// Per-worker breaker state labels, cluster order.
+    pub breaker: Vec<String>,
+    /// Per-worker draining flags, cluster order. A draining worker is
+    /// routed around but stays healthy — it is not a failure.
+    pub draining: Vec<bool>,
 }
 
 /// Cluster-wide rollup for one tenant: admission counters merged across
@@ -211,6 +301,10 @@ pub struct ClusterSnapshot {
     pub rerouted: u64,
     /// Current per-worker health, cluster order.
     pub healthy: Vec<bool>,
+    /// Per-worker breaker state labels, cluster order.
+    pub breaker: Vec<String>,
+    /// Per-worker draining flags, cluster order.
+    pub draining: Vec<bool>,
     /// Per-tenant rollup, sorted by tenant id. Evicted workers contribute
     /// their last-known counters, so tenant accounting survives eviction.
     pub tenants: Vec<TenantClusterStats>,
@@ -225,10 +319,17 @@ pub struct Cluster {
     /// Cached loads, refreshed on each dispatch (stateless balancer —
     /// loads come from worker status, not balancer bookkeeping).
     loads: Mutex<Vec<f64>>,
-    /// Per-worker health. A worker is evicted (marked unhealthy) when its
-    /// status poll fails (non-finite load) or an invocation dies on it; a
-    /// later successful status poll readmits it.
+    /// Per-worker health view, derived from the breakers: `true` iff the
+    /// breaker is Closed. Kept as atomics so the hot pick path reads it
+    /// without taking the breaker locks.
     healthy: Vec<AtomicBool>,
+    /// Per-worker circuit breakers. A worker is evicted (breaker opens)
+    /// when its status poll fails or enough invocations die on it; after
+    /// the cooldown a successful status poll re-closes the breaker.
+    breakers: Vec<Mutex<Breaker>>,
+    breaker_cfg: BreakerConfig,
+    /// Per-worker draining flags, refreshed by probes and 503 responses.
+    draining: Vec<AtomicBool>,
     evictions: AtomicU64,
     rerouted: AtomicU64,
     /// Balancer-side per-tenant (dispatched, rerouted) counters. These live
@@ -241,6 +342,14 @@ pub struct Cluster {
 
 impl Cluster {
     pub fn new(workers: Vec<Arc<dyn WorkerHandle>>, policy: LbPolicy) -> Self {
+        Self::with_breaker(workers, policy, BreakerConfig::default())
+    }
+
+    pub fn with_breaker(
+        workers: Vec<Arc<dyn WorkerHandle>>,
+        policy: LbPolicy,
+        breaker_cfg: BreakerConfig,
+    ) -> Self {
         assert!(!workers.is_empty());
         let n = workers.len();
         let policy = match policy {
@@ -254,6 +363,12 @@ impl Cluster {
             forwarded: AtomicU64::new(0),
             loads: Mutex::new(vec![0.0; n]),
             healthy: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            breakers: (0..n).map(|_| Mutex::new(Breaker::new())).collect(),
+            breaker_cfg: BreakerConfig {
+                failure_threshold: breaker_cfg.failure_threshold.max(1),
+                ..breaker_cfg
+            },
+            draining: (0..n).map(|_| AtomicBool::new(false)).collect(),
             evictions: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
             tenant_lb: Mutex::new(HashMap::new()),
@@ -278,27 +393,78 @@ impl Cluster {
         Ok(())
     }
 
-    /// Mark a worker unhealthy; counts only the healthy→unhealthy edge.
-    fn evict(&self, idx: usize) {
-        if self.healthy[idx].swap(false, Ordering::Relaxed) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+    /// A failure observed on worker `idx` (failed poll or dead invocation).
+    /// Closed breakers accumulate toward the threshold and trip Open on the
+    /// edge (counted as an eviction); a failed HalfOpen probe re-opens
+    /// without counting again.
+    fn record_failure(&self, idx: usize) {
+        let mut b = self.breakers[idx].lock();
+        match b.state {
+            BreakerState::Closed => {
+                b.failures += 1;
+                if b.failures >= self.breaker_cfg.failure_threshold {
+                    b.state = BreakerState::Open;
+                    b.opened_at = Some(Instant::now());
+                    self.healthy[idx].store(false, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BreakerState::HalfOpen => {
+                b.state = BreakerState::Open;
+                b.opened_at = Some(Instant::now());
+            }
+            BreakerState::Open => {}
         }
     }
 
-    fn refresh_loads(&self) -> Vec<f64> {
-        let mut loads: Vec<f64> = self.workers.iter().map(|w| w.load()).collect();
-        for (i, l) in loads.iter_mut().enumerate() {
-            if !l.is_finite() {
-                // The status poll failed: health-check eviction.
-                self.evict(i);
-            } else if !self.healthy[i].load(Ordering::Relaxed) {
-                // A finite load means the worker answered again: readmit.
-                self.healthy[i].store(true, Ordering::Relaxed);
+    /// A successful probe: a HalfOpen breaker closes (readmission), a
+    /// Closed one forgets accumulated failures.
+    fn record_success(&self, idx: usize) {
+        let mut b = self.breakers[idx].lock();
+        if b.state != BreakerState::Closed {
+            b.state = BreakerState::Closed;
+            self.healthy[idx].store(true, Ordering::Relaxed);
+        }
+        b.failures = 0;
+        b.opened_at = None;
+    }
+
+    /// Advance an Open breaker to HalfOpen once its cooldown elapsed, and
+    /// report whether worker `idx` should be probed this round.
+    fn advance_breaker(&self, idx: usize) -> BreakerState {
+        let mut b = self.breakers[idx].lock();
+        if b.state == BreakerState::Open {
+            let cooled = b
+                .opened_at
+                .map(|t| t.elapsed().as_millis() as u64 >= self.breaker_cfg.open_cooldown_ms)
+                .unwrap_or(true);
+            if cooled {
+                b.state = BreakerState::HalfOpen;
             }
-            if !self.healthy[i].load(Ordering::Relaxed) {
-                // Evicted workers look infinitely loaded so every
-                // load-aware policy routes around them.
-                *l = f64::INFINITY;
+        }
+        b.state
+    }
+
+    fn refresh_loads(&self) -> Vec<f64> {
+        let mut loads = vec![f64::INFINITY; self.workers.len()];
+        for (i, l) in loads.iter_mut().enumerate() {
+            // Still cooling down: don't probe, keep routing around it.
+            if self.advance_breaker(i) == BreakerState::Open {
+                continue;
+            }
+            let p = self.workers[i].probe();
+            if !p.load.is_finite() {
+                // The status poll failed: a breaker failure.
+                self.record_failure(i);
+            } else {
+                // The worker answered. Draining is not a failure — it
+                // closes the breaker but looks infinitely loaded so every
+                // load-aware policy routes around it.
+                self.record_success(i);
+                self.draining[i].store(p.draining, Ordering::Relaxed);
+                if !p.draining {
+                    *l = p.load;
+                }
             }
         }
         *self.loads.lock() = loads.clone();
@@ -366,7 +532,15 @@ impl Cluster {
         }
         match self.workers[w].invoke_tenant(fqdn, args, tenant) {
             Err(InvokeError::Backend(e)) => {
+                // The worker died mid-call: a breaker failure.
+                self.record_failure(w);
                 self.reroute(fqdn, args, tenant, w, InvokeError::Backend(e))
+            }
+            Err(InvokeError::ShuttingDown) => {
+                // The worker is draining: route around it without tripping
+                // the breaker — it is finishing work, not failing.
+                self.draining[w].store(true, Ordering::Relaxed);
+                self.reroute(fqdn, args, tenant, w, InvokeError::ShuttingDown)
             }
             other => other,
         }
@@ -380,14 +554,17 @@ impl Cluster {
         failed: usize,
         first_err: InvokeError,
     ) -> Result<InvocationResult, InvokeError> {
-        self.evict(failed);
         let mut err = first_err;
         let mut tried = vec![false; self.workers.len()];
         tried[failed] = true;
         loop {
             let loads = self.loads.lock().clone();
             let next = (0..self.workers.len())
-                .filter(|&i| !tried[i] && self.healthy[i].load(Ordering::Relaxed))
+                .filter(|&i| {
+                    !tried[i]
+                        && self.healthy[i].load(Ordering::Relaxed)
+                        && !self.draining[i].load(Ordering::Relaxed)
+                })
                 .min_by(|&a, &b| {
                     loads[a].partial_cmp(&loads[b]).unwrap_or(std::cmp::Ordering::Equal)
                 });
@@ -403,8 +580,12 @@ impl Cluster {
             }
             match self.workers[i].invoke_tenant(fqdn, args, tenant) {
                 Err(InvokeError::Backend(e)) => {
-                    self.evict(i);
+                    self.record_failure(i);
                     err = InvokeError::Backend(e);
+                }
+                Err(InvokeError::ShuttingDown) => {
+                    self.draining[i].store(true, Ordering::Relaxed);
+                    err = InvokeError::ShuttingDown;
                 }
                 other => return other,
             }
@@ -416,10 +597,7 @@ impl Cluster {
     pub fn tenant_rollup(&self) -> Vec<TenantClusterStats> {
         let mut cache = self.tenant_cache.lock();
         for (i, w) in self.workers.iter().enumerate() {
-            let ts = w.tenant_stats();
-            if !ts.is_empty() {
-                cache[i] = ts;
-            }
+            merge_tenant_cache(&mut cache[i], w.tenant_stats());
         }
         let mut merged: HashMap<String, TenantClusterStats> = HashMap::new();
         for snap in cache.iter().flatten() {
@@ -452,6 +630,8 @@ impl Cluster {
             evictions: self.evictions.load(Ordering::Relaxed),
             rerouted: self.rerouted.load(Ordering::Relaxed),
             healthy: self.healthy.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
+            breaker: self.breakers.iter().map(|b| b.lock().state.label().to_string()).collect(),
+            draining: self.draining.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
         }
     }
 
@@ -480,7 +660,34 @@ impl Cluster {
             evictions: st.evictions,
             rerouted: st.rerouted,
             healthy: st.healthy,
+            breaker: st.breaker,
+            draining: st.draining,
             tenants: self.tenant_rollup(),
+        }
+    }
+}
+
+/// Fold a fresh tenant scrape into a worker's last-known cache, field-wise
+/// monotonically. Counters on a worker only grow, so under normal operation
+/// the fresh value wins; after a crash+recovery a restarted worker replays
+/// its WAL and reports counters at-or-below the last scrape — taking the
+/// max keeps the rollup from double-counting or regressing. An empty
+/// scrape (unreachable worker) leaves the cache untouched.
+fn merge_tenant_cache(cache: &mut Vec<TenantSnapshot>, fresh: Vec<TenantSnapshot>) {
+    if fresh.is_empty() {
+        return;
+    }
+    for f in fresh {
+        match cache.iter_mut().find(|c| c.tenant == f.tenant) {
+            Some(c) => {
+                c.weight = f.weight;
+                c.class = f.class;
+                c.admitted = c.admitted.max(f.admitted);
+                c.throttled = c.throttled.max(f.throttled);
+                c.shed = c.shed.max(f.shed);
+                c.served = c.served.max(f.served);
+            }
+            None => cache.push(f),
         }
     }
 }
@@ -647,6 +854,204 @@ mod tests {
         let homes: Vec<u64> = stubs.iter().map(|s| s.calls.load(Ordering::SeqCst)).collect();
         assert_eq!(homes.iter().sum::<u64>(), 6);
         assert_eq!(homes.iter().filter(|&&c| c > 0).count(), 1, "sticky per tenant: {homes:?}");
+    }
+
+    /// A stub whose invocations can be failed and whose probe reports a
+    /// settable draining flag.
+    struct FlakyWorker {
+        name: String,
+        fail: AtomicBool,
+        draining: AtomicBool,
+        calls: AtomicU64,
+    }
+
+    impl FlakyWorker {
+        fn new(name: &str) -> Arc<Self> {
+            Arc::new(Self {
+                name: name.into(),
+                fail: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                calls: AtomicU64::new(0),
+            })
+        }
+    }
+
+    impl WorkerHandle for FlakyWorker {
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+
+        fn load(&self) -> f64 {
+            if self.fail.load(Ordering::SeqCst) {
+                f64::INFINITY
+            } else {
+                0.1
+            }
+        }
+
+        fn probe(&self) -> ProbeResult {
+            ProbeResult { load: self.load(), draining: self.draining.load(Ordering::SeqCst) }
+        }
+
+        fn register(&self, _spec: FunctionSpec) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn invoke(&self, _fqdn: &str, _args: &str) -> Result<InvocationResult, InvokeError> {
+            if self.draining.load(Ordering::SeqCst) {
+                return Err(InvokeError::ShuttingDown);
+            }
+            if self.fail.load(Ordering::SeqCst) {
+                return Err(InvokeError::Backend("dead".into()));
+            }
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Ok(InvocationResult {
+                body: String::new(),
+                exec_ms: 1,
+                e2e_ms: 1,
+                cold: false,
+                queue_ms: 0,
+                arrived_at: 0,
+                trace_id: 0,
+                tenant: None,
+            })
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_readmits_via_half_open() {
+        let flaky = FlakyWorker::new("w0");
+        let ok = FlakyWorker::new("w1");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![
+            Arc::clone(&flaky) as Arc<dyn WorkerHandle>,
+            Arc::clone(&ok) as Arc<dyn WorkerHandle>,
+        ];
+        let cluster = Cluster::with_breaker(
+            handles,
+            LbPolicy::RoundRobin,
+            BreakerConfig { failure_threshold: 2, open_cooldown_ms: 30 },
+        );
+        // One failure: under the threshold, the breaker stays closed.
+        flaky.fail.store(true, Ordering::SeqCst);
+        cluster.invoke("f-1", "{}").unwrap();
+        let st = cluster.stats();
+        assert_eq!(st.evictions, 0, "first failure stays under threshold");
+        assert_eq!(st.breaker[0], "closed");
+        assert!(st.healthy[0]);
+        // Second failure trips it: Closed→Open, one eviction edge.
+        cluster.invoke("f-1", "{}").unwrap();
+        cluster.invoke("f-1", "{}").unwrap();
+        let st = cluster.stats();
+        assert_eq!(st.evictions, 1, "threshold reached: one trip");
+        assert_eq!(st.breaker[0], "open");
+        assert!(!st.healthy[0]);
+        // The worker recovers, but the cooldown hasn't elapsed: the scrape
+        // must not probe it back in yet.
+        flaky.fail.store(false, Ordering::SeqCst);
+        cluster.refresh_loads();
+        assert_eq!(cluster.stats().breaker[0], "open", "still cooling down");
+        // After the cooldown the next scrape goes HalfOpen and the
+        // successful probe re-closes the breaker.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        cluster.refresh_loads();
+        let st = cluster.stats();
+        assert_eq!(st.breaker[0], "closed", "probe readmitted the worker");
+        assert!(st.healthy[0]);
+        assert_eq!(st.evictions, 1, "readmission costs no eviction edge");
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_without_recounting() {
+        let flaky = FlakyWorker::new("w0");
+        let ok = FlakyWorker::new("w1");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![
+            Arc::clone(&flaky) as Arc<dyn WorkerHandle>,
+            Arc::clone(&ok) as Arc<dyn WorkerHandle>,
+        ];
+        let cluster = Cluster::with_breaker(
+            handles,
+            LbPolicy::RoundRobin,
+            BreakerConfig::default(), // trip on first failure, probe at once
+        );
+        flaky.fail.store(true, Ordering::SeqCst);
+        cluster.invoke("f-1", "{}").unwrap();
+        assert_eq!(cluster.stats().evictions, 1);
+        // Repeated failing probes bounce HalfOpen→Open without new edges.
+        for _ in 0..3 {
+            cluster.refresh_loads();
+        }
+        let st = cluster.stats();
+        assert_eq!(st.evictions, 1, "re-opening is not a new eviction");
+        assert!(!st.healthy[0]);
+    }
+
+    #[test]
+    fn draining_worker_is_routed_around_without_eviction() {
+        let draining = FlakyWorker::new("w0");
+        let ok = FlakyWorker::new("w1");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![
+            Arc::clone(&draining) as Arc<dyn WorkerHandle>,
+            Arc::clone(&ok) as Arc<dyn WorkerHandle>,
+        ];
+        let cluster = Cluster::new(handles, LbPolicy::RoundRobin);
+        draining.draining.store(true, Ordering::SeqCst);
+        // Every invocation lands on the healthy worker: round-robin picks
+        // w0 half the time, gets 503, and reroutes without tripping.
+        for _ in 0..6 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        assert_eq!(ok.calls.load(Ordering::SeqCst), 6, "all served by w1");
+        let st = cluster.stats();
+        assert_eq!(st.evictions, 0, "draining is not a failure");
+        assert!(st.healthy[0], "draining worker stays healthy");
+        assert!(st.draining[0], "but is flagged draining");
+        // A scrape after the drain ends clears the flag.
+        draining.draining.store(false, Ordering::SeqCst);
+        cluster.refresh_loads();
+        let st = cluster.stats();
+        assert!(!st.draining[0]);
+        cluster.invoke("f-1", "{}").unwrap();
+    }
+
+    #[test]
+    fn tenant_cache_reconciles_restarted_worker_counters() {
+        let mut cache = vec![TenantSnapshot {
+            tenant: "acme".into(),
+            weight: 1.0,
+            admitted: 10,
+            served: 9,
+            ..Default::default()
+        }];
+        // A restarted worker replays its WAL and reports counters at or
+        // below the last scrape: the cache must not regress…
+        merge_tenant_cache(
+            &mut cache,
+            vec![TenantSnapshot {
+                tenant: "acme".into(),
+                weight: 1.0,
+                admitted: 7,
+                served: 7,
+                ..Default::default()
+            }],
+        );
+        assert_eq!(cache[0].admitted, 10);
+        assert_eq!(cache[0].served, 9);
+        // …and must follow once the worker catches back up.
+        merge_tenant_cache(
+            &mut cache,
+            vec![TenantSnapshot {
+                tenant: "acme".into(),
+                weight: 1.0,
+                admitted: 12,
+                served: 11,
+                ..Default::default()
+            }],
+        );
+        assert_eq!(cache[0].admitted, 12);
+        assert_eq!(cache[0].served, 11);
+        // An empty scrape (unreachable worker) leaves everything in place.
+        merge_tenant_cache(&mut cache, Vec::new());
+        assert_eq!(cache[0].admitted, 12);
     }
 
     #[test]

@@ -20,4 +20,6 @@ pub mod cluster;
 
 pub use api::{LbApi, LbStatus};
 pub use chbl::{ChBl, ChBlConfig};
-pub use cluster::{Cluster, ClusterSnapshot, LbPolicy, WorkerHandle};
+pub use cluster::{
+    BreakerConfig, Cluster, ClusterSnapshot, LbPolicy, ProbeResult, WorkerHandle,
+};

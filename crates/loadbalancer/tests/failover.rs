@@ -254,6 +254,59 @@ fn killing_a_worker_api_mid_run_loses_no_invocations() {
     lb.shutdown();
 }
 
+/// Graceful drain under the balancer: a draining worker is routed around
+/// via its circuit state — without being marked failed — while its
+/// in-flight work completes, and a fresh worker on the same address would
+/// be re-admitted by the same probe that cleared the drain.
+#[test]
+fn lb_routes_around_draining_worker_without_eviction() {
+    let (_w0, api0) = served_worker("w0");
+    let (_w1, api1) = served_worker("w1");
+    let apis = [&api0, &api1];
+    let handles: Vec<Arc<dyn WorkerHandle>> = vec![
+        Arc::new(RemoteWorker::connect(api0.addr())),
+        Arc::new(RemoteWorker::connect(api1.addr())),
+    ];
+    let cluster = Cluster::new(handles, LbPolicy::ChBl(ChBlConfig::default()));
+    cluster.register_all(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+
+    for _ in 0..5 {
+        cluster.invoke("f-1", "{}").unwrap();
+    }
+    let home = if cluster.stats().dispatched[0] > 0 { 0 } else { 1 };
+
+    // Drain the home worker over its API, then keep invoking through the
+    // balancer: nothing is lost, nothing is evicted.
+    let client = iluvatar_core::api::WorkerApiClient::new(apis[home].addr());
+    client.drain().unwrap();
+    for i in 0..10 {
+        cluster
+            .invoke("f-1", "{}")
+            .unwrap_or_else(|e| panic!("invocation {i} lost to the drain: {e}"));
+    }
+    let st = cluster.stats();
+    assert_eq!(st.evictions, 0, "draining must not trip the breaker");
+    assert!(st.healthy[home], "draining worker stays healthy");
+    assert!(st.healthy[1 - home]);
+    assert_eq!(st.breaker[home], "closed");
+    assert!(st.draining[home], "the drain is visible to the balancer");
+    assert!(!st.draining[1 - home]);
+    // The survivor absorbed every post-drain invocation.
+    let survivor_status =
+        iluvatar_core::api::WorkerApiClient::new(apis[1 - home].addr()).status().unwrap();
+    assert!(survivor_status.completed >= 10, "survivor served the drained worker's share");
+    // The drained worker finishes what it had and reports stopped.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let s = client.status().unwrap();
+        if s.lifecycle == "stopped" && s.drain_pending == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "drain never completed: {}", s.lifecycle);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 /// A [`KillableWorker`] that also tracks per-tenant served counts, so the
 /// rollup's eviction behaviour can be pinned deterministically: a dead
 /// worker reports no tenant stats (like a failed scrape), and the balancer

@@ -75,6 +75,15 @@ impl TokenBucket {
         self.refill(&mut st);
         st.tokens
     }
+
+    /// Overwrite the level with a snapshot value (clamped to `[0, burst]`).
+    /// Refill resumes from the current clock reading, so a restored bucket
+    /// behaves as if it had held `tokens` at the instant of restore.
+    pub fn restore(&self, tokens: f64) {
+        let mut st = self.state.lock();
+        st.tokens = tokens.clamp(0.0, self.burst);
+        st.last_refill = self.clock.now_ms();
+    }
 }
 
 #[cfg(test)]

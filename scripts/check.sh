@@ -38,4 +38,19 @@ if [[ "$digest_a" != "$digest_b" ]]; then
 fi
 echo "admission digest stable: $digest_a"
 
+echo "=== lifecycle determinism (fixed seed, kill mid-trace, two runs) ==="
+# Crash recovery must converge: kill the worker at the same submission in
+# two runs and the post-recovery digest (accepted ids, tenant books,
+# completion totals) must match. The binary itself asserts zero loss of
+# accepted invocations; a digest mismatch here means crash timing leaked
+# into recovered state.
+LIFECYCLE_SEED=42
+digest_a=$(./target/release/lifecycle_session --seed "$LIFECYCLE_SEED" --kill-at 12)
+digest_b=$(./target/release/lifecycle_session --seed "$LIFECYCLE_SEED" --kill-at 12)
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "lifecycle digests diverged for seed $LIFECYCLE_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "lifecycle digest stable: $digest_a"
+
 echo "all checks passed"
