@@ -124,7 +124,11 @@ pub struct AdmissionConfig {
 
 impl AdmissionConfig {
     pub fn enabled_with(tenants: Vec<TenantSpec>) -> Self {
-        Self { enabled: true, shed_queue_delay_ms: 0, tenants }
+        Self {
+            enabled: true,
+            shed_queue_delay_ms: 0,
+            tenants,
+        }
     }
 }
 
@@ -170,7 +174,11 @@ struct TenantState {
 impl TenantState {
     fn new(spec: TenantSpec, clock: Arc<dyn Clock>) -> Self {
         let bucket = if spec.rate_per_sec > 0.0 {
-            let burst = if spec.burst > 0.0 { spec.burst } else { spec.rate_per_sec.max(1.0) };
+            let burst = if spec.burst > 0.0 {
+                spec.burst
+            } else {
+                spec.rate_per_sec.max(1.0)
+            };
             Some(TokenBucket::new(spec.rate_per_sec, burst, clock))
         } else {
             None
@@ -207,7 +215,10 @@ pub struct TenantRegistry {
 
 impl TenantRegistry {
     pub fn new(clock: Arc<dyn Clock>) -> Self {
-        Self { clock, tenants: RwLock::new(HashMap::new()) }
+        Self {
+            clock,
+            tenants: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Insert or replace a tenant spec (counters reset on replace).
@@ -221,11 +232,12 @@ impl TenantRegistry {
             return Arc::clone(t);
         }
         let mut w = self.tenants.write();
-        Arc::clone(
-            w.entry(id.to_string()).or_insert_with(|| {
-                Arc::new(TenantState::new(TenantSpec::default_for(id), Arc::clone(&self.clock)))
-            }),
-        )
+        Arc::clone(w.entry(id.to_string()).or_insert_with(|| {
+            Arc::new(TenantState::new(
+                TenantSpec::default_for(id),
+                Arc::clone(&self.clock),
+            ))
+        }))
     }
 
     /// Effective DRR weight of a tenant (1.0 for unknown tenants).
@@ -238,7 +250,11 @@ impl TenantRegistry {
     }
 
     pub fn class_of(&self, id: &str) -> PriorityClass {
-        self.tenants.read().get(id).map(|t| t.spec.class).unwrap_or_default()
+        self.tenants
+            .read()
+            .get(id)
+            .map(|t| t.spec.class)
+            .unwrap_or_default()
     }
 
     pub fn len(&self) -> usize {
@@ -291,7 +307,11 @@ impl AdmissionController {
         for spec in &cfg.tenants {
             registry.upsert(spec.clone());
         }
-        Self { cfg, registry, dropped: AtomicU64::new(0) }
+        Self {
+            cfg,
+            registry,
+            dropped: AtomicU64::new(0),
+        }
     }
 
     pub fn enabled(&self) -> bool {
@@ -330,7 +350,10 @@ impl AdmissionController {
 
     /// Record a successful completion for `tenant`.
     pub fn on_served(&self, tenant: &str) {
-        self.registry.resolve(tenant).served.fetch_add(1, Ordering::Relaxed);
+        self.registry
+            .resolve(tenant)
+            .served
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn weight_of(&self, tenant: &str) -> f64 {
@@ -363,7 +386,8 @@ impl AdmissionController {
             state.throttled.fetch_add(s.throttled, Ordering::Relaxed);
             state.shed.fetch_add(s.shed, Ordering::Relaxed);
             state.served.fetch_add(s.served, Ordering::Relaxed);
-            self.dropped.fetch_add(s.throttled + s.shed, Ordering::Relaxed);
+            self.dropped
+                .fetch_add(s.throttled + s.shed, Ordering::Relaxed);
         }
     }
 
@@ -403,9 +427,7 @@ mod tests {
     #[test]
     fn rate_limit_throttles_then_refills_on_virtual_time() {
         let clock = manual();
-        let cfg = AdmissionConfig::enabled_with(vec![
-            TenantSpec::new("free").with_rate(10.0, 2.0),
-        ]);
+        let cfg = AdmissionConfig::enabled_with(vec![TenantSpec::new("free").with_rate(10.0, 2.0)]);
         let ctl = AdmissionController::new(cfg, clock.clone());
         // Burst of 2 admitted, third throttled.
         assert_eq!(ctl.admit("free", 0), AdmissionDecision::Admit);
@@ -449,7 +471,10 @@ mod tests {
     #[test]
     fn unknown_tenants_get_lazy_defaults() {
         let ctl = AdmissionController::new(
-            AdmissionConfig { enabled: true, ..Default::default() },
+            AdmissionConfig {
+                enabled: true,
+                ..Default::default()
+            },
             manual(),
         );
         assert_eq!(ctl.admit("surprise", 0), AdmissionDecision::Admit);
@@ -464,7 +489,10 @@ mod tests {
     #[test]
     fn snapshot_is_sorted_and_serializable() {
         let ctl = AdmissionController::new(
-            AdmissionConfig { enabled: true, ..Default::default() },
+            AdmissionConfig {
+                enabled: true,
+                ..Default::default()
+            },
             manual(),
         );
         ctl.admit("zeta", 0);

@@ -1,0 +1,169 @@
+//! Property tests: controller stability.
+//!
+//! The three controllers are exercised as pure functions of observation
+//! streams. The properties are the anti-flap contract of the crate:
+//! monotone signals never shrink a fleet they just grew, a step load
+//! settles instead of oscillating, and cooldown spacing survives
+//! adversarial observation sequences.
+
+use iluvatar_autoscale::{
+    AutoscaleConfig, FleetObservation, ScaleDirection, ScalingDecision, ScalingPolicyKind,
+};
+use proptest::prelude::*;
+
+const MAX_WORKERS: usize = 8;
+
+fn cfg(kind: ScalingPolicyKind, up_ms: u64, down_ms: u64) -> AutoscaleConfig {
+    let mut c = AutoscaleConfig::enabled_with(kind);
+    c.min_workers = 1;
+    c.max_workers = MAX_WORKERS;
+    c.scale_up_cooldown_ms = up_ms;
+    c.scale_down_cooldown_ms = down_ms;
+    c.max_step = 2;
+    c
+}
+
+fn obs(now_ms: u64, live: usize, delay_ms: f64, queued: u64, arrivals: u64) -> FleetObservation {
+    FleetObservation {
+        now_ms,
+        live,
+        queued,
+        running: arrivals.min(live as u64 * 8),
+        mean_queue_delay_ms: delay_ms,
+        max_queue_delay_ms: delay_ms as u64,
+        concurrency_limit: 8,
+        arrivals,
+        per_fn_arrivals: vec![("f-1".into(), arrivals)],
+        ..Default::default()
+    }
+}
+
+/// Apply a decision to a harness-tracked fleet size, clamped to
+/// `[1, MAX_WORKERS]` the way `Fleet` clamps. Returns the direction when
+/// the size actually changed.
+fn apply(live: &mut usize, d: &ScalingDecision) -> Option<ScaleDirection> {
+    match d {
+        ScalingDecision::Hold => None,
+        ScalingDecision::ScaleUp { add, .. } => {
+            let next = (*live + add).min(MAX_WORKERS);
+            let grew = next > *live;
+            *live = next;
+            grew.then_some(ScaleDirection::Up)
+        }
+        ScalingDecision::ScaleDown { remove, .. } => {
+            let next = live.saturating_sub(*remove).max(1);
+            let shrank = next < *live;
+            *live = next;
+            shrank.then_some(ScaleDirection::Down)
+        }
+    }
+}
+
+proptest! {
+    /// Hysteresis controllers are monotone in their signal: while the
+    /// offered load never decreases, a fleet that has grown is never
+    /// shrunk — no ScaleDown may follow a ScaleUp.
+    #[test]
+    fn monotone_load_never_shrinks_after_growth(
+        kind_idx in 0usize..2,
+        increments in proptest::collection::vec(0u64..40, 4..60),
+    ) {
+        let kind =
+            [ScalingPolicyKind::ReactiveQueueDelay, ScalingPolicyKind::ConcurrencyTarget][kind_idx];
+        let mut policy = cfg(kind, 500, 2_000).build_policy();
+        let mut live = 1usize;
+        let mut signal = 0u64;
+        let mut grew = false;
+        for (tick, inc) in increments.into_iter().enumerate() {
+            signal += inc; // nondecreasing load
+            let o = obs(tick as u64 * 500, live, signal as f64, signal / 4, signal);
+            let d = policy.evaluate(&o);
+            match apply(&mut live, &d) {
+                Some(ScaleDirection::Up) => grew = true,
+                Some(ScaleDirection::Down) => {
+                    prop_assert!(!grew, "shrank a fleet the monotone load had grown");
+                    prop_assert!(false, "shrank under nondecreasing load from size 1");
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// A step load settles: the reactive controller ramps to a fixed
+    /// point and stops issuing decisions — bounded oscillation, quiet
+    /// tail, at most one reversal of direction over the whole run.
+    #[test]
+    fn step_load_settles_without_flapping(
+        quiet in 0u64..5,
+        burst in 20u64..200,
+        step_at in 5usize..15,
+    ) {
+        let interval = 500u64;
+        let mut policy = cfg(ScalingPolicyKind::ReactiveQueueDelay, 500, 2_000).build_policy();
+        let mut live = 1usize;
+        let mut events: Vec<(usize, ScaleDirection)> = Vec::new();
+        let ticks = 80usize;
+        for tick in 0..ticks {
+            let arrivals = if tick >= step_at { burst } else { quiet };
+            // Utilization-proportional delay: each worker retires 10
+            // invocations per interval.
+            let capacity = live as f64 * 10.0;
+            let delay = arrivals as f64 / capacity * interval as f64;
+            let queued = arrivals.saturating_sub(capacity as u64);
+            let o = obs(tick as u64 * interval, live, delay, queued, arrivals);
+            let d = policy.evaluate(&o);
+            if let Some(dir) = apply(&mut live, &d) {
+                events.push((tick, dir));
+            }
+        }
+        let reversals = events.windows(2).filter(|w| w[0].1 != w[1].1).count();
+        prop_assert!(reversals <= 1, "fleet flapped: {events:?}");
+        prop_assert!(
+            events.iter().all(|(t, _)| *t < ticks - 10),
+            "still scaling in the settled tail: {events:?}"
+        );
+    }
+
+    /// Cooldown spacing holds for every controller under adversarial
+    /// observation streams: consecutive scale-ups are at least the up
+    /// cooldown apart, and any scale-down is at least the down cooldown
+    /// after both the previous down *and* the previous up (anti-flap).
+    #[test]
+    fn cooldowns_respected_under_adversarial_sequences(
+        kind_idx in 0usize..3,
+        up_ms in 100u64..3_000,
+        down_ms in 100u64..3_000,
+        steps in proptest::collection::vec((1u64..1_500, 0.0f64..1_000.0, 0u64..2, 0u64..120), 4..80),
+    ) {
+        let kind = ScalingPolicyKind::all()[kind_idx];
+        let mut policy = cfg(kind, up_ms, down_ms).build_policy();
+        let mut live = 1usize;
+        let mut now = 0u64;
+        let mut last_up: Option<u64> = None;
+        let mut last_down: Option<u64> = None;
+        for (dt, delay, queued, arrivals) in steps {
+            now += dt;
+            let o = obs(now, live, delay, queued, arrivals);
+            let d = policy.evaluate(&o);
+            match d {
+                ScalingDecision::ScaleUp { .. } => {
+                    if let Some(t) = last_up {
+                        prop_assert!(now - t >= up_ms, "ups {t} and {now} violate {up_ms}ms cooldown");
+                    }
+                    last_up = Some(now);
+                }
+                ScalingDecision::ScaleDown { .. } => {
+                    if let Some(t) = last_down {
+                        prop_assert!(now - t >= down_ms, "downs {t} and {now} violate {down_ms}ms cooldown");
+                    }
+                    if let Some(t) = last_up {
+                        prop_assert!(now - t >= down_ms, "down at {now} follows up at {t} within {down_ms}ms");
+                    }
+                    last_down = Some(now);
+                }
+                ScalingDecision::Hold => {}
+            }
+            apply(&mut live, &d);
+        }
+    }
+}

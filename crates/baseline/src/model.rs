@@ -1,11 +1,11 @@
 //! The threaded OpenWhisk model.
 
 use crossbeam::channel::{bounded, Sender};
+use iluvatar_containers::types::{Container, SharedContainer};
+use iluvatar_containers::FunctionSpec;
 use iluvatar_core::config::KeepalivePolicyKind;
 use iluvatar_core::policies::make_policy;
 use iluvatar_core::pool::{ContainerPool, EvictSink};
-use iluvatar_containers::types::{Container, SharedContainer};
-use iluvatar_containers::FunctionSpec;
 use iluvatar_sync::{Clock, ShardedMap};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -49,6 +49,10 @@ pub struct OpenWhiskConfig {
     /// here yields FaasCache — "modified OpenWhisk" — which is exactly the
     /// paper's Figures 6–7 comparison.
     pub keepalive: KeepalivePolicyKind,
+    /// Free-memory buffer the background sweep maintains, MB: the sweeper
+    /// evicts idle containers until at least this much pool memory is
+    /// free, mirroring the worker pool's eager-eviction headroom.
+    pub free_buffer_mb: u64,
 }
 
 impl Default for OpenWhiskConfig {
@@ -68,6 +72,7 @@ impl Default for OpenWhiskConfig {
             time_scale: 1.0,
             seed: 0x0111,
             keepalive: KeepalivePolicyKind::Ttl,
+            free_buffer_mb: 0,
         }
     }
 }
@@ -162,7 +167,10 @@ impl OpenWhiskModel {
         let inner = Arc::new(Inner {
             registry: ShardedMap::new(),
             pool,
-            queue: SharedQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new() },
+            queue: SharedQueue {
+                q: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            },
             jvm: RwLock::new(()),
             rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
             running: AtomicUsize::new(0),
@@ -182,12 +190,10 @@ impl OpenWhiskModel {
             std::thread::Builder::new()
                 .name("ow-keepalive-sweep".into())
                 .spawn(move || {
-                    let period = Duration::from_millis(
-                        inner.scaled(500.0).max(10),
-                    );
+                    let period = Duration::from_millis(inner.scaled(500.0).max(10));
                     while !inner.stop.load(Ordering::Relaxed) {
                         std::thread::sleep(period);
-                        inner.pool.background_sweep(0);
+                        inner.pool.background_sweep(inner.cfg.free_buffer_mb);
                     }
                 })
                 .expect("spawn sweeper")
@@ -212,7 +218,12 @@ impl OpenWhiskModel {
                 .expect("spawn gc")
         };
 
-        Self { inner, invokers, gc: Some(gc), sweeper: Some(sweeper) }
+        Self {
+            inner,
+            invokers,
+            gc: Some(gc),
+            sweeper: Some(sweeper),
+        }
     }
 
     pub fn register(&self, spec: FunctionSpec) {
@@ -235,17 +246,31 @@ impl OpenWhiskModel {
             let mut q = inner.queue.q.lock();
             if q.len() >= inner.cfg.queue_capacity {
                 inner.dropped.fetch_add(1, Ordering::Relaxed);
-                return OwResult { e2e_ms: inner.clock.elapsed_ms(t0), exec_ms: 0, cold: false, dropped: true };
+                return OwResult {
+                    e2e_ms: inner.clock.elapsed_ms(t0),
+                    exec_ms: 0,
+                    cold: false,
+                    dropped: true,
+                };
             }
             // The enqueue cost is paid while HOLDING the queue lock — this
             // is the shared-queue bottleneck of §2.3.
             inner.clock.sleep_ms(inner.scaled(kafka));
-            q.push_back(Work { fqdn: fqdn.to_string(), enqueued_at_ms: t0, tx });
+            q.push_back(Work {
+                fqdn: fqdn.to_string(),
+                enqueued_at_ms: t0,
+                tx,
+            });
             inner.queue.cv.notify_one();
         }
         match rx.recv() {
             Ok(r) => r,
-            Err(_) => OwResult { e2e_ms: inner.clock.elapsed_ms(t0), exec_ms: 0, cold: false, dropped: true },
+            Err(_) => OwResult {
+                e2e_ms: inner.clock.elapsed_ms(t0),
+                exec_ms: 0,
+                cold: false,
+                dropped: true,
+            },
         }
     }
 
@@ -335,7 +360,8 @@ fn execute(inner: &Arc<Inner>, work: Work) {
         Some(c) => (c, false),
         None => {
             let mb = spec.limits.memory_mb;
-            let deadline = inner.clock.now_ms() + inner.scaled(inner.cfg.placement_timeout_ms as f64);
+            let deadline =
+                inner.clock.now_ms() + inner.scaled(inner.cfg.placement_timeout_ms as f64);
             let mut placed = false;
             // Buffer the request, retrying placement until the timeout.
             while inner.clock.now_ms() <= deadline {
@@ -356,9 +382,7 @@ fn execute(inner: &Arc<Inner>, work: Work) {
                 return;
             }
             // Docker cold start (~400ms class, right-skewed).
-            inner
-                .clock
-                .sleep_ms(inner.scaled(inner.skewed(400.0, 0.3)));
+            inner.clock.sleep_ms(inner.scaled(inner.skewed(400.0, 0.3)));
             (Arc::new(Container::new(&spec.fqdn, spec.limits)), true)
         }
     };
@@ -367,7 +391,11 @@ fn execute(inner: &Arc<Inner>, work: Work) {
     // count proportionally inflates everyone (processor sharing).
     let running = inner.running.fetch_add(1, Ordering::SeqCst) + 1;
     let inflation = (running as f64 / inner.cfg.cores as f64).max(1.0);
-    let base_exec = if cold { spec.cold_exec_ms() } else { spec.warm_exec_ms };
+    let base_exec = if cold {
+        spec.cold_exec_ms()
+    } else {
+        spec.warm_exec_ms
+    };
     // Report the time actually charged (post-scaling), keeping e2e − exec a
     // consistent overhead at any time compression.
     let exec = inner.scaled(base_exec as f64 * inflation);
@@ -420,7 +448,10 @@ mod tests {
     fn spec(name: &str, warm: u64, init: u64, mb: u64) -> FunctionSpec {
         FunctionSpec::new(name, "1")
             .with_timing(warm, init)
-            .with_limits(ResourceLimits { cpus: 1.0, memory_mb: mb })
+            .with_limits(ResourceLimits {
+                cpus: 1.0,
+                memory_mb: mb,
+            })
     }
 
     #[test]
@@ -447,6 +478,24 @@ mod tests {
         // >0 ms; at scale 1.0 this is the 10ms+ overhead of Figure 1.
         assert!(r.e2e_ms >= r.exec_ms);
         assert!(!r.dropped);
+    }
+
+    #[test]
+    fn free_buffer_sweeps_idle_containers() {
+        let mut cfg = fast_cfg();
+        cfg.memory_mb = 256;
+        // The buffer demands more free memory than one idle 128 MB
+        // container leaves: the background sweep must evict it.
+        cfg.free_buffer_mb = 200;
+        let m = model(cfg);
+        m.register(spec("f", 50, 100, 128));
+        let r1 = m.invoke("f-1");
+        assert!(r1.cold);
+        // Give the sweeper (25 ms period at this time_scale) a few rounds.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let r2 = m.invoke("f-1");
+        assert!(r2.cold, "buffer sweep evicted the idle container");
+        assert_eq!(m.stats().cold, 2);
     }
 
     #[test]
@@ -487,7 +536,7 @@ mod tests {
         let m = Arc::new(model(cfg));
         m.register(spec("f", 200, 0, 64));
         m.invoke("f-1"); // warm one container up
-        // Fire 4 concurrent invocations on 1 core: inflation ≥ 2 for some.
+                         // Fire 4 concurrent invocations on 1 core: inflation ≥ 2 for some.
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let m = Arc::clone(&m);

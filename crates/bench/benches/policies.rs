@@ -15,8 +15,7 @@ fn bench_policy_ops(c: &mut Criterion) {
             let mut policy = make_policy(kind, 600_000);
             let mut entries: Vec<EntryMeta> = (0..64)
                 .map(|i| {
-                    let mut e =
-                        EntryMeta::new(format!("f{i}-1"), 64 + i * 8, 100.0 + i as f64, 0);
+                    let mut e = EntryMeta::new(format!("f{i}-1"), 64 + i * 8, 100.0 + i as f64, 0);
                     policy.on_insert(&mut e, 0);
                     e
                 })
@@ -45,7 +44,11 @@ fn bench_sim_replay(c: &mut Criterion) {
     });
     let mut g = c.benchmark_group("keepalive_sim_replay_1h_100apps");
     g.sample_size(10);
-    for kind in [KeepalivePolicyKind::Gdsf, KeepalivePolicyKind::Ttl, KeepalivePolicyKind::Hist] {
+    for kind in [
+        KeepalivePolicyKind::Gdsf,
+        KeepalivePolicyKind::Ttl,
+        KeepalivePolicyKind::Hist,
+    ] {
         g.bench_function(kind.name(), |b| {
             b.iter_batched(
                 || (trace.profiles.clone(), trace.events.clone()),

@@ -108,7 +108,11 @@ fn bench_queue_ops(c: &mut Criterion) {
                 expected_exec_ms: (t % 100) as f64,
                 iat_ms: 10.0,
                 expect_warm: true,
-                tenant: Some(if t.is_multiple_of(2) { "gold".into() } else { "bronze".into() }),
+                tenant: Some(if t.is_multiple_of(2) {
+                    "gold".into()
+                } else {
+                    "bronze".into()
+                }),
                 tenant_weight: if t.is_multiple_of(2) { 3.0 } else { 1.0 },
                 result_tx: tx,
             })
@@ -130,5 +134,10 @@ fn bench_chbl_pick(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_shardmap_vs_mutex, bench_queue_ops, bench_chbl_pick);
+criterion_group!(
+    benches,
+    bench_shardmap_vs_mutex,
+    bench_queue_ops,
+    bench_chbl_pick
+);
 criterion_main!(benches);

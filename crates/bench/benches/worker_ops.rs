@@ -11,17 +11,24 @@ fn worker_with_sim() -> Arc<Worker> {
     // Zero-latency backend: the benchmark isolates control-plane cost.
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.0, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.0,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: "bench".into(),
         cores: 8,
         memory_mb: 8 * 1024,
-        concurrency: ConcurrencyConfig { limit: 16, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 16,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let w = Arc::new(Worker::new(cfg, backend, clock));
-    w.register(FunctionSpec::new("f", "1").with_timing(0, 0)).unwrap();
+    w.register(FunctionSpec::new("f", "1").with_timing(0, 0))
+        .unwrap();
     w.invoke("f-1", "{}").unwrap(); // prime the warm container
     w
 }
@@ -50,7 +57,8 @@ fn bench_registration(c: &mut Criterion) {
     c.bench_function("worker/register", |b| {
         b.iter(|| {
             i += 1;
-            w.register(FunctionSpec::new(format!("reg{i}"), "1")).unwrap()
+            w.register(FunctionSpec::new(format!("reg{i}"), "1"))
+                .unwrap()
         })
     });
 }
@@ -60,5 +68,11 @@ fn bench_status(c: &mut Criterion) {
     c.bench_function("worker/status", |b| b.iter(|| w.status()));
 }
 
-criterion_group!(benches, bench_invoke, bench_async_submit_and_wait, bench_registration, bench_status);
+criterion_group!(
+    benches,
+    bench_invoke,
+    bench_async_submit_and_wait,
+    bench_registration,
+    bench_status
+);
 criterion_main!(benches);

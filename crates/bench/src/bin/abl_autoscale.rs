@@ -1,0 +1,104 @@
+//! Ablation — elastic-fleet scaling policies.
+//!
+//! Sweeps the three `iluvatar-autoscale` controllers (reactive queue-delay,
+//! concurrency-target, MPC-lite) plus fixed-fleet baselines over an
+//! Azure-style synthetic trace, in the elastic discrete-event simulator.
+//! The trade-off under test: a bigger (or faster-growing) fleet lowers the
+//! cold-start ratio but burns more warm memory while idle — reported here
+//! as cold ratio vs wasted warm GB·seconds.
+
+use iluvatar_autoscale::{AutoscaleConfig, ScalingPolicyKind};
+use iluvatar_bench::{env_u64, print_table};
+use iluvatar_core::config::KeepalivePolicyKind;
+use iluvatar_sim::{ElasticClusterSim, ElasticOutcome, SimConfig};
+use iluvatar_trace::azure::{AzureTraceConfig, SyntheticAzureTrace};
+
+fn worker_cfg(cache_mb: u64) -> SimConfig {
+    let mut c = SimConfig::new(KeepalivePolicyKind::Gdsf, cache_mb);
+    // Invoker slots per worker: queues form when a worker saturates, which
+    // is exactly the signal the controllers act on.
+    c.concurrency = Some(8);
+    c.backlog_cap = 100_000;
+    c
+}
+
+fn scale_cfg(kind: ScalingPolicyKind, max_workers: usize) -> AutoscaleConfig {
+    let mut c = AutoscaleConfig::enabled_with(kind);
+    c.min_workers = 1;
+    c.max_workers = max_workers;
+    c.interval_ms = 2_000;
+    c.scale_up_cooldown_ms = 2_000;
+    c.scale_down_cooldown_ms = 30_000;
+    c.max_step = 2;
+    c
+}
+
+/// A fixed fleet expressed as a degenerate autoscale config (min == max).
+fn fixed_cfg(n: usize) -> AutoscaleConfig {
+    let mut c = scale_cfg(ScalingPolicyKind::ReactiveQueueDelay, n);
+    c.min_workers = n;
+    c
+}
+
+fn row(label: String, out: &ElasticOutcome) -> Vec<String> {
+    vec![
+        label,
+        format!("{:.4}", out.cold_ratio()),
+        format!("{:.1}", out.warm_gb_seconds),
+        format!("{:.2}", out.mean_fleet),
+        out.peak_fleet.to_string(),
+        out.events.len().to_string(),
+        out.total_dropped().to_string(),
+    ]
+}
+
+fn main() {
+    let max_workers = env_u64("ILU_MAX_WORKERS", 8) as usize;
+    let cache_mb = env_u64("ILU_CACHE_MB", 2_048);
+    let trace = SyntheticAzureTrace::generate(&AzureTraceConfig {
+        apps: 120,
+        duration_ms: 4 * 3600 * 1000,
+        seed: 0xE1A5,
+        diurnal_fraction: 0.5,
+        rate_scale: 1.0,
+    });
+    eprintln!(
+        "elastic fleet 1..{max_workers} x {cache_mb}MB; trace {} functions / {} invocations",
+        trace.profiles.len(),
+        trace.events.len()
+    );
+
+    let mut rows = Vec::new();
+    for kind in ScalingPolicyKind::all() {
+        let out = ElasticClusterSim::run(
+            trace.profiles.clone(),
+            &trace.events,
+            worker_cfg(cache_mb),
+            scale_cfg(kind, max_workers),
+        );
+        rows.push(row(kind.name().to_string(), &out));
+    }
+    for n in [1, max_workers] {
+        let out = ElasticClusterSim::run(
+            trace.profiles.clone(),
+            &trace.events,
+            worker_cfg(cache_mb),
+            fixed_cfg(n),
+        );
+        rows.push(row(format!("fixed-{n}"), &out));
+    }
+    print_table(
+        "Ablation: autoscaling policy — cold starts vs wasted warm memory",
+        &[
+            "policy",
+            "cold ratio",
+            "warm GB*s",
+            "mean fleet",
+            "peak",
+            "events",
+            "dropped",
+        ],
+        &rows,
+    );
+    println!("\nExpected shape: every controller lands between the fixed fleets — near fixed-max cold ratio at a fraction of its warm GB*s, with MPC growing earliest on ramps.");
+}

@@ -17,7 +17,10 @@ fn run(limit: usize, dynamic: bool, clients: usize, per_client: usize) -> Vec<St
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 1.0, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 1.0,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: "abl-c".into(),
@@ -43,14 +46,26 @@ fn run(limit: usize, dynamic: bool, clients: usize, per_client: usize) -> Vec<St
     let out = closed_loop(
         Arc::new(WorkerTarget(Arc::clone(&worker))) as Arc<dyn InvokerTarget>,
         "f-1",
-        &ClosedLoopConfig { clients, invocations_per_client: per_client, warmup_per_client: 2 },
+        &ClosedLoopConfig {
+            clients,
+            invocations_per_client: per_client,
+            warmup_per_client: 2,
+        },
     );
     let wall_s = start.elapsed().as_secs_f64();
-    let lat: Vec<f64> = out.iter().filter(|o| !o.dropped).map(|o| o.e2e_ms as f64).collect();
+    let lat: Vec<f64> = out
+        .iter()
+        .filter(|o| !o.dropped)
+        .map(|o| o.e2e_ms as f64)
+        .collect();
     let served = lat.len();
     let final_limit = worker.status().concurrency_limit;
     vec![
-        if dynamic { format!("AIMD (start {limit})") } else { format!("fixed {limit}") },
+        if dynamic {
+            format!("AIMD (start {limit})")
+        } else {
+            format!("fixed {limit}")
+        },
         format!("{:.0}", served as f64 / wall_s),
         format!("{:.0}", pctl(&lat, 0.5)),
         format!("{:.0}", pctl(&lat, 0.99)),
@@ -68,7 +83,13 @@ fn main() {
     rows.push(run(2, true, clients, per_client));
     print_table(
         &format!("Ablation: concurrency limit under {clients} closed-loop clients (40ms warm fn)"),
-        &["regulator", "throughput/s", "e2e p50 ms", "e2e p99 ms", "final limit"],
+        &[
+            "regulator",
+            "throughput/s",
+            "e2e p50 ms",
+            "e2e p99 ms",
+            "final limit",
+        ],
         &rows,
     );
     println!("\nExpected shape: tiny fixed limits throttle throughput and inflate latency; AIMD grows its limit from 2 toward the load and approaches the large-fixed-limit throughput.");

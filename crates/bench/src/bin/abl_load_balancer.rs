@@ -52,7 +52,13 @@ fn main() {
     }
     print_table(
         "Ablation: load-balancing policy over the simulated cluster",
-        &["policy", "warm ratio", "cold starts", "imbalance (CV)", "forwarded"],
+        &[
+            "policy",
+            "warm ratio",
+            "cold starts",
+            "imbalance (CV)",
+            "forwarded",
+        ],
         &rows,
     );
     println!("\nExpected shape: CH-BL's warm ratio beats RoundRobin/LeastLoaded (locality); its imbalance is higher but bounded by the load-bound forwarding.");

@@ -44,7 +44,10 @@ fn run(policy: QueuePolicyKind, bypass: bool, duration_ms: u64) -> Vec<String> {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 1.0, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 1.0,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: "abl-q".into(),
@@ -56,7 +59,10 @@ fn run(policy: QueuePolicyKind, bypass: bool, duration_ms: u64) -> Vec<String> {
             bypass_load_limit: 4.0,
             ..Default::default()
         },
-        concurrency: ConcurrencyConfig { limit: 4, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 4,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let worker = Arc::new(Worker::new(cfg, backend, clock));

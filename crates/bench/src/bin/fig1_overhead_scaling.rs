@@ -18,8 +18,11 @@ use std::sync::Arc;
 
 fn main() {
     let full = full_run();
-    let clients_axis: Vec<usize> =
-        if full { vec![1, 2, 4, 8, 16, 32, 48, 64, 96] } else { vec![1, 4, 16, 48] };
+    let clients_axis: Vec<usize> = if full {
+        vec![1, 2, 4, 8, 16, 32, 48, 64, 96]
+    } else {
+        vec![1, 4, 16, 48]
+    };
     let per_client = if full { 120 } else { 40 };
     // The Figure 1 workload: PyAES, a short warm function.
     let pyaes = FbApp::PyAes.spec(); // warm 20ms modelled
@@ -30,13 +33,19 @@ fn main() {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 1.0, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 1.0,
+                ..Default::default()
+            },
         ));
         let cfg = WorkerConfig {
             name: "fig1".into(),
             cores: 48,
             memory_mb: 64 * 1024,
-            concurrency: ConcurrencyConfig { limit: 96, ..Default::default() },
+            concurrency: ConcurrencyConfig {
+                limit: 96,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let worker = Arc::new(Worker::new(cfg, backend, clock));
@@ -62,7 +71,11 @@ fn main() {
 
         // ---- OpenWhisk model, same environment -------------------------
         let ow = Arc::new(OpenWhiskModel::new(
-            OpenWhiskConfig { cores: 48, invoker_slots: 96, ..Default::default() },
+            OpenWhiskConfig {
+                cores: 48,
+                invoker_slots: 96,
+                ..Default::default()
+            },
             SystemClock::shared(),
         ));
         ow.register(pyaes.clone());
@@ -96,7 +109,13 @@ fn main() {
 
     print_table(
         "Figure 1: control-plane overhead (ms) vs concurrent clients (warm starts)",
-        &["clients", "iluvatar p50", "iluvatar p99", "openwhisk p50", "openwhisk p99"],
+        &[
+            "clients",
+            "iluvatar p50",
+            "iluvatar p99",
+            "openwhisk p50",
+            "openwhisk p99",
+        ],
         &rows,
     );
     println!("\nExpected shape: Ilúvatar ~1-3ms flat (≤10ms saturated); OpenWhisk ≥10ms median with 100s-of-ms p99 tails.");

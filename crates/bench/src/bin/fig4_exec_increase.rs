@@ -45,7 +45,10 @@ fn main() {
             .collect();
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Figure 4 ({}): increase in execution time vs cache size", kind.name()),
+            &format!(
+                "Figure 4 ({}): increase in execution time vs cache size",
+                kind.name()
+            ),
             &header_refs,
             &rows,
         );

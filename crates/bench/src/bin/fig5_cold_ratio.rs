@@ -39,7 +39,10 @@ fn main() {
             .collect();
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Figure 5 ({}): cold-start fraction vs cache size", kind.name()),
+            &format!(
+                "Figure 5 ({}): cold-start fraction vs cache size",
+                kind.name()
+            ),
             &header_refs,
             &rows,
         );

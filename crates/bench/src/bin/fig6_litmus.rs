@@ -131,9 +131,10 @@ fn main() {
     ];
     let app_list: Vec<FbApp> = apps.iter().map(|(a, _)| *a).collect();
     eprintln!("litmus freq-skew...");
-    for (label, policy) in
-        [("OpenWhisk (TTL)", KeepalivePolicyKind::Ttl), ("FaasCache (GD)", KeepalivePolicyKind::Gdsf)]
-    {
+    for (label, policy) in [
+        ("OpenWhisk (TTL)", KeepalivePolicyKind::Ttl),
+        ("FaasCache (GD)", KeepalivePolicyKind::Gdsf),
+    ] {
         let out = run(
             poisson_schedule(&apps, duration, scale, 0x6A),
             &app_list,
@@ -153,9 +154,10 @@ fn main() {
     ];
     let capp_list: Vec<FbApp> = capps.iter().map(|(a, _, _)| *a).collect();
     eprintln!("litmus cyclic...");
-    for (label, policy) in
-        [("OpenWhisk (TTL)", KeepalivePolicyKind::Ttl), ("FaasCache (GD)", KeepalivePolicyKind::Gdsf)]
-    {
+    for (label, policy) in [
+        ("OpenWhisk (TTL)", KeepalivePolicyKind::Ttl),
+        ("FaasCache (GD)", KeepalivePolicyKind::Gdsf),
+    ] {
         let out = run(
             cyclic_schedule(&capps, 4 * 60_000, duration, scale),
             &capp_list,
@@ -175,9 +177,10 @@ fn main() {
     ];
     let sapp_list: Vec<FbApp> = sapps.iter().map(|(a, _)| *a).collect();
     eprintln!("litmus two-size...");
-    for (label, policy) in
-        [("OpenWhisk (TTL)", KeepalivePolicyKind::Ttl), ("FaasCache (GD)", KeepalivePolicyKind::Gdsf)]
-    {
+    for (label, policy) in [
+        ("OpenWhisk (TTL)", KeepalivePolicyKind::Ttl),
+        ("FaasCache (GD)", KeepalivePolicyKind::Gdsf),
+    ] {
         let out = run(
             poisson_schedule(&sapps, duration, scale, 0x6B),
             &sapp_list,

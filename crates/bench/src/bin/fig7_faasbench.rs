@@ -56,7 +56,12 @@ fn schedule(duration_ms: u64, scale: f64) -> Vec<ScheduledInvocation> {
     out
 }
 
-fn run(policy: KeepalivePolicyKind, duration_ms: u64, scale: f64, memory_mb: u64) -> Vec<FireOutcome> {
+fn run(
+    policy: KeepalivePolicyKind,
+    duration_ms: u64,
+    scale: f64,
+    memory_mb: u64,
+) -> Vec<FireOutcome> {
     let cfg = OpenWhiskConfig {
         cores: env_u64("ILU_CORES", 4) as usize,
         invoker_slots: env_u64("ILU_SLOTS", 16) as usize,
@@ -82,7 +87,10 @@ fn main() {
     let duration = env_u64("ILU_DURATION_MS", 20 * 60_000); // virtual
     let scale = env_f64("ILU_SCALE", 0.05);
     let memory_mb = env_u64("ILU_CACHE_MB", 3_000);
-    eprintln!("faasbench: {}min virtual at {scale}x on a {memory_mb}MB pool...", duration / 60_000);
+    eprintln!(
+        "faasbench: {}min virtual at {scale}x on a {memory_mb}MB pool...",
+        duration / 60_000
+    );
     let ow = run(KeepalivePolicyKind::Ttl, duration, scale, memory_mb);
     let fc = run(KeepalivePolicyKind::Gdsf, duration, scale, memory_mb);
 
@@ -114,7 +122,8 @@ fn main() {
         &["function", "system", "warm", "cold", "dropped", "hit ratio"],
         &rows,
     );
-    let count = |out: &[FireOutcome], f: fn(&FireOutcome) -> bool| out.iter().filter(|o| f(o)).count();
+    let count =
+        |out: &[FireOutcome], f: fn(&FireOutcome) -> bool| out.iter().filter(|o| f(o)).count();
     println!(
         "\nTotals: OpenWhisk warm {} / dropped {}; FaasCache warm {} / dropped {}",
         count(&ow, |o| !o.dropped && !o.cold),

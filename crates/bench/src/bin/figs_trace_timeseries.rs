@@ -31,7 +31,10 @@ fn print_series(name: &str, trace: &SyntheticAzureTrace) {
     let ds = downsample(&per_min, 72);
     let mean = per_min.iter().sum::<f64>() / per_min.len() as f64;
     let peak = per_min.iter().cloned().fold(0.0f64, f64::max);
-    println!("\n{name}: mean {mean:.1}/s, peak {peak:.1}/s, {} invocations", trace.events.len());
+    println!(
+        "\n{name}: mean {mean:.1}/s, peak {peak:.1}/s, {} invocations",
+        trace.events.len()
+    );
     println!("  {}", sparkline(&ds));
 }
 

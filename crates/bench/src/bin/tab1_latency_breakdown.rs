@@ -25,7 +25,9 @@ fn main() {
     let worker = Arc::new(Worker::new(WorkerConfig::default(), backend, clock));
     let api = WorkerApi::serve(Arc::clone(&worker)).expect("serve worker API");
     let client = WorkerApiClient::new(api.addr());
-    client.register(&FbApp::PyAes.spec()).expect("register over HTTP");
+    client
+        .register(&FbApp::PyAes.spec())
+        .expect("register over HTTP");
 
     // One cold start, then measure pure warm invocations.
     client.invoke("pyaes-1", "{}").expect("cold start");
@@ -45,7 +47,11 @@ fn main() {
                 .map(|e| (e.mean_ms(), e.percentile_ms(0.50), e.percentile_ms(0.99)))
                 .unwrap_or((0.0, 0.0, 0.0));
             rows.push(vec![
-                if i == 0 { group.to_string() } else { String::new() },
+                if i == 0 {
+                    group.to_string()
+                } else {
+                    String::new()
+                },
                 span.to_string(),
                 format!("{:.3}", mean),
                 format!("{:.3}", p50),
@@ -72,7 +78,13 @@ fn main() {
         trace.cold()
     );
     let metrics = client.metrics_text().expect("scrape /metrics");
-    let hist_lines = metrics.lines().filter(|l| l.starts_with("iluvatar_span_seconds_bucket")).count();
-    println!("GET /metrics: {} bytes, {hist_lines} span histogram bucket lines", metrics.len());
+    let hist_lines = metrics
+        .lines()
+        .filter(|l| l.starts_with("iluvatar_span_seconds_bucket"))
+        .count();
+    println!(
+        "GET /metrics: {} bytes, {hist_lines} span histogram bucket lines",
+        metrics.len()
+    );
     println!("\nExpected shape: agent communication (call_container) dominates at ~1-2ms; queuing/container ops each well under 0.1ms.");
 }

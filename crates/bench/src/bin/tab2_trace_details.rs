@@ -12,7 +12,11 @@ fn main() {
         cfg.apps = 400;
         cfg.duration_ms = 6 * 3600 * 1000;
     }
-    eprintln!("generating base population ({} apps, {}h)...", cfg.apps, cfg.duration_ms / 3_600_000);
+    eprintln!(
+        "generating base population ({} apps, {}h)...",
+        cfg.apps,
+        cfg.duration_ms / 3_600_000
+    );
     let base = SyntheticAzureTrace::generate(&cfg);
 
     let mut rows = Vec::new();
@@ -29,7 +33,13 @@ fn main() {
     }
     print_table(
         "Table 2: Azure-derived workload samples",
-        &["Trace", "Functions", "Num Invocations", "Reqs per sec", "Avg IAT"],
+        &[
+            "Trace",
+            "Functions",
+            "Num Invocations",
+            "Reqs per sec",
+            "Avg IAT",
+        ],
         &rows,
     );
     println!(

@@ -18,7 +18,13 @@ fn main() {
     }
     print_table(
         "Table 3: FunctionBench application characteristics",
-        &["Application", "Mem size", "Run time", "Init time", "Warm time"],
+        &[
+            "Application",
+            "Mem size",
+            "Run time",
+            "Init time",
+            "Warm time",
+        ],
         &rows,
     );
     println!("\n(The seven Table 3 rows match the paper; pyaes is the additional Figure 1 microbenchmark function.)");

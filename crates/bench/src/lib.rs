@@ -38,11 +38,17 @@ pub fn pctl(xs: &[f64], q: f64) -> f64 {
 
 /// Read an env-var knob with default (harness scaling: `ILU_SCALE`, etc.).
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// True when `--full` was passed (paper-scale run; default is a quick run).
@@ -69,7 +75,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -120,7 +129,10 @@ pub fn litmus_workload(
     let mut rng = StdRng::seed_from_u64(0x11707);
     for (idx, (_, iat)) in apps.iter().enumerate() {
         for t in poisson_arrivals(&mut rng, *iat, duration_ms) {
-            events.push(TraceEvent { time_ms: t, func: idx as u32 });
+            events.push(TraceEvent {
+                time_ms: t,
+                func: idx as u32,
+            });
         }
     }
     events.sort_by_key(|e| e.time_ms);
@@ -151,7 +163,10 @@ pub fn replicated_litmus(
                 diurnal: false,
             });
             for t in poisson_arrivals(&mut rng, iat, duration_ms) {
-                events.push(TraceEvent { time_ms: t, func: idx });
+                events.push(TraceEvent {
+                    time_ms: t,
+                    func: idx,
+                });
             }
         }
     }
@@ -174,7 +189,10 @@ pub fn cyclic_workload(
         while t < duration_ms {
             let phase = (t / phase_ms) % n;
             let iat = if phase == idx as u64 { hot } else { cold };
-            events.push(TraceEvent { time_ms: t, func: idx as u32 });
+            events.push(TraceEvent {
+                time_ms: t,
+                func: idx as u32,
+            });
             t += iat;
         }
     }
@@ -188,20 +206,31 @@ mod tests {
 
     #[test]
     fn litmus_workload_paces_events() {
-        let (profiles, events) =
-            litmus_workload(&[(FbApp::FloatingPoint, 400), (FbApp::MlInference, 1500)], 60_000);
+        let (profiles, events) = litmus_workload(
+            &[(FbApp::FloatingPoint, 400), (FbApp::MlInference, 1500)],
+            60_000,
+        );
         assert_eq!(profiles.len(), 2);
         let fp_events = events.iter().filter(|e| e.func == 0).count();
-        assert!((100..=210).contains(&fp_events), "~150 expected, got {fp_events}");
+        assert!(
+            (100..=210).contains(&fp_events),
+            "~150 expected, got {fp_events}"
+        );
         let ml_events = events.iter().filter(|e| e.func == 1).count();
-        assert!((20..=65).contains(&ml_events), "~40 expected, got {ml_events}");
+        assert!(
+            (20..=65).contains(&ml_events),
+            "~40 expected, got {ml_events}"
+        );
         assert!(events.windows(2).all(|w| w[0].time_ms <= w[1].time_ms));
     }
 
     #[test]
     fn cyclic_workload_rotates_hotness() {
         let (_, events) = cyclic_workload(
-            &[(FbApp::WebServing, 100, 10_000), (FbApp::DiskBench, 100, 10_000)],
+            &[
+                (FbApp::WebServing, 100, 10_000),
+                (FbApp::DiskBench, 100, 10_000),
+            ],
             30_000,
             60_000,
         );
@@ -216,8 +245,13 @@ mod tests {
 
     #[test]
     fn replicated_litmus_copies_functions() {
-        let (profiles, events) =
-            replicated_litmus(&[(FbApp::WebServing, 3, 2_000), (FbApp::MlInference, 2, 5_000)], 60_000);
+        let (profiles, events) = replicated_litmus(
+            &[
+                (FbApp::WebServing, 3, 2_000),
+                (FbApp::MlInference, 2, 5_000),
+            ],
+            60_000,
+        );
         assert_eq!(profiles.len(), 5);
         let f0 = events.iter().filter(|e| e.func == 0).count();
         assert!((15..=50).contains(&f0), "~30 expected, got {f0}");
@@ -236,8 +270,7 @@ mod tests {
 
     #[test]
     fn sweep_cell_runs() {
-        let (profiles, events) =
-            litmus_workload(&[(FbApp::FloatingPoint, 5_000)], 10 * 60_000);
+        let (profiles, events) = litmus_workload(&[(FbApp::FloatingPoint, 5_000)], 10 * 60_000);
         let out = sweep_cell(&profiles, &events, KeepalivePolicyKind::Gdsf, 1.0);
         assert!(out.total > 0);
         assert!(out.cold >= 1);

@@ -21,9 +21,7 @@
 //! [`FaultPlan::stats`], so tests can assert exactly how many faults a run
 //! absorbed.
 
-use iluvatar_containers::{
-    BackendError, Container, ContainerBackend, FunctionSpec, InvokeOutput,
-};
+use iluvatar_containers::{BackendError, Container, ContainerBackend, FunctionSpec, InvokeOutput};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,11 +49,17 @@ impl FaultSpec {
     }
 
     pub fn with_prob(prob: f64) -> Self {
-        Self { prob, schedule: Vec::new() }
+        Self {
+            prob,
+            schedule: Vec::new(),
+        }
     }
 
     pub fn on_occurrences(schedule: Vec<u64>) -> Self {
-        Self { prob: 0.0, schedule }
+        Self {
+            prob: 0.0,
+            schedule,
+        }
     }
 
     pub fn is_never(&self) -> bool {
@@ -124,8 +128,14 @@ pub mod sites {
     pub const CONTAINER_DEATH: &str = "container_death";
     pub const WORKER_KILL: &str = "worker_kill";
 
-    pub const ALL: [&str; 6] =
-        [CREATE_FAIL, INVOKE_ERROR, INVOKE_HANG, LATENCY_SPIKE, CONTAINER_DEATH, WORKER_KILL];
+    pub const ALL: [&str; 6] = [
+        CREATE_FAIL,
+        INVOKE_ERROR,
+        INVOKE_HANG,
+        LATENCY_SPIKE,
+        CONTAINER_DEATH,
+        WORKER_KILL,
+    ];
 }
 
 /// Injected-fault counts per site, plus total decisions taken.
@@ -138,7 +148,11 @@ pub struct FaultStats {
 impl FaultStats {
     /// Faults fired at `site` (0 for unknown sites).
     pub fn fired(&self, site: &str) -> u64 {
-        self.sites.iter().find(|(s, _, _)| s == site).map(|&(_, _, f)| f).unwrap_or(0)
+        self.sites
+            .iter()
+            .find(|(s, _, _)| s == site)
+            .map(|&(_, _, f)| f)
+            .unwrap_or(0)
     }
 
     pub fn total_fired(&self) -> u64 {
@@ -178,7 +192,11 @@ impl FaultPlan {
     pub fn new(cfg: FaultPlanConfig) -> Self {
         let states = sites::ALL
             .iter()
-            .map(|&name| SiteState { name, seen: AtomicU64::new(0), fired: AtomicU64::new(0) })
+            .map(|&name| SiteState {
+                name,
+                seen: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            })
             .collect();
         Self { cfg, states }
     }
@@ -232,7 +250,11 @@ impl FaultPlan {
                 .states
                 .iter()
                 .map(|s| {
-                    (s.name.to_string(), s.seen.load(Ordering::Relaxed), s.fired.load(Ordering::Relaxed))
+                    (
+                        s.name.to_string(),
+                        s.seen.load(Ordering::Relaxed),
+                        s.fired.load(Ordering::Relaxed),
+                    )
                 })
                 .collect(),
         }
@@ -248,7 +270,10 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     pub fn new(inner: Arc<dyn ContainerBackend>, cfg: FaultPlanConfig) -> Self {
-        Self { inner, plan: Arc::new(FaultPlan::new(cfg)) }
+        Self {
+            inner,
+            plan: Arc::new(FaultPlan::new(cfg)),
+        }
     }
 
     /// Share the plan for assertions (fired-fault counts).
@@ -271,7 +296,9 @@ impl FaultInjector {
             // The container lives long enough to start the invocation, then
             // dies under it.
             std::thread::sleep(Duration::from_millis(self.plan.cfg.spike_ms.min(5)));
-            return Some(BackendError::InvokeFailed("injected container death".into()));
+            return Some(BackendError::InvokeFailed(
+                "injected container death".into(),
+            ));
         }
         None
     }
@@ -284,7 +311,9 @@ impl ContainerBackend for FaultInjector {
 
     fn create(&self, spec: &FunctionSpec) -> Result<Container, BackendError> {
         if self.plan.decide(sites::CREATE_FAIL) {
-            return Err(BackendError::CreateFailed("injected cold-start failure".into()));
+            return Err(BackendError::CreateFailed(
+                "injected cold-start failure".into(),
+            ));
         }
         self.inner.create(spec)
     }
@@ -335,7 +364,10 @@ mod tests {
     fn sim() -> Arc<SimBackend> {
         Arc::new(SimBackend::new(
             SystemClock::shared(),
-            SimBackendConfig { time_scale: 0.01, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.01,
+                ..Default::default()
+            },
         ))
     }
 
@@ -374,7 +406,9 @@ mod tests {
                 invoke_error: FaultSpec::with_prob(0.3),
                 ..Default::default()
             });
-            (0..256).map(|_| plan.decide(sites::INVOKE_ERROR)).collect::<Vec<_>>()
+            (0..256)
+                .map(|_| plan.decide(sites::INVOKE_ERROR))
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(7), mk(7), "same seed replays identically");
         assert_ne!(mk(7), mk(8), "different seeds diverge");

@@ -38,19 +38,23 @@ pub struct FunctionBehavior {
 impl FunctionBehavior {
     /// A behavior with no init work.
     pub fn from_body(body: impl Fn(&str) -> String + Send + Sync + 'static) -> Self {
-        Self { init: Arc::new(|| {}), body: Arc::new(body) }
+        Self {
+            init: Arc::new(|| {}),
+            body: Arc::new(body),
+        }
     }
 
     /// A behavior whose init sleeps `init_ms` (models import latency) and
     /// whose body sleeps `exec_ms` then echoes the arguments.
     pub fn sleeper(init_ms: u64, exec_ms: u64) -> Self {
         Self {
-            init: Arc::new(move || {
-                std::thread::sleep(std::time::Duration::from_millis(init_ms))
-            }),
+            init: Arc::new(move || std::thread::sleep(std::time::Duration::from_millis(init_ms))),
             body: Arc::new(move |args: &str| {
                 std::thread::sleep(std::time::Duration::from_millis(exec_ms));
-                format!("{{\"echo\":{}}}", if args.is_empty() { "null" } else { args })
+                format!(
+                    "{{\"echo\":{}}}",
+                    if args.is_empty() { "null" } else { args }
+                )
             }),
         }
     }
@@ -77,61 +81,63 @@ impl Agent {
         let traces2 = Arc::clone(&traces);
         let tenants: Arc<Mutex<VecDeque<String>>> = Arc::new(Mutex::new(VecDeque::new()));
         let tenants2 = Arc::clone(&tenants);
-        let handler: Handler = Arc::new(move |req: Request| match (req.method, req.path.as_str()) {
-            (Method::Get, "/") => Response::ok(&b"{\"status\":\"ok\"}"[..]),
-            (Method::Post, "/invoke") => {
-                // Trace propagation: remember and echo the worker's trace id
-                // so agent-side time joins the same end-to-end trace.
-                let trace = req.header(TRACE_HEADER).map(|t| t.to_string());
-                if let Some(t) = &trace {
-                    let mut seen = traces2.lock();
-                    if seen.len() == TRACE_MEMORY {
-                        seen.pop_front();
+        let handler: Handler =
+            Arc::new(move |req: Request| match (req.method, req.path.as_str()) {
+                (Method::Get, "/") => Response::ok(&b"{\"status\":\"ok\"}"[..]),
+                (Method::Post, "/invoke") => {
+                    // Trace propagation: remember and echo the worker's trace id
+                    // so agent-side time joins the same end-to-end trace.
+                    let trace = req.header(TRACE_HEADER).map(|t| t.to_string());
+                    if let Some(t) = &trace {
+                        let mut seen = traces2.lock();
+                        if seen.len() == TRACE_MEMORY {
+                            seen.pop_front();
+                        }
+                        seen.push_back(t.clone());
                     }
-                    seen.push_back(t.clone());
-                }
-                // Tenant propagation mirrors trace propagation: remember and
-                // echo the label so per-tenant accounting spans the hop.
-                let tenant = req.header(TENANT_HEADER).map(|t| t.to_string());
-                if let Some(t) = &tenant {
-                    let mut seen = tenants2.lock();
-                    if seen.len() == TRACE_MEMORY {
-                        seen.pop_front();
+                    // Tenant propagation mirrors trace propagation: remember and
+                    // echo the label so per-tenant accounting spans the hop.
+                    let tenant = req.header(TENANT_HEADER).map(|t| t.to_string());
+                    if let Some(t) = &tenant {
+                        let mut seen = tenants2.lock();
+                        if seen.len() == TRACE_MEMORY {
+                            seen.pop_front();
+                        }
+                        seen.push_back(t.clone());
                     }
-                    seen.push_back(t.clone());
+                    let args = std::str::from_utf8(&req.body).unwrap_or("");
+                    let start = Instant::now();
+                    let result = body(args);
+                    let dur_ms = start.elapsed().as_millis() as u64;
+                    let mut resp = Response::ok(result)
+                        .with_header("X-Duration-Ms", dur_ms.to_string())
+                        .with_header("Content-Type", "application/json");
+                    if let Some(t) = trace {
+                        resp = resp.with_header(TRACE_HEADER, t);
+                    }
+                    if let Some(t) = tenant {
+                        resp = resp.with_header(TENANT_HEADER, t);
+                    }
+                    resp
                 }
-                let args = std::str::from_utf8(&req.body).unwrap_or("");
-                let start = Instant::now();
-                let result = body(args);
-                let dur_ms = start.elapsed().as_millis() as u64;
-                let mut resp = Response::ok(result)
-                    .with_header("X-Duration-Ms", dur_ms.to_string())
-                    .with_header("Content-Type", "application/json");
-                if let Some(t) = trace {
-                    resp = resp.with_header(TRACE_HEADER, t);
-                }
-                if let Some(t) = tenant {
-                    resp = resp.with_header(TENANT_HEADER, t);
-                }
-                resp
-            }
-            _ => Response::new(Status::NOT_FOUND),
-        });
+                _ => Response::new(Status::NOT_FOUND),
+            });
         let server = HttpServer::start(handler)?;
         let addr = server.addr();
         // Confirm the accept loop is live with a status probe.
         let (tx, rx) = channel::bounded(1);
         std::thread::spawn(move || {
             let req = Request::new(Method::Get, "/");
-            let r = iluvatar_http::HttpClient::send(
-                addr,
-                &req,
-                std::time::Duration::from_secs(5),
-            );
+            let r = iluvatar_http::HttpClient::send(addr, &req, std::time::Duration::from_secs(5));
             let _ = tx.send(r.is_ok());
         });
         match rx.recv_timeout(std::time::Duration::from_secs(5)) {
-            Ok(true) => Ok(Self { server, addr, traces, tenants }),
+            Ok(true) => Ok(Self {
+                server,
+                addr,
+                traces,
+                tenants,
+            }),
             _ => Err(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 "agent did not become ready",
@@ -208,7 +214,10 @@ mod tests {
             body: Arc::new(|_| "{}".into()),
         };
         let _agent = Agent::boot(behavior).unwrap();
-        assert!(flag.load(std::sync::atomic::Ordering::SeqCst), "init must run at boot");
+        assert!(
+            flag.load(std::sync::atomic::Ordering::SeqCst),
+            "init must run at boot"
+        );
     }
 
     #[test]

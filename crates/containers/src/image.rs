@@ -33,8 +33,14 @@ pub enum Arch {
 }
 
 impl Platform {
-    pub const LINUX_AMD64: Platform = Platform { os: Os::Linux, arch: Arch::Amd64 };
-    pub const LINUX_ARM64: Platform = Platform { os: Os::Linux, arch: Arch::Arm64 };
+    pub const LINUX_AMD64: Platform = Platform {
+        os: Os::Linux,
+        arch: Arch::Amd64,
+    };
+    pub const LINUX_ARM64: Platform = Platform {
+        os: Os::Linux,
+        arch: Arch::Arm64,
+    };
 }
 
 /// One copy-on-write layer in an image manifest.
@@ -110,7 +116,11 @@ impl ImageRegistry {
         Manifest {
             reference: reference.to_string(),
             layers: vec![
-                Layer { digest: format!("sha256:base-{reference}"), size_mb: 60, platform: None },
+                Layer {
+                    digest: format!("sha256:base-{reference}"),
+                    size_mb: 60,
+                    platform: None,
+                },
                 Layer {
                     digest: format!("sha256:os-{reference}"),
                     size_mb: 40,
@@ -154,7 +164,9 @@ impl ImageRegistry {
         let has_platform_layers = manifest.layers.iter().any(|l| l.platform.is_some());
         let selected_specific = selected.iter().any(|l| l.platform.is_some());
         if has_platform_layers && !selected_specific {
-            return Err(ImageError::NoPlatformMatch { reference: reference.to_string() });
+            return Err(ImageError::NoPlatformMatch {
+                reference: reference.to_string(),
+            });
         }
         Ok(PreparedImage {
             reference: reference.to_string(),
@@ -177,7 +189,9 @@ mod tests {
     #[test]
     fn prepare_selects_platform_layers() {
         let r = registry_with("lib/pyaes:latest");
-        let img = r.prepare("lib/pyaes:latest", Platform::LINUX_AMD64).unwrap();
+        let img = r
+            .prepare("lib/pyaes:latest", Platform::LINUX_AMD64)
+            .unwrap();
         assert_eq!(img.layers.len(), 3); // base + amd64 + app
         assert!(img.layers.iter().any(|d| d.contains("os-lib")));
         assert!(!img.layers.iter().any(|d| d.contains("os-arm")));
@@ -217,7 +231,10 @@ mod tests {
             layers: vec![Layer {
                 digest: "sha256:w".into(),
                 size_mb: 10,
-                platform: Some(Platform { os: Os::Windows, arch: Arch::Amd64 }),
+                platform: Some(Platform {
+                    os: Os::Windows,
+                    arch: Arch::Amd64,
+                }),
             }],
         });
         assert!(matches!(

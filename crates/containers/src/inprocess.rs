@@ -110,9 +110,7 @@ impl ContainerBackend for InProcessBackend {
         trace: Option<&str>,
         tenant: Option<&str>,
     ) -> Result<InvokeOutput, BackendError> {
-        let addr = container
-            .agent_addr
-            .ok_or(BackendError::UnknownContainer)?;
+        let addr = container.agent_addr.ok_or(BackendError::UnknownContainer)?;
         if !self.agents.contains_key(&container.backend_cookie) {
             return Err(BackendError::UnknownContainer);
         }
@@ -130,14 +128,20 @@ impl ContainerBackend for InProcessBackend {
             .send(addr, &req)
             .map_err(|e| BackendError::InvokeFailed(e.to_string()))?;
         if !resp.status.is_success() {
-            return Err(BackendError::InvokeFailed(format!("agent status {}", resp.status.0)));
+            return Err(BackendError::InvokeFailed(format!(
+                "agent status {}",
+                resp.status.0
+            )));
         }
         let exec_ms = resp
             .header("x-duration-ms")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
         container.record_invocation();
-        Ok(InvokeOutput { body: resp.body_str().to_string(), exec_ms })
+        Ok(InvokeOutput {
+            body: resp.body_str().to_string(),
+            exec_ms,
+        })
     }
 
     fn destroy(&self, container: &Container) -> Result<(), BackendError> {
@@ -171,7 +175,10 @@ mod tests {
     #[test]
     fn create_invoke_destroy_roundtrip() {
         let b = backend();
-        b.register_behavior("echo-1", FunctionBehavior::from_body(|args| format!("[{args}]")));
+        b.register_behavior(
+            "echo-1",
+            FunctionBehavior::from_body(|args| format!("[{args}]")),
+        );
         let c = b.create(&spec()).unwrap();
         assert_eq!(b.live_containers(), 1);
         let out = b.invoke(&c, "7").unwrap();
@@ -184,7 +191,10 @@ mod tests {
     #[test]
     fn create_unregistered_fails() {
         let b = backend();
-        assert!(matches!(b.create(&spec()), Err(BackendError::CreateFailed(_))));
+        assert!(matches!(
+            b.create(&spec()),
+            Err(BackendError::CreateFailed(_))
+        ));
     }
 
     #[test]
@@ -193,7 +203,10 @@ mod tests {
         b.register_behavior("echo-1", FunctionBehavior::from_body(|_| "{}".into()));
         let c = b.create(&spec()).unwrap();
         b.destroy(&c).unwrap();
-        assert!(matches!(b.invoke(&c, ""), Err(BackendError::UnknownContainer)));
+        assert!(matches!(
+            b.invoke(&c, ""),
+            Err(BackendError::UnknownContainer)
+        ));
         assert!(matches!(b.destroy(&c), Err(BackendError::UnknownContainer)));
     }
 
@@ -232,7 +245,11 @@ mod tests {
         }
         assert_eq!(hits.load(Ordering::SeqCst), 5);
         assert_eq!(c.invocations(), 5);
-        assert_eq!(b.live_containers(), 1, "same container served all warm hits");
+        assert_eq!(
+            b.live_containers(),
+            1,
+            "same container served all warm hits"
+        );
     }
 
     #[test]
@@ -242,7 +259,8 @@ mod tests {
         let c = b.create(&spec()).unwrap();
         b.invoke_traced(&c, "{}", Some("00000000deadbeef")).unwrap();
         assert!(
-            b.observed_traces().contains(&"00000000deadbeef".to_string()),
+            b.observed_traces()
+                .contains(&"00000000deadbeef".to_string()),
             "agent must observe the propagated trace id"
         );
         // Untraced invocations add nothing.
@@ -255,7 +273,8 @@ mod tests {
         let b = backend();
         b.register_behavior("echo-1", FunctionBehavior::from_body(|_| "{}".into()));
         let c = b.create(&spec()).unwrap();
-        b.invoke_ctx(&c, "{}", Some("00000000deadbeef"), Some("acme")).unwrap();
+        b.invoke_ctx(&c, "{}", Some("00000000deadbeef"), Some("acme"))
+            .unwrap();
         assert!(
             b.observed_tenants().contains(&"acme".to_string()),
             "agent must observe the propagated tenant label"
@@ -263,7 +282,11 @@ mod tests {
         // Unlabelled invocations add nothing.
         b.invoke(&c, "{}").unwrap();
         assert_eq!(b.observed_tenants().len(), 1);
-        assert_eq!(b.observed_traces().len(), 1, "trace still propagated alongside tenant");
+        assert_eq!(
+            b.observed_traces().len(),
+            1,
+            "trace still propagated alongside tenant"
+        );
     }
 
     #[test]

@@ -135,10 +135,15 @@ mod tests {
         let m = RuntimeLatencyModel::new(RuntimeKind::Containerd);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 4000;
-        let mut creates: Vec<f64> = (0..n).map(|_| m.sample(&mut rng).create_ms as f64).collect();
+        let mut creates: Vec<f64> = (0..n)
+            .map(|_| m.sample(&mut rng).create_ms as f64)
+            .collect();
         creates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = creates[n / 2];
-        assert!((median - 300.0).abs() < 30.0, "median {median} far from 300");
+        assert!(
+            (median - 300.0).abs() < 30.0,
+            "median {median} far from 300"
+        );
         // Right skew: mean above median.
         let mean = creates.iter().sum::<f64>() / n as f64;
         assert!(mean > median * 0.99);

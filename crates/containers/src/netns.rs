@@ -37,7 +37,11 @@ impl NamespaceLease {
     }
 
     pub fn path(&self) -> &str {
-        &self.ns.as_ref().expect("lease always holds until drop").path
+        &self
+            .ns
+            .as_ref()
+            .expect("lease always holds until drop")
+            .path
     }
 }
 
@@ -73,7 +77,10 @@ impl PoolInner {
         self.clock.sleep_ms(self.create_cost_ms);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.created.fetch_add(1, Ordering::Relaxed);
-        Namespace { id, path: format!("/run/netns/ilu-{id}") }
+        Namespace {
+            id,
+            path: format!("/run/netns/ilu-{id}"),
+        }
     }
 }
 
@@ -132,7 +139,10 @@ impl NamespacePool {
                 self.inner.create_raw()
             }
         };
-        NamespaceLease { ns: Some(ns), pool: Arc::clone(&self.inner) }
+        NamespaceLease {
+            ns: Some(ns),
+            pool: Arc::clone(&self.inner),
+        }
     }
 
     pub fn free_count(&self) -> usize {

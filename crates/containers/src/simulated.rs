@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(b.live_containers(), 1);
         b.destroy(&c).unwrap();
         assert_eq!(b.live_containers(), 0);
-        assert!(matches!(b.invoke(&c, ""), Err(BackendError::UnknownContainer)));
+        assert!(matches!(
+            b.invoke(&c, ""),
+            Err(BackendError::UnknownContainer)
+        ));
     }
 
     #[test]
@@ -255,7 +258,10 @@ mod tests {
         let clock = Arc::new(ManualClock::new());
         let b = SimBackend::new(
             clock.clone(),
-            SimBackendConfig { time_scale: 0.01, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.01,
+                ..Default::default()
+            },
         );
         let c = b.create(&FunctionSpec::new("f", "1")).unwrap();
         let t0 = clock.now_ms();
@@ -281,7 +287,10 @@ mod tests {
         let clock = Arc::new(ManualClock::new());
         let b = SimBackend::new(
             clock.clone(),
-            SimBackendConfig { snapshot_factor: 0.25, ..Default::default() },
+            SimBackendConfig {
+                snapshot_factor: 0.25,
+                ..Default::default()
+            },
         );
         let spec = FunctionSpec::new("f", "1");
         let t0 = clock.now_ms();

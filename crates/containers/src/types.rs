@@ -51,7 +51,10 @@ pub struct ResourceLimits {
 
 impl Default for ResourceLimits {
     fn default() -> Self {
-        Self { cpus: 1.0, memory_mb: 128 }
+        Self {
+            cpus: 1.0,
+            memory_mb: 128,
+        }
     }
 }
 
@@ -192,7 +195,10 @@ mod tests {
     fn spec_builders() {
         let s = FunctionSpec::new("f", "2")
             .with_image("repo/f:2")
-            .with_limits(ResourceLimits { cpus: 2.0, memory_mb: 512 })
+            .with_limits(ResourceLimits {
+                cpus: 2.0,
+                memory_mb: 512,
+            })
             .with_timing(50, 900);
         assert_eq!(s.image, "repo/f:2");
         assert_eq!(s.limits.memory_mb, 512);

@@ -130,6 +130,9 @@ pub struct WireStatus {
     /// completes.
     #[serde(default)]
     pub drain_pending: u64,
+    /// Queue delay of the most recently dequeued invocation, ms.
+    #[serde(default)]
+    pub queue_delay_ms: u64,
 }
 
 impl From<WorkerStatus> for WireStatus {
@@ -157,6 +160,7 @@ impl From<WorkerStatus> for WireStatus {
             quarantine_released: s.quarantine_released,
             lifecycle: s.lifecycle,
             drain_pending: s.drain_pending,
+            queue_delay_ms: s.queue_delay_ms,
         }
     }
 }
@@ -199,9 +203,8 @@ impl WorkerApi {
         // served-request counter arrives through a slot filled after start.
         let own_handle: Arc<OnceLock<ServerHandle>> = Arc::new(OnceLock::new());
         let slot = Arc::clone(&own_handle);
-        let handler: Handler = Arc::new(move |req: Request| {
-            route(&worker, &pending, &cookie_seq, &slot, req)
-        });
+        let handler: Handler =
+            Arc::new(move |req: Request| route(&worker, &pending, &cookie_seq, &slot, req));
         let server = HttpServer::start(handler)?;
         let _ = own_handle.set(server.handle());
         Ok(Self { server })
@@ -240,59 +243,83 @@ fn route(
         }
         (Method::Get, "/metrics") => Response::ok(exposition::render_worker(worker, served()))
             .with_header("Content-Type", "text/plain; version=0.0.4"),
-        (Method::Get, "/spans") => {
-            json_resp(Status::OK, serde_json::to_string(&worker.spans().export()).unwrap())
-        }
-        (Method::Get, p) if p.starts_with("/trace/") => {
-            match p["/trace/".len()..].parse::<u64>() {
-                Ok(id) => match worker.trace(id) {
-                    Some(r) => json_resp(Status::OK, serde_json::to_string(&r).unwrap()),
-                    None => json_resp(Status::NOT_FOUND, "{\"error\":\"unknown trace\"}".into()),
-                },
-                Err(_) => json_resp(Status::BAD_REQUEST, "{\"error\":\"bad trace id\"}".into()),
-            }
-        }
+        (Method::Get, "/spans") => json_resp(
+            Status::OK,
+            serde_json::to_string(&worker.spans().export()).unwrap(),
+        ),
+        (Method::Get, p) if p.starts_with("/trace/") => match p["/trace/".len()..].parse::<u64>() {
+            Ok(id) => match worker.trace(id) {
+                Some(r) => json_resp(Status::OK, serde_json::to_string(&r).unwrap()),
+                None => json_resp(Status::NOT_FOUND, "{\"error\":\"unknown trace\"}".into()),
+            },
+            Err(_) => json_resp(Status::BAD_REQUEST, "{\"error\":\"bad trace id\"}".into()),
+        },
         (Method::Get, "/traces") => {
             let last = query
                 .split('&')
                 .find_map(|kv| kv.strip_prefix("last="))
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(20);
-            json_resp(Status::OK, serde_json::to_string(&worker.recent_traces(last)).unwrap())
+            json_resp(
+                Status::OK,
+                serde_json::to_string(&worker.recent_traces(last)).unwrap(),
+            )
         }
         (Method::Post, "/register") => match serde_json::from_str::<FunctionSpec>(body) {
             Ok(spec) => match worker.register(spec) {
                 Ok(reg) => json_resp(Status::OK, format!("{{\"fqdn\":{:?}}}", reg.spec.fqdn)),
-                Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+                Err(e) => json_resp(
+                    Status::BAD_REQUEST,
+                    format!("{{\"error\":{:?}}}", e.to_string()),
+                ),
             },
-            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+            Err(e) => json_resp(
+                Status::BAD_REQUEST,
+                format!("{{\"error\":{:?}}}", e.to_string()),
+            ),
         },
         (Method::Post, "/invoke") => match serde_json::from_str::<InvokeBody>(body) {
             Ok(b) => {
-                let tenant = req.header(iluvatar_http::TENANT_HEADER).map(str::to_string).or(b.tenant);
+                let tenant = req
+                    .header(iluvatar_http::TENANT_HEADER)
+                    .map(str::to_string)
+                    .or(b.tenant);
                 match worker.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
                     Ok(r) => {
                         let wire: WireResult = r.into();
                         json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
                     }
-                    Err(e) => error_resp(&e, worker.config().lifecycle.effective_retry_after_secs()),
+                    Err(e) => {
+                        error_resp(&e, worker.config().lifecycle.effective_retry_after_secs())
+                    }
                 }
             }
-            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+            Err(e) => json_resp(
+                Status::BAD_REQUEST,
+                format!("{{\"error\":{:?}}}", e.to_string()),
+            ),
         },
         (Method::Post, "/async_invoke") => match serde_json::from_str::<InvokeBody>(body) {
             Ok(b) => {
-                let tenant = req.header(iluvatar_http::TENANT_HEADER).map(str::to_string).or(b.tenant);
+                let tenant = req
+                    .header(iluvatar_http::TENANT_HEADER)
+                    .map(str::to_string)
+                    .or(b.tenant);
                 match worker.async_invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
                     Ok(handle) => {
                         let cookie = cookie_seq.fetch_add(1, Ordering::Relaxed);
                         pending.insert(cookie, handle);
                         json_resp(Status::OK, format!("{{\"cookie\":{cookie}}}"))
                     }
-                    Err(e) => error_resp(&e, worker.config().lifecycle.effective_retry_after_secs()),
+                    Err(e) => {
+                        error_resp(&e, worker.config().lifecycle.effective_retry_after_secs())
+                    }
                 }
             }
-            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+            Err(e) => json_resp(
+                Status::BAD_REQUEST,
+                format!("{{\"error\":{:?}}}", e.to_string()),
+            ),
         },
         (Method::Get, path) if path.starts_with("/result/") => {
             match path["/result/".len()..].parse::<u64>() {
@@ -333,7 +360,10 @@ fn route(
                 Ok(()) => json_resp(Status::OK, "{}".into()),
                 Err(e) => error_resp(&e, worker.config().lifecycle.effective_retry_after_secs()),
             },
-            Err(e) => json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string())),
+            Err(e) => json_resp(
+                Status::BAD_REQUEST,
+                format!("{{\"error\":{:?}}}", e.to_string()),
+            ),
         },
         _ => Response::new(Status::NOT_FOUND),
     }
@@ -352,6 +382,10 @@ pub enum ApiError {
     Http(String),
     /// Server answered with a non-success status.
     Status(u16, String),
+    /// Server answered 503 (draining or stopped), with the parsed
+    /// `Retry-After` hint — 0 when the server sent none. Callers routing
+    /// around the worker should suppress re-probing until the hint expires.
+    Unavailable { retry_after_secs: u64, body: String },
     /// Response body did not parse.
     Decode(String),
 }
@@ -361,6 +395,12 @@ impl std::fmt::Display for ApiError {
         match self {
             ApiError::Http(m) => write!(f, "http: {m}"),
             ApiError::Status(c, m) => write!(f, "status {c}: {m}"),
+            ApiError::Unavailable {
+                retry_after_secs,
+                body,
+            } => {
+                write!(f, "status 503 (retry after {retry_after_secs}s): {body}")
+            }
             ApiError::Decode(m) => write!(f, "decode: {m}"),
         }
     }
@@ -370,7 +410,10 @@ impl std::error::Error for ApiError {}
 
 impl WorkerApiClient {
     pub fn new(addr: SocketAddr) -> Self {
-        Self { addr, client: PooledClient::new(Duration::from_secs(120)) }
+        Self {
+            addr,
+            client: PooledClient::new(Duration::from_secs(120)),
+        }
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -388,6 +431,17 @@ impl WorkerApiClient {
     fn expect_ok(resp: Response) -> Result<Response, ApiError> {
         if resp.status.is_success() {
             Ok(resp)
+        } else if resp.status == Status::SERVICE_UNAVAILABLE {
+            // Surface the drain hint: the balancer uses it to stop
+            // re-probing the worker until the hint expires.
+            let retry_after_secs = resp
+                .header("Retry-After")
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+            Err(ApiError::Unavailable {
+                retry_after_secs,
+                body: resp.body_str().to_string(),
+            })
         } else {
             Err(ApiError::Status(resp.status.0, resp.body_str().to_string()))
         }
@@ -538,7 +592,10 @@ mod tests {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.02,
+                ..Default::default()
+            },
         ));
         let worker = Arc::new(Worker::new(WorkerConfig::for_testing(), backend, clock));
         let api = WorkerApi::serve(Arc::clone(&worker)).unwrap();
@@ -635,11 +692,20 @@ mod tests {
             .unwrap();
         client.invoke("f-1", "{}").unwrap();
         let text = client.metrics_text().unwrap();
-        assert!(text.contains("# TYPE iluvatar_queue_depth gauge"), "text:\n{text}");
+        assert!(
+            text.contains("# TYPE iluvatar_queue_depth gauge"),
+            "text:\n{text}"
+        );
         assert!(text.contains("iluvatar_invocations_completed_total{worker=\"test-worker\"} 1"));
-        assert!(text.contains("iluvatar_span_seconds_bucket"), "span histograms exported");
+        assert!(
+            text.contains("iluvatar_span_seconds_bucket"),
+            "span histograms exported"
+        );
         // The served counter is live: /register + /invoke + this scrape.
-        assert!(text.contains("iluvatar_http_requests_total"), "text:\n{text}");
+        assert!(
+            text.contains("iluvatar_http_requests_total"),
+            "text:\n{text}"
+        );
         assert!(api.served() >= 3);
         let st = client.status().unwrap();
         assert!(st.http_requests >= 3, "status carries the served count");
@@ -669,7 +735,9 @@ mod tests {
         assert!(tr.completed());
         // Unknown ids are a clean None, bad ids a 400.
         assert!(client.trace(u64::MAX).unwrap().is_none());
-        let resp = client.call(Request::new(Method::Get, "/trace/xyz")).unwrap();
+        let resp = client
+            .call(Request::new(Method::Get, "/trace/xyz"))
+            .unwrap();
         assert_eq!(resp.status.0, 400);
         // /traces lists newest-first and honors last=N.
         client.invoke("f-1", "{}").unwrap();
@@ -684,12 +752,14 @@ mod tests {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.02,
+                ..Default::default()
+            },
         ));
         let mut cfg = WorkerConfig::for_testing();
-        cfg.admission = AdmissionConfig::enabled_with(vec![
-            TenantSpec::new("free").with_rate(0.001, 1.0),
-        ]);
+        cfg.admission =
+            AdmissionConfig::enabled_with(vec![TenantSpec::new("free").with_rate(0.001, 1.0)]);
         let worker = Arc::new(Worker::new(cfg, backend, clock));
         let api = WorkerApi::serve(Arc::clone(&worker)).unwrap();
         let client = WorkerApiClient::new(api.addr());
@@ -721,7 +791,10 @@ mod tests {
         assert_eq!(st.dropped_admission, 1);
         let free = st.tenants.iter().find(|t| t.tenant == "free").unwrap();
         assert_eq!(free.throttled, 1);
-        assert!(st.tenants.iter().any(|t| t.tenant == "paid" && t.served == 1));
+        assert!(st
+            .tenants
+            .iter()
+            .any(|t| t.tenant == "paid" && t.served == 1));
     }
 
     #[test]

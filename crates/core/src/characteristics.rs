@@ -62,7 +62,10 @@ pub struct Characteristics {
 
 impl Characteristics {
     pub fn new(window: usize) -> Self {
-        Self { stats: ShardedMap::new(), window }
+        Self {
+            stats: ShardedMap::new(),
+            window,
+        }
     }
 
     fn slot(&self, fqdn: &str) -> Arc<Mutex<FuncStats>> {

@@ -227,15 +227,26 @@ pub struct LifecycleConfig {
 impl LifecycleConfig {
     /// Enable the WAL at `path` with default cadence.
     pub fn with_wal(path: &str) -> Self {
-        Self { wal_path: Some(path.to_string()), ..Default::default() }
+        Self {
+            wal_path: Some(path.to_string()),
+            ..Default::default()
+        }
     }
 
     pub fn effective_snapshot_every(&self) -> u64 {
-        if self.snapshot_every == 0 { 64 } else { self.snapshot_every }
+        if self.snapshot_every == 0 {
+            64
+        } else {
+            self.snapshot_every
+        }
     }
 
     pub fn effective_retry_after_secs(&self) -> u64 {
-        if self.drain_retry_after_secs == 0 { 1 } else { self.drain_retry_after_secs }
+        if self.drain_retry_after_secs == 0 {
+            1
+        } else {
+            self.drain_retry_after_secs
+        }
     }
 }
 
@@ -321,7 +332,10 @@ impl WorkerConfig {
             memory_mb: 1024,
             free_buffer_mb: 64,
             eviction_period_ms: 20,
-            concurrency: ConcurrencyConfig { limit: 8, ..Default::default() },
+            concurrency: ConcurrencyConfig {
+                limit: 8,
+                ..Default::default()
+            },
             netns_pool: 2,
             ..Default::default()
         }

@@ -20,22 +20,8 @@ use std::fmt::Write as _;
 /// control-plane hops to multi-second cold starts; `le` labels are rendered
 /// in seconds per Prometheus convention.
 pub const DEFAULT_EDGES_US: &[u64] = &[
-    100,
-    250,
-    500,
-    1_000,
-    2_500,
-    5_000,
-    10_000,
-    25_000,
-    50_000,
-    100_000,
-    250_000,
-    500_000,
-    1_000_000,
-    2_500_000,
-    5_000_000,
-    10_000_000,
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
 ];
 
 /// Incremental Prometheus text writer.
@@ -46,7 +32,10 @@ pub struct PromWriter {
 
 impl PromWriter {
     pub fn new() -> Self {
-        Self { out: String::new(), seen: HashSet::new() }
+        Self {
+            out: String::new(),
+            seen: HashSet::new(),
+        }
     }
 
     fn preamble(&mut self, name: &str, help: &str, kind: &str) {
@@ -60,10 +49,7 @@ impl PromWriter {
         if labels.is_empty() {
             return String::new();
         }
-        let inner: Vec<String> = labels
-            .iter()
-            .map(|(k, v)| format!("{k}={:?}", v))
-            .collect();
+        let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={:?}", v)).collect();
         format!("{{{}}}", inner.join(","))
     }
 
@@ -144,31 +130,116 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
     let base: &[(&str, &str)] = &[("worker", &st.name)];
     let mut w = PromWriter::new();
 
-    w.gauge("iluvatar_queue_depth", "Invocations waiting in the queue", base, st.queue_len as f64);
-    w.gauge("iluvatar_running_invocations", "Invocations currently executing", base, st.running as f64);
+    w.gauge(
+        "iluvatar_queue_depth",
+        "Invocations waiting in the queue",
+        base,
+        st.queue_len as f64,
+    );
+    w.gauge(
+        "iluvatar_running_invocations",
+        "Invocations currently executing",
+        base,
+        st.running as f64,
+    );
     w.gauge(
         "iluvatar_concurrency_limit",
         "Current concurrency limit (fixed or AIMD)",
         base,
         st.concurrency_limit as f64,
     );
-    w.gauge("iluvatar_normalized_load", "(running + queued) / cores", base, st.normalized_load);
-    w.gauge("iluvatar_pool_used_mem_mb", "Memory held by pooled containers, MB", base, st.used_mem_mb as f64);
-    w.gauge("iluvatar_pool_free_mem_mb", "Memory available for cold starts, MB", base, st.free_mem_mb as f64);
-    w.gauge("iluvatar_pool_idle_containers", "Warm containers parked in the pool", base, pool.idle_containers as f64);
+    w.gauge(
+        "iluvatar_normalized_load",
+        "(running + queued) / cores",
+        base,
+        st.normalized_load,
+    );
+    w.gauge(
+        "iluvatar_pool_used_mem_mb",
+        "Memory held by pooled containers, MB",
+        base,
+        st.used_mem_mb as f64,
+    );
+    w.gauge(
+        "iluvatar_pool_free_mem_mb",
+        "Memory available for cold starts, MB",
+        base,
+        st.free_mem_mb as f64,
+    );
+    w.gauge(
+        "iluvatar_pool_idle_containers",
+        "Warm containers parked in the pool",
+        base,
+        pool.idle_containers as f64,
+    );
 
-    w.counter("iluvatar_invocations_completed_total", "Successfully completed invocations", base, st.completed as f64);
-    w.counter("iluvatar_invocations_dropped_total", "Invocations dropped (backpressure / no memory)", base, st.dropped as f64);
-    w.counter("iluvatar_invocations_failed_total", "Invocations that errored at dispatch", base, st.failed as f64);
-    w.counter("iluvatar_cold_starts_total", "Invocations that paid a cold start", base, st.cold_starts as f64);
-    w.counter("iluvatar_warm_hits_total", "Invocations served by a warm container", base, st.warm_hits as f64);
-    w.counter("iluvatar_pool_evictions_total", "Keep-alive evictions", base, pool.evictions as f64);
-    w.counter("iluvatar_http_requests_total", "Requests served by the worker API", base, http_requests as f64);
+    w.counter(
+        "iluvatar_invocations_completed_total",
+        "Successfully completed invocations",
+        base,
+        st.completed as f64,
+    );
+    w.counter(
+        "iluvatar_invocations_dropped_total",
+        "Invocations dropped (backpressure / no memory)",
+        base,
+        st.dropped as f64,
+    );
+    w.counter(
+        "iluvatar_invocations_failed_total",
+        "Invocations that errored at dispatch",
+        base,
+        st.failed as f64,
+    );
+    w.counter(
+        "iluvatar_cold_starts_total",
+        "Invocations that paid a cold start",
+        base,
+        st.cold_starts as f64,
+    );
+    w.counter(
+        "iluvatar_warm_hits_total",
+        "Invocations served by a warm container",
+        base,
+        st.warm_hits as f64,
+    );
+    w.counter(
+        "iluvatar_pool_evictions_total",
+        "Keep-alive evictions",
+        base,
+        pool.evictions as f64,
+    );
+    w.counter(
+        "iluvatar_http_requests_total",
+        "Requests served by the worker API",
+        base,
+        http_requests as f64,
+    );
 
-    w.counter("iluvatar_retries_total", "Retries scheduled after transient backend failures", base, st.retries as f64);
-    w.counter("iluvatar_agent_timeouts_total", "Agent calls abandoned at the agent timeout", base, st.agent_timeouts as f64);
-    w.counter("iluvatar_containers_quarantined_total", "Containers quarantined after a failed agent hop", base, st.quarantined as f64);
-    w.counter("iluvatar_quarantine_released_total", "Quarantined containers released back to the pool after their TTL", base, st.quarantine_released as f64);
+    w.counter(
+        "iluvatar_retries_total",
+        "Retries scheduled after transient backend failures",
+        base,
+        st.retries as f64,
+    );
+    w.counter(
+        "iluvatar_agent_timeouts_total",
+        "Agent calls abandoned at the agent timeout",
+        base,
+        st.agent_timeouts as f64,
+    );
+    w.counter(
+        "iluvatar_containers_quarantined_total",
+        "Containers quarantined after a failed agent hop",
+        base,
+        st.quarantined as f64,
+    );
+    w.counter(
+        "iluvatar_quarantine_released_total",
+        "Quarantined containers released back to the pool after their TTL",
+        base,
+        st.quarantine_released as f64,
+    );
     w.counter(
         "iluvatar_dropped_retry_exhausted_total",
         "Invocations failed after the retry budget was exhausted or shed",
@@ -184,18 +255,68 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
     );
     for t in worker.tenant_stats() {
         let labels: &[(&str, &str)] = &[("worker", &st.name), ("tenant", &t.tenant)];
-        w.gauge("iluvatar_tenant_weight", "DRR fair-share weight", labels, t.weight);
-        w.counter("iluvatar_tenant_admitted_total", "Invocations admitted for the tenant", labels, t.admitted as f64);
-        w.counter("iluvatar_tenant_throttled_total", "Invocations throttled by the tenant rate limit", labels, t.throttled as f64);
-        w.counter("iluvatar_tenant_shed_total", "Best-effort invocations shed under overload", labels, t.shed as f64);
-        w.counter("iluvatar_tenant_served_total", "Invocations completed for the tenant", labels, t.served as f64);
+        w.gauge(
+            "iluvatar_tenant_weight",
+            "DRR fair-share weight",
+            labels,
+            t.weight,
+        );
+        w.counter(
+            "iluvatar_tenant_admitted_total",
+            "Invocations admitted for the tenant",
+            labels,
+            t.admitted as f64,
+        );
+        w.counter(
+            "iluvatar_tenant_throttled_total",
+            "Invocations throttled by the tenant rate limit",
+            labels,
+            t.throttled as f64,
+        );
+        w.counter(
+            "iluvatar_tenant_shed_total",
+            "Best-effort invocations shed under overload",
+            labels,
+            t.shed as f64,
+        );
+        w.counter(
+            "iluvatar_tenant_served_total",
+            "Invocations completed for the tenant",
+            labels,
+            t.served as f64,
+        );
     }
 
-    w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "1m")], m.load_1);
-    w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "5m")], m.load_5);
-    w.gauge("iluvatar_load_average", "Damped busy-core load average", &[("worker", &st.name), ("window", "15m")], m.load_15);
-    w.counter("iluvatar_energy_joules_total", "Modelled cumulative energy", base, m.energy_j);
-    w.gauge("iluvatar_power_watts", "Modelled instantaneous power", base, m.power_w);
+    w.gauge(
+        "iluvatar_load_average",
+        "Damped busy-core load average",
+        &[("worker", &st.name), ("window", "1m")],
+        m.load_1,
+    );
+    w.gauge(
+        "iluvatar_load_average",
+        "Damped busy-core load average",
+        &[("worker", &st.name), ("window", "5m")],
+        m.load_5,
+    );
+    w.gauge(
+        "iluvatar_load_average",
+        "Damped busy-core load average",
+        &[("worker", &st.name), ("window", "15m")],
+        m.load_15,
+    );
+    w.counter(
+        "iluvatar_energy_joules_total",
+        "Modelled cumulative energy",
+        base,
+        m.energy_j,
+    );
+    w.gauge(
+        "iluvatar_power_watts",
+        "Modelled instantaneous power",
+        base,
+        m.power_w,
+    );
 
     render_span_histograms(&mut w, base, &worker.spans().export());
     w.finish()
@@ -217,7 +338,9 @@ mod tests {
             if line.starts_with('#') || line.is_empty() {
                 continue;
             }
-            let (_, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+            let (_, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("bad line: {line}"));
             assert!(
                 value.parse::<f64>().is_ok() || value == "+Inf",
                 "unparseable value in line: {line}"
@@ -247,8 +370,14 @@ mod tests {
         let mut w = PromWriter::new();
         w.histogram("x_seconds", "x", &[("span", "s")], &h, DEFAULT_EDGES_US);
         let out = w.finish();
-        assert!(out.contains("x_seconds_bucket{span=\"s\",le=\"0.0001\"} 1"), "out: {out}");
-        assert!(out.contains("x_seconds_bucket{span=\"s\",le=\"0.001\"} 3"), "out: {out}");
+        assert!(
+            out.contains("x_seconds_bucket{span=\"s\",le=\"0.0001\"} 1"),
+            "out: {out}"
+        );
+        assert!(
+            out.contains("x_seconds_bucket{span=\"s\",le=\"0.001\"} 3"),
+            "out: {out}"
+        );
         assert!(out.contains("x_seconds_bucket{span=\"s\",le=\"+Inf\"} 4"));
         assert!(out.contains("x_seconds_count{span=\"s\"} 4"));
         // Cumulative counts never decrease across increasing edges.
@@ -266,10 +395,15 @@ mod tests {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.02,
+                ..Default::default()
+            },
         ));
         let worker = Worker::new(WorkerConfig::for_testing(), backend, clock);
-        worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        worker
+            .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
         worker.invoke("f-1", "{}").unwrap();
         worker.invoke("f-1", "{}").unwrap();
         let text = render_worker(&worker, 7);
@@ -300,7 +434,10 @@ mod tests {
         }
         assert!(text.contains("iluvatar_http_requests_total{worker=\"test-worker\"} 7"));
         // At least one span histogram per Table-1 group that ran.
-        assert!(text.contains("span=\"call_container\""), "span labels present");
+        assert!(
+            text.contains("span=\"call_container\""),
+            "span labels present"
+        );
         assert!(text.contains("span=\"invoke\""));
         // Admission disabled: no per-tenant families rendered.
         assert!(!text.contains("iluvatar_tenant_admitted_total{"));
@@ -312,7 +449,10 @@ mod tests {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.02,
+                ..Default::default()
+            },
         ));
         let mut cfg = WorkerConfig::for_testing();
         cfg.admission = AdmissionConfig::enabled_with(vec![
@@ -320,16 +460,25 @@ mod tests {
             TenantSpec::new("free").with_rate(0.001, 1.0),
         ]);
         let worker = Worker::new(cfg, backend, clock);
-        worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        worker
+            .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
         worker.invoke_tenant("f-1", "{}", Some("gold")).unwrap();
         worker.invoke_tenant("f-1", "{}", Some("free")).unwrap();
         let _ = worker.invoke_tenant("f-1", "{}", Some("free")); // throttled
         let text = render_worker(&worker, 0);
         assert_valid_prom(&text);
-        assert!(text.contains("iluvatar_tenant_weight{worker=\"test-worker\",tenant=\"gold\"} 3"), "{text}");
-        assert!(text.contains("iluvatar_tenant_admitted_total{worker=\"test-worker\",tenant=\"gold\"} 1"));
-        assert!(text.contains("iluvatar_tenant_throttled_total{worker=\"test-worker\",tenant=\"free\"} 1"));
-        assert!(text.contains("iluvatar_tenant_served_total{worker=\"test-worker\",tenant=\"gold\"} 1"));
+        assert!(
+            text.contains("iluvatar_tenant_weight{worker=\"test-worker\",tenant=\"gold\"} 3"),
+            "{text}"
+        );
+        assert!(text
+            .contains("iluvatar_tenant_admitted_total{worker=\"test-worker\",tenant=\"gold\"} 1"));
+        assert!(text
+            .contains("iluvatar_tenant_throttled_total{worker=\"test-worker\",tenant=\"free\"} 1"));
+        assert!(
+            text.contains("iluvatar_tenant_served_total{worker=\"test-worker\",tenant=\"gold\"} 1")
+        );
         assert!(text.contains("iluvatar_dropped_admission_total{worker=\"test-worker\"} 1"));
     }
 }

@@ -167,7 +167,9 @@ impl TraceJournal {
         let per_shard = (capacity / SHARDS).max(1);
         Self {
             shards: (0..SHARDS)
-                .map(|_| Shard { ring: Mutex::new(VecDeque::with_capacity(per_shard)) })
+                .map(|_| Shard {
+                    ring: Mutex::new(VecDeque::with_capacity(per_shard)),
+                })
                 .collect(),
             per_shard,
             // Spread seeds across the id space; low bits stay sequential.
@@ -188,7 +190,10 @@ impl TraceJournal {
             trace_id: id,
             fqdn: fqdn.to_string(),
             ingest_ms: now,
-            events: vec![TraceEvent { at_ms: now, kind: TraceEventKind::Ingested }],
+            events: vec![TraceEvent {
+                at_ms: now,
+                kind: TraceEventKind::Ingested,
+            }],
         }));
         let mut ring = self.shard(id).ring.lock();
         if ring.len() == self.per_shard {
@@ -207,7 +212,10 @@ impl TraceJournal {
             trace_id: id,
             fqdn: fqdn.to_string(),
             ingest_ms: now,
-            events: vec![TraceEvent { at_ms: now, kind: TraceEventKind::Recovered }],
+            events: vec![TraceEvent {
+                at_ms: now,
+                kind: TraceEventKind::Recovered,
+            }],
         }));
         let mut ring = self.shard(id).ring.lock();
         if ring.len() == self.per_shard {
@@ -230,7 +238,10 @@ impl TraceJournal {
             ring.iter().find(|r| r.lock().trace_id == id).cloned()
         };
         if let Some(r) = record {
-            r.lock().events.push(TraceEvent { at_ms: self.clock.now_ms(), kind });
+            r.lock().events.push(TraceEvent {
+                at_ms: self.clock.now_ms(),
+                kind,
+            });
         }
     }
 
@@ -316,7 +327,10 @@ mod tests {
             ]
         );
         let times: Vec<_> = r.events.iter().map(|e| e.at_ms).collect();
-        assert!(times.windows(2).all(|w| w[0] <= w[1]), "timestamps ordered: {times:?}");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps ordered: {times:?}"
+        );
         assert_eq!(r.cold(), Some(true));
         assert!(r.completed());
     }
@@ -367,7 +381,10 @@ mod tests {
         j.record(id, TraceEventKind::ResultReturned { ok: false });
         let r = j.get(id).unwrap();
         let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"kind\":\"container_acquired\""), "json: {json}");
+        assert!(
+            json.contains("\"kind\":\"container_acquired\""),
+            "json: {json}"
+        );
         let back: TraceRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.trace_id, r.trace_id);
         assert_eq!(back.events, r.events);

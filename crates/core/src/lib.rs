@@ -43,9 +43,9 @@ pub use config::{
     ConcurrencyConfig, KeepalivePolicyKind, LifecycleConfig, QueueConfig, QueuePolicyKind,
     ResilienceConfig, WorkerConfig,
 };
-pub use queue::{DrrQueue, DEFAULT_DRR_QUANTUM_MS};
 pub use invocation::{InvocationHandle, InvocationResult, InvokeError};
 pub use journal::{journal_digest, TraceEvent, TraceEventKind, TraceJournal, TraceRecord};
+pub use queue::{DrrQueue, DEFAULT_DRR_QUANTUM_MS};
 pub use registration::{RegisterError, Registration, Registry};
 pub use spans::{merge_span_exports, SpanExport, Spans};
 pub use wal::{CounterBaselines, PendingInvocation, ReplayState, Wal, WalRecord, WalSnapshot};

@@ -42,7 +42,10 @@ pub struct PowerModel {
 impl Default for PowerModel {
     fn default() -> Self {
         // A mid-range dual-socket server: ~100W idle, ~4.5W/core active.
-        Self { idle_w: 100.0, per_core_w: 4.5 }
+        Self {
+            idle_w: 100.0,
+            per_core_w: 4.5,
+        }
     }
 }
 
@@ -129,7 +132,13 @@ mod tests {
 
     fn collector() -> (Arc<ManualClock>, SystemMetrics) {
         let clock = Arc::new(ManualClock::new());
-        let m = SystemMetrics::new(PowerModel { idle_w: 100.0, per_core_w: 5.0 }, clock.clone());
+        let m = SystemMetrics::new(
+            PowerModel {
+                idle_w: 100.0,
+                per_core_w: 5.0,
+            },
+            clock.clone(),
+        );
         (clock, m)
     }
 
@@ -188,6 +197,10 @@ mod tests {
         c.advance(10_000);
         m.sample(10.0); // the *elapsed* interval is billed at the new busy level
         let s = m.snapshot();
-        assert!((s.energy_j - (1000.0 + 1500.0)).abs() < 1e-9, "got {}", s.energy_j);
+        assert!(
+            (s.energy_j - (1000.0 + 1500.0)).abs() < 1e-9,
+            "got {}",
+            s.energy_j
+        );
     }
 }

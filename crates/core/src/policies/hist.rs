@@ -40,7 +40,11 @@ struct FnHistory {
 
 impl FnHistory {
     fn new() -> Self {
-        Self { hist: Histogram::new(BUCKET_MS, BUCKETS), welford: Welford::new(), last_arrival: None }
+        Self {
+            hist: Histogram::new(BUCKET_MS, BUCKETS),
+            welford: Welford::new(),
+            last_arrival: None,
+        }
     }
 
     fn predictable(&self) -> bool {
@@ -68,7 +72,9 @@ pub struct HistPolicy {
 
 impl HistPolicy {
     pub fn new() -> Self {
-        Self { functions: HashMap::new() }
+        Self {
+            functions: HashMap::new(),
+        }
     }
 
     /// The keep-alive window for `fqdn` (test/inspection hook).
@@ -77,7 +83,10 @@ impl HistPolicy {
     }
 
     pub fn is_predictable(&self, fqdn: &str) -> bool {
-        self.functions.get(fqdn).map(|h| h.predictable()).unwrap_or(false)
+        self.functions
+            .get(fqdn)
+            .map(|h| h.predictable())
+            .unwrap_or(false)
     }
 }
 
@@ -180,7 +189,10 @@ mod tests {
         assert!(p.is_predictable("reg-1"));
         let (preload, ttl) = p.window_for("reg-1").unwrap();
         // Head of the window just before 10 min; tail just past it.
-        assert!(preload > 5 * 60_000 && preload < 10 * 60_000, "preload {preload}");
+        assert!(
+            preload > 5 * 60_000 && preload < 10 * 60_000,
+            "preload {preload}"
+        );
         assert!(ttl > 10 * 60_000 && ttl < 20 * 60_000, "ttl {ttl}");
     }
 
@@ -214,7 +226,10 @@ mod tests {
         p.on_insert(&mut e, last);
         // Two minutes after use: still idle-lingering? Past the 1-minute
         // linger and far before the ~25min preload point → eagerly evicted.
-        assert!(p.expired(&e, last + 2 * 60_000), "eager eviction frees memory");
+        assert!(
+            p.expired(&e, last + 2 * 60_000),
+            "eager eviction frees memory"
+        );
         // And certainly expired long past the TTL.
         assert!(p.expired(&e, last + 3 * 60 * 60_000));
     }

@@ -55,6 +55,9 @@ mod tests {
         p.on_insert(&mut b, 200);
         assert!(p.priority(&a, 300) < p.priority(&b, 300));
         p.on_access(&mut a, 400);
-        assert!(p.priority(&a, 500) > p.priority(&b, 500), "access moves to MRU");
+        assert!(
+            p.priority(&a, 500) > p.priority(&b, 500),
+            "access moves to MRU"
+        );
     }
 }

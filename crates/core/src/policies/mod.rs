@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn entry_meta_clamps_zero_memory() {
         let e = EntryMeta::new("f-1", 0, 100.0, 5);
-        assert_eq!(e.memory_mb, 1, "zero-size entries would break size-aware policies");
+        assert_eq!(
+            e.memory_mb, 1,
+            "zero-size entries would break size-aware policies"
+        );
         assert_eq!(e.freq, 1);
         assert_eq!(e.last_access_ms, 5);
     }

@@ -94,10 +94,14 @@ impl ContainerPool {
     }
 
     fn bump_freq(&self, fqdn: &str) -> u64 {
-        self.freq.update_or_insert(fqdn.to_string(), || 0, |f| {
-            *f += 1;
-            *f
-        })
+        self.freq.update_or_insert(
+            fqdn.to_string(),
+            || 0,
+            |f| {
+                *f += 1;
+                *f
+            },
+        )
     }
 
     /// Forward an invocation arrival to the policy (HIST histograms).
@@ -141,7 +145,8 @@ impl ContainerPool {
                 let now = self.clock.now_ms();
                 e.meta.freq = self.bump_freq(fqdn);
                 self.policy.lock().on_access(&mut e.meta, now);
-                self.idle_mb.fetch_sub(e.meta.memory_mb as i64, Ordering::Relaxed);
+                self.idle_mb
+                    .fetch_sub(e.meta.memory_mb as i64, Ordering::Relaxed);
                 self.warm_hits.fetch_add(1, Ordering::Relaxed);
                 Some(e.container)
             }
@@ -244,15 +249,19 @@ impl ContainerPool {
         let slot = self.slot(fqdn);
         let entry = {
             let mut entries = slot.lock();
-            let idx = entries.iter().position(|e| e.container.id.0 == container_id);
+            let idx = entries
+                .iter()
+                .position(|e| e.container.id.0 == container_id);
             idx.map(|i| entries.swap_remove(i))
         };
         match entry {
             Some(e) => {
                 let now = self.clock.now_ms();
                 self.policy.lock().on_evict(&e.meta, now);
-                self.idle_mb.fetch_sub(e.meta.memory_mb as i64, Ordering::Relaxed);
-                self.used_mb.fetch_sub(e.meta.memory_mb as i64, Ordering::Relaxed);
+                self.idle_mb
+                    .fetch_sub(e.meta.memory_mb as i64, Ordering::Relaxed);
+                self.used_mb
+                    .fetch_sub(e.meta.memory_mb as i64, Ordering::Relaxed);
                 if expired {
                     self.expirations.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -310,7 +319,8 @@ impl ContainerPool {
 
     pub fn stats(&self) -> PoolStats {
         let mut idle_containers = 0;
-        self.slots.for_each(|_, slot| idle_containers += slot.lock().len());
+        self.slots
+            .for_each(|_, slot| idle_containers += slot.lock().len());
         PoolStats {
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             cold_misses: self.cold_misses.load(Ordering::Relaxed),
@@ -345,7 +355,13 @@ mod tests {
     }
 
     fn container(fqdn: &str, mb: u64) -> SharedContainer {
-        Arc::new(Container::new(fqdn, ResourceLimits { cpus: 1.0, memory_mb: mb }))
+        Arc::new(Container::new(
+            fqdn,
+            ResourceLimits {
+                cpus: 1.0,
+                memory_mb: mb,
+            },
+        ))
     }
 
     #[test]

@@ -107,7 +107,12 @@ struct SubQueue {
 
 impl SubQueue {
     fn new(weight: f64) -> Self {
-        Self { items: VecDeque::new(), deficit: 0.0, weight, credited: false }
+        Self {
+            items: VecDeque::new(),
+            deficit: 0.0,
+            weight,
+            credited: false,
+        }
     }
 }
 
@@ -133,7 +138,11 @@ const UNLABELLED: &str = "default";
 impl DrrQueue {
     /// `quantum_ms` of 0 selects [`DEFAULT_DRR_QUANTUM_MS`].
     pub fn new(quantum_ms: u64) -> Self {
-        let q = if quantum_ms == 0 { DEFAULT_DRR_QUANTUM_MS } else { quantum_ms };
+        let q = if quantum_ms == 0 {
+            DEFAULT_DRR_QUANTUM_MS
+        } else {
+            quantum_ms
+        };
         Self {
             quantum_ms: q as f64,
             active: VecDeque::new(),
@@ -157,8 +166,11 @@ impl DrrQueue {
 
     /// Dump every tenant's deficit, sorted by tenant id (snapshot input).
     pub fn deficits(&self) -> Vec<(String, f64)> {
-        let mut out: Vec<(String, f64)> =
-            self.subs.iter().map(|(k, s)| (k.clone(), s.deficit)).collect();
+        let mut out: Vec<(String, f64)> = self
+            .subs
+            .iter()
+            .map(|(k, s)| (k.clone(), s.deficit))
+            .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -176,9 +188,19 @@ impl DrrQueue {
     }
 
     pub fn push(&mut self, item: QueuedInvocation) {
-        let key = item.tenant.clone().unwrap_or_else(|| UNLABELLED.to_string());
-        let weight = if item.tenant_weight > 0.0 { item.tenant_weight } else { 1.0 };
-        let sub = self.subs.entry(key.clone()).or_insert_with(|| SubQueue::new(weight));
+        let key = item
+            .tenant
+            .clone()
+            .unwrap_or_else(|| UNLABELLED.to_string());
+        let weight = if item.tenant_weight > 0.0 {
+            item.tenant_weight
+        } else {
+            1.0
+        };
+        let sub = self
+            .subs
+            .entry(key.clone())
+            .or_insert_with(|| SubQueue::new(weight));
         sub.weight = weight;
         if sub.items.is_empty() {
             // Invariant: a tenant is in the rotation iff its sub-queue is
@@ -198,7 +220,10 @@ impl DrrQueue {
         // head item's cost.
         loop {
             let key = self.active.front()?.clone();
-            let sub = self.subs.get_mut(&key).expect("active tenant has a sub-queue");
+            let sub = self
+                .subs
+                .get_mut(&key)
+                .expect("active tenant has a sub-queue");
             if !sub.credited {
                 sub.deficit += self.quantum_ms * sub.weight;
                 sub.credited = true;
@@ -327,7 +352,11 @@ impl InvocationQueue {
             return Err(PushError::Full);
         }
         match &mut st.q {
-            QueueImpl::Heap(h) => h.push(HeapItem { priority, seq, item }),
+            QueueImpl::Heap(h) => h.push(HeapItem {
+                priority,
+                seq,
+                item,
+            }),
             QueueImpl::Drr(d) => d.push(item),
         }
         drop(st);
@@ -448,7 +477,10 @@ mod tests {
     }
 
     fn queue(policy: QueuePolicyKind) -> InvocationQueue {
-        InvocationQueue::new(QueueConfig { policy, ..Default::default() })
+        InvocationQueue::new(QueueConfig {
+            policy,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -540,7 +572,10 @@ mod tests {
         let q = queue(QueuePolicyKind::Fcfs);
         q.push(item("x", 0, 0.0, 0.0)).unwrap();
         q.close();
-        assert_eq!(q.push(item("y", 0, 0.0, 0.0)).unwrap_err(), PushError::Closed);
+        assert_eq!(
+            q.push(item("y", 0, 0.0, 0.0)).unwrap_err(),
+            PushError::Closed
+        );
         assert!(q.pop_timeout(Duration::from_millis(5)).is_some(), "drains");
         assert!(q.pop_timeout(Duration::from_millis(5)).is_none());
     }
@@ -580,7 +615,8 @@ mod tests {
         // while both stay backlogged, service must stay ~1:1.
         let q = queue(QueuePolicyKind::Drr);
         for i in 0..400 {
-            q.push(titem("f", i, 10.0, 0.0, Some("flood"), 1.0)).unwrap();
+            q.push(titem("f", i, 10.0, 0.0, Some("flood"), 1.0))
+                .unwrap();
         }
         for i in 0..40 {
             q.push(titem("m", i, 10.0, 0.0, Some("meek"), 1.0)).unwrap();
@@ -601,7 +637,8 @@ mod tests {
         let q = queue(QueuePolicyKind::Drr);
         for i in 0..300 {
             q.push(titem("g", i, 10.0, 0.0, Some("gold"), 3.0)).unwrap();
-            q.push(titem("b", i, 10.0, 0.0, Some("bronze"), 1.0)).unwrap();
+            q.push(titem("b", i, 10.0, 0.0, Some("bronze"), 1.0))
+                .unwrap();
         }
         let (gold, bronze) = drain_counts(&q, 200, "gold", "bronze");
         assert_eq!(gold + bronze, 200);
@@ -637,7 +674,9 @@ mod tests {
         assert_eq!(q.try_pop().unwrap().fqdn, "x", "FIFO within a sub-queue");
         assert_eq!(q.try_pop().unwrap().fqdn, "y");
         assert!(q.drr_deficit("default").is_some());
-        assert!(queue(QueuePolicyKind::Fcfs).drr_deficit("default").is_none());
+        assert!(queue(QueuePolicyKind::Fcfs)
+            .drr_deficit("default")
+            .is_none());
     }
 
     #[test]
@@ -651,7 +690,10 @@ mod tests {
             seen.push(i.fqdn);
         }
         assert_eq!(seen.len(), 2);
-        assert!(seen.contains(&"big".to_string()), "expensive item not starved");
+        assert!(
+            seen.contains(&"big".to_string()),
+            "expensive item not starved"
+        );
     }
 
     #[test]
@@ -663,7 +705,8 @@ mod tests {
             ..Default::default()
         });
         assert!(q.should_bypass(10.0, 0.1), "empty fair queue may bypass");
-        q.push(titem("f", 0, 10.0, 0.0, Some("flood"), 1.0)).unwrap();
+        q.push(titem("f", 0, 10.0, 0.0, Some("flood"), 1.0))
+            .unwrap();
         assert!(
             !q.should_bypass(10.0, 0.1),
             "backlogged fair queue must not be bypassed"

@@ -57,7 +57,11 @@ pub struct Registry {
 
 impl Registry {
     pub fn new(platform: Platform) -> Self {
-        Self { functions: ShardedMap::new(), images: Mutex::new(ImageRegistry::new()), platform }
+        Self {
+            functions: ShardedMap::new(),
+            images: Mutex::new(ImageRegistry::new()),
+            platform,
+        }
     }
 
     /// Validate `spec`, prepare its image, and store the registration.
@@ -95,7 +99,11 @@ impl Registry {
         };
         let reg = Arc::new(Registration { spec, image });
         // A concurrent duplicate registration loses: first insert wins.
-        if self.functions.insert(reg.spec.fqdn.clone(), Arc::clone(&reg)).is_some() {
+        if self
+            .functions
+            .insert(reg.spec.fqdn.clone(), Arc::clone(&reg))
+            .is_some()
+        {
             return Err(RegisterError::AlreadyRegistered(reg.spec.fqdn.clone()));
         }
         Ok(reg)
@@ -132,7 +140,10 @@ mod tests {
         let r = registry();
         let reg = r.register(FunctionSpec::new("hello", "1")).unwrap();
         assert_eq!(reg.spec.fqdn, "hello-1");
-        assert!(!reg.image.layers.is_empty(), "image prepared at registration");
+        assert!(
+            !reg.image.layers.is_empty(),
+            "image prepared at registration"
+        );
         assert_eq!(r.get("hello-1").unwrap().spec.name, "hello");
         assert_eq!(r.len(), 1);
     }
@@ -158,10 +169,16 @@ mod tests {
             Err(RegisterError::InvalidSpec(_))
         ));
         let mut s = FunctionSpec::new("f", "1");
-        s.limits = ResourceLimits { cpus: 1.0, memory_mb: 0 };
+        s.limits = ResourceLimits {
+            cpus: 1.0,
+            memory_mb: 0,
+        };
         assert!(matches!(r.register(s), Err(RegisterError::InvalidSpec(_))));
         let mut s = FunctionSpec::new("f", "1");
-        s.limits = ResourceLimits { cpus: 0.0, memory_mb: 128 };
+        s.limits = ResourceLimits {
+            cpus: 0.0,
+            memory_mb: 128,
+        };
         assert!(matches!(r.register(s), Err(RegisterError::InvalidSpec(_))));
     }
 

@@ -38,9 +38,18 @@ pub mod names {
 
     /// Table 1 grouping: (group, spans).
     pub const GROUPS: &[(&str, &[&str])] = &[
-        ("Ingestion & Queuing", &[INVOKE, SYNC_INVOKE, ENQUEUE_INVOCATION, ADD_ITEM_TO_Q]),
-        ("Container Operations", &[SPAWN_WORKER, DEQUEUE, ACQUIRE_CONTAINER, TRY_LOCK_CONTAINER]),
-        ("Agent Communication", &[PREPARE_INVOKE, CALL_CONTAINER, DOWNLOAD_RESULT]),
+        (
+            "Ingestion & Queuing",
+            &[INVOKE, SYNC_INVOKE, ENQUEUE_INVOCATION, ADD_ITEM_TO_Q],
+        ),
+        (
+            "Container Operations",
+            &[SPAWN_WORKER, DEQUEUE, ACQUIRE_CONTAINER, TRY_LOCK_CONTAINER],
+        ),
+        (
+            "Agent Communication",
+            &[PREPARE_INVOKE, CALL_CONTAINER, DOWNLOAD_RESULT],
+        ),
         ("Returning", &[RETURN_CONTAINER, RETURN_RESULTS]),
     ];
 }
@@ -148,7 +157,9 @@ impl Drop for SpanGuard {
 
 impl Spans {
     pub fn new() -> Self {
-        Self { stats: Arc::new(ShardedMap::new()) }
+        Self {
+            stats: Arc::new(ShardedMap::new()),
+        }
     }
 
     fn slot(&self, name: &'static str) -> Arc<SpanStats> {
@@ -161,7 +172,10 @@ impl Spans {
 
     /// Start timing `name`; the span records when the guard drops.
     pub fn time(&self, name: &'static str) -> SpanGuard {
-        SpanGuard { stats: self.slot(name), start: Instant::now() }
+        SpanGuard {
+            stats: self.slot(name),
+            start: Instant::now(),
+        }
     }
 
     /// Record an externally measured duration (µs).
@@ -312,7 +326,11 @@ mod tests {
         assert_eq!(e.hist.count(), 5);
         assert!((e.mean_ms() - 2.2).abs() < 1e-9, "mean {}", e.mean_ms());
         let p99 = e.percentile_ms(0.99);
-        assert!((p99 - 10.0).abs() / 10.0 < 0.02, "p99 {} should be ~10ms", p99);
+        assert!(
+            (p99 - 10.0).abs() / 10.0 < 0.02,
+            "p99 {} should be ~10ms",
+            p99
+        );
     }
 
     #[test]

@@ -331,7 +331,11 @@ fn tenant_entry<'a>(
     if let Some(i) = tenants.iter().position(|t| t.tenant == key) {
         return &mut tenants[i];
     }
-    tenants.push(TenantSnapshot { tenant: key, weight: 1.0, ..Default::default() });
+    tenants.push(TenantSnapshot {
+        tenant: key,
+        weight: 1.0,
+        ..Default::default()
+    });
     let last = tenants.len() - 1;
     &mut tenants[last]
 }
@@ -374,8 +378,12 @@ pub fn replay(path: &Path) -> std::io::Result<ReplayState> {
                 pending = snap.pending.into_iter().map(|p| (p.id, p)).collect();
                 completed.clear();
                 shed.clear();
-                st.max_id =
-                    pending.keys().next_back().copied().unwrap_or(0).max(st.max_id);
+                st.max_id = pending
+                    .keys()
+                    .next_back()
+                    .copied()
+                    .unwrap_or(0)
+                    .max(st.max_id);
                 st.counters = snap.counters;
                 st.tenants = snap.tenants;
                 st.bucket_levels = snap.bucket_levels;
@@ -409,7 +417,11 @@ pub fn replay(path: &Path) -> std::io::Result<ReplayState> {
                     st.counters.failed += 1;
                 }
             }
-            WalRecord::Shed { id, tenant, throttled } => {
+            WalRecord::Shed {
+                id,
+                tenant,
+                throttled,
+            } => {
                 if !shed.insert(id) {
                     continue; // duplicate
                 }
@@ -433,11 +445,7 @@ mod tests {
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("iluvatar-wal-tests");
         std::fs::create_dir_all(&dir).unwrap();
-        let unique = format!(
-            "{name}-{}-{:p}.wal",
-            std::process::id(),
-            &dir as *const _
-        );
+        let unique = format!("{name}-{}-{:p}.wal", std::process::id(), &dir as *const _);
         dir.join(unique)
     }
 
@@ -461,10 +469,18 @@ mod tests {
         let p = tmp("roundtrip");
         let _ = std::fs::remove_file(&p);
         let wal = Wal::open(&p, 1000).unwrap();
-        assert!(wal.append(&WalRecord::Enqueued { inv: inv(1, "f-1", Some("a")) }));
-        assert!(wal.append(&WalRecord::Enqueued { inv: inv(2, "f-1", None) }));
+        assert!(wal.append(&WalRecord::Enqueued {
+            inv: inv(1, "f-1", Some("a"))
+        }));
+        assert!(wal.append(&WalRecord::Enqueued {
+            inv: inv(2, "f-1", None)
+        }));
         assert!(wal.append(&WalRecord::Dequeued { id: 1 }));
-        assert!(wal.append(&WalRecord::Completed { id: 1, ok: true, tenant: Some("a".into()) }));
+        assert!(wal.append(&WalRecord::Completed {
+            id: 1,
+            ok: true,
+            tenant: Some("a".into())
+        }));
         let st = replay(&p).unwrap();
         assert_eq!(st.pending.len(), 1);
         assert_eq!(st.pending[0].id, 2);
@@ -489,11 +505,20 @@ mod tests {
         let p = tmp("snapshot");
         let _ = std::fs::remove_file(&p);
         let wal = Wal::open(&p, 2).unwrap();
-        wal.append(&WalRecord::Enqueued { inv: inv(10, "f-1", Some("a")) });
-        wal.append(&WalRecord::Completed { id: 10, ok: true, tenant: Some("a".into()) });
+        wal.append(&WalRecord::Enqueued {
+            inv: inv(10, "f-1", Some("a")),
+        });
+        wal.append(&WalRecord::Completed {
+            id: 10,
+            ok: true,
+            tenant: Some("a".into()),
+        });
         assert!(wal.snapshot_due());
         assert!(wal.snapshot_with(|| WalSnapshot {
-            counters: CounterBaselines { completed: 1, ..Default::default() },
+            counters: CounterBaselines {
+                completed: 1,
+                ..Default::default()
+            },
             tenants: vec![TenantSnapshot {
                 tenant: "a".into(),
                 admitted: 1,
@@ -504,7 +529,9 @@ mod tests {
         }));
         assert!(!wal.snapshot_due());
         // Tail after the snapshot.
-        wal.append(&WalRecord::Enqueued { inv: inv(11, "f-1", Some("a")) });
+        wal.append(&WalRecord::Enqueued {
+            inv: inv(11, "f-1", Some("a")),
+        });
         let st = replay(&p).unwrap();
         assert_eq!(st.counters.completed, 1, "baseline from snapshot");
         assert_eq!(st.pending.len(), 1);
@@ -519,7 +546,9 @@ mod tests {
         let p = tmp("torn");
         let _ = std::fs::remove_file(&p);
         let wal = Wal::open(&p, 1000).unwrap();
-        wal.append(&WalRecord::Enqueued { inv: inv(1, "f-1", None) });
+        wal.append(&WalRecord::Enqueued {
+            inv: inv(1, "f-1", None),
+        });
         drop(wal);
         use std::io::Write as _;
         let mut f = OpenOptions::new().append(true).open(&p).unwrap();
@@ -536,9 +565,15 @@ mod tests {
         let p = tmp("poison");
         let _ = std::fs::remove_file(&p);
         let wal = Wal::open(&p, 1000).unwrap();
-        assert!(wal.append(&WalRecord::Enqueued { inv: inv(1, "f-1", None) }));
+        assert!(wal.append(&WalRecord::Enqueued {
+            inv: inv(1, "f-1", None)
+        }));
         wal.poison();
-        assert!(!wal.append(&WalRecord::Completed { id: 1, ok: true, tenant: None }));
+        assert!(!wal.append(&WalRecord::Completed {
+            id: 1,
+            ok: true,
+            tenant: None
+        }));
         assert!(!wal.snapshot_with(WalSnapshot::default));
         let st = replay(&p).unwrap();
         assert_eq!(st.pending.len(), 1, "completion after poison never landed");
@@ -551,11 +586,23 @@ mod tests {
         let _ = std::fs::remove_file(&p);
         let wal = Wal::open(&p, 1000).unwrap();
         let records = vec![
-            WalRecord::Enqueued { inv: inv(1, "f-1", Some("a")) },
+            WalRecord::Enqueued {
+                inv: inv(1, "f-1", Some("a")),
+            },
             WalRecord::Dequeued { id: 1 },
-            WalRecord::Enqueued { inv: inv(2, "f-1", Some("b")) },
-            WalRecord::Completed { id: 1, ok: true, tenant: Some("a".into()) },
-            WalRecord::Shed { id: 3, tenant: Some("b".into()), throttled: true },
+            WalRecord::Enqueued {
+                inv: inv(2, "f-1", Some("b")),
+            },
+            WalRecord::Completed {
+                id: 1,
+                ok: true,
+                tenant: Some("a".into()),
+            },
+            WalRecord::Shed {
+                id: 3,
+                tenant: Some("b".into()),
+                throttled: true,
+            },
         ];
         for r in &records {
             wal.append(r);

@@ -30,9 +30,7 @@ use crate::wal::{
     BucketLevel, CounterBaselines, DrrDeficit, PendingInvocation, Wal, WalRecord, WalSnapshot,
 };
 use crossbeam::channel::{bounded, unbounded, Sender};
-use iluvatar_admission::{
-    AdmissionController, AdmissionDecision, TenantSnapshot, DEFAULT_TENANT,
-};
+use iluvatar_admission::{AdmissionController, AdmissionDecision, TenantSnapshot, DEFAULT_TENANT};
 use iluvatar_containers::image::Platform;
 use iluvatar_containers::types::SharedContainer;
 use iluvatar_containers::{BackendError, ContainerBackend, FunctionSpec};
@@ -81,6 +79,9 @@ pub struct WorkerStatus {
     /// Invocations (queued + running) still to finish before a drain
     /// completes.
     pub drain_pending: u64,
+    /// Queue delay of the most recently dequeued invocation, ms — the
+    /// autoscaler's reactive signal.
+    pub queue_delay_ms: u64,
 }
 
 /// Lifecycle state machine: Running → Draining → Stopped.
@@ -167,7 +168,11 @@ pub struct Worker {
 
 impl Worker {
     /// Build and start a worker over `backend`.
-    pub fn new(cfg: WorkerConfig, backend: Arc<dyn ContainerBackend>, clock: Arc<dyn Clock>) -> Self {
+    pub fn new(
+        cfg: WorkerConfig,
+        backend: Arc<dyn ContainerBackend>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         // Async container destruction: eviction hands containers to a
         // dedicated destroyer thread, keeping teardown off every hot path.
         let (destroy_tx, destroy_rx) = unbounded::<SharedContainer>();
@@ -178,15 +183,13 @@ impl Worker {
         let policy = make_policy(cfg.keepalive, cfg.ttl_ms);
         // FNV-1a of the worker name seeds the trace id space, so ids from
         // different workers in one cluster rarely collide.
-        let trace_seed = cfg
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
-            });
-        let wal = cfg.lifecycle.wal_path.as_ref().and_then(|p| {
-            Wal::open(Path::new(p), cfg.lifecycle.effective_snapshot_every()).ok()
+        let trace_seed = cfg.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
         });
+        let wal =
+            cfg.lifecycle.wal_path.as_ref().and_then(|p| {
+                Wal::open(Path::new(p), cfg.lifecycle.effective_snapshot_every()).ok()
+            });
         let shared = Arc::new(Shared {
             registry: Registry::new(Platform::LINUX_AMD64),
             chars: Characteristics::new(cfg.char_window),
@@ -233,8 +236,7 @@ impl Worker {
                         let _ = destroy_backend.destroy(&c);
                     }
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                        if destroy_shared.shutdown.load(Ordering::Relaxed)
-                            && destroy_rx.is_empty()
+                        if destroy_shared.shutdown.load(Ordering::Relaxed) && destroy_rx.is_empty()
                         {
                             return;
                         }
@@ -278,11 +280,15 @@ impl Worker {
         if shared.cfg.prewarm_horizon_ms > 0 {
             let s = Arc::clone(&shared);
             let period = (s.cfg.prewarm_horizon_ms / 2).max(50);
-            tasks.spawn_periodic("predictive-prewarm", Duration::from_millis(period), move || {
-                for fqdn in s.pool.prewarm_recommendations(s.cfg.prewarm_horizon_ms) {
-                    let _ = prewarm_inner(&s, &fqdn);
-                }
-            });
+            tasks.spawn_periodic(
+                "predictive-prewarm",
+                Duration::from_millis(period),
+                move || {
+                    for fqdn in s.pool.prewarm_recommendations(s.cfg.prewarm_horizon_ms) {
+                        let _ = prewarm_inner(&s, &fqdn);
+                    }
+                },
+            );
         }
         // AIMD control loop (§4.1), only when dynamic.
         if shared.regulator.is_dynamic() {
@@ -364,8 +370,9 @@ impl Worker {
             .ok_or_else(|| InvokeError::NotRegistered(fqdn.to_string()))?;
         // Tenant resolution: explicit label → registration default → None
         // (accounted to the platform default tenant when admission is on).
-        let tenant: Option<String> =
-            tenant.map(|t| t.to_string()).or_else(|| reg.spec.tenant.clone());
+        let tenant: Option<String> = tenant
+            .map(|t| t.to_string())
+            .or_else(|| reg.spec.tenant.clone());
         let mut tenant_weight = 1.0;
         if s.admission.enabled() {
             let tname = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
@@ -387,7 +394,8 @@ impl Worker {
                 }
                 AdmissionDecision::Shed => {
                     let trace_id = s.journal.begin(fqdn);
-                    s.journal.record(trace_id, TraceEventKind::AdmissionRejected);
+                    s.journal
+                        .record(trace_id, TraceEventKind::AdmissionRejected);
                     s.journal
                         .record(trace_id, TraceEventKind::ResultReturned { ok: false });
                     let _ = s.wal_append(&WalRecord::Shed {
@@ -429,7 +437,9 @@ impl Worker {
                 };
                 // A bypassed invocation is logged as enqueued+dequeued in
                 // one record; if the record can't land, don't accept it.
-                if !s.wal_append(&WalRecord::Enqueued { inv: pending_of(&item, true) }) {
+                if !s.wal_append(&WalRecord::Enqueued {
+                    inv: pending_of(&item, true),
+                }) {
                     return Err(InvokeError::ShuttingDown);
                 }
                 s.queue.note_bypass();
@@ -462,9 +472,12 @@ impl Worker {
         // WAL before the push: an invocation is *accepted* only once its
         // `Enqueued` record is durable, so a crash can never lose an
         // accepted invocation (a poisoned/broken log rejects instead).
-        if !s.wal_append(&WalRecord::Enqueued { inv: pending_of(&item, false) }) {
+        if !s.wal_append(&WalRecord::Enqueued {
+            inv: pending_of(&item, false),
+        }) {
             drop(enq);
-            s.journal.record(trace_id, TraceEventKind::ResultReturned { ok: false });
+            s.journal
+                .record(trace_id, TraceEventKind::ResultReturned { ok: false });
             return Err(InvokeError::ShuttingDown);
         }
         // Journal `Enqueued` before the push: once the item is in the queue
@@ -482,7 +495,8 @@ impl Worker {
             Ok(()) => Ok(handle),
             Err(PushError::Full) => {
                 s.dropped.fetch_add(1, Ordering::Relaxed);
-                s.journal.record(trace_id, TraceEventKind::ResultReturned { ok: false });
+                s.journal
+                    .record(trace_id, TraceEventKind::ResultReturned { ok: false });
                 // The enqueue record already landed; retract it so replay
                 // doesn't resurrect a rejected invocation.
                 let _ = s.wal_append(&WalRecord::Completed {
@@ -533,6 +547,7 @@ impl Worker {
             quarantine_released: s.quarantine_released.load(Ordering::Relaxed),
             lifecycle: s.lifecycle_label().to_string(),
             drain_pending: (s.queue.len() + s.running.load(Ordering::Relaxed)) as u64,
+            queue_delay_ms: s.last_queue_delay_ms.load(Ordering::Relaxed),
         }
     }
 
@@ -586,8 +601,7 @@ impl Worker {
     /// stop the worker's threads — use [`Worker::shutdown`] for that.
     pub fn drain(&self) {
         let s = &self.shared;
-        if s
-            .lifecycle
+        if s.lifecycle
             .compare_exchange(
                 LIFECYCLE_RUNNING,
                 LIFECYCLE_DRAINING,
@@ -663,8 +677,10 @@ impl Worker {
         s.retries.store(c.retries, Ordering::Relaxed);
         s.agent_timeouts.store(c.agent_timeouts, Ordering::Relaxed);
         s.quarantined.store(c.quarantined, Ordering::Relaxed);
-        s.quarantine_released.store(c.quarantine_released, Ordering::Relaxed);
-        s.dropped_retry_exhausted.store(c.dropped_retry_exhausted, Ordering::Relaxed);
+        s.quarantine_released
+            .store(c.quarantine_released, Ordering::Relaxed);
+        s.dropped_retry_exhausted
+            .store(c.dropped_retry_exhausted, Ordering::Relaxed);
         if s.admission.enabled() {
             s.admission.restore_counters(&st.tenants);
             for bl in &st.bucket_levels {
@@ -707,8 +723,11 @@ impl Worker {
                 });
             }
         }
-        let deficits: Vec<(String, f64)> =
-            st.drr_deficits.iter().map(|d| (d.tenant.clone(), d.deficit)).collect();
+        let deficits: Vec<(String, f64)> = st
+            .drr_deficits
+            .iter()
+            .map(|d| (d.tenant.clone(), d.deficit))
+            .collect();
         s.queue.restore_drr_deficits(&deficits);
         // Compact immediately: the recovered state becomes the new
         // baseline, so a second crash replays from here, not from genesis.
@@ -747,8 +766,7 @@ impl Worker {
             s.lifecycle.store(LIFECYCLE_STOPPED, Ordering::SeqCst);
         }
         // Destroy any containers still parked in quarantine.
-        let parked: Vec<SharedContainer> =
-            s.quarantine.lock().drain(..).map(|(c, _)| c).collect();
+        let parked: Vec<SharedContainer> = s.quarantine.lock().drain(..).map(|(c, _)| c).collect();
         for c in parked {
             s.pool.discard(c);
         }
@@ -807,8 +825,10 @@ fn monitor_loop(s: Arc<Shared>) {
         }
         let dequeued_at = s.clock.now_ms();
         // Publish the observed queue delay — the overload-shedding signal.
-        s.last_queue_delay_ms
-            .store(dequeued_at.saturating_sub(item.arrived_at), Ordering::Relaxed);
+        s.last_queue_delay_ms.store(
+            dequeued_at.saturating_sub(item.arrived_at),
+            Ordering::Relaxed,
+        );
         s.journal.record(item.trace_id, TraceEventKind::Dequeued);
         let _ = s.wal_append(&WalRecord::Dequeued { id: item.trace_id });
         // Hold dispatch until a run slot frees up — the concurrency limit.
@@ -866,9 +886,11 @@ fn init_cost(s: &Shared, reg: &Registration) -> f64 {
 /// The dispatch-side hot path.
 fn run_invocation(s: &Shared, item: QueuedInvocation, dequeued_at: TimeMs) {
     s.running.fetch_add(1, Ordering::Relaxed);
-    s.running_fn.update_or_insert(item.fqdn.clone(), || 0, |n| *n += 1);
+    s.running_fn
+        .update_or_insert(item.fqdn.clone(), || 0, |n| *n += 1);
     let outcome = execute(s, &item, dequeued_at);
-    s.running_fn.update(&item.fqdn, |n| *n = n.saturating_sub(1));
+    s.running_fn
+        .update(&item.fqdn, |n| *n = n.saturating_sub(1));
     s.running.fetch_sub(1, Ordering::Relaxed);
     let ret_g = s.spans.time(names::RETURN_RESULTS);
     let ok = outcome.is_ok();
@@ -899,7 +921,8 @@ fn run_invocation(s: &Shared, item: QueuedInvocation, dequeued_at: TimeMs) {
         tenant: item.tenant.clone(),
     });
     let _ = item.result_tx.send(outcome);
-    s.journal.record(item.trace_id, TraceEventKind::ResultReturned { ok });
+    s.journal
+        .record(item.trace_id, TraceEventKind::ResultReturned { ok });
     drop(ret_g);
     if s.wal.as_ref().is_some_and(|w| w.snapshot_due()) {
         wal_snapshot_now(s);
@@ -943,7 +966,11 @@ fn wal_snapshot_now(s: &Shared) {
             quarantine_released: s.quarantine_released.load(Ordering::Relaxed),
             dropped_retry_exhausted: s.dropped_retry_exhausted.load(Ordering::Relaxed),
         },
-        tenants: if s.admission.enabled() { s.admission.snapshot() } else { Vec::new() },
+        tenants: if s.admission.enabled() {
+            s.admission.snapshot()
+        } else {
+            Vec::new()
+        },
         bucket_levels: s
             .admission
             .bucket_levels()
@@ -956,7 +983,12 @@ fn wal_snapshot_now(s: &Shared) {
             .into_iter()
             .map(|(tenant, deficit)| DrrDeficit { tenant, deficit })
             .collect(),
-        quarantine: s.quarantine.lock().iter().map(|(c, _)| c.fqdn.clone()).collect(),
+        quarantine: s
+            .quarantine
+            .lock()
+            .iter()
+            .map(|(c, _)| c.fqdn.clone())
+            .collect(),
     });
 }
 
@@ -979,8 +1011,7 @@ fn maybe_finalize(s: &Shared) {
             return;
         }
     }
-    if s
-        .lifecycle
+    if s.lifecycle
         .compare_exchange(
             LIFECYCLE_DRAINING,
             LIFECYCLE_STOPPED,
@@ -1012,7 +1043,11 @@ fn release_expired_quarantine(s: &Shared) {
         out
     };
     for c in expired {
-        let init = s.registry.get(&c.fqdn).map(|r| init_cost(s, &r)).unwrap_or(0.0);
+        let init = s
+            .registry
+            .get(&c.fqdn)
+            .map(|r| init_cost(s, &r))
+            .unwrap_or(0.0);
         s.pool.release(c, init);
         s.quarantine_released.fetch_add(1, Ordering::Relaxed);
     }
@@ -1046,8 +1081,7 @@ fn execute(
         },
         item.trace_id,
     );
-    let deadline =
-        (res.invoke_deadline_ms > 0).then(|| item.arrived_at + res.invoke_deadline_ms);
+    let deadline = (res.invoke_deadline_ms > 0).then(|| item.arrived_at + res.invoke_deadline_ms);
     let mut attempt: u32 = 0;
     loop {
         let err = match attempt_invoke(s, item, dequeued_at) {
@@ -1070,8 +1104,13 @@ fn execute(
                 return retries_exhausted(s, item, err);
             }
         }
-        s.journal
-            .record(item.trace_id, TraceEventKind::RetryScheduled { attempt, delay_ms: delay });
+        s.journal.record(
+            item.trace_id,
+            TraceEventKind::RetryScheduled {
+                attempt,
+                delay_ms: delay,
+            },
+        );
         s.retries.fetch_add(1, Ordering::Relaxed);
         s.retrying.fetch_add(1, Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(delay));
@@ -1086,7 +1125,8 @@ fn retries_exhausted(
     err: InvokeError,
 ) -> Result<InvocationResult, InvokeError> {
     s.dropped_retry_exhausted.fetch_add(1, Ordering::Relaxed);
-    s.journal.record(item.trace_id, TraceEventKind::RetriesExhausted);
+    s.journal
+        .record(item.trace_id, TraceEventKind::RetriesExhausted);
     Err(err)
 }
 
@@ -1113,9 +1153,7 @@ fn attempt_invoke(
             // paying a concurrent ("spawn start") cold start.
             let herd_ms = s.cfg.queue.herd_wait_ms;
             let mut herd_hit = None;
-            if herd_ms > 0
-                && s.running_fn.get(&item.fqdn).unwrap_or(0) > 1
-            {
+            if herd_ms > 0 && s.running_fn.get(&item.fqdn).unwrap_or(0) > 1 {
                 let deadline = s.clock.now_ms() + herd_ms;
                 while s.clock.now_ms() < deadline {
                     std::thread::sleep(Duration::from_millis(2));
@@ -1127,8 +1165,10 @@ fn attempt_invoke(
             }
             if let Some(c) = herd_hit {
                 drop(acq_g);
-                s.journal
-                    .record(item.trace_id, TraceEventKind::ContainerAcquired { cold: false });
+                s.journal.record(
+                    item.trace_id,
+                    TraceEventKind::ContainerAcquired { cold: false },
+                );
                 return finish_invoke(s, item, dequeued_at, c, false);
             }
             let mb = reg.spec.limits.memory_mb;
@@ -1178,7 +1218,8 @@ fn finish_invoke(
     let tenant = item.tenant.as_deref();
     let timeout_ms = s.cfg.resilience.agent_timeout_ms;
     let invoked = if timeout_ms == 0 {
-        s.backend.invoke_ctx(&container, args, Some(&trace_hex), tenant)
+        s.backend
+            .invoke_ctx(&container, args, Some(&trace_hex), tenant)
     } else {
         // Bound the agent hop: run the call on a helper thread and abandon
         // it on timeout. The container is quarantined below, so the orphaned
@@ -1192,16 +1233,18 @@ fn finish_invoke(
         let spawned = std::thread::Builder::new()
             .name("iluvatar-agent-call".into())
             .spawn(move || {
-                let _ =
-                    tx.send(backend.invoke_ctx(&c2, &args2, Some(&hex2), tenant2.as_deref()));
+                let _ = tx.send(backend.invoke_ctx(&c2, &args2, Some(&hex2), tenant2.as_deref()));
             });
         match spawned {
-            Err(_) => s.backend.invoke_ctx(&container, args, Some(&trace_hex), tenant),
+            Err(_) => s
+                .backend
+                .invoke_ctx(&container, args, Some(&trace_hex), tenant),
             Ok(_) => match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
                 Ok(r) => r,
                 Err(_) => {
                     s.agent_timeouts.fetch_add(1, Ordering::Relaxed);
-                    s.journal.record(item.trace_id, TraceEventKind::AgentTimeout);
+                    s.journal
+                        .record(item.trace_id, TraceEventKind::AgentTimeout);
                     Err(BackendError::InvokeFailed(format!(
                         "agent call timed out after {timeout_ms}ms"
                     )))
@@ -1268,7 +1311,10 @@ mod tests {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 0.05, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.05,
+                ..Default::default()
+            },
         ));
         Worker::new(cfg, backend, clock)
     }
@@ -1276,7 +1322,10 @@ mod tests {
     fn spec(name: &str, warm: u64, init: u64, mb: u64) -> FunctionSpec {
         FunctionSpec::new(name, "1")
             .with_timing(warm, init)
-            .with_limits(ResourceLimits { cpus: 1.0, memory_mb: mb })
+            .with_limits(ResourceLimits {
+                cpus: 1.0,
+                memory_mb: mb,
+            })
     }
 
     #[test]
@@ -1332,7 +1381,9 @@ mod tests {
         cfg.concurrency.limit = 2;
         let w = Arc::new(test_worker(cfg));
         w.register(spec("f", 500, 0, 64)).unwrap();
-        let handles: Vec<_> = (0..6).map(|_| w.async_invoke("f-1", "{}").unwrap()).collect();
+        let handles: Vec<_> = (0..6)
+            .map(|_| w.async_invoke("f-1", "{}").unwrap())
+            .collect();
         // While in flight, running may never exceed the limit.
         let mut peak = 0;
         for _ in 0..50 {
@@ -1374,7 +1425,10 @@ mod tests {
         cfg.memory_mb = 100; // too small for even one container
         let w = test_worker(cfg);
         w.register(spec("f", 10, 0, 128)).unwrap();
-        assert!(matches!(w.invoke("f-1", "{}"), Err(InvokeError::NoResources)));
+        assert!(matches!(
+            w.invoke("f-1", "{}"),
+            Err(InvokeError::NoResources)
+        ));
         assert_eq!(w.status().dropped, 1);
     }
 
@@ -1419,7 +1473,9 @@ mod tests {
         assert_eq!(st.name, "test-worker");
         assert_eq!(st.normalized_load, 0.0);
         assert_eq!(st.free_mem_mb, 1024);
-        let _h: Vec<_> = (0..4).map(|_| w.async_invoke("f-1", "{}").unwrap()).collect();
+        let _h: Vec<_> = (0..4)
+            .map(|_| w.async_invoke("f-1", "{}").unwrap())
+            .collect();
         // Some load should be visible while in flight (best effort).
         let _ = w.status();
     }
@@ -1453,7 +1509,10 @@ mod tests {
         w.register(spec("f", 10, 0, 64)).unwrap();
         w.invoke("f-1", "{}").unwrap();
         w.shutdown();
-        assert!(matches!(w.invoke("f-1", "{}"), Err(InvokeError::ShuttingDown)));
+        assert!(matches!(
+            w.invoke("f-1", "{}"),
+            Err(InvokeError::ShuttingDown)
+        ));
     }
 
     #[test]
@@ -1472,7 +1531,10 @@ mod tests {
         let r1 = h1.wait().unwrap();
         let r2 = h2.wait().unwrap();
         let colds = [r1.cold, r2.cold].iter().filter(|&&c| c).count();
-        assert_eq!(colds, 1, "herd suppression avoids the concurrent cold start");
+        assert_eq!(
+            colds, 1,
+            "herd suppression avoids the concurrent cold start"
+        );
         assert_eq!(w.status().cold_starts, 1);
     }
 
@@ -1525,9 +1587,8 @@ mod tests {
         let mut cfg = WorkerConfig::for_testing();
         // Burst of 1 and a negligible refill rate: the first invocation is
         // admitted, the second deterministically throttled.
-        cfg.admission = AdmissionConfig::enabled_with(vec![
-            TenantSpec::new("free").with_rate(0.001, 1.0),
-        ]);
+        cfg.admission =
+            AdmissionConfig::enabled_with(vec![TenantSpec::new("free").with_rate(0.001, 1.0)]);
         let w = test_worker(cfg);
         w.register(spec("f", 20, 0, 64)).unwrap();
         let r = w.invoke_tenant("f-1", "{}", Some("free")).unwrap();
@@ -1562,9 +1623,10 @@ mod tests {
         };
         let w = test_worker(cfg);
         w.register(spec("slow", 1500, 0, 64)).unwrap(); // 75ms at 0.05 scale
-        // Saturate: one runs, the rest queue behind it.
-        let handles: Vec<_> =
-            (0..4).map(|_| w.async_invoke_tenant("slow-1", "{}", Some("paid")).unwrap()).collect();
+                                                        // Saturate: one runs, the rest queue behind it.
+        let handles: Vec<_> = (0..4)
+            .map(|_| w.async_invoke_tenant("slow-1", "{}", Some("paid")).unwrap())
+            .collect();
         // Wait until a queued invocation has been dequeued, so the observed
         // queue delay (≥ one execution, 75ms) exceeds the 5ms threshold.
         for _ in 0..500 {
@@ -1596,17 +1658,27 @@ mod tests {
     fn registration_tenant_is_the_default_label() {
         use iluvatar_admission::AdmissionConfig;
         let mut cfg = WorkerConfig::for_testing();
-        cfg.admission = AdmissionConfig { enabled: true, ..Default::default() };
+        cfg.admission = AdmissionConfig {
+            enabled: true,
+            ..Default::default()
+        };
         let w = test_worker(cfg);
-        w.register(spec("f", 20, 0, 64).with_tenant("acme")).unwrap();
+        w.register(spec("f", 20, 0, 64).with_tenant("acme"))
+            .unwrap();
         let r = w.invoke("f-1", "{}").unwrap();
-        assert_eq!(r.tenant.as_deref(), Some("acme"), "spec tenant used by default");
+        assert_eq!(
+            r.tenant.as_deref(),
+            Some("acme"),
+            "spec tenant used by default"
+        );
         // An explicit per-invocation label overrides the registration.
         let r = w.invoke_tenant("f-1", "{}", Some("umbrella")).unwrap();
         assert_eq!(r.tenant.as_deref(), Some("umbrella"));
         let tstats = w.tenant_stats();
         assert!(tstats.iter().any(|t| t.tenant == "acme" && t.served == 1));
-        assert!(tstats.iter().any(|t| t.tenant == "umbrella" && t.served == 1));
+        assert!(tstats
+            .iter()
+            .any(|t| t.tenant == "umbrella" && t.served == 1));
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn drr_worker(tenants: Vec<TenantSpec>) -> Worker {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.05, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.05,
+            ..Default::default()
+        },
     ));
     let mut cfg = WorkerConfig::for_testing();
     cfg.queue.policy = QueuePolicyKind::Drr;
@@ -32,11 +35,18 @@ fn drr_worker(tenants: Vec<TenantSpec>) -> Worker {
 fn spec(name: &str, warm_ms: u64) -> FunctionSpec {
     FunctionSpec::new(name, "1")
         .with_timing(warm_ms, 0)
-        .with_limits(ResourceLimits { cpus: 1.0, memory_mb: 64 })
+        .with_limits(ResourceLimits {
+            cpus: 1.0,
+            memory_mb: 64,
+        })
 }
 
 fn served_of(w: &Worker, tenant: &str) -> u64 {
-    w.tenant_stats().iter().find(|t| t.tenant == tenant).map(|t| t.served).unwrap_or(0)
+    w.tenant_stats()
+        .iter()
+        .find(|t| t.tenant == tenant)
+        .map(|t| t.served)
+        .unwrap_or(0)
 }
 
 /// Enqueue `backlog` invocations per tenant, serve until `target` total
@@ -96,7 +106,10 @@ fn guaranteed_tenant_unaffected_by_overload_shedding() {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.05, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.05,
+            ..Default::default()
+        },
     ));
     let mut cfg = WorkerConfig::for_testing();
     cfg.concurrency.limit = 1;
@@ -112,8 +125,9 @@ fn guaranteed_tenant_unaffected_by_overload_shedding() {
     w.register(spec("slow", 1500)).unwrap();
 
     // Saturate with guaranteed work so real queue delay develops.
-    let handles: Vec<_> =
-        (0..4).map(|_| w.async_invoke_tenant("slow-1", "{}", Some("paid")).unwrap()).collect();
+    let handles: Vec<_> = (0..4)
+        .map(|_| w.async_invoke_tenant("slow-1", "{}", Some("paid")).unwrap())
+        .collect();
     let deadline = Instant::now() + Duration::from_secs(10);
     while w.status().completed < 2 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
@@ -139,6 +153,9 @@ fn guaranteed_tenant_unaffected_by_overload_shedding() {
     let paid = stats.iter().find(|t| t.tenant == "paid").unwrap();
     let free = stats.iter().find(|t| t.tenant == "free").unwrap();
     assert_eq!(paid.shed, 0, "guaranteed class is never shed");
-    assert_eq!(paid.admitted, paid.served, "every admitted guaranteed invoke completes");
+    assert_eq!(
+        paid.admitted, paid.served,
+        "every admitted guaranteed invoke completes"
+    );
     assert_eq!(free.shed, free_shed);
 }

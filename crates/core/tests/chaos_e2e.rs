@@ -9,7 +9,7 @@
 //! 3. Two runs with identical seeds produce identical journal timelines
 //!    (`journal_digest`), the property `scripts/check.sh` diffs for flakes.
 
-use iluvatar_chaos::{FaultInjector, FaultPlanConfig, FaultSpec, sites};
+use iluvatar_chaos::{sites, FaultInjector, FaultPlanConfig, FaultSpec};
 use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
 use iluvatar_containers::{ContainerBackend, FunctionSpec};
 use iluvatar_core::{
@@ -19,16 +19,31 @@ use iluvatar_sync::SystemClock;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn chaos_worker(faults: FaultPlanConfig, resilience: ResilienceConfig) -> (Worker, Arc<FaultInjector>) {
+fn chaos_worker(
+    faults: FaultPlanConfig,
+    resilience: ResilienceConfig,
+) -> (Worker, Arc<FaultInjector>) {
     let clock = SystemClock::shared();
     let sim = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
     ));
     let injector = Arc::new(FaultInjector::new(sim, faults));
-    let cfg = WorkerConfig { resilience, ..WorkerConfig::for_testing() };
-    let worker = Worker::new(cfg, Arc::clone(&injector) as Arc<dyn ContainerBackend>, clock);
-    worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+    let cfg = WorkerConfig {
+        resilience,
+        ..WorkerConfig::for_testing()
+    };
+    let worker = Worker::new(
+        cfg,
+        Arc::clone(&injector) as Arc<dyn ContainerBackend>,
+        clock,
+    );
+    worker
+        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .unwrap();
     (worker, injector)
 }
 
@@ -68,7 +83,10 @@ fn cold_start_failures_retry_exactly_n_then_fail_cleanly() {
     let err = worker.invoke("f-1", "{}").unwrap_err();
     match &err {
         InvokeError::Backend(msg) => {
-            assert!(msg.contains("injected cold-start failure"), "clean error: {msg}")
+            assert!(
+                msg.contains("injected cold-start failure"),
+                "clean error: {msg}"
+            )
         }
         other => panic!("expected a backend error, got {other:?}"),
     }
@@ -91,7 +109,10 @@ fn cold_start_failures_retry_exactly_n_then_fail_cleanly() {
         "events: {:?}",
         tr.events
     );
-    assert_eq!(count_kind(&tr, |k| *k == TraceEventKind::RetriesExhausted), 1);
+    assert_eq!(
+        count_kind(&tr, |k| *k == TraceEventKind::RetriesExhausted),
+        1
+    );
     assert_eq!(
         count_kind(&tr, |k| *k == TraceEventKind::ResultReturned { ok: false }),
         1
@@ -124,7 +145,10 @@ fn hung_agent_trips_deadline_and_completes_on_fresh_container() {
         started.elapsed() < Duration::from_millis(1_400),
         "deadline must fire long before the 1.5s hang resolves"
     );
-    assert!(r.cold, "the quarantined container forces a fresh cold start");
+    assert!(
+        r.cold,
+        "the quarantined container forces a fresh cold start"
+    );
 
     let st = worker.status();
     assert_eq!(st.agent_timeouts, 1);
@@ -134,14 +158,21 @@ fn hung_agent_trips_deadline_and_completes_on_fresh_container() {
 
     let tr = completed_trace(&worker, r.trace_id);
     assert_eq!(count_kind(&tr, |k| *k == TraceEventKind::AgentTimeout), 1);
-    assert_eq!(count_kind(&tr, |k| *k == TraceEventKind::ContainerQuarantined), 1);
     assert_eq!(
-        count_kind(&tr, |k| *k == TraceEventKind::ContainerAcquired { cold: true }),
+        count_kind(&tr, |k| *k == TraceEventKind::ContainerQuarantined),
+        1
+    );
+    assert_eq!(
+        count_kind(&tr, |k| *k
+            == TraceEventKind::ContainerAcquired { cold: true }),
         2,
         "both attempts cold-started: {:?}",
         tr.events
     );
-    assert_eq!(count_kind(&tr, |k| *k == TraceEventKind::ResultReturned { ok: true }), 1);
+    assert_eq!(
+        count_kind(&tr, |k| *k == TraceEventKind::ResultReturned { ok: true }),
+        1
+    );
 
     worker.shutdown();
 }

@@ -4,9 +4,7 @@
 use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
 use iluvatar_containers::{ContainerBackend, FunctionSpec};
 use iluvatar_core::api::{WorkerApi, WorkerApiClient};
-use iluvatar_core::{
-    AdmissionConfig, LifecycleConfig, TenantSpec, Worker, WorkerConfig,
-};
+use iluvatar_core::{AdmissionConfig, LifecycleConfig, TenantSpec, Worker, WorkerConfig};
 use iluvatar_http::{Method, Request};
 use iluvatar_sync::SystemClock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,7 +26,10 @@ fn temp_wal() -> String {
 fn backend(clock: &Arc<dyn iluvatar_sync::Clock>) -> Arc<dyn ContainerBackend> {
     Arc::new(SimBackend::new(
         Arc::clone(clock),
-        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
     ))
 }
 
@@ -60,11 +61,16 @@ fn drain_finishes_in_flight_and_rejects_new_with_retry_after() {
     let client = WorkerApiClient::new(api.addr());
     // Long enough (2000 ms × 0.02 scale = 40 ms real) that the drain lands
     // while the invocation is still running.
-    client.register(&FunctionSpec::new("slow", "1").with_timing(2_000, 3_000)).unwrap();
+    client
+        .register(&FunctionSpec::new("slow", "1").with_timing(2_000, 3_000))
+        .unwrap();
 
     let cookie = client.async_invoke("slow-1", "{}").unwrap();
     let pending = client.drain().unwrap();
-    assert!(pending >= 1, "the in-flight invocation counts toward the drain");
+    assert!(
+        pending >= 1,
+        "the in-flight invocation counts toward the drain"
+    );
 
     // New work is refused with 503 and a Retry-After hint, on both the
     // sync and async paths.
@@ -75,8 +81,17 @@ fn drain_finishes_in_flight_and_rejects_new_with_retry_after() {
                     .with_body(&br#"{"fqdn":"slow-1","args":"{}"}"#[..]),
             )
             .unwrap();
-        assert_eq!(resp.status.0, 503, "{path} while draining: {}", resp.body_str());
-        assert_eq!(resp.header("Retry-After"), Some("1"), "{path} advertises Retry-After");
+        assert_eq!(
+            resp.status.0,
+            503,
+            "{path} while draining: {}",
+            resp.body_str()
+        );
+        assert_eq!(
+            resp.header("Retry-After"),
+            Some("1"),
+            "{path} advertises Retry-After"
+        );
     }
 
     // The in-flight invocation still completes.
@@ -85,7 +100,10 @@ fn drain_finishes_in_flight_and_rejects_new_with_retry_after() {
         if let Some(r) = client.result(cookie).unwrap() {
             break r;
         }
-        assert!(Instant::now() < deadline, "in-flight invocation lost to the drain");
+        assert!(
+            Instant::now() < deadline,
+            "in-flight invocation lost to the drain"
+        );
         std::thread::sleep(Duration::from_millis(5));
     };
     assert!(result.exec_ms > 0, "the invocation actually ran");
@@ -121,8 +139,11 @@ fn recovered_tenant_counters_match_a_no_kill_run() {
 
     let run = |kill: bool| {
         let wal = temp_wal();
-        let mut worker =
-            Worker::new(lifecycle_cfg("crashy", &wal), backend(&clock), Arc::clone(&clock));
+        let mut worker = Worker::new(
+            lifecycle_cfg("crashy", &wal),
+            backend(&clock),
+            Arc::clone(&clock),
+        );
         worker.register(spec.clone()).unwrap();
         let mut handles = Vec::new();
         for i in 0..invocations {
@@ -170,6 +191,12 @@ fn recovered_tenant_counters_match_a_no_kill_run() {
     let (clean_books, clean_completed) = run(false);
     let (crash_books, crash_completed) = run(true);
     assert_eq!(clean_completed, invocations as u64);
-    assert_eq!(crash_completed, clean_completed, "every accepted invocation completed");
-    assert_eq!(crash_books, clean_books, "recovery reconstructed the tenant books");
+    assert_eq!(
+        crash_completed, clean_completed,
+        "every accepted invocation completed"
+    );
+    assert_eq!(
+        crash_books, clean_books,
+        "recovery reconstructed the tenant books"
+    );
 }

@@ -1,13 +1,13 @@
 //! Property-based tests for the control plane's core invariants.
 
+use iluvatar_containers::types::Container;
+use iluvatar_containers::ResourceLimits;
 use iluvatar_core::config::{KeepalivePolicyKind, QueueConfig, QueuePolicyKind};
-use iluvatar_core::{PendingInvocation, Wal, WalRecord};
 use iluvatar_core::invocation::InvocationHandle;
 use iluvatar_core::policies::{make_policy, EntryMeta};
 use iluvatar_core::pool::ContainerPool;
 use iluvatar_core::queue::{priority_of, DrrQueue, InvocationQueue, QueuedInvocation};
-use iluvatar_containers::types::Container;
-use iluvatar_containers::ResourceLimits;
+use iluvatar_core::{PendingInvocation, Wal, WalRecord};
 use iluvatar_sync::ManualClock;
 use proptest::prelude::*;
 use std::sync::Arc;

@@ -15,7 +15,10 @@ fn worker_over_inprocess() -> (Worker, Arc<InProcessBackend>) {
     let netns = Arc::new(NamespacePool::new(2, 0, Arc::clone(&clock)));
     netns.prefill();
     let backend = Arc::new(InProcessBackend::new(netns));
-    backend.register_behavior("echo-1", FunctionBehavior::from_body(|args| format!("[{args}]")));
+    backend.register_behavior(
+        "echo-1",
+        FunctionBehavior::from_body(|args| format!("[{args}]")),
+    );
     let worker = Worker::new(
         WorkerConfig::for_testing(),
         Arc::clone(&backend) as Arc<dyn ContainerBackend>,
@@ -67,7 +70,10 @@ fn sync_invoke_journals_timeline_and_agent_sees_the_id() {
     );
     assert_eq!(r.cold(), Some(true));
     let times: Vec<_> = r.events.iter().map(|e| e.at_ms).collect();
-    assert!(times.windows(2).all(|w| w[0] <= w[1]), "timestamps ordered: {times:?}");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "timestamps ordered: {times:?}"
+    );
 
     // The agent inside the container observed exactly this id, hex-encoded.
     let hex = format!("{:016x}", cold.trace_id);
@@ -83,7 +89,9 @@ fn sync_invoke_journals_timeline_and_agent_sees_the_id() {
     assert_ne!(warm.trace_id, cold.trace_id);
     let r2 = completed_trace(&worker, warm.trace_id);
     assert_eq!(r2.cold(), Some(false), "warm attribution in the journal");
-    assert!(backend.observed_traces().contains(&format!("{:016x}", warm.trace_id)));
+    assert!(backend
+        .observed_traces()
+        .contains(&format!("{:016x}", warm.trace_id)));
 
     // Newest-first listing surfaces the warm trace before the cold one.
     let recent = worker.recent_traces(2);
@@ -129,7 +137,10 @@ fn async_invoke_carries_the_same_id_end_to_end() {
     assert_ne!(result.trace_id, 0);
 
     let r = completed_trace(&worker, result.trace_id);
-    assert_eq!(r.trace_id, result.trace_id, "journal and result agree on the id");
+    assert_eq!(
+        r.trace_id, result.trace_id,
+        "journal and result agree on the id"
+    );
     assert_eq!(r.cold(), Some(true));
     assert!(r.completed());
     // The queue path was taken (bypass is disabled in the test config).

@@ -29,7 +29,11 @@ pub struct HttpFaultConfig {
 
 impl Default for HttpFaultConfig {
     fn default() -> Self {
-        Self { seed: 0, drop_prob: 0.0, garble_prob: 0.0 }
+        Self {
+            seed: 0,
+            drop_prob: 0.0,
+            garble_prob: 0.0,
+        }
     }
 }
 
@@ -68,7 +72,12 @@ pub struct HttpFaultInjector {
 
 impl HttpFaultInjector {
     pub fn new(cfg: HttpFaultConfig) -> Self {
-        Self { cfg, seen: AtomicU64::new(0), dropped: AtomicU64::new(0), garbled: AtomicU64::new(0) }
+        Self {
+            cfg,
+            seen: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            garbled: AtomicU64::new(0),
+        }
     }
 
     /// Decide the fate of the next response. One occurrence is consumed per
@@ -140,7 +149,11 @@ mod tests {
 
     #[test]
     fn decisions_replay_with_seed() {
-        let cfg = HttpFaultConfig { seed: 11, drop_prob: 0.2, garble_prob: 0.2 };
+        let cfg = HttpFaultConfig {
+            seed: 11,
+            drop_prob: 0.2,
+            garble_prob: 0.2,
+        };
         assert_eq!(decisions(cfg.clone(), 256), decisions(cfg.clone(), 256));
         let other = HttpFaultConfig { seed: 12, ..cfg };
         assert_ne!(decisions(other, 256), decisions(cfg, 256));
@@ -148,7 +161,11 @@ mod tests {
 
     #[test]
     fn stats_count_fired_faults() {
-        let inj = HttpFaultInjector::new(HttpFaultConfig { seed: 3, drop_prob: 0.5, garble_prob: 0.5 });
+        let inj = HttpFaultInjector::new(HttpFaultConfig {
+            seed: 3,
+            drop_prob: 0.5,
+            garble_prob: 0.5,
+        });
         for _ in 0..200 {
             inj.decide();
         }

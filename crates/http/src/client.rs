@@ -65,7 +65,11 @@ pub struct PooledClient {
 
 impl PooledClient {
     pub fn new(timeout: Duration) -> Self {
-        Self { idle: Mutex::new(HashMap::new()), timeout, max_idle_per_addr: 4 }
+        Self {
+            idle: Mutex::new(HashMap::new()),
+            timeout,
+            max_idle_per_addr: 4,
+        }
     }
 
     fn checkout(&self, addr: SocketAddr) -> Option<TcpStream> {
@@ -156,7 +160,10 @@ mod tests {
         let pc = PooledClient::new(Duration::from_secs(2));
         for i in 0..5 {
             let resp = pc
-                .send(s.addr(), &Request::new(Method::Get, "/").with_body(i.to_string()))
+                .send(
+                    s.addr(),
+                    &Request::new(Method::Get, "/").with_body(i.to_string()),
+                )
                 .unwrap();
             assert_eq!(resp.body_str(), i.to_string());
         }

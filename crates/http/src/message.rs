@@ -75,7 +75,12 @@ pub struct Request {
 
 impl Request {
     pub fn new(method: Method, path: impl Into<String>) -> Self {
-        Self { method, path: path.into(), headers: Vec::new(), body: Bytes::new() }
+        Self {
+            method,
+            path: path.into(),
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
     }
 
     pub fn with_body(mut self, body: impl Into<Bytes>) -> Self {
@@ -125,7 +130,11 @@ pub struct Response {
 
 impl Response {
     pub fn new(status: Status) -> Self {
-        Self { status, headers: Vec::new(), body: Bytes::new() }
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
     }
 
     pub fn ok(body: impl Into<Bytes>) -> Self {
@@ -183,7 +192,13 @@ mod tests {
 
     #[test]
     fn method_roundtrip() {
-        for m in [Method::Get, Method::Post, Method::Put, Method::Delete, Method::Head] {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Head,
+        ] {
             assert_eq!(Method::parse(m.as_str()), Some(m));
         }
         assert_eq!(Method::parse("PATCH"), None);

@@ -99,7 +99,12 @@ fn parse_head(buf: &[u8]) -> Result<Option<Head>, ParseError> {
         }
         headers.push((name, value));
     }
-    Ok(Some(Head { start_line, headers, content_length, head_len: head_end }))
+    Ok(Some(Head {
+        start_line,
+        headers,
+        content_length,
+        head_len: head_end,
+    }))
 }
 
 /// Try to parse one request from `buf`.
@@ -128,7 +133,12 @@ pub fn parse_request(buf: &[u8]) -> Result<ParseOutcome<Request>, ParseError> {
     }
     let body = Bytes::copy_from_slice(&buf[head.head_len..total]);
     Ok(ParseOutcome::Complete(
-        Request { method, path, headers: head.headers, body },
+        Request {
+            method,
+            path,
+            headers: head.headers,
+            body,
+        },
         total,
     ))
 }
@@ -154,7 +164,11 @@ pub fn parse_response(buf: &[u8]) -> Result<ParseOutcome<Response>, ParseError> 
         .ok_or_else(|| ParseError::BadStartLine(head.start_line.clone()))?;
     let body = Bytes::copy_from_slice(&buf[head.head_len..total]);
     Ok(ParseOutcome::Complete(
-        Response { status: Status(code), headers: head.headers, body },
+        Response {
+            status: Status(code),
+            headers: head.headers,
+            body,
+        },
         total,
     ))
 }
@@ -202,7 +216,10 @@ mod tests {
     #[test]
     fn incomplete_body_needs_more() {
         let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
-        assert!(matches!(parse_request(wire).unwrap(), ParseOutcome::Incomplete));
+        assert!(matches!(
+            parse_request(wire).unwrap(),
+            ParseOutcome::Incomplete
+        ));
     }
 
     #[test]
@@ -232,13 +249,19 @@ mod tests {
     #[test]
     fn rejects_bad_content_length() {
         let wire = b"GET / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n";
-        assert!(matches!(parse_request(wire), Err(ParseError::BadContentLength(_))));
+        assert!(matches!(
+            parse_request(wire),
+            Err(ParseError::BadContentLength(_))
+        ));
     }
 
     #[test]
     fn rejects_missing_version() {
         let wire = b"GET /\r\n\r\n";
-        assert!(matches!(parse_request(wire), Err(ParseError::BadStartLine(_))));
+        assert!(matches!(
+            parse_request(wire),
+            Err(ParseError::BadStartLine(_))
+        ));
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl HttpServer {
         let accept_thread = std::thread::Builder::new()
             .name(format!("http-accept-{}", addr.port()))
             .spawn(move || accept_loop(listener, handler, stop2, served2))?;
-        Ok(Self { addr, stop, accept_thread: Some(accept_thread), served })
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            served,
+        })
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -61,7 +66,10 @@ impl HttpServer {
     }
 
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle { addr: self.addr, served: Arc::clone(&self.served) }
+        ServerHandle {
+            addr: self.addr,
+            served: Arc::clone(&self.served),
+        }
     }
 
     /// Signal shutdown and join the accept loop. In-flight connection
@@ -216,8 +224,7 @@ mod tests {
             let req = Request::new(Method::Post, "/n").with_body(format!("req{i}"));
             s.write_all(&req.encode()).unwrap();
             loop {
-                if let Ok(ParseOutcome::Complete(resp, used)) = crate::parse::parse_response(&buf)
-                {
+                if let Ok(ParseOutcome::Complete(resp, used)) = crate::parse::parse_response(&buf) {
                     assert_eq!(resp.body_str(), format!("req{i}"));
                     buf.drain(..used);
                     break;
@@ -261,7 +268,8 @@ mod tests {
         if let Ok(mut s) = res {
             let _ = s.write_all(&Request::new(Method::Get, "/").encode());
             let mut out = Vec::new();
-            s.set_read_timeout(Some(Duration::from_millis(300))).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(300)))
+                .unwrap();
             let _ = s.read_to_end(&mut out);
             assert!(out.is_empty(), "shutdown server must not answer");
         }

@@ -1,7 +1,9 @@
 //! Property tests: encode ∘ parse is the identity for the message types, and
 //! the parser never panics on arbitrary bytes.
 
-use iluvatar_http::{parse_request, parse_response, Method, ParseOutcome, Request, Response, Status};
+use iluvatar_http::{
+    parse_request, parse_response, Method, ParseOutcome, Request, Response, Status,
+};
 use proptest::prelude::*;
 
 fn arb_method() -> impl Strategy<Value = Method> {

@@ -13,9 +13,11 @@
 //! |-----------------|------------------------|----------|
 //! | `POST /invoke`  | `{"fqdn":…, "args":…}` | `WireResult` JSON |
 //! | `GET  /status`  |                        | `LbStatus` JSON |
+//! | `GET  /fleet`   |                        | `FleetStatus` JSON (elastic fleet only) |
 //! | `GET  /metrics` |                        | Prometheus text |
 
 use crate::cluster::{Cluster, ClusterSnapshot, TenantClusterStats};
+use crate::fleet::Fleet;
 use iluvatar_core::api::WireResult;
 use iluvatar_core::exposition::{render_span_histograms, PromWriter};
 use iluvatar_core::InvokeError;
@@ -69,6 +71,10 @@ pub struct LbWorkerStatus {
     /// Whether the worker reported itself draining at the last scrape.
     #[serde(default)]
     pub draining: bool,
+    /// Whether a worker currently occupies this slot (elastic fleets
+    /// detach retired workers; their slots stay for accounting).
+    #[serde(default)]
+    pub present: bool,
 }
 
 fn status_of(snap: &ClusterSnapshot) -> LbStatus {
@@ -83,8 +89,13 @@ fn status_of(snap: &ClusterSnapshot) -> LbStatus {
                 load: if load.is_finite() { *load } else { -1.0 },
                 dispatched,
                 healthy: snap.healthy.get(i).copied().unwrap_or(true),
-                breaker: snap.breaker.get(i).cloned().unwrap_or_else(|| "closed".into()),
+                breaker: snap
+                    .breaker
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| "closed".into()),
                 draining: snap.draining.get(i).copied().unwrap_or(false),
+                present: snap.present.get(i).copied().unwrap_or(true),
             })
             .collect(),
         forwarded: snap.forwarded,
@@ -94,12 +105,28 @@ fn status_of(snap: &ClusterSnapshot) -> LbStatus {
     }
 }
 
-fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
+fn render_metrics(snap: &ClusterSnapshot, served: u64, fleet: Option<&Fleet>) -> String {
     let mut w = PromWriter::new();
-    w.gauge("iluvatar_lb_workers", "Workers in the cluster", &[], snap.workers.len() as f64);
+    w.gauge(
+        "iluvatar_lb_workers",
+        "Workers in the cluster",
+        &[],
+        snap.workers.len() as f64,
+    );
     for (i, ((name, load), dispatched)) in
         snap.workers.iter().zip(snap.dispatched.iter()).enumerate()
     {
+        // Detached slots are bookkeeping, not workers: skip their gauges
+        // (the dispatch counter below still renders — counters never drop).
+        if !snap.present.get(i).copied().unwrap_or(true) {
+            w.counter(
+                "iluvatar_lb_dispatched_total",
+                "Invocations dispatched to this worker",
+                &[("worker", name)],
+                *dispatched as f64,
+            );
+            continue;
+        }
         w.gauge(
             "iluvatar_lb_worker_load",
             "Worker-reported normalized load at last scrape (-1 when evicted)",
@@ -110,24 +137,39 @@ fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
             "iluvatar_lb_worker_healthy",
             "1 while the worker passes health checks, 0 after eviction",
             &[("worker", name)],
-            if snap.healthy.get(i).copied().unwrap_or(true) { 1.0 } else { 0.0 },
+            if snap.healthy.get(i).copied().unwrap_or(true) {
+                1.0
+            } else {
+                0.0
+            },
         );
         w.gauge(
             "iluvatar_lb_worker_draining",
             "1 while the worker reports a draining/stopped lifecycle",
             &[("worker", name)],
-            if snap.draining.get(i).copied().unwrap_or(false) { 1.0 } else { 0.0 },
+            if snap.draining.get(i).copied().unwrap_or(false) {
+                1.0
+            } else {
+                0.0
+            },
         );
         let breaker = snap.breaker.get(i).map(String::as_str).unwrap_or("closed");
+        let breaker_value = match breaker {
+            "half_open" => 1.0,
+            "open" => 2.0,
+            _ => 0.0,
+        };
         w.gauge(
             "iluvatar_lb_worker_breaker_open",
             "0 closed, 1 half-open, 2 open",
             &[("worker", name)],
-            match breaker {
-                "half_open" => 1.0,
-                "open" => 2.0,
-                _ => 0.0,
-            },
+            breaker_value,
+        );
+        w.gauge(
+            "iluvatar_breaker_state",
+            "Circuit breaker state per worker: 0 closed, 1 half-open, 2 open",
+            &[("worker", name), ("state", breaker)],
+            breaker_value,
         );
         w.counter(
             "iluvatar_lb_dispatched_total",
@@ -156,14 +198,77 @@ fn render_metrics(snap: &ClusterSnapshot, served: u64) -> String {
     );
     for t in &snap.tenants {
         let labels: &[(&str, &str)] = &[("tenant", &t.tenant)];
-        w.counter("iluvatar_lb_tenant_dispatched_total", "Tenant invocations dispatched by the balancer", labels, t.lb_dispatched as f64);
-        w.counter("iluvatar_lb_tenant_rerouted_total", "Tenant invocations re-routed after worker failures", labels, t.lb_rerouted as f64);
-        w.counter("iluvatar_lb_tenant_admitted_total", "Tenant invocations admitted across workers", labels, t.admitted as f64);
-        w.counter("iluvatar_lb_tenant_throttled_total", "Tenant invocations throttled across workers", labels, t.throttled as f64);
-        w.counter("iluvatar_lb_tenant_shed_total", "Tenant invocations shed across workers", labels, t.shed as f64);
-        w.counter("iluvatar_lb_tenant_served_total", "Tenant invocations completed across workers", labels, t.served as f64);
+        w.counter(
+            "iluvatar_lb_tenant_dispatched_total",
+            "Tenant invocations dispatched by the balancer",
+            labels,
+            t.lb_dispatched as f64,
+        );
+        w.counter(
+            "iluvatar_lb_tenant_rerouted_total",
+            "Tenant invocations re-routed after worker failures",
+            labels,
+            t.lb_rerouted as f64,
+        );
+        w.counter(
+            "iluvatar_lb_tenant_admitted_total",
+            "Tenant invocations admitted across workers",
+            labels,
+            t.admitted as f64,
+        );
+        w.counter(
+            "iluvatar_lb_tenant_throttled_total",
+            "Tenant invocations throttled across workers",
+            labels,
+            t.throttled as f64,
+        );
+        w.counter(
+            "iluvatar_lb_tenant_shed_total",
+            "Tenant invocations shed across workers",
+            labels,
+            t.shed as f64,
+        );
+        w.counter(
+            "iluvatar_lb_tenant_served_total",
+            "Tenant invocations completed across workers",
+            labels,
+            t.served as f64,
+        );
     }
-    w.counter("iluvatar_lb_http_requests_total", "Requests served by the balancer API", &[], served as f64);
+    if let Some(f) = fleet {
+        w.gauge(
+            "iluvatar_fleet_size",
+            "Live (routable) workers in the elastic fleet",
+            &[],
+            f.live() as f64,
+        );
+        w.gauge(
+            "iluvatar_fleet_draining",
+            "Workers draining toward retirement",
+            &[],
+            f.draining() as f64,
+        );
+        w.counter(
+            "iluvatar_fleet_stopped_total",
+            "Workers retired (drained and detached) since start",
+            &[],
+            f.stopped() as f64,
+        );
+        for (direction, reason, count) in f.event_counts() {
+            w.counter(
+                "iluvatar_scale_events_total",
+                "Applied scaling decisions by direction and reason",
+                &[("direction", &direction), ("reason", &reason)],
+                count as f64,
+            );
+        }
+    }
+    w.counter(
+        "iluvatar_lb_http_requests_total",
+        "Requests served by the balancer API",
+        &[],
+        served as f64,
+    );
     // Cluster-wide Table-1 histograms, merged across workers.
     render_span_histograms(&mut w, &[("scope", "cluster")], &snap.spans);
     w.finish()
@@ -186,19 +291,31 @@ fn error_resp(e: &InvokeError) -> Response {
     json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))
 }
 
-/// The balancer's HTTP server plus its background scrape task.
+/// The balancer's HTTP server plus its background scrape task (and, for
+/// elastic fleets, the autoscale control loop).
 pub struct LbApi {
     server: HttpServer,
     tasks: TaskPool,
     snapshot: Arc<Mutex<ClusterSnapshot>>,
+    fleet: Option<Arc<Fleet>>,
 }
 
 impl LbApi {
     /// Serve `cluster` on an ephemeral loopback port, rescraping every
     /// worker each `scrape_period`.
     pub fn serve(cluster: Arc<Cluster>, scrape_period: Duration) -> std::io::Result<Self> {
+        Self::serve_with_fleet(cluster, scrape_period, None)
+    }
+
+    /// Serve an elastic cluster: same routes plus `GET /fleet`, with the
+    /// autoscale control loop ticking every `autoscale.interval_ms`.
+    pub fn serve_with_fleet(
+        cluster: Arc<Cluster>,
+        scrape_period: Duration,
+        fleet: Option<Arc<Fleet>>,
+    ) -> std::io::Result<Self> {
         let snapshot = Arc::new(Mutex::new(cluster.scrape()));
-        let tasks = TaskPool::new(1);
+        let tasks = TaskPool::new(if fleet.is_some() { 2 } else { 1 });
         {
             let cluster = Arc::clone(&cluster);
             let snapshot = Arc::clone(&snapshot);
@@ -206,26 +323,56 @@ impl LbApi {
                 *snapshot.lock() = cluster.scrape();
             });
         }
+        if let Some(f) = fleet.as_ref().filter(|f| f.config().enabled) {
+            let f = Arc::clone(f);
+            let interval = Duration::from_millis(f.config().interval_ms.max(10));
+            let started = std::time::Instant::now();
+            tasks.spawn_periodic("lb-autoscale", interval, move || {
+                // Control-loop time is elapsed-since-start so the policy's
+                // cooldown arithmetic sees small monotone values.
+                let now_ms = started.elapsed().as_millis() as u64;
+                if let Err(e) = f.tick(now_ms) {
+                    eprintln!("autoscale tick failed: {e}");
+                }
+            });
+        }
         let snap = Arc::clone(&snapshot);
+        let fleet_for_handler = fleet.clone();
         let served = Arc::new(Mutex::new(None::<iluvatar_http::ServerHandle>));
         let served2 = Arc::clone(&served);
         let handler: Handler = Arc::new(move |req: Request| {
             let body = std::str::from_utf8(&req.body).unwrap_or("");
             match (req.method, req.path.as_str()) {
-                (Method::Get, "/status") => {
-                    json_resp(Status::OK, serde_json::to_string(&status_of(&snap.lock())).unwrap())
-                }
+                (Method::Get, "/status") => json_resp(
+                    Status::OK,
+                    serde_json::to_string(&status_of(&snap.lock())).unwrap(),
+                ),
                 (Method::Get, "/metrics") => {
                     let n = served2.lock().as_ref().map(|h| h.served()).unwrap_or(0);
-                    Response::ok(render_metrics(&snap.lock(), n))
-                        .with_header("Content-Type", "text/plain; version=0.0.4")
+                    Response::ok(render_metrics(
+                        &snap.lock(),
+                        n,
+                        fleet_for_handler.as_deref(),
+                    ))
+                    .with_header("Content-Type", "text/plain; version=0.0.4")
                 }
+                (Method::Get, "/fleet") => match &fleet_for_handler {
+                    Some(f) => json_resp(Status::OK, serde_json::to_string(&f.status()).unwrap()),
+                    None => json_resp(
+                        Status::NOT_FOUND,
+                        "{\"error\":\"no elastic fleet configured\"}".into(),
+                    ),
+                },
                 (Method::Post, "/invoke") => match serde_json::from_str::<InvokeBody>(body) {
                     Ok(b) => {
                         let tenant = req
                             .header(iluvatar_http::TENANT_HEADER)
                             .map(str::to_string)
                             .or(b.tenant);
+                        // Feed the autoscaler's arrival counters.
+                        if let Some(f) = &fleet_for_handler {
+                            f.note_arrival(&b.fqdn);
+                        }
                         match cluster.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
                             Ok(r) => {
                                 let wire: WireResult = r.into();
@@ -234,16 +381,22 @@ impl LbApi {
                             Err(e) => error_resp(&e),
                         }
                     }
-                    Err(e) => {
-                        json_resp(Status::BAD_REQUEST, format!("{{\"error\":{:?}}}", e.to_string()))
-                    }
+                    Err(e) => json_resp(
+                        Status::BAD_REQUEST,
+                        format!("{{\"error\":{:?}}}", e.to_string()),
+                    ),
                 },
                 _ => Response::new(Status::NOT_FOUND),
             }
         });
         let server = HttpServer::start(handler)?;
         *served.lock() = Some(server.handle());
-        Ok(Self { server, tasks, snapshot })
+        Ok(Self {
+            server,
+            tasks,
+            snapshot,
+            fleet,
+        })
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -253,6 +406,11 @@ impl LbApi {
     /// The most recent cluster scrape.
     pub fn snapshot(&self) -> ClusterSnapshot {
         self.snapshot.lock().clone()
+    }
+
+    /// The elastic fleet, when one is attached.
+    pub fn fleet(&self) -> Option<&Arc<Fleet>> {
+        self.fleet.as_ref()
     }
 
     pub fn shutdown(&mut self) {
@@ -282,7 +440,10 @@ mod tests {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.02,
+                ..Default::default()
+            },
         ));
         let mut cfg = WorkerConfig::for_testing();
         cfg.name = name.to_string();
@@ -290,14 +451,21 @@ mod tests {
     }
 
     fn get(addr: SocketAddr, path: &str) -> Response {
-        HttpClient::send(addr, &Request::new(Method::Get, path), Duration::from_secs(5)).unwrap()
+        HttpClient::send(
+            addr,
+            &Request::new(Method::Get, path),
+            Duration::from_secs(5),
+        )
+        .unwrap()
     }
 
     #[test]
     fn invoke_status_metrics_over_http() {
         let workers: Vec<Arc<dyn WorkerHandle>> = vec![live_worker("w0"), live_worker("w1")];
         let cluster = Arc::new(Cluster::new(workers, LbPolicy::RoundRobin));
-        cluster.register_all(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        cluster
+            .register_all(FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
         let api = LbApi::serve(Arc::clone(&cluster), Duration::from_millis(25)).unwrap();
 
         // Invoke twice through the balancer: round-robin touches both workers.
@@ -348,7 +516,11 @@ mod tests {
 
         // The merged call_container count covers both workers' invocations.
         let snap = api.snapshot();
-        let call = snap.spans.iter().find(|s| s.name == "call_container").unwrap();
+        let call = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "call_container")
+            .unwrap();
         assert_eq!(call.count, 2, "one invocation per worker merged");
         assert_eq!(call.hist.count(), 2);
 
@@ -366,17 +538,21 @@ mod tests {
         let clock = SystemClock::shared();
         let backend = Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale: 0.02, ..Default::default() },
+            SimBackendConfig {
+                time_scale: 0.02,
+                ..Default::default()
+            },
         ));
         let mut cfg = WorkerConfig::for_testing();
-        cfg.admission = AdmissionConfig::enabled_with(vec![
-            TenantSpec::new("free").with_rate(0.001, 1.0),
-        ]);
+        cfg.admission =
+            AdmissionConfig::enabled_with(vec![TenantSpec::new("free").with_rate(0.001, 1.0)]);
         let worker = Arc::new(Worker::new(cfg, backend, clock));
         let wapi = WorkerApi::serve(Arc::clone(&worker)).unwrap();
         let remote: Arc<dyn WorkerHandle> = Arc::new(RemoteWorker::connect(wapi.addr()));
         let cluster = Arc::new(Cluster::new(vec![remote], LbPolicy::RoundRobin));
-        cluster.register_all(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+        cluster
+            .register_all(FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
         let api = LbApi::serve(Arc::clone(&cluster), Duration::from_millis(25)).unwrap();
 
         let body = serde_json::to_vec(&InvokeBody {
@@ -398,30 +574,46 @@ mod tests {
         let resp = send();
         assert_eq!(resp.status.0, 200, "body: {}", resp.body_str());
         let wire: WireResult = serde_json::from_str(resp.body_str()).unwrap();
-        assert_eq!(wire.tenant.as_deref(), Some("free"), "label survives LB→worker→result");
+        assert_eq!(
+            wire.tenant.as_deref(),
+            Some("free"),
+            "label survives LB→worker→result"
+        );
         // The tenant's rate bucket is empty: the rejection propagates as a
         // 429 through both HTTP hops.
         let resp = send();
         assert_eq!(resp.status.0, 429, "body: {}", resp.body_str());
-        assert!(resp.body_str().contains("throttled"), "body: {}", resp.body_str());
+        assert!(
+            resp.body_str().contains("throttled"),
+            "body: {}",
+            resp.body_str()
+        );
         // The rollup lands in /status once a scrape observes the worker.
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            let st: LbStatus =
-                serde_json::from_str(get(api.addr(), "/status").body_str()).unwrap();
+            let st: LbStatus = serde_json::from_str(get(api.addr(), "/status").body_str()).unwrap();
             let free = st.tenants.iter().find(|t| t.tenant == "free");
-            if free.map(|t| t.throttled == 1 && t.served == 1 && t.lb_dispatched == 2)
-                == Some(true)
+            if free.map(|t| t.throttled == 1 && t.served == 1 && t.lb_dispatched == 2) == Some(true)
             {
                 break;
             }
-            assert!(Instant::now() < deadline, "rollup never converged: {:?}", st.tenants);
+            assert!(
+                Instant::now() < deadline,
+                "rollup never converged: {:?}",
+                st.tenants
+            );
             std::thread::sleep(Duration::from_millis(20));
         }
         // Per-tenant families render on the balancer's /metrics.
         let text = get(api.addr(), "/metrics").body_str().to_string();
-        assert!(text.contains("iluvatar_lb_tenant_dispatched_total{tenant=\"free\"} 2"), "{text}");
-        assert!(text.contains("iluvatar_lb_tenant_throttled_total{tenant=\"free\"} 1"), "{text}");
+        assert!(
+            text.contains("iluvatar_lb_tenant_dispatched_total{tenant=\"free\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("iluvatar_lb_tenant_throttled_total{tenant=\"free\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -431,8 +623,7 @@ mod tests {
         let api = LbApi::serve(cluster, Duration::from_secs(60)).unwrap();
         let resp = HttpClient::send(
             api.addr(),
-            &Request::new(Method::Post, "/invoke")
-                .with_body(&b"{\"fqdn\":\"ghost-1\"}"[..]),
+            &Request::new(Method::Post, "/invoke").with_body(&b"{\"fqdn\":\"ghost-1\"}"[..]),
             Duration::from_secs(5),
         )
         .unwrap();

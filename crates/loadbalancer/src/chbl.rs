@@ -75,7 +75,11 @@ impl ChBl {
             .iter()
             .filter(|l| l.is_finite())
             .fold((0.0, 0usize), |(s, n), l| (s + l, n + 1));
-        let mean = if finite == 0 { 0.0 } else { sum / finite as f64 };
+        let mean = if finite == 0 {
+            0.0
+        } else {
+            sum / finite as f64
+        };
         let bound = self.cfg.c * mean.max(1.0);
         let mut hops = 0;
         let mut seen = vec![false; self.workers];

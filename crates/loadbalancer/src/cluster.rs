@@ -1,16 +1,26 @@
 //! Cluster front-end: a load-balancing policy over worker handles.
+//!
+//! Membership is *elastic*: the cluster is built with a fixed slot
+//! capacity (the autoscaler's `max_workers`), and workers [`attach`] to
+//! and [`detach`] from slots at runtime. An attached worker is admitted
+//! through the same HalfOpen breaker probe that re-admits a restarted
+//! worker; a detached slot keeps its dispatch counters, last-known name,
+//! and tenant cache so cluster accounting survives fleet churn.
+//!
+//! [`attach`]: Cluster::attach
+//! [`detach`]: Cluster::detach
 
 use crate::chbl::{ChBl, ChBlConfig};
+use iluvatar_containers::FunctionSpec;
 use iluvatar_core::{
     merge_span_exports, InvocationResult, InvokeError, SpanExport, TenantSnapshot, Worker,
 };
-use iluvatar_containers::FunctionSpec;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One health probe of a worker: its load plus whether it is draining.
 /// Draining workers are routed around but not treated as failed — they are
@@ -21,6 +31,21 @@ pub struct ProbeResult {
     pub draining: bool,
 }
 
+/// Queue/lifecycle detail one handle reports for fleet scaling decisions.
+/// Everything defaults to zero for handles (test stubs) without the data.
+#[derive(Debug, Clone, Default)]
+pub struct HandleStats {
+    pub queue_len: usize,
+    pub running: usize,
+    pub concurrency_limit: usize,
+    /// Queue delay of the most recently dequeued invocation, ms.
+    pub queue_delay_ms: u64,
+    /// Invocations still to finish before a drain completes.
+    pub drain_pending: u64,
+    /// Lifecycle label: `running`, `draining`, or `stopped`.
+    pub lifecycle: String,
+}
+
 /// Anything the balancer can dispatch to: a live worker or a test stub.
 pub trait WorkerHandle: Send + Sync + 'static {
     fn name(&self) -> String;
@@ -29,7 +54,10 @@ pub trait WorkerHandle: Send + Sync + 'static {
     /// Health probe: load plus lifecycle. The default derives it from
     /// [`load`](Self::load) and never reports draining.
     fn probe(&self) -> ProbeResult {
-        ProbeResult { load: self.load(), draining: false }
+        ProbeResult {
+            load: self.load(),
+            draining: false,
+        }
     }
     fn register(&self, spec: FunctionSpec) -> Result<(), String>;
     fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError>;
@@ -54,17 +82,37 @@ pub trait WorkerHandle: Send + Sync + 'static {
     fn tenant_stats(&self) -> Vec<TenantSnapshot> {
         Vec::new()
     }
+    /// Queue/lifecycle detail for the fleet manager's scaling signal.
+    fn stats(&self) -> HandleStats {
+        HandleStats::default()
+    }
+    /// Ask the worker to drain: finish in-flight work, reject new work.
+    /// Returns the pending count at request time.
+    fn drain(&self) -> Result<u64, String> {
+        Ok(0)
+    }
+    /// The most recent `Retry-After` hint (ms) this handle received on a
+    /// 503, telling the balancer how long to suppress re-probing. 0 when
+    /// the worker never sent one.
+    fn retry_after_hint_ms(&self) -> u64 {
+        0
+    }
 }
 
 /// A remote worker reached over its HTTP API — the distributed deployment
 /// mode. Status polls and invocations go over pooled connections.
 pub struct RemoteWorker {
     client: iluvatar_core::api::WorkerApiClient,
+    /// Last `Retry-After` (ms) parsed off a 503 response.
+    retry_after_ms: AtomicU64,
 }
 
 impl RemoteWorker {
     pub fn connect(addr: std::net::SocketAddr) -> Self {
-        Self { client: iluvatar_core::api::WorkerApiClient::new(addr) }
+        Self {
+            client: iluvatar_core::api::WorkerApiClient::new(addr),
+            retry_after_ms: AtomicU64::new(0),
+        }
     }
 }
 
@@ -79,7 +127,10 @@ impl WorkerHandle for RemoteWorker {
     fn load(&self) -> f64 {
         // An unreachable worker reports infinite load so CH-BL routes
         // around it.
-        self.client.status().map(|s| s.normalized_load).unwrap_or(f64::INFINITY)
+        self.client
+            .status()
+            .map(|s| s.normalized_load)
+            .unwrap_or(f64::INFINITY)
     }
 
     fn probe(&self) -> ProbeResult {
@@ -88,7 +139,10 @@ impl WorkerHandle for RemoteWorker {
                 load: s.normalized_load,
                 draining: matches!(s.lifecycle.as_str(), "draining" | "stopped"),
             },
-            Err(_) => ProbeResult { load: f64::INFINITY, draining: false },
+            Err(_) => ProbeResult {
+                load: f64::INFINITY,
+                draining: false,
+            },
         }
     }
 
@@ -120,9 +174,14 @@ impl WorkerHandle for RemoteWorker {
             Err(iluvatar_core::api::ApiError::Status(404, _)) => {
                 Err(InvokeError::NotRegistered(fqdn.to_string()))
             }
-            Err(iluvatar_core::api::ApiError::Status(503, _)) => {
+            Err(iluvatar_core::api::ApiError::Unavailable {
+                retry_after_secs, ..
+            }) => {
                 // The worker is draining (or stopped): re-routable, but not
-                // a failure — the balancer must not trip its breaker.
+                // a failure — the balancer must not trip its breaker. Keep
+                // the Retry-After hint so probes back off until it expires.
+                self.retry_after_ms
+                    .store(retry_after_secs * 1_000, Ordering::Relaxed);
                 Err(InvokeError::ShuttingDown)
             }
             Err(iluvatar_core::api::ApiError::Status(429, body)) => {
@@ -149,6 +208,28 @@ impl WorkerHandle for RemoteWorker {
     fn tenant_stats(&self) -> Vec<TenantSnapshot> {
         self.client.status().map(|s| s.tenants).unwrap_or_default()
     }
+
+    fn stats(&self) -> HandleStats {
+        match self.client.status() {
+            Ok(s) => HandleStats {
+                queue_len: s.queue_len,
+                running: s.running,
+                concurrency_limit: s.concurrency_limit,
+                queue_delay_ms: s.queue_delay_ms,
+                drain_pending: s.drain_pending,
+                lifecycle: s.lifecycle,
+            },
+            Err(_) => HandleStats::default(),
+        }
+    }
+
+    fn drain(&self) -> Result<u64, String> {
+        self.client.drain().map_err(|e| e.to_string())
+    }
+
+    fn retry_after_hint_ms(&self) -> u64 {
+        self.retry_after_ms.load(Ordering::Relaxed)
+    }
 }
 
 impl WorkerHandle for Worker {
@@ -161,7 +242,9 @@ impl WorkerHandle for Worker {
     }
 
     fn register(&self, spec: FunctionSpec) -> Result<(), String> {
-        Worker::register(self, spec).map(|_| ()).map_err(|e| e.to_string())
+        Worker::register(self, spec)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     }
 
     fn invoke(&self, fqdn: &str, args: &str) -> Result<InvocationResult, InvokeError> {
@@ -179,7 +262,10 @@ impl WorkerHandle for Worker {
 
     fn probe(&self) -> ProbeResult {
         let s = self.status();
-        ProbeResult { load: s.normalized_load, draining: s.lifecycle != "running" }
+        ProbeResult {
+            load: s.normalized_load,
+            draining: s.lifecycle != "running",
+        }
     }
 
     fn span_export(&self) -> Vec<SpanExport> {
@@ -188,6 +274,23 @@ impl WorkerHandle for Worker {
 
     fn tenant_stats(&self) -> Vec<TenantSnapshot> {
         Worker::tenant_stats(self)
+    }
+
+    fn stats(&self) -> HandleStats {
+        let s = self.status();
+        HandleStats {
+            queue_len: s.queue_len,
+            running: s.running,
+            concurrency_limit: s.concurrency_limit,
+            queue_delay_ms: s.queue_delay_ms,
+            drain_pending: s.drain_pending,
+            lifecycle: s.lifecycle,
+        }
+    }
+
+    fn drain(&self) -> Result<u64, String> {
+        Worker::drain(self);
+        Ok(self.status().drain_pending)
     }
 }
 
@@ -217,7 +320,10 @@ pub struct BreakerConfig {
 
 impl Default for BreakerConfig {
     fn default() -> Self {
-        Self { failure_threshold: 1, open_cooldown_ms: 0 }
+        Self {
+            failure_threshold: 1,
+            open_cooldown_ms: 0,
+        }
     }
 }
 
@@ -250,7 +356,23 @@ struct Breaker {
 
 impl Breaker {
     fn new() -> Self {
-        Self { state: BreakerState::Closed, failures: 0, opened_at: None }
+        Self {
+            state: BreakerState::Closed,
+            failures: 0,
+            opened_at: None,
+        }
+    }
+
+    /// The state a freshly attached (or re-attached) worker starts in:
+    /// Open with an expired cooldown, so the very next probe round runs
+    /// the HalfOpen admission check — the same path a restarted worker
+    /// takes back into the cluster.
+    fn awaiting_admission() -> Self {
+        Self {
+            state: BreakerState::Open,
+            failures: 0,
+            opened_at: None,
+        }
     }
 }
 
@@ -270,6 +392,8 @@ pub struct ClusterStats {
     /// Per-worker draining flags, cluster order. A draining worker is
     /// routed around but stays healthy — it is not a failure.
     pub draining: Vec<bool>,
+    /// Which slots currently hold a worker, cluster order.
+    pub present: Vec<bool>,
 }
 
 /// Cluster-wide rollup for one tenant: admission counters merged across
@@ -291,7 +415,8 @@ pub struct TenantClusterStats {
 /// merged across workers (lossless — see `LogHistogram::merge`).
 #[derive(Debug, Clone, Default)]
 pub struct ClusterSnapshot {
-    /// (worker name, normalized load) per worker, cluster order.
+    /// (worker name, normalized load) per slot, cluster order. Detached
+    /// slots keep their last-known name and report infinite load.
     pub workers: Vec<(String, f64)>,
     /// Cluster-wide span distributions, merged by span name.
     pub spans: Vec<SpanExport>,
@@ -305,14 +430,22 @@ pub struct ClusterSnapshot {
     pub breaker: Vec<String>,
     /// Per-worker draining flags, cluster order.
     pub draining: Vec<bool>,
+    /// Which slots currently hold a worker, cluster order.
+    pub present: Vec<bool>,
     /// Per-tenant rollup, sorted by tenant id. Evicted workers contribute
     /// their last-known counters, so tenant accounting survives eviction.
     pub tenants: Vec<TenantClusterStats>,
 }
 
-/// The cluster: a policy over a fixed set of workers.
+/// The cluster: a policy over a capacity-bounded, elastic set of workers.
 pub struct Cluster {
-    workers: Vec<Arc<dyn WorkerHandle>>,
+    /// Worker slots; `None` where no worker is attached. The capacity is
+    /// fixed at construction (the CH-BL ring is built over it), membership
+    /// within it is dynamic.
+    slots: Vec<RwLock<Option<Arc<dyn WorkerHandle>>>>,
+    /// Last-known worker name per slot (survives detach, for accounting).
+    names: Vec<Mutex<String>>,
+    present: Vec<AtomicBool>,
     policy: PolicyState,
     dispatched: Vec<AtomicU64>,
     forwarded: AtomicU64,
@@ -330,6 +463,9 @@ pub struct Cluster {
     breaker_cfg: BreakerConfig,
     /// Per-worker draining flags, refreshed by probes and 503 responses.
     draining: Vec<AtomicBool>,
+    /// Probe suppression deadline per slot: a draining worker that sent a
+    /// `Retry-After` is not re-probed until the hint expires.
+    probe_after: Vec<Mutex<Option<Instant>>>,
     evictions: AtomicU64,
     rerouted: AtomicU64,
     /// Balancer-side per-tenant (dispatched, rerouted) counters. These live
@@ -350,45 +486,150 @@ impl Cluster {
         policy: LbPolicy,
         breaker_cfg: BreakerConfig,
     ) -> Self {
-        assert!(!workers.is_empty());
-        let n = workers.len();
+        let cap = workers.len();
+        Self::with_capacity(workers, policy, breaker_cfg, cap)
+    }
+
+    /// A cluster with `capacity` slots, the first `workers.len()` of them
+    /// occupied. Extra slots start empty and are filled by
+    /// [`Cluster::attach`] (the autoscaler's scale-up path).
+    pub fn with_capacity(
+        workers: Vec<Arc<dyn WorkerHandle>>,
+        policy: LbPolicy,
+        breaker_cfg: BreakerConfig,
+        capacity: usize,
+    ) -> Self {
+        assert!(
+            !workers.is_empty() || capacity > 0,
+            "cluster needs at least one slot"
+        );
+        let n = capacity.max(workers.len());
         let policy = match policy {
             LbPolicy::ChBl(cfg) => PolicyState::ChBl(ChBl::new(n, cfg)),
             LbPolicy::RoundRobin => PolicyState::RoundRobin(AtomicU64::new(0)),
             LbPolicy::LeastLoaded => PolicyState::LeastLoaded,
         };
+        let mut slots: Vec<RwLock<Option<Arc<dyn WorkerHandle>>>> = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        let mut present = Vec::with_capacity(n);
+        for (i, w) in workers.iter().enumerate() {
+            names.push(Mutex::new(w.name()));
+            slots.push(RwLock::new(Some(Arc::clone(w))));
+            present.push(AtomicBool::new(true));
+            let _ = i;
+        }
+        for i in workers.len()..n {
+            names.push(Mutex::new(format!("slot-{i}")));
+            slots.push(RwLock::new(None));
+            present.push(AtomicBool::new(false));
+        }
         Self {
             policy,
             dispatched: (0..n).map(|_| AtomicU64::new(0)).collect(),
             forwarded: AtomicU64::new(0),
             loads: Mutex::new(vec![0.0; n]),
-            healthy: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            // Empty slots are unhealthy until a worker attaches and passes
+            // its admission probe.
+            healthy: (0..n).map(|i| AtomicBool::new(i < workers.len())).collect(),
             breakers: (0..n).map(|_| Mutex::new(Breaker::new())).collect(),
             breaker_cfg: BreakerConfig {
                 failure_threshold: breaker_cfg.failure_threshold.max(1),
                 ..breaker_cfg
             },
             draining: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            probe_after: (0..n).map(|_| Mutex::new(None)).collect(),
             evictions: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
             tenant_lb: Mutex::new(HashMap::new()),
             tenant_cache: Mutex::new(vec![Vec::new(); n]),
-            workers,
+            slots,
+            names,
+            present,
         }
     }
 
+    /// Slot capacity (the CH-BL ring size), not the live worker count —
+    /// see [`Cluster::live`].
     pub fn len(&self) -> usize {
-        self.workers.len()
+        self.slots.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.workers.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Register on every worker (functions can run anywhere).
+    /// Occupied slots.
+    pub fn live(&self) -> usize {
+        self.present
+            .iter()
+            .filter(|p| p.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// The handle in slot `idx`, if any.
+    pub fn handle(&self, idx: usize) -> Option<Arc<dyn WorkerHandle>> {
+        self.slots.get(idx)?.read().clone()
+    }
+
+    /// Attach `worker` to the first free slot and schedule its admission:
+    /// the slot starts unhealthy with its breaker Open-with-expired-
+    /// cooldown, so the next probe round runs the standard HalfOpen
+    /// re-admission check before any dispatch lands on it. Errors when
+    /// every slot is occupied.
+    pub fn attach(&self, worker: Arc<dyn WorkerHandle>) -> Result<usize, String> {
+        for idx in 0..self.slots.len() {
+            if self.present[idx]
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                *self.names[idx].lock() = worker.name();
+                *self.slots[idx].write() = Some(worker);
+                *self.breakers[idx].lock() = Breaker::awaiting_admission();
+                self.healthy[idx].store(false, Ordering::Relaxed);
+                self.draining[idx].store(false, Ordering::Relaxed);
+                *self.probe_after[idx].lock() = None;
+                return Ok(idx);
+            }
+        }
+        Err("cluster at capacity: no free slot".into())
+    }
+
+    /// Detach the worker in slot `idx`, freeing the slot. Dispatch
+    /// counters, the last-known name, and the tenant cache stay behind so
+    /// cluster accounting survives the retirement.
+    pub fn detach(&self, idx: usize) -> Option<Arc<dyn WorkerHandle>> {
+        let handle = self.slots.get(idx)?.write().take();
+        if handle.is_some() {
+            // Reconcile the tenant cache one final time before the handle
+            // goes away: the retired worker's served counters must keep
+            // contributing to the rollup.
+            if let Some(h) = &handle {
+                let mut cache = self.tenant_cache.lock();
+                merge_tenant_cache(&mut cache[idx], h.tenant_stats());
+            }
+            self.present[idx].store(false, Ordering::SeqCst);
+            self.healthy[idx].store(false, Ordering::Relaxed);
+            self.draining[idx].store(false, Ordering::Relaxed);
+            *self.probe_after[idx].lock() = None;
+            *self.breakers[idx].lock() = Breaker::new();
+        }
+        handle
+    }
+
+    /// Flag slot `idx` as draining so routing avoids it immediately,
+    /// without waiting for the next probe round.
+    pub fn mark_draining(&self, idx: usize) {
+        if idx < self.draining.len() {
+            self.draining[idx].store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Register on every attached worker (functions can run anywhere).
     pub fn register_all(&self, spec: FunctionSpec) -> Result<(), String> {
-        for w in &self.workers {
-            w.register(spec.clone())?;
+        for idx in 0..self.slots.len() {
+            if let Some(w) = self.handle(idx) {
+                w.register(spec.clone())?;
+            }
         }
         Ok(())
     }
@@ -445,14 +686,36 @@ impl Cluster {
         b.state
     }
 
-    fn refresh_loads(&self) -> Vec<f64> {
-        let mut loads = vec![f64::INFINITY; self.workers.len()];
+    /// Whether slot `idx` is inside a `Retry-After` suppression window.
+    /// Clears the deadline once it expires.
+    fn probe_suppressed(&self, idx: usize) -> bool {
+        let mut until = self.probe_after[idx].lock();
+        match *until {
+            Some(t) if Instant::now() < t => true,
+            Some(_) => {
+                *until = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn refresh_loads(&self) -> Vec<f64> {
+        let mut loads = vec![f64::INFINITY; self.slots.len()];
         for (i, l) in loads.iter_mut().enumerate() {
+            let Some(w) = self.handle(i) else { continue };
+            // Honour the worker's Retry-After: while the hint is live the
+            // worker is still draining by its own word — don't waste a
+            // probe on it, keep routing around.
+            if self.probe_suppressed(i) {
+                self.draining[i].store(true, Ordering::Relaxed);
+                continue;
+            }
             // Still cooling down: don't probe, keep routing around it.
             if self.advance_breaker(i) == BreakerState::Open {
                 continue;
             }
-            let p = self.workers[i].probe();
+            let p = w.probe();
             if !p.load.is_finite() {
                 // The status poll failed: a breaker failure.
                 self.record_failure(i);
@@ -473,6 +736,7 @@ impl Cluster {
 
     /// Choose the worker for `fqdn` under the configured policy.
     pub fn pick(&self, fqdn: &str) -> usize {
+        let n = self.slots.len();
         match &self.policy {
             PolicyState::ChBl(ring) => {
                 let loads = self.refresh_loads();
@@ -483,12 +747,13 @@ impl Cluster {
                 w
             }
             PolicyState::RoundRobin(ctr) => {
-                let n = self.workers.len();
                 let mut choice = (ctr.fetch_add(1, Ordering::Relaxed) as usize) % n;
-                // Skip evicted workers; with none healthy, fall through and
-                // let the invocation fail loudly rather than stall.
+                // Skip evicted/empty slots; with none healthy, fall through
+                // and let the invocation fail loudly rather than stall.
                 for _ in 0..n {
-                    if self.healthy[choice].load(Ordering::Relaxed) {
+                    if self.healthy[choice].load(Ordering::Relaxed)
+                        && !self.draining[choice].load(Ordering::Relaxed)
+                    {
                         break;
                     }
                     choice = (ctr.fetch_add(1, Ordering::Relaxed) as usize) % n;
@@ -530,7 +795,12 @@ impl Cluster {
         if let Some(t) = tenant {
             self.tenant_lb.lock().entry(t.to_string()).or_default().0 += 1;
         }
-        match self.workers[w].invoke_tenant(fqdn, args, tenant) {
+        let Some(handle) = self.handle(w) else {
+            // The slot emptied between pick and dispatch (scale-down race):
+            // not a worker failure, just reroute.
+            return self.reroute(fqdn, args, tenant, w, InvokeError::ShuttingDown);
+        };
+        match handle.invoke_tenant(fqdn, args, tenant) {
             Err(InvokeError::Backend(e)) => {
                 // The worker died mid-call: a breaker failure.
                 self.record_failure(w);
@@ -539,10 +809,20 @@ impl Cluster {
             Err(InvokeError::ShuttingDown) => {
                 // The worker is draining: route around it without tripping
                 // the breaker — it is finishing work, not failing.
-                self.draining[w].store(true, Ordering::Relaxed);
+                self.note_draining(w, handle.retry_after_hint_ms());
                 self.reroute(fqdn, args, tenant, w, InvokeError::ShuttingDown)
             }
             other => other,
+        }
+    }
+
+    /// A 503 landed on slot `idx`: flag it draining and, when the worker
+    /// sent a `Retry-After`, suppress probes until the hint expires.
+    fn note_draining(&self, idx: usize, retry_after_ms: u64) {
+        self.draining[idx].store(true, Ordering::Relaxed);
+        if retry_after_ms > 0 {
+            *self.probe_after[idx].lock() =
+                Some(Instant::now() + Duration::from_millis(retry_after_ms));
         }
     }
 
@@ -555,21 +835,27 @@ impl Cluster {
         first_err: InvokeError,
     ) -> Result<InvocationResult, InvokeError> {
         let mut err = first_err;
-        let mut tried = vec![false; self.workers.len()];
+        let mut tried = vec![false; self.slots.len()];
         tried[failed] = true;
         loop {
             let loads = self.loads.lock().clone();
-            let next = (0..self.workers.len())
+            let next = (0..self.slots.len())
                 .filter(|&i| {
                     !tried[i]
+                        && self.present[i].load(Ordering::Relaxed)
                         && self.healthy[i].load(Ordering::Relaxed)
                         && !self.draining[i].load(Ordering::Relaxed)
                 })
                 .min_by(|&a, &b| {
-                    loads[a].partial_cmp(&loads[b]).unwrap_or(std::cmp::Ordering::Equal)
+                    loads[a]
+                        .partial_cmp(&loads[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
             let Some(i) = next else { return Err(err) };
             tried[i] = true;
+            let Some(handle) = self.handle(i) else {
+                continue;
+            };
             self.rerouted.fetch_add(1, Ordering::Relaxed);
             self.dispatched[i].fetch_add(1, Ordering::Relaxed);
             if let Some(t) = tenant {
@@ -578,13 +864,13 @@ impl Cluster {
                 e.0 += 1;
                 e.1 += 1;
             }
-            match self.workers[i].invoke_tenant(fqdn, args, tenant) {
+            match handle.invoke_tenant(fqdn, args, tenant) {
                 Err(InvokeError::Backend(e)) => {
                     self.record_failure(i);
                     err = InvokeError::Backend(e);
                 }
                 Err(InvokeError::ShuttingDown) => {
-                    self.draining[i].store(true, Ordering::Relaxed);
+                    self.note_draining(i, handle.retry_after_hint_ms());
                     err = InvokeError::ShuttingDown;
                 }
                 other => return other,
@@ -596,25 +882,31 @@ impl Cluster {
     /// workers) with the balancer's own per-tenant counters.
     pub fn tenant_rollup(&self) -> Vec<TenantClusterStats> {
         let mut cache = self.tenant_cache.lock();
-        for (i, w) in self.workers.iter().enumerate() {
-            merge_tenant_cache(&mut cache[i], w.tenant_stats());
+        for i in 0..self.slots.len() {
+            if let Some(w) = self.handle(i) {
+                merge_tenant_cache(&mut cache[i], w.tenant_stats());
+            }
         }
         let mut merged: HashMap<String, TenantClusterStats> = HashMap::new();
         for snap in cache.iter().flatten() {
-            let e = merged.entry(snap.tenant.clone()).or_insert_with(|| TenantClusterStats {
-                tenant: snap.tenant.clone(),
-                ..Default::default()
-            });
+            let e = merged
+                .entry(snap.tenant.clone())
+                .or_insert_with(|| TenantClusterStats {
+                    tenant: snap.tenant.clone(),
+                    ..Default::default()
+                });
             e.admitted += snap.admitted;
             e.throttled += snap.throttled;
             e.shed += snap.shed;
             e.served += snap.served;
         }
         for (t, &(dispatched, rerouted)) in self.tenant_lb.lock().iter() {
-            let e = merged.entry(t.clone()).or_insert_with(|| TenantClusterStats {
-                tenant: t.clone(),
-                ..Default::default()
-            });
+            let e = merged
+                .entry(t.clone())
+                .or_insert_with(|| TenantClusterStats {
+                    tenant: t.clone(),
+                    ..Default::default()
+                });
             e.lb_dispatched = dispatched;
             e.lb_rerouted = rerouted;
         }
@@ -625,13 +917,34 @@ impl Cluster {
 
     pub fn stats(&self) -> ClusterStats {
         ClusterStats {
-            dispatched: self.dispatched.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+            dispatched: self
+                .dispatched
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
             forwarded: self.forwarded.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             rerouted: self.rerouted.load(Ordering::Relaxed),
-            healthy: self.healthy.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
-            breaker: self.breakers.iter().map(|b| b.lock().state.label().to_string()).collect(),
-            draining: self.draining.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+            healthy: self
+                .healthy
+                .iter()
+                .map(|h| h.load(Ordering::Relaxed))
+                .collect(),
+            breaker: self
+                .breakers
+                .iter()
+                .map(|b| b.lock().state.label().to_string())
+                .collect(),
+            draining: self
+                .draining
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            present: self
+                .present
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -644,13 +957,14 @@ impl Cluster {
         // when no invocations are flowing.
         let loads = self.refresh_loads();
         let workers: Vec<(String, f64)> = self
-            .workers
+            .names
             .iter()
             .zip(&loads)
-            .map(|(w, &l)| (w.name(), l))
+            .map(|(name, &l)| (name.lock().clone(), l))
             .collect();
-        let sets: Vec<Vec<SpanExport>> =
-            self.workers.iter().map(|w| w.span_export()).collect();
+        let sets: Vec<Vec<SpanExport>> = (0..self.slots.len())
+            .map(|i| self.handle(i).map(|w| w.span_export()).unwrap_or_default())
+            .collect();
         let st = self.stats();
         ClusterSnapshot {
             workers,
@@ -662,6 +976,7 @@ impl Cluster {
             healthy: st.healthy,
             breaker: st.breaker,
             draining: st.draining,
+            present: st.present,
             tenants: self.tenant_rollup(),
         }
     }
@@ -695,7 +1010,6 @@ fn merge_tenant_cache(cache: &mut Vec<TenantSnapshot>, fresh: Vec<TenantSnapshot
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::RwLock;
 
     /// A stub worker with a settable load that records invocations.
     struct StubWorker {
@@ -706,7 +1020,11 @@ mod tests {
 
     impl StubWorker {
         fn new(name: &str) -> Arc<Self> {
-            Arc::new(Self { name: name.into(), load: RwLock::new(0.0), calls: AtomicU64::new(0) })
+            Arc::new(Self {
+                name: name.into(),
+                load: RwLock::new(0.0),
+                calls: AtomicU64::new(0),
+            })
         }
     }
 
@@ -750,8 +1068,10 @@ mod tests {
     fn stub_cluster(n: usize, policy: LbPolicy) -> (Vec<Arc<StubWorker>>, Cluster) {
         let stubs: Vec<Arc<StubWorker>> =
             (0..n).map(|i| StubWorker::new(&format!("w{i}"))).collect();
-        let handles: Vec<Arc<dyn WorkerHandle>> =
-            stubs.iter().map(|s| Arc::clone(s) as Arc<dyn WorkerHandle>).collect();
+        let handles: Vec<Arc<dyn WorkerHandle>> = stubs
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn WorkerHandle>)
+            .collect();
         (stubs, Cluster::new(handles, policy))
     }
 
@@ -785,8 +1105,10 @@ mod tests {
         for _ in 0..10 {
             cluster.invoke("sticky-1", "{}").unwrap();
         }
-        let with_calls: Vec<_> =
-            stubs.iter().filter(|s| s.calls.load(Ordering::SeqCst) > 0).collect();
+        let with_calls: Vec<_> = stubs
+            .iter()
+            .filter(|s| s.calls.load(Ordering::SeqCst) > 0)
+            .collect();
         assert_eq!(with_calls.len(), 1, "locality: one home worker");
         let home_idx = stubs
             .iter()
@@ -807,9 +1129,7 @@ mod tests {
     #[test]
     fn register_all_propagates() {
         let (_stubs, cluster) = stub_cluster(3, LbPolicy::RoundRobin);
-        cluster
-            .register_all(FunctionSpec::new("f", "1"))
-            .unwrap();
+        cluster.register_all(FunctionSpec::new("f", "1")).unwrap();
         assert_eq!(cluster.len(), 3);
     }
 
@@ -851,9 +1171,16 @@ mod tests {
         for _ in 0..6 {
             cluster.invoke_tenant("pin-1", "{}", Some("t1")).unwrap();
         }
-        let homes: Vec<u64> = stubs.iter().map(|s| s.calls.load(Ordering::SeqCst)).collect();
+        let homes: Vec<u64> = stubs
+            .iter()
+            .map(|s| s.calls.load(Ordering::SeqCst))
+            .collect();
         assert_eq!(homes.iter().sum::<u64>(), 6);
-        assert_eq!(homes.iter().filter(|&&c| c > 0).count(), 1, "sticky per tenant: {homes:?}");
+        assert_eq!(
+            homes.iter().filter(|&&c| c > 0).count(),
+            1,
+            "sticky per tenant: {homes:?}"
+        );
     }
 
     /// A stub whose invocations can be failed and whose probe reports a
@@ -862,7 +1189,9 @@ mod tests {
         name: String,
         fail: AtomicBool,
         draining: AtomicBool,
+        retry_after_ms: AtomicU64,
         calls: AtomicU64,
+        probes: AtomicU64,
     }
 
     impl FlakyWorker {
@@ -871,7 +1200,9 @@ mod tests {
                 name: name.into(),
                 fail: AtomicBool::new(false),
                 draining: AtomicBool::new(false),
+                retry_after_ms: AtomicU64::new(0),
                 calls: AtomicU64::new(0),
+                probes: AtomicU64::new(0),
             })
         }
     }
@@ -890,7 +1221,11 @@ mod tests {
         }
 
         fn probe(&self) -> ProbeResult {
-            ProbeResult { load: self.load(), draining: self.draining.load(Ordering::SeqCst) }
+            self.probes.fetch_add(1, Ordering::SeqCst);
+            ProbeResult {
+                load: self.load(),
+                draining: self.draining.load(Ordering::SeqCst),
+            }
         }
 
         fn register(&self, _spec: FunctionSpec) -> Result<(), String> {
@@ -916,6 +1251,10 @@ mod tests {
                 tenant: None,
             })
         }
+
+        fn retry_after_hint_ms(&self) -> u64 {
+            self.retry_after_ms.load(Ordering::SeqCst)
+        }
     }
 
     #[test]
@@ -929,7 +1268,10 @@ mod tests {
         let cluster = Cluster::with_breaker(
             handles,
             LbPolicy::RoundRobin,
-            BreakerConfig { failure_threshold: 2, open_cooldown_ms: 30 },
+            BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown_ms: 30,
+            },
         );
         // One failure: under the threshold, the breaker stays closed.
         flaky.fail.store(true, Ordering::SeqCst);
@@ -1014,6 +1356,150 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_hint_suppresses_probes_until_expiry() {
+        let draining = FlakyWorker::new("w0");
+        let ok = FlakyWorker::new("w1");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![
+            Arc::clone(&draining) as Arc<dyn WorkerHandle>,
+            Arc::clone(&ok) as Arc<dyn WorkerHandle>,
+        ];
+        let cluster = Cluster::new(handles, LbPolicy::RoundRobin);
+        draining.draining.store(true, Ordering::SeqCst);
+        draining.retry_after_ms.store(60_000, Ordering::SeqCst);
+        // The 503 carries a 60 s Retry-After: the reroute must record it.
+        for _ in 0..4 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        let probes_at_hint = draining.probes.load(Ordering::SeqCst);
+        // Scrapes during the suppression window must not probe w0 again,
+        // and must keep reporting it as draining.
+        for _ in 0..5 {
+            cluster.refresh_loads();
+        }
+        assert_eq!(
+            draining.probes.load(Ordering::SeqCst),
+            probes_at_hint,
+            "probes suppressed while the Retry-After hint is live"
+        );
+        assert!(cluster.stats().draining[0]);
+        // All traffic kept flowing to the healthy worker meanwhile.
+        assert_eq!(ok.calls.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn expired_retry_after_resumes_probing() {
+        let draining = FlakyWorker::new("w0");
+        let ok = FlakyWorker::new("w1");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![
+            Arc::clone(&draining) as Arc<dyn WorkerHandle>,
+            Arc::clone(&ok) as Arc<dyn WorkerHandle>,
+        ];
+        let cluster = Cluster::new(handles, LbPolicy::RoundRobin);
+        draining.draining.store(true, Ordering::SeqCst);
+        draining.retry_after_ms.store(20, Ordering::SeqCst);
+        cluster.invoke("f-1", "{}").unwrap();
+        cluster.invoke("f-1", "{}").unwrap();
+        // Hint expires; the worker finishes draining and returns.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        draining.draining.store(false, Ordering::SeqCst);
+        cluster.refresh_loads();
+        let st = cluster.stats();
+        assert!(!st.draining[0], "probe after expiry clears the flag");
+        assert!(st.healthy[0]);
+    }
+
+    #[test]
+    fn attach_fills_a_slot_and_admits_via_half_open() {
+        let w0 = FlakyWorker::new("w0");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![Arc::clone(&w0) as Arc<dyn WorkerHandle>];
+        let cluster =
+            Cluster::with_capacity(handles, LbPolicy::RoundRobin, BreakerConfig::default(), 3);
+        assert_eq!(cluster.len(), 3, "capacity, not membership");
+        assert_eq!(cluster.live(), 1);
+        let st = cluster.stats();
+        assert!(st.present[0] && !st.present[1] && !st.present[2]);
+        assert!(!st.healthy[1], "empty slots are unroutable");
+
+        // Attach a second worker: it lands in slot 1, unhealthy until the
+        // HalfOpen admission probe passes.
+        let w1 = FlakyWorker::new("w1");
+        let idx = cluster
+            .attach(Arc::clone(&w1) as Arc<dyn WorkerHandle>)
+            .unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(cluster.live(), 2);
+        let st = cluster.stats();
+        assert!(!st.healthy[1], "not routable before the admission probe");
+        assert_eq!(st.breaker[1], "open");
+        // One probe round admits it (HalfOpen → Closed), no eviction edge.
+        cluster.refresh_loads();
+        let st = cluster.stats();
+        assert!(st.healthy[1], "admission probe closed the breaker");
+        assert_eq!(st.breaker[1], "closed");
+        assert_eq!(st.evictions, 0);
+        // Round-robin now reaches both workers.
+        for _ in 0..4 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        assert!(
+            w1.calls.load(Ordering::SeqCst) >= 1,
+            "attached worker serves traffic"
+        );
+    }
+
+    #[test]
+    fn attach_beyond_capacity_errors_and_detach_frees_the_slot() {
+        let w0 = FlakyWorker::new("w0");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![Arc::clone(&w0) as Arc<dyn WorkerHandle>];
+        let cluster =
+            Cluster::with_capacity(handles, LbPolicy::RoundRobin, BreakerConfig::default(), 2);
+        let w1 = FlakyWorker::new("w1");
+        cluster
+            .attach(Arc::clone(&w1) as Arc<dyn WorkerHandle>)
+            .unwrap();
+        let w2 = FlakyWorker::new("w2");
+        assert!(cluster
+            .attach(Arc::clone(&w2) as Arc<dyn WorkerHandle>)
+            .is_err());
+        // Retire w1; its slot frees and w2 fits.
+        let detached = cluster.detach(1).expect("slot 1 held w1");
+        assert_eq!(detached.name(), "w1");
+        assert_eq!(cluster.live(), 1);
+        let idx = cluster
+            .attach(Arc::clone(&w2) as Arc<dyn WorkerHandle>)
+            .unwrap();
+        assert_eq!(idx, 1, "freed slot is reused");
+        // The slot's last-known name updated with the new tenant cache
+        // reconciled (w1 reported no tenants here, so just no panic).
+        cluster.refresh_loads();
+        assert!(cluster.stats().healthy[1]);
+    }
+
+    #[test]
+    fn detached_slot_keeps_dispatch_counters() {
+        let (stubs, cluster) = stub_cluster(2, LbPolicy::RoundRobin);
+        for _ in 0..6 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        assert_eq!(stubs[1].calls.load(Ordering::SeqCst), 3);
+        cluster.detach(1);
+        let st = cluster.stats();
+        assert_eq!(st.dispatched[1], 3, "counters survive retirement");
+        // Tenant rollup still includes the retired worker's served count.
+        let roll = cluster.tenant_rollup();
+        let acme = roll.iter().find(|t| t.tenant == "acme").unwrap();
+        assert_eq!(
+            acme.served, 6,
+            "retired worker's tenants stay in the rollup"
+        );
+        // All further traffic flows to the remaining worker.
+        for _ in 0..4 {
+            cluster.invoke("f-1", "{}").unwrap();
+        }
+        assert_eq!(stubs[0].calls.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
     fn tenant_cache_reconciles_restarted_worker_counters() {
         let mut cache = vec![TenantSnapshot {
             tenant: "acme".into(),
@@ -1065,5 +1551,6 @@ mod tests {
         assert_eq!(snap.workers[1].1, 2.5);
         assert!(snap.spans.is_empty(), "stubs export no spans");
         assert_eq!(snap.dispatched.iter().sum::<u64>(), 1);
+        assert_eq!(snap.present, vec![true, true]);
     }
 }

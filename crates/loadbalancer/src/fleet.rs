@@ -1,0 +1,657 @@
+//! The fleet manager: applies scaling decisions to a live cluster.
+//!
+//! The [`iluvatar_autoscale`] policies are pure deciders — observation in,
+//! decision out. The [`Fleet`] here owns everything stateful around them:
+//! the live/draining/stopped worker registry, worker spawn on scale-up
+//! (with every known [`FunctionSpec`] re-registered and admission through
+//! the cluster's HalfOpen breaker probe), graceful drain on scale-down
+//! (drain request, wait for in-flight work, then detach — never a kill),
+//! the scale-event journal, and the counters behind
+//! `iluvatar_fleet_size` / `iluvatar_scale_events_total{direction,reason}`.
+
+use crate::cluster::{Cluster, WorkerHandle};
+use iluvatar_autoscale::{
+    AutoscaleConfig, FleetObservation, ScaleDirection, ScaleEvent, ScalingDecision, ScalingPolicy,
+};
+use iluvatar_containers::FunctionSpec;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Spawns workers for scale-up. `seq` is a monotonically increasing fleet
+/// sequence number, for stable worker naming (`elastic-3`, …).
+pub trait WorkerFactory: Send + Sync {
+    fn spawn(&self, seq: usize) -> Result<Arc<dyn WorkerHandle>, String>;
+}
+
+impl<F> WorkerFactory for F
+where
+    F: Fn(usize) -> Result<Arc<dyn WorkerHandle>, String> + Send + Sync,
+{
+    fn spawn(&self, seq: usize) -> Result<Arc<dyn WorkerHandle>, String> {
+        self(seq)
+    }
+}
+
+/// A worker on its way out: drain requested, waiting for in-flight work.
+struct DrainingSlot {
+    slot: usize,
+    /// When the drain was requested (injected clock, ms) — diagnostics.
+    since_ms: u64,
+}
+
+/// Wire form of the fleet's state for `GET /fleet`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetStatus {
+    pub policy: String,
+    pub enabled: bool,
+    /// Routable workers (attached, not draining).
+    pub live: usize,
+    /// Workers draining toward retirement.
+    pub draining: usize,
+    /// Workers retired so far (drained and detached).
+    pub stopped: usize,
+    /// Slot capacity (= `max_workers`).
+    pub capacity: usize,
+    pub min_workers: usize,
+    pub max_workers: usize,
+    /// The applied-decision journal, oldest first.
+    pub events: Vec<ScaleEvent>,
+}
+
+/// The elastic fleet: a cluster, a worker factory, and a scaling policy.
+pub struct Fleet {
+    cluster: Arc<Cluster>,
+    factory: Box<dyn WorkerFactory>,
+    policy: Mutex<Box<dyn ScalingPolicy>>,
+    cfg: AutoscaleConfig,
+    /// Every spec registered so far; scale-up replays them on the new
+    /// worker before it joins the routable set.
+    specs: Mutex<Vec<FunctionSpec>>,
+    /// Monotonic spawn counter for worker naming.
+    spawn_seq: AtomicU64,
+    /// Slots whose drain was requested and not yet completed.
+    draining: Mutex<Vec<DrainingSlot>>,
+    /// Workers fully retired (drained + detached).
+    stopped: AtomicU64,
+    /// Applied decisions, oldest first.
+    journal: Mutex<Vec<ScaleEvent>>,
+    /// `(direction, reason) → count`, the metric behind
+    /// `iluvatar_scale_events_total`. BTreeMap for stable render order.
+    event_counts: Mutex<BTreeMap<(String, String), u64>>,
+    /// Per-function arrivals since the last observation (fed by the LB's
+    /// invoke path, drained each tick into the observation).
+    arrivals: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Fleet {
+    pub fn new(
+        cluster: Arc<Cluster>,
+        factory: Box<dyn WorkerFactory>,
+        cfg: AutoscaleConfig,
+    ) -> Self {
+        let policy = cfg.build_policy();
+        let live = cluster.live();
+        Self {
+            cluster,
+            factory,
+            policy: Mutex::new(policy),
+            cfg,
+            specs: Mutex::new(Vec::new()),
+            spawn_seq: AtomicU64::new(live as u64),
+            draining: Mutex::new(Vec::new()),
+            stopped: AtomicU64::new(0),
+            journal: Mutex::new(Vec::new()),
+            event_counts: Mutex::new(BTreeMap::new()),
+            arrivals: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn config(&self) -> &AutoscaleConfig {
+        &self.cfg
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Remember `spec` for replay onto future workers (the caller is
+    /// expected to have registered it on the current fleet already).
+    pub fn remember_spec(&self, spec: FunctionSpec) {
+        let mut specs = self.specs.lock();
+        if !specs.iter().any(|s| s.fqdn == spec.fqdn) {
+            specs.push(spec);
+        }
+    }
+
+    /// Count one arrival of `fqdn` toward the next observation.
+    pub fn note_arrival(&self, fqdn: &str) {
+        *self.arrivals.lock().entry(fqdn.to_string()).or_default() += 1;
+    }
+
+    /// Routable workers: attached and not draining.
+    pub fn live(&self) -> usize {
+        let st = self.cluster.stats();
+        st.present
+            .iter()
+            .zip(&st.draining)
+            .filter(|&(&p, &d)| p && !d)
+            .count()
+    }
+
+    /// Workers currently draining toward retirement.
+    pub fn draining(&self) -> usize {
+        self.draining.lock().len()
+    }
+
+    /// Workers retired so far.
+    pub fn stopped(&self) -> u64 {
+        self.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Build one observation from live worker stats plus the arrival
+    /// counters accumulated since the previous call (which it drains).
+    pub fn observe(&self, now_ms: u64) -> FleetObservation {
+        let st = self.cluster.stats();
+        let mut live = 0usize;
+        let mut queued = 0u64;
+        let mut running = 0u64;
+        let mut delay_sum = 0f64;
+        let mut max_delay = 0u64;
+        let mut concurrency_limit = 0usize;
+        for i in 0..st.present.len() {
+            if !st.present[i] || st.draining[i] {
+                continue;
+            }
+            let Some(h) = self.cluster.handle(i) else {
+                continue;
+            };
+            let s = h.stats();
+            live += 1;
+            queued += s.queue_len as u64;
+            running += s.running as u64;
+            delay_sum += s.queue_delay_ms as f64;
+            max_delay = max_delay.max(s.queue_delay_ms);
+            concurrency_limit = concurrency_limit.max(s.concurrency_limit);
+        }
+        let per_fn: Vec<(String, u64)> = std::mem::take(&mut *self.arrivals.lock())
+            .into_iter()
+            .collect();
+        FleetObservation {
+            now_ms,
+            live,
+            draining: self.draining.lock().len(),
+            queued,
+            running,
+            mean_queue_delay_ms: if live > 0 {
+                delay_sum / live as f64
+            } else {
+                0.0
+            },
+            max_queue_delay_ms: max_delay,
+            concurrency_limit,
+            arrivals: per_fn.iter().map(|(_, c)| c).sum(),
+            per_fn_arrivals: per_fn,
+        }
+    }
+
+    /// Run the configured policy over one observation.
+    pub fn evaluate(&self, obs: &FleetObservation) -> ScalingDecision {
+        self.policy.lock().evaluate(obs)
+    }
+
+    /// Apply one decision: spawn+attach on the way up, drain on the way
+    /// down. Returns the journaled event, or `None` for holds and
+    /// decisions that clamp to nothing (already at a bound).
+    pub fn apply(
+        &self,
+        decision: &ScalingDecision,
+        now_ms: u64,
+    ) -> Result<Option<ScaleEvent>, String> {
+        match *decision {
+            ScalingDecision::Hold => Ok(None),
+            ScalingDecision::ScaleUp { add, reason } => self.scale_up(add, reason, now_ms),
+            ScalingDecision::ScaleDown { remove, reason } => {
+                self.scale_down(remove, reason, now_ms)
+            }
+        }
+    }
+
+    fn journal_event(&self, e: ScaleEvent) {
+        *self
+            .event_counts
+            .lock()
+            .entry((e.direction.label().to_string(), e.reason.clone()))
+            .or_default() += 1;
+        self.journal.lock().push(e);
+    }
+
+    fn scale_up(
+        &self,
+        add: usize,
+        reason: &'static str,
+        now_ms: u64,
+    ) -> Result<Option<ScaleEvent>, String> {
+        let before = self.live();
+        // Clamp to the configured ceiling; draining workers do not count
+        // against it — they are leaving.
+        let room = self.cfg.max_workers.saturating_sub(before);
+        let add = add.min(room);
+        if add == 0 {
+            return Ok(None);
+        }
+        let mut added = 0usize;
+        for _ in 0..add {
+            let seq = self.spawn_seq.fetch_add(1, Ordering::Relaxed) as usize;
+            let worker = self.factory.spawn(seq)?;
+            // Replay every known function before the worker becomes
+            // routable, so its first dispatch never 404s.
+            for spec in self.specs.lock().iter() {
+                worker.register(spec.clone())?;
+            }
+            self.cluster.attach(worker)?;
+            added += 1;
+        }
+        // New slots start unhealthy until their admission probe; run one
+        // probe round now so the fleet change takes effect this interval.
+        self.cluster.refresh_loads();
+        let event = ScaleEvent {
+            t_ms: now_ms,
+            direction: ScaleDirection::Up,
+            reason: reason.to_string(),
+            from: before,
+            to: before + added,
+        };
+        self.journal_event(event.clone());
+        Ok(Some(event))
+    }
+
+    fn scale_down(
+        &self,
+        remove: usize,
+        reason: &'static str,
+        now_ms: u64,
+    ) -> Result<Option<ScaleEvent>, String> {
+        let before = self.live();
+        let floor = self.cfg.min_workers.max(1);
+        let remove = remove.min(before.saturating_sub(floor));
+        if remove == 0 {
+            return Ok(None);
+        }
+        // Retire the highest-index live slots (LIFO): the most recently
+        // added workers hold the least locality, and the order is
+        // deterministic.
+        let st = self.cluster.stats();
+        let victims: Vec<usize> = (0..st.present.len())
+            .rev()
+            .filter(|&i| st.present[i] && !st.draining[i])
+            .take(remove)
+            .collect();
+        let mut drained = 0usize;
+        for &slot in &victims {
+            let Some(h) = self.cluster.handle(slot) else {
+                continue;
+            };
+            // Graceful drain: the worker finishes queued + running work and
+            // 503s new arrivals; the cluster routes around it immediately.
+            h.drain()?;
+            self.cluster.mark_draining(slot);
+            self.draining.lock().push(DrainingSlot {
+                slot,
+                since_ms: now_ms,
+            });
+            drained += 1;
+        }
+        if drained == 0 {
+            return Ok(None);
+        }
+        let event = ScaleEvent {
+            t_ms: now_ms,
+            direction: ScaleDirection::Down,
+            reason: reason.to_string(),
+            from: before,
+            to: before - drained,
+        };
+        self.journal_event(event.clone());
+        Ok(Some(event))
+    }
+
+    /// Detach every draining worker whose in-flight work has finished.
+    /// Returns how many retired this pass. Workers are never killed: a
+    /// slot stays attached — and its queued work keeps running — until the
+    /// worker itself reports empty.
+    pub fn reap(&self) -> usize {
+        let mut draining = self.draining.lock();
+        let mut retired = 0usize;
+        draining.retain(|d| {
+            let Some(h) = self.cluster.handle(d.slot) else {
+                // Slot already vacated (e.g. operator detach); drop it.
+                return false;
+            };
+            let s = h.stats();
+            let idle = s.drain_pending == 0 && s.queue_len == 0 && s.running == 0;
+            if idle {
+                self.cluster.detach(d.slot);
+                self.stopped.fetch_add(1, Ordering::Relaxed);
+                retired += 1;
+                let _ = d.since_ms;
+                false
+            } else {
+                true
+            }
+        });
+        retired
+    }
+
+    /// One control interval: reap finished drains, observe, evaluate,
+    /// apply. Returns the applied event, if any.
+    pub fn tick(&self, now_ms: u64) -> Result<Option<ScaleEvent>, String> {
+        self.reap();
+        let obs = self.observe(now_ms);
+        let decision = self.evaluate(&obs);
+        self.apply(&decision, now_ms)
+    }
+
+    /// The applied-decision journal, oldest first.
+    pub fn events(&self) -> Vec<ScaleEvent> {
+        self.journal.lock().clone()
+    }
+
+    /// `(direction, reason) → count` for the scale-events counter.
+    pub fn event_counts(&self) -> Vec<(String, String, u64)> {
+        self.event_counts
+            .lock()
+            .iter()
+            .map(|((d, r), &c)| (d.clone(), r.clone(), c))
+            .collect()
+    }
+
+    pub fn status(&self) -> FleetStatus {
+        FleetStatus {
+            policy: self.policy.lock().name().to_string(),
+            enabled: self.cfg.enabled,
+            live: self.live(),
+            draining: self.draining(),
+            stopped: self.stopped() as usize,
+            capacity: self.cluster.len(),
+            min_workers: self.cfg.min_workers,
+            max_workers: self.cfg.max_workers,
+            events: self.events(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{BreakerConfig, HandleStats, LbPolicy, ProbeResult};
+    use iluvatar_core::{InvocationResult, InvokeError};
+    use parking_lot::RwLock;
+    use std::sync::atomic::AtomicBool;
+
+    /// A stub elastic worker: tracks registered specs, drain state, and a
+    /// settable "busy" flag that keeps the reaper waiting.
+    struct ElasticStub {
+        name: String,
+        specs: Mutex<Vec<String>>,
+        draining: AtomicBool,
+        busy: AtomicU64,
+        load: RwLock<f64>,
+    }
+
+    impl ElasticStub {
+        fn new(name: String) -> Arc<Self> {
+            Arc::new(Self {
+                name,
+                specs: Mutex::new(Vec::new()),
+                draining: AtomicBool::new(false),
+                busy: AtomicU64::new(0),
+                load: RwLock::new(0.1),
+            })
+        }
+    }
+
+    impl WorkerHandle for ElasticStub {
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+
+        fn load(&self) -> f64 {
+            *self.load.read()
+        }
+
+        fn probe(&self) -> ProbeResult {
+            ProbeResult {
+                load: self.load(),
+                draining: self.draining.load(Ordering::SeqCst),
+            }
+        }
+
+        fn register(&self, spec: FunctionSpec) -> Result<(), String> {
+            self.specs.lock().push(spec.fqdn.clone());
+            Ok(())
+        }
+
+        fn invoke(&self, _fqdn: &str, _args: &str) -> Result<InvocationResult, InvokeError> {
+            if self.draining.load(Ordering::SeqCst) {
+                return Err(InvokeError::ShuttingDown);
+            }
+            Ok(InvocationResult {
+                body: String::new(),
+                exec_ms: 1,
+                e2e_ms: 1,
+                cold: false,
+                queue_ms: 0,
+                arrived_at: 0,
+                trace_id: 0,
+                tenant: None,
+            })
+        }
+
+        fn stats(&self) -> HandleStats {
+            HandleStats {
+                running: self.busy.load(Ordering::SeqCst) as usize,
+                drain_pending: self.busy.load(Ordering::SeqCst),
+                lifecycle: if self.draining.load(Ordering::SeqCst) {
+                    "draining".into()
+                } else {
+                    "running".into()
+                },
+                ..Default::default()
+            }
+        }
+
+        fn drain(&self) -> Result<u64, String> {
+            self.draining.store(true, Ordering::SeqCst);
+            Ok(self.busy.load(Ordering::SeqCst))
+        }
+    }
+
+    type Spawned = Arc<Mutex<Vec<Arc<ElasticStub>>>>;
+
+    fn fleet_of(cfg: AutoscaleConfig) -> (Arc<Cluster>, Fleet, Spawned) {
+        let seed = ElasticStub::new("w0".into());
+        let spawned: Spawned = Arc::new(Mutex::new(vec![Arc::clone(&seed)]));
+        let cluster = Arc::new(Cluster::with_capacity(
+            vec![seed as Arc<dyn WorkerHandle>],
+            LbPolicy::RoundRobin,
+            BreakerConfig::default(),
+            cfg.max_workers,
+        ));
+        let record = Arc::clone(&spawned);
+        let factory = move |seq: usize| {
+            let w = ElasticStub::new(format!("elastic-{seq}"));
+            record.lock().push(Arc::clone(&w));
+            Ok(w as Arc<dyn WorkerHandle>)
+        };
+        let fleet = Fleet::new(Arc::clone(&cluster), Box::new(factory), cfg);
+        (cluster, fleet, spawned)
+    }
+
+    fn cfg() -> AutoscaleConfig {
+        let mut c = AutoscaleConfig::enabled_with(
+            iluvatar_autoscale::ScalingPolicyKind::ReactiveQueueDelay,
+        );
+        c.max_workers = 4;
+        c
+    }
+
+    #[test]
+    fn scale_up_spawns_registers_and_admits() {
+        let (cluster, fleet, spawned) = fleet_of(cfg());
+        fleet.remember_spec(FunctionSpec::new("f", "1"));
+        fleet.remember_spec(FunctionSpec::new("g", "1"));
+        let e = fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 2,
+                    reason: "test",
+                },
+                1_000,
+            )
+            .unwrap()
+            .expect("event journaled");
+        assert_eq!((e.from, e.to), (1, 3));
+        assert_eq!(fleet.live(), 3);
+        assert_eq!(cluster.live(), 3);
+        // Every known spec was replayed on both new workers before attach.
+        for w in spawned.lock().iter().skip(1) {
+            assert_eq!(*w.specs.lock(), vec!["f-1".to_string(), "g-1".to_string()]);
+        }
+        // The admission probe ran inside apply: new workers are routable.
+        let st = cluster.stats();
+        assert!(st.healthy[1] && st.healthy[2]);
+        assert_eq!(fleet.event_counts(), vec![("up".into(), "test".into(), 1)]);
+    }
+
+    #[test]
+    fn scale_up_clamps_to_max_workers() {
+        let (_cluster, fleet, _) = fleet_of(cfg());
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 10,
+                    reason: "test",
+                },
+                0,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(fleet.live(), 4, "clamped to max_workers");
+        let none = fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 1,
+                    reason: "test",
+                },
+                1,
+            )
+            .unwrap();
+        assert!(none.is_none(), "at the ceiling: nothing to journal");
+    }
+
+    #[test]
+    fn scale_down_drains_waits_for_in_flight_then_detaches() {
+        let (cluster, fleet, spawned) = fleet_of(cfg());
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 1,
+                    reason: "test",
+                },
+                0,
+            )
+            .unwrap();
+        assert_eq!(fleet.live(), 2);
+        // The newest worker is mid-invocation when the drain lands.
+        let victim = Arc::clone(spawned.lock().last().unwrap());
+        victim.busy.store(3, Ordering::SeqCst);
+        let e = fleet
+            .apply(
+                &ScalingDecision::ScaleDown {
+                    remove: 1,
+                    reason: "test",
+                },
+                5_000,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!((e.from, e.to), (2, 1));
+        assert!(
+            victim.draining.load(Ordering::SeqCst),
+            "drain requested, not kill"
+        );
+        assert_eq!(fleet.draining(), 1);
+        // In-flight work still running: the reaper must wait.
+        assert_eq!(fleet.reap(), 0);
+        assert_eq!(cluster.live(), 2, "still attached while draining");
+        // Work finishes; the next reap retires it.
+        victim.busy.store(0, Ordering::SeqCst);
+        assert_eq!(fleet.reap(), 1);
+        assert_eq!(cluster.live(), 1);
+        assert_eq!(fleet.stopped(), 1);
+        assert_eq!(fleet.draining(), 0);
+    }
+
+    #[test]
+    fn scale_down_never_below_min_workers() {
+        let (_cluster, fleet, _) = fleet_of(cfg());
+        let none = fleet
+            .apply(
+                &ScalingDecision::ScaleDown {
+                    remove: 3,
+                    reason: "test",
+                },
+                0,
+            )
+            .unwrap();
+        assert!(none.is_none(), "one live worker, floor 1: no-op");
+        assert_eq!(fleet.live(), 1);
+    }
+
+    #[test]
+    fn observe_aggregates_and_drains_arrivals() {
+        let (_cluster, fleet, spawned) = fleet_of(cfg());
+        spawned.lock()[0].busy.store(2, Ordering::SeqCst);
+        fleet.note_arrival("f-1");
+        fleet.note_arrival("f-1");
+        fleet.note_arrival("g-1");
+        let obs = fleet.observe(1_234);
+        assert_eq!(obs.now_ms, 1_234);
+        assert_eq!(obs.live, 1);
+        assert_eq!(obs.running, 2);
+        assert_eq!(obs.arrivals, 3);
+        assert_eq!(
+            obs.per_fn_arrivals,
+            vec![("f-1".to_string(), 2), ("g-1".to_string(), 1)],
+            "sorted by fqdn"
+        );
+        // Arrivals reset after the observation consumed them.
+        assert_eq!(fleet.observe(1_500).arrivals, 0);
+    }
+
+    #[test]
+    fn status_reports_the_journal() {
+        let (_cluster, fleet, _) = fleet_of(cfg());
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 1,
+                    reason: "burst",
+                },
+                100,
+            )
+            .unwrap();
+        let st = fleet.status();
+        assert_eq!(st.policy, "reactive-queue-delay");
+        assert_eq!(st.live, 2);
+        assert_eq!(st.capacity, 4);
+        assert_eq!(st.events.len(), 1);
+        assert_eq!(st.events[0].reason, "burst");
+        let json = serde_json::to_string(&st).unwrap();
+        let back: FleetStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events.len(), 1);
+    }
+}

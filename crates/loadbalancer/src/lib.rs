@@ -17,9 +17,11 @@
 pub mod api;
 pub mod chbl;
 pub mod cluster;
+pub mod fleet;
 
 pub use api::{LbApi, LbStatus};
 pub use chbl::{ChBl, ChBlConfig};
 pub use cluster::{
-    BreakerConfig, Cluster, ClusterSnapshot, LbPolicy, ProbeResult, WorkerHandle,
+    BreakerConfig, Cluster, ClusterSnapshot, HandleStats, LbPolicy, ProbeResult, WorkerHandle,
 };
+pub use fleet::{Fleet, FleetStatus, WorkerFactory};

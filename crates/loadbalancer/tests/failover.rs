@@ -87,8 +87,10 @@ impl WorkerHandle for KillableWorker {
 #[test]
 fn mid_call_death_evicts_and_reroutes_without_loss() {
     let stubs = [KillableWorker::new("w0"), KillableWorker::new("w1")];
-    let handles: Vec<Arc<dyn WorkerHandle>> =
-        stubs.iter().map(|s| Arc::clone(s) as Arc<dyn WorkerHandle>).collect();
+    let handles: Vec<Arc<dyn WorkerHandle>> = stubs
+        .iter()
+        .map(|s| Arc::clone(s) as Arc<dyn WorkerHandle>)
+        .collect();
     let cluster = Cluster::new(handles, LbPolicy::ChBl(ChBlConfig::default()));
     cluster.register_all(FunctionSpec::new("f", "1")).unwrap();
 
@@ -97,7 +99,10 @@ fn mid_call_death_evicts_and_reroutes_without_loss() {
     }
     let before = cluster.stats();
     let home = if before.dispatched[0] > 0 { 0 } else { 1 };
-    assert_eq!(before.dispatched[home], 5, "CH-BL locality: one home worker");
+    assert_eq!(
+        before.dispatched[home], 5,
+        "CH-BL locality: one home worker"
+    );
     assert_eq!(before.evictions, 0);
 
     // The home dies mid-run. Its first status poll still reads healthy, so
@@ -106,13 +111,18 @@ fn mid_call_death_evicts_and_reroutes_without_loss() {
     // picks see the failing poll and route around it outright.
     stubs[home].kill();
     for i in 0..10 {
-        let r = cluster.invoke("f-1", "{}").unwrap_or_else(|e| panic!("invocation {i} lost: {e}"));
+        let r = cluster
+            .invoke("f-1", "{}")
+            .unwrap_or_else(|e| panic!("invocation {i} lost: {e}"));
         assert_eq!(r.body, "ok");
     }
 
     let after = cluster.stats();
     assert_eq!(after.evictions, 1, "exactly one healthy→unhealthy edge");
-    assert_eq!(after.rerouted, 1, "the in-flight invocation was re-dispatched");
+    assert_eq!(
+        after.rerouted, 1,
+        "the in-flight invocation was re-dispatched"
+    );
     assert!(!after.healthy[home]);
     assert!(after.healthy[1 - home]);
     assert_eq!(
@@ -131,11 +141,17 @@ fn served_worker(name: &str) -> (Arc<Worker>, WorkerApi) {
     served_worker_with(name, |_| {})
 }
 
-fn served_worker_with(name: &str, tweak: impl FnOnce(&mut WorkerConfig)) -> (Arc<Worker>, WorkerApi) {
+fn served_worker_with(
+    name: &str,
+    tweak: impl FnOnce(&mut WorkerConfig),
+) -> (Arc<Worker>, WorkerApi) {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
     ));
     let mut cfg = WorkerConfig::for_testing();
     cfg.name = name.to_string();
@@ -182,7 +198,9 @@ fn killing_a_worker_api_mid_run_loses_no_invocations() {
         Arc::new(RemoteWorker::connect(api1.addr())),
     ];
     let cluster = Arc::new(Cluster::new(handles, LbPolicy::ChBl(ChBlConfig::default())));
-    cluster.register_all(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+    cluster
+        .register_all(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .unwrap();
     let mut lb = LbApi::serve(Arc::clone(&cluster), Duration::from_millis(20)).unwrap();
 
     for _ in 0..5 {
@@ -240,14 +258,20 @@ fn killing_a_worker_api_mid_run_loses_no_invocations() {
         metric_value(&text, "iluvatar_lb_worker_evictions_total").unwrap_or(0.0) >= 1.0,
         "eviction counter exported:\n{text}"
     );
-    assert!(text.contains("iluvatar_lb_rerouted_total"), "reroute counter exported");
+    assert!(
+        text.contains("iluvatar_lb_rerouted_total"),
+        "reroute counter exported"
+    );
     let survivor = if home == 0 { "w1" } else { "w0" };
     assert!(
-        text.contains(&format!("iluvatar_lb_worker_healthy{{worker=\"{survivor}\"}} 1")),
+        text.contains(&format!(
+            "iluvatar_lb_worker_healthy{{worker=\"{survivor}\"}} 1"
+        )),
         "survivor healthy on /metrics:\n{text}"
     );
     assert!(
-        text.lines().any(|l| l.starts_with("iluvatar_lb_worker_healthy") && l.ends_with(" 0")),
+        text.lines()
+            .any(|l| l.starts_with("iluvatar_lb_worker_healthy") && l.ends_with(" 0")),
         "dead worker unhealthy on /metrics:\n{text}"
     );
 
@@ -268,12 +292,18 @@ fn lb_routes_around_draining_worker_without_eviction() {
         Arc::new(RemoteWorker::connect(api1.addr())),
     ];
     let cluster = Cluster::new(handles, LbPolicy::ChBl(ChBlConfig::default()));
-    cluster.register_all(FunctionSpec::new("f", "1").with_timing(100, 400)).unwrap();
+    cluster
+        .register_all(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .unwrap();
 
     for _ in 0..5 {
         cluster.invoke("f-1", "{}").unwrap();
     }
-    let home = if cluster.stats().dispatched[0] > 0 { 0 } else { 1 };
+    let home = if cluster.stats().dispatched[0] > 0 {
+        0
+    } else {
+        1
+    };
 
     // Drain the home worker over its API, then keep invoking through the
     // balancer: nothing is lost, nothing is evicted.
@@ -292,9 +322,13 @@ fn lb_routes_around_draining_worker_without_eviction() {
     assert!(st.draining[home], "the drain is visible to the balancer");
     assert!(!st.draining[1 - home]);
     // The survivor absorbed every post-drain invocation.
-    let survivor_status =
-        iluvatar_core::api::WorkerApiClient::new(apis[1 - home].addr()).status().unwrap();
-    assert!(survivor_status.completed >= 10, "survivor served the drained worker's share");
+    let survivor_status = iluvatar_core::api::WorkerApiClient::new(apis[1 - home].addr())
+        .status()
+        .unwrap();
+    assert!(
+        survivor_status.completed >= 10,
+        "survivor served the drained worker's share"
+    );
     // The drained worker finishes what it had and reports stopped.
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
@@ -302,7 +336,11 @@ fn lb_routes_around_draining_worker_without_eviction() {
         if s.lifecycle == "stopped" && s.drain_pending == 0 {
             break;
         }
-        assert!(Instant::now() < deadline, "drain never completed: {}", s.lifecycle);
+        assert!(
+            Instant::now() < deadline,
+            "drain never completed: {}",
+            s.lifecycle
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -388,11 +426,18 @@ fn tenant_metrics_survive_worker_eviction_and_reroute() {
     // Both workers reachable: the home worker's counters enter the rollup
     // (and the balancer's last-known cache).
     let before = cluster.tenant_rollup();
-    let acme = before.iter().find(|t| t.tenant == "acme").expect("tenant tracked");
+    let acme = before
+        .iter()
+        .find(|t| t.tenant == "acme")
+        .expect("tenant tracked");
     assert_eq!(acme.lb_dispatched, 5);
     assert_eq!(acme.served, 5);
     assert_eq!(acme.lb_rerouted, 0);
-    let home = if cluster.stats().dispatched[0] > 0 { 0 } else { 1 };
+    let home = if cluster.stats().dispatched[0] > 0 {
+        0
+    } else {
+        1
+    };
 
     // The home dies with one stale status read, so the next dispatch goes
     // into the death and must recover by re-routing under the label.
@@ -406,9 +451,16 @@ fn tenant_metrics_survive_worker_eviction_and_reroute() {
 
     let after = cluster.tenant_rollup();
     let acme = after.iter().find(|t| t.tenant == "acme").unwrap();
-    assert_eq!(acme.lb_rerouted, 1, "the in-flight invocation was re-dispatched");
+    assert_eq!(
+        acme.lb_rerouted, 1,
+        "the in-flight invocation was re-dispatched"
+    );
     // 5 + 6 first dispatches plus one per re-route attempt.
-    assert_eq!(acme.lb_dispatched, 11 + acme.lb_rerouted, "LB counters survive eviction");
+    assert_eq!(
+        acme.lb_dispatched,
+        11 + acme.lb_rerouted,
+        "LB counters survive eviction"
+    );
     // The dead home scrapes empty, yet its 5 served stay in the rollup via
     // the last-known cache; the survivor contributes the re-routed 6.
     assert_eq!(acme.served, 11, "dead worker's counters kept from cache");

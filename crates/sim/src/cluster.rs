@@ -104,7 +104,9 @@ struct RecentWindow {
 
 impl RecentWindow {
     fn new() -> Self {
-        Self { events: std::collections::VecDeque::new() }
+        Self {
+            events: std::collections::VecDeque::new(),
+        }
     }
 
     fn push(&mut self, t: u64) {
@@ -231,7 +233,10 @@ mod tests {
         let mut t = 0;
         let mut k = 0;
         while t < duration {
-            ev.push(TraceEvent { time_ms: t, func: (k % fns) as u32 });
+            ev.push(TraceEvent {
+                time_ms: t,
+                func: (k % fns) as u32,
+            });
             k += 1;
             t += gap;
         }
@@ -293,7 +298,11 @@ mod tests {
             SimConfig::new(KeepalivePolicyKind::Lru, 4_096),
             SimLbPolicy::RoundRobin,
         );
-        assert!(out.dispatch_imbalance() < 0.01, "cv {}", out.dispatch_imbalance());
+        assert!(
+            out.dispatch_imbalance() < 0.01,
+            "cv {}",
+            out.dispatch_imbalance()
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl<E> EventQueue<E> {
     /// Schedule `event` at absolute time `at`. Panics on scheduling into
     /// the past — always a simulator bug.
     pub fn push(&mut self, at: u64, event: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let id = self.seq;
         self.seq += 1;
         self.heap.push(Reverse((at, id)));

@@ -1,0 +1,485 @@
+//! Elastic-fleet discrete-event simulation: the fleet-size dimension.
+//!
+//! [`crate::cluster::ClusterSim`] replays a trace over a *fixed* set of
+//! simulated workers. This module adds the dimension the autoscaler
+//! controls: a [`ScalingPolicy`] is evaluated at a fixed control interval
+//! over the simulated cluster's queue state, and its decisions activate
+//! fresh workers (cold caches — scale-up pays real cold starts, exactly
+//! the trade-off the bench sweep measures) or drain existing ones (they
+//! stop receiving work, finish their backlog, then retire).
+//!
+//! Everything is virtual time: policies see `now_ms` from the trace, the
+//! same injected-clock discipline the live fleet uses, so a replay is
+//! bit-deterministic for a given trace and configuration.
+
+use crate::keepalive::{KeepaliveSim, SimConfig, SimOutcome};
+use iluvatar_autoscale::{
+    AutoscaleConfig, FleetObservation, ScaleDirection, ScaleEvent, ScalingDecision, ScalingPolicy,
+};
+use iluvatar_trace::azure::{FunctionProfile, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One simulated worker slot in the elastic fleet.
+struct SimSlot {
+    sim: KeepaliveSim,
+    draining: bool,
+    /// Retired: no longer routed to, backlog finished. The simulator keeps
+    /// the slot for its final outcome counters.
+    stopped: bool,
+}
+
+/// Full-run results of one elastic replay.
+pub struct ElasticOutcome {
+    pub policy: String,
+    /// Outcome of every worker that ever ran (activation order).
+    pub workers: Vec<SimOutcome>,
+    /// Applied scaling decisions, oldest first.
+    pub events: Vec<ScaleEvent>,
+    /// `(t_ms, live)` fleet trajectory sampled at each control tick.
+    pub fleet_sizes: Vec<(u64, usize)>,
+    /// Peak live workers.
+    pub peak_fleet: usize,
+    /// Time-weighted mean live workers.
+    pub mean_fleet: f64,
+    /// Integrated warm cache occupancy across the live fleet, GB·seconds —
+    /// the memory bill for keeping containers warm. Idle over-provisioned
+    /// fleets grow this without improving the cold ratio.
+    pub warm_gb_seconds: f64,
+}
+
+impl ElasticOutcome {
+    pub fn total_warm(&self) -> u64 {
+        self.workers.iter().map(|w| w.warm).sum()
+    }
+
+    pub fn total_cold(&self) -> u64 {
+        self.workers.iter().map(|w| w.cold).sum()
+    }
+
+    pub fn total_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.dropped).sum()
+    }
+
+    /// Cluster-wide cold-start ratio among served invocations.
+    pub fn cold_ratio(&self) -> f64 {
+        let served = self.total_warm() + self.total_cold();
+        if served == 0 {
+            0.0
+        } else {
+            self.total_cold() as f64 / served as f64
+        }
+    }
+}
+
+/// The elastic cluster simulator: a scaling policy driving fleet size
+/// while a trace replays.
+pub struct ElasticClusterSim {
+    profiles: Vec<FunctionProfile>,
+    per_worker_cfg: SimConfig,
+    autoscale: AutoscaleConfig,
+    policy: Box<dyn ScalingPolicy>,
+    slots: Vec<SimSlot>,
+    rr_next: usize,
+    next_tick: u64,
+    /// Arrivals per function since the last control tick.
+    arrivals: BTreeMap<String, u64>,
+    events: Vec<ScaleEvent>,
+    fleet_sizes: Vec<(u64, usize)>,
+    /// Estimated per-invocation service time, ms, for the queue-delay
+    /// proxy: mean warm execution across the profile set.
+    mean_warm_ms: f64,
+    // Integrals, rectangle rule between ticks.
+    last_integral_t: u64,
+    fleet_acc: f64,
+    warm_mb_ms_acc: f64,
+}
+
+impl ElasticClusterSim {
+    pub fn new(
+        profiles: Vec<FunctionProfile>,
+        per_worker_cfg: SimConfig,
+        autoscale: AutoscaleConfig,
+    ) -> Self {
+        assert!(autoscale.max_workers >= autoscale.min_workers.max(1));
+        let policy = autoscale.build_policy();
+        let mean_warm_ms = if profiles.is_empty() {
+            1.0
+        } else {
+            profiles.iter().map(|p| p.warm_ms as f64).sum::<f64>() / profiles.len() as f64
+        };
+        let mut sim = Self {
+            policy,
+            slots: Vec::new(),
+            rr_next: 0,
+            next_tick: autoscale.interval_ms.max(1),
+            arrivals: BTreeMap::new(),
+            events: Vec::new(),
+            fleet_sizes: Vec::new(),
+            mean_warm_ms: mean_warm_ms.max(1.0),
+            last_integral_t: 0,
+            fleet_acc: 0.0,
+            warm_mb_ms_acc: 0.0,
+            profiles,
+            per_worker_cfg,
+            autoscale,
+        };
+        for _ in 0..sim.autoscale.min_workers.max(1) {
+            sim.activate();
+        }
+        sim
+    }
+
+    /// Bring one fresh worker (cold cache) into the routable set. Reuses a
+    /// stopped slot's position only logically — each activation is a new
+    /// simulator, matching a newly spawned worker.
+    fn activate(&mut self) {
+        self.slots.push(SimSlot {
+            sim: KeepaliveSim::new(self.profiles.clone(), self.per_worker_cfg.clone()),
+            draining: false,
+            stopped: false,
+        });
+    }
+
+    fn live_indices(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| !self.slots[i].draining && !self.slots[i].stopped)
+            .collect()
+    }
+
+    /// Route one arrival: least-queue among live workers, round-robin on
+    /// ties (deterministic).
+    fn pick(&mut self, live: &[usize]) -> usize {
+        let min_q = live
+            .iter()
+            .map(|&i| self.slots[i].sim.queue_len())
+            .min()
+            .unwrap_or(0);
+        let candidates: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| self.slots[i].sim.queue_len() == min_q)
+            .collect();
+        let w = candidates[self.rr_next % candidates.len()];
+        self.rr_next += 1;
+        w
+    }
+
+    /// Queue-state observation at control-tick time `t`. The queue-delay
+    /// proxy converts backlog depth to time: `queued × mean_warm /
+    /// concurrency` per worker — the delay the next arrival would see.
+    fn observe(&mut self, t: u64) -> FleetObservation {
+        let live = self.live_indices();
+        let concurrency = self.per_worker_cfg.concurrency.unwrap_or(usize::MAX);
+        let mut queued = 0u64;
+        let mut running = 0u64;
+        let mut delay_sum = 0.0f64;
+        let mut max_delay = 0u64;
+        for &i in &live {
+            let q = self.slots[i].sim.queue_len() as u64;
+            queued += q;
+            running += self.slots[i].sim.in_flight() as u64;
+            let per_slot = concurrency.min(1_000_000) as f64;
+            let delay = q as f64 * self.mean_warm_ms / per_slot.max(1.0);
+            delay_sum += delay;
+            max_delay = max_delay.max(delay as u64);
+        }
+        let per_fn: Vec<(String, u64)> = std::mem::take(&mut self.arrivals).into_iter().collect();
+        FleetObservation {
+            now_ms: t,
+            live: live.len(),
+            draining: self
+                .slots
+                .iter()
+                .filter(|s| s.draining && !s.stopped)
+                .count(),
+            queued,
+            running,
+            mean_queue_delay_ms: if live.is_empty() {
+                0.0
+            } else {
+                delay_sum / live.len() as f64
+            },
+            max_queue_delay_ms: max_delay,
+            concurrency_limit: self.per_worker_cfg.concurrency.unwrap_or(0),
+            arrivals: per_fn.iter().map(|(_, c)| c).sum(),
+            per_fn_arrivals: per_fn,
+        }
+    }
+
+    fn integrate_to(&mut self, t: u64) {
+        let dt = t.saturating_sub(self.last_integral_t) as f64;
+        if dt > 0.0 {
+            let live = self.live_indices();
+            self.fleet_acc += live.len() as f64 * dt;
+            let warm_mb: f64 = live
+                .iter()
+                .map(|&i| self.slots[i].sim.used_mb() as f64)
+                .sum();
+            self.warm_mb_ms_acc += warm_mb * dt;
+            self.last_integral_t = t;
+        }
+    }
+
+    /// Run control ticks up to (and including) time `t`.
+    fn run_ticks(&mut self, t: u64) {
+        while self.next_tick <= t {
+            let tick_t = self.next_tick;
+            self.next_tick += self.autoscale.interval_ms.max(1);
+            // Advance every worker to the tick so queue state is current,
+            // and retire drained workers whose backlog finished.
+            for slot in self.slots.iter_mut().filter(|s| !s.stopped) {
+                slot.sim.advance(tick_t);
+                if slot.draining && slot.sim.queue_len() == 0 && slot.sim.in_flight() == 0 {
+                    slot.stopped = true;
+                }
+            }
+            self.integrate_to(tick_t);
+            let obs = self.observe(tick_t);
+            let live_before = obs.live;
+            match self.policy.evaluate(&obs) {
+                ScalingDecision::Hold => {}
+                ScalingDecision::ScaleUp { add, reason } => {
+                    let room = self.autoscale.max_workers.saturating_sub(live_before);
+                    let add = add.min(room);
+                    if add > 0 {
+                        for _ in 0..add {
+                            self.activate();
+                        }
+                        self.events.push(ScaleEvent {
+                            t_ms: tick_t,
+                            direction: ScaleDirection::Up,
+                            reason: reason.to_string(),
+                            from: live_before,
+                            to: live_before + add,
+                        });
+                    }
+                }
+                ScalingDecision::ScaleDown { remove, reason } => {
+                    let floor = self.autoscale.min_workers.max(1);
+                    let remove = remove.min(live_before.saturating_sub(floor));
+                    if remove > 0 {
+                        // Drain the most recently activated live workers
+                        // (LIFO): least cache value, deterministic order.
+                        let live = self.live_indices();
+                        for &i in live.iter().rev().take(remove) {
+                            self.slots[i].draining = true;
+                        }
+                        self.events.push(ScaleEvent {
+                            t_ms: tick_t,
+                            direction: ScaleDirection::Down,
+                            reason: reason.to_string(),
+                            from: live_before,
+                            to: live_before - remove,
+                        });
+                    }
+                }
+            }
+            self.fleet_sizes.push((tick_t, self.live_indices().len()));
+        }
+    }
+
+    /// Route and process one arrival at trace time `t`.
+    pub fn on_event(&mut self, t: u64, func: u32) {
+        self.run_ticks(t);
+        self.integrate_to(t);
+        let fqdn = self.profiles[func as usize].fqdn.clone();
+        *self.arrivals.entry(fqdn).or_default() += 1;
+        let live = self.live_indices();
+        let w = self.pick(&live);
+        self.slots[w].sim.on_event(t, func);
+    }
+
+    /// Replay a whole trace with the given autoscale configuration.
+    pub fn run(
+        profiles: Vec<FunctionProfile>,
+        events: &[TraceEvent],
+        per_worker_cfg: SimConfig,
+        autoscale: AutoscaleConfig,
+    ) -> ElasticOutcome {
+        let mut sim = Self::new(profiles, per_worker_cfg, autoscale);
+        for e in events {
+            sim.on_event(e.time_ms, e.func);
+        }
+        let end = events.last().map(|e| e.time_ms).unwrap_or(0);
+        sim.finish(end)
+    }
+
+    /// Let queues drain, then collect results.
+    pub fn finish(mut self, end: u64) -> ElasticOutcome {
+        self.run_ticks(end);
+        self.integrate_to(end);
+        let peak = self.fleet_sizes.iter().map(|&(_, n)| n).max().unwrap_or(0);
+        let mean = if end > 0 {
+            self.fleet_acc / end as f64
+        } else {
+            0.0
+        };
+        ElasticOutcome {
+            policy: self.policy.name().to_string(),
+            workers: self.slots.into_iter().map(|s| s.sim.finish(end)).collect(),
+            events: self.events,
+            fleet_sizes: self.fleet_sizes,
+            peak_fleet: peak,
+            mean_fleet: mean,
+            // MB·ms → GB·s.
+            warm_gb_seconds: self.warm_mb_ms_acc / 1024.0 / 1000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iluvatar_autoscale::ScalingPolicyKind;
+    use iluvatar_core::config::KeepalivePolicyKind;
+
+    fn profiles(n: usize) -> Vec<FunctionProfile> {
+        (0..n)
+            .map(|i| FunctionProfile {
+                fqdn: format!("f{i}"),
+                app: 0,
+                mean_iat_ms: 1_000.0,
+                warm_ms: 200,
+                init_ms: 1_500,
+                memory_mb: 128,
+                diurnal: false,
+            })
+            .collect()
+    }
+
+    /// Quiet → burst → quiet.
+    fn burst_trace() -> Vec<TraceEvent> {
+        let mut ev = Vec::new();
+        let mut t = 0u64;
+        while t < 60_000 {
+            ev.push(TraceEvent {
+                time_ms: t,
+                func: 0,
+            });
+            t += 2_000;
+        }
+        // Burst: 8 fns × 1 event per 50 ms for a minute.
+        while t < 120_000 {
+            for f in 0..8u32 {
+                ev.push(TraceEvent {
+                    time_ms: t,
+                    func: f,
+                });
+            }
+            t += 50;
+        }
+        while t < 240_000 {
+            ev.push(TraceEvent {
+                time_ms: t,
+                func: 0,
+            });
+            t += 2_000;
+        }
+        ev
+    }
+
+    fn scale_cfg(kind: ScalingPolicyKind) -> AutoscaleConfig {
+        let mut c = AutoscaleConfig::enabled_with(kind);
+        c.min_workers = 1;
+        c.max_workers = 6;
+        c.interval_ms = 1_000;
+        c.scale_up_cooldown_ms = 1_000;
+        c.scale_down_cooldown_ms = 10_000;
+        c
+    }
+
+    fn worker_cfg() -> SimConfig {
+        let mut c = SimConfig::new(KeepalivePolicyKind::Gdsf, 2_048);
+        c.concurrency = Some(4);
+        c.backlog_cap = 10_000;
+        c
+    }
+
+    #[test]
+    fn burst_grows_then_shrinks_the_fleet() {
+        let out = ElasticClusterSim::run(
+            profiles(8),
+            &burst_trace(),
+            worker_cfg(),
+            scale_cfg(ScalingPolicyKind::ReactiveQueueDelay),
+        );
+        assert!(
+            out.peak_fleet >= 3,
+            "burst must grow the fleet, peak {}",
+            out.peak_fleet
+        );
+        let last = out.fleet_sizes.last().unwrap().1;
+        assert_eq!(last, 1, "quiet tail must shrink back to the floor");
+        assert!(out.events.iter().any(|e| e.direction == ScaleDirection::Up));
+        assert!(out
+            .events
+            .iter()
+            .any(|e| e.direction == ScaleDirection::Down));
+        // Elasticity must not drop work: the backlog cap is generous.
+        assert_eq!(out.total_dropped(), 0);
+        let served = out.total_warm() + out.total_cold();
+        assert_eq!(served, burst_trace().len() as u64);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let run = || {
+            let out = ElasticClusterSim::run(
+                profiles(8),
+                &burst_trace(),
+                worker_cfg(),
+                scale_cfg(ScalingPolicyKind::PredictiveMpc),
+            );
+            (
+                out.events.clone(),
+                out.fleet_sizes.clone(),
+                out.total_cold(),
+                out.total_warm(),
+            )
+        };
+        let (e1, f1, c1, w1) = run();
+        let (e2, f2, c2, w2) = run();
+        assert_eq!(e1, e2, "scale-event sequences must replay identically");
+        assert_eq!(f1, f2);
+        assert_eq!((c1, w1), (c2, w2));
+    }
+
+    #[test]
+    fn bigger_static_fleet_wastes_more_warm_memory() {
+        // Pin min == max: a degenerate "autoscaler" that holds N workers.
+        let fixed = |n: usize| {
+            let mut c = scale_cfg(ScalingPolicyKind::ReactiveQueueDelay);
+            c.min_workers = n;
+            c.max_workers = n;
+            ElasticClusterSim::run(profiles(8), &burst_trace(), worker_cfg(), c)
+        };
+        let small = fixed(1);
+        let big = fixed(6);
+        assert!(
+            big.warm_gb_seconds > small.warm_gb_seconds,
+            "6 always-on workers must burn more warm GB·s: {} vs {}",
+            big.warm_gb_seconds,
+            small.warm_gb_seconds
+        );
+        assert_eq!(big.mean_fleet.round() as usize, 6);
+    }
+
+    #[test]
+    fn mpc_preprovisions_no_later_than_reactive() {
+        let first_up = |kind| {
+            let out =
+                ElasticClusterSim::run(profiles(8), &burst_trace(), worker_cfg(), scale_cfg(kind));
+            out.events
+                .iter()
+                .find(|e| e.direction == ScaleDirection::Up)
+                .map(|e| e.t_ms)
+                .unwrap_or(u64::MAX)
+        };
+        let mpc = first_up(ScalingPolicyKind::PredictiveMpc);
+        let reactive = first_up(ScalingPolicyKind::ReactiveQueueDelay);
+        assert!(
+            mpc <= reactive,
+            "MPC {mpc}ms should not lag reactive {reactive}ms"
+        );
+    }
+}

@@ -217,7 +217,11 @@ impl KeepaliveSim {
     }
 
     /// Replay a full event stream.
-    pub fn run(profiles: Vec<FunctionProfile>, events: &[TraceEvent], cfg: SimConfig) -> SimOutcome {
+    pub fn run(
+        profiles: Vec<FunctionProfile>,
+        events: &[TraceEvent],
+        cfg: SimConfig,
+    ) -> SimOutcome {
         let mut sim = Self::new(profiles, cfg);
         for e in events {
             sim.on_event(e.time_ms, e.func);
@@ -301,6 +305,26 @@ impl KeepaliveSim {
         self.backlogged
     }
 
+    /// Arrivals currently waiting for an invoker slot.
+    pub fn queue_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Invocations currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.executing.len()
+    }
+
+    /// Advance housekeeping (sweeps, preloads, occupancy, completions) to
+    /// time `t` without an arrival — the elastic cluster simulator calls
+    /// this at control-loop ticks so queue observations are current.
+    pub fn advance(&mut self, t: u64) {
+        self.run_sweeps(t);
+        self.fire_preloads(t);
+        self.occupancy_tick(t);
+        self.drain_completions(t);
+    }
+
     /// Begin executing one invocation at time `t` (a slot is available).
     fn start(&mut self, t: u64, func: u32) {
         let f = func as usize;
@@ -339,7 +363,8 @@ impl KeepaliveSim {
                     self.cold_penalty_ms += init_ms;
                     self.base_exec_ms += warm_ms;
                     if self.cfg.concurrency.is_some() {
-                        self.executing.push(std::cmp::Reverse(t + warm_ms + init_ms));
+                        self.executing
+                            .push(std::cmp::Reverse(t + warm_ms + init_ms));
                     }
                 }
                 return;
@@ -351,12 +376,17 @@ impl KeepaliveSim {
         self.policy.on_insert(&mut meta, t);
         let id = self.next_id;
         self.next_id += 1;
-        self.items[f].push(CacheItem { id, meta, busy_until: t + warm_ms + init_ms });
+        self.items[f].push(CacheItem {
+            id,
+            meta,
+            busy_until: t + warm_ms + init_ms,
+        });
         self.out[f].cold += 1;
         self.cold_penalty_ms += init_ms;
         self.base_exec_ms += warm_ms;
         if self.cfg.concurrency.is_some() {
-            self.executing.push(std::cmp::Reverse(t + warm_ms + init_ms));
+            self.executing
+                .push(std::cmp::Reverse(t + warm_ms + init_ms));
         }
     }
 
@@ -416,7 +446,11 @@ impl KeepaliveSim {
                 let id = self.next_id;
                 self.next_id += 1;
                 // Ready immediately: the background preload absorbed init.
-                self.items[f].push(CacheItem { id, meta, busy_until: at });
+                self.items[f].push(CacheItem {
+                    id,
+                    meta,
+                    busy_until: at,
+                });
                 self.preload_count += 1;
             }
         }
@@ -453,13 +487,19 @@ impl KeepaliveSim {
         for (f, items) in self.items.iter().enumerate() {
             for item in items {
                 if item.busy_until <= now {
-                    heap.push(Cand { prio: self.policy.priority(&item.meta, now), f, id: item.id });
+                    heap.push(Cand {
+                        prio: self.policy.priority(&item.meta, now),
+                        f,
+                        id: item.id,
+                    });
                 }
             }
         }
         let mut freed = 0u64;
         while freed < target_mb {
-            let Some(Cand { f, id, .. }) = heap.pop() else { break };
+            let Some(Cand { f, id, .. }) = heap.pop() else {
+                break;
+            };
             if let Some(pos) = self.items[f].iter().position(|i| i.id == id) {
                 let item = self.items[f].swap_remove(pos);
                 self.policy.on_evict(&item.meta, now);
@@ -495,7 +535,11 @@ impl KeepaliveSim {
             per_function: self.out,
             evictions: self.evictions,
             expirations: self.expirations,
-            mean_used_mb: if end_time > 0 { self.occ_acc / end_time as f64 } else { 0.0 },
+            mean_used_mb: if end_time > 0 {
+                self.occ_acc / end_time as f64
+            } else {
+                0.0
+            },
             peak_used_mb: self.peak_used_mb,
         }
     }
@@ -518,7 +562,13 @@ mod tests {
     }
 
     fn events(specs: &[(u64, u32)]) -> Vec<TraceEvent> {
-        specs.iter().map(|&(t, f)| TraceEvent { time_ms: t, func: f }).collect()
+        specs
+            .iter()
+            .map(|&(t, f)| TraceEvent {
+                time_ms: t,
+                func: f,
+            })
+            .collect()
     }
 
     #[test]
@@ -543,7 +593,10 @@ mod tests {
             &events(&[(0, 0), (1_000, 0)]),
             SimConfig::new(KeepalivePolicyKind::Lru, 1024),
         );
-        assert_eq!(out.cold, 2, "spawn start: concurrent arrivals each cold-start");
+        assert_eq!(
+            out.cold, 2,
+            "spawn start: concurrent arrivals each cold-start"
+        );
     }
 
     #[test]
@@ -574,11 +627,7 @@ mod tests {
             profile("c", 100, 1000, 128),
         ];
         let ev = events(&[(0, 0), (1_000, 1), (2_000, 2), (3_000, 0)]);
-        let out = KeepaliveSim::run(
-            profiles,
-            &ev,
-            SimConfig::new(KeepalivePolicyKind::Lru, 256),
-        );
+        let out = KeepaliveSim::run(profiles, &ev, SimConfig::new(KeepalivePolicyKind::Lru, 256));
         // a@0 cold (busy to 1100); b@1000 cold (a still busy, both fit);
         // c@2000 evicts idle a; a@3000 evicts idle b. Four colds, two
         // evictions.
@@ -590,12 +639,16 @@ mod tests {
     fn gdsf_protects_expensive_small() {
         // small+expensive (fp) vs big+cheap (ml); cache fits only one idle
         // at a time alongside the running one.
-        let profiles = vec![
-            profile("fp", 100, 1700, 128),
-            profile("ml", 100, 100, 512),
-        ];
+        let profiles = vec![profile("fp", 100, 1700, 128), profile("ml", 100, 100, 512)];
         // Prime both, then alternate; GD should keep fp warm, evict ml.
-        let ev = events(&[(0, 0), (2_000, 1), (60_000, 0), (62_000, 1), (120_000, 0), (122_000, 1)]);
+        let ev = events(&[
+            (0, 0),
+            (2_000, 1),
+            (60_000, 0),
+            (62_000, 1),
+            (120_000, 0),
+            (122_000, 1),
+        ]);
         let gd = KeepaliveSim::run(
             profiles.clone(),
             &ev,
@@ -619,14 +672,20 @@ mod tests {
         let drop = KeepaliveSim::run(
             profiles.clone(),
             &ev,
-            SimConfig { drop_on_full: true, ..SimConfig::new(KeepalivePolicyKind::Lru, 128) },
+            SimConfig {
+                drop_on_full: true,
+                ..SimConfig::new(KeepalivePolicyKind::Lru, 128)
+            },
         );
         assert_eq!(drop.dropped, 1);
         assert_eq!(drop.cold, 1);
         let eph = KeepaliveSim::run(
             profiles,
             &ev,
-            SimConfig { drop_on_full: false, ..SimConfig::new(KeepalivePolicyKind::Lru, 128) },
+            SimConfig {
+                drop_on_full: false,
+                ..SimConfig::new(KeepalivePolicyKind::Lru, 128)
+            },
         );
         assert_eq!(eph.dropped, 0);
         assert_eq!(eph.cold, 2, "ephemeral run still counts cold");
@@ -637,8 +696,12 @@ mod tests {
         // Strictly periodic function, 30-minute IAT: HIST should eagerly
         // evict and preload just before each arrival.
         let period = 30 * 60_000u64;
-        let ev: Vec<TraceEvent> =
-            (0..20).map(|i| TraceEvent { time_ms: i * period, func: 0 }).collect();
+        let ev: Vec<TraceEvent> = (0..20)
+            .map(|i| TraceEvent {
+                time_ms: i * period,
+                func: 0,
+            })
+            .collect();
         let hist = KeepaliveSim::run(
             vec![profile("periodic", 1_000, 5_000, 256)],
             &ev,

@@ -20,11 +20,13 @@
 
 pub mod cluster;
 pub mod des;
+pub mod elastic;
 pub mod keepalive;
 pub mod provisioning;
 pub mod reuse;
 
 pub use cluster::{ClusterOutcome, ClusterSim, SimLbPolicy};
+pub use elastic::{ElasticClusterSim, ElasticOutcome};
 pub use keepalive::{KeepaliveSim, SimConfig, SimOutcome};
 pub use provisioning::{DynamicScaler, ProvisioningConfig, ScalerSample};
 pub use reuse::ReuseAnalysis;

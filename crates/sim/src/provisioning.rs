@@ -83,8 +83,8 @@ impl ScaledRun {
             .samples
             .iter()
             .filter(|s| {
-                let err = (s.miss_per_sec - cfg.target_miss_per_sec).abs()
-                    / cfg.target_miss_per_sec;
+                let err =
+                    (s.miss_per_sec - cfg.target_miss_per_sec).abs() / cfg.target_miss_per_sec;
                 err <= cfg.error_tolerance
             })
             .count();
@@ -118,7 +118,10 @@ impl DynamicScaler {
     ) -> ScaledRun {
         let mut sim = KeepaliveSim::new(
             profiles,
-            SimConfig { cache_mb: self.cfg.initial_mb, ..sim_cfg },
+            SimConfig {
+                cache_mb: self.cfg.initial_mb,
+                ..sim_cfg
+            },
         );
         let mut samples = Vec::new();
         let mut next_ctl = self.cfg.interval_ms;
@@ -163,7 +166,8 @@ impl DynamicScaler {
             if *below_streak >= 2 {
                 let factor = 1.0 + self.cfg.gain / 3.0 * rel_err;
                 let new = ((sim.cache_mb() as f64 * factor).round() as i64)
-                    .clamp(self.cfg.min_mb as i64, self.cfg.max_mb as i64) as u64;
+                    .clamp(self.cfg.min_mb as i64, self.cfg.max_mb as i64)
+                    as u64;
                 if new != sim.cache_mb() {
                     sim.resize(now, new);
                     resized = true;
@@ -172,7 +176,12 @@ impl DynamicScaler {
         } else {
             *below_streak = 0;
         }
-        ScalerSample { t_ms: now, cache_mb: sim.cache_mb(), miss_per_sec, resized }
+        ScalerSample {
+            t_ms: now,
+            cache_mb: sim.cache_mb(),
+            miss_per_sec,
+            resized,
+        }
     }
 }
 
@@ -201,7 +210,10 @@ mod tests {
         let mut t = 0;
         let mut f = 0;
         while t < duration {
-            ev.push(TraceEvent { time_ms: t, func: (f % n) as u32 });
+            ev.push(TraceEvent {
+                time_ms: t,
+                func: (f % n) as u32,
+            });
             f += 1;
             t += gap;
         }
@@ -243,19 +255,30 @@ mod tests {
     fn grows_under_miss_pressure() {
         // 40 functions × 200MB = 8000MB working set, cache starts at 800:
         // constant misses → growth.
-        let c = ProvisioningConfig { initial_mb: 800, ..cfg() };
+        let c = ProvisioningConfig {
+            initial_mb: 800,
+            ..cfg()
+        };
         let run = DynamicScaler::new(c).run(
             profiles(40),
             &round_robin(40, 2_000, 2 * 3_600_000),
             SimConfig::new(KeepalivePolicyKind::Gdsf, 800),
         );
         let peak = run.samples.iter().map(|s| s.cache_mb).max().unwrap();
-        assert!(peak > 800, "cache must grow above the initial 800MB, peaked {peak}");
+        assert!(
+            peak > 800,
+            "cache must grow above the initial 800MB, peaked {peak}"
+        );
     }
 
     #[test]
     fn respects_clamps() {
-        let c = ProvisioningConfig { min_mb: 1_000, max_mb: 2_000, initial_mb: 1_500, ..cfg() };
+        let c = ProvisioningConfig {
+            min_mb: 1_000,
+            max_mb: 2_000,
+            initial_mb: 1_500,
+            ..cfg()
+        };
         let run = DynamicScaler::new(c).run(
             profiles(40),
             &round_robin(40, 1_000, 3_600_000),
@@ -276,7 +299,10 @@ mod tests {
         // Set target so low-miss means err within band: target 0.0001 and
         // misses 0 → rel err -1 (outside band). So instead verify the
         // inverse: with a huge tolerance nothing resizes.
-        let c = ProvisioningConfig { error_tolerance: 1e9, ..cfg() };
+        let c = ProvisioningConfig {
+            error_tolerance: 1e9,
+            ..cfg()
+        };
         let run = DynamicScaler::new(c).run(
             profiles(5),
             &round_robin(5, 10_000, 3_600_000),

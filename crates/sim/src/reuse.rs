@@ -53,7 +53,10 @@ impl ReuseAnalysis {
                 }
             }
         }
-        Self { distances, total_invocations: events.len() }
+        Self {
+            distances,
+            total_invocations: events.len(),
+        }
     }
 
     pub fn distances(&self) -> &[u64] {
@@ -113,7 +116,10 @@ mod tests {
     fn ev(seq: &[u32]) -> Vec<TraceEvent> {
         seq.iter()
             .enumerate()
-            .map(|(i, &f)| TraceEvent { time_ms: i as u64 * 1000, func: f })
+            .map(|(i, &f)| TraceEvent {
+                time_ms: i as u64 * 1000,
+                func: f,
+            })
             .collect()
     }
 

@@ -25,7 +25,10 @@ fn arb_trace() -> impl Strategy<Value = (usize, Vec<TraceEvent>)> {
             |mut raw| {
                 raw.sort();
                 raw.into_iter()
-                    .map(|(t, f)| TraceEvent { time_ms: t, func: f })
+                    .map(|(t, f)| TraceEvent {
+                        time_ms: t,
+                        func: f,
+                    })
                     .collect::<Vec<_>>()
             },
         );

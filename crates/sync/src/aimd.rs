@@ -20,7 +20,12 @@ pub struct AimdConfig {
 
 impl Default for AimdConfig {
     fn default() -> Self {
-        Self { increase: 1.0, decrease: 0.5, min: 1.0, max: 1024.0 }
+        Self {
+            increase: 1.0,
+            decrease: 0.5,
+            min: 1.0,
+            max: 1024.0,
+        }
     }
 }
 
@@ -37,7 +42,12 @@ pub struct Aimd {
 impl Aimd {
     pub fn new(initial: f64, cfg: AimdConfig) -> Self {
         let limit = initial.clamp(cfg.min, cfg.max);
-        Self { cfg, limit, congested_intervals: 0, clear_intervals: 0 }
+        Self {
+            cfg,
+            limit,
+            congested_intervals: 0,
+            clear_intervals: 0,
+        }
     }
 
     /// Apply one control interval's observation. Returns the new limit.
@@ -72,7 +82,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> AimdConfig {
-        AimdConfig { increase: 2.0, decrease: 0.5, min: 1.0, max: 64.0 }
+        AimdConfig {
+            increase: 2.0,
+            decrease: 0.5,
+            min: 1.0,
+            max: 64.0,
+        }
     }
 
     #[test]
@@ -104,7 +119,15 @@ mod tests {
     #[test]
     fn sawtooth_converges_around_capacity() {
         // Simulate a system that is congested above 20 concurrent.
-        let mut a = Aimd::new(1.0, AimdConfig { increase: 1.0, decrease: 0.5, min: 1.0, max: 256.0 });
+        let mut a = Aimd::new(
+            1.0,
+            AimdConfig {
+                increase: 1.0,
+                decrease: 0.5,
+                min: 1.0,
+                max: 256.0,
+            },
+        );
         let mut seen_max = 0usize;
         for _ in 0..200 {
             let lim = a.limit();

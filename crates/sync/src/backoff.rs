@@ -36,7 +36,13 @@ pub struct BackoffConfig {
 
 impl Default for BackoffConfig {
     fn default() -> Self {
-        Self { base_ms: 10, cap_ms: 1_000, max_retries: 0, jitter: 0.5, deadline_ms: 0 }
+        Self {
+            base_ms: 10,
+            cap_ms: 1_000,
+            max_retries: 0,
+            jitter: 0.5,
+            deadline_ms: 0,
+        }
     }
 }
 
@@ -68,7 +74,10 @@ impl Backoff {
     /// Nominal (pre-jitter) delay for retry `attempt` (0-based):
     /// `min(cap, base * 2^attempt)`, saturating. Monotone non-decreasing.
     pub fn nominal_ms(&self, attempt: u32) -> u64 {
-        let doubled = self.cfg.base_ms.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        let doubled = self
+            .cfg
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
         doubled.min(self.cfg.cap_ms)
     }
 
@@ -119,7 +128,13 @@ mod tests {
     use super::*;
 
     fn cfg(base: u64, cap: u64, retries: u32, jitter: f64, deadline: u64) -> BackoffConfig {
-        BackoffConfig { base_ms: base, cap_ms: cap, max_retries: retries, jitter, deadline_ms: deadline }
+        BackoffConfig {
+            base_ms: base,
+            cap_ms: cap,
+            max_retries: retries,
+            jitter,
+            deadline_ms: deadline,
+        }
     }
 
     #[test]
@@ -147,7 +162,11 @@ mod tests {
         let b = Backoff::new(cfg(10, 500, 6, 0.5, 0), 42);
         let c = Backoff::new(cfg(10, 500, 6, 0.5, 0), 43);
         assert_eq!(a.schedule(), b.schedule(), "same seed, same schedule");
-        assert_ne!(a.schedule(), c.schedule(), "different seed should jitter differently");
+        assert_ne!(
+            a.schedule(),
+            c.schedule(),
+            "different seed should jitter differently"
+        );
     }
 
     #[test]
@@ -161,6 +180,10 @@ mod tests {
     #[test]
     fn overflow_attempt_saturates() {
         let b = Backoff::new(cfg(u64::MAX / 2, u64::MAX, 2, 0.0, 0), 1);
-        assert_eq!(b.nominal_ms(40), u64::MAX, "saturating shift must not panic");
+        assert_eq!(
+            b.nominal_ms(40),
+            u64::MAX,
+            "saturating shift must not panic"
+        );
     }
 }

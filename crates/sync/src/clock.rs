@@ -39,7 +39,9 @@ pub struct SystemClock {
 
 impl SystemClock {
     pub fn new() -> Self {
-        Self { epoch: Instant::now() }
+        Self {
+            epoch: Instant::now(),
+        }
     }
 
     /// A shared handle, convenient for components that store `Arc<dyn Clock>`.
@@ -76,11 +78,15 @@ pub struct ManualClock {
 
 impl ManualClock {
     pub fn new() -> Self {
-        Self { now: AtomicU64::new(0) }
+        Self {
+            now: AtomicU64::new(0),
+        }
     }
 
     pub fn starting_at(ms: TimeMs) -> Self {
-        Self { now: AtomicU64::new(ms) }
+        Self {
+            now: AtomicU64::new(ms),
+        }
     }
 
     /// Move time forward by `ms`; returns the new now.

@@ -1,0 +1,194 @@
+//! Short-horizon arrival forecasting for proactive scaling.
+//!
+//! "Taming Cold Starts with Model Predictive Control" (arXiv:2508.07640)
+//! argues that proactive provisioning beats reactive thresholds when the
+//! controller can see even a few intervals ahead. The [`ArrivalForecaster`]
+//! here is the smallest useful version of that idea: arrivals are bucketed
+//! into fixed intervals, the recent buckets feed a least-squares trend
+//! (re-using the [`Welford`] accumulator for the moments), and the forecast
+//! extrapolates the trend a short horizon forward, clamped at zero.
+//!
+//! Everything is driven by explicit bucket pushes — no wall clock — so a
+//! forecaster replayed over the same counts produces bit-identical
+//! forecasts, which the autoscaler's determinism gate depends on.
+
+use crate::stats::Welford;
+use std::collections::VecDeque;
+
+/// Sliding-window arrival counter with linear-trend extrapolation.
+#[derive(Debug, Clone)]
+pub struct ArrivalForecaster {
+    /// Most recent `window` per-bucket arrival counts, oldest first.
+    buckets: VecDeque<u64>,
+    window: usize,
+    /// Total arrivals ever recorded (diagnostics).
+    total: u64,
+}
+
+impl ArrivalForecaster {
+    /// A forecaster remembering the last `window` buckets (≥ 2).
+    pub fn new(window: usize) -> Self {
+        let window = window.max(2);
+        Self {
+            buckets: VecDeque::with_capacity(window),
+            window,
+            total: 0,
+        }
+    }
+
+    /// Close out one interval with its arrival count.
+    pub fn push_bucket(&mut self, count: u64) {
+        if self.buckets.len() == self.window {
+            self.buckets.pop_front();
+        }
+        self.buckets.push_back(count);
+        self.total += count;
+    }
+
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean arrivals per bucket over the window.
+    pub fn mean(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        let mut w = Welford::new();
+        for &c in &self.buckets {
+            w.push(c as f64);
+        }
+        w.mean()
+    }
+
+    /// Least-squares slope (arrivals per bucket, per bucket) over the
+    /// window. Positive while a burst is ramping, negative as it decays.
+    pub fn slope(&self) -> f64 {
+        let n = self.buckets.len();
+        if n < 2 {
+            return 0.0;
+        }
+        // Ordinary least squares of count against bucket index. The x
+        // moments come from the index sequence 0..n; the covariance
+        // accumulates alongside a Welford pass over the counts.
+        let mut xw = Welford::new();
+        let mut yw = Welford::new();
+        let mut sxy = 0.0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            xw.push(i as f64);
+            yw.push(c as f64);
+            sxy += (i as f64) * (c as f64);
+        }
+        let nf = n as f64;
+        let cov = sxy / nf - xw.mean() * yw.mean();
+        let varx = xw.variance(); // Welford reports population variance
+        if varx <= f64::EPSILON {
+            return 0.0;
+        }
+        cov / varx
+    }
+
+    /// Forecast arrivals `steps_ahead` buckets past the newest one
+    /// (1 = the very next bucket), by linear extrapolation of the window
+    /// trend, clamped at zero. With fewer than two buckets the forecast
+    /// falls back to the window mean.
+    pub fn forecast(&self, steps_ahead: usize) -> f64 {
+        let n = self.buckets.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n == 1 {
+            return self.buckets[0] as f64;
+        }
+        // Trend line through (index, count); extrapolate from the last
+        // index n-1 forward.
+        let slope = self.slope();
+        let mean = self.mean();
+        let mid = (n as f64 - 1.0) / 2.0;
+        let predicted = mean + slope * ((n as f64 - 1.0 + steps_ahead as f64) - mid);
+        predicted.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_forecasts_zero() {
+        let f = ArrivalForecaster::new(8);
+        assert!(f.is_empty());
+        assert_eq!(f.forecast(1), 0.0);
+        assert_eq!(f.slope(), 0.0);
+    }
+
+    #[test]
+    fn flat_load_forecasts_the_mean() {
+        let mut f = ArrivalForecaster::new(8);
+        for _ in 0..8 {
+            f.push_bucket(10);
+        }
+        assert!((f.mean() - 10.0).abs() < 1e-9);
+        assert!(f.slope().abs() < 1e-9, "flat series has no trend");
+        assert!((f.forecast(1) - 10.0).abs() < 1e-9);
+        assert!((f.forecast(4) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_is_extrapolated() {
+        let mut f = ArrivalForecaster::new(8);
+        for c in [0u64, 2, 4, 6, 8, 10] {
+            f.push_bucket(c);
+        }
+        assert!((f.slope() - 2.0).abs() < 1e-9, "slope {}", f.slope());
+        // Last observed bucket was 10; the next should forecast ≈ 12.
+        assert!((f.forecast(1) - 12.0).abs() < 1e-6, "got {}", f.forecast(1));
+        assert!((f.forecast(3) - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_clamps_at_zero() {
+        let mut f = ArrivalForecaster::new(8);
+        for c in [8u64, 6, 4, 2] {
+            f.push_bucket(c);
+        }
+        assert!(f.slope() < 0.0);
+        assert_eq!(f.forecast(10), 0.0, "forecasts never go negative");
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut f = ArrivalForecaster::new(3);
+        for c in [100u64, 100, 100, 0, 0, 0] {
+            f.push_bucket(c);
+        }
+        assert_eq!(f.len(), 3);
+        assert!((f.mean() - 0.0).abs() < 1e-9, "old burst aged out");
+        assert_eq!(f.total(), 300);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let counts = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let run = || {
+            let mut f = ArrivalForecaster::new(6);
+            for &c in &counts {
+                f.push_bucket(c);
+            }
+            (
+                f.forecast(1).to_bits(),
+                f.forecast(2).to_bits(),
+                f.slope().to_bits(),
+            )
+        };
+        assert_eq!(run(), run(), "forecast is a pure function of its inputs");
+    }
+}

@@ -17,6 +17,7 @@
 pub mod aimd;
 pub mod backoff;
 pub mod clock;
+pub mod forecast;
 pub mod loghist;
 pub mod semaphore;
 pub mod shardmap;
@@ -27,6 +28,7 @@ pub mod tokenbucket;
 pub use aimd::Aimd;
 pub use backoff::{Backoff, BackoffConfig};
 pub use clock::{Clock, ManualClock, SystemClock, TimeMs};
+pub use forecast::ArrivalForecaster;
 pub use loghist::LogHistogram;
 pub use semaphore::{Semaphore, SemaphorePermit};
 pub use shardmap::ShardedMap;

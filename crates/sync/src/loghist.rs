@@ -97,7 +97,13 @@ impl LogHistogram {
     pub const REL_ERROR: f64 = 1.0 / (2 * SUB) as f64;
 
     pub fn new() -> Self {
-        Self { counts: vec![0; NBUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+        Self {
+            counts: vec![0; NBUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Record one sample. Constant time: an index computation from the
@@ -191,10 +197,14 @@ impl LogHistogram {
 
     /// Non-empty buckets as `(lower_edge, upper_edge, count)`, ascending.
     pub fn bins(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
-            let (lo, hi) = bounds_of(i);
-            (lo, hi, c)
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bounds_of(i);
+                (lo, hi, c)
+            })
     }
 }
 
@@ -293,7 +303,10 @@ mod tests {
             assert!(lo <= v, "v={v} idx={idx} lo={lo}");
             // The topmost bucket's upper edge is clamped to u64::MAX, so it
             // is inclusive there.
-            assert!(v < hi || (hi == u64::MAX && v == u64::MAX), "v={v} idx={idx} hi={hi}");
+            assert!(
+                v < hi || (hi == u64::MAX && v == u64::MAX),
+                "v={v} idx={idx} hi={hi}"
+            );
         }
         for idx in 0..NBUCKETS - 1 {
             let (_, hi) = bounds_of(idx);
@@ -358,7 +371,11 @@ mod tests {
         let back: LogHistogram = serde_json::from_str(&json).unwrap();
         assert_eq!(h, back);
         // Sparse form stays small relative to the 3k+ dense buckets.
-        assert!(json.len() < 20_000, "sparse encoding ballooned: {}", json.len());
+        assert!(
+            json.len() < 20_000,
+            "sparse encoding ballooned: {}",
+            json.len()
+        );
     }
 
     #[test]

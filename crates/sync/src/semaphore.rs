@@ -37,7 +37,10 @@ impl Semaphore {
     pub fn new(permits: usize) -> Self {
         Self {
             inner: Arc::new(Inner {
-                state: Mutex::new(State { available: permits as isize, capacity: permits }),
+                state: Mutex::new(State {
+                    available: permits as isize,
+                    capacity: permits,
+                }),
                 cv: Condvar::new(),
             }),
         }
@@ -50,7 +53,9 @@ impl Semaphore {
             self.inner.cv.wait(&mut st);
         }
         st.available -= 1;
-        SemaphorePermit { inner: Arc::clone(&self.inner) }
+        SemaphorePermit {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Take a permit if one is free, without blocking.
@@ -58,7 +63,9 @@ impl Semaphore {
         let mut st = self.inner.state.lock();
         if st.available > 0 {
             st.available -= 1;
-            Some(SemaphorePermit { inner: Arc::clone(&self.inner) })
+            Some(SemaphorePermit {
+                inner: Arc::clone(&self.inner),
+            })
         } else {
             None
         }

@@ -88,7 +88,10 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
             .map(|_| RwLock::new(HashMap::with_hasher(FxBuildHasher::default())))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Self { shards, hasher: FxBuildHasher::default() }
+        Self {
+            shards,
+            hasher: FxBuildHasher::default(),
+        }
     }
 
     #[inline]
@@ -245,15 +248,23 @@ mod tests {
     #[test]
     fn update_or_insert_creates_default() {
         let m: ShardedMap<u64, u64> = ShardedMap::new();
-        let r = m.update_or_insert(9, || 100, |v| {
-            *v += 1;
-            *v
-        });
+        let r = m.update_or_insert(
+            9,
+            || 100,
+            |v| {
+                *v += 1;
+                *v
+            },
+        );
         assert_eq!(r, 101);
-        let r = m.update_or_insert(9, || 100, |v| {
-            *v += 1;
-            *v
-        });
+        let r = m.update_or_insert(
+            9,
+            || 100,
+            |v| {
+                *v += 1;
+                *v
+            },
+        );
         assert_eq!(r, 102);
     }
 

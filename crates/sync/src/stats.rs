@@ -76,7 +76,12 @@ pub struct MovingWindow {
 impl MovingWindow {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { buf: Vec::with_capacity(capacity), capacity, next: 0, total_pushed: 0 }
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total_pushed: 0,
+        }
     }
 
     pub fn push(&mut self, x: f64) {
@@ -182,7 +187,12 @@ pub struct Histogram {
 impl Histogram {
     pub fn new(bucket_width: f64, buckets: usize) -> Self {
         assert!(bucket_width > 0.0 && buckets > 0);
-        Self { bucket_width, counts: vec![0; buckets], overflow: 0, total: 0 }
+        Self {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
     }
 
     pub fn record(&mut self, x: f64) {

@@ -29,7 +29,10 @@ impl TokenBucket {
         Self {
             rate_per_ms: rate_per_sec / 1000.0,
             burst,
-            state: Mutex::new(State { tokens: burst, last_refill: now }),
+            state: Mutex::new(State {
+                tokens: burst,
+                last_refill: now,
+            }),
             clock,
         }
     }

@@ -1,8 +1,10 @@
 //! Property-based tests for the concurrency substrates.
 
-use iluvatar_sync::stats::{percentile, Histogram, MovingWindow, Welford};
-use iluvatar_sync::{Aimd, Backoff, BackoffConfig, LogHistogram, ManualClock, ShardedMap, TokenBucket};
 use iluvatar_sync::aimd::AimdConfig;
+use iluvatar_sync::stats::{percentile, Histogram, MovingWindow, Welford};
+use iluvatar_sync::{
+    Aimd, Backoff, BackoffConfig, LogHistogram, ManualClock, ShardedMap, TokenBucket,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;

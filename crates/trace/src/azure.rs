@@ -168,23 +168,31 @@ impl SyntheticAzureTrace {
             }
         }
         let events = Self::arrivals(&profiles, cfg.duration_ms, &mut rng);
-        Self { profiles, events, duration_ms: cfg.duration_ms }
+        Self {
+            profiles,
+            events,
+            duration_ms: cfg.duration_ms,
+        }
     }
 
     /// Regenerate the event stream for an existing (sub)population.
-    pub fn regenerate_events(
-        profiles: Vec<FunctionProfile>,
-        duration_ms: u64,
-        seed: u64,
-    ) -> Self {
+    pub fn regenerate_events(profiles: Vec<FunctionProfile>, duration_ms: u64, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let events = Self::arrivals(&profiles, duration_ms, &mut rng);
-        Self { profiles, events, duration_ms }
+        Self {
+            profiles,
+            events,
+            duration_ms,
+        }
     }
 
     /// Poisson arrivals per function (thinned by the diurnal wave where
     /// enabled), then minute-bucketed and re-spread per the replay rule.
-    fn arrivals(profiles: &[FunctionProfile], duration_ms: u64, rng: &mut StdRng) -> Vec<TraceEvent> {
+    fn arrivals(
+        profiles: &[FunctionProfile],
+        duration_ms: u64,
+        rng: &mut StdRng,
+    ) -> Vec<TraceEvent> {
         // Minute buckets: counts per (function, minute).
         let minutes = (duration_ms / 60_000).max(1) as usize;
         let mut events = Vec::new();
@@ -214,11 +222,17 @@ impl SyntheticAzureTrace {
                 }
                 let base = m as u64 * 60_000;
                 if c == 1 {
-                    events.push(TraceEvent { time_ms: base, func: idx as u32 });
+                    events.push(TraceEvent {
+                        time_ms: base,
+                        func: idx as u32,
+                    });
                 } else {
                     let step = 60_000 / c as u64;
                     for k in 0..c as u64 {
-                        events.push(TraceEvent { time_ms: base + k * step, func: idx as u32 });
+                        events.push(TraceEvent {
+                            time_ms: base + k * step,
+                            func: idx as u32,
+                        });
                     }
                 }
             }
@@ -307,7 +321,10 @@ mod tests {
         );
         // And the long tail: many functions with >30min IATs → <48/day.
         let rare = counts.iter().filter(|&&c| c < 48).count();
-        assert!(rare as f64 / counts.len() as f64 > 0.3, "rare fraction {rare}");
+        assert!(
+            rare as f64 / counts.len() as f64 > 0.3,
+            "rare fraction {rare}"
+        );
     }
 
     #[test]
@@ -346,9 +363,18 @@ mod tests {
 
     #[test]
     fn rate_scale_multiplies_load() {
-        let base = AzureTraceConfig { apps: 100, duration_ms: 3_600_000, seed: 5, diurnal_fraction: 0.0, rate_scale: 1.0 };
+        let base = AzureTraceConfig {
+            apps: 100,
+            duration_ms: 3_600_000,
+            seed: 5,
+            diurnal_fraction: 0.0,
+            rate_scale: 1.0,
+        };
         let slow = SyntheticAzureTrace::generate(&base);
-        let fast = SyntheticAzureTrace::generate(&AzureTraceConfig { rate_scale: 4.0, ..base });
+        let fast = SyntheticAzureTrace::generate(&AzureTraceConfig {
+            rate_scale: 4.0,
+            ..base
+        });
         let r = fast.events.len() as f64 / slow.events.len() as f64;
         assert!(r > 2.5 && r < 6.0, "4x rate scale gave {r}x events");
     }

@@ -59,8 +59,10 @@ fn col(header: &[&str], name: &'static str) -> Result<usize, CsvError> {
 }
 
 fn parse_num(s: &str, line: usize) -> Result<f64, CsvError> {
-    s.parse()
-        .map_err(|_| CsvError::BadNumber { line, field: s.to_string() })
+    s.parse().map_err(|_| CsvError::BadNumber {
+        line,
+        field: s.to_string(),
+    })
 }
 
 /// Per-minute invocation counts for one function.
@@ -92,10 +94,14 @@ pub fn parse_invocations(csv: &str) -> Result<Vec<InvocationRow>, CsvError> {
         let counts = f[first_min..]
             .iter()
             .enumerate()
-            .map(|(i, s)| parse_num(s, ln + 1).map(|v| v as u32).map_err(|_| CsvError::BadNumber {
-                line: ln + 1,
-                field: f[first_min + i].to_string(),
-            }))
+            .map(|(i, s)| {
+                parse_num(s, ln + 1)
+                    .map(|v| v as u32)
+                    .map_err(|_| CsvError::BadNumber {
+                        line: ln + 1,
+                        field: f[first_min + i].to_string(),
+                    })
+            })
             .collect::<Result<Vec<u32>, _>>()?;
         out.push(InvocationRow {
             app: f[app_i].to_string(),
@@ -181,8 +187,10 @@ pub fn assemble(
 ) -> SyntheticAzureTrace {
     let dur_by_fn: HashMap<&str, &DurationRow> =
         durations.iter().map(|d| (d.function.as_str(), d)).collect();
-    let mem_by_app: HashMap<&str, f64> =
-        memory.iter().map(|m| (m.app.as_str(), m.average_mb)).collect();
+    let mem_by_app: HashMap<&str, f64> = memory
+        .iter()
+        .map(|m| (m.app.as_str(), m.average_mb))
+        .collect();
     // Functions per app, to split the app allocation evenly.
     let mut fns_per_app: HashMap<&str, u64> = HashMap::new();
     for r in &invocations {
@@ -205,11 +213,19 @@ pub fn assemble(
         let next_app = app_ids.len() as u32;
         let app_id = *app_ids.entry(row.app.clone()).or_insert(next_app);
         let app_mem = mem_by_app.get(row.app.as_str()).copied().unwrap_or(170.0);
-        let split = fns_per_app.get(row.app.as_str()).copied().unwrap_or(1).max(1);
+        let split = fns_per_app
+            .get(row.app.as_str())
+            .copied()
+            .unwrap_or(1)
+            .max(1);
         let minutes = row.counts.len() as u64;
         let idx = profiles.len() as u32;
         profiles.push(FunctionProfile {
-            fqdn: format!("{}-{}", &row.app[..row.app.len().min(8)], &row.function[..row.function.len().min(8)]),
+            fqdn: format!(
+                "{}-{}",
+                &row.app[..row.app.len().min(8)],
+                &row.function[..row.function.len().min(8)]
+            ),
             app: app_id,
             mean_iat_ms: minutes as f64 * 60_000.0 / total as f64,
             warm_ms: average_ms as u64,
@@ -224,11 +240,17 @@ pub fn assemble(
             }
             let base = m as u64 * 60_000;
             if c == 1 {
-                events.push(TraceEvent { time_ms: base, func: idx });
+                events.push(TraceEvent {
+                    time_ms: base,
+                    func: idx,
+                });
             } else {
                 let step = 60_000 / c as u64;
                 for k in 0..c as u64 {
-                    events.push(TraceEvent { time_ms: base + k * step, func: idx });
+                    events.push(TraceEvent {
+                        time_ms: base + k * step,
+                        func: idx,
+                    });
                 }
             }
         }
@@ -238,7 +260,11 @@ pub fn assemble(
         .first()
         .map(|r| r.counts.len() as u64 * 60_000)
         .unwrap_or(24 * 3600 * 1000);
-    SyntheticAzureTrace { profiles, events, duration_ms }
+    SyntheticAzureTrace {
+        profiles,
+        events,
+        duration_ms,
+    }
 }
 
 #[cfg(test)]

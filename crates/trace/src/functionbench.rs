@@ -80,7 +80,10 @@ impl FbApp {
         let (mem, run, init) = self.table3();
         FunctionSpec::new(self.name(), "1")
             .with_image(format!("functionbench/{}:1", self.name()))
-            .with_limits(ResourceLimits { cpus: 1.0, memory_mb: mem })
+            .with_limits(ResourceLimits {
+                cpus: 1.0,
+                memory_mb: mem,
+            })
             .with_timing(run - init, init)
     }
 
@@ -141,7 +144,10 @@ impl FbApp {
                     }
                     state.rotate_left(1);
                 }
-                format!("{{\"ct\":{}}}", state.iter().map(|&b| b as u64).sum::<u64>())
+                format!(
+                    "{{\"ct\":{}}}",
+                    state.iter().map(|&b| b as u64).sum::<u64>()
+                )
             }),
             // The heavyweight apps use a deterministic CPU spin scaled down:
             // real work, bounded duration.

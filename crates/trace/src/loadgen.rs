@@ -44,12 +44,7 @@ pub trait InvokerTarget: Send + Sync + 'static {
 
     /// Fire under a tenant label. Targets without multi-tenant support
     /// drop the label and dispatch as usual.
-    fn fire_as(
-        &self,
-        fqdn: &str,
-        args: &str,
-        tenant: Option<&str>,
-    ) -> Result<(u64, bool), String> {
+    fn fire_as(&self, fqdn: &str, args: &str, tenant: Option<&str>) -> Result<(u64, bool), String> {
         let _ = tenant;
         self.fire(fqdn, args)
     }
@@ -147,10 +142,7 @@ impl OpenLoopRunner {
 
     /// Build a schedule from (time, fqdn) pairs with a time-scale factor
     /// (<1 compresses the trace).
-    pub fn from_events<'a>(
-        events: impl Iterator<Item = (u64, &'a str)>,
-        time_scale: f64,
-    ) -> Self {
+    pub fn from_events<'a>(events: impl Iterator<Item = (u64, &'a str)>, time_scale: f64) -> Self {
         let schedule = events
             .map(|(t, f)| ScheduledInvocation {
                 at_ms: (t as f64 * time_scale) as u64,
@@ -284,24 +276,42 @@ mod tests {
 
     #[test]
     fn closed_loop_counts() {
-        let t = Arc::new(FakeTarget { exec_ms: 2, calls: AtomicU64::new(0), drop_every: 0 });
+        let t = Arc::new(FakeTarget {
+            exec_ms: 2,
+            calls: AtomicU64::new(0),
+            drop_every: 0,
+        });
         let out = closed_loop(
             Arc::clone(&t) as Arc<dyn InvokerTarget>,
             "f-1",
-            &ClosedLoopConfig { clients: 4, invocations_per_client: 10, warmup_per_client: 2 },
+            &ClosedLoopConfig {
+                clients: 4,
+                invocations_per_client: 10,
+                warmup_per_client: 2,
+            },
         );
         assert_eq!(out.len(), 40, "warmups excluded");
         assert_eq!(t.calls.load(Ordering::SeqCst), 48, "warmups still fired");
-        assert!(out.iter().all(|o| o.e2e_ms >= o.exec_ms || o.e2e_ms + 1 >= o.exec_ms));
+        assert!(out
+            .iter()
+            .all(|o| o.e2e_ms >= o.exec_ms || o.e2e_ms + 1 >= o.exec_ms));
     }
 
     #[test]
     fn closed_loop_records_drops() {
-        let t = Arc::new(FakeTarget { exec_ms: 1, calls: AtomicU64::new(0), drop_every: 3 });
+        let t = Arc::new(FakeTarget {
+            exec_ms: 1,
+            calls: AtomicU64::new(0),
+            drop_every: 3,
+        });
         let out = closed_loop(
             t as Arc<dyn InvokerTarget>,
             "f-1",
-            &ClosedLoopConfig { clients: 1, invocations_per_client: 9, warmup_per_client: 0 },
+            &ClosedLoopConfig {
+                clients: 1,
+                invocations_per_client: 9,
+                warmup_per_client: 0,
+            },
         );
         let drops = out.iter().filter(|o| o.dropped).count();
         assert_eq!(drops, 3);
@@ -309,9 +319,15 @@ mod tests {
 
     #[test]
     fn open_loop_paces_arrivals() {
-        let t = Arc::new(FakeTarget { exec_ms: 1, calls: AtomicU64::new(0), drop_every: 0 });
+        let t = Arc::new(FakeTarget {
+            exec_ms: 1,
+            calls: AtomicU64::new(0),
+            drop_every: 0,
+        });
         let runner = OpenLoopRunner::from_events(
-            [(0u64, "a-1"), (30, "a-1"), (60, "a-1")].iter().map(|&(t, f)| (t, f)),
+            [(0u64, "a-1"), (30, "a-1"), (60, "a-1")]
+                .iter()
+                .map(|&(t, f)| (t, f)),
             1.0,
         );
         assert_eq!(runner.len(), 3);
@@ -319,37 +335,53 @@ mod tests {
         let out = runner.run(t as Arc<dyn InvokerTarget>);
         let elapsed = start.elapsed();
         assert_eq!(out.len(), 3);
-        assert!(elapsed >= Duration::from_millis(58), "paced to the schedule");
+        assert!(
+            elapsed >= Duration::from_millis(58),
+            "paced to the schedule"
+        );
         assert!(out[2].sent_at_ms >= 55, "third fired near t=60");
     }
 
     #[test]
     fn open_loop_time_scale_compresses() {
-        let runner = OpenLoopRunner::from_events(
-            [(1000u64, "a-1")].iter().map(|&(t, f)| (t, f)),
-            0.01,
-        );
+        let runner =
+            OpenLoopRunner::from_events([(1000u64, "a-1")].iter().map(|&(t, f)| (t, f)), 0.01);
         assert_eq!(runner.schedule[0].at_ms, 10);
     }
 
     #[test]
     fn open_loop_sorts_schedule() {
         let runner = OpenLoopRunner::new(vec![
-            ScheduledInvocation { at_ms: 50, fqdn: "b-1".into(), args: "{}".into(), tenant: None },
-            ScheduledInvocation { at_ms: 10, fqdn: "a-1".into(), args: "{}".into(), tenant: None },
+            ScheduledInvocation {
+                at_ms: 50,
+                fqdn: "b-1".into(),
+                args: "{}".into(),
+                tenant: None,
+            },
+            ScheduledInvocation {
+                at_ms: 10,
+                fqdn: "a-1".into(),
+                args: "{}".into(),
+                tenant: None,
+            },
         ]);
         assert_eq!(runner.schedule[0].fqdn, "a-1");
     }
 
     #[test]
     fn with_tenants_assigns_weighted_shares() {
-        let runner = OpenLoopRunner::from_events(
-            (0..8u64).map(|t| (t, "f-1")),
-            1.0,
-        )
-        .with_tenants(&[("gold", 3), ("free", 1)]);
-        let gold = runner.schedule.iter().filter(|s| s.tenant.as_deref() == Some("gold")).count();
-        let free = runner.schedule.iter().filter(|s| s.tenant.as_deref() == Some("free")).count();
+        let runner = OpenLoopRunner::from_events((0..8u64).map(|t| (t, "f-1")), 1.0)
+            .with_tenants(&[("gold", 3), ("free", 1)]);
+        let gold = runner
+            .schedule
+            .iter()
+            .filter(|s| s.tenant.as_deref() == Some("gold"))
+            .count();
+        let free = runner
+            .schedule
+            .iter()
+            .filter(|s| s.tenant.as_deref() == Some("free"))
+            .count();
         assert_eq!((gold, free), (6, 2), "3:1 share over 8 invocations");
     }
 
@@ -376,13 +408,20 @@ mod tests {
 
     #[test]
     fn open_loop_fires_under_tenant_labels() {
-        let t = Arc::new(TenantTarget { seen: std::sync::Mutex::new(Vec::new()) });
+        let t = Arc::new(TenantTarget {
+            seen: std::sync::Mutex::new(Vec::new()),
+        });
         let runner = OpenLoopRunner::from_events((0..4u64).map(|i| (i, "f-1")), 1.0)
             .with_tenants(&[("acme", 1)]);
         let out = runner.run(Arc::clone(&t) as Arc<dyn InvokerTarget>);
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|o| o.tenant.as_deref() == Some("acme")));
-        assert!(t.seen.lock().unwrap().iter().all(|s| s.as_deref() == Some("acme")));
+        assert!(t
+            .seen
+            .lock()
+            .unwrap()
+            .iter()
+            .all(|s| s.as_deref() == Some("acme")));
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl LookbusySpec {
     pub fn function_spec(&self, name: &str) -> FunctionSpec {
         FunctionSpec::new(name, "1")
             .with_image(format!("lookbusy/{name}:1"))
-            .with_limits(ResourceLimits { cpus: self.cpus, memory_mb: self.memory_mb })
+            .with_limits(ResourceLimits {
+                cpus: self.cpus,
+                memory_mb: self.memory_mb,
+            })
             .with_timing(self.busy_ms, self.init_ms)
     }
 
@@ -42,7 +45,11 @@ impl LookbusySpec {
                 // Hold the working set while spinning, like lookbusy -m.
                 let held: Vec<u8> = vec![0xAB; mem_bytes.min(8 * 1024 * 1024)];
                 spin_for(busy);
-                format!("{{\"held_mb\":{},\"busy_ms\":{}}}", held.len() >> 20, busy.as_millis())
+                format!(
+                    "{{\"held_mb\":{},\"busy_ms\":{}}}",
+                    held.len() >> 20,
+                    busy.as_millis()
+                )
             }),
         }
     }
@@ -54,7 +61,9 @@ fn spin_for(d: Duration) {
     let mut x = 0u64;
     while start.elapsed() < d {
         for _ in 0..512 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         std::hint::black_box(x);
     }
@@ -66,7 +75,12 @@ mod tests {
 
     #[test]
     fn spec_carries_parameters() {
-        let lb = LookbusySpec { busy_ms: 250, init_ms: 100, memory_mb: 256, cpus: 2.0 };
+        let lb = LookbusySpec {
+            busy_ms: 250,
+            init_ms: 100,
+            memory_mb: 256,
+            cpus: 2.0,
+        };
         let s = lb.function_spec("load-a");
         assert_eq!(s.fqdn, "load-a-1");
         assert_eq!(s.warm_exec_ms, 250);
@@ -77,7 +91,12 @@ mod tests {
 
     #[test]
     fn behavior_burns_cpu_for_duration() {
-        let lb = LookbusySpec { busy_ms: 30, init_ms: 0, memory_mb: 1, cpus: 1.0 };
+        let lb = LookbusySpec {
+            busy_ms: 30,
+            init_ms: 0,
+            memory_mb: 1,
+            cpus: 1.0,
+        };
         let b = lb.behavior();
         let start = Instant::now();
         let out = (b.body)("");
@@ -88,7 +107,12 @@ mod tests {
 
     #[test]
     fn init_spins_separately() {
-        let lb = LookbusySpec { busy_ms: 0, init_ms: 25, memory_mb: 1, cpus: 1.0 };
+        let lb = LookbusySpec {
+            busy_ms: 0,
+            init_ms: 25,
+            memory_mb: 1,
+            cpus: 1.0,
+        };
         let b = lb.behavior();
         let start = Instant::now();
         (b.init)();

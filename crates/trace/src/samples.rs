@@ -29,7 +29,11 @@ impl SampleKind {
     }
 
     pub fn all() -> [SampleKind; 3] {
-        [SampleKind::Representative, SampleKind::Rare, SampleKind::Random]
+        [
+            SampleKind::Representative,
+            SampleKind::Rare,
+            SampleKind::Random,
+        ]
     }
 }
 
@@ -65,8 +69,11 @@ impl TraceSample {
                 // functions that are never reused"). Capped at a third of
                 // the active population so the sample stays genuinely
                 // rare even for small synthetic bases.
-                let active: Vec<usize> =
-                    by_freq.iter().copied().filter(|&i| counts[i] >= 2).collect();
+                let active: Vec<usize> = by_freq
+                    .iter()
+                    .copied()
+                    .filter(|&i| counts[i] >= 2)
+                    .collect();
                 let n = 1000.min((active.len() / 3).max(1));
                 let pool = (n * 3 / 2).min(active.len());
                 let mut rare: Vec<usize> = active[..pool].to_vec();
@@ -76,13 +83,20 @@ impl TraceSample {
             }
             SampleKind::Representative => {
                 // 98 per frequency quartile → 392 functions.
-                let active: Vec<usize> =
-                    by_freq.iter().copied().filter(|&i| counts[i] >= 2).collect();
+                let active: Vec<usize> = by_freq
+                    .iter()
+                    .copied()
+                    .filter(|&i| counts[i] >= 2)
+                    .collect();
                 let q = active.len() / 4;
                 let mut picked = Vec::new();
                 for quartile in 0..4 {
                     let lo = quartile * q;
-                    let hi = if quartile == 3 { active.len() } else { (quartile + 1) * q };
+                    let hi = if quartile == 3 {
+                        active.len()
+                    } else {
+                        (quartile + 1) * q
+                    };
                     let mut slice: Vec<usize> = active[lo..hi].to_vec();
                     slice.shuffle(&mut rng);
                     picked.extend(slice.into_iter().take(98));
@@ -216,7 +230,11 @@ mod tests {
         assert_eq!(a1.trace.events.len(), a2.trace.events.len());
         let d = TraceSample::draw(SampleKind::Random, &b, 10);
         assert_ne!(
-            a1.trace.profiles.iter().map(|p| &p.fqdn).collect::<Vec<_>>(),
+            a1.trace
+                .profiles
+                .iter()
+                .map(|p| &p.fqdn)
+                .collect::<Vec<_>>(),
             d.trace.profiles.iter().map(|p| &p.fqdn).collect::<Vec<_>>(),
             "different seeds draw different samples"
         );

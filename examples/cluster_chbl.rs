@@ -13,23 +13,32 @@ fn make_worker(name: &str) -> Arc<Worker> {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.05, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.05,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: name.into(),
         cores: 8,
         memory_mb: 4 * 1024,
-        concurrency: ConcurrencyConfig { limit: 16, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 16,
+            ..Default::default()
+        },
         ..Default::default()
     };
     Arc::new(Worker::new(cfg, backend, clock))
 }
 
 fn main() {
-    let workers: Vec<Arc<Worker>> =
-        (0..4).map(|i| make_worker(&format!("worker-{i}"))).collect();
-    let handles: Vec<Arc<dyn WorkerHandle>> =
-        workers.iter().map(|w| Arc::clone(w) as Arc<dyn WorkerHandle>).collect();
+    let workers: Vec<Arc<Worker>> = (0..4)
+        .map(|i| make_worker(&format!("worker-{i}")))
+        .collect();
+    let handles: Vec<Arc<dyn WorkerHandle>> = workers
+        .iter()
+        .map(|w| Arc::clone(w) as Arc<dyn WorkerHandle>)
+        .collect();
     let cluster = Cluster::new(handles, LbPolicy::ChBl(ChBlConfig::default()));
 
     // Register 12 functions everywhere.
@@ -55,7 +64,10 @@ fn main() {
             }
         }
     }
-    println!("invocations: {total}, warm: {warm} (locality should give {}+)", total - 12);
+    println!(
+        "invocations: {total}, warm: {warm} (locality should give {}+)",
+        total - 12
+    );
 
     let st = cluster.stats();
     println!("\nper-worker dispatch counts: {:?}", st.dispatched);

@@ -18,16 +18,31 @@ fn main() {
     let backend = Arc::new(InProcessBackend::new(Arc::clone(&netns)));
 
     // Register real function bodies from the FunctionBench models.
-    for app in [FbApp::PyAes, FbApp::MatrixMultiply, FbApp::FloatingPoint, FbApp::WebServing] {
+    for app in [
+        FbApp::PyAes,
+        FbApp::MatrixMultiply,
+        FbApp::FloatingPoint,
+        FbApp::WebServing,
+    ] {
         backend.register_behavior(format!("{}-1", app.name()), app.behavior());
     }
 
     let worker = Worker::new(WorkerConfig::default(), backend, clock);
-    for app in [FbApp::PyAes, FbApp::MatrixMultiply, FbApp::FloatingPoint, FbApp::WebServing] {
+    for app in [
+        FbApp::PyAes,
+        FbApp::MatrixMultiply,
+        FbApp::FloatingPoint,
+        FbApp::WebServing,
+    ] {
         worker.register(app.spec()).unwrap();
     }
 
-    for app in [FbApp::PyAes, FbApp::MatrixMultiply, FbApp::FloatingPoint, FbApp::WebServing] {
+    for app in [
+        FbApp::PyAes,
+        FbApp::MatrixMultiply,
+        FbApp::FloatingPoint,
+        FbApp::WebServing,
+    ] {
         let fqdn = format!("{}-1", app.name());
         let cold = worker.invoke(&fqdn, r#"{"demo":true}"#).unwrap();
         let t = Instant::now();
@@ -57,5 +72,9 @@ fn main() {
         iluvatar_sync::stats::percentile(&overheads, 0.5),
         iluvatar_sync::stats::percentile(&overheads, 0.99),
     );
-    println!("namespaces created: {} (pool misses: {})", netns.created(), netns.pool_misses());
+    println!(
+        "namespaces created: {} (pool misses: {})",
+        netns.created(),
+        netns.pool_misses()
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.1, ..Default::default() }, // 10x compressed
+        SimBackendConfig {
+            time_scale: 0.1,
+            ..Default::default()
+        }, // 10x compressed
     ));
     let worker = Worker::new(WorkerConfig::default(), backend, clock);
 
@@ -22,23 +25,36 @@ fn main() {
             FunctionSpec::new("hello", "1")
                 .with_image("docker.io/examples/hello:1")
                 .with_timing(120, 800) // 120ms warm, +800ms init
-                .with_limits(ResourceLimits { cpus: 1.0, memory_mb: 256 }),
+                .with_limits(ResourceLimits {
+                    cpus: 1.0,
+                    memory_mb: 256,
+                }),
         )
         .expect("registration succeeds");
-    println!("registered {} ({} image layers prepared)", reg.spec.fqdn, reg.image.layers.len());
+    println!(
+        "registered {} ({} image layers prepared)",
+        reg.spec.fqdn,
+        reg.image.layers.len()
+    );
 
     // First invocation: cold start (container create + init).
     let r1 = worker.invoke("hello-1", r#"{"name":"world"}"#).unwrap();
     println!(
         "invocation 1: cold={} exec={}ms e2e={}ms control-plane overhead={}ms",
-        r1.cold, r1.exec_ms, r1.e2e_ms, r1.overhead_ms()
+        r1.cold,
+        r1.exec_ms,
+        r1.e2e_ms,
+        r1.overhead_ms()
     );
 
     // Second invocation: warm start from the keep-alive pool.
     let r2 = worker.invoke("hello-1", r#"{"name":"again"}"#).unwrap();
     println!(
         "invocation 2: cold={} exec={}ms e2e={}ms overhead={}ms",
-        r2.cold, r2.exec_ms, r2.e2e_ms, r2.overhead_ms()
+        r2.cold,
+        r2.exec_ms,
+        r2.e2e_ms,
+        r2.overhead_ms()
     );
     assert!(r1.cold && !r2.cold);
 
@@ -51,7 +67,9 @@ fn main() {
     println!("prewarmed ml-1: cold={} e2e={}ms", r3.cold, r3.e2e_ms);
 
     // Async invocations overlap.
-    let handles: Vec<_> = (0..4).map(|_| worker.async_invoke("hello-1", "{}").unwrap()).collect();
+    let handles: Vec<_> = (0..4)
+        .map(|_| worker.async_invoke("hello-1", "{}").unwrap())
+        .collect();
     for (i, h) in handles.into_iter().enumerate() {
         let r = h.wait().unwrap();
         println!("async {}: warm={} e2e={}ms", i, !r.cold, r.e2e_ms);

@@ -31,14 +31,20 @@ fn main() {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale, ..Default::default() },
+        SimBackendConfig {
+            time_scale,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: "replay".into(),
         cores: 48,
         memory_mb: 8 * 1024,
         keepalive: KeepalivePolicyKind::Gdsf,
-        concurrency: ConcurrencyConfig { limit: 128, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 128,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let worker = Arc::new(Worker::new(cfg, backend, clock));
@@ -48,7 +54,10 @@ fn main() {
             .register(
                 FunctionSpec::new(name, version)
                     .with_timing(p.warm_ms, p.init_ms)
-                    .with_limits(ResourceLimits { cpus: 1.0, memory_mb: p.memory_mb }),
+                    .with_limits(ResourceLimits {
+                        cpus: 1.0,
+                        memory_mb: p.memory_mb,
+                    }),
             )
             .unwrap();
     }
@@ -70,13 +79,22 @@ fn main() {
     let served = out.iter().filter(|o| !o.dropped).count();
     let cold = out.iter().filter(|o| o.cold).count();
     let dropped = out.len() - served;
-    let mut overheads: Vec<f64> =
-        out.iter().filter(|o| !o.dropped).map(|o| o.overhead_ms() as f64).collect();
+    let mut overheads: Vec<f64> = out
+        .iter()
+        .filter(|o| !o.dropped)
+        .map(|o| o.overhead_ms() as f64)
+        .collect();
     overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let p = |q: f64| iluvatar_sync::stats::percentile_of_sorted(&overheads, q);
-    println!("\nserved {served} ({cold} cold, {:.2}% cold ratio), dropped {dropped}",
-        100.0 * cold as f64 / served.max(1) as f64);
-    println!("control-plane overhead: p50 {:.1}ms p99 {:.1}ms", p(0.5), p(0.99));
+    println!(
+        "\nserved {served} ({cold} cold, {:.2}% cold ratio), dropped {dropped}",
+        100.0 * cold as f64 / served.max(1) as f64
+    );
+    println!(
+        "control-plane overhead: p50 {:.1}ms p99 {:.1}ms",
+        p(0.5),
+        p(0.99)
+    );
     let st = worker.pool_stats();
     println!(
         "keep-alive pool: {} idle containers, {}MB used, {} evictions, {} expirations",

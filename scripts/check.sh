@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "=== cargo fmt ==="
+cargo fmt --check
+
 echo "=== cargo build (release) ==="
 cargo build --workspace --release
 
@@ -52,5 +55,20 @@ if [[ "$digest_a" != "$digest_b" ]]; then
     exit 1
 fi
 echo "lifecycle digest stable: $digest_a"
+
+echo "=== autoscale determinism (fixed seed, two runs) ==="
+# The elastic fleet must replay bit-identically: same seed, same scale
+# decisions, same fleet trajectory, same serve totals. The binary itself
+# asserts the burst contract (1 -> >=3 -> 1, zero dropped invocations); a
+# digest mismatch means worker spawn/drain timing leaked into the control
+# loop.
+AUTOSCALE_SEED=42
+digest_a=$(./target/release/autoscale_session --seed "$AUTOSCALE_SEED")
+digest_b=$(./target/release/autoscale_session --seed "$AUTOSCALE_SEED")
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "autoscale digests diverged for seed $AUTOSCALE_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "autoscale digest stable: $digest_a"
 
 echo "all checks passed"

@@ -33,7 +33,9 @@ use iluvatar_sync::{ManualClock, SystemClock};
 use std::sync::Arc;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Minimal splitmix64 so the workload stream is stable across toolchains.
@@ -65,9 +67,12 @@ const TENANTS: [&str; 3] = ["gold", "bronze", "free"];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let invocations: usize =
-        arg_value(&args, "--invocations").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let invocations: usize = arg_value(&args, "--invocations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
     let mut digest = Fnv::new();
 
     // --- 1. DRR drill: seeded pushes, full drain, pop order hashed. -------
@@ -107,7 +112,11 @@ fn main() {
     );
     let mut rng = Rng(seed ^ 0xadee);
     for _ in 0..invocations {
-        let t = if rng.next().is_multiple_of(2) { "paid" } else { "free" };
+        let t = if rng.next().is_multiple_of(2) {
+            "paid"
+        } else {
+            "free"
+        };
         let d = ctl.admit(t, 0);
         digest.eat(format!("{t}:{d:?};").as_bytes());
         clock.advance(rng.next() % 300);
@@ -116,8 +125,11 @@ fn main() {
     admission_snap.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     for s in &admission_snap {
         digest.eat(
-            format!("{}:{}:{}:{}:{};", s.tenant, s.admitted, s.throttled, s.shed, s.served)
-                .as_bytes(),
+            format!(
+                "{}:{}:{}:{}:{};",
+                s.tenant, s.admitted, s.throttled, s.shed, s.served
+            )
+            .as_bytes(),
         );
     }
 
@@ -125,7 +137,10 @@ fn main() {
     let wall = SystemClock::shared();
     let sim = Arc::new(SimBackend::new(
         Arc::clone(&wall),
-        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
     ));
     let mut cfg = WorkerConfig::for_testing();
     cfg.queue.policy = iluvatar_core::QueuePolicyKind::Drr;
@@ -134,18 +149,25 @@ fn main() {
         TenantSpec::new("bronze").with_weight(1.0),
     ]);
     let mut worker = Worker::new(cfg, sim, wall);
-    worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).expect("register");
+    worker
+        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .expect("register");
     let mut rng = Rng(seed ^ 0x3057);
     for i in 0..invocations {
         let t = if rng.next() % 4 < 3 { "gold" } else { "bronze" };
-        worker.invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(t)).expect("invoke");
+        worker
+            .invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(t))
+            .expect("invoke");
     }
     let mut tstats = worker.tenant_stats();
     tstats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     for t in &tstats {
         digest.eat(
-            format!("{}:{}:{}:{}:{};", t.tenant, t.admitted, t.throttled, t.shed, t.served)
-                .as_bytes(),
+            format!(
+                "{}:{}:{}:{}:{};",
+                t.tenant, t.admitted, t.throttled, t.shed, t.served
+            )
+            .as_bytes(),
         );
     }
 
@@ -161,7 +183,10 @@ fn main() {
         );
     }
     for t in &tstats {
-        eprintln!("  worker {}: admitted={} served={}", t.tenant, t.admitted, t.served);
+        eprintln!(
+            "  worker {}: admitted={} served={}",
+            t.tenant, t.admitted, t.served
+        );
     }
     worker.shutdown();
     println!("{:016x}", digest.0);

@@ -1,0 +1,238 @@
+//! Elastic-fleet session: ride a seeded burst and prove the scaling run
+//! replays bit-identically.
+//!
+//! The session drives a real [`Fleet`] — live in-process workers behind
+//! the cluster, spawn + spec replay + HalfOpen admission on the way up,
+//! graceful drain + detach on the way down — with the control loop
+//! evaluated on a *synthetic, seeded* observation stream: a quiet → burst
+//! → quiet arrival profile run through a fluid backlog model. Time is the
+//! tick index, never a wall clock, so the policy's decision sequence is a
+//! pure function of the seed; worker spawn/drain timing cannot leak in.
+//!
+//! ```text
+//! autoscale_session [--seed n] [--policy name] [--ticks n] [--time-scale f]
+//! ```
+//!
+//! Stdout carries exactly one line — the hex digest of the scale-event
+//! sequence, the fleet-size trajectory, and the invocation totals. The
+//! human-readable run summary goes to stderr. `check.sh` runs this twice
+//! with the same seed and diffs stdout.
+
+use iluvatar_autoscale::{AutoscaleConfig, FleetObservation, ScalingPolicyKind};
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_core::{Worker, WorkerConfig};
+use iluvatar_lb::cluster::WorkerHandle;
+use iluvatar_lb::{BreakerConfig, Cluster, Fleet, LbPolicy};
+use iluvatar_sync::SystemClock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fold(digest: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let ticks: u64 = arg_value(&args, "--ticks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let policy_name =
+        arg_value(&args, "--policy").unwrap_or_else(|| "reactive-queue-delay".to_string());
+    let policy = ScalingPolicyKind::all()
+        .into_iter()
+        .find(|k| k.name() == policy_name)
+        .unwrap_or_else(|| panic!("unknown policy {policy_name:?}"));
+
+    let mut cfg = AutoscaleConfig::enabled_with(policy);
+    cfg.min_workers = 1;
+    cfg.max_workers = 6;
+    cfg.interval_ms = 500;
+    cfg.scale_up_cooldown_ms = 500;
+    cfg.scale_down_cooldown_ms = 2_000;
+    cfg.max_step = 2;
+    let interval_ms = cfg.interval_ms;
+
+    // Real in-process workers over the simulated backend; the factory is
+    // the same shape a distributed deployment would use to spawn nodes.
+    let clock = SystemClock::shared();
+    let mk_worker = {
+        let clock = Arc::clone(&clock);
+        move |name: String| -> Arc<dyn WorkerHandle> {
+            let backend = Arc::new(SimBackend::new(
+                Arc::clone(&clock),
+                SimBackendConfig {
+                    time_scale,
+                    ..Default::default()
+                },
+            ));
+            let mut wcfg = WorkerConfig::for_testing();
+            wcfg.name = name;
+            Arc::new(Worker::new(wcfg, backend, Arc::clone(&clock)))
+        }
+    };
+    let seed_worker = mk_worker("w0".to_string());
+    let cluster = Arc::new(Cluster::with_capacity(
+        vec![seed_worker],
+        LbPolicy::ChBl(Default::default()),
+        BreakerConfig::default(),
+        cfg.max_workers,
+    ));
+    let factory = {
+        let mk_worker = mk_worker.clone();
+        move |seq: usize| Ok(mk_worker(format!("elastic-{seq}")))
+    };
+    let fleet = Fleet::new(Arc::clone(&cluster), Box::new(factory), cfg);
+
+    let specs: Vec<FunctionSpec> = (0..4)
+        .map(|i| FunctionSpec::new(format!("f{i}"), "1").with_timing(100, 400))
+        .collect();
+    for s in &specs {
+        cluster.register_all(s.clone()).expect("register");
+        fleet.remember_spec(s.clone());
+    }
+
+    // Seeded quiet → burst → quiet arrival profile, and a fluid backlog
+    // model converting arrivals to the queue-delay signal: each worker
+    // serves `service_per_tick` invocations per interval; backlog beyond
+    // that waits, delay = backlog / fleet service rate.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let service_per_tick = 10.0f64;
+    let burst_start = ticks / 4;
+    let burst_end = ticks / 2;
+    let mut backlog = 0.0f64;
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    fold(
+        &mut digest,
+        &format!("policy={};seed={seed};ticks={ticks};", policy.name()),
+    );
+    let mut invoked = 0u64;
+    let mut invoke_errors = 0u64;
+    let mut peak_live = 0usize;
+
+    for tick in 0..ticks {
+        let t_ms = tick * interval_ms;
+        let base = if (burst_start..burst_end).contains(&tick) {
+            55.0
+        } else {
+            2.0
+        };
+        let jitter: f64 = rng.gen_range(0.0..5.0);
+        let arrivals = (base + jitter).round() as u64;
+
+        // Drive a few real invocations through the elastic cluster each
+        // tick (synchronous, so their completion order cannot race the
+        // digest): the fleet being scaled is actually serving traffic.
+        for i in 0..arrivals.min(6) {
+            let fqdn = format!("f{}-1", (tick + i) % 4);
+            fleet.note_arrival(&fqdn);
+            match cluster.invoke(&fqdn, "{}") {
+                Ok(_) => invoked += 1,
+                Err(_) => invoke_errors += 1,
+            }
+        }
+
+        let live = fleet.live().max(1);
+        let capacity = live as f64 * service_per_tick;
+        backlog = (backlog + arrivals as f64 - capacity).max(0.0);
+        let delay_ms = backlog / capacity * interval_ms as f64;
+        let per_fn: Vec<(String, u64)> = (0..4)
+            .map(|i| {
+                (
+                    format!("f{i}-1"),
+                    arrivals / 4 + u64::from(i < (arrivals % 4) as usize),
+                )
+            })
+            .collect();
+        let obs = FleetObservation {
+            now_ms: t_ms,
+            live,
+            draining: fleet.draining(),
+            queued: backlog.round() as u64,
+            running: capacity.min(backlog + arrivals as f64).round() as u64,
+            mean_queue_delay_ms: delay_ms,
+            max_queue_delay_ms: delay_ms as u64,
+            concurrency_limit: 8,
+            arrivals,
+            per_fn_arrivals: per_fn,
+        };
+
+        fleet.reap();
+        let decision = fleet.evaluate(&obs);
+        fleet.apply(&decision, t_ms).expect("apply decision");
+        let live_now = fleet.live();
+        peak_live = peak_live.max(live_now);
+        fold(&mut digest, &format!("t{t_ms}:live={live_now};"));
+    }
+    // Let the tail of draining workers retire.
+    loop {
+        fleet.reap();
+        if fleet.draining() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let events = fleet.events();
+    for e in &events {
+        fold(
+            &mut digest,
+            &format!(
+                "e:{}:{}:{}:{}->{};",
+                e.t_ms,
+                e.direction.label(),
+                e.reason,
+                e.from,
+                e.to
+            ),
+        );
+    }
+    fold(
+        &mut digest,
+        &format!("invoked={invoked};errors={invoke_errors};"),
+    );
+
+    // The elastic contract, asserted on every run: the burst grows the
+    // fleet (1 → ≥3), the quiet tail shrinks it back to the floor, and
+    // scale-down never costs an invocation.
+    assert!(
+        peak_live >= 3,
+        "burst must grow the fleet, peak {peak_live}"
+    );
+    assert_eq!(fleet.live(), 1, "quiet tail must return to min_workers");
+    assert_eq!(invoke_errors, 0, "elasticity must not drop invocations");
+
+    eprintln!(
+        "seed={seed} policy={} ticks={ticks}: peak_live={peak_live} events={} stopped={} invoked={invoked} errors={invoke_errors}",
+        policy.name(),
+        events.len(),
+        fleet.stopped(),
+    );
+    for e in &events {
+        eprintln!(
+            "  t={}ms {} ({}) {} -> {}",
+            e.t_ms,
+            e.direction.label(),
+            e.reason,
+            e.from,
+            e.to
+        );
+    }
+    println!("{digest:016x}");
+}

@@ -23,21 +23,30 @@ use iluvatar_sync::SystemClock;
 use std::sync::Arc;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let invocations: usize =
-        arg_value(&args, "--invocations").and_then(|v| v.parse().ok()).unwrap_or(30);
-    let time_scale: f64 =
-        arg_value(&args, "--time-scale").and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let invocations: usize = arg_value(&args, "--invocations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
 
     let clock = SystemClock::shared();
     let sim = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale, ..Default::default() },
+        SimBackendConfig {
+            time_scale,
+            ..Default::default()
+        },
     ));
     let faults = FaultPlanConfig {
         seed,
@@ -64,14 +73,23 @@ fn main() {
         ]),
         ..WorkerConfig::for_testing()
     };
-    let mut worker =
-        Worker::new(cfg, Arc::clone(&injector) as Arc<dyn ContainerBackend>, clock);
-    worker.register(FunctionSpec::new("f", "1").with_timing(100, 400)).expect("register");
+    let mut worker = Worker::new(
+        cfg,
+        Arc::clone(&injector) as Arc<dyn ContainerBackend>,
+        clock,
+    );
+    worker
+        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .expect("register");
 
     let mut ids = Vec::with_capacity(invocations);
     let mut failed = 0usize;
     for i in 0..invocations {
-        let tenant = if i.is_multiple_of(2) { "chaos-a" } else { "chaos-b" };
+        let tenant = if i.is_multiple_of(2) {
+            "chaos-a"
+        } else {
+            "chaos-b"
+        };
         match worker.invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant)) {
             Ok(r) => ids.push(r.trace_id),
             // Retry-exhausted failures are part of the timeline too.
@@ -99,8 +117,11 @@ fn main() {
     let mut tstats = worker.tenant_stats();
     tstats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     for t in &tstats {
-        for b in format!("{}:{}:{}:{}:{};", t.tenant, t.admitted, t.throttled, t.shed, t.served)
-            .bytes()
+        for b in format!(
+            "{}:{}:{}:{}:{};",
+            t.tenant, t.admitted, t.throttled, t.shed, t.served
+        )
+        .bytes()
         {
             digest ^= b as u64;
             digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
@@ -121,7 +142,10 @@ fn main() {
         st.retries, st.agent_timeouts, st.quarantined, st.dropped_retry_exhausted
     );
     for t in &tstats {
-        eprintln!("  tenant {}: admitted={} served={}", t.tenant, t.admitted, t.served);
+        eprintln!(
+            "  tenant {}: admitted={} served={}",
+            t.tenant, t.admitted, t.served
+        );
     }
     worker.shutdown();
     println!("{digest:016x}");

@@ -20,15 +20,17 @@ use iluvatar_core::ContainerBackend;
 use std::sync::Arc;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let cfg = match arg_value(&args, "--config") {
         Some(path) => {
-            let json = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            let json =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
             WorkerConfig::from_json(&json).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
         }
         None => WorkerConfig::default(),
@@ -53,7 +55,10 @@ fn main() {
         }
         "sim" => Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale, ..Default::default() },
+            SimBackendConfig {
+                time_scale,
+                ..Default::default()
+            },
         )),
         other => panic!("unknown backend {other:?}; use sim or inprocess"),
     };
@@ -69,7 +74,10 @@ fn main() {
     if let Some(path) = arg_value(&args, "--port-file") {
         std::fs::write(&path, api.addr().to_string()).expect("write port file");
     }
-    eprintln!("worker {name} serving on {} (backend: {backend_kind})", api.addr());
+    eprintln!(
+        "worker {name} serving on {} (backend: {backend_kind})",
+        api.addr()
+    );
 
     // Serve until killed.
     loop {

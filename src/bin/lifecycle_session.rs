@@ -22,14 +22,14 @@
 use iluvatar_chaos::{sites, FaultPlan, FaultPlanConfig, FaultSpec};
 use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
 use iluvatar_containers::{ContainerBackend, FunctionSpec};
-use iluvatar_core::{
-    AdmissionConfig, LifecycleConfig, TenantSpec, Worker, WorkerConfig,
-};
+use iluvatar_core::{AdmissionConfig, LifecycleConfig, TenantSpec, Worker, WorkerConfig};
 use iluvatar_sync::SystemClock;
 use std::sync::Arc;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn fold(digest: &mut u64, s: &str) {
@@ -41,12 +41,18 @@ fn fold(digest: &mut u64, s: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let kill_at: u64 = arg_value(&args, "--kill-at").and_then(|v| v.parse().ok()).unwrap_or(12);
-    let invocations: u64 =
-        arg_value(&args, "--invocations").and_then(|v| v.parse().ok()).unwrap_or(24);
-    let time_scale: f64 =
-        arg_value(&args, "--time-scale").and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let kill_at: u64 = arg_value(&args, "--kill-at")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let invocations: u64 = arg_value(&args, "--invocations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
 
     // A fresh per-process WAL; the digest never depends on the path.
     let wal_dir = std::env::temp_dir().join(format!("iluvatar-lifecycle-{}", std::process::id()));
@@ -58,7 +64,10 @@ fn main() {
     let clock = SystemClock::shared();
     let spec = FunctionSpec::new("f", "1").with_timing(100, 400);
     let mk_cfg = || WorkerConfig {
-        lifecycle: LifecycleConfig { snapshot_every: 8, ..LifecycleConfig::with_wal(&wal_path) },
+        lifecycle: LifecycleConfig {
+            snapshot_every: 8,
+            ..LifecycleConfig::with_wal(&wal_path)
+        },
         admission: AdmissionConfig::enabled_with(vec![
             TenantSpec::new("lc-a"),
             TenantSpec::new("lc-b"),
@@ -68,7 +77,10 @@ fn main() {
     let mk_backend = || -> Arc<dyn ContainerBackend> {
         Arc::new(SimBackend::new(
             Arc::clone(&clock),
-            SimBackendConfig { time_scale, ..Default::default() },
+            SimBackendConfig {
+                time_scale,
+                ..Default::default()
+            },
         ))
     };
 
@@ -149,10 +161,19 @@ fn main() {
     for t in &tstats {
         fold(
             &mut digest,
-            &format!("{}:{}:{}:{}:{};", t.tenant, t.admitted, t.throttled, t.shed, t.served),
+            &format!(
+                "{}:{}:{}:{}:{};",
+                t.tenant, t.admitted, t.throttled, t.shed, t.served
+            ),
         );
     }
-    fold(&mut digest, &format!("completed={};dropped={};failed={};", st.completed, st.dropped, st.failed));
+    fold(
+        &mut digest,
+        &format!(
+            "completed={};dropped={};failed={};",
+            st.completed, st.dropped, st.failed
+        ),
+    );
 
     eprintln!(
         "seed={seed} kill_at={kill_at} invocations={invocations} accepted={} rejected_after_kill={rejected_after_kill}",
@@ -162,9 +183,15 @@ fn main() {
         "  recovery: replayed={} records_read={} torn_lines={} max_trace_id={}",
         report.replayed, report.records_read, report.torn_lines, report.max_trace_id
     );
-    eprintln!("  post-recovery: completed={} dropped={} failed={}", st.completed, st.dropped, st.failed);
+    eprintln!(
+        "  post-recovery: completed={} dropped={} failed={}",
+        st.completed, st.dropped, st.failed
+    );
     for t in &tstats {
-        eprintln!("  tenant {}: admitted={} served={}", t.tenant, t.admitted, t.served);
+        eprintln!(
+            "  tenant {}: admitted={} served={}",
+            t.tenant, t.admitted, t.served
+        );
     }
 
     drop(recovered);

@@ -16,6 +16,7 @@
 //! println!("cold={} e2e={}ms overhead={}ms", result.cold, result.e2e_ms, result.overhead_ms());
 //! ```
 
+pub use iluvatar_autoscale as autoscale;
 pub use iluvatar_baseline as baseline;
 pub use iluvatar_chaos as chaos;
 pub use iluvatar_containers as containers;

@@ -20,13 +20,19 @@ fn iluvatar_overhead_far_below_openwhisk() {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 1.0, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 1.0,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: "cmp".into(),
         cores: 8,
         memory_mb: 8 * 1024,
-        concurrency: ConcurrencyConfig { limit: 16, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 16,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let worker = Arc::new(Worker::new(cfg, backend, clock));
@@ -37,7 +43,11 @@ fn iluvatar_overhead_far_below_openwhisk() {
     let ilu = closed_loop(
         Arc::new(WorkerTarget(Arc::clone(&worker))) as Arc<dyn InvokerTarget>,
         "pyaes-1",
-        &ClosedLoopConfig { clients: 4, invocations_per_client: 25, warmup_per_client: 3 },
+        &ClosedLoopConfig {
+            clients: 4,
+            invocations_per_client: 25,
+            warmup_per_client: 3,
+        },
     );
     let ilu_over: Vec<f64> = ilu
         .iter()
@@ -47,7 +57,11 @@ fn iluvatar_overhead_far_below_openwhisk() {
 
     // OpenWhisk model, same conditions.
     let ow = Arc::new(OpenWhiskModel::new(
-        OpenWhiskConfig { cores: 8, invoker_slots: 16, ..Default::default() },
+        OpenWhiskConfig {
+            cores: 8,
+            invoker_slots: 16,
+            ..Default::default()
+        },
         SystemClock::shared(),
     ));
     ow.register(spec);
@@ -57,7 +71,11 @@ fn iluvatar_overhead_far_below_openwhisk() {
     let oww = closed_loop(
         Arc::new(OpenWhiskTarget(Arc::clone(&ow))) as Arc<dyn InvokerTarget>,
         "pyaes-1",
-        &ClosedLoopConfig { clients: 4, invocations_per_client: 25, warmup_per_client: 3 },
+        &ClosedLoopConfig {
+            clients: 4,
+            invocations_per_client: 25,
+            warmup_per_client: 3,
+        },
     );
     let ow_over: Vec<f64> = oww
         .iter()
@@ -100,7 +118,10 @@ fn openwhisk_ttl_loses_rare_functions_iluvatar_gd_keeps_them() {
     let mk = |policy| {
         let evs: Vec<iluvatar_trace::azure::TraceEvent> = events
             .iter()
-            .map(|&(t, f)| iluvatar_trace::azure::TraceEvent { time_ms: t, func: f })
+            .map(|&(t, f)| iluvatar_trace::azure::TraceEvent {
+                time_ms: t,
+                func: f,
+            })
             .collect();
         KeepaliveSim::run(vec![profile.clone()], &evs, SimConfig::new(policy, 4_096))
     };

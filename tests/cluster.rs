@@ -9,13 +9,19 @@ fn worker(name: &str, memory_mb: u64) -> Arc<Worker> {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: name.into(),
         cores: 4,
         memory_mb,
-        concurrency: ConcurrencyConfig { limit: 8, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 8,
+            ..Default::default()
+        },
         ..WorkerConfig::for_testing()
     };
     Arc::new(Worker::new(cfg, backend, clock))
@@ -23,8 +29,10 @@ fn worker(name: &str, memory_mb: u64) -> Arc<Worker> {
 
 fn cluster_of(n: usize, policy: LbPolicy) -> (Vec<Arc<Worker>>, Cluster) {
     let workers: Vec<Arc<Worker>> = (0..n).map(|i| worker(&format!("w{i}"), 2048)).collect();
-    let handles: Vec<Arc<dyn WorkerHandle>> =
-        workers.iter().map(|w| Arc::clone(w) as Arc<dyn WorkerHandle>).collect();
+    let handles: Vec<Arc<dyn WorkerHandle>> = workers
+        .iter()
+        .map(|w| Arc::clone(w) as Arc<dyn WorkerHandle>)
+        .collect();
     (workers, Cluster::new(handles, policy))
 }
 
@@ -46,7 +54,10 @@ fn chbl_locality_maximizes_warm_starts() {
             }
         }
     }
-    assert_eq!(cold, 6, "exactly one cold start per function — perfect locality");
+    assert_eq!(
+        cold, 6,
+        "exactly one cold start per function — perfect locality"
+    );
     // Every function's invocations landed on a single worker.
     let total: u64 = workers.iter().map(|w| w.status().completed).sum();
     assert_eq!(total, 24);
@@ -100,8 +111,10 @@ fn chbl_forwards_under_load_imbalance() {
 #[test]
 fn least_loaded_balances_closed_loop() {
     let workers: Vec<Arc<Worker>> = (0..2).map(|i| worker(&format!("ll{i}"), 2048)).collect();
-    let handles: Vec<Arc<dyn WorkerHandle>> =
-        workers.iter().map(|w| Arc::clone(w) as Arc<dyn WorkerHandle>).collect();
+    let handles: Vec<Arc<dyn WorkerHandle>> = workers
+        .iter()
+        .map(|w| Arc::clone(w) as Arc<dyn WorkerHandle>)
+        .collect();
     let cluster = Arc::new(Cluster::new(handles, LbPolicy::LeastLoaded));
     cluster
         .register_all(FunctionSpec::new("f", "1").with_timing(100, 100))
@@ -122,5 +135,9 @@ fn least_loaded_balances_closed_loop() {
     let st = cluster.stats();
     assert_eq!(st.dispatched.iter().sum::<u64>(), 40);
     // Both workers should participate under concurrent least-loaded.
-    assert!(st.dispatched.iter().all(|&d| d > 0), "dispatched={:?}", st.dispatched);
+    assert!(
+        st.dispatched.iter().all(|&d| d > 0),
+        "dispatched={:?}",
+        st.dispatched
+    );
 }

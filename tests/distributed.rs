@@ -11,13 +11,19 @@ fn http_worker(name: &str) -> (Arc<Worker>, WorkerApi) {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: name.into(),
         cores: 4,
         memory_mb: 2048,
-        concurrency: ConcurrencyConfig { limit: 8, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 8,
+            ..Default::default()
+        },
         ..WorkerConfig::for_testing()
     };
     let worker = Arc::new(Worker::new(cfg, backend, clock));

@@ -11,7 +11,10 @@ fn sim_worker(mut cfg: WorkerConfig) -> Worker {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: 0.02, ..Default::default() },
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
     ));
     Worker::new(cfg, backend, clock)
 }
@@ -32,7 +35,10 @@ fn inprocess_worker() -> (Arc<iluvatar_containers::InProcessBackend>, Worker) {
 #[test]
 fn real_agent_full_lifecycle() {
     let (backend, worker) = inprocess_worker();
-    backend.register_behavior("echo-1", FunctionBehavior::from_body(|args| format!("[{args}]")));
+    backend.register_behavior(
+        "echo-1",
+        FunctionBehavior::from_body(|args| format!("[{args}]")),
+    );
     worker.register(FunctionSpec::new("echo", "1")).unwrap();
 
     let r1 = worker.invoke("echo-1", "42").unwrap();
@@ -57,12 +63,12 @@ fn real_agents_concurrent_functions() {
             format!("f{i}-1"),
             FunctionBehavior::from_body(move |_| tag.clone()),
         );
-        worker.register(FunctionSpec::new(format!("f{i}"), "1")).unwrap();
+        worker
+            .register(FunctionSpec::new(format!("f{i}"), "1"))
+            .unwrap();
     }
     let handles: Vec<_> = (0..4)
-        .flat_map(|i| {
-            (0..3).map(move |_| i).collect::<Vec<_>>()
-        })
+        .flat_map(|i| (0..3).map(move |_| i).collect::<Vec<_>>())
         .map(|i| (i, worker.async_invoke(&format!("f{i}-1"), "{}").unwrap()))
         .collect();
     for (i, h) in handles {
@@ -79,7 +85,12 @@ fn functionbench_behaviors_run_on_real_agents() {
         backend.register_behavior(format!("{}-1", app.name()), app.behavior());
         worker.register(app.spec()).unwrap();
         let r = worker.invoke(&format!("{}-1", app.name()), "{}").unwrap();
-        assert!(r.body.starts_with('{'), "{} returned {}", app.name(), r.body);
+        assert!(
+            r.body.starts_with('{'),
+            "{} returned {}",
+            app.name(),
+            r.body
+        );
     }
 }
 
@@ -94,19 +105,28 @@ fn keepalive_policy_changes_eviction_order_end_to_end() {
     w.register(
         FunctionSpec::new("dear", "1")
             .with_timing(50, 5_000)
-            .with_limits(ResourceLimits { cpus: 1.0, memory_mb: 128 }),
+            .with_limits(ResourceLimits {
+                cpus: 1.0,
+                memory_mb: 128,
+            }),
     )
     .unwrap();
     w.register(
         FunctionSpec::new("cheap", "1")
             .with_timing(50, 10)
-            .with_limits(ResourceLimits { cpus: 1.0, memory_mb: 128 }),
+            .with_limits(ResourceLimits {
+                cpus: 1.0,
+                memory_mb: 128,
+            }),
     )
     .unwrap();
     w.register(
         FunctionSpec::new("third", "1")
             .with_timing(50, 10)
-            .with_limits(ResourceLimits { cpus: 1.0, memory_mb: 128 }),
+            .with_limits(ResourceLimits {
+                cpus: 1.0,
+                memory_mb: 128,
+            }),
     )
     .unwrap();
     w.invoke("dear-1", "{}").unwrap();
@@ -125,9 +145,13 @@ fn keepalive_policy_changes_eviction_order_end_to_end() {
 fn queue_backpressure_and_recovery() {
     let mut cfg = WorkerConfig::for_testing();
     cfg.queue.max_len = 2;
-    cfg.concurrency = ConcurrencyConfig { limit: 1, ..Default::default() };
+    cfg.concurrency = ConcurrencyConfig {
+        limit: 1,
+        ..Default::default()
+    };
     let w = sim_worker(cfg);
-    w.register(FunctionSpec::new("slow", "1").with_timing(2_000, 0)).unwrap();
+    w.register(FunctionSpec::new("slow", "1").with_timing(2_000, 0))
+        .unwrap();
     let mut accepted = Vec::new();
     let mut rejected = 0;
     for _ in 0..10 {
@@ -150,6 +174,7 @@ fn worker_config_json_drives_behavior() {
     let json = WorkerConfig::for_testing().to_json();
     let cfg = WorkerConfig::from_json(&json).unwrap();
     let w = sim_worker(cfg);
-    w.register(FunctionSpec::new("f", "1").with_timing(10, 10)).unwrap();
+    w.register(FunctionSpec::new("f", "1").with_timing(10, 10))
+        .unwrap();
     assert!(w.invoke("f-1", "{}").is_ok());
 }

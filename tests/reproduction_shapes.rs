@@ -91,7 +91,10 @@ fn cold_ratio_improves_with_cache() {
             SimConfig::new(KeepalivePolicyKind::Lru, gb * 1024),
         );
         let r = out.cold_ratio();
-        assert!(r <= last + 0.02, "LRU cold ratio rose with cache: {r} at {gb}GB");
+        assert!(
+            r <= last + 0.02,
+            "LRU cold ratio rose with cache: {r} at {gb}GB"
+        );
         last = r;
     }
 }

@@ -33,7 +33,10 @@ fn workload() -> (Vec<FunctionProfile>, Vec<TraceEvent>) {
     for (i, p) in profiles.iter().enumerate() {
         let mut t = 0u64;
         while t < duration {
-            events.push(TraceEvent { time_ms: t, func: i as u32 });
+            events.push(TraceEvent {
+                time_ms: t,
+                func: i as u32,
+            });
             t += p.mean_iat_ms as u64;
         }
     }
@@ -57,14 +60,20 @@ fn des_and_live_worker_agree_on_cold_starts() {
     let clock = SystemClock::shared();
     let backend = Arc::new(SimBackend::new(
         Arc::clone(&clock),
-        SimBackendConfig { time_scale: scale, ..Default::default() },
+        SimBackendConfig {
+            time_scale: scale,
+            ..Default::default()
+        },
     ));
     let cfg = WorkerConfig {
         name: "fidelity".into(),
         cores: 16,
         memory_mb: 16 * 1024,
         keepalive: KeepalivePolicyKind::Gdsf,
-        concurrency: ConcurrencyConfig { limit: 32, ..Default::default() },
+        concurrency: ConcurrencyConfig {
+            limit: 32,
+            ..Default::default()
+        },
         ..WorkerConfig::for_testing()
     };
     let worker = Arc::new(Worker::new(cfg, backend, clock));
@@ -74,7 +83,10 @@ fn des_and_live_worker_agree_on_cold_starts() {
             .register(
                 FunctionSpec::new(name, "1")
                     .with_timing(p.warm_ms, p.init_ms)
-                    .with_limits(ResourceLimits { cpus: 1.0, memory_mb: p.memory_mb }),
+                    .with_limits(ResourceLimits {
+                        cpus: 1.0,
+                        memory_mb: p.memory_mb,
+                    }),
             )
             .unwrap();
     }
@@ -126,7 +138,10 @@ fn reuse_distance_curve_predicts_lru_simulation() {
     let mut events = Vec::new();
     for r in 0..20u64 {
         for f in 0..6u32 {
-            events.push(TraceEvent { time_ms: (r * 6 + f as u64) * 1_000, func: f });
+            events.push(TraceEvent {
+                time_ms: (r * 6 + f as u64) * 1_000,
+                func: f,
+            });
         }
     }
     let reuse = iluvatar_sim::ReuseAnalysis::compute(&profiles, &events);

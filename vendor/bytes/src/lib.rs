@@ -16,11 +16,15 @@ pub struct Bytes {
 
 impl Bytes {
     pub fn new() -> Self {
-        Self { data: Arc::new(Vec::new()) }
+        Self {
+            data: Arc::new(Vec::new()),
+        }
     }
 
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Self { data: Arc::new(src.to_vec()) }
+        Self {
+            data: Arc::new(src.to_vec()),
+        }
     }
 
     pub fn from_static(src: &'static [u8]) -> Self {
@@ -81,7 +85,9 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
-        Self { data: Arc::new(s.into_bytes()) }
+        Self {
+            data: Arc::new(s.into_bytes()),
+        }
     }
 }
 
@@ -99,7 +105,9 @@ impl From<&'static [u8]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        Self { data: Arc::new(b.into_vec()) }
+        Self {
+            data: Arc::new(b.into_vec()),
+        }
     }
 }
 
@@ -136,7 +144,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        Self { data: Vec::with_capacity(cap) }
+        Self {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -156,7 +166,9 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes { data: Arc::new(self.data) }
+        Bytes {
+            data: Arc::new(self.data),
+        }
     }
 }
 

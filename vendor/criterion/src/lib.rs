@@ -30,7 +30,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(iters: u64) -> Self {
-        Self { iters, total: Duration::ZERO }
+        Self {
+            iters,
+            total: Duration::ZERO,
+        }
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
@@ -86,7 +89,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), iters: self.iters, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
     }
 
     pub fn configure_from_args(self) -> Self {

@@ -127,13 +127,20 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.senders.fetch_add(1, Ordering::SeqCst);
-            Self { shared: Arc::clone(&self.shared) }
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -150,7 +157,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-            Self { shared: Arc::clone(&self.shared) }
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -188,11 +197,19 @@ pub mod channel {
         }
 
         pub fn is_empty(&self) -> bool {
-            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty()
         }
 
         pub fn len(&self) -> usize {
-            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
         }
     }
 
@@ -208,7 +225,11 @@ pub mod channel {
                 if self.shared.disconnected_tx() {
                     return Err(RecvError);
                 }
-                q = self.shared.recv_cv.wait(q).unwrap_or_else(|p| p.into_inner());
+                q = self
+                    .shared
+                    .recv_cv
+                    .wait(q)
+                    .unwrap_or_else(|p| p.into_inner());
             }
         }
 
@@ -252,11 +273,19 @@ pub mod channel {
         }
 
         pub fn is_empty(&self) -> bool {
-            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty()
         }
 
         pub fn len(&self) -> usize {
-            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
         }
 
         /// Blocking iterator draining the channel until disconnection.

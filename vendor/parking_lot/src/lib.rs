@@ -16,7 +16,9 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -39,9 +41,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: Some(p.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -107,7 +109,9 @@ pub struct Condvar {
 
 impl Condvar {
     pub const fn new() -> Self {
-        Self { inner: std::sync::Condvar::new() }
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
@@ -133,7 +137,9 @@ impl Condvar {
             }
         };
         guard.inner = Some(g);
-        WaitTimeoutResult { timed_out: res.timed_out() }
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     pub fn notify_one(&self) {
@@ -161,7 +167,9 @@ pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::RwLock::new(value) }
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {

@@ -42,7 +42,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
             z ^ (z >> 31)
         };
-        Self { s: [next(), next(), next(), next()] }
+        Self {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -258,7 +260,9 @@ pub struct Any<T> {
 }
 
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {
@@ -405,7 +409,11 @@ fn parse_pattern(pat: &str) -> Pattern {
         };
         // Optional {m} / {m,n} repetition.
         let (min, max) = if chars.get(i) == Some(&'{') {
-            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {} in pattern") + i;
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed {} in pattern")
+                + i;
             let body: String = chars[i + 1..close].iter().collect();
             i = close + 1;
             match body.split_once(',') {
@@ -581,7 +589,10 @@ mod tests {
             assert!(p.starts_with('/') && p.len() <= 31);
 
             let h = crate::Strategy::generate(&"[ -~&&[^:]]{0,30}", &mut rng);
-            assert!(h.chars().all(|c| (' '..='~').contains(&c) && c != ':'), "{h:?}");
+            assert!(
+                h.chars().all(|c| (' '..='~').contains(&c) && c != ':'),
+                "{h:?}"
+            );
 
             let d = crate::Strategy::generate(&"[a-zA-Z][a-zA-Z-]{0,15}", &mut rng);
             assert!(d.chars().next().unwrap().is_ascii_alphabetic());

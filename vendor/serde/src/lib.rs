@@ -60,11 +60,15 @@ pub struct DeError {
 
 impl DeError {
     pub fn custom(msg: impl fmt::Display) -> Self {
-        Self { msg: msg.to_string() }
+        Self {
+            msg: msg.to_string(),
+        }
     }
 
     pub fn missing_field(field: &str, ty: &str) -> Self {
-        Self { msg: format!("missing field `{field}` in `{ty}`") }
+        Self {
+            msg: format!("missing field `{field}` in `{ty}`"),
+        }
     }
 
     pub fn unexpected(expected: &str, got: &Value) -> Self {
@@ -77,7 +81,9 @@ impl DeError {
             Value::Arr(_) => "array",
             Value::Obj(_) => "object",
         };
-        Self { msg: format!("expected {expected}, got {kind}") }
+        Self {
+            msg: format!("expected {expected}, got {kind}"),
+        }
     }
 }
 
@@ -302,7 +308,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn serialize(&self) -> Value {
-        Value::Arr(vec![self.0.serialize(), self.1.serialize(), self.2.serialize()])
+        Value::Arr(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
     }
 }
 
@@ -362,7 +372,11 @@ impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
     fn serialize(&self) -> Value {
-        Value::Obj(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
     }
 }
 
@@ -383,7 +397,12 @@ impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
         // Sort for a stable wire form.
         let mut entries: Vec<(&K, &V)> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
-        Value::Obj(entries.into_iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+        Value::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
     }
 }
 
@@ -408,7 +427,10 @@ mod tests {
         assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
         assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
         assert_eq!(f64::deserialize(&Value::U64(3)).unwrap(), 3.0);
-        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
         assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
         assert_eq!(Option::<u64>::deserialize(&Value::U64(1)).unwrap(), Some(1));
     }

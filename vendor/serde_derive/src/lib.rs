@@ -163,7 +163,11 @@ fn parse_fields(group: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, attrs: field_attrs(&serde_attrs), is_option });
+        fields.push(Field {
+            name,
+            attrs: field_attrs(&serde_attrs),
+            is_option,
+        });
     }
     fields
 }
@@ -245,7 +249,12 @@ fn parse_item(input: TokenStream) -> Item {
         "enum" => Body::Enum(parse_variants(body_group)),
         other => panic!("serde shim: unsupported item kind `{other}`"),
     };
-    Item { name, tag, rename_all, body }
+    Item {
+        name,
+        tag,
+        rename_all,
+        body,
+    }
 }
 
 // ------------------------------------------------------------------ codegen
@@ -478,7 +487,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Body::Struct(fields) => gen_struct_ser(&item.name, fields),
         Body::Enum(variants) => gen_enum_ser(&item, variants),
     };
-    code.parse().expect("serde shim: generated Serialize impl parses")
+    code.parse()
+        .expect("serde shim: generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
@@ -488,5 +498,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Body::Struct(fields) => gen_struct_de(&item.name, fields),
         Body::Enum(variants) => gen_enum_de(&item, variants),
     };
-    code.parse().expect("serde shim: generated Deserialize impl parses")
+    code.parse()
+        .expect("serde shim: generated Deserialize impl parses")
 }

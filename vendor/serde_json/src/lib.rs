@@ -18,7 +18,9 @@ pub struct Error {
 
 impl Error {
     fn new(msg: impl fmt::Display) -> Self {
-        Self { msg: msg.to_string() }
+        Self {
+            msg: msg.to_string(),
+        }
     }
 }
 
@@ -165,7 +167,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(s: &'a str) -> Self {
-        Self { bytes: s.as_bytes(), pos: 0 }
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, msg: &str) -> Error {
@@ -379,7 +384,9 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
         if is_float {
-            text.parse::<f64>().map(Value::F64).map_err(|_| self.err("bad float"))
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| self.err("bad float"))
         } else if let Some(stripped) = text.strip_prefix('-') {
             stripped
                 .parse::<u64>()
@@ -390,7 +397,9 @@ impl<'a> Parser<'a> {
                         .map_err(|_| self.err("integer overflow"))
                 })
         } else {
-            text.parse::<u64>().map(Value::U64).map_err(|_| self.err("bad integer"))
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| self.err("bad integer"))
         }
     }
 }
