@@ -1,0 +1,147 @@
+//! Overhead budget gate: dispatch overhead percentiles per Table-1 group.
+//!
+//! Replays a fixed warm-dominated trace through the real HTTP hot path (a
+//! worker serving its API on loopback over a simulated backend), fetches
+//! the critical-path breakdown from `GET /breakdown`, and checks the
+//! p50/p99 of each Table-1 component group against a fixed budget. The
+//! budgets carry wide headroom over the expected values — the gate exists
+//! to catch order-of-magnitude regressions in control-plane overhead (a
+//! lock on the hot path, an accidental sync round-trip), not to flake on
+//! scheduler jitter. `check.sh` fails when any group breaches.
+//!
+//! Exit status: 0 when every group is within budget, 1 on any breach.
+
+use iluvatar_bench::{env_u64, print_table};
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_core::api::{WorkerApi, WorkerApiClient};
+use iluvatar_core::breakdown::stages;
+use iluvatar_core::{BreakdownReport, Worker, WorkerConfig};
+use iluvatar_sync::SystemClock;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `(group, p50 budget ms, p99 budget ms)`. The simulated agent call is
+/// ~2 ms warm (100 ms × 0.02 time scale), so genuine values sit one to two
+/// orders of magnitude below these ceilings.
+const GROUP_BUDGETS_MS: &[(&str, f64, f64)] = &[
+    ("Ingestion & Queuing", 50.0, 250.0),
+    ("Container Operations", 50.0, 250.0),
+    ("Agent Communication", 50.0, 250.0),
+    ("Returning", 50.0, 250.0),
+];
+
+/// End-to-end critical path budget (ms): queue wait + acquire + agent at
+/// the simulated time scale, with the same headroom rationale.
+const E2E_BUDGET_P50_MS: f64 = 100.0;
+const E2E_BUDGET_P99_MS: f64 = 500.0;
+
+fn main() {
+    let iterations = env_u64("ILU_ITERS", 200);
+    let clock = SystemClock::shared();
+    let backend = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
+    ));
+    let worker = Arc::new(Worker::new(WorkerConfig::for_testing(), backend, clock));
+    let api = WorkerApi::serve(Arc::clone(&worker)).expect("serve worker API");
+    let client = WorkerApiClient::new(api.addr());
+    client
+        .register(&FunctionSpec::new("f", "1").with_timing(100, 400))
+        .expect("register over HTTP");
+
+    // One cold start, then the warm replay the budgets are written for.
+    client.invoke("f-1", "{}").expect("cold start");
+    for _ in 0..iterations {
+        client.invoke("f-1", "{}").expect("warm invoke");
+    }
+
+    // `ResultReturned` lands in the journal just after the result reaches
+    // the caller: poll until the breakdown covers the full replay.
+    let want = iterations + 1;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let report: BreakdownReport = loop {
+        let r = client.breakdown().expect("scrape /breakdown");
+        if r.invocations >= want || Instant::now() > deadline {
+            break r;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(
+        report.invocations >= want,
+        "breakdown covers {} of {want} invocations",
+        report.invocations
+    );
+
+    let mut rows = Vec::new();
+    let mut breaches = Vec::new();
+    for &(group, p50_budget, p99_budget) in GROUP_BUDGETS_MS {
+        let g = report
+            .group(group)
+            .unwrap_or_else(|| panic!("group {group} missing from breakdown"));
+        if g.count == 0 && group == "Agent Communication" {
+            breaches.push(format!("{group}: no samples — the replay never ran"));
+        }
+        let p50 = g.hist_us.percentile(0.50) / 1000.0;
+        let p99 = g.hist_us.percentile(0.99) / 1000.0;
+        let ok = p50 <= p50_budget && p99 <= p99_budget;
+        if !ok {
+            breaches.push(format!(
+                "{group}: p50 {p50:.3} ms (budget {p50_budget}) p99 {p99:.3} ms (budget {p99_budget})"
+            ));
+        }
+        rows.push(vec![
+            group.to_string(),
+            format!("{}", g.count),
+            format!("{p50:.3}"),
+            format!("{p50_budget:.0}"),
+            format!("{p99:.3}"),
+            format!("{p99_budget:.0}"),
+            if ok { "ok".into() } else { "BREACH".into() },
+        ]);
+    }
+    let e2e = report
+        .stage(stages::E2E)
+        .expect("e2e stage present in breakdown");
+    let e2e_p50 = e2e.hist_ms.percentile(0.50);
+    let e2e_p99 = e2e.hist_ms.percentile(0.99);
+    let e2e_ok = e2e_p50 <= E2E_BUDGET_P50_MS && e2e_p99 <= E2E_BUDGET_P99_MS;
+    if !e2e_ok {
+        breaches.push(format!(
+            "e2e: p50 {e2e_p50:.3} ms (budget {E2E_BUDGET_P50_MS}) p99 {e2e_p99:.3} ms (budget {E2E_BUDGET_P99_MS})"
+        ));
+    }
+    rows.push(vec![
+        "e2e (critical path)".into(),
+        format!("{}", e2e.count),
+        format!("{e2e_p50:.3}"),
+        format!("{E2E_BUDGET_P50_MS:.0}"),
+        format!("{e2e_p99:.3}"),
+        format!("{E2E_BUDGET_P99_MS:.0}"),
+        if e2e_ok { "ok".into() } else { "BREACH".into() },
+    ]);
+
+    print_table(
+        &format!(
+            "Overhead budget over {iterations} warm invocations ({} cold, {} warm, from GET /breakdown)",
+            report.cold, report.warm
+        ),
+        &[
+            "group", "samples", "p50 ms", "budget", "p99 ms", "budget", "status",
+        ],
+        &rows,
+    );
+
+    if breaches.is_empty() {
+        println!("overhead budget: PASS");
+    } else {
+        eprintln!("overhead budget: FAIL");
+        for b in &breaches {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+}

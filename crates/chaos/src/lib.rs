@@ -22,9 +22,10 @@
 //! absorbed.
 
 use iluvatar_containers::{BackendError, Container, ContainerBackend, FunctionSpec, InvokeOutput};
+use iluvatar_telemetry::{FlightRecorder, TelemetryBus, TelemetryKind};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// When a fault site fires.
@@ -186,6 +187,12 @@ struct SiteState {
 pub struct FaultPlan {
     cfg: FaultPlanConfig,
     states: Vec<SiteState>,
+    /// Canonical telemetry stream: every fired fault emits a
+    /// [`TelemetryKind::Fault`] once a bus is attached.
+    telemetry: OnceLock<Arc<TelemetryBus>>,
+    /// When attached, every fired fault freezes a flight-recorder snapshot
+    /// (`fault:<site>`) so post-mortems capture the events leading up to it.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl FaultPlan {
@@ -198,7 +205,24 @@ impl FaultPlan {
                 fired: AtomicU64::new(0),
             })
             .collect();
-        Self { cfg, states }
+        Self {
+            cfg,
+            states,
+            telemetry: OnceLock::new(),
+            recorder: OnceLock::new(),
+        }
+    }
+
+    /// Attach the canonical telemetry bus. First call wins; faults fired
+    /// before any bus is attached are only counted, not streamed.
+    pub fn set_telemetry(&self, bus: Arc<TelemetryBus>) {
+        let _ = self.telemetry.set(bus);
+    }
+
+    /// Attach a flight recorder to snapshot automatically on every fired
+    /// fault. First call wins.
+    pub fn set_flight_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
     }
 
     pub fn config(&self) -> &FaultPlanConfig {
@@ -240,6 +264,16 @@ impl FaultPlan {
         };
         if fire {
             state.fired.fetch_add(1, Ordering::Relaxed);
+            if let Some(bus) = self.telemetry.get() {
+                bus.emit(None, None, TelemetryKind::Fault { site: site.into() });
+                // Freeze the flight recorder at the fault: the snapshot holds
+                // the events leading up to (and including) the injection.
+                if let Some(rec) = self.recorder.get() {
+                    let reason = format!("fault:{site}");
+                    rec.snapshot(&reason);
+                    bus.emit(None, None, TelemetryKind::RecorderSnapshot { reason });
+                }
+            }
         }
         fire
     }
@@ -279,6 +313,19 @@ impl FaultInjector {
     /// Share the plan for assertions (fired-fault counts).
     pub fn plan(&self) -> Arc<FaultPlan> {
         Arc::clone(&self.plan)
+    }
+
+    /// Stream every fired fault onto the canonical telemetry bus.
+    pub fn with_telemetry(self, bus: Arc<TelemetryBus>) -> Self {
+        self.plan.set_telemetry(bus);
+        self
+    }
+
+    /// Snapshot `recorder` automatically on every fired fault (requires a
+    /// bus attached via [`FaultInjector::with_telemetry`]).
+    pub fn with_flight_recorder(self, recorder: Arc<FlightRecorder>) -> Self {
+        self.plan.set_flight_recorder(recorder);
+        self
     }
 
     fn fault_invoke(&self) -> Option<BackendError> {
@@ -452,6 +499,42 @@ mod tests {
         assert!(!plan.decide(sites::WORKER_KILL), "occurrence 0 clean");
         assert!(plan.decide(sites::WORKER_KILL), "occurrence 1 scheduled");
         assert_eq!(plan.stats().fired(sites::WORKER_KILL), 1);
+    }
+
+    #[test]
+    fn fired_faults_stream_and_snapshot_the_recorder() {
+        use iluvatar_sync::ManualClock;
+        use iluvatar_telemetry::{TelemetrySink, VecSink};
+
+        let cfg = FaultPlanConfig {
+            invoke_error: FaultSpec::on_occurrences(vec![1]),
+            ..Default::default()
+        };
+        let bus = TelemetryBus::new("chaos", Arc::new(ManualClock::starting_at(0)));
+        let sink = Arc::new(VecSink::new());
+        let recorder = Arc::new(FlightRecorder::new(64));
+        bus.add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        bus.add_sink(Arc::clone(&recorder) as Arc<dyn TelemetrySink>);
+        let inj = FaultInjector::new(sim(), cfg)
+            .with_telemetry(Arc::clone(&bus))
+            .with_flight_recorder(Arc::clone(&recorder));
+
+        let c = inj.create(&spec()).unwrap();
+        assert!(inj.invoke(&c, "{}").is_ok(), "occurrence 0 clean: no event");
+        assert!(sink.events().is_empty());
+        assert!(inj.invoke(&c, "{}").is_err(), "occurrence 1 fires");
+
+        let labels: Vec<String> = sink.events().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(labels, vec!["fault:invoke_error", "recorder_snapshot"]);
+        // The auto-snapshot froze the ring at the fault: it contains the
+        // fault event itself.
+        let snaps = recorder.snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].reason, "fault:invoke_error");
+        assert!(snaps[0]
+            .events
+            .iter()
+            .any(|e| e.kind.label() == "fault:invoke_error"));
     }
 
     #[test]

@@ -20,7 +20,15 @@
 //! | `GET  /spans`            |                          | `[SpanExport]` JSON |
 //! | `GET  /trace/<id>`       |                          | `TraceRecord` JSON or 404 |
 //! | `GET  /traces?last=N`    |                          | `[TraceRecord]` JSON, newest first |
+//! | `GET  /breakdown`        |                          | `BreakdownReport` JSON |
+//! | `GET  /debug/flightrecorder` |                      | `FlightDump` JSON |
+//!
+//! Invocation responses (`/invoke`, `/async_invoke`, `/result/<cookie>`)
+//! carry the worker's latest canonical-telemetry sequence number in the
+//! `X-Iluvatar-Seq` header, so a caller can order its observation against
+//! the worker's event stream.
 
+use crate::breakdown::BreakdownReport;
 use crate::exposition;
 use crate::invocation::{InvocationHandle, InvocationResult, InvokeError};
 use crate::journal::TraceRecord;
@@ -28,8 +36,9 @@ use crate::spans::SpanExport;
 use crate::worker::{Worker, WorkerStatus};
 use iluvatar_containers::FunctionSpec;
 use iluvatar_http::server::{Handler, ServerHandle};
-use iluvatar_http::{HttpServer, Method, PooledClient, Request, Response, Status};
+use iluvatar_http::{HttpServer, Method, PooledClient, Request, Response, Status, SEQ_HEADER};
 use iluvatar_sync::ShardedMap;
+use iluvatar_telemetry::FlightDump;
 use serde::{Deserialize, Serialize};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -234,7 +243,7 @@ fn route(
         None => (req.path.as_str(), ""),
     };
     let served = || own_handle.get().map(|h| h.served()).unwrap_or(0);
-    match (req.method, path) {
+    let resp = match (req.method, path) {
         (Method::Get, "/status") => {
             let mut wire: WireStatus = worker.status().into();
             wire.http_requests = served();
@@ -265,6 +274,14 @@ fn route(
                 serde_json::to_string(&worker.recent_traces(last)).unwrap(),
             )
         }
+        (Method::Get, "/breakdown") => json_resp(
+            Status::OK,
+            serde_json::to_string(&worker.breakdown()).unwrap(),
+        ),
+        (Method::Get, "/debug/flightrecorder") => json_resp(
+            Status::OK,
+            serde_json::to_string(&worker.flight_recorder().wire_dump()).unwrap(),
+        ),
         (Method::Post, "/register") => match serde_json::from_str::<FunctionSpec>(body) {
             Ok(spec) => match worker.register(spec) {
                 Ok(reg) => json_resp(Status::OK, format!("{{\"fqdn\":{:?}}}", reg.spec.fqdn)),
@@ -366,6 +383,13 @@ fn route(
             ),
         },
         _ => Response::new(Status::NOT_FOUND),
+    };
+    // Invocation responses carry the worker's latest canonical-telemetry
+    // seqno: "everything this call caused has seq ≤ this".
+    if path == "/invoke" || path == "/async_invoke" || path.starts_with("/result/") {
+        resp.with_header(SEQ_HEADER, worker.telemetry().latest_seq().to_string())
+    } else {
+        resp
     }
 }
 
@@ -373,6 +397,8 @@ fn route(
 pub struct WorkerApiClient {
     addr: SocketAddr,
     client: PooledClient,
+    /// Highest `X-Iluvatar-Seq` seen on any response from this worker.
+    last_seq: AtomicU64,
 }
 
 /// Client-side failures.
@@ -413,6 +439,7 @@ impl WorkerApiClient {
         Self {
             addr,
             client: PooledClient::new(Duration::from_secs(120)),
+            last_seq: AtomicU64::new(0),
         }
     }
 
@@ -420,12 +447,24 @@ impl WorkerApiClient {
         self.addr
     }
 
+    /// The highest telemetry sequence number the worker has reported on
+    /// any response so far (via `X-Iluvatar-Seq`); 0 before the first
+    /// stamped response.
+    pub fn last_telemetry_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
     /// Send a raw request to the worker API (escape hatch for routes
     /// without a typed helper and for header-level assertions in tests).
     pub fn call(&self, req: Request) -> Result<Response, ApiError> {
-        self.client
+        let resp = self
+            .client
             .send(self.addr, &req)
-            .map_err(|e| ApiError::Http(e.to_string()))
+            .map_err(|e| ApiError::Http(e.to_string()))?;
+        if let Some(seq) = resp.header(SEQ_HEADER).and_then(|v| v.trim().parse().ok()) {
+            self.last_seq.fetch_max(seq, Ordering::Relaxed);
+        }
+        Ok(resp)
     }
 
     fn expect_ok(resp: Response) -> Result<Response, ApiError> {
@@ -577,6 +616,18 @@ impl WorkerApiClient {
     pub fn traces(&self, last: usize) -> Result<Vec<TraceRecord>, ApiError> {
         let resp =
             Self::expect_ok(self.call(Request::new(Method::Get, format!("/traces?last={last}")))?)?;
+        serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    /// The worker's critical-path breakdown report.
+    pub fn breakdown(&self) -> Result<BreakdownReport, ApiError> {
+        let resp = Self::expect_ok(self.call(Request::new(Method::Get, "/breakdown"))?)?;
+        serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
+    }
+
+    /// The worker's flight-recorder dump (recent events + frozen snapshots).
+    pub fn flight_recorder(&self) -> Result<FlightDump, ApiError> {
+        let resp = Self::expect_ok(self.call(Request::new(Method::Get, "/debug/flightrecorder"))?)?;
         serde_json::from_str(resp.body_str()).map_err(|e| ApiError::Decode(e.to_string()))
     }
 }
@@ -795,6 +846,50 @@ mod tests {
             .tenants
             .iter()
             .any(|t| t.tenant == "paid" && t.served == 1));
+    }
+
+    #[test]
+    fn breakdown_and_flightrecorder_over_http() {
+        let (w, _api, client) = served_worker();
+        client
+            .register(&FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        assert_eq!(client.last_telemetry_seq(), 0, "no stamped response yet");
+        client.invoke("f-1", "{}").unwrap();
+        client.invoke("f-1", "{}").unwrap();
+        assert!(
+            client.last_telemetry_seq() > 0,
+            "/invoke responses carry X-Iluvatar-Seq"
+        );
+        // `result_returned` lands just after the result is delivered; poll
+        // until both invocations are in the breakdown.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let bd = loop {
+            let bd = client.breakdown().unwrap();
+            if bd.invocations >= 2 || std::time::Instant::now() > deadline {
+                break bd;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(bd.source, "test-worker");
+        assert_eq!((bd.cold, bd.warm), (1, 1));
+        let e2e = bd.stage(crate::breakdown::stages::E2E).unwrap();
+        assert_eq!(e2e.count, 2);
+        let ops = bd.group("Container Operations").unwrap();
+        assert!(ops.count > 0, "span groups populated");
+        // Drain freezes a flight-recorder snapshot; the dump carries it
+        // along with the recent-event ring.
+        w.drain();
+        let dump = client.flight_recorder().unwrap();
+        assert!(!dump.events.is_empty(), "ring holds recent events");
+        assert!(
+            dump.snapshots.iter().any(|s| s.reason == "drain"),
+            "drain froze a snapshot"
+        );
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.kind.label() == "lifecycle:draining"));
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! Per-invocation critical-path breakdown.
+//!
+//! §5's "single consistent view of the system performance", turned into a
+//! queryable report: where did each invocation's time go on the path
+//! ingest → queue → container-acquire → agent → return? The report is
+//! derived from two streams the worker already maintains —
+//!
+//! * the [`TraceJournal`](crate::TraceJournal): per-invocation milestone
+//!   timestamps, which yield the *stage* histograms (queue wait, container
+//!   acquisition, agent round-trip) plus the cold/warm split, and
+//! * the [`Spans`](crate::Spans) registry: per-component µs timings,
+//!   folded into the paper's Table 1 *groups* ("Ingestion & Queuing",
+//!   "Container Operations", "Agent Communication", "Returning").
+//!
+//! Everything is carried in mergeable [`LogHistogram`]s, so the load
+//! balancer can fetch each worker's `GET /breakdown` and fold them into
+//! one cluster-wide report with exact (lossless) bucket merges — the same
+//! trick the span scrape path uses. The `abl_overhead_budget` gate
+//! computes its p50/p99 per-group overhead from this report.
+
+use crate::journal::{TraceEventKind, TraceRecord};
+use crate::spans::{names, SpanExport};
+use iluvatar_sync::LogHistogram;
+use serde::{Deserialize, Serialize};
+
+/// The critical-path stages derived from trace milestones, in path order.
+pub mod stages {
+    /// Ingest until the queue accepted (or bypassed) the invocation —
+    /// admission control and enqueue bookkeeping.
+    pub const INGEST: &str = "ingest";
+    /// Queue residency: enqueued until the dispatch loop popped it.
+    pub const QUEUE: &str = "queue";
+    /// Dequeue until a container was locked (cold creates included).
+    pub const ACQUIRE: &str = "acquire";
+    /// Container locked until the agent call went out.
+    pub const PREPARE: &str = "prepare";
+    /// Agent call until the result was delivered back to the caller.
+    pub const AGENT_RETURN: &str = "agent_return";
+    /// Ingest until result delivery — the whole critical path.
+    pub const E2E: &str = "e2e";
+
+    pub const ALL: &[&str] = &[INGEST, QUEUE, ACQUIRE, PREPARE, AGENT_RETURN, E2E];
+}
+
+/// One stage's latency distribution (ms).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    pub stage: String,
+    pub count: u64,
+    /// Distribution of stage durations, milliseconds.
+    pub hist_ms: LogHistogram,
+}
+
+/// One Table-1 group's latency distribution (µs, from spans).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupBreakdown {
+    pub group: String,
+    pub count: u64,
+    /// Distribution of per-component durations, microseconds.
+    pub hist_us: LogHistogram,
+}
+
+/// Per-tenant completion counts riding along the breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantBreakdown {
+    pub tenant: String,
+    pub completed: u64,
+}
+
+/// Wire form of `GET /breakdown` — per-worker, or cluster-merged by the
+/// load balancer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BreakdownReport {
+    /// Emitting worker name, or `cluster` for a merged report.
+    pub source: String,
+    /// Completed invocations the stage histograms cover.
+    pub invocations: u64,
+    pub cold: u64,
+    pub warm: u64,
+    /// Critical-path stage distributions (ms), in path order.
+    pub stages: Vec<StageBreakdown>,
+    /// Table-1 group distributions (µs), in table order.
+    pub groups: Vec<GroupBreakdown>,
+    /// Per-tenant completion counts, sorted by tenant.
+    #[serde(default)]
+    pub tenants: Vec<TenantBreakdown>,
+}
+
+impl BreakdownReport {
+    /// Stage distribution by name, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageBreakdown> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Group distribution by name, if present.
+    pub fn group(&self, name: &str) -> Option<&GroupBreakdown> {
+        self.groups.iter().find(|g| g.group == name)
+    }
+
+    /// Merge many per-worker reports into one cluster view. Histogram
+    /// merges are lossless; counts sum; tenants union by label.
+    pub fn merge(reports: &[BreakdownReport]) -> BreakdownReport {
+        let mut out = BreakdownReport {
+            source: "cluster".into(),
+            invocations: 0,
+            cold: 0,
+            warm: 0,
+            stages: Vec::new(),
+            groups: Vec::new(),
+            tenants: Vec::new(),
+        };
+        for r in reports {
+            out.invocations += r.invocations;
+            out.cold += r.cold;
+            out.warm += r.warm;
+            for s in &r.stages {
+                match out.stages.iter_mut().find(|m| m.stage == s.stage) {
+                    Some(m) => {
+                        m.count += s.count;
+                        m.hist_ms.merge(&s.hist_ms);
+                    }
+                    None => out.stages.push(s.clone()),
+                }
+            }
+            for g in &r.groups {
+                match out.groups.iter_mut().find(|m| m.group == g.group) {
+                    Some(m) => {
+                        m.count += g.count;
+                        m.hist_us.merge(&g.hist_us);
+                    }
+                    None => out.groups.push(g.clone()),
+                }
+            }
+            for t in &r.tenants {
+                match out.tenants.iter_mut().find(|m| m.tenant == t.tenant) {
+                    Some(m) => m.completed += t.completed,
+                    None => out.tenants.push(t.clone()),
+                }
+            }
+        }
+        out.tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
+/// Milestone timestamps of one completed trace, if the record contains a
+/// full critical path.
+struct Milestones {
+    ingest: u64,
+    queued: u64,
+    dequeued: u64,
+    acquired: u64,
+    agent: u64,
+    returned: u64,
+    cold: bool,
+}
+
+fn milestones(r: &TraceRecord) -> Option<Milestones> {
+    let mut queued = None;
+    let mut dequeued = None;
+    let mut acquired = None;
+    let mut cold = None;
+    let mut agent = None;
+    let mut returned = None;
+    for e in &r.events {
+        match e.kind {
+            TraceEventKind::Enqueued | TraceEventKind::Recovered => {
+                queued.get_or_insert(e.at_ms);
+            }
+            // Bypass skips the queue: it is both "queued" and "dequeued"
+            // at the same instant, yielding a zero queue stage.
+            TraceEventKind::Bypassed => {
+                queued.get_or_insert(e.at_ms);
+                dequeued.get_or_insert(e.at_ms);
+            }
+            TraceEventKind::Dequeued => {
+                dequeued.get_or_insert(e.at_ms);
+            }
+            // Keep the *last* acquisition/agent call: retries restart the
+            // path, and the completed attempt is the one that mattered.
+            TraceEventKind::ContainerAcquired { cold: c } => {
+                acquired = Some(e.at_ms);
+                cold = Some(cold.unwrap_or(false) | c);
+            }
+            TraceEventKind::AgentCalled => agent = Some(e.at_ms),
+            TraceEventKind::ResultReturned { .. } => {
+                returned.get_or_insert(e.at_ms);
+            }
+            _ => {}
+        }
+    }
+    Some(Milestones {
+        ingest: r.ingest_ms,
+        queued: queued?,
+        dequeued: dequeued?,
+        acquired: acquired?,
+        agent: agent?,
+        returned: returned?,
+        cold: cold.unwrap_or(false),
+    })
+}
+
+/// Derive the stage histograms (and cold/warm split) from a set of trace
+/// records; incomplete timelines are skipped.
+pub fn stages_from_traces(records: &[TraceRecord]) -> (Vec<StageBreakdown>, u64, u64) {
+    let mut hists: Vec<(&str, LogHistogram)> = stages::ALL
+        .iter()
+        .map(|&s| (s, LogHistogram::new()))
+        .collect();
+    let mut cold = 0u64;
+    let mut warm = 0u64;
+    let mut covered = 0u64;
+    for r in records {
+        let Some(m) = milestones(r) else { continue };
+        covered += 1;
+        if m.cold {
+            cold += 1;
+        } else {
+            warm += 1;
+        }
+        let durations = [
+            (stages::INGEST, m.queued.saturating_sub(m.ingest)),
+            (stages::QUEUE, m.dequeued.saturating_sub(m.queued)),
+            (stages::ACQUIRE, m.acquired.saturating_sub(m.dequeued)),
+            (stages::PREPARE, m.agent.saturating_sub(m.acquired)),
+            (stages::AGENT_RETURN, m.returned.saturating_sub(m.agent)),
+            (stages::E2E, m.returned.saturating_sub(m.ingest)),
+        ];
+        for (name, ms) in durations {
+            if let Some((_, h)) = hists.iter_mut().find(|(n, _)| *n == name) {
+                h.record(ms);
+            }
+        }
+    }
+    let stages = hists
+        .into_iter()
+        .map(|(stage, hist_ms)| StageBreakdown {
+            stage: stage.to_string(),
+            count: covered,
+            hist_ms,
+        })
+        .collect();
+    (stages, cold, warm)
+}
+
+/// Fold span exports into the paper's Table-1 groups: each group's
+/// histogram is the lossless union of its member spans' histograms.
+pub fn groups_from_spans(exports: &[SpanExport]) -> Vec<GroupBreakdown> {
+    names::GROUPS
+        .iter()
+        .map(|(group, members)| {
+            let mut hist_us = LogHistogram::new();
+            let mut count = 0u64;
+            for e in exports
+                .iter()
+                .filter(|e| members.contains(&e.name.as_str()))
+            {
+                hist_us.merge(&e.hist);
+                count += e.count;
+            }
+            GroupBreakdown {
+                group: group.to_string(),
+                count,
+                hist_us,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::TraceEvent;
+
+    fn trace(id: u64, t0: u64, steps: &[(u64, TraceEventKind)]) -> TraceRecord {
+        TraceRecord {
+            trace_id: id,
+            fqdn: "f-1".into(),
+            ingest_ms: t0,
+            events: std::iter::once(TraceEvent {
+                at_ms: t0,
+                kind: TraceEventKind::Ingested,
+            })
+            .chain(steps.iter().map(|(at, k)| TraceEvent {
+                at_ms: *at,
+                kind: k.clone(),
+            }))
+            .collect(),
+        }
+    }
+
+    fn full_trace(id: u64, t0: u64, cold: bool) -> TraceRecord {
+        trace(
+            id,
+            t0,
+            &[
+                (t0 + 1, TraceEventKind::Enqueued),
+                (t0 + 5, TraceEventKind::Dequeued),
+                (t0 + 8, TraceEventKind::ContainerAcquired { cold }),
+                (t0 + 9, TraceEventKind::AgentCalled),
+                (t0 + 29, TraceEventKind::ResultReturned { ok: true }),
+            ],
+        )
+    }
+
+    #[test]
+    fn stage_durations_come_from_milestone_deltas() {
+        let records = vec![full_trace(1, 100, false), full_trace(2, 200, true)];
+        let (stages, cold, warm) = stages_from_traces(&records);
+        assert_eq!((cold, warm), (1, 1));
+        let get = |n: &str| {
+            stages
+                .iter()
+                .find(|s| s.stage == n)
+                .unwrap_or_else(|| panic!("stage {n}"))
+        };
+        assert_eq!(get(stages::INGEST).hist_ms.percentile(0.5), 1.0);
+        assert_eq!(get(stages::QUEUE).hist_ms.percentile(0.5), 4.0);
+        assert_eq!(get(stages::ACQUIRE).hist_ms.percentile(0.5), 3.0);
+        assert_eq!(get(stages::PREPARE).hist_ms.percentile(0.5), 1.0);
+        assert_eq!(get(stages::AGENT_RETURN).hist_ms.percentile(0.5), 20.0);
+        assert_eq!(get(stages::E2E).hist_ms.percentile(0.5), 29.0);
+        assert!(stages.iter().all(|s| s.count == 2));
+    }
+
+    #[test]
+    fn bypassed_traces_have_zero_queue_stage() {
+        let r = trace(
+            1,
+            50,
+            &[
+                (51, TraceEventKind::Bypassed),
+                (53, TraceEventKind::ContainerAcquired { cold: false }),
+                (54, TraceEventKind::AgentCalled),
+                (60, TraceEventKind::ResultReturned { ok: true }),
+            ],
+        );
+        let (stages, _, warm) = stages_from_traces(&[r]);
+        assert_eq!(warm, 1);
+        let queue = stages.iter().find(|s| s.stage == stages::QUEUE).unwrap();
+        assert_eq!(queue.hist_ms.percentile(1.0), 0.0);
+        let acquire = stages.iter().find(|s| s.stage == stages::ACQUIRE).unwrap();
+        assert_eq!(acquire.hist_ms.percentile(1.0), 2.0);
+    }
+
+    #[test]
+    fn incomplete_traces_are_skipped() {
+        let r = trace(1, 10, &[(11, TraceEventKind::Enqueued)]);
+        let (stages, cold, warm) = stages_from_traces(&[r]);
+        assert_eq!((cold, warm), (0, 0));
+        assert!(stages.iter().all(|s| s.hist_ms.is_empty()));
+    }
+
+    #[test]
+    fn groups_fold_member_spans_losslessly() {
+        let mk = |name: &str, values: &[u64]| {
+            let mut hist = LogHistogram::new();
+            let mut total = 0u64;
+            for &v in values {
+                hist.record(v);
+                total += v;
+            }
+            SpanExport {
+                name: name.into(),
+                count: values.len() as u64,
+                total_us: total,
+                hist,
+            }
+        };
+        let exports = vec![
+            mk(names::INVOKE, &[10, 20]),
+            mk(names::ENQUEUE_INVOCATION, &[30]),
+            mk(names::CALL_CONTAINER, &[1000, 2000]),
+        ];
+        let groups = groups_from_spans(&exports);
+        assert_eq!(groups.len(), names::GROUPS.len());
+        let iq = &groups[0];
+        assert_eq!(iq.group, "Ingestion & Queuing");
+        assert_eq!(iq.count, 3);
+        assert_eq!(iq.hist_us.count(), 3);
+        let agent = groups
+            .iter()
+            .find(|g| g.group == "Agent Communication")
+            .unwrap();
+        assert_eq!(agent.count, 2);
+        // Groups with no member samples render empty, not absent.
+        let ret = groups.iter().find(|g| g.group == "Returning").unwrap();
+        assert_eq!(ret.count, 0);
+    }
+
+    #[test]
+    fn merge_is_lossless_and_serde_roundtrips() {
+        let a = {
+            let (stages, cold, warm) = stages_from_traces(&[full_trace(1, 0, true)]);
+            BreakdownReport {
+                source: "w0".into(),
+                invocations: 1,
+                cold,
+                warm,
+                stages,
+                groups: groups_from_spans(&[]),
+                tenants: vec![TenantBreakdown {
+                    tenant: "t0".into(),
+                    completed: 1,
+                }],
+            }
+        };
+        let b = {
+            let (stages, cold, warm) =
+                stages_from_traces(&[full_trace(2, 10, false), full_trace(3, 20, false)]);
+            BreakdownReport {
+                source: "w1".into(),
+                invocations: 2,
+                cold,
+                warm,
+                stages,
+                groups: groups_from_spans(&[]),
+                tenants: vec![TenantBreakdown {
+                    tenant: "t0".into(),
+                    completed: 2,
+                }],
+            }
+        };
+        let merged = BreakdownReport::merge(&[a, b]);
+        assert_eq!(merged.source, "cluster");
+        assert_eq!(merged.invocations, 3);
+        assert_eq!((merged.cold, merged.warm), (1, 2));
+        let e2e = merged.stage(stages::E2E).unwrap();
+        assert_eq!(e2e.count, 3);
+        assert_eq!(e2e.hist_ms.count(), 3);
+        assert_eq!(merged.tenants[0].completed, 3);
+        let json = serde_json::to_string(&merged).unwrap();
+        let back: BreakdownReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.invocations, 3);
+        assert_eq!(
+            back.stage(stages::E2E).unwrap().hist_ms.percentile(0.5),
+            e2e.hist_ms.percentile(0.5)
+        );
+    }
+}

@@ -60,14 +60,35 @@ impl PromWriter {
         Self::label_str(&all)
     }
 
+    /// Exposition must never emit an unparseable sample: a NaN or ±Inf
+    /// value (a mean over zero samples, a ratio against a zero gauge)
+    /// renders as `0` rather than poisoning the whole scrape.
+    fn finite(value: f64) -> f64 {
+        if value.is_finite() {
+            value
+        } else {
+            0.0
+        }
+    }
+
     pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
         self.preamble(name, help, "counter");
-        let _ = writeln!(self.out, "{name}{} {value}", Self::label_str(labels));
+        let _ = writeln!(
+            self.out,
+            "{name}{} {}",
+            Self::label_str(labels),
+            Self::finite(value)
+        );
     }
 
     pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
         self.preamble(name, help, "gauge");
-        let _ = writeln!(self.out, "{name}{} {value}", Self::label_str(labels));
+        let _ = writeln!(
+            self.out,
+            "{name}{} {}",
+            Self::label_str(labels),
+            Self::finite(value)
+        );
     }
 
     /// Render a [`LogHistogram`] of **microsecond** samples as a Prometheus
@@ -318,6 +339,20 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
         m.power_w,
     );
 
+    // The canonical telemetry stream, bridged to counters by kind.
+    for (kind, tenant, count) in worker.telemetry_counts() {
+        let mut labels: Vec<(&str, &str)> = vec![("worker", &st.name), ("kind", &kind)];
+        if !tenant.is_empty() {
+            labels.push(("tenant", &tenant));
+        }
+        w.counter(
+            "iluvatar_telemetry_events_total",
+            "Canonical telemetry events by kind",
+            &labels,
+            count as f64,
+        );
+    }
+
     render_span_histograms(&mut w, base, &worker.spans().export());
     w.finish()
 }
@@ -359,6 +394,29 @@ mod tests {
         assert!(out.contains("x_depth{worker=\"a\"} 1"));
         assert!(out.contains("x_depth{worker=\"b\"} 2"));
         assert_valid_prom(&out);
+    }
+
+    #[test]
+    fn non_finite_values_render_as_zero() {
+        // `f64::parse` accepts "NaN" and "inf", so assert_valid_prom alone
+        // would let an unscrapeable line through — check the rendered text.
+        let mut w = PromWriter::new();
+        w.gauge("x_nan", "not-a-number gauge", &[("worker", "a")], f64::NAN);
+        w.gauge("x_pos", "overflow gauge", &[("worker", "a")], f64::INFINITY);
+        w.counter(
+            "x_neg",
+            "underflow counter",
+            &[("worker", "a")],
+            f64::NEG_INFINITY,
+        );
+        w.gauge("x_ok", "ok", &[("worker", "a")], 1.5);
+        let out = w.finish();
+        assert!(out.contains("x_nan{worker=\"a\"} 0"), "out: {out}");
+        assert!(out.contains("x_pos{worker=\"a\"} 0"), "out: {out}");
+        assert!(out.contains("x_neg{worker=\"a\"} 0"), "out: {out}");
+        assert!(out.contains("x_ok{worker=\"a\"} 1.5"), "out: {out}");
+        assert!(!out.contains("NaN"), "out: {out}");
+        assert!(!out.contains("inf"), "out: {out}");
     }
 
     #[test]
@@ -428,6 +486,7 @@ mod tests {
             "iluvatar_quarantine_released_total",
             "iluvatar_dropped_retry_exhausted_total",
             "iluvatar_dropped_admission_total",
+            "iluvatar_telemetry_events_total",
             "iluvatar_span_seconds_bucket",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");

@@ -10,11 +10,12 @@
 //! as the `X-Iluvatar-Trace` header, tying agent-side time to the record.
 
 use iluvatar_sync::{Clock, TimeMs};
+use iluvatar_telemetry::{TelemetryBus, TelemetryKind as TelKind};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Shards for the journal's ring buffers (power of two).
 const SHARDS: usize = 8;
@@ -157,6 +158,10 @@ pub struct TraceJournal {
     per_shard: usize,
     next_id: AtomicU64,
     clock: Arc<dyn Clock>,
+    /// Canonical stream mirror: every journaled stage is also emitted as
+    /// a `TelemetryKind::Trace` event once a bus is attached, making this
+    /// the single choke point between the hot path and telemetry.
+    telemetry: OnceLock<Arc<TelemetryBus>>,
 }
 
 impl TraceJournal {
@@ -175,6 +180,26 @@ impl TraceJournal {
             // Spread seeds across the id space; low bits stay sequential.
             next_id: AtomicU64::new((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)) << 20 | 1),
             clock,
+            telemetry: OnceLock::new(),
+        }
+    }
+
+    /// Attach the canonical-stream bus. Every stage journaled from now on
+    /// is mirrored as a `trace:<stage>` telemetry event. Set once, at
+    /// worker construction; later calls are ignored.
+    pub fn set_telemetry(&self, bus: Arc<TelemetryBus>) {
+        let _ = self.telemetry.set(bus);
+    }
+
+    fn mirror(&self, id: u64, kind: &TraceEventKind) {
+        if let Some(bus) = self.telemetry.get() {
+            bus.emit(
+                Some(id),
+                None,
+                TelKind::Trace {
+                    stage: kind.label(),
+                },
+            );
         }
     }
 
@@ -195,11 +220,14 @@ impl TraceJournal {
                 kind: TraceEventKind::Ingested,
             }],
         }));
-        let mut ring = self.shard(id).ring.lock();
-        if ring.len() == self.per_shard {
-            ring.pop_front();
+        {
+            let mut ring = self.shard(id).ring.lock();
+            if ring.len() == self.per_shard {
+                ring.pop_front();
+            }
+            ring.push_back(record);
         }
-        ring.push_back(record);
+        self.mirror(id, &TraceEventKind::Ingested);
         id
     }
 
@@ -217,11 +245,14 @@ impl TraceJournal {
                 kind: TraceEventKind::Recovered,
             }],
         }));
-        let mut ring = self.shard(id).ring.lock();
-        if ring.len() == self.per_shard {
-            ring.pop_front();
+        {
+            let mut ring = self.shard(id).ring.lock();
+            if ring.len() == self.per_shard {
+                ring.pop_front();
+            }
+            ring.push_back(record);
         }
-        ring.push_back(record);
+        self.mirror(id, &TraceEventKind::Recovered);
     }
 
     /// Ensure future minted ids are strictly greater than `floor` — called
@@ -238,6 +269,7 @@ impl TraceJournal {
             ring.iter().find(|r| r.lock().trace_id == id).cloned()
         };
         if let Some(r) = record {
+            self.mirror(id, &kind);
             r.lock().events.push(TraceEvent {
                 at_ms: self.clock.now_ms(),
                 kind,
@@ -261,8 +293,12 @@ impl TraceJournal {
             let ring = shard.ring.lock();
             out.extend(ring.iter().map(|r| r.lock().clone()));
         }
-        // Newest first: ids are monotone per journal.
-        out.sort_by_key(|r| std::cmp::Reverse(r.trace_id));
+        // Newest first by ingest time, trace id as the tiebreak. Sorting
+        // by id alone is wrong across recoveries: replayed invocations
+        // keep their (low) pre-crash ids while freshly minted ids sit far
+        // above them, so an id-ordered tail would bury the traces that
+        // were actually recorded last.
+        out.sort_by_key(|r| std::cmp::Reverse((r.ingest_ms, r.trace_id)));
         out.truncate(n);
         out
     }
@@ -364,6 +400,51 @@ mod tests {
         assert_eq!(recent.len(), 3);
         assert_eq!(recent[0].trace_id, ids[9]);
         assert!(recent.windows(2).all(|w| w[0].trace_id > w[1].trace_id));
+    }
+
+    #[test]
+    fn recent_orders_recovered_low_ids_by_ingest_time() {
+        // After a crash the journal re-mints traces under their (low)
+        // pre-crash ids while fresh ingests mint far-higher ids. The tail
+        // must order by ingest time, not id.
+        let clock = Arc::new(ManualClock::starting_at(1000));
+        let j = TraceJournal::new(64, 99, Arc::clone(&clock) as Arc<dyn Clock>);
+        let fresh = j.begin("f-1"); // high id, t=1000
+        clock.advance(10);
+        j.begin_recovered(3, "f-1"); // low id, t=1010 — newest
+        let recent = j.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(
+            recent[0].trace_id, 3,
+            "the recovered trace was ingested last and must lead the tail"
+        );
+        assert_eq!(recent[1].trace_id, fresh);
+    }
+
+    #[test]
+    fn journal_mirrors_stages_onto_the_telemetry_bus() {
+        use iluvatar_telemetry::{TelemetrySink, VecSink};
+        let clock = Arc::new(ManualClock::starting_at(50));
+        let j = TraceJournal::new(64, 1, Arc::clone(&clock) as Arc<dyn Clock>);
+        let bus = TelemetryBus::new("w0", Arc::clone(&clock) as Arc<dyn Clock>);
+        let sink = Arc::new(VecSink::new());
+        bus.add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        j.set_telemetry(Arc::clone(&bus));
+        let id = j.begin("f-1");
+        j.record(id, TraceEventKind::Enqueued);
+        j.record(id, TraceEventKind::ResultReturned { ok: true });
+        // Aged-out / unknown traces do not emit.
+        j.record(id ^ 0x5555, TraceEventKind::Dequeued);
+        let labels: Vec<String> = sink.events().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "trace:ingested".to_string(),
+                "trace:enqueued".to_string(),
+                "trace:result_returned(true)".to_string(),
+            ]
+        );
+        assert!(sink.events().iter().all(|e| e.trace_id == Some(id)));
     }
 
     #[test]

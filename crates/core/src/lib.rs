@@ -22,9 +22,12 @@
 //! * [`worker`] — the assembled worker and its invocation hot path.
 //! * [`spans`] — lightweight per-component latency tracking (Table 1).
 //! * [`journal`] — per-invocation trace timelines (`GET /trace/{id}`).
+//! * [`breakdown`] — the critical-path breakdown report (`GET /breakdown`),
+//!   derived from the journal and span streams.
 //! * [`exposition`] — Prometheus text rendering for `GET /metrics`.
 
 pub mod api;
+pub mod breakdown;
 pub mod characteristics;
 pub mod config;
 pub mod exposition;
@@ -39,6 +42,7 @@ pub mod spans;
 pub mod wal;
 pub mod worker;
 
+pub use breakdown::{BreakdownReport, GroupBreakdown, StageBreakdown, TenantBreakdown};
 pub use config::{
     ConcurrencyConfig, KeepalivePolicyKind, LifecycleConfig, QueueConfig, QueuePolicyKind,
     ResilienceConfig, WorkerConfig,
@@ -53,6 +57,13 @@ pub use worker::{RecoveryReport, Worker, WorkerStatus};
 
 // Re-export the substrate types callers need to build a worker.
 pub use iluvatar_containers::{ContainerBackend, FunctionSpec, ResourceLimits};
+
+// Re-export the canonical telemetry stream so worker embedders can attach
+// sinks without a direct dependency edge.
+pub use iluvatar_telemetry::{
+    FlightDump, FlightRecorder, FlightSnapshot, TelemetryBus, TelemetryEvent, TelemetryKind,
+    TelemetrySink,
+};
 
 // Re-export the admission-control surface so downstream crates (load
 // balancer, binaries) don't need a direct dependency edge.

@@ -149,6 +149,23 @@ pub enum WalRecord {
 }
 
 impl WalRecord {
+    /// The record's `op` tag as a stable label, for the canonical telemetry
+    /// stream (`TelemetryKind::Wal { op }`) and for log grepping.
+    pub fn op_label(&self) -> &'static str {
+        match self {
+            WalRecord::Enqueued { .. } => "enqueued",
+            WalRecord::Dequeued { .. } => "dequeued",
+            WalRecord::Completed { .. } => "completed",
+            WalRecord::Shed { .. } => "shed",
+            WalRecord::Snapshot { .. } => "snapshot",
+        }
+    }
+
+    /// The trace id the record is about, if any (snapshots have none).
+    pub fn trace_id(&self) -> Option<u64> {
+        self.id()
+    }
+
     fn id(&self) -> Option<u64> {
         match self {
             WalRecord::Enqueued { inv } => Some(inv.id),

@@ -15,6 +15,7 @@
 //!                                              (dispatch thread, permit-bound)
 //! ```
 
+use crate::breakdown::{groups_from_spans, stages_from_traces, BreakdownReport, TenantBreakdown};
 use crate::characteristics::Characteristics;
 use crate::config::WorkerConfig;
 use crate::invocation::{InvocationHandle, InvocationResult, InvokeError};
@@ -35,6 +36,9 @@ use iluvatar_containers::image::Platform;
 use iluvatar_containers::types::SharedContainer;
 use iluvatar_containers::{BackendError, ContainerBackend, FunctionSpec};
 use iluvatar_sync::{Backoff, BackoffConfig, Clock, TaskPool, TimeMs};
+use iluvatar_telemetry::{
+    CounterBridge, FlightRecorder, TelemetryBus, TelemetryKind, TelemetrySink,
+};
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -92,6 +96,9 @@ const LIFECYCLE_STOPPED: u8 = 2;
 /// Traces the journal remembers before the oldest age out.
 const TRACE_CAPACITY: usize = 4096;
 
+/// Telemetry events the flight recorder retains (`GET /debug/flightrecorder`).
+const FLIGHT_RECORDER_CAPACITY: usize = 256;
+
 struct Shared {
     cfg: WorkerConfig,
     clock: Arc<dyn Clock>,
@@ -132,6 +139,15 @@ struct Shared {
     lifecycle: AtomicU8,
     /// Hard-stop (crash simulation): abandon queued work immediately.
     killed: AtomicBool,
+    /// The canonical telemetry stream (journal stages, WAL ops, lifecycle
+    /// transitions all fan out through here to attached sinks).
+    telemetry: Arc<TelemetryBus>,
+    /// Black-box ring of the most recent telemetry events, dumped on
+    /// crash/drain and snapshotted by the chaos harness on faults.
+    recorder: Arc<FlightRecorder>,
+    /// Per-kind event counters for the Prometheus exposition
+    /// (`iluvatar_telemetry_events_total`).
+    tel_counts: Arc<CounterBridge>,
 }
 
 impl Shared {
@@ -149,11 +165,49 @@ impl Shared {
     }
 
     /// Append to the WAL; trivially succeeds when journaling is disabled.
+    /// Every *landed* record is mirrored onto the telemetry stream (a
+    /// rejected append is the WAL's verdict, not an event that happened).
     fn wal_append(&self, rec: &WalRecord) -> bool {
         match &self.wal {
-            Some(w) => w.append(rec),
+            Some(w) => {
+                let ok = w.append(rec);
+                if ok {
+                    self.telemetry.emit(
+                        rec.trace_id(),
+                        None,
+                        TelemetryKind::Wal {
+                            op: rec.op_label().to_string(),
+                        },
+                    );
+                }
+                ok
+            }
             None => true,
         }
+    }
+
+    /// Emit a lifecycle transition on the telemetry stream.
+    fn emit_lifecycle(&self, state: &str) {
+        self.telemetry.emit(
+            None,
+            None,
+            TelemetryKind::Lifecycle {
+                state: state.to_string(),
+            },
+        );
+    }
+
+    /// Freeze the flight-recorder tail and leave a marker event in the
+    /// stream so readers can see *that* (and why) a snapshot was taken.
+    fn snapshot_recorder(&self, reason: &str) {
+        self.recorder.snapshot(reason);
+        self.telemetry.emit(
+            None,
+            None,
+            TelemetryKind::RecorderSnapshot {
+                reason: reason.to_string(),
+            },
+        );
     }
 }
 
@@ -190,6 +244,14 @@ impl Worker {
             cfg.lifecycle.wal_path.as_ref().and_then(|p| {
                 Wal::open(Path::new(p), cfg.lifecycle.effective_snapshot_every()).ok()
             });
+        // The canonical telemetry stream is always on; the flight recorder
+        // is its first sink, so the last N events are always dumpable even
+        // when no external sink was attached.
+        let telemetry = TelemetryBus::new(&cfg.name, Arc::clone(&clock));
+        let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_CAPACITY));
+        telemetry.add_sink(Arc::clone(&recorder) as Arc<dyn TelemetrySink>);
+        let tel_counts = Arc::new(CounterBridge::new());
+        telemetry.add_sink(Arc::clone(&tel_counts) as Arc<dyn TelemetrySink>);
         let shared = Arc::new(Shared {
             registry: Registry::new(Platform::LINUX_AMD64),
             chars: Characteristics::new(cfg.char_window),
@@ -219,9 +281,14 @@ impl Worker {
             quarantine_released: AtomicU64::new(0),
             lifecycle: AtomicU8::new(LIFECYCLE_RUNNING),
             killed: AtomicBool::new(false),
+            telemetry,
+            recorder,
+            tel_counts,
             clock,
             cfg,
         });
+        // The journal mirrors every trace stage onto the same stream.
+        shared.journal.set_telemetry(Arc::clone(&shared.telemetry));
 
         // The pool's evict sink holds a sender clone for the worker's whole
         // lifetime, so the destroyer cannot rely on channel disconnect for
@@ -565,6 +632,56 @@ impl Worker {
         &self.shared.spans
     }
 
+    /// The worker's canonical telemetry stream. Attach sinks here to tap
+    /// the unified event feed (journal stages, WAL ops, lifecycle).
+    pub fn telemetry(&self) -> &Arc<TelemetryBus> {
+        &self.shared.telemetry
+    }
+
+    /// The flight recorder — the bounded black box of recent telemetry
+    /// events, served at `GET /debug/flightrecorder`.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.shared.recorder
+    }
+
+    /// Per-kind telemetry event counts `(kind, tenant, count)` for the
+    /// Prometheus exposition.
+    pub fn telemetry_counts(&self) -> Vec<(String, String, u64)> {
+        self.shared.tel_counts.counts()
+    }
+
+    /// The critical-path breakdown (`GET /breakdown`): stage histograms
+    /// from the journaled trace milestones, Table-1 group histograms from
+    /// the span registry, and per-tenant completion counts.
+    pub fn breakdown(&self) -> BreakdownReport {
+        let s = &self.shared;
+        let traces = s.journal.recent(TRACE_CAPACITY);
+        let (stages, cold, warm) = stages_from_traces(&traces);
+        let invocations = stages
+            .iter()
+            .find(|st| st.stage == crate::breakdown::stages::E2E)
+            .map(|st| st.count)
+            .unwrap_or(0);
+        let mut tenants: Vec<TenantBreakdown> = self
+            .tenant_stats()
+            .into_iter()
+            .map(|t| TenantBreakdown {
+                tenant: t.tenant,
+                completed: t.served,
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        BreakdownReport {
+            source: s.cfg.name.clone(),
+            invocations,
+            cold,
+            warm,
+            stages,
+            groups: groups_from_spans(&s.spans.export()),
+            tenants,
+        }
+    }
+
     /// The full timeline of one invocation, if still journaled.
     pub fn trace(&self, id: u64) -> Option<TraceRecord> {
         self.shared.journal.get(id)
@@ -612,6 +729,8 @@ impl Worker {
         {
             return;
         }
+        s.emit_lifecycle("draining");
+        s.snapshot_recorder("drain");
         maybe_finalize(s);
     }
 
@@ -626,8 +745,13 @@ impl Worker {
         s.killed.store(true, Ordering::SeqCst);
         if let Some(w) = &s.wal {
             w.poison();
+            s.telemetry.emit(None, None, TelemetryKind::WalPoisoned);
         }
         s.lifecycle.store(LIFECYCLE_STOPPED, Ordering::SeqCst);
+        s.emit_lifecycle("killed");
+        // Freeze the black box at the moment of death — this is the dump a
+        // post-mortem `GET /debug/flightrecorder` reads.
+        s.snapshot_recorder("kill");
         if s.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -732,6 +856,7 @@ impl Worker {
         // Compact immediately: the recovered state becomes the new
         // baseline, so a second crash replays from here, not from genesis.
         wal_snapshot_now(s);
+        s.emit_lifecycle("recovered");
         let report = RecoveryReport {
             replayed: handles.len(),
             handles,
@@ -763,7 +888,9 @@ impl Worker {
             // Final compaction + flush (the WAL flushes per append; this
             // folds the tail into one authoritative snapshot).
             wal_snapshot_now(&s);
-            s.lifecycle.store(LIFECYCLE_STOPPED, Ordering::SeqCst);
+            if s.lifecycle.swap(LIFECYCLE_STOPPED, Ordering::SeqCst) != LIFECYCLE_STOPPED {
+                s.emit_lifecycle("stopped");
+            }
         }
         // Destroy any containers still parked in quarantine.
         let parked: Vec<SharedContainer> = s.quarantine.lock().drain(..).map(|(c, _)| c).collect();
@@ -1021,6 +1148,7 @@ fn maybe_finalize(s: &Shared) {
         .is_ok()
     {
         wal_snapshot_now(s);
+        s.emit_lifecycle("stopped");
     }
 }
 

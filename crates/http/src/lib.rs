@@ -33,6 +33,12 @@ pub const TRACE_HEADER: &str = "X-Iluvatar-Trace";
 /// (client → worker → agent).
 pub const TENANT_HEADER: &str = "X-Iluvatar-Tenant";
 
+/// Header carrying the emitting source's latest canonical-telemetry
+/// sequence number on API responses (worker and balancer). A caller that
+/// records this value can order its own observation against the source's
+/// event stream — "everything I caused has seq ≤ this".
+pub const SEQ_HEADER: &str = "X-Iluvatar-Seq";
+
 /// Errors surfaced by the client and server.
 #[derive(Debug)]
 pub enum HttpError {

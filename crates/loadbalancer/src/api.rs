@@ -11,10 +11,16 @@
 //!
 //! | method & path   | body                   | response |
 //! |-----------------|------------------------|----------|
-//! | `POST /invoke`  | `{"fqdn":…, "args":…}` | `WireResult` JSON |
+//! | `POST /invoke`  | `{"fqdn":…, "args":…}` | `WireResult` JSON (+ `X-Iluvatar-Seq` header) |
 //! | `GET  /status`  |                        | `LbStatus` JSON |
 //! | `GET  /fleet`   |                        | `FleetStatus` JSON (elastic fleet only) |
 //! | `GET  /metrics` |                        | Prometheus text |
+//! | `GET  /breakdown` |                      | cluster-merged `BreakdownReport` JSON |
+//! | `GET  /debug/flightrecorder` |           | the balancer's `FlightDump` JSON |
+//!
+//! The balancer runs its own [`TelemetryBus`] (source `lb`): dispatch,
+//! reroute, breaker, membership, and fleet scale events all flow through
+//! it into a flight recorder and a Prometheus counter bridge.
 
 use crate::cluster::{Cluster, ClusterSnapshot, TenantClusterStats};
 use crate::fleet::Fleet;
@@ -22,8 +28,9 @@ use iluvatar_core::api::WireResult;
 use iluvatar_core::exposition::{render_span_histograms, PromWriter};
 use iluvatar_core::InvokeError;
 use iluvatar_http::server::Handler;
-use iluvatar_http::{HttpServer, Method, Request, Response, Status};
-use iluvatar_sync::TaskPool;
+use iluvatar_http::{HttpServer, Method, Request, Response, Status, SEQ_HEADER};
+use iluvatar_sync::{SystemClock, TaskPool};
+use iluvatar_telemetry::{CounterBridge, FlightRecorder, TelemetryBus, TelemetrySink};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::net::SocketAddr;
@@ -105,7 +112,12 @@ fn status_of(snap: &ClusterSnapshot) -> LbStatus {
     }
 }
 
-fn render_metrics(snap: &ClusterSnapshot, served: u64, fleet: Option<&Fleet>) -> String {
+fn render_metrics(
+    snap: &ClusterSnapshot,
+    served: u64,
+    fleet: Option<&Fleet>,
+    tel: &CounterBridge,
+) -> String {
     let mut w = PromWriter::new();
     w.gauge(
         "iluvatar_lb_workers",
@@ -269,6 +281,19 @@ fn render_metrics(snap: &ClusterSnapshot, served: u64, fleet: Option<&Fleet>) ->
         &[],
         served as f64,
     );
+    for (kind, tenant, count) in tel.counts() {
+        let labels: Vec<(&str, &str)> = if tenant.is_empty() {
+            vec![("source", "lb"), ("kind", &kind)]
+        } else {
+            vec![("source", "lb"), ("kind", &kind), ("tenant", &tenant)]
+        };
+        w.counter(
+            "iluvatar_telemetry_events_total",
+            "Canonical telemetry events by kind",
+            &labels,
+            count as f64,
+        );
+    }
     // Cluster-wide Table-1 histograms, merged across workers.
     render_span_histograms(&mut w, &[("scope", "cluster")], &snap.spans);
     w.finish()
@@ -291,6 +316,10 @@ fn error_resp(e: &InvokeError) -> Response {
     json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))
 }
 
+/// Events the balancer's flight recorder keeps (dispatch churn is high, so
+/// the LB ring is larger than a worker's).
+const LB_FLIGHT_RECORDER_CAPACITY: usize = 512;
+
 /// The balancer's HTTP server plus its background scrape task (and, for
 /// elastic fleets, the autoscale control loop).
 pub struct LbApi {
@@ -298,6 +327,8 @@ pub struct LbApi {
     tasks: TaskPool,
     snapshot: Arc<Mutex<ClusterSnapshot>>,
     fleet: Option<Arc<Fleet>>,
+    telemetry: Arc<TelemetryBus>,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl LbApi {
@@ -314,6 +345,18 @@ impl LbApi {
         scrape_period: Duration,
         fleet: Option<Arc<Fleet>>,
     ) -> std::io::Result<Self> {
+        // The balancer's own canonical telemetry stream: the cluster's
+        // dispatch/reroute/breaker/membership events and the fleet's scale
+        // events fan out to a flight recorder and a counter bridge.
+        let telemetry = TelemetryBus::new("lb", SystemClock::shared());
+        let recorder = Arc::new(FlightRecorder::new(LB_FLIGHT_RECORDER_CAPACITY));
+        let tel_counts = Arc::new(CounterBridge::new());
+        telemetry.add_sink(Arc::clone(&recorder) as Arc<dyn TelemetrySink>);
+        telemetry.add_sink(Arc::clone(&tel_counts) as Arc<dyn TelemetrySink>);
+        cluster.set_telemetry(Arc::clone(&telemetry));
+        if let Some(f) = fleet.as_ref() {
+            f.set_telemetry(Arc::clone(&telemetry));
+        }
         let snapshot = Arc::new(Mutex::new(cluster.scrape()));
         let tasks = TaskPool::new(if fleet.is_some() { 2 } else { 1 });
         {
@@ -338,6 +381,9 @@ impl LbApi {
         }
         let snap = Arc::clone(&snapshot);
         let fleet_for_handler = fleet.clone();
+        let tel_for_handler = Arc::clone(&tel_counts);
+        let bus_for_handler = Arc::clone(&telemetry);
+        let recorder_for_handler = Arc::clone(&recorder);
         let served = Arc::new(Mutex::new(None::<iluvatar_http::ServerHandle>));
         let served2 = Arc::clone(&served);
         let handler: Handler = Arc::new(move |req: Request| {
@@ -353,9 +399,18 @@ impl LbApi {
                         &snap.lock(),
                         n,
                         fleet_for_handler.as_deref(),
+                        &tel_for_handler,
                     ))
                     .with_header("Content-Type", "text/plain; version=0.0.4")
                 }
+                (Method::Get, "/breakdown") => json_resp(
+                    Status::OK,
+                    serde_json::to_string(&cluster.breakdown()).unwrap(),
+                ),
+                (Method::Get, "/debug/flightrecorder") => json_resp(
+                    Status::OK,
+                    serde_json::to_string(&recorder_for_handler.wire_dump()).unwrap(),
+                ),
                 (Method::Get, "/fleet") => match &fleet_for_handler {
                     Some(f) => json_resp(Status::OK, serde_json::to_string(&f.status()).unwrap()),
                     None => json_resp(
@@ -373,13 +428,17 @@ impl LbApi {
                         if let Some(f) = &fleet_for_handler {
                             f.note_arrival(&b.fqdn);
                         }
-                        match cluster.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
+                        let resp = match cluster.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref())
+                        {
                             Ok(r) => {
                                 let wire: WireResult = r.into();
                                 json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
                             }
                             Err(e) => error_resp(&e),
-                        }
+                        };
+                        // Propagate the latest balancer event seqno so callers
+                        // can correlate responses with the telemetry stream.
+                        resp.with_header(SEQ_HEADER, bus_for_handler.latest_seq().to_string())
                     }
                     Err(e) => json_resp(
                         Status::BAD_REQUEST,
@@ -396,6 +455,8 @@ impl LbApi {
             tasks,
             snapshot,
             fleet,
+            telemetry,
+            recorder,
         })
     }
 
@@ -411,6 +472,16 @@ impl LbApi {
     /// The elastic fleet, when one is attached.
     pub fn fleet(&self) -> Option<&Arc<Fleet>> {
         self.fleet.as_ref()
+    }
+
+    /// The balancer's canonical telemetry bus (source `lb`).
+    pub fn telemetry(&self) -> &Arc<TelemetryBus> {
+        &self.telemetry
+    }
+
+    /// The balancer's flight recorder (served at `/debug/flightrecorder`).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     pub fn shutdown(&mut self) {
@@ -614,6 +685,117 @@ mod tests {
             text.contains("iluvatar_lb_tenant_throttled_total{tenant=\"free\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn breakdown_and_flightrecorder_over_lb_http() {
+        use iluvatar_core::BreakdownReport;
+        use iluvatar_telemetry::FlightDump;
+
+        let workers: Vec<Arc<dyn WorkerHandle>> = vec![live_worker("w0"), live_worker("w1")];
+        let cluster = Arc::new(Cluster::new(workers, LbPolicy::RoundRobin));
+        cluster
+            .register_all(FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        let api = LbApi::serve(Arc::clone(&cluster), Duration::from_millis(25)).unwrap();
+
+        for i in 0..4 {
+            let body = serde_json::to_vec(&InvokeBody {
+                fqdn: "f-1".into(),
+                args: "{}".into(),
+                tenant: Some("acme".into()),
+            })
+            .unwrap();
+            let resp = HttpClient::send(
+                api.addr(),
+                &Request::new(Method::Post, "/invoke").with_body(body),
+                Duration::from_secs(10),
+            )
+            .unwrap();
+            assert_eq!(resp.status, Status::OK, "body: {}", resp.body_str());
+            // Every invocation response carries the balancer's event seqno.
+            let seq: u64 = resp.header(SEQ_HEADER).unwrap().parse().unwrap();
+            assert!(seq > i, "seq {seq} after {} dispatches", i + 1);
+        }
+
+        // /breakdown merges both workers' reports into one cluster view.
+        let resp = get(api.addr(), "/breakdown");
+        assert_eq!(resp.status, Status::OK);
+        let report: BreakdownReport = serde_json::from_str(resp.body_str()).unwrap();
+        assert_eq!(report.source, "cluster");
+        assert_eq!(report.invocations, 4, "two workers, four invocations");
+        assert_eq!(report.cold + report.warm, 4);
+        assert!(
+            report.stages.iter().any(|s| s.count > 0),
+            "stage histograms populated"
+        );
+
+        // The balancer's flight recorder holds the dispatch events.
+        let resp = get(api.addr(), "/debug/flightrecorder");
+        assert_eq!(resp.status, Status::OK);
+        let dump: FlightDump = serde_json::from_str(resp.body_str()).unwrap();
+        assert!(
+            dump.events.iter().any(|e| e.kind.label() == "dispatch"),
+            "dispatches recorded: {:?}",
+            dump.events.len()
+        );
+        assert!(
+            dump.events.iter().all(|e| e.source == "lb"),
+            "one source per bus"
+        );
+
+        // The telemetry counter bridge renders on /metrics.
+        let text = get(api.addr(), "/metrics").body_str().to_string();
+        assert!(
+            text.contains("iluvatar_telemetry_events_total{source=\"lb\",kind=\"dispatch\",tenant=\"acme\"} 4"),
+            "text:\n{text}"
+        );
+    }
+
+    #[test]
+    fn scraped_span_percentiles_within_one_bucket_of_direct() {
+        use iluvatar_core::{merge_span_exports, SpanExport};
+        use iluvatar_sync::LogHistogram;
+
+        // Two workers' raw span durations, kept for the direct computation.
+        let samples_a: Vec<u64> = (0..500u64).map(|i| i * 97 + 13).collect();
+        let samples_b: Vec<u64> = (0..500u64).map(|i| i * 131 + 7).collect();
+        let export = |samples: &[u64]| {
+            let mut hist = LogHistogram::new();
+            for &v in samples {
+                hist.record(v);
+            }
+            SpanExport {
+                name: "call_container".into(),
+                count: samples.len() as u64,
+                total_us: samples.iter().sum(),
+                hist,
+            }
+        };
+        // The scrape hop: each export crosses worker → LB as JSON, exactly
+        // as `GET /spans` does, then merges into the cluster view.
+        let wire = |e: &SpanExport| -> SpanExport {
+            serde_json::from_str(&serde_json::to_string(e).unwrap()).unwrap()
+        };
+        let merged = merge_span_exports(&[
+            vec![wire(&export(&samples_a))],
+            vec![wire(&export(&samples_b))],
+        ]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].count, 1000);
+
+        let mut all: Vec<u64> = samples_a.iter().chain(&samples_b).copied().collect();
+        all.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * all.len() as f64).ceil() as usize).max(1);
+            let exact = all[rank - 1] as f64;
+            let est = merged[0].hist.percentile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= LogHistogram::REL_ERROR,
+                "p{q}: merged {est} vs direct {exact} (rel {rel})"
+            );
+        }
     }
 
     #[test]

@@ -13,13 +13,15 @@
 use crate::chbl::{ChBl, ChBlConfig};
 use iluvatar_containers::FunctionSpec;
 use iluvatar_core::{
-    merge_span_exports, InvocationResult, InvokeError, SpanExport, TenantSnapshot, Worker,
+    merge_span_exports, BreakdownReport, InvocationResult, InvokeError, SpanExport, TenantSnapshot,
+    Worker,
 };
+use iluvatar_telemetry::{TelemetryBus, TelemetryKind};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One health probe of a worker: its load plus whether it is draining.
@@ -81,6 +83,12 @@ pub trait WorkerHandle: Send + Sync + 'static {
     /// the handle doesn't track tenants.
     fn tenant_stats(&self) -> Vec<TenantSnapshot> {
         Vec::new()
+    }
+    /// The worker's critical-path breakdown, for the cluster-merged
+    /// `GET /breakdown`. Handles without one (test stubs, unreachable
+    /// workers) report `None`.
+    fn breakdown(&self) -> Option<BreakdownReport> {
+        None
     }
     /// Queue/lifecycle detail for the fleet manager's scaling signal.
     fn stats(&self) -> HandleStats {
@@ -209,6 +217,10 @@ impl WorkerHandle for RemoteWorker {
         self.client.status().map(|s| s.tenants).unwrap_or_default()
     }
 
+    fn breakdown(&self) -> Option<BreakdownReport> {
+        self.client.breakdown().ok()
+    }
+
     fn stats(&self) -> HandleStats {
         match self.client.status() {
             Ok(s) => HandleStats {
@@ -274,6 +286,10 @@ impl WorkerHandle for Worker {
 
     fn tenant_stats(&self) -> Vec<TenantSnapshot> {
         Worker::tenant_stats(self)
+    }
+
+    fn breakdown(&self) -> Option<BreakdownReport> {
+        Some(Worker::breakdown(self))
     }
 
     fn stats(&self) -> HandleStats {
@@ -474,6 +490,10 @@ pub struct Cluster {
     /// Last-known per-worker tenant snapshots; an unreachable worker keeps
     /// contributing its final counters to the cluster rollup.
     tenant_cache: Mutex<Vec<Vec<TenantSnapshot>>>,
+    /// Canonical telemetry stream: dispatch/reroute/breaker/membership
+    /// events fan out here once a bus is attached (the bus carries its own
+    /// clock — the cluster itself is clockless).
+    telemetry: OnceLock<Arc<TelemetryBus>>,
 }
 
 impl Cluster {
@@ -542,10 +562,30 @@ impl Cluster {
             rerouted: AtomicU64::new(0),
             tenant_lb: Mutex::new(HashMap::new()),
             tenant_cache: Mutex::new(vec![Vec::new(); n]),
+            telemetry: OnceLock::new(),
             slots,
             names,
             present,
         }
+    }
+
+    /// Attach the canonical telemetry bus. First call wins; events emitted
+    /// before any bus is attached are dropped.
+    pub fn set_telemetry(&self, bus: Arc<TelemetryBus>) {
+        let _ = self.telemetry.set(bus);
+    }
+
+    fn tel(&self, tenant: Option<&str>, kind: TelemetryKind) {
+        if let Some(bus) = self.telemetry.get() {
+            bus.emit(None, tenant, kind);
+        }
+    }
+
+    fn slot_name(&self, idx: usize) -> String {
+        self.names
+            .get(idx)
+            .map(|n| n.lock().clone())
+            .unwrap_or_else(|| format!("slot-{idx}"))
     }
 
     /// Slot capacity (the CH-BL ring size), not the live worker count —
@@ -588,6 +628,13 @@ impl Cluster {
                 self.healthy[idx].store(false, Ordering::Relaxed);
                 self.draining[idx].store(false, Ordering::Relaxed);
                 *self.probe_after[idx].lock() = None;
+                self.tel(
+                    None,
+                    TelemetryKind::Membership {
+                        target: self.slot_name(idx),
+                        change: "attach".into(),
+                    },
+                );
                 return Ok(idx);
             }
         }
@@ -612,6 +659,13 @@ impl Cluster {
             self.draining[idx].store(false, Ordering::Relaxed);
             *self.probe_after[idx].lock() = None;
             *self.breakers[idx].lock() = Breaker::new();
+            self.tel(
+                None,
+                TelemetryKind::Membership {
+                    target: self.slot_name(idx),
+                    change: "detach".into(),
+                },
+            );
         }
         handle
     }
@@ -648,6 +702,13 @@ impl Cluster {
                     b.opened_at = Some(Instant::now());
                     self.healthy[idx].store(false, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.tel(
+                        None,
+                        TelemetryKind::Breaker {
+                            target: self.slot_name(idx),
+                            state: "open".into(),
+                        },
+                    );
                 }
             }
             BreakerState::HalfOpen => {
@@ -665,6 +726,13 @@ impl Cluster {
         if b.state != BreakerState::Closed {
             b.state = BreakerState::Closed;
             self.healthy[idx].store(true, Ordering::Relaxed);
+            self.tel(
+                None,
+                TelemetryKind::Breaker {
+                    target: self.slot_name(idx),
+                    state: "closed".into(),
+                },
+            );
         }
         b.failures = 0;
         b.opened_at = None;
@@ -792,6 +860,12 @@ impl Cluster {
             None => self.pick(fqdn),
         };
         self.dispatched[w].fetch_add(1, Ordering::Relaxed);
+        self.tel(
+            tenant,
+            TelemetryKind::Dispatch {
+                target: self.slot_name(w),
+            },
+        );
         if let Some(t) = tenant {
             self.tenant_lb.lock().entry(t.to_string()).or_default().0 += 1;
         }
@@ -820,6 +894,13 @@ impl Cluster {
     /// sent a `Retry-After`, suppress probes until the hint expires.
     fn note_draining(&self, idx: usize, retry_after_ms: u64) {
         self.draining[idx].store(true, Ordering::Relaxed);
+        self.tel(
+            None,
+            TelemetryKind::Membership {
+                target: self.slot_name(idx),
+                change: "draining".into(),
+            },
+        );
         if retry_after_ms > 0 {
             *self.probe_after[idx].lock() =
                 Some(Instant::now() + Duration::from_millis(retry_after_ms));
@@ -858,6 +939,13 @@ impl Cluster {
             };
             self.rerouted.fetch_add(1, Ordering::Relaxed);
             self.dispatched[i].fetch_add(1, Ordering::Relaxed);
+            self.tel(
+                tenant,
+                TelemetryKind::Reroute {
+                    from: self.slot_name(failed),
+                    to: self.slot_name(i),
+                },
+            );
             if let Some(t) = tenant {
                 let mut lb = self.tenant_lb.lock();
                 let e = lb.entry(t.to_string()).or_default();
@@ -876,6 +964,16 @@ impl Cluster {
                 other => return other,
             }
         }
+    }
+
+    /// Merge every reachable worker's critical-path breakdown into one
+    /// cluster-wide report (lossless histogram merges; unreachable workers
+    /// are skipped).
+    pub fn breakdown(&self) -> BreakdownReport {
+        let reports: Vec<BreakdownReport> = (0..self.slots.len())
+            .filter_map(|i| self.handle(i).and_then(|w| w.breakdown()))
+            .collect();
+        BreakdownReport::merge(&reports)
     }
 
     /// Merge per-worker tenant snapshots (last-known for unreachable
@@ -1552,5 +1650,88 @@ mod tests {
         assert!(snap.spans.is_empty(), "stubs export no spans");
         assert_eq!(snap.dispatched.iter().sum::<u64>(), 1);
         assert_eq!(snap.present, vec![true, true]);
+    }
+
+    #[test]
+    fn telemetry_mirrors_dispatch_and_membership() {
+        use iluvatar_sync::ManualClock;
+        use iluvatar_telemetry::{TelemetryBus, VecSink};
+
+        let (stubs, cluster) = stub_cluster(2, LbPolicy::RoundRobin);
+        let bus = TelemetryBus::new("lb", Arc::new(ManualClock::starting_at(0)));
+        let sink = Arc::new(VecSink::new());
+        bus.add_sink(Arc::clone(&sink) as Arc<dyn iluvatar_telemetry::TelemetrySink>);
+        cluster.set_telemetry(Arc::clone(&bus));
+
+        cluster.invoke_tenant("f-1", "{}", Some("acme")).unwrap();
+        let retired = cluster.detach(0).unwrap();
+        cluster.attach(retired).unwrap();
+
+        let labels: Vec<String> = sink.events().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["dispatch", "membership:detach", "membership:attach"]
+        );
+        let dispatch = &sink.events()[0];
+        assert_eq!(dispatch.source, "lb");
+        assert_eq!(dispatch.tenant.as_deref(), Some("acme"));
+        assert_eq!(stubs.len(), 2);
+    }
+
+    #[test]
+    fn telemetry_mirrors_breaker_trips_and_reroutes() {
+        use iluvatar_sync::ManualClock;
+        use iluvatar_telemetry::{TelemetryBus, VecSink};
+
+        /// A worker whose invocations always fail at the transport layer.
+        struct DeadWorker;
+        impl WorkerHandle for DeadWorker {
+            fn name(&self) -> String {
+                "dead".into()
+            }
+            fn load(&self) -> f64 {
+                0.0
+            }
+            fn register(&self, _spec: FunctionSpec) -> Result<(), String> {
+                Ok(())
+            }
+            fn invoke(&self, _fqdn: &str, _args: &str) -> Result<InvocationResult, InvokeError> {
+                Err(InvokeError::Backend("gone".into()))
+            }
+        }
+
+        let live = StubWorker::new("alive");
+        let handles: Vec<Arc<dyn WorkerHandle>> = vec![
+            Arc::new(DeadWorker) as Arc<dyn WorkerHandle>,
+            Arc::clone(&live) as Arc<dyn WorkerHandle>,
+        ];
+        let cluster = Cluster::with_breaker(
+            handles,
+            LbPolicy::RoundRobin,
+            BreakerConfig {
+                failure_threshold: 1,
+                open_cooldown_ms: 60_000,
+            },
+        );
+        let bus = TelemetryBus::new("lb", Arc::new(ManualClock::starting_at(0)));
+        let sink = Arc::new(VecSink::new());
+        bus.add_sink(Arc::clone(&sink) as Arc<dyn iluvatar_telemetry::TelemetrySink>);
+        cluster.set_telemetry(bus);
+
+        // Force dispatch onto the dead worker: round-robin starts at 0.
+        cluster.invoke("f-1", "{}").unwrap();
+        assert_eq!(live.calls.load(Ordering::SeqCst), 1, "rerouted to live");
+        let labels: Vec<String> = sink.events().iter().map(|e| e.kind.label()).collect();
+        assert!(labels.contains(&"breaker:open".to_string()), "{labels:?}");
+        assert!(labels.contains(&"reroute".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn stub_breakdown_merges_to_empty_report() {
+        let (_stubs, cluster) = stub_cluster(2, LbPolicy::RoundRobin);
+        cluster.invoke("f-1", "{}").unwrap();
+        let report = cluster.breakdown();
+        assert_eq!(report.source, "cluster");
+        assert_eq!(report.invocations, 0, "stubs expose no breakdown");
     }
 }

@@ -14,11 +14,12 @@ use iluvatar_autoscale::{
     AutoscaleConfig, FleetObservation, ScaleDirection, ScaleEvent, ScalingDecision, ScalingPolicy,
 };
 use iluvatar_containers::FunctionSpec;
+use iluvatar_telemetry::{TelemetryBus, TelemetryKind};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Spawns workers for scale-up. `seq` is a monotonically increasing fleet
 /// sequence number, for stable worker naming (`elastic-3`, …).
@@ -84,6 +85,9 @@ pub struct Fleet {
     /// Per-function arrivals since the last observation (fed by the LB's
     /// invoke path, drained each tick into the observation).
     arrivals: Mutex<BTreeMap<String, u64>>,
+    /// Canonical telemetry stream: every journaled scale event is mirrored
+    /// here once a bus is attached.
+    telemetry: OnceLock<Arc<TelemetryBus>>,
 }
 
 impl Fleet {
@@ -106,7 +110,14 @@ impl Fleet {
             journal: Mutex::new(Vec::new()),
             event_counts: Mutex::new(BTreeMap::new()),
             arrivals: Mutex::new(BTreeMap::new()),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Attach the canonical telemetry bus. First call wins; scale events
+    /// journaled before any bus is attached are not mirrored.
+    pub fn set_telemetry(&self, bus: Arc<TelemetryBus>) {
+        let _ = self.telemetry.set(bus);
     }
 
     pub fn config(&self) -> &AutoscaleConfig {
@@ -225,6 +236,18 @@ impl Fleet {
             .lock()
             .entry((e.direction.label().to_string(), e.reason.clone()))
             .or_default() += 1;
+        if let Some(bus) = self.telemetry.get() {
+            bus.emit(
+                None,
+                None,
+                TelemetryKind::Scale {
+                    direction: e.direction.label().to_string(),
+                    reason: e.reason.clone(),
+                    from: e.from as u64,
+                    to: e.to as u64,
+                },
+            );
+        }
         self.journal.lock().push(e);
     }
 
@@ -653,5 +676,52 @@ mod tests {
         let json = serde_json::to_string(&st).unwrap();
         let back: FleetStatus = serde_json::from_str(&json).unwrap();
         assert_eq!(back.events.len(), 1);
+    }
+
+    #[test]
+    fn scale_events_mirror_to_telemetry() {
+        use iluvatar_sync::ManualClock;
+        use iluvatar_telemetry::{TelemetrySink, VecSink};
+
+        let (_cluster, fleet, _) = fleet_of(cfg());
+        let bus = TelemetryBus::new("fleet", Arc::new(ManualClock::starting_at(7)));
+        let sink = Arc::new(VecSink::new());
+        bus.add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+        fleet.set_telemetry(bus);
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 2,
+                    reason: "burst",
+                },
+                100,
+            )
+            .unwrap();
+        fleet
+            .apply(
+                &ScalingDecision::ScaleDown {
+                    remove: 1,
+                    reason: "idle",
+                },
+                200,
+            )
+            .unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind.label(), "scale:up");
+        assert_eq!(events[0].at_ms, 7, "stamped by the bus clock");
+        match &events[1].kind {
+            TelemetryKind::Scale {
+                direction,
+                reason,
+                from,
+                to,
+            } => {
+                assert_eq!(direction, "down");
+                assert_eq!(reason, "idle");
+                assert_eq!((*from, *to), (3, 2));
+            }
+            other => panic!("expected scale event, got {other:?}"),
+        }
     }
 }

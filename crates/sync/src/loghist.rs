@@ -344,6 +344,54 @@ mod tests {
         assert_eq!(a.count(), 1000);
     }
 
+    fn hist_of(samples: impl IntoIterator<Item = u64>) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for v in samples {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = hist_of((0..300u64).map(|i| i * 7 + 3));
+        let b = hist_of((0..200u64).map(|i| i * i));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.percentile(0.99), ba.percentile(0.99));
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = hist_of([1u64, 50, 900, 12_345]);
+        let b = hist_of((0..100u64).map(|i| i * 1000));
+        let c = hist_of([u64::MAX, 0, 7]);
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_identity_is_the_empty_histogram() {
+        let a = hist_of((0..50u64).map(|i| i * 31));
+        let mut merged = a.clone();
+        merged.merge(&LogHistogram::new());
+        assert_eq!(merged, a);
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
     #[test]
     fn count_le_is_monotone_and_complete() {
         let mut h = LogHistogram::new();

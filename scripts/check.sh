@@ -71,4 +71,24 @@ if [[ "$digest_a" != "$digest_b" ]]; then
 fi
 echo "autoscale digest stable: $digest_a"
 
+echo "=== telemetry determinism (fixed seed, two runs) ==="
+# The canonical telemetry stream must replay bit-identically: same seed,
+# same per-trace event sequences, same per-kind counts, same flight-
+# recorder snapshots. A mismatch means thread timing leaked into the
+# pipeline (e.g. digesting raw seqnos, which race across threads).
+TELEMETRY_SEED=42
+digest_a=$(./target/release/telemetry_session --seed "$TELEMETRY_SEED")
+digest_b=$(./target/release/telemetry_session --seed "$TELEMETRY_SEED")
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "telemetry digests diverged for seed $TELEMETRY_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "telemetry digest stable: $digest_a"
+
+echo "=== overhead budget (p50/p99 per Table-1 group) ==="
+# Replays a fixed warm trace over the real HTTP hot path and checks each
+# Table-1 group's p50/p99 dispatch overhead (from GET /breakdown) against
+# wide-headroom budgets. Exits non-zero on any breach.
+./target/release/abl_overhead_budget
+
 echo "all checks passed"

@@ -1,0 +1,205 @@
+//! Deterministic telemetry session: one seeded fault-injected run, one
+//! digest computed from the canonical telemetry stream.
+//!
+//! Drives a worker over a fault-injecting backend (the `chaos_session`
+//! acceptance mix) with the injector wired into the worker's telemetry bus
+//! and flight recorder, then digests what flowed through the pipeline:
+//! per-trace event-label sequences, aggregate per-kind counts, the
+//! per-tenant books, and the flight-recorder snapshot reasons. Identical
+//! seeds must print identical digests — `check.sh` runs this twice and
+//! diffs the output to catch nondeterminism in the telemetry path itself.
+//!
+//! The digest deliberately folds *labels and counts*, never sequence
+//! numbers or timestamps: seqnos are assigned across worker threads and
+//! timestamps come from the wall clock, so neither is reproducible.
+//!
+//! ```text
+//! telemetry_session [--seed n] [--invocations n] [--time-scale f]
+//! ```
+//!
+//! Stdout carries exactly one line (the hex digest); the human-readable
+//! run summary — event counts and snapshot reasons — goes to stderr.
+
+use iluvatar_chaos::{FaultInjector, FaultPlanConfig, FaultSpec};
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::{ContainerBackend, FunctionSpec};
+use iluvatar_core::{
+    AdmissionConfig, LifecycleConfig, ResilienceConfig, TenantSpec, Worker, WorkerConfig,
+};
+use iluvatar_sync::SystemClock;
+use iluvatar_telemetry::{TelemetrySink, VecSink};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fold(digest: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let invocations: usize = arg_value(&args, "--invocations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+
+    // A fresh per-process WAL so the stream covers the wal:* event family;
+    // the digest never depends on the path.
+    let wal_dir = std::env::temp_dir().join(format!("iluvatar-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("wal dir");
+    let wal_path = wal_dir.join(format!("queue-{seed}.wal"));
+    let wal_path = wal_path.to_str().expect("utf-8 wal path").to_string();
+
+    let clock = SystemClock::shared();
+    let sim = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig {
+            time_scale,
+            ..Default::default()
+        },
+    ));
+    let faults = FaultPlanConfig {
+        seed,
+        create_fail: FaultSpec::with_prob(0.05),
+        invoke_hang: FaultSpec::with_prob(0.02),
+        invoke_error: FaultSpec::with_prob(0.10),
+        hang_ms: 150,
+        ..Default::default()
+    };
+    let injector = Arc::new(FaultInjector::new(sim, faults));
+    let cfg = WorkerConfig {
+        resilience: ResilienceConfig {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            agent_timeout_ms: 40,
+            ..Default::default()
+        },
+        admission: AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("chaos-a"),
+            TenantSpec::new("chaos-b"),
+        ]),
+        lifecycle: LifecycleConfig {
+            snapshot_every: 8,
+            ..LifecycleConfig::with_wal(&wal_path)
+        },
+        ..WorkerConfig::for_testing()
+    };
+    let mut worker = Worker::new(
+        cfg,
+        Arc::clone(&injector) as Arc<dyn ContainerBackend>,
+        clock,
+    );
+    // Capture the canonical stream, and wire the injector into the worker's
+    // bus + recorder so every fired fault streams and auto-snapshots.
+    let sink = Arc::new(VecSink::new());
+    worker
+        .telemetry()
+        .add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    injector
+        .plan()
+        .set_telemetry(Arc::clone(worker.telemetry()));
+    injector
+        .plan()
+        .set_flight_recorder(Arc::clone(worker.flight_recorder()));
+    worker
+        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .expect("register");
+
+    let mut failed = 0usize;
+    for i in 0..invocations {
+        let tenant = if i.is_multiple_of(2) {
+            "chaos-a"
+        } else {
+            "chaos-b"
+        };
+        let id = match worker.invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant)) {
+            Ok(r) => r.trace_id,
+            Err(_) => {
+                failed += 1;
+                worker.recent_traces(1)[0].trace_id
+            }
+        };
+        // Serialize the stream: wait for this invocation's timeline to
+        // complete before the next one starts emitting.
+        loop {
+            if worker.trace(id).is_some_and(|r| r.completed()) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    worker.shutdown();
+
+    let events = sink.events();
+    let mut by_trace: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &events {
+        let label = e.kind.label();
+        *totals.entry(label.clone()).or_default() += 1;
+        if let Some(t) = e.trace_id {
+            by_trace.entry(t).or_default().push(label);
+        }
+    }
+    let mut digest = FNV_OFFSET;
+    // Per-trace label sequences, traces in id order (ids are folded by
+    // position, not value — the counter's start is an implementation detail).
+    for (i, (_, labels)) in by_trace.iter().enumerate() {
+        fold(&mut digest, &format!("t{i}="));
+        for l in labels {
+            fold(&mut digest, l);
+            fold(&mut digest, ",");
+        }
+        fold(&mut digest, ";");
+    }
+    for (label, count) in &totals {
+        fold(&mut digest, &format!("{label}:{count};"));
+    }
+    let mut tstats = worker.tenant_stats();
+    tstats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    for t in &tstats {
+        fold(
+            &mut digest,
+            &format!(
+                "{}:{}:{}:{}:{};",
+                t.tenant, t.admitted, t.throttled, t.shed, t.served
+            ),
+        );
+    }
+    let snapshots = worker.flight_recorder().snapshots();
+    for s in &snapshots {
+        fold(&mut digest, &format!("snap:{};", s.reason));
+    }
+
+    eprintln!(
+        "seed={seed} invocations={invocations} ok={} failed={failed} events={}",
+        invocations - failed,
+        events.len()
+    );
+    for (label, count) in &totals {
+        eprintln!("  {label}: {count}");
+    }
+    eprintln!("  flight-recorder snapshots: {}", snapshots.len());
+    for s in &snapshots {
+        eprintln!("    {} ({} events)", s.reason, s.events.len());
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    println!("{digest:016x}");
+}
