@@ -1,0 +1,323 @@
+//! Reference model for the per-target circuit breaker.
+//!
+//! Two views of the same machine:
+//!
+//! * [`BreakerMachine`] — the *command-level* spec: feed it the stimuli the
+//!   cluster can generate (failure, probe success, cooldown, attach,
+//!   detach) and it produces the next state plus the event the
+//!   implementation must emit. The exhaustive transition-table test
+//!   enumerates every (state, stimulus) pair against it.
+//! * [`BreakerModel`] — the *stream-level* checker: consumes observed
+//!   `breaker:{open,half_open,closed}` and membership events per target and
+//!   flags illegal edges:
+//!
+//! ```text
+//!             trip (failures ≥ threshold)
+//!   Closed ───────────────────────────────▶ Open
+//!      ▲                                     │ cooldown elapsed
+//!      │ probe success                       ▼
+//!      └───────────────────────────────── HalfOpen
+//!                 failed probe: HalfOpen ──▶ Open (re-open)
+//! ```
+//!
+//! Rules: `breaker-illegal-transition` (an emitted state not reachable by
+//! one legal edge from the current state), `draining-never-trips` (a target
+//! the balancer is draining must not be tripped open — drain suppression is
+//! not a failure), `breaker-on-empty-slot` (events for detached targets).
+
+use crate::ModelError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The three breaker states, as emitted on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "closed" => Some(BreakerState::Closed),
+            "open" => Some(BreakerState::Open),
+            "half_open" => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the cluster can do to one target's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stimulus {
+    /// A dispatch or probe against the target failed.
+    Failure,
+    /// A health probe succeeded.
+    ProbeSuccess,
+    /// The open-state cooldown elapsed (the periodic `advance`).
+    CooldownElapsed,
+    /// The target was attached to a slot (enters awaiting-admission:
+    /// an Open breaker whose cooldown is already over).
+    Attach,
+    /// The target was detached; its breaker state is discarded.
+    Detach,
+}
+
+impl Stimulus {
+    pub const ALL: [Stimulus; 5] = [
+        Stimulus::Failure,
+        Stimulus::ProbeSuccess,
+        Stimulus::CooldownElapsed,
+        Stimulus::Attach,
+        Stimulus::Detach,
+    ];
+}
+
+/// Command-level executable spec of one breaker.
+#[derive(Debug, Clone)]
+pub struct BreakerMachine {
+    pub state: BreakerState,
+    pub failures: u32,
+    pub threshold: u32,
+}
+
+impl BreakerMachine {
+    pub fn new(threshold: u32) -> Self {
+        Self {
+            state: BreakerState::Closed,
+            failures: 0,
+            threshold: threshold.max(1),
+        }
+    }
+
+    /// Apply one stimulus; returns the breaker event label the
+    /// implementation must emit for this edge (`None` = silent).
+    pub fn step(&mut self, s: Stimulus) -> Option<&'static str> {
+        match (self.state, s) {
+            (BreakerState::Closed, Stimulus::Failure) => {
+                self.failures += 1;
+                if self.failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.failures = 0;
+                    Some("open")
+                } else {
+                    None
+                }
+            }
+            (BreakerState::HalfOpen, Stimulus::Failure) => {
+                // Failed probe: straight back to Open (re-open, no
+                // eviction re-count).
+                self.state = BreakerState::Open;
+                Some("open")
+            }
+            (BreakerState::Open, Stimulus::Failure) => None, // already open
+            (BreakerState::Closed, Stimulus::ProbeSuccess) => {
+                self.failures = 0;
+                None
+            }
+            (BreakerState::HalfOpen, Stimulus::ProbeSuccess)
+            | (BreakerState::Open, Stimulus::ProbeSuccess) => {
+                // Open+ProbeSuccess is unreachable in the implementation
+                // (probes are suppressed while Open); the spec still
+                // defines it, mirroring `record_success`'s "any non-Closed
+                // state closes" code path.
+                self.state = BreakerState::Closed;
+                self.failures = 0;
+                Some("closed")
+            }
+            (BreakerState::Open, Stimulus::CooldownElapsed) => {
+                self.state = BreakerState::HalfOpen;
+                Some("half_open")
+            }
+            (_, Stimulus::CooldownElapsed) => None,
+            (_, Stimulus::Attach) => {
+                // Awaiting admission: Open with an already-elapsed
+                // cooldown, so the first advance probes it. Silent — the
+                // stream carries `membership:attach` instead.
+                self.state = BreakerState::Open;
+                self.failures = 0;
+                None
+            }
+            (_, Stimulus::Detach) => {
+                self.state = BreakerState::Closed;
+                self.failures = 0;
+                None
+            }
+        }
+    }
+}
+
+/// Stream-level breaker conformance over every target.
+#[derive(Debug, Default)]
+pub struct BreakerModel {
+    /// Observed state per attached target. Constructor-seeded workers start
+    /// Closed; workers attached via `membership:attach` start Open
+    /// (awaiting admission).
+    state: BTreeMap<String, BreakerState>,
+    draining: BTreeSet<String>,
+}
+
+impl BreakerModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A target present before the stream began (constructor-seeded slot):
+    /// breaker starts Closed.
+    pub fn seed(&mut self, target: &str) {
+        self.state.insert(target.to_string(), BreakerState::Closed);
+    }
+
+    /// `membership:attach` for `target`.
+    pub fn attached(&mut self, target: &str) {
+        // Awaiting admission = Open, cooldown pre-elapsed.
+        self.state.insert(target.to_string(), BreakerState::Open);
+        self.draining.remove(target);
+    }
+
+    /// `membership:draining` for `target`.
+    pub fn draining(&mut self, target: &str) {
+        self.draining.insert(target.to_string());
+    }
+
+    /// `membership:detach` for `target` — breaker state discarded.
+    pub fn detached(&mut self, target: &str) {
+        self.state.remove(target);
+        self.draining.remove(target);
+    }
+
+    pub fn state_of(&self, target: &str) -> Option<BreakerState> {
+        self.state.get(target).copied()
+    }
+
+    /// An observed `breaker:{state}` event for `target`.
+    pub fn observe(&mut self, target: &str, state_label: &str) -> Result<(), ModelError> {
+        let Some(next) = BreakerState::parse(state_label) else {
+            return Err(ModelError::new(
+                "breaker-illegal-transition",
+                format!("target `{target}` emitted unknown breaker state `{state_label}`"),
+            ));
+        };
+        let Some(cur) = self.state.get(target).copied() else {
+            return Err(ModelError::new(
+                "breaker-on-empty-slot",
+                format!("breaker event `{state_label}` for detached target `{target}`"),
+            ));
+        };
+        let legal = matches!(
+            (cur, next),
+            // Trip from Closed, or a failed probe re-opening from HalfOpen.
+            (BreakerState::Closed, BreakerState::Open)
+                | (BreakerState::HalfOpen, BreakerState::Open)
+                // Cooldown elapsed.
+                | (BreakerState::Open, BreakerState::HalfOpen)
+                // Successful probe.
+                | (BreakerState::HalfOpen, BreakerState::Closed)
+        );
+        if !legal {
+            return Err(ModelError::new(
+                "breaker-illegal-transition",
+                format!(
+                    "target `{target}`: `{}` → `{}` is not a legal breaker edge",
+                    cur.label(),
+                    next.label()
+                ),
+            ));
+        }
+        if next == BreakerState::Open
+            && cur == BreakerState::Closed
+            && self.draining.contains(target)
+        {
+            return Err(ModelError::new(
+                "draining-never-trips",
+                format!("draining target `{target}` was tripped open — drain suppression must not count as failure"),
+            ));
+        }
+        self.state.insert(target.to_string(), next);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_trips_at_threshold() {
+        let mut m = BreakerMachine::new(2);
+        assert_eq!(m.step(Stimulus::Failure), None);
+        assert_eq!(m.step(Stimulus::Failure), Some("open"));
+        assert_eq!(m.state, BreakerState::Open);
+        assert_eq!(m.step(Stimulus::CooldownElapsed), Some("half_open"));
+        assert_eq!(m.step(Stimulus::ProbeSuccess), Some("closed"));
+        assert_eq!(m.state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut m = BreakerMachine::new(1);
+        m.step(Stimulus::Failure);
+        m.step(Stimulus::CooldownElapsed);
+        assert_eq!(m.step(Stimulus::Failure), Some("open"));
+    }
+
+    #[test]
+    fn stream_model_accepts_legal_cycle() {
+        let mut b = BreakerModel::new();
+        b.seed("w0");
+        b.observe("w0", "open").unwrap();
+        b.observe("w0", "half_open").unwrap();
+        b.observe("w0", "closed").unwrap();
+        b.observe("w0", "open").unwrap();
+    }
+
+    #[test]
+    fn stream_model_rejects_skipped_edges() {
+        let mut b = BreakerModel::new();
+        b.seed("w0");
+        // Closed → half_open skips the trip.
+        assert_eq!(
+            b.observe("w0", "half_open").unwrap_err().rule,
+            "breaker-illegal-transition"
+        );
+        b.observe("w0", "open").unwrap();
+        // Open → closed skips the probe.
+        assert_eq!(
+            b.observe("w0", "closed").unwrap_err().rule,
+            "breaker-illegal-transition"
+        );
+    }
+
+    #[test]
+    fn draining_targets_must_not_trip() {
+        let mut b = BreakerModel::new();
+        b.seed("w1");
+        b.draining("w1");
+        assert_eq!(
+            b.observe("w1", "open").unwrap_err().rule,
+            "draining-never-trips"
+        );
+    }
+
+    #[test]
+    fn attach_enters_awaiting_admission() {
+        let mut b = BreakerModel::new();
+        b.attached("w2");
+        // First legal event is the post-probe half_open, then closed.
+        b.observe("w2", "half_open").unwrap();
+        b.observe("w2", "closed").unwrap();
+        b.detached("w2");
+        assert_eq!(
+            b.observe("w2", "open").unwrap_err().rule,
+            "breaker-on-empty-slot"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Exhaustive breaker transition table: every (state, stimulus) pair
+//! through [`BreakerMachine`], checked against a hand-written expectation
+//! table, and cross-checked against the stream-level [`BreakerModel`] —
+//! every edge the machine emits must be accepted by the stream checker,
+//! and every edge the stream checker accepts must be producible by some
+//! stimulus.
+//!
+//! Pairs that are unreachable in the implementation (probes are suppressed
+//! while Open, so `Open + ProbeSuccess` never fires live) are still part of
+//! the spec and still enumerated: the table documents what the code path
+//! would do, not only what the scheduler happens to exercise.
+
+use iluvatar_conformance::{BreakerMachine, BreakerModel, BreakerState, Stimulus};
+
+use BreakerState::{Closed, HalfOpen, Open};
+use Stimulus::{Attach, CooldownElapsed, Detach, Failure, ProbeSuccess};
+
+/// Drive a threshold-1 machine into `state`.
+fn machine_in(state: BreakerState) -> BreakerMachine {
+    let mut m = BreakerMachine::new(1);
+    match state {
+        Closed => {}
+        Open => {
+            assert_eq!(m.step(Failure), Some("open"));
+        }
+        HalfOpen => {
+            assert_eq!(m.step(Failure), Some("open"));
+            assert_eq!(m.step(CooldownElapsed), Some("half_open"));
+        }
+    }
+    assert_eq!(m.state, state);
+    m
+}
+
+/// The full spec table: (state, stimulus) → (next state, emitted event).
+/// With threshold 1, a Closed-state failure trips immediately.
+const TABLE: [(BreakerState, Stimulus, BreakerState, Option<&str>); 15] = [
+    (Closed, Failure, Open, Some("open")),
+    (Closed, ProbeSuccess, Closed, None),
+    (Closed, CooldownElapsed, Closed, None),
+    (Closed, Attach, Open, None), // awaiting admission, silent
+    (Closed, Detach, Closed, None),
+    (Open, Failure, Open, None), // already open
+    // Unreachable live (probes suppressed while Open); spec mirrors
+    // `record_success`'s "any non-Closed state closes" path.
+    (Open, ProbeSuccess, Closed, Some("closed")),
+    (Open, CooldownElapsed, HalfOpen, Some("half_open")),
+    (Open, Attach, Open, None),
+    (Open, Detach, Closed, None),
+    (HalfOpen, Failure, Open, Some("open")), // failed probe re-opens
+    (HalfOpen, ProbeSuccess, Closed, Some("closed")),
+    (HalfOpen, CooldownElapsed, HalfOpen, None),
+    (HalfOpen, Attach, Open, None),
+    (HalfOpen, Detach, Closed, None),
+];
+
+#[test]
+fn table_is_exhaustive() {
+    // 3 states × 5 stimuli, no pair listed twice.
+    assert_eq!(TABLE.len(), 3 * Stimulus::ALL.len());
+    for state in [Closed, Open, HalfOpen] {
+        for stim in Stimulus::ALL {
+            let n = TABLE
+                .iter()
+                .filter(|(s, t, _, _)| *s == state && *t == stim)
+                .count();
+            assert_eq!(n, 1, "pair ({state:?}, {stim:?}) listed {n} times");
+        }
+    }
+}
+
+#[test]
+fn machine_matches_the_table() {
+    for &(state, stim, expect_state, expect_event) in &TABLE {
+        let mut m = machine_in(state);
+        let emitted = m.step(stim);
+        assert_eq!(
+            emitted, expect_event,
+            "({state:?}, {stim:?}) emitted {emitted:?}, spec says {expect_event:?}"
+        );
+        assert_eq!(
+            m.state, expect_state,
+            "({state:?}, {stim:?}) landed in {:?}, spec says {expect_state:?}",
+            m.state
+        );
+    }
+}
+
+/// The one (state, stimulus) pair the implementation can never exercise:
+/// probes are suppressed while Open, so no probe success is ever reported
+/// to an Open breaker. The machine still specifies it (mirroring
+/// `record_success`'s "any non-Closed state closes"), but the stream model
+/// deliberately rejects the resulting Open → Closed edge — seeing one live
+/// means probe suppression is broken.
+const UNREACHABLE_LIVE: [(BreakerState, Stimulus); 1] = [(Open, ProbeSuccess)];
+
+/// Walk a fresh stream model into `state` via legal edges.
+fn model_in(state: BreakerState) -> BreakerModel {
+    let mut model = BreakerModel::new();
+    model.seed("w");
+    match state {
+        Closed => {}
+        Open => model.observe("w", "open").unwrap(),
+        HalfOpen => {
+            model.observe("w", "open").unwrap();
+            model.observe("w", "half_open").unwrap();
+        }
+    }
+    model
+}
+
+#[test]
+fn every_emitted_edge_is_stream_legal() {
+    for &(state, stim, _, expect_event) in &TABLE {
+        let Some(label) = expect_event else { continue };
+        let mut model = model_in(state);
+        let accepted = model.observe("w", label).is_ok();
+        if UNREACHABLE_LIVE.contains(&(state, stim)) {
+            assert!(
+                !accepted,
+                "({state:?}, {stim:?}) is unreachable live; the stream model rejecting \
+                 its `{label}` edge is what makes the suppression observable"
+            );
+        } else {
+            assert!(
+                accepted,
+                "({state:?}, {stim:?}) emits `{label}` but the stream model rejects it"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_stream_legal_edge_is_machine_producible() {
+    // For each (cur, next) pair the stream model accepts, some live-reachable
+    // stimulus must drive the machine cur → next while emitting next's label
+    // — and vice versa.
+    for cur in [Closed, Open, HalfOpen] {
+        for next in [Closed, Open, HalfOpen] {
+            if cur == next {
+                continue; // self-loops are never announced on the stream
+            }
+            let stream_legal = model_in(cur).observe("w", next.label()).is_ok();
+            let machine_producible = Stimulus::ALL
+                .iter()
+                .filter(|&&stim| !UNREACHABLE_LIVE.contains(&(cur, stim)))
+                .any(|&stim| {
+                    let mut m = machine_in(cur);
+                    m.step(stim) == Some(next.label()) && m.state == next
+                });
+            assert_eq!(
+                stream_legal, machine_producible,
+                "edge {cur:?} → {next:?}: stream-legal={stream_legal} but machine-producible={machine_producible}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threshold_counts_only_consecutive_failures() {
+    let mut m = BreakerMachine::new(3);
+    assert_eq!(m.step(Failure), None);
+    assert_eq!(m.step(Failure), None);
+    // A success wipes the streak.
+    assert_eq!(m.step(ProbeSuccess), None);
+    assert_eq!(m.step(Failure), None);
+    assert_eq!(m.step(Failure), None);
+    assert_eq!(m.step(Failure), Some("open"));
+    assert_eq!(m.state, Open);
+}
+
+#[test]
+fn attach_resets_the_failure_streak() {
+    let mut m = BreakerMachine::new(2);
+    assert_eq!(m.step(Failure), None);
+    assert_eq!(m.step(Attach), None); // re-slotted: Open, streak cleared
+    assert_eq!(m.state, Open);
+    assert_eq!(m.step(CooldownElapsed), Some("half_open"));
+    assert_eq!(m.step(ProbeSuccess), Some("closed"));
+    // The pre-attach failure must not count toward the new incarnation.
+    assert_eq!(m.step(Failure), None);
+    assert_eq!(m.step(Failure), Some("open"));
+}

@@ -170,17 +170,40 @@ impl Shared {
     fn wal_append(&self, rec: &WalRecord) -> bool {
         match &self.wal {
             Some(w) => {
-                let ok = w.append(rec);
-                if ok {
+                let landed = w.append(rec);
+                if landed {
+                    // Mirror the record payload onto the event so stream
+                    // consumers (the conformance checker in particular) can
+                    // drive the WAL/DRR reference models without the file.
+                    let (tenant, cost_ms, weight, done_ok, throttled) = match rec {
+                        WalRecord::Enqueued { inv } => (
+                            inv.tenant.clone(),
+                            Some(inv.expected_exec_ms),
+                            Some(inv.tenant_weight),
+                            None,
+                            None,
+                        ),
+                        WalRecord::Completed { tenant, ok, .. } => {
+                            (tenant.clone(), None, None, Some(*ok), None)
+                        }
+                        WalRecord::Shed {
+                            tenant, throttled, ..
+                        } => (tenant.clone(), None, None, None, Some(*throttled)),
+                        _ => (None, None, None, None, None),
+                    };
                     self.telemetry.emit(
                         rec.trace_id(),
-                        None,
+                        tenant.as_deref(),
                         TelemetryKind::Wal {
                             op: rec.op_label().to_string(),
+                            cost_ms,
+                            weight,
+                            ok: done_ok,
+                            throttled,
                         },
                     );
                 }
-                ok
+                landed
             }
             None => true,
         }
@@ -780,6 +803,22 @@ impl Worker {
         clock: Arc<dyn Clock>,
         specs: &[FunctionSpec],
     ) -> (Worker, RecoveryReport) {
+        Self::recover_with_sinks(cfg, backend, clock, specs, &[])
+    }
+
+    /// [`Worker::recover`] with telemetry sinks attached *before* the
+    /// replayed invocations are re-enqueued. Replay starts executing the
+    /// moment items hit the queue — a sink attached after `recover`
+    /// returns races the re-execution and observes a torn stream. Stream
+    /// consumers that must see the complete recovered timeline (the
+    /// conformance checker) pass their sinks here.
+    pub fn recover_with_sinks(
+        cfg: WorkerConfig,
+        backend: Arc<dyn ContainerBackend>,
+        clock: Arc<dyn Clock>,
+        specs: &[FunctionSpec],
+        sinks: &[Arc<dyn TelemetrySink>],
+    ) -> (Worker, RecoveryReport) {
         let st = cfg
             .lifecycle
             .wal_path
@@ -787,6 +826,9 @@ impl Worker {
             .and_then(|p| crate::wal::replay(Path::new(p)).ok())
             .unwrap_or_default();
         let worker = Worker::new(cfg, backend, clock);
+        for sink in sinks {
+            worker.shared.telemetry.add_sink(Arc::clone(sink));
+        }
         for spec in specs {
             let _ = worker.register(spec.clone());
         }

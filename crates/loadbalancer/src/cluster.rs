@@ -675,6 +675,16 @@ impl Cluster {
     pub fn mark_draining(&self, idx: usize) {
         if idx < self.draining.len() {
             self.draining[idx].store(true, Ordering::Relaxed);
+            // Stream the transition: the fleet model's drain-never-kill
+            // invariant (a detach must be preceded by draining) is checked
+            // from exactly this event.
+            self.tel(
+                None,
+                TelemetryKind::Membership {
+                    target: self.slot_name(idx),
+                    change: "draining".into(),
+                },
+            );
         }
     }
 
@@ -712,8 +722,18 @@ impl Cluster {
                 }
             }
             BreakerState::HalfOpen => {
+                // A failed probe re-opens without re-counting the eviction,
+                // but the transition still streams: the observable per-target
+                // sequence stays a legal walk of the breaker machine.
                 b.state = BreakerState::Open;
                 b.opened_at = Some(Instant::now());
+                self.tel(
+                    None,
+                    TelemetryKind::Breaker {
+                        target: self.slot_name(idx),
+                        state: "open".into(),
+                    },
+                );
             }
             BreakerState::Open => {}
         }
@@ -749,6 +769,13 @@ impl Cluster {
                 .unwrap_or(true);
             if cooled {
                 b.state = BreakerState::HalfOpen;
+                self.tel(
+                    None,
+                    TelemetryKind::Breaker {
+                        target: self.slot_name(idx),
+                        state: "half_open".into(),
+                    },
+                );
             }
         }
         b.state

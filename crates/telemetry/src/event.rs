@@ -15,8 +15,21 @@ pub enum TelemetryKind {
     Trace { stage: String },
     /// A record appended to the queue write-ahead log; `op` is the
     /// record's tag (`enqueued`, `dequeued`, `completed`, `shed`,
-    /// `snapshot`).
-    Wal { op: String },
+    /// `snapshot`). The optional fields mirror the record payload so a
+    /// conformance checker can drive reference models (DRR, WAL) from the
+    /// event stream alone: `cost_ms`/`weight` ride `enqueued`, `ok` rides
+    /// `completed`, `throttled` rides `shed`.
+    Wal {
+        op: String,
+        #[serde(default)]
+        cost_ms: Option<f64>,
+        #[serde(default)]
+        weight: Option<f64>,
+        #[serde(default)]
+        ok: Option<bool>,
+        #[serde(default)]
+        throttled: Option<bool>,
+    },
     /// The write-ahead log was poisoned (crash simulation / kill).
     WalPoisoned,
     /// A worker lifecycle transition: `running`, `draining`, `stopped`,
@@ -47,12 +60,24 @@ pub enum TelemetryKind {
 }
 
 impl TelemetryKind {
+    /// A WAL event with no payload mirror (tests, emitters that only need
+    /// the op tag).
+    pub fn wal(op: impl Into<String>) -> Self {
+        TelemetryKind::Wal {
+            op: op.into(),
+            cost_ms: None,
+            weight: None,
+            ok: None,
+            throttled: None,
+        }
+    }
+
     /// Stable, timestamp-free label — the unit of deterministic digests
     /// and of the [`crate::CounterBridge`] counter keys.
     pub fn label(&self) -> String {
         match self {
             TelemetryKind::Trace { stage } => format!("trace:{stage}"),
-            TelemetryKind::Wal { op } => format!("wal:{op}"),
+            TelemetryKind::Wal { op, .. } => format!("wal:{op}"),
             TelemetryKind::WalPoisoned => "wal_poisoned".into(),
             TelemetryKind::Lifecycle { state } => format!("lifecycle:{state}"),
             TelemetryKind::Dispatch { .. } => "dispatch".into(),
@@ -95,9 +120,7 @@ mod tests {
             TelemetryKind::Trace {
                 stage: "ingested".into(),
             },
-            TelemetryKind::Wal {
-                op: "enqueued".into(),
-            },
+            TelemetryKind::wal("enqueued"),
             TelemetryKind::WalPoisoned,
             TelemetryKind::Lifecycle {
                 state: "draining".into(),

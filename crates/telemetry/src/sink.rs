@@ -138,13 +138,7 @@ mod tests {
                 stage: "ingested".into(),
             },
         ));
-        sink.emit(&ev(
-            2,
-            Some("t"),
-            TelemetryKind::Wal {
-                op: "enqueued".into(),
-            },
-        ));
+        sink.emit(&ev(2, Some("t"), TelemetryKind::wal("enqueued")));
         let buf = sink.into_inner();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();

@@ -85,6 +85,29 @@ if [[ "$digest_a" != "$digest_b" ]]; then
 fi
 echo "telemetry digest stable: $digest_a"
 
+echo "=== conformance replay (fixed seed, two runs) ==="
+# Replays seeded chaos / crash-recovery / autoscale / DRR session streams
+# through the executable reference models (WAL, DRR, breaker, fleet). The
+# binary exits non-zero on any model violation, printing the first
+# offending event with its preceding context; the digest double-run
+# asserts the replay itself is deterministic.
+CONFORMANCE_SEED=42
+digest_a=$(./target/release/conformance_session --seed "$CONFORMANCE_SEED")
+digest_b=$(./target/release/conformance_session --seed "$CONFORMANCE_SEED")
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "conformance digests diverged for seed $CONFORMANCE_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "conformance digest stable: $digest_a"
+
+echo "=== conformance mutation smoke (checker must catch seeded corruption) ==="
+# Flips one event in known-good streams (duplicate completion, dropped
+# append, reordered result, flipped ok-bit, illegal breaker edge, kill of
+# a draining worker, double-attach) and requires the checker to flag each
+# with the expected rule. A silent pass here means the checker has gone
+# blind and the replay gate above is vacuous.
+./target/release/conformance_session --mutate
+
 echo "=== overhead budget (p50/p99 per Table-1 group) ==="
 # Replays a fixed warm trace over the real HTTP hot path and checks each
 # Table-1 group's p50/p99 dispatch overhead (from GET /breakdown) against

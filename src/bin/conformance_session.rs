@@ -1,0 +1,1052 @@
+//! Conformance session: replay the seeded session streams against the
+//! executable reference models and prove zero violations — then prove the
+//! checker has teeth by mutating known-good streams and demanding it bites.
+//!
+//! Five scenarios, each a real subsystem driven end-to-end with its
+//! canonical telemetry captured and fed through [`iluvatar_conformance`]:
+//!
+//! * **A — chaos**: the `telemetry_session` mix (fault-injected backend,
+//!   retries, WAL, admission) through the WAL/timeline models.
+//! * **B — kill/recover**: the `lifecycle_session` crash at a seeded
+//!   submission, both incarnations' streams through one cumulative checker
+//!   (`note_restart` between them), plus an offline differential: the raw
+//!   WAL file through `ingest_wal_record` must agree with `wal::replay`.
+//! * **C — autoscale**: the `autoscale_session` burst over a real fleet,
+//!   membership/breaker/scale events through the fleet + breaker models.
+//! * **D1 — live DRR**: a worker running the DRR queue policy under two
+//!   weighted tenants; FIFO-within-tenant refinement + deficit bounds.
+//! * **D2 — direct DRR**: a hand-driven [`DrrQueue`] with a synthesized
+//!   event stream; *strict* refinement — every pop must match the model's.
+//!
+//! With `--mutate`, scenarios A and C are re-run and their captured streams
+//! put through a mutation battery: each mutation flips one event in a
+//! known-good stream and the checker must report the injected violation
+//! (with its rule and event context) or the battery exits nonzero.
+//!
+//! ```text
+//! conformance_session [--seed n] [--time-scale f] [--mutate]
+//! ```
+//!
+//! Stdout carries exactly one line — the hex digest in digest mode, a
+//! `mutation-smoke: caught/total` line in `--mutate` mode. Details go to
+//! stderr. `check.sh` diffs two digest runs and gates on the battery.
+
+use iluvatar_autoscale::{AutoscaleConfig, FleetObservation, ScalingPolicyKind};
+use iluvatar_chaos::{sites, FaultInjector, FaultPlan, FaultPlanConfig, FaultSpec};
+use iluvatar_conformance::{Checker, ConformanceReport};
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::{ContainerBackend, FunctionSpec};
+use iluvatar_core::queue::QueuedInvocation;
+use iluvatar_core::{
+    wal, AdmissionConfig, DrrQueue, InvocationHandle, LifecycleConfig, QueuePolicyKind,
+    ResilienceConfig, TelemetryBus, TelemetryEvent, TelemetryKind, TelemetrySink, TenantSpec,
+    WalRecord, Worker, WorkerConfig,
+};
+use iluvatar_lb::cluster::WorkerHandle;
+use iluvatar_lb::{BreakerConfig, Cluster, Fleet, LbPolicy};
+use iluvatar_sync::SystemClock;
+use iluvatar_telemetry::VecSink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fold(digest: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("iluvatar-conf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+fn report_violations(scenario: &str, report: &ConformanceReport) {
+    if !report.ok() {
+        eprintln!(
+            "scenario {scenario}: {} violation(s) on a real stream:",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------- scenario A
+
+/// Chaos mix: the `telemetry_session` configuration, checked.
+fn scenario_chaos(seed: u64, time_scale: f64) -> (Vec<TelemetryEvent>, String) {
+    let dir = temp_dir("chaos");
+    let wal_path = dir.join("queue.wal").to_str().unwrap().to_string();
+    let invocations = 24usize;
+
+    let clock = SystemClock::shared();
+    let sim = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig {
+            time_scale,
+            ..Default::default()
+        },
+    ));
+    let faults = FaultPlanConfig {
+        seed,
+        create_fail: FaultSpec::with_prob(0.05),
+        invoke_hang: FaultSpec::with_prob(0.02),
+        invoke_error: FaultSpec::with_prob(0.10),
+        hang_ms: 150,
+        ..Default::default()
+    };
+    let injector = Arc::new(FaultInjector::new(sim, faults));
+    let cfg = WorkerConfig {
+        resilience: ResilienceConfig {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            agent_timeout_ms: 40,
+            ..Default::default()
+        },
+        admission: AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("chaos-a"),
+            TenantSpec::new("chaos-b"),
+        ]),
+        lifecycle: LifecycleConfig {
+            snapshot_every: 8,
+            ..LifecycleConfig::with_wal(&wal_path)
+        },
+        ..WorkerConfig::for_testing()
+    };
+    let mut worker = Worker::new(
+        cfg,
+        Arc::clone(&injector) as Arc<dyn ContainerBackend>,
+        clock,
+    );
+    let sink = Arc::new(VecSink::new());
+    worker
+        .telemetry()
+        .add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    injector
+        .plan()
+        .set_telemetry(Arc::clone(worker.telemetry()));
+    injector
+        .plan()
+        .set_flight_recorder(Arc::clone(worker.flight_recorder()));
+    worker
+        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .expect("register");
+
+    for i in 0..invocations {
+        let tenant = if i % 2 == 0 { "chaos-a" } else { "chaos-b" };
+        let id = match worker.invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant)) {
+            Ok(r) => r.trace_id,
+            Err(_) => worker.recent_traces(1)[0].trace_id,
+        };
+        // Serialize: each trace completes before the next starts emitting.
+        loop {
+            if worker.trace(id).is_some_and(|r| r.completed()) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    worker.shutdown();
+
+    let events = sink.events();
+    let mut checker = Checker::new();
+    for ev in &events {
+        checker.ingest(ev);
+    }
+    let report = checker.finish();
+    report_violations("A", &report);
+
+    // Digest: the same crash-timing-free material telemetry_session folds —
+    // per-trace label sequences, per-label totals, tenant books, snapshot
+    // reasons — plus the (zero) violation count.
+    let mut part = String::new();
+    let mut by_trace: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for e in &events {
+        if let Some(t) = e.trace_id {
+            by_trace.entry(t).or_default().push(e.kind.label());
+        }
+    }
+    for (i, (_, labels)) in by_trace.iter().enumerate() {
+        part.push_str(&format!("t{i}={};", labels.join(",")));
+    }
+    for (label, count) in &report.label_counts {
+        part.push_str(&format!("{label}:{count};"));
+    }
+    let mut tstats = worker.tenant_stats();
+    tstats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    for t in &tstats {
+        part.push_str(&format!(
+            "{}:{}:{}:{}:{};",
+            t.tenant, t.admitted, t.throttled, t.shed, t.served
+        ));
+    }
+    for s in &worker.flight_recorder().snapshots() {
+        part.push_str(&format!("snap:{};", s.reason));
+    }
+    part.push_str(&format!("violations={};", report.violations.len()));
+    eprintln!(
+        "scenario A (chaos): {} events, {} traces, 0 violations",
+        report.events,
+        by_trace.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (events, part)
+}
+
+// ---------------------------------------------------------------- scenario B
+
+/// Crash + recovery: both incarnations through one cumulative checker, plus
+/// the raw WAL file differentially against `wal::replay`.
+fn scenario_lifecycle(seed: u64, time_scale: f64) -> String {
+    let dir = temp_dir("lifecycle");
+    let wal_path = dir.join("queue.wal").to_str().unwrap().to_string();
+    let kill_at = 12u64;
+    let invocations = 24u64;
+
+    let clock = SystemClock::shared();
+    let spec = FunctionSpec::new("f", "1").with_timing(100, 400);
+    let mk_cfg = || WorkerConfig {
+        lifecycle: LifecycleConfig {
+            snapshot_every: 8,
+            ..LifecycleConfig::with_wal(&wal_path)
+        },
+        admission: AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("lc-a"),
+            TenantSpec::new("lc-b"),
+        ]),
+        ..WorkerConfig::for_testing()
+    };
+    let mk_backend = || -> Arc<dyn ContainerBackend> {
+        Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig {
+                time_scale,
+                ..Default::default()
+            },
+        ))
+    };
+    let plan = FaultPlan::new(FaultPlanConfig {
+        seed,
+        worker_kill: FaultSpec::on_occurrences(vec![kill_at]),
+        ..Default::default()
+    });
+
+    let mut worker = Worker::new(mk_cfg(), mk_backend(), Arc::clone(&clock));
+    let sink1 = Arc::new(VecSink::new());
+    worker
+        .telemetry()
+        .add_sink(Arc::clone(&sink1) as Arc<dyn TelemetrySink>);
+    worker.register(spec.clone()).expect("register");
+
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut killed = false;
+    for i in 0..invocations {
+        if plan.decide(sites::WORKER_KILL) && !killed {
+            worker.kill();
+            killed = true;
+        }
+        let tenant = if i % 2 == 0 { "lc-a" } else { "lc-b" };
+        if worker
+            .async_invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant))
+            .is_ok()
+        {
+            accepted.push(worker.recent_traces(1)[0].trace_id);
+        }
+    }
+    if !killed {
+        worker.kill();
+    }
+    drop(worker); // joins in-flight threads; all part-1 emits are flushed
+
+    // Offline differential first, while the file still holds the crash tail:
+    // the same records through the model must agree with `wal::replay`.
+    let replay = wal::replay(std::path::Path::new(&wal_path)).expect("replay wal");
+    let mut file_checker = Checker::new();
+    let mut torn = 0u64;
+    let wal_text = std::fs::read_to_string(&wal_path).expect("read wal");
+    for line in wal_text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<WalRecord>(line) {
+            Ok(rec) => file_checker.ingest_wal_record("wal-file", &rec),
+            Err(_) => torn += 1,
+        }
+    }
+    let file_report = file_checker.finish();
+    report_violations("B/file", &file_report);
+    assert_eq!(torn, replay.torn_lines, "torn-line counts must agree");
+    let replay_pending: Vec<u64> = replay.pending.iter().map(|p| p.id).collect();
+    assert_eq!(
+        file_report.wal_pending, replay_pending,
+        "model pending set must equal wal::replay's"
+    );
+    for t in &replay.tenants {
+        let book = file_report
+            .wal_books
+            .get(&t.tenant)
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(
+            (book.admitted, book.served, book.throttled, book.shed),
+            (t.admitted, t.served, t.throttled, t.shed),
+            "tenant `{}` books diverge between model and wal::replay",
+            t.tenant
+        );
+    }
+
+    // Recover, with the second incarnation's stream on its own sink.
+    let sink2 = Arc::new(VecSink::new());
+    let (recovered, rec_report) = Worker::recover_with_sinks(
+        mk_cfg(),
+        mk_backend(),
+        clock,
+        std::slice::from_ref(&spec),
+        &[Arc::clone(&sink2) as Arc<dyn TelemetrySink>],
+    );
+    let mut replay_failed = 0u64;
+    for (_id, handle) in rec_report.handles {
+        if handle.wait().is_err() {
+            replay_failed += 1;
+        }
+    }
+    let st = recovered.status();
+    assert_eq!(replay_failed, 0, "replayed invocations must complete");
+    assert_eq!(
+        st.completed,
+        accepted.len() as u64,
+        "accepted-before-kill invocations lost"
+    );
+
+    // Stream conformance across the crash: part 1, restart, part 2. The
+    // checker must accept the whole story — at-least-once re-execution,
+    // exactly-once accounting, no result-before-durable on the live side.
+    let mut checker = Checker::new()
+        .with_require_terminal(false)
+        .with_context_window(64);
+    for ev in &sink1.events() {
+        checker.ingest(ev);
+    }
+    checker.note_restart("test-worker");
+    drop(recovered); // shutdown: flush the final snapshot + lifecycle stop
+    for ev in &sink2.events() {
+        checker.ingest(ev);
+    }
+    let report = checker.finish();
+    report_violations("B", &report);
+
+    let mut part = String::new();
+    for id in &accepted {
+        part.push_str(&format!("{id};"));
+    }
+    for (tenant, book) in &report.wal_books {
+        part.push_str(&format!(
+            "{tenant}:{}:{}:{}:{};",
+            book.admitted, book.served, book.throttled, book.shed
+        ));
+    }
+    part.push_str(&format!(
+        "completed={};violations={};file_violations={};",
+        st.completed,
+        report.violations.len(),
+        file_report.violations.len()
+    ));
+    eprintln!(
+        "scenario B (kill/recover): accepted={} replayed={} completed={} file-pending={:?} 0 violations",
+        accepted.len(),
+        rec_report.replayed,
+        st.completed,
+        replay_pending
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    part
+}
+
+// ---------------------------------------------------------------- scenario C
+
+/// Elastic fleet burst: membership, breaker, and scale events checked.
+fn scenario_fleet(seed: u64, time_scale: f64) -> (Vec<TelemetryEvent>, String) {
+    let mut cfg = AutoscaleConfig::enabled_with(
+        ScalingPolicyKind::all()
+            .into_iter()
+            .find(|k| k.name() == "reactive-queue-delay")
+            .expect("policy"),
+    );
+    cfg.min_workers = 1;
+    cfg.max_workers = 6;
+    cfg.interval_ms = 500;
+    cfg.scale_up_cooldown_ms = 500;
+    cfg.scale_down_cooldown_ms = 2_000;
+    cfg.max_step = 2;
+    let interval_ms = cfg.interval_ms;
+    let ticks = 48u64;
+
+    let clock = SystemClock::shared();
+    let mk_worker = {
+        let clock = Arc::clone(&clock);
+        move |name: String| -> Arc<dyn WorkerHandle> {
+            let backend = Arc::new(SimBackend::new(
+                Arc::clone(&clock),
+                SimBackendConfig {
+                    time_scale,
+                    ..Default::default()
+                },
+            ));
+            let mut wcfg = WorkerConfig::for_testing();
+            wcfg.name = name;
+            Arc::new(Worker::new(wcfg, backend, Arc::clone(&clock)))
+        }
+    };
+    let cluster = Arc::new(Cluster::with_capacity(
+        vec![mk_worker("w0".to_string())],
+        LbPolicy::ChBl(Default::default()),
+        BreakerConfig::default(),
+        cfg.max_workers,
+    ));
+    let factory = {
+        let mk_worker = mk_worker.clone();
+        move |seq: usize| Ok(mk_worker(format!("elastic-{seq}")))
+    };
+    let fleet = Fleet::new(Arc::clone(&cluster), Box::new(factory), cfg);
+
+    // One bus for both emitters (the api.rs wiring): membership + breaker
+    // from the cluster, scale from the fleet, all on source `lb`.
+    let bus = TelemetryBus::new("lb", Arc::clone(&clock));
+    let sink = Arc::new(VecSink::new());
+    bus.add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    cluster.set_telemetry(Arc::clone(&bus));
+    fleet.set_telemetry(bus);
+
+    let specs: Vec<FunctionSpec> = (0..4)
+        .map(|i| FunctionSpec::new(format!("f{i}"), "1").with_timing(100, 400))
+        .collect();
+    for s in &specs {
+        cluster.register_all(s.clone()).expect("register");
+        fleet.remember_spec(s.clone());
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let service_per_tick = 10.0f64;
+    let burst_start = ticks / 4;
+    let burst_end = ticks / 2;
+    let mut backlog = 0.0f64;
+    let mut invoked = 0u64;
+    let mut invoke_errors = 0u64;
+    let mut peak_live = 0usize;
+    let mut trajectory = String::new();
+
+    for tick in 0..ticks {
+        let t_ms = tick * interval_ms;
+        let base = if (burst_start..burst_end).contains(&tick) {
+            55.0
+        } else {
+            2.0
+        };
+        let jitter: f64 = rng.gen_range(0.0..5.0);
+        let arrivals = (base + jitter).round() as u64;
+        for i in 0..arrivals.min(6) {
+            let fqdn = format!("f{}-1", (tick + i) % 4);
+            fleet.note_arrival(&fqdn);
+            match cluster.invoke(&fqdn, "{}") {
+                Ok(_) => invoked += 1,
+                Err(_) => invoke_errors += 1,
+            }
+        }
+        let live = fleet.live().max(1);
+        let capacity = live as f64 * service_per_tick;
+        backlog = (backlog + arrivals as f64 - capacity).max(0.0);
+        let delay_ms = backlog / capacity * interval_ms as f64;
+        let per_fn: Vec<(String, u64)> = (0..4)
+            .map(|i| {
+                (
+                    format!("f{i}-1"),
+                    arrivals / 4 + u64::from(i < (arrivals % 4) as usize),
+                )
+            })
+            .collect();
+        let obs = FleetObservation {
+            now_ms: t_ms,
+            live,
+            draining: fleet.draining(),
+            queued: backlog.round() as u64,
+            running: capacity.min(backlog + arrivals as f64).round() as u64,
+            mean_queue_delay_ms: delay_ms,
+            max_queue_delay_ms: delay_ms as u64,
+            concurrency_limit: 8,
+            arrivals,
+            per_fn_arrivals: per_fn,
+        };
+        fleet.reap();
+        let decision = fleet.evaluate(&obs);
+        fleet.apply(&decision, t_ms).expect("apply decision");
+        let live_now = fleet.live();
+        peak_live = peak_live.max(live_now);
+        trajectory.push_str(&format!("t{t_ms}:live={live_now};"));
+    }
+    loop {
+        fleet.reap();
+        if fleet.draining() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        peak_live >= 3,
+        "burst must grow the fleet, peak {peak_live}"
+    );
+    assert_eq!(fleet.live(), 1, "quiet tail must return to min_workers");
+    assert_eq!(invoke_errors, 0, "elasticity must not drop invocations");
+
+    let events = sink.events();
+    let mut checker = Checker::new().seed_worker("w0");
+    for ev in &events {
+        checker.ingest(ev);
+    }
+    let report = checker.finish();
+    report_violations("C", &report);
+
+    let mut part = trajectory;
+    for e in &fleet.events() {
+        part.push_str(&format!(
+            "e:{}:{}:{}:{}->{};",
+            e.t_ms,
+            e.direction.label(),
+            e.reason,
+            e.from,
+            e.to
+        ));
+    }
+    part.push_str(&format!(
+        "invoked={invoked};errors={invoke_errors};violations={};",
+        report.violations.len()
+    ));
+    eprintln!(
+        "scenario C (autoscale): {} lb events, peak_live={peak_live}, 0 violations",
+        report.events
+    );
+    (events, part)
+}
+
+// --------------------------------------------------------------- scenario D1
+
+/// A live worker on the DRR queue policy: FIFO-within-tenant refinement,
+/// deficit bounds, and long-run weighted fairness on the real stream.
+fn scenario_drr_live(time_scale: f64) -> String {
+    let dir = temp_dir("drr");
+    let wal_path = dir.join("queue.wal").to_str().unwrap().to_string();
+    let invocations = 48usize;
+
+    let clock = SystemClock::shared();
+    let backend = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig {
+            time_scale,
+            ..Default::default()
+        },
+    ));
+    let mut cfg = WorkerConfig {
+        admission: AdmissionConfig::enabled_with(vec![
+            TenantSpec::new("gold").with_weight(3.0),
+            TenantSpec::new("bronze"),
+        ]),
+        lifecycle: LifecycleConfig {
+            snapshot_every: 16,
+            ..LifecycleConfig::with_wal(&wal_path)
+        },
+        ..WorkerConfig::for_testing()
+    };
+    cfg.queue.policy = QueuePolicyKind::Drr;
+    cfg.queue.drr_quantum_ms = 50;
+    let mut worker = Worker::new(cfg, backend, clock);
+    let sink = Arc::new(VecSink::new());
+    worker
+        .telemetry()
+        .add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    worker
+        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .expect("register");
+
+    // Burst the queue: async submissions from one thread, so stream order
+    // equals enqueue order and the FIFO-within-tenant check is sound.
+    let mut handles = Vec::new();
+    for i in 0..invocations {
+        let tenant = if i % 2 == 0 { "gold" } else { "bronze" };
+        let h = worker
+            .async_invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant))
+            .expect("enqueue");
+        handles.push(h);
+    }
+    let mut ok = 0usize;
+    for h in handles {
+        if h.wait().is_ok() {
+            ok += 1;
+        }
+    }
+    worker.shutdown();
+
+    let events = sink.events();
+    let mut checker = Checker::new().with_drr_fifo(50.0);
+    for ev in &events {
+        checker.ingest(ev);
+    }
+    let report = checker.finish();
+    report_violations("D1", &report);
+
+    // Only schedule-independent material: wal op counts, the books, the
+    // completion total. (Warm/cold acquisition labels are racy.)
+    let mut part = String::new();
+    for (label, count) in &report.label_counts {
+        if label.starts_with("wal:") {
+            part.push_str(&format!("{label}:{count};"));
+        }
+    }
+    for (tenant, book) in &report.wal_books {
+        part.push_str(&format!(
+            "{tenant}:{}:{}:{}:{};",
+            book.admitted, book.served, book.throttled, book.shed
+        ));
+    }
+    part.push_str(&format!("ok={ok};violations={};", report.violations.len()));
+    eprintln!(
+        "scenario D1 (live DRR): {} events, ok={ok}/{invocations}, 0 violations",
+        report.events
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    part
+}
+
+// --------------------------------------------------------------- scenario D2
+
+/// The real [`DrrQueue`] driven directly, with a synthesized event stream
+/// checked in *strict* mode: every pop must be exactly the model's pop.
+struct DrrSim {
+    rng: StdRng,
+    queue: DrrQueue,
+    checker: Checker,
+    seq: u64,
+    next_id: u64,
+    /// Result handles must outlive their senders in the queued items.
+    keep_alive: Vec<InvocationHandle>,
+    pops: String,
+}
+
+impl DrrSim {
+    fn emit(&mut self, id: u64, tenant: &str, kind: TelemetryKind) {
+        self.seq += 1;
+        self.checker.ingest(&TelemetryEvent {
+            seq: self.seq,
+            at_ms: self.seq, // synthetic stream: logical time is the event index
+            source: "drrsim".to_string(),
+            trace_id: Some(id),
+            tenant: Some(tenant.to_string()),
+            kind,
+        });
+    }
+
+    fn push(&mut self, tenant: &str, weight: f64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let cost = self.rng.gen_range(5.0..40.0f64).round();
+        let (tx, handle) = InvocationHandle::pair();
+        self.keep_alive.push(handle);
+        self.emit(
+            id,
+            tenant,
+            TelemetryKind::Wal {
+                op: "enqueued".to_string(),
+                cost_ms: Some(cost),
+                weight: Some(weight),
+                ok: None,
+                throttled: None,
+            },
+        );
+        self.queue.push(QueuedInvocation {
+            fqdn: "f-1".to_string(),
+            args: String::new(),
+            trace_id: id,
+            arrived_at: id,
+            expected_exec_ms: cost,
+            iat_ms: 0.0,
+            expect_warm: true,
+            tenant: Some(tenant.to_string()),
+            tenant_weight: weight,
+            result_tx: tx,
+        });
+    }
+
+    fn pop(&mut self) {
+        if let Some(item) = self.queue.pop() {
+            let tenant = item.tenant.clone().unwrap_or_default();
+            self.emit(item.trace_id, &tenant, TelemetryKind::wal("dequeued"));
+            self.emit(
+                item.trace_id,
+                &tenant,
+                TelemetryKind::Wal {
+                    op: "completed".to_string(),
+                    cost_ms: None,
+                    weight: None,
+                    ok: Some(true),
+                    throttled: None,
+                },
+            );
+            self.pops.push_str(&format!("{},", item.trace_id));
+        }
+    }
+}
+
+fn scenario_drr_strict(seed: u64) -> String {
+    const QUANTUM: u64 = 50;
+    let tenants: [(&str, f64); 3] = [("a", 1.0), ("b", 2.0), ("c", 4.0)];
+    let mut sim = DrrSim {
+        rng: StdRng::seed_from_u64(seed ^ 0xd22),
+        queue: DrrQueue::new(QUANTUM),
+        checker: Checker::new().with_drr_strict(QUANTUM as f64),
+        seq: 0,
+        next_id: 1,
+        keep_alive: Vec::new(),
+        pops: String::new(),
+    };
+
+    // Phase 1: deep backlog on all tenants, enough service while everyone
+    // stays backlogged that the fairness window is audited.
+    for round in 0..120 {
+        let (t, w) = tenants[round % 3];
+        sim.push(t, w);
+    }
+    for _ in 0..60 {
+        sim.pop();
+    }
+    // Phase 2: random interleave of pushes and pops.
+    for _ in 0..150 {
+        if sim.rng.gen_range(0.0..1.0f64) < 0.4 {
+            let (t, w) = tenants[sim.rng.gen_range(0..3usize)];
+            sim.push(t, w);
+        } else {
+            sim.pop();
+        }
+    }
+    // Phase 3: drain.
+    while !sim.queue.is_empty() {
+        sim.pop();
+    }
+
+    let items = sim.next_id - 1;
+    let pops = sim.pops;
+    let report = sim.checker.finish();
+    report_violations("D2", &report);
+    eprintln!("scenario D2 (strict DRR): {items} items through the real queue, 0 violations");
+    format!("pops={pops};violations={};", report.violations.len())
+}
+
+// ----------------------------------------------------------------- mutations
+
+/// Rewrite per-source seqs to 1..n in stream order so mutations (which may
+/// append cloned events) can mint fresh, non-colliding seqs.
+fn normalize(events: &[TelemetryEvent]) -> Vec<TelemetryEvent> {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    events
+        .iter()
+        .map(|e| {
+            let c = counters.entry(e.source.clone()).or_insert(0);
+            *c += 1;
+            let mut e = e.clone();
+            e.seq = *c;
+            e
+        })
+        .collect()
+}
+
+fn wal_op_of(e: &TelemetryEvent) -> Option<&str> {
+    match &e.kind {
+        TelemetryKind::Wal { op, .. } => Some(op.as_str()),
+        _ => None,
+    }
+}
+
+fn is_trace_stage(e: &TelemetryEvent, prefix: &str) -> bool {
+    matches!(&e.kind, TelemetryKind::Trace { stage } if stage.starts_with(prefix))
+}
+
+/// A (completed ok=true, result_returned(true)) index pair for one trace.
+fn completed_result_pair(events: &[TelemetryEvent]) -> Option<(usize, usize)> {
+    for (i, e) in events.iter().enumerate() {
+        if wal_op_of(e) == Some("completed")
+            && matches!(&e.kind, TelemetryKind::Wal { ok: Some(true), .. })
+        {
+            let id = e.trace_id?;
+            if let Some(j) = events.iter().enumerate().skip(i + 1).find_map(|(j, x)| {
+                (x.trace_id == Some(id) && is_trace_stage(x, "result_returned(true)")).then_some(j)
+            }) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+struct Battery {
+    caught: u32,
+    total: u32,
+    failed: u32,
+}
+
+impl Battery {
+    fn run(
+        &mut self,
+        name: &str,
+        events: Vec<TelemetryEvent>,
+        mk_checker: impl Fn() -> Checker,
+        expected_rules: &[&str],
+    ) {
+        self.total += 1;
+        let mut checker = mk_checker();
+        for ev in &events {
+            checker.ingest(ev);
+        }
+        let report = checker.finish();
+        let hit = report
+            .violations
+            .iter()
+            .find(|v| expected_rules.contains(&v.rule));
+        match hit {
+            Some(v) => {
+                let ctx_ok = v.event.is_none() || !v.context.is_empty();
+                if ctx_ok {
+                    self.caught += 1;
+                    eprintln!("  mutation {name}: caught [{}/{}]", v.model, v.rule);
+                } else {
+                    self.failed += 1;
+                    eprintln!(
+                        "  mutation {name}: caught [{}] but with no event context",
+                        v.rule
+                    );
+                }
+            }
+            None => {
+                self.failed += 1;
+                eprintln!(
+                    "  mutation {name}: MISSED (wanted one of {expected_rules:?}, got {:?})",
+                    report.violations.iter().map(|v| v.rule).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}
+
+fn run_mutation_battery(chaos: &[TelemetryEvent], fleet: &[TelemetryEvent]) -> bool {
+    let a = normalize(chaos);
+    let c = normalize(fleet);
+    let a_checker = Checker::new;
+    let c_checker = || Checker::new().seed_worker("w0");
+    let mut b = Battery {
+        caught: 0,
+        total: 0,
+        failed: 0,
+    };
+
+    // Sanity: the normalized, unmutated streams stay clean.
+    for (name, events, mk) in [
+        ("sanity-A", a.clone(), &a_checker as &dyn Fn() -> Checker),
+        ("sanity-C", c.clone(), &c_checker as &dyn Fn() -> Checker),
+    ] {
+        let mut checker = mk();
+        for ev in &events {
+            checker.ingest(ev);
+        }
+        let report = checker.finish();
+        if !report.ok() {
+            eprintln!("  {name}: normalized stream no longer clean:");
+            for v in &report.violations {
+                eprintln!("{v}");
+            }
+            return false;
+        }
+        eprintln!("  {name}: clean");
+    }
+
+    let fresh_seq =
+        |events: &[TelemetryEvent]| events.iter().map(|e| e.seq).max().unwrap_or(0) + 1_000;
+
+    // M1: duplicate a completion record → double-complete.
+    {
+        let mut ev = a.clone();
+        let i = ev
+            .iter()
+            .rposition(|e| wal_op_of(e) == Some("completed"))
+            .expect("stream A has completions");
+        let mut dup = ev[i].clone();
+        dup.seq = fresh_seq(&ev);
+        ev.push(dup);
+        b.run("duplicate-completed", ev, a_checker, &["double-complete"]);
+    }
+
+    // M2: drop a durable enqueue that is later dequeued → the acceptance or
+    // the dequeue becomes unjustified.
+    {
+        let mut ev = a.clone();
+        let i = ev
+            .iter()
+            .position(|e| {
+                wal_op_of(e) == Some("enqueued")
+                    && ev
+                        .iter()
+                        .any(|x| x.trace_id == e.trace_id && wal_op_of(x) == Some("dequeued"))
+            })
+            .expect("stream A has a dequeued enqueue");
+        ev.remove(i);
+        b.run(
+            "drop-enqueued",
+            ev,
+            a_checker,
+            &[
+                "accepted-not-durable",
+                "dequeue-of-unknown",
+                "complete-of-unknown",
+            ],
+        );
+    }
+
+    // M3: move a completion record after its caller-visible result →
+    // result-before-durable.
+    {
+        let mut ev = a.clone();
+        let (i, j) = completed_result_pair(&ev).expect("stream A has an ok completion");
+        let moved = ev.remove(i);
+        ev.insert(j, moved); // j shifted left by the removal: lands after it
+        b.run(
+            "completed-after-result",
+            ev,
+            a_checker,
+            &["result-before-durable"],
+        );
+    }
+
+    // M4: flip a completion's ok bit → exactly-once accounting breaks.
+    {
+        let mut ev = a.clone();
+        let (i, _) = completed_result_pair(&ev).expect("stream A has an ok completion");
+        if let TelemetryKind::Wal { ok, .. } = &mut ev[i].kind {
+            *ok = Some(false);
+        }
+        b.run("flip-completed-ok", ev, a_checker, &["accounting-mismatch"]);
+    }
+
+    // M5: rewrite a half_open announcement as closed → illegal breaker edge
+    // (Open → Closed skips the probe).
+    {
+        let mut ev = c.clone();
+        let i = ev
+            .iter()
+            .position(
+                |e| matches!(&e.kind, TelemetryKind::Breaker { state, .. } if state == "half_open"),
+            )
+            .expect("stream C has breaker half_open events");
+        if let TelemetryKind::Breaker { state, .. } = &mut ev[i].kind {
+            *state = "closed".to_string();
+        }
+        b.run(
+            "breaker-skip-probe",
+            ev,
+            c_checker,
+            &["breaker-illegal-transition"],
+        );
+    }
+
+    // M6: erase the drain marker before a detach → the reaper "killed" a
+    // worker that was never drained.
+    {
+        let mut ev = c.clone();
+        let target = ev
+            .iter()
+            .find_map(|e| match &e.kind {
+                TelemetryKind::Membership { target, change } if change == "detach" => {
+                    Some(target.clone())
+                }
+                _ => None,
+            })
+            .expect("stream C has detaches");
+        ev.retain(|e| {
+            !matches!(&e.kind, TelemetryKind::Membership { target: t, change }
+                if change == "draining" && *t == target)
+        });
+        b.run("drop-draining", ev, c_checker, &["drain-never-kill"]);
+    }
+
+    // M7: attach the same target twice → the slot CAS must refuse.
+    {
+        let mut ev = c.clone();
+        let i = ev
+            .iter()
+            .position(|e| {
+                matches!(&e.kind, TelemetryKind::Membership { change, .. } if change == "attach")
+            })
+            .expect("stream C has attaches");
+        let mut dup = ev[i].clone();
+        dup.seq = fresh_seq(&ev);
+        ev.insert(i + 1, dup);
+        b.run("duplicate-attach", ev, c_checker, &["slot-cas"]);
+    }
+
+    eprintln!(
+        "mutation battery: {}/{} caught, {} failed",
+        b.caught, b.total, b.failed
+    );
+    println!("mutation-smoke: {}/{} caught", b.caught, b.total);
+    b.failed == 0 && b.caught == b.total
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let mutate = args.iter().any(|a| a == "--mutate");
+
+    let (chaos_events, part_a) = scenario_chaos(seed, time_scale);
+    let (fleet_events, part_c) = scenario_fleet(seed, time_scale);
+
+    if mutate {
+        if !run_mutation_battery(&chaos_events, &fleet_events) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let part_b = scenario_lifecycle(seed, time_scale);
+    let part_d1 = scenario_drr_live(time_scale);
+    let part_d2 = scenario_drr_strict(seed);
+
+    let mut digest = FNV_OFFSET;
+    for (tag, part) in [
+        ("A", &part_a),
+        ("B", &part_b),
+        ("C", &part_c),
+        ("D1", &part_d1),
+        ("D2", &part_d2),
+    ] {
+        fold(&mut digest, tag);
+        fold(&mut digest, ":");
+        fold(&mut digest, part);
+    }
+    println!("{digest:016x}");
+}
