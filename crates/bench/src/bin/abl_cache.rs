@@ -1,0 +1,143 @@
+//! Ablation — the invocation result cache.
+//!
+//! The tentpole's claim is that the cheapest invocation is the one that
+//! never reaches a worker: a cache hit is a map lookup on the control
+//! plane, with no queue, no container, no agent round-trip. This harness
+//! measures that gap on the real in-process hot path and gates on it:
+//!
+//! * hit p50 must beat the warm dispatch p50,
+//! * the repeated phase must serve >=80% from cache,
+//! * interleaved tenants sharing fqdn+args must see zero cross-tenant
+//!   serves.
+//!
+//! Exits non-zero on any breach (`check.sh` runs this as a gate).
+
+use iluvatar_bench::{env_u64, pctl, print_table};
+use iluvatar_cache::{CacheConfig, CacheStatus};
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_core::{Worker, WorkerConfig};
+use iluvatar_sync::SystemClock;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TENANTS: [&str; 2] = ["acme", "umbra"];
+
+fn main() {
+    let samples = env_u64("ILU_CACHE_SAMPLES", 200) as usize;
+    let unique = env_u64("ILU_CACHE_UNIQUE", 8);
+
+    let clock = SystemClock::shared();
+    let backend = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
+    ));
+    let cfg = WorkerConfig {
+        cache: CacheConfig::enabled_default(),
+        ..WorkerConfig::for_testing()
+    };
+    let worker = Worker::new(cfg, backend, clock);
+    worker
+        .register(
+            FunctionSpec::new("f", "1")
+                .with_timing(40, 150)
+                .with_idempotent(),
+        )
+        .expect("register");
+
+    // Warm phase: first sight of every (tenant, arg) pair — containers go
+    // warm and the cache fills. Not measured.
+    for tenant in TENANTS {
+        for a in 0..unique {
+            let (_, status) = worker
+                .invoke_tenant_cached("f-1", &format!("{{\"k\":{a}}}"), Some(tenant))
+                .expect("warm invoke");
+            assert_eq!(status, CacheStatus::Miss, "first sight must miss");
+        }
+    }
+
+    // Dispatch p50: fresh arguments every time — warm containers, full
+    // queue + acquire + agent path.
+    let mut dispatch_ms = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let args = format!("{{\"fresh\":{i}}}");
+        let t0 = Instant::now();
+        let (_, status) = worker
+            .invoke_tenant_cached("f-1", &args, Some("acme"))
+            .expect("dispatch invoke");
+        dispatch_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, CacheStatus::Miss);
+    }
+
+    // Hit phase: repeated arguments, tenants interleaved on identical
+    // fqdn+args. Every serve must carry the requesting tenant's label.
+    let (mut hits, mut misses, mut cross_tenant) = (0u64, 0u64, 0u64);
+    let mut hit_ms = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let tenant = TENANTS[i % TENANTS.len()];
+        let args = format!("{{\"k\":{}}}", i as u64 % unique);
+        let t0 = Instant::now();
+        let (r, status) = worker
+            .invoke_tenant_cached("f-1", &args, Some(tenant))
+            .expect("repeat invoke");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        match status {
+            CacheStatus::Hit => {
+                hit_ms.push(dt);
+                hits += 1;
+                if r.tenant.as_deref() != Some(tenant) {
+                    cross_tenant += 1;
+                }
+            }
+            CacheStatus::Miss => misses += 1,
+            CacheStatus::Bypass => unreachable!("idempotent function never bypasses"),
+        }
+    }
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    let hit_p50 = pctl(&hit_ms, 0.50);
+    let hit_p99 = pctl(&hit_ms, 0.99);
+    let disp_p50 = pctl(&dispatch_ms, 0.50);
+    let disp_p99 = pctl(&dispatch_ms, 0.99);
+
+    print_table(
+        "Ablation: result cache vs warm dispatch",
+        &["path", "p50 ms", "p99 ms", "samples"],
+        &[
+            vec![
+                "warm dispatch".into(),
+                format!("{disp_p50:.4}"),
+                format!("{disp_p99:.4}"),
+                dispatch_ms.len().to_string(),
+            ],
+            vec![
+                "cache hit".into(),
+                format!("{hit_p50:.4}"),
+                format!("{hit_p99:.4}"),
+                hit_ms.len().to_string(),
+            ],
+        ],
+    );
+    println!("repeated-phase hit rate: {hit_rate:.3} ({hits} hits / {misses} misses)");
+    println!("cross-tenant serves: {cross_tenant}");
+
+    let mut failed = false;
+    if hit_p50 >= disp_p50 {
+        eprintln!("FAIL: hit p50 {hit_p50:.4}ms must beat dispatch p50 {disp_p50:.4}ms");
+        failed = true;
+    }
+    if hit_rate < 0.8 {
+        eprintln!("FAIL: repeated-phase hit rate {hit_rate:.3} < 0.80");
+        failed = true;
+    }
+    if cross_tenant > 0 {
+        eprintln!("FAIL: {cross_tenant} cross-tenant serves");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("cache ablation gates passed");
+}

@@ -1,0 +1,134 @@
+//! Property tests for the result-cache core: the four invariants the
+//! tentpole promises — capacity bounds, exact TTL under an injected clock,
+//! hard per-tenant isolation, and true LRU eviction order.
+
+use iluvatar_cache::{CacheConfig, CacheLookup, ResultCache};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_sync::{Clock, ManualClock};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn cache(cfg: CacheConfig) -> (ResultCache, Arc<ManualClock>) {
+    let clock = Arc::new(ManualClock::new());
+    let c = ResultCache::new(cfg, Arc::clone(&clock) as Arc<dyn Clock>);
+    c.note_spec(&FunctionSpec::new("f", "1").with_idempotent());
+    (c, clock)
+}
+
+proptest! {
+    /// Capacity bound: no sequence of fills ever pushes a partition past
+    /// its byte or entry bound, per tenant.
+    #[test]
+    fn capacity_bound_never_exceeded(
+        ops in proptest::collection::vec((0usize..3, 0u64..64, 1usize..200), 1..120),
+        capacity in 64u64..512,
+        max_entries in 1usize..12,
+    ) {
+        let (c, _) = cache(CacheConfig {
+            enabled: true,
+            tenant_capacity_bytes: capacity,
+            tenant_max_entries: max_entries,
+            ..Default::default()
+        });
+        let tenants = ["a", "b", "c"];
+        for (t_idx, arg, body_len) in ops {
+            let tenant = tenants[t_idx];
+            let args = format!("{{\"k\":{arg}}}");
+            c.fill("f-1", Some(tenant), &args, &"x".repeat(body_len), 1, None);
+            for s in c.stats() {
+                prop_assert!(
+                    s.bytes <= capacity,
+                    "tenant {} holds {} bytes over the {} bound", s.tenant, s.bytes, capacity
+                );
+                prop_assert!(
+                    s.entries <= max_entries,
+                    "tenant {} holds {} entries over the {} bound", s.tenant, s.entries, max_entries
+                );
+            }
+        }
+    }
+
+    /// TTL expiry is exact under the injected clock: a lookup at
+    /// `stored + dt` hits iff `dt < ttl`, bit-for-bit.
+    #[test]
+    fn ttl_expiry_exact(ttl in 1u64..10_000, dt in 0u64..20_000) {
+        let (c, clock) = cache(CacheConfig {
+            enabled: true,
+            ttl_ms: ttl,
+            ..Default::default()
+        });
+        c.fill("f-1", None, "{}", "r", 1, None);
+        clock.advance(dt);
+        let hit = matches!(c.lookup("f-1", None, "{}"), CacheLookup::Hit(_));
+        prop_assert_eq!(hit, dt < ttl, "ttl={} dt={}", ttl, dt);
+    }
+
+    /// Hard tenant isolation: bodies are tagged with the filling tenant,
+    /// and no lookup ever returns a body tagged with a different tenant —
+    /// even when both tenants use identical fqdns and argument strings.
+    #[test]
+    fn no_cross_tenant_serves(
+        ops in proptest::collection::vec((0usize..2, 0u64..8, proptest::any::<bool>()), 1..200),
+    ) {
+        let (c, _) = cache(CacheConfig {
+            enabled: true,
+            tenant_max_entries: 4, // force churn so eviction interleaves
+            ..Default::default()
+        });
+        let tenants = ["alpha", "beta"];
+        for (t_idx, arg, is_fill) in ops {
+            let tenant = tenants[t_idx];
+            let args = format!("{{\"k\":{arg}}}");
+            if is_fill {
+                c.fill("f-1", Some(tenant), &args, &format!("body-of-{tenant}"), 1, None);
+            } else if let CacheLookup::Hit(r) = c.lookup("f-1", Some(tenant), &args) {
+                prop_assert_eq!(
+                    r.body, format!("body-of-{tenant}"),
+                    "tenant {} served another tenant's result", tenant
+                );
+                prop_assert_eq!(r.tenant, tenant.to_string());
+            }
+        }
+    }
+
+    /// LRU order: against a reference recency list, the cache's surviving
+    /// key set after any fill/lookup interleaving is exactly the model's.
+    #[test]
+    fn lru_eviction_order(
+        ops in proptest::collection::vec((0u64..10, proptest::any::<bool>()), 1..200),
+        max_entries in 1usize..6,
+    ) {
+        let (c, _) = cache(CacheConfig {
+            enabled: true,
+            tenant_max_entries: max_entries,
+            ..Default::default()
+        });
+        // Reference model: front = LRU, back = MRU.
+        let mut model: VecDeque<String> = VecDeque::new();
+        for (arg, is_fill) in ops {
+            let args = format!("{{\"k\":{arg}}}");
+            let key = iluvatar_cache::idempotency_key("f-1", "default", &args);
+            if is_fill {
+                c.fill("f-1", None, &args, "r", 1, None);
+                model.retain(|k| k != &key);
+                if model.len() == max_entries {
+                    model.pop_front(); // evict the LRU
+                }
+                model.push_back(key);
+            } else {
+                let hit = matches!(c.lookup("f-1", None, &args), CacheLookup::Hit(_));
+                prop_assert_eq!(hit, model.contains(&key), "presence diverged for {}", key);
+                if hit {
+                    model.retain(|k| k != &key);
+                    model.push_back(key); // touch refreshes recency
+                }
+            }
+            let mut got = c.keys("default");
+            let mut want: Vec<String> = model.iter().cloned().collect();
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want, "survivor sets diverged");
+        }
+    }
+}

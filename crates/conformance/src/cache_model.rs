@@ -1,0 +1,150 @@
+//! Reference model for the balancer/worker result cache.
+//!
+//! The cache's contract, as seen on the canonical stream:
+//!
+//! * **Served ⟹ filled** — every `cache:hit` names a key some prior
+//!   `cache:fill` installed and no evict/expire/invalidate has dropped.
+//! * **Served ⟹ fresh** — the hit lands before the fill's advertised
+//!   `expires_at_ms` (plus a small slack for emit/sink skew).
+//! * **Hard tenant walls** — the hit's tenant is the filling tenant;
+//!   identical fqdn+args across tenants are distinct entries.
+//! * **Served ⟹ durable** — on WAL-backed sources the checker further
+//!   requires the fill's originating invocation to have booked an `ok`
+//!   completion before the fill (enforced in [`crate::Checker`], which
+//!   owns the WAL timelines).
+//!
+//! Removal ops (`evict`, `expire`, `invalidate`) must name a live entry:
+//! dropping a key that was never filled means the implementation's
+//! bookkeeping diverged from its advertised stream.
+
+use crate::ModelError;
+use std::collections::BTreeMap;
+
+/// Forgiveness window for hit-vs-expiry comparisons: the cache decides
+/// freshness under its own clock an instant before the bus stamps the
+/// event, so a boundary hit can land a few ms past `expires_at_ms`.
+const STALE_SLACK_MS: u64 = 100;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tenant: String,
+    expires_at_ms: Option<u64>,
+}
+
+/// The cache reference state: live entries by idempotency key.
+#[derive(Debug, Default)]
+pub struct CacheModel {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl CacheModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fill installs (or refreshes) the entry for `key`.
+    pub fn fill(&mut self, key: &str, tenant: &str, expires_at_ms: Option<u64>) {
+        self.entries.insert(
+            key.to_string(),
+            Entry {
+                tenant: tenant.to_string(),
+                expires_at_ms,
+            },
+        );
+    }
+
+    /// A served hit must name a live, unexpired entry filled for the
+    /// same tenant.
+    pub fn hit(&self, key: &str, tenant: &str, at_ms: u64) -> Result<(), ModelError> {
+        let Some(e) = self.entries.get(key) else {
+            return Err(ModelError::new(
+                "cache-hit-unknown-key",
+                format!("hit served for key `{key}` with no live fill"),
+            ));
+        };
+        if e.tenant != tenant {
+            return Err(ModelError::new(
+                "cache-tenant-isolation",
+                format!(
+                    "key `{key}` filled by tenant `{}` was served to tenant `{tenant}`",
+                    e.tenant
+                ),
+            ));
+        }
+        if let Some(exp) = e.expires_at_ms {
+            if at_ms > exp.saturating_add(STALE_SLACK_MS) {
+                return Err(ModelError::new(
+                    "cache-stale-hit",
+                    format!("hit at t={at_ms}ms but key `{key}` expired at t={exp}ms"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// `evict` / `expire` / `invalidate` drop the entry.
+    pub fn remove(&mut self, op: &str, key: &str) -> Result<(), ModelError> {
+        if self.entries.remove(key).is_none() {
+            return Err(ModelError::new(
+                "cache-remove-unknown-key",
+                format!("cache:{op} dropped key `{key}` that was never filled"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Live entries the model currently tracks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_hit_remove_roundtrip() {
+        let mut m = CacheModel::new();
+        m.fill("f-1@a#00", "a", Some(1_000));
+        assert!(m.hit("f-1@a#00", "a", 500).is_ok());
+        assert!(m.remove("evict", "f-1@a#00").is_ok());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn unknown_key_hit_is_flagged() {
+        let m = CacheModel::new();
+        let err = m.hit("ghost", "a", 0).unwrap_err();
+        assert_eq!(err.rule, "cache-hit-unknown-key");
+    }
+
+    #[test]
+    fn stale_hit_is_flagged_with_slack() {
+        let mut m = CacheModel::new();
+        m.fill("k", "a", Some(1_000));
+        assert!(m.hit("k", "a", 1_050).is_ok(), "inside the slack window");
+        let err = m.hit("k", "a", 1_200).unwrap_err();
+        assert_eq!(err.rule, "cache-stale-hit");
+    }
+
+    #[test]
+    fn cross_tenant_hit_is_flagged() {
+        let mut m = CacheModel::new();
+        m.fill("k", "a", None);
+        let err = m.hit("k", "b", 0).unwrap_err();
+        assert_eq!(err.rule, "cache-tenant-isolation");
+    }
+
+    #[test]
+    fn removing_a_never_filled_key_is_flagged() {
+        let mut m = CacheModel::new();
+        let err = m.remove("invalidate", "ghost").unwrap_err();
+        assert_eq!(err.rule, "cache-remove-unknown-key");
+        assert_eq!(m.len(), 0);
+    }
+}

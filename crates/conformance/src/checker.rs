@@ -19,6 +19,7 @@
 //! reported result (**exactly-once accounting**).
 
 use crate::breaker_model::BreakerModel;
+use crate::cache_model::CacheModel;
 use crate::drr_model::{DrrMode, DrrModel};
 use crate::fleet_model::FleetModel;
 use crate::wal_model::{TenantBook, WalModel};
@@ -125,6 +126,7 @@ pub struct Checker {
     drr: Option<DrrModel>,
     breaker: BreakerModel,
     fleet: FleetModel,
+    cache: CacheModel,
     timelines: BTreeMap<u64, Timeline>,
     /// Per-source seqs seen in the current epoch (duplicates are torn
     /// streams; ordering is not enforced because independent emitter
@@ -153,6 +155,7 @@ impl Checker {
             drr: None,
             breaker: BreakerModel::new(),
             fleet: FleetModel::new(),
+            cache: CacheModel::new(),
             timelines: BTreeMap::new(),
             seqs: BTreeMap::new(),
             wal_sources: BTreeSet::new(),
@@ -445,6 +448,56 @@ impl Checker {
                 .fleet
                 .scale(direction, *from, *to)
                 .map_err(|e| ("fleet", e)),
+            TelemetryKind::Cache {
+                op,
+                key,
+                expires_at_ms,
+            } => {
+                let tenant = ev.tenant.as_deref().unwrap_or("default");
+                match op.as_str() {
+                    "fill" => {
+                        // Install first so later hits on this key are judged
+                        // against the entry even when the fill itself is bad.
+                        self.cache.fill(key, tenant, *expires_at_ms);
+                        // Durable-before-served: on a WAL-backed source the
+                        // fill must correlate to an invocation whose `ok`
+                        // completion record already landed.
+                        if let Some(id) = ev.trace_id {
+                            if self.wal_sources.contains(src)
+                                && self
+                                    .timelines
+                                    .get(&id)
+                                    .is_none_or(|t| t.wal_completed_ok != Some(true))
+                            {
+                                return Err((
+                                    "cache",
+                                    ModelError::new(
+                                        "cache-fill-not-durable",
+                                        format!(
+                                            "fill for key `{key}` from trace {id} with no \
+                                             durable ok completion"
+                                        ),
+                                    ),
+                                ));
+                            }
+                        }
+                        Ok(())
+                    }
+                    "hit" => self
+                        .cache
+                        .hit(key, tenant, ev.at_ms)
+                        .map_err(|e| ("cache", e)),
+                    // Misses are informational: nothing was served.
+                    "miss" => Ok(()),
+                    "evict" | "expire" | "invalidate" => {
+                        self.cache.remove(op, key).map_err(|e| ("cache", e))
+                    }
+                    other => Err((
+                        "cache",
+                        ModelError::new("cache-unknown-op", format!("unknown cache op `{other}`")),
+                    )),
+                }
+            }
             // Informational kinds: counted, no machine to advance.
             TelemetryKind::Dispatch { .. }
             | TelemetryKind::Reroute { .. }
@@ -897,6 +950,84 @@ mod tests {
         // detach without draining = drain-never-kill violation.
         assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
         assert_eq!(report.violations[0].rule, "drain-never-kill");
+    }
+
+    #[test]
+    fn cache_stream_rules_flow_through() {
+        let cache_ev = |op: &str, key: &str, exp: Option<u64>| TelemetryKind::Cache {
+            op: op.to_string(),
+            key: key.to_string(),
+            expires_at_ms: exp,
+        };
+        // Clean: fill, hit before expiry, invalidate.
+        let mut c = Checker::new().with_require_terminal(false);
+        c.ingest(&ev(1, "lb", None, Some("a"), cache_ev("miss", "k1", None)));
+        c.ingest(&ev(
+            2,
+            "lb",
+            None,
+            Some("a"),
+            cache_ev("fill", "k1", Some(60_000)),
+        ));
+        c.ingest(&ev(3, "lb", None, Some("a"), cache_ev("hit", "k1", None)));
+        c.ingest(&ev(
+            4,
+            "lb",
+            None,
+            Some("a"),
+            cache_ev("invalidate", "k1", None),
+        ));
+        let report = c.finish();
+        assert!(report.ok(), "{:?}", report.violations);
+
+        // A hit with no live fill is flagged.
+        let mut c = Checker::new().with_require_terminal(false);
+        c.ingest(&ev(
+            1,
+            "lb",
+            None,
+            Some("a"),
+            cache_ev("hit", "ghost", None),
+        ));
+        let report = c.finish();
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "cache-hit-unknown-key");
+
+        // A hit past the fill's advertised expiry is a stale serve.
+        let mut c = Checker::new().with_require_terminal(false);
+        c.ingest(&ev(
+            1,
+            "lb",
+            None,
+            Some("a"),
+            cache_ev("fill", "k1", Some(500)),
+        ));
+        let mut stale = ev(2, "lb", None, Some("a"), cache_ev("hit", "k1", None));
+        stale.at_ms = 5_000;
+        c.ingest(&stale);
+        let report = c.finish();
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "cache-stale-hit");
+
+        // On a WAL-backed source a fill must ride a durable ok completion.
+        let mut c = Checker::new().with_require_terminal(false);
+        let id = Some(7);
+        c.ingest(&ev(1, "w", id, None, trace_ev("ingested")));
+        c.ingest(&ev(2, "w", id, Some("a"), wal_ev("enqueued")));
+        c.ingest(&ev(3, "w", id, None, trace_ev("enqueued")));
+        c.ingest(&ev(4, "w", id, None, wal_ev("dequeued")));
+        c.ingest(&ev(5, "w", id, None, trace_ev("dequeued")));
+        // Fill lands before wal:completed booked the result: flagged.
+        c.ingest(&ev(
+            6,
+            "w",
+            id,
+            Some("a"),
+            cache_ev("fill", "k1", Some(60_000)),
+        ));
+        let report = c.finish();
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "cache-fill-not-durable");
     }
 
     #[test]

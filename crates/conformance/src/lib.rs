@@ -25,12 +25,14 @@
 //! window** — the conformance analogue of the flight recorder.
 
 pub mod breaker_model;
+pub mod cache_model;
 pub mod checker;
 pub mod drr_model;
 pub mod fleet_model;
 pub mod wal_model;
 
 pub use breaker_model::{BreakerMachine, BreakerModel, BreakerState, Stimulus};
+pub use cache_model::CacheModel;
 pub use checker::{Checker, ConformanceReport, Violation};
 pub use drr_model::DrrModel;
 pub use fleet_model::FleetModel;

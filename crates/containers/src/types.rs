@@ -81,6 +81,11 @@ pub struct FunctionSpec {
     /// this registration-time default.
     #[serde(default)]
     pub tenant: Option<String>,
+    /// Declared idempotent: repeated invocations with identical arguments
+    /// may be served from the control-plane result cache. Strictly opt-in —
+    /// only the function owner can know whether results are replayable.
+    #[serde(default)]
+    pub idempotent: bool,
 }
 
 impl FunctionSpec {
@@ -96,6 +101,7 @@ impl FunctionSpec {
             warm_exec_ms: 10,
             init_ms: 100,
             tenant: None,
+            idempotent: false,
         }
     }
 
@@ -111,6 +117,11 @@ impl FunctionSpec {
 
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = Some(tenant.into());
+        self
+    }
+
+    pub fn with_idempotent(mut self) -> Self {
+        self.idempotent = true;
         self
     }
 

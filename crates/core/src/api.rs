@@ -36,7 +36,9 @@ use crate::spans::SpanExport;
 use crate::worker::{Worker, WorkerStatus};
 use iluvatar_containers::FunctionSpec;
 use iluvatar_http::server::{Handler, ServerHandle};
-use iluvatar_http::{HttpServer, Method, PooledClient, Request, Response, Status, SEQ_HEADER};
+use iluvatar_http::{
+    HttpServer, Method, PooledClient, Request, Response, Status, CACHE_HEADER, SEQ_HEADER,
+};
 use iluvatar_sync::ShardedMap;
 use iluvatar_telemetry::FlightDump;
 use serde::{Deserialize, Serialize};
@@ -142,6 +144,28 @@ pub struct WireStatus {
     /// Queue delay of the most recently dequeued invocation, ms.
     #[serde(default)]
     pub queue_delay_ms: u64,
+    /// Result-cache hits served without dispatching (0 when disabled).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Result-cache lookups that fell through to dispatch.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Result-cache entries evicted under the per-tenant capacity bound.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// Total warm-container residency, GB·s.
+    #[serde(default)]
+    pub warm_gb_s: f64,
+    /// Per-function warm residency — the fleet's handoff shopping list.
+    #[serde(default)]
+    pub warm_residency: Vec<WireWarm>,
+}
+
+/// One function's warm-pool residency, as reported on `/status`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireWarm {
+    pub fqdn: String,
+    pub gb_s: f64,
 }
 
 impl From<WorkerStatus> for WireStatus {
@@ -170,6 +194,17 @@ impl From<WorkerStatus> for WireStatus {
             lifecycle: s.lifecycle,
             drain_pending: s.drain_pending,
             queue_delay_ms: s.queue_delay_ms,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            cache_evictions: s.cache_evictions,
+            // The vendored serde_json writes non-finite floats as null;
+            // clamp so the wire form always parses back.
+            warm_gb_s: if s.warm_gb_s.is_finite() {
+                s.warm_gb_s
+            } else {
+                0.0
+            },
+            warm_residency: Vec::new(),
         }
     }
 }
@@ -248,6 +283,14 @@ fn route(
             let mut wire: WireStatus = worker.status().into();
             wire.http_requests = served();
             wire.tenants = worker.tenant_stats();
+            wire.warm_residency = worker
+                .warm_residency()
+                .into_iter()
+                .map(|(fqdn, gb_s)| WireWarm {
+                    fqdn,
+                    gb_s: if gb_s.is_finite() { gb_s } else { 0.0 },
+                })
+                .collect();
             json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
         }
         (Method::Get, "/metrics") => Response::ok(exposition::render_worker(worker, served()))
@@ -301,10 +344,11 @@ fn route(
                     .header(iluvatar_http::TENANT_HEADER)
                     .map(str::to_string)
                     .or(b.tenant);
-                match worker.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref()) {
-                    Ok(r) => {
+                match worker.invoke_tenant_cached(&b.fqdn, &b.args, tenant.as_deref()) {
+                    Ok((r, cache)) => {
                         let wire: WireResult = r.into();
                         json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                            .with_header(CACHE_HEADER, cache.as_str())
                     }
                     Err(e) => {
                         error_resp(&e, worker.config().lifecycle.effective_retry_after_secs())

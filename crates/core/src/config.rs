@@ -6,6 +6,7 @@
 //! reproducible from a single serialized config.
 
 use iluvatar_admission::AdmissionConfig;
+use iluvatar_cache::CacheConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which keep-alive eviction policy the container pool runs (§6.1).
@@ -290,6 +291,11 @@ pub struct WorkerConfig {
     /// fully disabled so configs written before this field existed parse.
     #[serde(default)]
     pub lifecycle: LifecycleConfig,
+    /// Invocation result cache (worker-side consult/fill for idempotent
+    /// functions); defaults to fully disabled so the baseline hot path is
+    /// untouched.
+    #[serde(default)]
+    pub cache: CacheConfig,
 }
 
 impl Default for WorkerConfig {
@@ -310,6 +316,7 @@ impl Default for WorkerConfig {
             resilience: ResilienceConfig::default(),
             admission: AdmissionConfig::default(),
             lifecycle: LifecycleConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }

@@ -274,6 +274,36 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
         base,
         st.dropped_admission as f64,
     );
+
+    // Result cache: totals always, per-tenant evictions when the cache has
+    // seen traffic (the tenant label is the cache partition).
+    w.counter(
+        "iluvatar_cache_hits_total",
+        "Invocations served from the result cache without dispatching",
+        base,
+        st.cache_hits as f64,
+    );
+    w.counter(
+        "iluvatar_cache_misses_total",
+        "Result-cache lookups that fell through to dispatch",
+        base,
+        st.cache_misses as f64,
+    );
+    for t in worker.cache_stats() {
+        let labels: &[(&str, &str)] = &[("worker", &st.name), ("tenant", &t.tenant)];
+        w.counter(
+            "iluvatar_cache_evictions_total",
+            "Result-cache entries evicted under the per-tenant capacity bound",
+            labels,
+            t.evictions as f64,
+        );
+    }
+    w.gauge(
+        "iluvatar_warm_gb_seconds",
+        "Warm-container residency across the keep-alive pool, GB*s",
+        base,
+        st.warm_gb_s,
+    );
     for t in worker.tenant_stats() {
         let labels: &[(&str, &str)] = &[("worker", &st.name), ("tenant", &t.tenant)];
         w.gauge(
@@ -486,6 +516,9 @@ mod tests {
             "iluvatar_quarantine_released_total",
             "iluvatar_dropped_retry_exhausted_total",
             "iluvatar_dropped_admission_total",
+            "iluvatar_cache_hits_total",
+            "iluvatar_cache_misses_total",
+            "iluvatar_warm_gb_seconds",
             "iluvatar_telemetry_events_total",
             "iluvatar_span_seconds_bucket",
         ] {

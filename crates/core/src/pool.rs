@@ -317,6 +317,33 @@ impl ContainerPool {
         self.slots.get_with(fqdn, |s| s.lock().len()).unwrap_or(0)
     }
 
+    /// Per-function warm-memory residency: for each fqdn with idle warm
+    /// containers, the GB·s its entries have accumulated since insertion
+    /// ("The High Cost of Keeping Warm" metric). Sorted by fqdn so callers
+    /// fold it into deterministic digests; the fleet uses it both to rank
+    /// scale-down victims (least warm first) and to pick which functions to
+    /// hand off to survivors (hottest first).
+    pub fn warm_residency(&self) -> Vec<(String, f64)> {
+        let now = self.clock.now_ms();
+        let mut out: Vec<(String, f64)> = Vec::new();
+        for (fqdn, slot) in self.slots.snapshot() {
+            let entries = slot.lock();
+            if entries.is_empty() {
+                continue;
+            }
+            let gb_s: f64 = entries
+                .iter()
+                .map(|e| {
+                    (e.meta.memory_mb as f64 / 1024.0)
+                        * (now.saturating_sub(e.meta.inserted_ms) as f64 / 1000.0)
+                })
+                .sum();
+            out.push((fqdn, gb_s));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     pub fn stats(&self) -> PoolStats {
         let mut idle_containers = 0;
         self.slots

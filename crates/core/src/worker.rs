@@ -32,6 +32,7 @@ use crate::wal::{
 };
 use crossbeam::channel::{bounded, unbounded, Sender};
 use iluvatar_admission::{AdmissionController, AdmissionDecision, TenantSnapshot, DEFAULT_TENANT};
+use iluvatar_cache::{CacheLookup, CacheStatus, ResultCache, TenantCacheStats};
 use iluvatar_containers::image::Platform;
 use iluvatar_containers::types::SharedContainer;
 use iluvatar_containers::{BackendError, ContainerBackend, FunctionSpec};
@@ -86,6 +87,16 @@ pub struct WorkerStatus {
     /// Queue delay of the most recently dequeued invocation, ms — the
     /// autoscaler's reactive signal.
     pub queue_delay_ms: u64,
+    /// Result-cache hits served without touching a container. 0 while the
+    /// cache is disabled.
+    pub cache_hits: u64,
+    /// Result-cache lookups that fell through to dispatch.
+    pub cache_misses: u64,
+    /// Result-cache entries evicted under the per-tenant capacity bound.
+    pub cache_evictions: u64,
+    /// Warm-container residency across all idle pool entries, GB·s — the
+    /// fleet's least-warm scale-down victim signal.
+    pub warm_gb_s: f64,
 }
 
 /// Lifecycle state machine: Running → Draining → Stopped.
@@ -148,6 +159,8 @@ struct Shared {
     /// Per-kind event counters for the Prometheus exposition
     /// (`iluvatar_telemetry_events_total`).
     tel_counts: Arc<CounterBridge>,
+    /// Invocation result cache; `Some` only when `cfg.cache.enabled`.
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl Shared {
@@ -275,6 +288,14 @@ impl Worker {
         telemetry.add_sink(Arc::clone(&recorder) as Arc<dyn TelemetrySink>);
         let tel_counts = Arc::new(CounterBridge::new());
         telemetry.add_sink(Arc::clone(&tel_counts) as Arc<dyn TelemetrySink>);
+        // The result cache shares the worker's clock (deterministic TTL
+        // under an injected clock) and mirrors its ops onto the same
+        // canonical stream.
+        let cache = cfg.cache.enabled.then(|| {
+            let c = Arc::new(ResultCache::new(cfg.cache.clone(), Arc::clone(&clock)));
+            c.set_telemetry(Arc::clone(&telemetry));
+            c
+        });
         let shared = Arc::new(Shared {
             registry: Registry::new(Platform::LINUX_AMD64),
             chars: Characteristics::new(cfg.char_window),
@@ -307,6 +328,7 @@ impl Worker {
             telemetry,
             recorder,
             tel_counts,
+            cache,
             clock,
             cfg,
         });
@@ -412,7 +434,12 @@ impl Worker {
     }
 
     /// Register a function (§3.2). Out-of-band of the invocation path.
+    /// Re-registering an fqdn invalidates any cached results for it — new
+    /// code must never be answered with the old version's outputs.
     pub fn register(&self, spec: FunctionSpec) -> Result<Arc<Registration>, RegisterError> {
+        if let Some(cache) = &self.shared.cache {
+            cache.note_spec(&spec);
+        }
         self.shared.registry.register(spec)
     }
 
@@ -430,6 +457,51 @@ impl Worker {
     ) -> Result<InvocationResult, InvokeError> {
         let _g = self.shared.spans.time(names::SYNC_INVOKE);
         self.async_invoke_tenant(fqdn, args, tenant)?.wait()
+    }
+
+    /// Synchronous invocation through the result cache. A hit returns the
+    /// cached body without touching the queue, pool, or a container; a miss
+    /// dispatches via [`Worker::invoke_tenant`] and fills the cache from
+    /// the completed result (after its `Completed` WAL record is durable,
+    /// so a served hit always points at a logged completion); bypass (cache
+    /// disabled, or the function not registered idempotent) is a plain
+    /// dispatch. The returned [`CacheStatus`] feeds the
+    /// `X-Iluvatar-Cache` response header.
+    pub fn invoke_tenant_cached(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<(InvocationResult, CacheStatus), InvokeError> {
+        let Some(cache) = &self.shared.cache else {
+            return Ok((self.invoke_tenant(fqdn, args, tenant)?, CacheStatus::Bypass));
+        };
+        match cache.lookup(fqdn, tenant, args) {
+            CacheLookup::Hit(hit) => {
+                let now = self.shared.clock.now_ms();
+                Ok((
+                    InvocationResult {
+                        body: hit.body,
+                        exec_ms: hit.exec_ms,
+                        e2e_ms: 0,
+                        cold: false,
+                        queue_ms: 0,
+                        arrived_at: now,
+                        trace_id: 0,
+                        tenant: Some(hit.tenant),
+                    },
+                    CacheStatus::Hit,
+                ))
+            }
+            CacheLookup::Miss(_) => {
+                let r = self.invoke_tenant(fqdn, args, tenant)?;
+                cache.fill(fqdn, tenant, args, &r.body, r.exec_ms, Some(r.trace_id));
+                Ok((r, CacheStatus::Miss))
+            }
+            CacheLookup::Bypass => {
+                Ok((self.invoke_tenant(fqdn, args, tenant)?, CacheStatus::Bypass))
+            }
+        }
     }
 
     /// Asynchronous invocation: returns a handle immediately.
@@ -616,6 +688,8 @@ impl Worker {
     pub fn status(&self) -> WorkerStatus {
         let s = &self.shared;
         let pool = s.pool.stats();
+        let (cache_hits, cache_misses, cache_evictions) =
+            s.cache.as_ref().map(|c| c.totals()).unwrap_or((0, 0, 0));
         WorkerStatus {
             name: s.cfg.name.clone(),
             queue_len: s.queue.len(),
@@ -638,7 +712,28 @@ impl Worker {
             lifecycle: s.lifecycle_label().to_string(),
             drain_pending: (s.queue.len() + s.running.load(Ordering::Relaxed)) as u64,
             queue_delay_ms: s.last_queue_delay_ms.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            warm_gb_s: self.warm_residency().iter().map(|(_, g)| g).sum(),
         }
+    }
+
+    /// Per-tenant result-cache counters; empty while the cache is disabled.
+    pub fn cache_stats(&self) -> Vec<TenantCacheStats> {
+        self.shared
+            .cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// Warm-container residency per function, `(fqdn, GB·s)` — memory each
+    /// idle pooled container holds, weighted by how long it has held it.
+    /// The fleet reads this (via `/status`) to pick least-warm scale-down
+    /// victims and to hand hot functions off to survivors.
+    pub fn warm_residency(&self) -> Vec<(String, f64)> {
+        self.shared.pool.warm_residency()
     }
 
     /// Per-tenant admission/serve counters; empty while admission control

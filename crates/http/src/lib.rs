@@ -39,6 +39,12 @@ pub const TENANT_HEADER: &str = "X-Iluvatar-Tenant";
 /// event stream — "everything I caused has seq ≤ this".
 pub const SEQ_HEADER: &str = "X-Iluvatar-Seq";
 
+/// Header reporting what the result cache did for an invoke response:
+/// `hit` (served from cache, no worker touched), `miss` (dispatched and
+/// cached on return), or `bypass` (cache disabled or the function is not
+/// registered idempotent).
+pub const CACHE_HEADER: &str = "X-Iluvatar-Cache";
+
 /// Errors surfaced by the client and server.
 #[derive(Debug)]
 pub enum HttpError {

@@ -24,11 +24,12 @@
 
 use crate::cluster::{Cluster, ClusterSnapshot, TenantClusterStats};
 use crate::fleet::Fleet;
+use iluvatar_cache::TenantCacheStats;
 use iluvatar_core::api::WireResult;
 use iluvatar_core::exposition::{render_span_histograms, PromWriter};
 use iluvatar_core::InvokeError;
 use iluvatar_http::server::Handler;
-use iluvatar_http::{HttpServer, Method, Request, Response, Status, SEQ_HEADER};
+use iluvatar_http::{HttpServer, Method, Request, Response, Status, CACHE_HEADER, SEQ_HEADER};
 use iluvatar_sync::{SystemClock, TaskPool};
 use iluvatar_telemetry::{CounterBridge, FlightRecorder, TelemetryBus, TelemetrySink};
 use parking_lot::Mutex;
@@ -117,6 +118,7 @@ fn render_metrics(
     served: u64,
     fleet: Option<&Fleet>,
     tel: &CounterBridge,
+    cache: &[TenantCacheStats],
 ) -> String {
     let mut w = PromWriter::new();
     w.gauge(
@@ -247,7 +249,38 @@ fn render_metrics(
             t.served as f64,
         );
     }
+    // Balancer-side result cache: cluster totals plus per-tenant eviction
+    // pressure (hard partitions make evictions a per-tenant signal).
+    let (hits, misses): (u64, u64) = cache
+        .iter()
+        .fold((0, 0), |(h, m), t| (h + t.hits, m + t.misses));
+    w.counter(
+        "iluvatar_cache_hits_total",
+        "Invocations served from the balancer's result cache",
+        &[("source", "lb")],
+        hits as f64,
+    );
+    w.counter(
+        "iluvatar_cache_misses_total",
+        "Cache-eligible invocations that missed and were dispatched",
+        &[("source", "lb")],
+        misses as f64,
+    );
+    for t in cache {
+        w.counter(
+            "iluvatar_cache_evictions_total",
+            "Result-cache evictions (capacity pressure) per tenant",
+            &[("source", "lb"), ("tenant", &t.tenant)],
+            t.evictions as f64,
+        );
+    }
     if let Some(f) = fleet {
+        w.counter(
+            "iluvatar_warm_handoffs_total",
+            "Warm-pool residency entries prewarmed onto survivors at scale-down",
+            &[],
+            f.handoffs() as f64,
+        );
         w.gauge(
             "iluvatar_fleet_size",
             "Live (routable) workers in the elastic fleet",
@@ -400,6 +433,7 @@ impl LbApi {
                         n,
                         fleet_for_handler.as_deref(),
                         &tel_for_handler,
+                        &cluster.cache_stats(),
                     ))
                     .with_header("Content-Type", "text/plain; version=0.0.4")
                 }
@@ -428,11 +462,12 @@ impl LbApi {
                         if let Some(f) = &fleet_for_handler {
                             f.note_arrival(&b.fqdn);
                         }
-                        let resp = match cluster.invoke_tenant(&b.fqdn, &b.args, tenant.as_deref())
+                        let resp = match cluster.invoke_cached(&b.fqdn, &b.args, tenant.as_deref())
                         {
-                            Ok(r) => {
+                            Ok((r, cache)) => {
                                 let wire: WireResult = r.into();
                                 json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                                    .with_header(CACHE_HEADER, cache.as_str())
                             }
                             Err(e) => error_resp(&e),
                         };
@@ -556,6 +591,11 @@ mod tests {
             assert_eq!(resp.status, Status::OK, "body: {}", resp.body_str());
             let wire: WireResult = serde_json::from_str(resp.body_str()).unwrap();
             assert_ne!(wire.trace_id, 0, "trace id survives the LB hop");
+            assert_eq!(
+                resp.header(CACHE_HEADER),
+                Some("bypass"),
+                "no cache attached: every response is a bypass"
+            );
         }
 
         // The periodic scraper merges both workers' spans into /metrics. Wait
@@ -599,6 +639,63 @@ mod tests {
         let st: LbStatus = serde_json::from_str(get(api.addr(), "/status").body_str()).unwrap();
         assert_eq!(st.workers.len(), 2);
         assert_eq!(st.workers.iter().map(|w| w.dispatched).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn cache_hit_skips_the_worker_over_http() {
+        use iluvatar_cache::{CacheConfig, ResultCache};
+
+        let workers: Vec<Arc<dyn WorkerHandle>> = vec![live_worker("w0")];
+        let cluster = Arc::new(Cluster::new(workers, LbPolicy::RoundRobin));
+        let cache = Arc::new(ResultCache::new(
+            CacheConfig::enabled_default(),
+            SystemClock::shared(),
+        ));
+        cluster.set_cache(cache);
+        cluster
+            .register_all(
+                FunctionSpec::new("f", "1")
+                    .with_timing(100, 400)
+                    .with_idempotent(),
+            )
+            .unwrap();
+        let api = LbApi::serve(Arc::clone(&cluster), Duration::from_millis(25)).unwrap();
+
+        let body = serde_json::to_vec(&InvokeBody {
+            fqdn: "f-1".into(),
+            args: "{\"k\":1}".into(),
+            tenant: None,
+        })
+        .unwrap();
+        let send = || {
+            HttpClient::send(
+                api.addr(),
+                &Request::new(Method::Post, "/invoke").with_body(body.clone()),
+                Duration::from_secs(10),
+            )
+            .unwrap()
+        };
+        let first = send();
+        assert_eq!(first.status, Status::OK, "body: {}", first.body_str());
+        assert_eq!(first.header(CACHE_HEADER), Some("miss"));
+        let second = send();
+        assert_eq!(second.header(CACHE_HEADER), Some("hit"));
+        let miss: WireResult = serde_json::from_str(first.body_str()).unwrap();
+        let hit: WireResult = serde_json::from_str(second.body_str()).unwrap();
+        assert_eq!(hit.body, miss.body, "served body is the cached body");
+        assert_eq!(
+            cluster.stats().dispatched.iter().sum::<u64>(),
+            1,
+            "the hit never reached a worker"
+        );
+
+        let text = get(api.addr(), "/metrics").body_str().to_string();
+        assert!(
+            text.contains("iluvatar_cache_hits_total{source=\"lb\"} 1"),
+            "text:\n{text}"
+        );
+        assert!(text.contains("iluvatar_cache_misses_total{source=\"lb\"} 1"));
+        assert!(text.contains("iluvatar_cache_evictions_total{source=\"lb\",tenant=\"default\"} 0"));
     }
 
     #[test]

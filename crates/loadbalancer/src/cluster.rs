@@ -11,6 +11,7 @@
 //! [`detach`]: Cluster::detach
 
 use crate::chbl::{ChBl, ChBlConfig};
+use iluvatar_cache::{CacheLookup, CacheStatus, ResultCache, TenantCacheStats};
 use iluvatar_containers::FunctionSpec;
 use iluvatar_core::{
     merge_span_exports, BreakdownReport, InvocationResult, InvokeError, SpanExport, TenantSnapshot,
@@ -46,6 +47,9 @@ pub struct HandleStats {
     pub drain_pending: u64,
     /// Lifecycle label: `running`, `draining`, or `stopped`.
     pub lifecycle: String,
+    /// Total warm-container residency, GB·s — the fleet's least-warm
+    /// victim-selection score. 0 for handles without a pool.
+    pub warm_gb_s: f64,
 }
 
 /// Anything the balancer can dispatch to: a live worker or a test stub.
@@ -104,6 +108,18 @@ pub trait WorkerHandle: Send + Sync + 'static {
     /// the worker never sent one.
     fn retry_after_hint_ms(&self) -> u64 {
         0
+    }
+    /// Prewarm a container for `fqdn` ahead of demand (the warm-handoff
+    /// path on scale-down). Handles without a pool accept and ignore it.
+    fn prewarm(&self, fqdn: &str) -> Result<(), String> {
+        let _ = fqdn;
+        Ok(())
+    }
+    /// Per-function warm residency `(fqdn, GB·s)`, hottest-agnostic order.
+    /// Empty for handles without a pool — the fleet treats those as having
+    /// nothing worth handing off.
+    fn warm_profile(&self) -> Vec<(String, f64)> {
+        Vec::new()
     }
 }
 
@@ -230,6 +246,7 @@ impl WorkerHandle for RemoteWorker {
                 queue_delay_ms: s.queue_delay_ms,
                 drain_pending: s.drain_pending,
                 lifecycle: s.lifecycle,
+                warm_gb_s: s.warm_gb_s,
             },
             Err(_) => HandleStats::default(),
         }
@@ -241,6 +258,22 @@ impl WorkerHandle for RemoteWorker {
 
     fn retry_after_hint_ms(&self) -> u64 {
         self.retry_after_ms.load(Ordering::Relaxed)
+    }
+
+    fn prewarm(&self, fqdn: &str) -> Result<(), String> {
+        self.client.prewarm(fqdn).map_err(|e| e.to_string())
+    }
+
+    fn warm_profile(&self) -> Vec<(String, f64)> {
+        self.client
+            .status()
+            .map(|s| {
+                s.warm_residency
+                    .into_iter()
+                    .map(|w| (w.fqdn, w.gb_s))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 }
 
@@ -301,12 +334,21 @@ impl WorkerHandle for Worker {
             queue_delay_ms: s.queue_delay_ms,
             drain_pending: s.drain_pending,
             lifecycle: s.lifecycle,
+            warm_gb_s: s.warm_gb_s,
         }
     }
 
     fn drain(&self) -> Result<u64, String> {
         Worker::drain(self);
         Ok(self.status().drain_pending)
+    }
+
+    fn prewarm(&self, fqdn: &str) -> Result<(), String> {
+        Worker::prewarm(self, fqdn).map_err(|e| e.to_string())
+    }
+
+    fn warm_profile(&self) -> Vec<(String, f64)> {
+        self.warm_residency()
     }
 }
 
@@ -494,6 +536,10 @@ pub struct Cluster {
     /// events fan out here once a bus is attached (the bus carries its own
     /// clock — the cluster itself is clockless).
     telemetry: OnceLock<Arc<TelemetryBus>>,
+    /// Balancer-side invocation result cache: the cheapest invocation
+    /// never reaches a worker. Absent (the default) every dispatch goes
+    /// through; attach one with [`Cluster::set_cache`].
+    cache: OnceLock<Arc<ResultCache>>,
 }
 
 impl Cluster {
@@ -563,6 +609,7 @@ impl Cluster {
             tenant_lb: Mutex::new(HashMap::new()),
             tenant_cache: Mutex::new(vec![Vec::new(); n]),
             telemetry: OnceLock::new(),
+            cache: OnceLock::new(),
             slots,
             names,
             present,
@@ -573,6 +620,18 @@ impl Cluster {
     /// before any bus is attached are dropped.
     pub fn set_telemetry(&self, bus: Arc<TelemetryBus>) {
         let _ = self.telemetry.set(bus);
+    }
+
+    /// Attach a balancer-side result cache (first call wins). Specs already
+    /// registered through [`Cluster::register_all`] are not replayed into
+    /// it — attach the cache before registering functions.
+    pub fn set_cache(&self, cache: Arc<ResultCache>) {
+        let _ = self.cache.set(cache);
+    }
+
+    /// Per-tenant result-cache counters; empty when no cache is attached.
+    pub fn cache_stats(&self) -> Vec<TenantCacheStats> {
+        self.cache.get().map(|c| c.stats()).unwrap_or_default()
     }
 
     fn tel(&self, tenant: Option<&str>, kind: TelemetryKind) {
@@ -689,7 +748,11 @@ impl Cluster {
     }
 
     /// Register on every attached worker (functions can run anywhere).
+    /// Re-registering an fqdn invalidates its balancer-cached results.
     pub fn register_all(&self, spec: FunctionSpec) -> Result<(), String> {
+        if let Some(cache) = self.cache.get() {
+            cache.note_spec(&spec);
+        }
         for idx in 0..self.slots.len() {
             if let Some(w) = self.handle(idx) {
                 w.register(spec.clone())?;
@@ -914,6 +977,46 @@ impl Cluster {
                 self.reroute(fqdn, args, tenant, w, InvokeError::ShuttingDown)
             }
             other => other,
+        }
+    }
+
+    /// Tenant-labelled dispatch through the balancer-side result cache:
+    /// consult before picking a worker, fill from the completed result on
+    /// the way back. Without an attached cache every call is a `Bypass`
+    /// around a plain [`Cluster::invoke_tenant`] — signature and behaviour
+    /// of the uncached path are untouched. The returned [`CacheStatus`]
+    /// feeds the `X-Iluvatar-Cache` response header.
+    pub fn invoke_cached(
+        &self,
+        fqdn: &str,
+        args: &str,
+        tenant: Option<&str>,
+    ) -> Result<(InvocationResult, CacheStatus), InvokeError> {
+        let Some(cache) = self.cache.get() else {
+            return Ok((self.invoke_tenant(fqdn, args, tenant)?, CacheStatus::Bypass));
+        };
+        match cache.lookup(fqdn, tenant, args) {
+            CacheLookup::Hit(hit) => Ok((
+                InvocationResult {
+                    body: hit.body,
+                    exec_ms: hit.exec_ms,
+                    e2e_ms: 0,
+                    cold: false,
+                    queue_ms: 0,
+                    arrived_at: 0,
+                    trace_id: 0,
+                    tenant: Some(hit.tenant),
+                },
+                CacheStatus::Hit,
+            )),
+            CacheLookup::Miss(_) => {
+                let r = self.invoke_tenant(fqdn, args, tenant)?;
+                cache.fill(fqdn, tenant, args, &r.body, r.exec_ms, Some(r.trace_id));
+                Ok((r, CacheStatus::Miss))
+            }
+            CacheLookup::Bypass => {
+                Ok((self.invoke_tenant(fqdn, args, tenant)?, CacheStatus::Bypass))
+            }
         }
     }
 

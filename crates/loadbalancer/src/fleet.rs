@@ -12,6 +12,7 @@
 use crate::cluster::{Cluster, WorkerHandle};
 use iluvatar_autoscale::{
     AutoscaleConfig, FleetObservation, ScaleDirection, ScaleEvent, ScalingDecision, ScalingPolicy,
+    VictimPolicyKind,
 };
 use iluvatar_containers::FunctionSpec;
 use iluvatar_telemetry::{TelemetryBus, TelemetryKind};
@@ -58,6 +59,10 @@ pub struct FleetStatus {
     pub capacity: usize,
     pub min_workers: usize,
     pub max_workers: usize,
+    /// Warm-pool handoffs: prewarm requests replayed from drain victims
+    /// onto surviving workers.
+    #[serde(default)]
+    pub handoffs: u64,
     /// The applied-decision journal, oldest first.
     pub events: Vec<ScaleEvent>,
 }
@@ -77,6 +82,8 @@ pub struct Fleet {
     draining: Mutex<Vec<DrainingSlot>>,
     /// Workers fully retired (drained + detached).
     stopped: AtomicU64,
+    /// Warm-pool handoffs issued so far (prewarms replayed onto survivors).
+    handoffs: AtomicU64,
     /// Applied decisions, oldest first.
     journal: Mutex<Vec<ScaleEvent>>,
     /// `(direction, reason) → count`, the metric behind
@@ -107,6 +114,7 @@ impl Fleet {
             spawn_seq: AtomicU64::new(live as u64),
             draining: Mutex::new(Vec::new()),
             stopped: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
             journal: Mutex::new(Vec::new()),
             event_counts: Mutex::new(BTreeMap::new()),
             arrivals: Mutex::new(BTreeMap::new()),
@@ -160,6 +168,11 @@ impl Fleet {
     /// Workers retired so far.
     pub fn stopped(&self) -> u64 {
         self.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Warm-pool handoffs issued so far.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs.load(Ordering::Relaxed)
     }
 
     /// Build one observation from live worker stats plus the arrival
@@ -303,20 +316,17 @@ impl Fleet {
         if remove == 0 {
             return Ok(None);
         }
-        // Retire the highest-index live slots (LIFO): the most recently
-        // added workers hold the least locality, and the order is
-        // deterministic.
-        let st = self.cluster.stats();
-        let victims: Vec<usize> = (0..st.present.len())
-            .rev()
-            .filter(|&i| st.present[i] && !st.draining[i])
-            .take(remove)
-            .collect();
+        let victims = self.pick_victims(remove);
         let mut drained = 0usize;
         for &slot in &victims {
             let Some(h) = self.cluster.handle(slot) else {
                 continue;
             };
+            // Warm-pool handoff: replay the victim's hottest functions onto
+            // survivors *before* the drain, so the keep-alive investment
+            // the fleet is about to forfeit is rebuilt where routing will
+            // actually land.
+            self.handoff_warm(&victims, &h);
             // Graceful drain: the worker finishes queued + running work and
             // 503s new arrivals; the cluster routes around it immediately.
             h.drain()?;
@@ -339,6 +349,75 @@ impl Fleet {
         };
         self.journal_event(event.clone());
         Ok(Some(event))
+    }
+
+    /// Choose `remove` drain victims among the present, non-draining slots.
+    ///
+    /// `LeastWarm` (the default) retires the workers holding the least
+    /// warm-container residency — the cheapest keep-alive investment to
+    /// forfeit — with ties broken toward the highest slot index, so a
+    /// fleet of residency-blind handles (every score zero) degrades to
+    /// exactly the old LIFO order. `Lifo` skips the scoring entirely.
+    fn pick_victims(&self, remove: usize) -> Vec<usize> {
+        let st = self.cluster.stats();
+        let candidates: Vec<usize> = (0..st.present.len())
+            .filter(|&i| st.present[i] && !st.draining[i])
+            .collect();
+        match self.cfg.victim_policy {
+            VictimPolicyKind::Lifo => candidates.into_iter().rev().take(remove).collect(),
+            VictimPolicyKind::LeastWarm => {
+                let mut scored: Vec<(f64, usize)> = candidates
+                    .into_iter()
+                    .map(|i| {
+                        let gb_s: f64 = self
+                            .cluster
+                            .handle(i)
+                            .map(|h| h.warm_profile().iter().map(|(_, g)| g).sum())
+                            .unwrap_or(0.0);
+                        (if gb_s.is_finite() { gb_s } else { 0.0 }, i)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.1.cmp(&a.1))
+                });
+                scored.into_iter().map(|(_, i)| i).take(remove).collect()
+            }
+        }
+    }
+
+    /// Replay the drain victim's hottest warm functions (top
+    /// `handoff_top_k` by GB·s) as prewarms onto surviving workers,
+    /// round-robin by hotness rank. Best-effort: a failed prewarm is
+    /// dropped, not retried — the survivor will cold-start as it would
+    /// have anyway.
+    fn handoff_warm(&self, victims: &[usize], victim: &Arc<dyn WorkerHandle>) {
+        let st = self.cluster.stats();
+        let survivors: Vec<usize> = (0..st.present.len())
+            .filter(|&i| st.present[i] && !st.draining[i] && !victims.contains(&i))
+            .collect();
+        if survivors.is_empty() {
+            return;
+        }
+        let mut profile = victim.warm_profile();
+        profile.retain(|(_, g)| g.is_finite());
+        // Hottest first; ties broken by fqdn so the handoff order is
+        // deterministic.
+        profile.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let top_k = self.cfg.effective_handoff_top_k();
+        for (rank, (fqdn, _)) in profile.into_iter().take(top_k).enumerate() {
+            let target = survivors[rank % survivors.len()];
+            if let Some(s) = self.cluster.handle(target) {
+                if s.prewarm(&fqdn).is_ok() {
+                    self.handoffs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// Detach every draining worker whose in-flight work has finished.
@@ -401,6 +480,7 @@ impl Fleet {
             capacity: self.cluster.len(),
             min_workers: self.cfg.min_workers,
             max_workers: self.cfg.max_workers,
+            handoffs: self.handoffs(),
             events: self.events(),
         }
     }
@@ -422,6 +502,10 @@ mod tests {
         draining: AtomicBool,
         busy: AtomicU64,
         load: RwLock<f64>,
+        /// Settable warm residency profile for victim-selection tests.
+        warm: Mutex<Vec<(String, f64)>>,
+        /// Prewarm requests received (the handoff landing zone).
+        prewarmed: Mutex<Vec<String>>,
     }
 
     impl ElasticStub {
@@ -432,6 +516,8 @@ mod tests {
                 draining: AtomicBool::new(false),
                 busy: AtomicU64::new(0),
                 load: RwLock::new(0.1),
+                warm: Mutex::new(Vec::new()),
+                prewarmed: Mutex::new(Vec::new()),
             })
         }
     }
@@ -489,6 +575,15 @@ mod tests {
         fn drain(&self) -> Result<u64, String> {
             self.draining.store(true, Ordering::SeqCst);
             Ok(self.busy.load(Ordering::SeqCst))
+        }
+
+        fn warm_profile(&self) -> Vec<(String, f64)> {
+            self.warm.lock().clone()
+        }
+
+        fn prewarm(&self, fqdn: &str) -> Result<(), String> {
+            self.prewarmed.lock().push(fqdn.to_string());
+            Ok(())
         }
     }
 
@@ -676,6 +771,120 @@ mod tests {
         let json = serde_json::to_string(&st).unwrap();
         let back: FleetStatus = serde_json::from_str(&json).unwrap();
         assert_eq!(back.events.len(), 1);
+    }
+
+    #[test]
+    fn lifo_fallback_drains_newest_even_when_warmest() {
+        let mut c = cfg();
+        c.victim_policy = iluvatar_autoscale::VictimPolicyKind::Lifo;
+        let (_cluster, fleet, spawned) = fleet_of(c);
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 2,
+                    reason: "test",
+                },
+                0,
+            )
+            .unwrap();
+        // The newest worker carries the most warm residency; LIFO must
+        // still pick it — this pins the pre-policy behaviour.
+        let newest = Arc::clone(spawned.lock().last().unwrap());
+        *newest.warm.lock() = vec![("hot-1".into(), 50.0)];
+        fleet
+            .apply(
+                &ScalingDecision::ScaleDown {
+                    remove: 1,
+                    reason: "test",
+                },
+                100,
+            )
+            .unwrap();
+        assert!(
+            newest.draining.load(Ordering::SeqCst),
+            "LIFO drains the newest regardless of warmth"
+        );
+    }
+
+    #[test]
+    fn least_warm_victim_preserves_hot_workers() {
+        let (_cluster, fleet, spawned) = fleet_of(cfg());
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 2,
+                    reason: "test",
+                },
+                0,
+            )
+            .unwrap();
+        // Middle worker is stone cold; the newest is the warmest. LIFO
+        // would kill the newest — least-warm must drain the middle one.
+        let workers = spawned.lock().clone();
+        *workers[0].warm.lock() = vec![("f-1".into(), 20.0)];
+        *workers[2].warm.lock() = vec![("f-1".into(), 80.0)];
+        fleet
+            .apply(
+                &ScalingDecision::ScaleDown {
+                    remove: 1,
+                    reason: "test",
+                },
+                100,
+            )
+            .unwrap();
+        assert!(
+            workers[1].draining.load(Ordering::SeqCst),
+            "coldest worker drains first"
+        );
+        assert!(!workers[0].draining.load(Ordering::SeqCst));
+        assert!(
+            !workers[2].draining.load(Ordering::SeqCst),
+            "warmest worker survives"
+        );
+    }
+
+    #[test]
+    fn scale_down_hands_warm_pool_to_survivors() {
+        let (_cluster, fleet, spawned) = fleet_of(cfg());
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 1,
+                    reason: "test",
+                },
+                0,
+            )
+            .unwrap();
+        let workers = spawned.lock().clone();
+        // Seed worker is far warmer, so the elastic worker is the victim;
+        // its residency (hottest first) should land on the survivor.
+        *workers[0].warm.lock() = vec![("big-1".into(), 100.0)];
+        *workers[1].warm.lock() = vec![
+            ("cold-1".into(), 1.0),
+            ("hot-1".into(), 9.0),
+            ("mid-1".into(), 4.0),
+        ];
+        fleet
+            .apply(
+                &ScalingDecision::ScaleDown {
+                    remove: 1,
+                    reason: "test",
+                },
+                100,
+            )
+            .unwrap();
+        assert!(workers[1].draining.load(Ordering::SeqCst));
+        assert_eq!(
+            *workers[0].prewarmed.lock(),
+            vec![
+                "hot-1".to_string(),
+                "mid-1".to_string(),
+                "cold-1".to_string()
+            ],
+            "victim's residency prewarmed hottest-first on the survivor"
+        );
+        assert_eq!(fleet.handoffs(), 3);
+        assert_eq!(fleet.status().handoffs, 3);
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub enum TelemetryKind {
         from: u64,
         to: u64,
     },
+    /// A result-cache operation: `op` is `hit`, `miss`, `fill`, `evict`,
+    /// `expire`, or `invalidate`; `key` is the idempotency key
+    /// (`fqdn@tenant#arghash`). `expires_at_ms` rides `fill` so stream
+    /// consumers (the conformance checker) can audit TTL legality of later
+    /// hits without the cache's internal state.
+    Cache {
+        op: String,
+        key: String,
+        #[serde(default)]
+        expires_at_ms: Option<u64>,
+    },
     /// The chaos harness fired an injected fault at `site`.
     Fault { site: String },
     /// A flight-recorder snapshot was frozen (`reason`: `kill`, `drain`,
@@ -85,6 +96,7 @@ impl TelemetryKind {
             TelemetryKind::Breaker { state, .. } => format!("breaker:{state}"),
             TelemetryKind::Membership { change, .. } => format!("membership:{change}"),
             TelemetryKind::Scale { direction, .. } => format!("scale:{direction}"),
+            TelemetryKind::Cache { op, .. } => format!("cache:{op}"),
             TelemetryKind::Fault { site } => format!("fault:{site}"),
             TelemetryKind::RecorderSnapshot { .. } => "recorder_snapshot".into(),
         }
@@ -146,6 +158,11 @@ mod tests {
                 from: 1,
                 to: 3,
             },
+            TelemetryKind::Cache {
+                op: "hit".into(),
+                key: "f-1@gold#00".into(),
+                expires_at_ms: None,
+            },
             TelemetryKind::Fault {
                 site: "invoke_error".into(),
             },
@@ -159,7 +176,8 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len(), "labels collide: {labels:?}");
         assert_eq!(labels[0], "trace:ingested");
-        assert_eq!(labels[9], "fault:invoke_error");
+        assert_eq!(labels[9], "cache:hit");
+        assert_eq!(labels[10], "fault:invoke_error");
     }
 
     #[test]

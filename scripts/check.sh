@@ -100,12 +100,26 @@ if [[ "$digest_a" != "$digest_b" ]]; then
 fi
 echo "conformance digest stable: $digest_a"
 
+echo "=== cache determinism (fixed seed, two runs) ==="
+# The result-cache session (two tenants, seeded repeat mix, invalidation
+# on re-registration, full stream through the conformance models) must
+# replay bit-identically. The binary itself asserts the >=80% repeat hit
+# rate, disjoint tenant partitions, and dispatched == misses + bypasses.
+CACHE_SEED=42
+digest_a=$(./target/release/cache_session --seed "$CACHE_SEED")
+digest_b=$(./target/release/cache_session --seed "$CACHE_SEED")
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "cache digests diverged for seed $CACHE_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "cache digest stable: $digest_a"
+
 echo "=== conformance mutation smoke (checker must catch seeded corruption) ==="
 # Flips one event in known-good streams (duplicate completion, dropped
 # append, reordered result, flipped ok-bit, illegal breaker edge, kill of
-# a draining worker, double-attach) and requires the checker to flag each
-# with the expected rule. A silent pass here means the checker has gone
-# blind and the replay gate above is vacuous.
+# a draining worker, double-attach, stale cache hit) and requires the
+# checker to flag each with the expected rule. A silent pass here means
+# the checker has gone blind and the replay gate above is vacuous.
 ./target/release/conformance_session --mutate
 
 echo "=== overhead budget (p50/p99 per Table-1 group) ==="
@@ -113,5 +127,11 @@ echo "=== overhead budget (p50/p99 per Table-1 group) ==="
 # Table-1 group's p50/p99 dispatch overhead (from GET /breakdown) against
 # wide-headroom budgets. Exits non-zero on any breach.
 ./target/release/abl_overhead_budget
+
+echo "=== cache ablation (hit p50 < dispatch p50, >=80% repeat hits) ==="
+# Measures the real hot path with the result cache on: a hit must beat a
+# warm dispatch at p50, the repeated phase must serve >=80% from cache,
+# and interleaved tenants on identical fqdn+args must never cross.
+./target/release/abl_cache
 
 echo "all checks passed"

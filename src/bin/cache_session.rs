@@ -1,0 +1,240 @@
+//! Result-cache session: a seeded two-tenant invocation mix through a real
+//! cluster with the balancer-side result cache attached, proving the
+//! tentpole's three promises and replaying bit-identically.
+//!
+//! * **Skip the worker** — phase 2 repeats phase-1 arguments; the repeated
+//!   phase must serve ≥80% from the cache, and dispatched totals must equal
+//!   exactly the invocations that missed or bypassed.
+//! * **Hard tenant walls** — both tenants use identical fqdns and argument
+//!   strings; every hit must carry the requesting tenant's label and the
+//!   two partitions' key sets must be disjoint.
+//! * **Invalidate on re-registration** — re-sighting a function's spec
+//!   drops its cached results for every tenant; the next lookups miss.
+//!
+//! The full canonical stream (dispatch + cache events on the balancer bus)
+//! rides through the conformance [`Checker`]: zero violations or exit 1.
+//!
+//! ```text
+//! cache_session [--seed n] [--time-scale f]
+//! ```
+//!
+//! Stdout carries exactly one line — the hex digest of the per-invocation
+//! status sequence, the per-tenant cache stats, the checker label counts,
+//! and the dispatch totals. Summary to stderr. `check.sh` runs this twice
+//! with the same seed and diffs stdout.
+
+use iluvatar_cache::{CacheConfig, CacheStatus, ResultCache};
+use iluvatar_conformance::Checker;
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::FunctionSpec;
+use iluvatar_core::{TelemetryBus, TelemetrySink, Worker, WorkerConfig};
+use iluvatar_lb::cluster::WorkerHandle;
+use iluvatar_lb::{Cluster, LbPolicy};
+use iluvatar_sync::SystemClock;
+use iluvatar_telemetry::VecSink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fold(digest: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+const TENANTS: [&str; 2] = ["acme", "umbra"];
+const UNIQUE_ARGS: u64 = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+
+    let clock = SystemClock::shared();
+    let mk_worker = |name: &str| -> Arc<dyn WorkerHandle> {
+        let backend = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig {
+                time_scale,
+                ..Default::default()
+            },
+        ));
+        let mut cfg = WorkerConfig::for_testing();
+        cfg.name = name.to_string();
+        Arc::new(Worker::new(cfg, backend, Arc::clone(&clock)))
+    };
+    let cluster = Arc::new(Cluster::new(
+        vec![mk_worker("w0"), mk_worker("w1")],
+        LbPolicy::RoundRobin,
+    ));
+
+    // Balancer bus: dispatch events from the cluster, cache events from the
+    // result cache, one stream for the checker.
+    let bus = TelemetryBus::new("lb", Arc::clone(&clock));
+    let sink = Arc::new(VecSink::new());
+    bus.add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    cluster.set_telemetry(Arc::clone(&bus));
+
+    let cache = Arc::new(ResultCache::new(
+        CacheConfig {
+            enabled: true,
+            tenant_max_entries: 16,
+            ..Default::default()
+        },
+        Arc::clone(&clock) as Arc<dyn iluvatar_sync::Clock>,
+    ));
+    cache.set_telemetry(bus);
+    // Attach before registration so the cache sees every spec.
+    cluster.set_cache(Arc::clone(&cache));
+
+    let idempotent: Vec<FunctionSpec> = (0..2)
+        .map(|i| {
+            FunctionSpec::new(format!("f{i}"), "1")
+                .with_timing(40, 150)
+                .with_idempotent()
+        })
+        .collect();
+    let effectful = FunctionSpec::new("g", "1").with_timing(40, 150);
+    for s in idempotent.iter().chain([&effectful]) {
+        cluster.register_all(s.clone()).expect("register");
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut statuses = String::new();
+    let mut run = |fqdn: &str, args: &str, tenant: &str| -> CacheStatus {
+        let (r, status) = cluster
+            .invoke_cached(fqdn, args, Some(tenant))
+            .expect("invoke");
+        if status == CacheStatus::Hit {
+            assert_eq!(
+                r.tenant.as_deref(),
+                Some(tenant),
+                "hit served across the tenant wall"
+            );
+        }
+        statuses.push_str(status.as_str());
+        statuses.push(';');
+        status
+    };
+
+    // Phase 1 — first sight: every idempotent (tenant, fn, arg) triple is a
+    // miss that fills; the effectful function always bypasses.
+    let mut p1_miss = 0u64;
+    for tenant in TENANTS {
+        for spec in &idempotent {
+            for a in 0..UNIQUE_ARGS {
+                if run(&spec.fqdn, &format!("{{\"k\":{a}}}"), tenant) == CacheStatus::Miss {
+                    p1_miss += 1;
+                }
+            }
+        }
+        assert_eq!(run("g-1", "{\"k\":0}", tenant), CacheStatus::Bypass);
+    }
+    assert_eq!(
+        p1_miss,
+        TENANTS.len() as u64 * idempotent.len() as u64 * UNIQUE_ARGS,
+        "phase 1 must be all misses"
+    );
+
+    // Phase 2 — seeded repeats: draws mostly land on phase-1 arguments.
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for _ in 0..60 {
+        let tenant = TENANTS[rng.gen_range(0..TENANTS.len())];
+        let spec = &idempotent[rng.gen_range(0..idempotent.len())];
+        // One draw in ten asks for a fresh argument (an honest miss).
+        let a = if rng.gen_range(0.0..1.0f64) < 0.1 {
+            UNIQUE_ARGS + rng.gen_range(0..100u64)
+        } else {
+            rng.gen_range(0..UNIQUE_ARGS)
+        };
+        match run(&spec.fqdn, &format!("{{\"k\":{a}}}"), tenant) {
+            CacheStatus::Hit => hits += 1,
+            CacheStatus::Miss => misses += 1,
+            CacheStatus::Bypass => unreachable!("idempotent functions never bypass"),
+        }
+    }
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        hit_rate >= 0.8,
+        "repeated phase must serve >=80% from cache, got {hit_rate:.2}"
+    );
+
+    // Tenant walls: identical fqdns and args, disjoint key sets.
+    let acme_keys = cache.keys("acme");
+    assert!(
+        !acme_keys.is_empty() && acme_keys.iter().all(|k| !cache.keys("umbra").contains(k)),
+        "tenant partitions must not share keys"
+    );
+
+    // Re-registration invalidates: the cache re-sights f0's spec (a
+    // redeployment), every tenant's f0 entries drop, the next lookup
+    // misses and refills.
+    cache.note_spec(&idempotent[0]);
+    for tenant in TENANTS {
+        assert_eq!(
+            run(&idempotent[0].fqdn, "{\"k\":0}", tenant),
+            CacheStatus::Miss,
+            "re-registration must invalidate cached results"
+        );
+    }
+
+    // Hits never reached a worker: dispatch totals are misses + bypasses.
+    let snap = cluster.scrape();
+    let dispatched: u64 = snap.dispatched.iter().sum();
+    let expected = p1_miss + TENANTS.len() as u64 + misses + TENANTS.len() as u64;
+    assert_eq!(
+        dispatched, expected,
+        "dispatch totals must equal misses + bypasses"
+    );
+
+    // The whole stream through the conformance models.
+    let events = sink.events();
+    let mut checker = Checker::new().with_require_terminal(false);
+    for ev in &events {
+        checker.ingest(ev);
+    }
+    let report = checker.finish();
+    if !report.ok() {
+        eprintln!("cache_session: {} violation(s):", report.violations.len());
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        std::process::exit(1);
+    }
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    fold(&mut digest, &statuses);
+    let mut stats = cache.stats();
+    stats.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    for s in &stats {
+        fold(
+            &mut digest,
+            &format!(
+                "{}:{}:{}:{}:{}:{}:{};",
+                s.tenant, s.hits, s.misses, s.fills, s.evictions, s.invalidations, s.entries
+            ),
+        );
+    }
+    for (label, count) in &report.label_counts {
+        fold(&mut digest, &format!("{label}:{count};"));
+    }
+    fold(&mut digest, &format!("dispatched={dispatched};"));
+
+    eprintln!(
+        "cache_session: phase1 misses={p1_miss}, phase2 hits={hits} misses={misses} \
+         (rate {hit_rate:.2}), dispatched={dispatched}, {} events, 0 violations",
+        report.events
+    );
+    println!("{digest:016x}");
+}

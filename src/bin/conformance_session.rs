@@ -32,6 +32,7 @@
 //! stderr. `check.sh` diffs two digest runs and gates on the battery.
 
 use iluvatar_autoscale::{AutoscaleConfig, FleetObservation, ScalingPolicyKind};
+use iluvatar_cache::{CacheConfig, CacheStatus};
 use iluvatar_chaos::{sites, FaultInjector, FaultPlan, FaultPlanConfig, FaultSpec};
 use iluvatar_conformance::{Checker, ConformanceReport};
 use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
@@ -128,6 +129,10 @@ fn scenario_chaos(seed: u64, time_scale: f64) -> (Vec<TelemetryEvent>, String) {
             snapshot_every: 8,
             ..LifecycleConfig::with_wal(&wal_path)
         },
+        // Result cache on: the stream carries cache:{fill,hit,miss} events
+        // and the checker holds every served hit to a durable, unexpired,
+        // same-tenant fill.
+        cache: CacheConfig::enabled_default(),
         ..WorkerConfig::for_testing()
     };
     let mut worker = Worker::new(
@@ -146,13 +151,26 @@ fn scenario_chaos(seed: u64, time_scale: f64) -> (Vec<TelemetryEvent>, String) {
         .plan()
         .set_flight_recorder(Arc::clone(worker.flight_recorder()));
     worker
-        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .register(
+            FunctionSpec::new("f", "1")
+                .with_timing(100, 400)
+                .with_idempotent(),
+        )
         .expect("register");
 
+    let mut cache_hits = 0u64;
     for i in 0..invocations {
         let tenant = if i % 2 == 0 { "chaos-a" } else { "chaos-b" };
-        let id = match worker.invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant)) {
-            Ok(r) => r.trace_id,
+        // Arguments repeat (i mod 6): once a result is cached, later
+        // identical submissions are served without touching the backend.
+        let args = format!("{{\"i\":{}}}", i % 6);
+        let id = match worker.invoke_tenant_cached("f-1", &args, Some(tenant)) {
+            Ok((_, CacheStatus::Hit)) => {
+                // A hit mints no trace: nothing to wait on.
+                cache_hits += 1;
+                continue;
+            }
+            Ok((r, _)) => r.trace_id,
             Err(_) => worker.recent_traces(1)[0].trace_id,
         };
         // Serialize: each trace completes before the next starts emitting.
@@ -179,8 +197,14 @@ fn scenario_chaos(seed: u64, time_scale: f64) -> (Vec<TelemetryEvent>, String) {
     let mut part = String::new();
     let mut by_trace: BTreeMap<u64, Vec<String>> = BTreeMap::new();
     for e in &events {
+        // A fill is emitted by the *caller* after wait(), so its position
+        // relative to the invocation thread's trailing result_returned is
+        // racy — keep cache ops out of the per-trace sequences (they are
+        // digested via label_counts and the per-tenant cache stats).
         if let Some(t) = e.trace_id {
-            by_trace.entry(t).or_default().push(e.kind.label());
+            if !matches!(&e.kind, TelemetryKind::Cache { .. }) {
+                by_trace.entry(t).or_default().push(e.kind.label());
+            }
         }
     }
     for (i, (_, labels)) in by_trace.iter().enumerate() {
@@ -200,11 +224,21 @@ fn scenario_chaos(seed: u64, time_scale: f64) -> (Vec<TelemetryEvent>, String) {
     for s in &worker.flight_recorder().snapshots() {
         part.push_str(&format!("snap:{};", s.reason));
     }
+    for cs in &worker.cache_stats() {
+        part.push_str(&format!(
+            "cache:{}:{}:{}:{};",
+            cs.tenant, cs.hits, cs.misses, cs.fills
+        ));
+    }
     part.push_str(&format!("violations={};", report.violations.len()));
+    if std::env::var("ILUVATAR_CONF_DEBUG").is_ok() {
+        eprintln!("part A = {part}");
+    }
     eprintln!(
-        "scenario A (chaos): {} events, {} traces, 0 violations",
+        "scenario A (chaos): {} events, {} traces, {} cache hits, 0 violations",
         report.events,
-        by_trace.len()
+        by_trace.len(),
+        cache_hits
     );
     let _ = std::fs::remove_dir_all(&dir);
     (events, part)
@@ -1004,6 +1038,41 @@ fn run_mutation_battery(chaos: &[TelemetryEvent], fleet: &[TelemetryEvent]) -> b
         b.run("duplicate-attach", ev, c_checker, &["slot-cas"]);
     }
 
+    // M8: replay a served hit far past its fill's advertised TTL → the
+    // cache model must call the serve stale.
+    {
+        let mut ev = a.clone();
+        let key = ev
+            .iter()
+            .find_map(|e| match &e.kind {
+                TelemetryKind::Cache { op, key, .. } if op == "hit" => Some(key.clone()),
+                _ => None,
+            })
+            .expect("stream A has cache hits");
+        let exp = ev
+            .iter()
+            .find_map(|e| match &e.kind {
+                TelemetryKind::Cache {
+                    op,
+                    key: k,
+                    expires_at_ms: Some(x),
+                } if op == "fill" && *k == key => Some(*x),
+                _ => None,
+            })
+            .expect("the hit key has a fill with an expiry");
+        let i = ev
+            .iter()
+            .position(
+                |e| matches!(&e.kind, TelemetryKind::Cache { op, key: k, .. } if op == "hit" && *k == key),
+            )
+            .expect("hit index");
+        let mut stale = ev[i].clone();
+        stale.seq = fresh_seq(&ev);
+        stale.at_ms = exp + 60_000;
+        ev.push(stale);
+        b.run("stale-hit", ev, a_checker, &["cache-stale-hit"]);
+    }
+
     eprintln!(
         "mutation battery: {}/{} caught, {} failed",
         b.caught, b.total, b.failed
@@ -1044,6 +1113,9 @@ fn main() {
         ("D1", &part_d1),
         ("D2", &part_d2),
     ] {
+        let mut sub = FNV_OFFSET;
+        fold(&mut sub, part);
+        eprintln!("digest part {tag}: {sub:016x}");
         fold(&mut digest, tag);
         fold(&mut digest, ":");
         fold(&mut digest, part);

@@ -18,6 +18,7 @@
 
 pub use iluvatar_autoscale as autoscale;
 pub use iluvatar_baseline as baseline;
+pub use iluvatar_cache as cache;
 pub use iluvatar_chaos as chaos;
 pub use iluvatar_containers as containers;
 pub use iluvatar_core as core;
@@ -34,6 +35,7 @@ use iluvatar_trace::loadgen::InvokerTarget;
 /// Everything most users need.
 pub mod prelude {
     pub use iluvatar_baseline::{OpenWhiskConfig, OpenWhiskModel};
+    pub use iluvatar_cache::{CacheConfig, CacheStatus, ResultCache};
     pub use iluvatar_containers::agent::FunctionBehavior;
     pub use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
     pub use iluvatar_containers::{FunctionSpec, InProcessBackend, NamespacePool, ResourceLimits};
