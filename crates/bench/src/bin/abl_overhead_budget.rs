@@ -1,7 +1,9 @@
 //! Overhead budget gate: dispatch overhead percentiles per Table-1 group.
 //!
 //! Replays a fixed warm-dominated trace through the real HTTP hot path (a
-//! worker serving its API on loopback over a simulated backend), fetches
+//! worker serving its API on loopback over a simulated backend, with the
+//! write-ahead log enabled under `wal.fsync = group` so durability rides
+//! the measured path), fetches
 //! the critical-path breakdown from `GET /breakdown`, and checks the
 //! p50/p99 of each Table-1 component group against a fixed budget. The
 //! budgets carry wide headroom over the expected values — the gate exists
@@ -16,7 +18,7 @@ use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
 use iluvatar_containers::FunctionSpec;
 use iluvatar_core::api::{WorkerApi, WorkerApiClient};
 use iluvatar_core::breakdown::stages;
-use iluvatar_core::{BreakdownReport, Worker, WorkerConfig};
+use iluvatar_core::{BreakdownReport, LifecycleConfig, WalConfig, Worker, WorkerConfig};
 use iluvatar_sync::SystemClock;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,7 +48,28 @@ fn main() {
             ..Default::default()
         },
     ));
-    let worker = Arc::new(Worker::new(WorkerConfig::for_testing(), backend, clock));
+    // The budget must hold with durability on: WAL enabled, group commit
+    // batching fsyncs off the hot path (`wal.fsync = group`).
+    let wal_dir = std::env::temp_dir().join(format!("iluvatar-overhead-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("wal temp dir");
+    let wal_path = wal_dir
+        .join("queue.wal")
+        .to_str()
+        .expect("utf8 path")
+        .to_string();
+    let cfg = WorkerConfig {
+        lifecycle: LifecycleConfig {
+            wal: WalConfig {
+                fsync: "group".into(),
+                group_ms: 2,
+                ..Default::default()
+            },
+            ..LifecycleConfig::with_wal(&wal_path)
+        },
+        ..WorkerConfig::for_testing()
+    };
+    let worker = Arc::new(Worker::new(cfg, backend, clock));
     let api = WorkerApi::serve(Arc::clone(&worker)).expect("serve worker API");
     let client = WorkerApiClient::new(api.addr());
     client
@@ -135,6 +158,7 @@ fn main() {
         &rows,
     );
 
+    let _ = std::fs::remove_dir_all(&wal_dir);
     if breaches.is_empty() {
         println!("overhead budget: PASS");
     } else {

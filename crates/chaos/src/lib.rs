@@ -28,6 +28,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+pub mod storage;
+pub use storage::{disk_sites, DiskFaultPlan, DiskFaultPlanConfig, FaultyStorage};
+
 /// When a fault site fires.
 ///
 /// A site fires on occurrence `i` (0-based, counted per site) when `i` is in
@@ -42,6 +45,11 @@ pub struct FaultSpec {
     /// Exact occurrence indices that fire (in addition to `prob`).
     #[serde(default)]
     pub schedule: Vec<u64>,
+    /// Fire every `every`-th occurrence (indices `every-1`, `2*every-1`,
+    /// …). 0 disables. Sweep tests use this to fault *each* k-th event
+    /// without enumerating a schedule.
+    #[serde(default)]
+    pub every: u64,
 }
 
 impl FaultSpec {
@@ -52,19 +60,32 @@ impl FaultSpec {
     pub fn with_prob(prob: f64) -> Self {
         Self {
             prob,
-            schedule: Vec::new(),
+            ..Self::default()
         }
     }
 
     pub fn on_occurrences(schedule: Vec<u64>) -> Self {
         Self {
-            prob: 0.0,
             schedule,
+            ..Self::default()
+        }
+    }
+
+    /// Fire on every `every`-th occurrence.
+    pub fn every_nth(every: u64) -> Self {
+        Self {
+            every,
+            ..Self::default()
         }
     }
 
     pub fn is_never(&self) -> bool {
-        self.prob <= 0.0 && self.schedule.is_empty()
+        self.prob <= 0.0 && self.schedule.is_empty() && self.every == 0
+    }
+
+    /// Does occurrence `idx` fire by schedule or period (not probability)?
+    fn scheduled(&self, idx: u64) -> bool {
+        self.schedule.contains(&idx) || (self.every > 0 && (idx + 1).is_multiple_of(self.every))
     }
 }
 
@@ -163,7 +184,7 @@ impl FaultStats {
 
 /// splitmix64 finalizer: stateless mixing for fault decisions.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -171,7 +192,7 @@ fn mix(mut x: u64) -> u64 {
 }
 
 /// FNV-1a over a site name — folds the site into the decision hash.
-fn site_hash(site: &str) -> u64 {
+pub(crate) fn site_hash(site: &str) -> u64 {
     site.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
         (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
     })
@@ -251,7 +272,7 @@ impl FaultPlan {
             .find(|s| s.name == site)
             .expect("site registered");
         let idx = state.seen.fetch_add(1, Ordering::Relaxed);
-        let fire = if spec.schedule.contains(&idx) {
+        let fire = if spec.scheduled(idx) {
             true
         } else if spec.prob > 0.0 {
             let unit =

@@ -498,6 +498,17 @@ impl Checker {
                     )),
                 }
             }
+            TelemetryKind::WalIo { op } => match op.as_str() {
+                // The degraded-mode gauge is a per-source two-state
+                // machine; while it is set, the durability obligations
+                // (`accepted-not-durable`, `result-before-durable`) are
+                // relaxed — that is exactly what degraded mode advertises.
+                "degraded" => self.wal.enter_degraded(src).map_err(|e| ("wal", e)),
+                "rearmed" => self.wal.rearmed(src).map_err(|e| ("wal", e)),
+                // retry / rotate / compact / fsync_error / stall_shed are
+                // informational health signals.
+                _ => Ok(()),
+            },
             // Informational kinds: counted, no machine to advance.
             TelemetryKind::Dispatch { .. }
             | TelemetryKind::Reroute { .. }
@@ -554,8 +565,9 @@ impl Checker {
         let next = match (t.state, base) {
             (Fresh, "enqueued") => {
                 // Accepted ⟹ durable: on a WAL-backed worker the Enqueued
-                // record must land before the timeline accepts.
-                if self.wal_sources.contains(src) && !t.wal_enqueued {
+                // record must land before the timeline accepts — unless
+                // the source is serving degraded (explicitly non-durable).
+                if self.wal_sources.contains(src) && !t.wal_enqueued && !self.wal.is_degraded(src) {
                     return Err(ModelError::new(
                         "accepted-not-durable",
                         format!("trace {id} accepted with no durable wal:enqueued record"),
@@ -594,6 +606,7 @@ impl Checker {
                     && t.wal_enqueued
                     && t.wal_completed_ok.is_none()
                     && !self.wal.is_poisoned(src)
+                    && !self.wal.is_degraded(src)
                 {
                     pending = Some(ModelError::new(
                         "result-before-durable",
@@ -1028,6 +1041,86 @@ mod tests {
         let report = c.finish();
         assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
         assert_eq!(report.violations[0].rule, "cache-fill-not-durable");
+    }
+
+    #[test]
+    fn degraded_window_relaxes_durability_rules() {
+        let mut c = Checker::new().with_require_terminal(false);
+        let id = Some(5);
+        // Establish the source as WAL-backed with a clean invocation.
+        c.ingest(&ev(1, "w", Some(1), Some("a"), wal_ev("enqueued")));
+        c.ingest(&ev(
+            2,
+            "w",
+            None,
+            None,
+            TelemetryKind::WalIo {
+                op: "degraded".into(),
+            },
+        ));
+        // Accepted with no durable record: legal inside the window.
+        c.ingest(&ev(3, "w", id, None, trace_ev("ingested")));
+        c.ingest(&ev(4, "w", id, None, trace_ev("enqueued")));
+        c.ingest(&ev(5, "w", id, None, trace_ev("dequeued")));
+        c.ingest(&ev(6, "w", id, None, trace_ev("container_acquired(true)")));
+        c.ingest(&ev(7, "w", id, None, trace_ev("agent_called")));
+        c.ingest(&ev(8, "w", id, None, trace_ev("result_returned(true)")));
+        c.ingest(&ev(
+            9,
+            "w",
+            None,
+            None,
+            TelemetryKind::WalIo {
+                op: "rearmed".into(),
+            },
+        ));
+        let report = c.finish();
+        assert!(report.ok(), "{:?}", report.violations);
+
+        // Outside the window the same pattern is a violation again.
+        let mut c = Checker::new().with_require_terminal(false);
+        c.ingest(&ev(1, "w", Some(1), Some("a"), wal_ev("enqueued")));
+        c.ingest(&ev(2, "w", Some(2), None, trace_ev("ingested")));
+        c.ingest(&ev(3, "w", Some(2), None, trace_ev("enqueued")));
+        let report = c.finish();
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "accepted-not-durable");
+    }
+
+    #[test]
+    fn degraded_gauge_must_alternate() {
+        let mut c = Checker::new().with_require_terminal(false);
+        c.ingest(&ev(
+            1,
+            "w",
+            None,
+            None,
+            TelemetryKind::WalIo {
+                op: "rearmed".into(),
+            },
+        ));
+        assert_eq!(c.violations()[0].rule, "rearm-without-degrade");
+        let mut c = Checker::new().with_require_terminal(false);
+        c.ingest(&ev(
+            1,
+            "w",
+            None,
+            None,
+            TelemetryKind::WalIo {
+                op: "degraded".into(),
+            },
+        ));
+        c.ingest(&ev(
+            2,
+            "w",
+            None,
+            None,
+            TelemetryKind::WalIo {
+                op: "degraded".into(),
+            },
+        ));
+        assert_eq!(c.violations().len(), 1);
+        assert_eq!(c.violations()[0].rule, "degraded-reentry");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod cache_model;
 pub mod checker;
 pub mod drr_model;
 pub mod fleet_model;
+pub mod online;
 pub mod wal_model;
 
 pub use breaker_model::{BreakerMachine, BreakerModel, BreakerState, Stimulus};
@@ -36,6 +37,7 @@ pub use cache_model::CacheModel;
 pub use checker::{Checker, ConformanceReport, Violation};
 pub use drr_model::DrrModel;
 pub use fleet_model::FleetModel;
+pub use online::CheckerSink;
 pub use wal_model::{InvState, WalModel};
 
 /// A violated transition guard: which rule, and what the model saw.

@@ -1,0 +1,98 @@
+//! Run the conformance [`Checker`] *online*, as a telemetry-bus sink.
+//!
+//! Post-hoc checking replays a captured stream after the run; the online
+//! sink feeds every event into the checker at emit time, so a violation is
+//! known the moment the offending event leaves the worker — the test can
+//! fail fast with the live context window instead of diffing artifacts
+//! later. The checker itself is single-threaded by design; the sink wraps
+//! it in a mutex since bus emitters call from many threads.
+
+use crate::checker::{Checker, ConformanceReport, Violation};
+use iluvatar_telemetry::{TelemetryEvent, TelemetrySink};
+use std::sync::Mutex;
+
+/// A [`TelemetrySink`] that drives a [`Checker`] at emit time.
+pub struct CheckerSink {
+    checker: Mutex<Option<Checker>>,
+}
+
+impl CheckerSink {
+    pub fn new(checker: Checker) -> Self {
+        Self {
+            checker: Mutex::new(Some(checker)),
+        }
+    }
+
+    /// A source legitimately restarted (recovered incarnation); see
+    /// [`Checker::note_restart`].
+    pub fn note_restart(&self, source: &str) {
+        if let Some(c) = self.checker.lock().unwrap().as_mut() {
+            c.note_restart(source);
+        }
+    }
+
+    /// Violations recorded so far (clones; the stream keeps flowing).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.checker
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|c| c.violations().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Close the stream and produce the end-of-run report. Events arriving
+    /// after `finish` are dropped.
+    pub fn finish(&self) -> ConformanceReport {
+        self.checker
+            .lock()
+            .unwrap()
+            .take()
+            .map(Checker::finish)
+            .unwrap_or_default()
+    }
+}
+
+impl TelemetrySink for CheckerSink {
+    fn emit(&self, ev: &TelemetryEvent) {
+        if let Some(c) = self.checker.lock().unwrap().as_mut() {
+            c.ingest(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iluvatar_telemetry::TelemetryKind;
+
+    #[test]
+    fn sink_ingests_and_finishes() {
+        let sink = CheckerSink::new(Checker::new().with_require_terminal(false));
+        sink.emit(&TelemetryEvent {
+            seq: 1,
+            at_ms: 0,
+            source: "w".into(),
+            trace_id: Some(1),
+            tenant: None,
+            kind: TelemetryKind::Trace {
+                stage: "ingested".into(),
+            },
+        });
+        assert!(sink.violations().is_empty());
+        let report = sink.finish();
+        assert_eq!(report.events, 1);
+        // After finish the sink is inert.
+        sink.emit(&TelemetryEvent {
+            seq: 2,
+            at_ms: 0,
+            source: "w".into(),
+            trace_id: None,
+            tenant: None,
+            kind: TelemetryKind::Lifecycle {
+                state: "running".into(),
+            },
+        });
+        assert_eq!(sink.finish().events, 0);
+    }
+}

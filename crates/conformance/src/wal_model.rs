@@ -19,6 +19,9 @@
 //!   record refers to an id in the legal prior state.
 //! * `double-complete` — exactly-once accounting: one Completed per id.
 //! * `append-after-poison` — a poisoned log accepts no further records.
+//! * `degraded-reentry` / `rearm-without-degrade` — the degraded-mode
+//!   gauge is a two-state machine: `wal_io:degraded` and `wal_io:rearmed`
+//!   must strictly alternate per source.
 //!
 //! The model also keeps per-tenant books mirroring `wal::replay` (admitted /
 //! served / throttled / shed) so callers can differentially compare the
@@ -67,6 +70,7 @@ pub struct WalModel {
     meta: BTreeMap<u64, InvMeta>,
     books: BTreeMap<String, TenantBook>,
     poisoned: BTreeSet<String>,
+    degraded: BTreeSet<String>,
     pub records: u64,
 }
 
@@ -237,10 +241,45 @@ impl WalModel {
     /// log legitimately.
     pub fn unpoison(&mut self, source: &str) {
         self.poisoned.remove(source);
+        // A recovered incarnation reopens on a fresh segment, never
+        // degraded.
+        self.degraded.remove(source);
     }
 
     pub fn is_poisoned(&self, source: &str) -> bool {
         self.poisoned.contains(source)
+    }
+
+    /// `wal_io:degraded`: the source's WAL entered degraded (non-durable)
+    /// mode. The Wal emits this only on the transition, so seeing it while
+    /// already degraded means the emitter's state machine is broken.
+    pub fn enter_degraded(&mut self, source: &str) -> Result<(), ModelError> {
+        if !self.degraded.insert(source.to_string()) {
+            return Err(ModelError::new(
+                "degraded-reentry",
+                format!("source `{source}` entered degraded mode while already degraded"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// `wal_io:rearmed`: the source's WAL re-armed onto a fresh segment.
+    pub fn rearmed(&mut self, source: &str) -> Result<(), ModelError> {
+        if !self.degraded.remove(source) {
+            return Err(ModelError::new(
+                "rearm-without-degrade",
+                format!("source `{source}` re-armed without being degraded"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Is the source currently serving non-durably? Stream rules that
+    /// demand durable records (`accepted-not-durable`,
+    /// `result-before-durable`) are relaxed inside this window — that is
+    /// exactly what degraded mode advertises.
+    pub fn is_degraded(&self, source: &str) -> bool {
+        self.degraded.contains(source)
     }
 
     pub fn state_of(&self, id: u64) -> Option<InvState> {

@@ -10,10 +10,8 @@ use iluvatar_chaos::{sites, FaultPlan, FaultPlanConfig, FaultSpec};
 use iluvatar_conformance::Checker;
 use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
 use iluvatar_containers::{ContainerBackend, FunctionSpec};
-use iluvatar_core::{
-    wal, AdmissionConfig, LifecycleConfig, TenantSpec, WalRecord, Worker, WorkerConfig,
-};
-use iluvatar_sync::SystemClock;
+use iluvatar_core::{wal, AdmissionConfig, LifecycleConfig, TenantSpec, Worker, WorkerConfig};
+use iluvatar_sync::{RealStorage, SystemClock};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -75,7 +73,13 @@ fn generate_wal(dir: &Path) -> (String, Vec<u8>) {
         let _ = worker.async_invoke_tenant("f-1", &format!("{{\"i\":{i}}}"), Some(tenant));
     }
     drop(worker);
-    let bytes = std::fs::read(&wal_path).expect("read wal");
+    // The framed WAL lives in numbered segments; concatenating the survivors
+    // in index order reproduces the exact byte stream replay walks.
+    let base = Path::new(&wal_path);
+    let mut bytes = Vec::new();
+    for (_, seg) in wal::discover_segments(&RealStorage, base) {
+        bytes.extend_from_slice(&std::fs::read(&seg).expect("read segment"));
+    }
     assert!(
         bytes.len() > 200,
         "generated WAL suspiciously small ({} bytes)",
@@ -84,21 +88,25 @@ fn generate_wal(dir: &Path) -> (String, Vec<u8>) {
     (wal_path, bytes)
 }
 
-/// Feed every parseable line of `bytes` through a fresh checker's WAL-file
-/// path; returns (report, torn line count).
+/// Install `bytes` as the sole segment of the WAL based at `base`, removing
+/// any segments (or legacy file) already there.
+fn install_as_wal(base: &Path, bytes: &[u8]) {
+    let _ = std::fs::remove_file(base);
+    for (_, seg) in wal::discover_segments(&RealStorage, base) {
+        let _ = std::fs::remove_file(seg);
+    }
+    std::fs::write(wal::segment_path(base, 1), bytes).expect("write prefix segment");
+}
+
+/// Feed every decodable frame of `bytes` through a fresh checker's WAL-file
+/// path; returns (report, quarantined frame count).
 fn model_of(bytes: &[u8]) -> (iluvatar_conformance::ConformanceReport, u64) {
     let mut checker = Checker::new();
-    let mut torn = 0u64;
-    for line in String::from_utf8_lossy(bytes).lines() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str::<WalRecord>(line) {
-            Ok(rec) => checker.ingest_wal_record("wal-file", &rec),
-            Err(_) => torn += 1,
-        }
+    let scan = wal::scan_frames(bytes);
+    for rec in &scan.records {
+        checker.ingest_wal_record("wal-file", rec);
     }
-    (checker.finish(), torn)
+    (checker.finish(), scan.corrupt_frames + scan.torn_tail)
 }
 
 #[test]
@@ -109,7 +117,7 @@ fn every_byte_prefix_replays_to_a_model_legal_state() {
 
     for cut in 0..=bytes.len() {
         let prefix = &bytes[..cut];
-        std::fs::write(&prefix_path, prefix).expect("write prefix");
+        install_as_wal(&prefix_path, prefix);
         // (a) never panics, never errors.
         let replayed = wal::replay(&prefix_path)
             .unwrap_or_else(|e| panic!("replay failed at byte {cut}: {e}"));
@@ -121,7 +129,11 @@ fn every_byte_prefix_replays_to_a_model_legal_state() {
             report.violations
         );
         // (c) replay and model agree on what survived the tear.
-        assert_eq!(torn, replayed.torn_lines, "byte {cut}: torn-line counts");
+        assert_eq!(
+            torn,
+            replayed.torn_lines + replayed.corrupt_frames,
+            "byte {cut}: quarantined-frame counts"
+        );
         let replay_pending: Vec<u64> = replayed.pending.iter().map(|p| p.id).collect();
         assert_eq!(
             report.wal_pending, replay_pending,
@@ -149,7 +161,7 @@ fn prefixes_are_monotone_under_truncation() {
     let prefix_path = dir.join("prefix.wal");
     let mut last_records = 0u64;
     for cut in (0..=bytes.len()).step_by(16) {
-        std::fs::write(&prefix_path, &bytes[..cut]).expect("write prefix");
+        install_as_wal(&prefix_path, &bytes[..cut]);
         let replayed = wal::replay(&prefix_path).expect("replay");
         assert!(
             replayed.records_read >= last_records,
@@ -172,7 +184,7 @@ fn sampled_prefixes_survive_full_worker_recovery() {
     let mut cuts: Vec<usize> = (0..8).map(|i| i * bytes.len() / 8).collect();
     cuts.push(bytes.len());
     for cut in cuts {
-        std::fs::write(&wal_path, &bytes[..cut]).expect("write prefix");
+        install_as_wal(Path::new(&wal_path), &bytes[..cut]);
         let (recovered, report) = Worker::recover(
             worker_cfg(&wal_path),
             mk_backend(&clock),

@@ -159,6 +159,21 @@ pub struct WireStatus {
     /// Per-function warm residency — the fleet's handoff shopping list.
     #[serde(default)]
     pub warm_residency: Vec<WireWarm>,
+    /// The WAL is serving in degraded (non-durable) mode.
+    #[serde(default)]
+    pub wal_degraded: bool,
+    /// Invocations accepted while degraded — results flagged non-durable.
+    #[serde(default)]
+    pub wal_non_durable: u64,
+    /// Appends shed at the WAL stall deadline (503 + Retry-After).
+    #[serde(default)]
+    pub wal_stall_sheds: u64,
+    /// WAL segment rotations (size, error ladder, re-arm).
+    #[serde(default)]
+    pub wal_rotations: u64,
+    /// Corrupt/torn WAL frames quarantined during recovery.
+    #[serde(default)]
+    pub wal_quarantined: u64,
 }
 
 /// One function's warm-pool residency, as reported on `/status`.
@@ -205,6 +220,11 @@ impl From<WorkerStatus> for WireStatus {
                 0.0
             },
             warm_residency: Vec::new(),
+            wal_degraded: s.wal_degraded,
+            wal_non_durable: s.wal_non_durable,
+            wal_stall_sheds: s.wal_stall_sheds,
+            wal_rotations: s.wal_rotations,
+            wal_quarantined: s.wal_quarantined,
         }
     }
 }
@@ -221,12 +241,16 @@ fn error_resp(e: &InvokeError, retry_after_secs: u64) -> Response {
         InvokeError::QueueFull | InvokeError::NoResources => Status::TOO_MANY_REQUESTS,
         InvokeError::Backend(_) => Status::INTERNAL_ERROR,
         InvokeError::ShuttingDown => Status::SERVICE_UNAVAILABLE,
+        // A stalling or erroring disk is a worker-local condition: 503 +
+        // Retry-After (same format as draining) so the LB routes around it.
+        InvokeError::WalUnavailable => Status::SERVICE_UNAVAILABLE,
         // Admission rejections are backpressure, like a full queue.
         InvokeError::Throttled(_) | InvokeError::Shed(_) => Status::TOO_MANY_REQUESTS,
     };
     let resp = json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()));
     if status == Status::SERVICE_UNAVAILABLE {
-        // Draining/stopped: tell well-behaved clients when to come back.
+        // Draining/stopped/disk-stall: tell well-behaved clients when to
+        // come back.
         resp.with_header("Retry-After", retry_after_secs.to_string())
     } else {
         resp

@@ -223,6 +223,47 @@ pub struct LifecycleConfig {
     /// 0 selects the built-in default of 1.
     #[serde(default)]
     pub drain_retry_after_secs: u64,
+    /// Durability / fault-handling knobs for the WAL itself.
+    #[serde(default)]
+    pub wal: WalConfig,
+}
+
+/// WAL durability and fault-handling knobs. Defaults reproduce the
+/// historical behavior: no fsync, reject on exhausted I/O ladder, no
+/// append deadline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WalConfig {
+    /// Fsync policy: `"never"`, `"group"` (amortized group commit every
+    /// `group_ms`), or `"always"` (fsync per record).
+    #[serde(default)]
+    pub fsync: String,
+    /// Group-commit flush interval, ms, when `fsync = "group"`. 0 selects
+    /// the built-in default of 2.
+    #[serde(default)]
+    pub group_ms: u64,
+    /// What to do when the write ladder (retry → rotate) is exhausted:
+    /// `"reject"` sheds that append with 503, `"degrade"` keeps serving
+    /// with results flagged non-durable and periodically re-arms.
+    #[serde(default)]
+    pub on_error: String,
+    /// Shed an append with 503 + Retry-After when WAL I/O has been stuck
+    /// for this long, ms. 0 disables the deadline.
+    #[serde(default)]
+    pub append_deadline_ms: u64,
+    /// Write retries before rotating to a fresh segment.
+    #[serde(default)]
+    pub retry_limit: u32,
+    /// Base backoff between write retries, ms (linear: `base * attempt`).
+    #[serde(default)]
+    pub retry_backoff_ms: u64,
+    /// Rotate to a new segment once the current one exceeds this size.
+    /// 0 selects the built-in default of 4 MiB.
+    #[serde(default)]
+    pub segment_bytes: u64,
+    /// While degraded, attempt re-arming after this long, ms. 0 selects
+    /// the built-in default of 250.
+    #[serde(default)]
+    pub rearm_after_ms: u64,
 }
 
 impl LifecycleConfig {
@@ -247,6 +288,51 @@ impl LifecycleConfig {
             1
         } else {
             self.drain_retry_after_secs
+        }
+    }
+
+    /// Resolve the serde-level [`WalConfig`] strings into the WAL's typed
+    /// options. Unrecognized strings fall back to the historical defaults
+    /// (`fsync = never`, `on_error = reject`).
+    pub fn wal_options(&self) -> crate::wal::WalOptions {
+        use crate::wal::{FsyncPolicy, WalOnError, WalOptions};
+        let d = WalOptions::default();
+        let w = &self.wal;
+        WalOptions {
+            snapshot_every: self.effective_snapshot_every(),
+            fsync: match w.fsync.as_str() {
+                "always" => FsyncPolicy::Always,
+                "group" => FsyncPolicy::Group {
+                    interval_ms: if w.group_ms == 0 { 2 } else { w.group_ms },
+                },
+                _ => FsyncPolicy::Never,
+            },
+            on_error: if w.on_error == "degrade" {
+                WalOnError::Degrade
+            } else {
+                WalOnError::Reject
+            },
+            append_deadline_ms: w.append_deadline_ms,
+            retry_limit: if w.retry_limit == 0 {
+                d.retry_limit
+            } else {
+                w.retry_limit
+            },
+            retry_backoff_ms: if w.retry_backoff_ms == 0 {
+                d.retry_backoff_ms
+            } else {
+                w.retry_backoff_ms
+            },
+            segment_bytes: if w.segment_bytes == 0 {
+                d.segment_bytes
+            } else {
+                w.segment_bytes
+            },
+            rearm_after_ms: if w.rearm_after_ms == 0 {
+                d.rearm_after_ms
+            } else {
+                w.rearm_after_ms
+            },
         }
     }
 }

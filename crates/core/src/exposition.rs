@@ -304,6 +304,38 @@ pub fn render_worker(worker: &Worker, http_requests: u64) -> String {
         base,
         st.warm_gb_s,
     );
+
+    // WAL durability health: is the disk failing, stalling, or lying?
+    w.gauge(
+        "iluvatar_wal_degraded",
+        "1 while the WAL serves in degraded (non-durable) mode",
+        base,
+        if st.wal_degraded { 1.0 } else { 0.0 },
+    );
+    w.counter(
+        "iluvatar_wal_non_durable_total",
+        "Invocations accepted while the WAL was degraded",
+        base,
+        st.wal_non_durable as f64,
+    );
+    w.counter(
+        "iluvatar_wal_stall_sheds_total",
+        "Appends shed at the WAL stall deadline (503 + Retry-After)",
+        base,
+        st.wal_stall_sheds as f64,
+    );
+    w.counter(
+        "iluvatar_wal_rotations_total",
+        "WAL segment rotations (size, error ladder, re-arm)",
+        base,
+        st.wal_rotations as f64,
+    );
+    w.counter(
+        "iluvatar_wal_quarantined_total",
+        "Corrupt or torn WAL frames quarantined during recovery",
+        base,
+        st.wal_quarantined as f64,
+    );
     for t in worker.tenant_stats() {
         let labels: &[(&str, &str)] = &[("worker", &st.name), ("tenant", &t.tenant)];
         w.gauge(
@@ -519,6 +551,11 @@ mod tests {
             "iluvatar_cache_hits_total",
             "iluvatar_cache_misses_total",
             "iluvatar_warm_gb_seconds",
+            "iluvatar_wal_degraded",
+            "iluvatar_wal_non_durable_total",
+            "iluvatar_wal_stall_sheds_total",
+            "iluvatar_wal_rotations_total",
+            "iluvatar_wal_quarantined_total",
             "iluvatar_telemetry_events_total",
             "iluvatar_span_seconds_bucket",
         ] {

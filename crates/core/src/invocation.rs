@@ -21,6 +21,10 @@ pub enum InvokeError {
     /// Rejected by admission control: best-effort tenant shed under
     /// overload (queue delay past the configured threshold).
     Shed(String),
+    /// The write-ahead log cannot accept the record right now (stalling or
+    /// erroring disk with `on_error = reject`). Retryable: the next append
+    /// re-runs the recovery ladder from the top.
+    WalUnavailable,
 }
 
 impl std::fmt::Display for InvokeError {
@@ -33,6 +37,7 @@ impl std::fmt::Display for InvokeError {
             InvokeError::ShuttingDown => write!(f, "worker shutting down"),
             InvokeError::Throttled(t) => write!(f, "tenant throttled: {t}"),
             InvokeError::Shed(t) => write!(f, "tenant shed under overload: {t}"),
+            InvokeError::WalUnavailable => write!(f, "write-ahead log unavailable"),
         }
     }
 }

@@ -45,7 +45,7 @@ pub mod worker;
 pub use breakdown::{BreakdownReport, GroupBreakdown, StageBreakdown, TenantBreakdown};
 pub use config::{
     ConcurrencyConfig, KeepalivePolicyKind, LifecycleConfig, QueueConfig, QueuePolicyKind,
-    ResilienceConfig, WorkerConfig,
+    ResilienceConfig, WalConfig, WorkerConfig,
 };
 pub use invocation::{InvocationHandle, InvocationResult, InvokeError};
 pub use journal::{journal_digest, TraceEvent, TraceEventKind, TraceJournal, TraceRecord};

@@ -28,7 +28,8 @@ use crate::queue::{InvocationQueue, PushError, QueuedInvocation};
 use crate::registration::{RegisterError, Registration, Registry};
 use crate::spans::{names, Spans};
 use crate::wal::{
-    BucketLevel, CounterBaselines, DrrDeficit, PendingInvocation, Wal, WalRecord, WalSnapshot,
+    AppendOutcome, BucketLevel, CounterBaselines, DrrDeficit, PendingInvocation, Wal, WalRecord,
+    WalSnapshot,
 };
 use crossbeam::channel::{bounded, unbounded, Sender};
 use iluvatar_admission::{AdmissionController, AdmissionDecision, TenantSnapshot, DEFAULT_TENANT};
@@ -36,6 +37,7 @@ use iluvatar_cache::{CacheLookup, CacheStatus, ResultCache, TenantCacheStats};
 use iluvatar_containers::image::Platform;
 use iluvatar_containers::types::SharedContainer;
 use iluvatar_containers::{BackendError, ContainerBackend, FunctionSpec};
+use iluvatar_sync::storage::{RealStorage, Storage};
 use iluvatar_sync::{Backoff, BackoffConfig, Clock, TaskPool, TimeMs};
 use iluvatar_telemetry::{
     CounterBridge, FlightRecorder, TelemetryBus, TelemetryKind, TelemetrySink,
@@ -97,6 +99,18 @@ pub struct WorkerStatus {
     /// Warm-container residency across all idle pool entries, GB·s — the
     /// fleet's least-warm scale-down victim signal.
     pub warm_gb_s: f64,
+    /// WAL degraded mode: the disk is failing, serving continues with
+    /// results flagged non-durable until a re-arm succeeds.
+    pub wal_degraded: bool,
+    /// Invocations accepted while the WAL was degraded (non-durable).
+    pub wal_non_durable: u64,
+    /// Invocations shed by WAL stall backpressure (503 + Retry-After).
+    pub wal_stall_sheds: u64,
+    /// WAL segment rotations (size limit, error ladder, re-arm).
+    pub wal_rotations: u64,
+    /// Damaged WAL records quarantined by the last recovery (torn tails +
+    /// corrupt frames).
+    pub wal_quarantined: u64,
 }
 
 /// Lifecycle state machine: Running → Draining → Stopped.
@@ -143,6 +157,12 @@ struct Shared {
     shutdown: AtomicBool,
     /// Queue write-ahead log; `None` when lifecycle journaling is disabled.
     wal: Option<Wal>,
+    /// Invocations accepted while the WAL was degraded (non-durable).
+    wal_non_durable: AtomicU64,
+    /// Invocations shed on the acceptance path by WAL stall backpressure.
+    wal_stall_shed: AtomicU64,
+    /// Damaged records the last recovery quarantined (torn + corrupt).
+    wal_quarantined_frames: AtomicU64,
     /// Containers quarantined with a TTL, awaiting probe-on-idle release.
     quarantine: Mutex<Vec<(SharedContainer, TimeMs)>>,
     quarantine_released: AtomicU64,
@@ -179,12 +199,13 @@ impl Shared {
 
     /// Append to the WAL; trivially succeeds when journaling is disabled.
     /// Every *landed* record is mirrored onto the telemetry stream (a
-    /// rejected append is the WAL's verdict, not an event that happened).
-    fn wal_append(&self, rec: &WalRecord) -> bool {
+    /// rejected or non-durable append is the WAL's verdict, not an event
+    /// that happened).
+    fn wal_append(&self, rec: &WalRecord) -> AppendOutcome {
         match &self.wal {
             Some(w) => {
-                let landed = w.append(rec);
-                if landed {
+                let outcome = w.append(rec);
+                if outcome.is_landed() {
                     // Mirror the record payload onto the event so stream
                     // consumers (the conformance checker in particular) can
                     // drive the WAL/DRR reference models without the file.
@@ -216,10 +237,33 @@ impl Shared {
                         },
                     );
                 }
-                landed
+                outcome
             }
-            None => true,
+            None => AppendOutcome::Landed,
         }
+    }
+
+    /// Map a rejected acceptance-path append to the caller-facing error:
+    /// stall/ladder rejections become `WalUnavailable` (503 + Retry-After,
+    /// so the balancer routes around the failing disk); a poisoned log
+    /// keeps its crash-simulation semantics.
+    fn wal_reject(&self, outcome: AppendOutcome) -> InvokeError {
+        match outcome {
+            AppendOutcome::Stalled => {
+                self.wal_stall_shed.fetch_add(1, Ordering::Relaxed);
+                InvokeError::WalUnavailable
+            }
+            AppendOutcome::Unavailable => InvokeError::WalUnavailable,
+            _ => InvokeError::ShuttingDown,
+        }
+    }
+
+    /// Book an accepted enqueue append; true when the caller may proceed.
+    fn wal_accepted(&self, outcome: AppendOutcome) -> bool {
+        if outcome == AppendOutcome::NotDurable {
+            self.wal_non_durable.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.accepted()
     }
 
     /// Emit a lifecycle transition on the telemetry stream.
@@ -263,6 +307,17 @@ impl Worker {
         backend: Arc<dyn ContainerBackend>,
         clock: Arc<dyn Clock>,
     ) -> Self {
+        Self::new_with_storage(cfg, backend, clock, Arc::new(RealStorage))
+    }
+
+    /// [`Worker::new`] with a pluggable storage layer under the WAL, so the
+    /// chaos harness can inject disk faults (`FaultyStorage`).
+    pub fn new_with_storage(
+        cfg: WorkerConfig,
+        backend: Arc<dyn ContainerBackend>,
+        clock: Arc<dyn Clock>,
+        storage: Arc<dyn Storage>,
+    ) -> Self {
         // Async container destruction: eviction hands containers to a
         // dedicated destroyer thread, keeping teardown off every hot path.
         let (destroy_tx, destroy_rx) = unbounded::<SharedContainer>();
@@ -276,14 +331,26 @@ impl Worker {
         let trace_seed = cfg.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
         });
-        let wal =
-            cfg.lifecycle.wal_path.as_ref().and_then(|p| {
-                Wal::open(Path::new(p), cfg.lifecycle.effective_snapshot_every()).ok()
-            });
+        let wal = cfg.lifecycle.wal_path.as_ref().and_then(|p| {
+            Wal::open_with(
+                Path::new(p),
+                cfg.lifecycle.wal_options(),
+                Arc::clone(&storage),
+            )
+            .ok()
+        });
         // The canonical telemetry stream is always on; the flight recorder
         // is its first sink, so the last N events are always dumpable even
         // when no external sink was attached.
         let telemetry = TelemetryBus::new(&cfg.name, Arc::clone(&clock));
+        // Bridge WAL I/O health transitions (rotations, retries, degraded /
+        // re-armed, stall sheds) onto the canonical stream as `wal_io`.
+        if let Some(w) = &wal {
+            let bus = Arc::clone(&telemetry);
+            w.set_io_notify(Arc::new(move |op: &'static str| {
+                bus.emit(None, None, TelemetryKind::WalIo { op: op.to_string() });
+            }));
+        }
         let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_CAPACITY));
         telemetry.add_sink(Arc::clone(&recorder) as Arc<dyn TelemetrySink>);
         let tel_counts = Arc::new(CounterBridge::new());
@@ -321,6 +388,9 @@ impl Worker {
             last_queue_delay_ms: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             wal,
+            wal_non_durable: AtomicU64::new(0),
+            wal_stall_shed: AtomicU64::new(0),
+            wal_quarantined_frames: AtomicU64::new(0),
             quarantine: Mutex::new(Vec::new()),
             quarantine_released: AtomicU64::new(0),
             lifecycle: AtomicU8::new(LIFECYCLE_RUNNING),
@@ -384,6 +454,19 @@ impl Worker {
             let s = Arc::clone(&shared);
             tasks.spawn_periodic("quarantine-sweep", Duration::from_millis(50), move || {
                 release_expired_quarantine(&s);
+            });
+        }
+        // Degraded-WAL re-arm driver: appends retry lazily, but an idle
+        // worker has no appends — this periodic attempt re-arms it anyway,
+        // then pins the recovered log to live state with a fresh snapshot.
+        if shared.wal.is_some() {
+            let s = Arc::clone(&shared);
+            tasks.spawn_periodic("wal-rearm", Duration::from_millis(100), move || {
+                if let Some(w) = &s.wal {
+                    if w.is_degraded() && w.try_rearm() {
+                        wal_snapshot_now(&s);
+                    }
+                }
             });
         }
         // Predictive prewarm (§3.2): prepare containers the policy expects
@@ -599,10 +682,11 @@ impl Worker {
                 };
                 // A bypassed invocation is logged as enqueued+dequeued in
                 // one record; if the record can't land, don't accept it.
-                if !s.wal_append(&WalRecord::Enqueued {
+                let outcome = s.wal_append(&WalRecord::Enqueued {
                     inv: pending_of(&item, true),
-                }) {
-                    return Err(InvokeError::ShuttingDown);
+                });
+                if !s.wal_accepted(outcome) {
+                    return Err(s.wal_reject(outcome));
                 }
                 s.queue.note_bypass();
                 s.journal.record(trace_id, TraceEventKind::Bypassed);
@@ -632,15 +716,18 @@ impl Worker {
             result_tx: tx,
         };
         // WAL before the push: an invocation is *accepted* only once its
-        // `Enqueued` record is durable, so a crash can never lose an
-        // accepted invocation (a poisoned/broken log rejects instead).
-        if !s.wal_append(&WalRecord::Enqueued {
+        // `Enqueued` record is durable (or explicitly flagged non-durable
+        // in degraded mode), so a crash can never silently lose an accepted
+        // invocation. A poisoned log rejects; a stalling or erroring disk
+        // sheds with 503 + Retry-After.
+        let outcome = s.wal_append(&WalRecord::Enqueued {
             inv: pending_of(&item, false),
-        }) {
+        });
+        if !s.wal_accepted(outcome) {
             drop(enq);
             s.journal
                 .record(trace_id, TraceEventKind::ResultReturned { ok: false });
-            return Err(InvokeError::ShuttingDown);
+            return Err(s.wal_reject(outcome));
         }
         // Journal `Enqueued` before the push: once the item is in the queue
         // the dispatch loop races us, and a `Dequeued` landing first would
@@ -716,6 +803,11 @@ impl Worker {
             cache_misses,
             cache_evictions,
             warm_gb_s: self.warm_residency().iter().map(|(_, g)| g).sum(),
+            wal_degraded: s.wal.as_ref().is_some_and(|w| w.is_degraded()),
+            wal_non_durable: s.wal_non_durable.load(Ordering::Relaxed),
+            wal_stall_sheds: s.wal_stall_shed.load(Ordering::Relaxed),
+            wal_rotations: s.wal.as_ref().map(|w| w.io_counts().rotations).unwrap_or(0),
+            wal_quarantined: s.wal_quarantined_frames.load(Ordering::Relaxed),
         }
     }
 
@@ -914,13 +1006,27 @@ impl Worker {
         specs: &[FunctionSpec],
         sinks: &[Arc<dyn TelemetrySink>],
     ) -> (Worker, RecoveryReport) {
+        Self::recover_full(cfg, backend, clock, specs, sinks, Arc::new(RealStorage))
+    }
+
+    /// [`Worker::recover_with_sinks`] with a pluggable storage layer, so
+    /// recovery-path reads (and the recovered worker's appends) run under
+    /// an injected fault plan.
+    pub fn recover_full(
+        cfg: WorkerConfig,
+        backend: Arc<dyn ContainerBackend>,
+        clock: Arc<dyn Clock>,
+        specs: &[FunctionSpec],
+        sinks: &[Arc<dyn TelemetrySink>],
+        storage: Arc<dyn Storage>,
+    ) -> (Worker, RecoveryReport) {
         let st = cfg
             .lifecycle
             .wal_path
             .as_ref()
-            .and_then(|p| crate::wal::replay(Path::new(p)).ok())
+            .and_then(|p| crate::wal::replay_with(Path::new(p), storage.as_ref()).ok())
             .unwrap_or_default();
-        let worker = Worker::new(cfg, backend, clock);
+        let worker = Worker::new_with_storage(cfg, backend, clock, storage);
         for sink in sinks {
             worker.shared.telemetry.add_sink(Arc::clone(sink));
         }
@@ -990,6 +1096,10 @@ impl Worker {
             .map(|d| (d.tenant.clone(), d.deficit))
             .collect();
         s.queue.restore_drr_deficits(&deficits);
+        // Quarantined damage is sticky across the worker's lifetime: it is
+        // what `/status` reports so an operator can see the disk lied.
+        s.wal_quarantined_frames
+            .store(st.torn_lines + st.corrupt_frames, Ordering::Relaxed);
         // Compact immediately: the recovered state becomes the new
         // baseline, so a second crash replays from here, not from genesis.
         wal_snapshot_now(s);
@@ -999,6 +1109,7 @@ impl Worker {
             handles,
             records_read: st.records_read,
             torn_lines: st.torn_lines,
+            corrupt_frames: st.corrupt_frames,
             max_trace_id: st.max_id,
         };
         (worker, report)
@@ -1052,6 +1163,8 @@ pub struct RecoveryReport {
     pub records_read: u64,
     /// Unparseable log lines skipped (torn tail writes).
     pub torn_lines: u64,
+    /// Framed records quarantined for CRC mismatch / bad magic (bit-rot).
+    pub corrupt_frames: u64,
     /// Highest trace id found in the log; fresh ids mint above it.
     pub max_trace_id: u64,
 }

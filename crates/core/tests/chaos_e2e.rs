@@ -219,3 +219,99 @@ fn identical_seeds_produce_identical_journal_timelines() {
     let c = run_digest(43, 30);
     assert_ne!(a, c, "a different seed must change the fault pattern");
 }
+
+/// The conformance checker running *online*, as a live bus sink, while both
+/// the backend (invoke errors) and the disk (fsync failures, torn writes)
+/// misbehave: the stream must stay violation-free at every step, and the
+/// fault plan must demonstrably exercise the WAL retry ladder.
+#[test]
+fn online_checker_stays_clean_under_backend_and_disk_chaos() {
+    use iluvatar_chaos::{DiskFaultPlanConfig, FaultyStorage};
+    use iluvatar_conformance::{Checker, CheckerSink};
+    use iluvatar_core::{LifecycleConfig, TelemetrySink, WalConfig};
+    use iluvatar_sync::RealStorage;
+
+    let dir = std::env::temp_dir().join(format!("iluvatar-online-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wal_path = dir.join("queue.wal").to_str().unwrap().to_string();
+
+    let clock = SystemClock::shared();
+    let sim = Arc::new(SimBackend::new(
+        Arc::clone(&clock),
+        SimBackendConfig {
+            time_scale: 0.02,
+            ..Default::default()
+        },
+    ));
+    let injector = Arc::new(FaultInjector::new(
+        sim,
+        FaultPlanConfig {
+            seed: 11,
+            invoke_error: FaultSpec::with_prob(0.15),
+            ..Default::default()
+        },
+    ));
+    let storage = Arc::new(FaultyStorage::new(
+        Arc::new(RealStorage),
+        DiskFaultPlanConfig {
+            seed: 11,
+            fsync_fail: FaultSpec::every_nth(3),
+            write_torn: FaultSpec::every_nth(7),
+            ..Default::default()
+        },
+    ));
+    let cfg = WorkerConfig {
+        resilience: ResilienceConfig {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            ..Default::default()
+        },
+        lifecycle: LifecycleConfig {
+            snapshot_every: 8,
+            wal: WalConfig {
+                fsync: "always".into(),
+                ..Default::default()
+            },
+            ..LifecycleConfig::with_wal(&wal_path)
+        },
+        ..WorkerConfig::for_testing()
+    };
+    let mut worker =
+        Worker::new_with_storage(cfg, injector as Arc<dyn ContainerBackend>, clock, storage);
+    let sink = Arc::new(CheckerSink::new(Checker::new()));
+    worker
+        .telemetry()
+        .add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    worker
+        .register(FunctionSpec::new("f", "1").with_timing(100, 400))
+        .unwrap();
+
+    for i in 0..24 {
+        // Serialize: each trace completes before the next starts emitting,
+        // so stream order is sound for the per-invocation timeline model.
+        if let Ok(h) = worker.async_invoke("f-1", &format!("{{\"i\":{i}}}")) {
+            let _ = h.wait();
+        }
+        let live = sink.violations();
+        assert!(live.is_empty(), "live violation mid-run: {live:?}");
+    }
+    worker.shutdown();
+    let report = sink.finish();
+    assert!(
+        report.ok(),
+        "online checker found violations: {:?}",
+        report.violations
+    );
+    assert!(
+        report
+            .label_counts
+            .get("wal_io:retry")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "the disk fault plan must exercise the WAL retry ladder"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -253,20 +253,25 @@ proptest! {
                     2 => WalRecord::Shed { id, tenant: tenant.clone(), throttled: id % 2 == 0 },
                     _ => WalRecord::Dequeued { id },
                 };
-                prop_assert!(wal.append(&rec));
+                // Completions/dequeues for ids the log never accepted are
+                // legitimately skipped (nothing to make durable).
+                let out = wal.append(&rec);
+                prop_assert!(out.accepted(), "append rejected: {out:?}");
             }
         }
         let once = iluvatar_core::wal::replay(&path).unwrap();
-        // Duplicate the whole log and replay again: the dedup sets must
-        // absorb every repeated record.
-        let bytes = std::fs::read(&path).unwrap();
+        // Duplicate the whole (framed) segment and replay again: the dedup
+        // sets must absorb every repeated record.
+        let seg = iluvatar_core::wal::segment_path(&path, 1);
+        let bytes = std::fs::read(&seg).unwrap();
         {
             use std::io::Write;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new().append(true).open(&seg).unwrap();
             f.write_all(&bytes).unwrap();
         }
         let twice = iluvatar_core::wal::replay(&path).unwrap();
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&seg);
 
         let ids = |st: &iluvatar_core::ReplayState| {
             st.pending.iter().map(|p| p.id).collect::<Vec<_>>()

@@ -343,7 +343,7 @@ fn error_resp(e: &InvokeError) -> Response {
         InvokeError::NotRegistered(_) => Status::NOT_FOUND,
         InvokeError::QueueFull | InvokeError::NoResources => Status::TOO_MANY_REQUESTS,
         InvokeError::Backend(_) => Status::INTERNAL_ERROR,
-        InvokeError::ShuttingDown => Status::SERVICE_UNAVAILABLE,
+        InvokeError::ShuttingDown | InvokeError::WalUnavailable => Status::SERVICE_UNAVAILABLE,
         InvokeError::Throttled(_) | InvokeError::Shed(_) => Status::TOO_MANY_REQUESTS,
     };
     json_resp(status, format!("{{\"error\":{:?}}}", e.to_string()))

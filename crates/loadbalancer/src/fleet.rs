@@ -388,10 +388,13 @@ impl Fleet {
     }
 
     /// Replay the drain victim's hottest warm functions (top
-    /// `handoff_top_k` by GB·s) as prewarms onto surviving workers,
-    /// round-robin by hotness rank. Best-effort: a failed prewarm is
-    /// dropped, not retried — the survivor will cold-start as it would
-    /// have anyway.
+    /// `handoff_top_k` by GB·s) as prewarms onto surviving workers.
+    /// Targeting is residency-weighted: each prewarm lands on the survivor
+    /// currently holding the least warm GB·s (ties → lowest slot index),
+    /// and the handed-off function's weight is charged to its target, so a
+    /// multi-function handoff spreads across a cold fleet instead of
+    /// piling onto one slot. Best-effort: a failed prewarm is dropped, not
+    /// retried — the survivor will cold-start as it would have anyway.
     fn handoff_warm(&self, victims: &[usize], victim: &Arc<dyn WorkerHandle>) {
         let st = self.cluster.stats();
         let survivors: Vec<usize> = (0..st.present.len())
@@ -410,11 +413,37 @@ impl Fleet {
                 .then(a.0.cmp(&b.0))
         });
         let top_k = self.cfg.effective_handoff_top_k();
-        for (rank, (fqdn, _)) in profile.into_iter().take(top_k).enumerate() {
-            let target = survivors[rank % survivors.len()];
-            if let Some(s) = self.cluster.handle(target) {
+        let mut load: Vec<(usize, f64)> = survivors
+            .iter()
+            .map(|&i| {
+                let gb_s: f64 = self
+                    .cluster
+                    .handle(i)
+                    .map(|h| {
+                        h.warm_profile()
+                            .iter()
+                            .map(|(_, g)| g)
+                            .filter(|g| g.is_finite())
+                            .sum()
+                    })
+                    .unwrap_or(0.0);
+                (i, gb_s)
+            })
+            .collect();
+        for (fqdn, gb_s) in profile.into_iter().take(top_k) {
+            // Unique minimum: (gb_s, slot) with strictly ordered slots, so
+            // ties in residency resolve to the lowest slot index.
+            let Some(target) = load.iter_mut().min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            }) else {
+                return;
+            };
+            if let Some(s) = self.cluster.handle(target.0) {
                 if s.prewarm(&fqdn).is_ok() {
                     self.handoffs.fetch_add(1, Ordering::Relaxed);
+                    target.1 += gb_s.max(0.0);
                 }
             }
         }
@@ -885,6 +914,52 @@ mod tests {
         );
         assert_eq!(fleet.handoffs(), 3);
         assert_eq!(fleet.status().handoffs, 3);
+    }
+
+    #[test]
+    fn handoff_targets_are_residency_weighted() {
+        let (_cluster, fleet, spawned) = fleet_of(cfg());
+        fleet
+            .apply(
+                &ScalingDecision::ScaleUp {
+                    add: 3,
+                    reason: "test",
+                },
+                0,
+            )
+            .unwrap();
+        let workers = spawned.lock().clone();
+        // Slot 3 is the coldest in total → the drain victim. Slots 1 and 2
+        // tie at 5 GB·s; slot 0 is far warmer and should receive nothing.
+        *workers[0].warm.lock() = vec![("busy-1".into(), 50.0)];
+        *workers[1].warm.lock() = vec![("busy-1".into(), 5.0)];
+        *workers[2].warm.lock() = vec![("busy-1".into(), 5.0)];
+        *workers[3].warm.lock() = vec![
+            ("a-1".into(), 1.0),
+            ("b-1".into(), 1.5),
+            ("c-1".into(), 0.5),
+        ];
+        fleet
+            .apply(
+                &ScalingDecision::ScaleDown {
+                    remove: 1,
+                    reason: "test",
+                },
+                100,
+            )
+            .unwrap();
+        assert!(workers[3].draining.load(Ordering::SeqCst));
+        // Greedy argmin with per-assignment charging: b-1 (hottest) lands
+        // on slot 1 (tie at 5 → lowest slot), a-1 on slot 2 (now the
+        // least-loaded), c-1 on slot 2 again (6.0 < 6.5). Slot 0 never
+        // receives — round-robin would have sent it the hottest function.
+        assert_eq!(*workers[0].prewarmed.lock(), Vec::<String>::new());
+        assert_eq!(*workers[1].prewarmed.lock(), vec!["b-1".to_string()]);
+        assert_eq!(
+            *workers[2].prewarmed.lock(),
+            vec!["a-1".to_string(), "c-1".to_string()]
+        );
+        assert_eq!(fleet.handoffs(), 3);
     }
 
     #[test]

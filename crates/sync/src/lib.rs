@@ -22,6 +22,7 @@ pub mod loghist;
 pub mod semaphore;
 pub mod shardmap;
 pub mod stats;
+pub mod storage;
 pub mod taskpool;
 pub mod tokenbucket;
 
@@ -33,5 +34,6 @@ pub use loghist::LogHistogram;
 pub use semaphore::{Semaphore, SemaphorePermit};
 pub use shardmap::ShardedMap;
 pub use stats::{ExpMovingAvg, Histogram, MovingWindow, Welford};
+pub use storage::{RealStorage, Storage, StorageFile};
 pub use taskpool::TaskPool;
 pub use tokenbucket::TokenBucket;

@@ -1,0 +1,135 @@
+//! Pluggable storage: the thin seam between the WAL and the disk.
+//!
+//! The durability layer (`iluvatar_core::wal`) never touches `std::fs`
+//! directly — every open/write/fsync/read goes through [`Storage`], so the
+//! chaos crate can interpose a `FaultyStorage` that makes the disk fail,
+//! stall, fill, and lie (torn writes, fsync errors, ENOSPC, read bit-rot,
+//! latency stalls) without patching the WAL itself. Production uses
+//! [`RealStorage`], a direct passthrough to `std::fs`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// An open append-only file handle. `write_all` moves bytes toward the OS,
+/// `flush` drains userspace buffering, `sync` is the real durability barrier
+/// (fsync). Implementations need not be thread-safe beyond `Send`: the WAL
+/// serializes access under its writer lock.
+pub trait StorageFile: Send {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    fn flush(&mut self) -> io::Result<()>;
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A filesystem namespace the WAL stores segments in.
+pub trait Storage: Send + Sync {
+    /// Open (creating if absent) a file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Read a whole file. Recovery-path reads go through here so read
+    /// faults (bit-rot) can be injected.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Delete a file (segment compaction).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// List directory entries (segment discovery). Missing directory is an
+    /// empty listing, not an error.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// Production storage: direct passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealStorage;
+
+struct RealFile {
+    f: File,
+}
+
+impl StorageFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.f.write_all(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.f.flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.f.sync_data()
+    }
+}
+
+impl Storage for RealStorage {
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(RealFile { f }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut f = File::open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        match std::fs::read_dir(dir) {
+            Ok(entries) => {
+                for e in entries {
+                    out.push(e?.path());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("iluvatar-storage-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn real_storage_roundtrips_and_lists() {
+        let d = tmp_dir("rt");
+        let p = d.join("a.log");
+        let s = RealStorage;
+        let mut f = s.open_append(&p).unwrap();
+        f.write_all(b"hello ").unwrap();
+        f.write_all(b"world").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        // Append mode: a second open extends, never truncates.
+        let mut f = s.open_append(&p).unwrap();
+        f.write_all(b"!").unwrap();
+        f.flush().unwrap();
+        drop(f);
+        assert_eq!(s.read(&p).unwrap(), b"hello world!");
+        let listed = s.list(&d).unwrap();
+        assert_eq!(listed, vec![p.clone()]);
+        s.remove(&p).unwrap();
+        assert!(s.read(&p).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn listing_a_missing_dir_is_empty() {
+        let s = RealStorage;
+        let listed = s
+            .list(Path::new("/definitely/not/a/real/dir/iluvatar"))
+            .unwrap();
+        assert!(listed.is_empty());
+    }
+}

@@ -32,6 +32,11 @@ pub enum TelemetryKind {
     },
     /// The write-ahead log was poisoned (crash simulation / kill).
     WalPoisoned,
+    /// A WAL I/O health transition: `op` is `retry`, `rotate`, `compact`,
+    /// `fsync_error`, `stall_shed`, `degraded`, or `rearmed`. Distinct
+    /// from [`TelemetryKind::Wal`], which mirrors logical records — this
+    /// stream reports how the disk underneath them is behaving.
+    WalIo { op: String },
     /// A worker lifecycle transition: `running`, `draining`, `stopped`,
     /// `killed`, `recovered`.
     Lifecycle { state: String },
@@ -90,6 +95,7 @@ impl TelemetryKind {
             TelemetryKind::Trace { stage } => format!("trace:{stage}"),
             TelemetryKind::Wal { op, .. } => format!("wal:{op}"),
             TelemetryKind::WalPoisoned => "wal_poisoned".into(),
+            TelemetryKind::WalIo { op } => format!("wal_io:{op}"),
             TelemetryKind::Lifecycle { state } => format!("lifecycle:{state}"),
             TelemetryKind::Dispatch { .. } => "dispatch".into(),
             TelemetryKind::Reroute { .. } => "reroute".into(),
@@ -169,6 +175,9 @@ mod tests {
             TelemetryKind::RecorderSnapshot {
                 reason: "kill".into(),
             },
+            TelemetryKind::WalIo {
+                op: "rotate".into(),
+            },
         ];
         let labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
         let mut dedup = labels.clone();
@@ -178,6 +187,7 @@ mod tests {
         assert_eq!(labels[0], "trace:ingested");
         assert_eq!(labels[9], "cache:hit");
         assert_eq!(labels[10], "fault:invoke_error");
+        assert_eq!(labels[12], "wal_io:rotate");
     }
 
     #[test]

@@ -114,12 +114,30 @@ if [[ "$digest_a" != "$digest_b" ]]; then
 fi
 echo "cache digest stable: $digest_a"
 
+echo "=== storage fault determinism (fixed seed, two runs) ==="
+# Drives the WAL through the full disk-fault menu — fsync failures, a torn
+# write, an ENOSPC window with degraded-mode re-arming, a 250ms stall shed,
+# and a mid-trace kill with a torn segment tail — with the conformance
+# checker riding the telemetry bus online. The binary itself asserts zero
+# model violations and zero lost accepted invocations; the double run
+# asserts the seeded fault schedule replays bit-identically.
+STORAGE_SEED=42
+digest_a=$(./target/release/storage_session --seed "$STORAGE_SEED" 2>/dev/null)
+digest_b=$(./target/release/storage_session --seed "$STORAGE_SEED" 2>/dev/null)
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "storage digests diverged for seed $STORAGE_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "storage digest stable: $digest_a"
+
 echo "=== conformance mutation smoke (checker must catch seeded corruption) ==="
 # Flips one event in known-good streams (duplicate completion, dropped
 # append, reordered result, flipped ok-bit, illegal breaker edge, kill of
-# a draining worker, double-attach, stale cache hit) and requires the
-# checker to flag each with the expected rule. A silent pass here means
-# the checker has gone blind and the replay gate above is vacuous.
+# a draining worker, double-attach, stale cache hit) plus two on-disk
+# corruptions (bit-flipped WAL record, truncated segment) and requires
+# the checker — or the frame scanner — to flag each with the expected
+# rule. A silent pass here means the checker has gone blind and the
+# replay gate above is vacuous.
 ./target/release/conformance_session --mutate
 
 echo "=== overhead budget (p50/p99 per Table-1 group) ==="

@@ -21,7 +21,10 @@
 //! With `--mutate`, scenarios A and C are re-run and their captured streams
 //! put through a mutation battery: each mutation flips one event in a
 //! known-good stream and the checker must report the injected violation
-//! (with its rule and event context) or the battery exits nonzero.
+//! (with its rule and event context) or the battery exits nonzero. Two
+//! further cases corrupt a framed WAL segment on disk — a flipped payload
+//! bit and a truncated tail — and require the frame scanner to quarantine
+//! exactly the damaged frame while the survivors stay model-legal.
 //!
 //! ```text
 //! conformance_session [--seed n] [--time-scale f] [--mutate]
@@ -45,7 +48,7 @@ use iluvatar_core::{
 };
 use iluvatar_lb::cluster::WorkerHandle;
 use iluvatar_lb::{BreakerConfig, Cluster, Fleet, LbPolicy};
-use iluvatar_sync::SystemClock;
+use iluvatar_sync::{RealStorage, SystemClock};
 use iluvatar_telemetry::VecSink;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -309,24 +312,25 @@ fn scenario_lifecycle(seed: u64, time_scale: f64) -> String {
     }
     drop(worker); // joins in-flight threads; all part-1 emits are flushed
 
-    // Offline differential first, while the file still holds the crash tail:
-    // the same records through the model must agree with `wal::replay`.
+    // Offline differential first, while the segments still hold the crash
+    // tail: the same frames through the model must agree with `wal::replay`.
     let replay = wal::replay(std::path::Path::new(&wal_path)).expect("replay wal");
     let mut file_checker = Checker::new();
-    let mut torn = 0u64;
-    let wal_text = std::fs::read_to_string(&wal_path).expect("read wal");
-    for line in wal_text.lines() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str::<WalRecord>(line) {
-            Ok(rec) => file_checker.ingest_wal_record("wal-file", &rec),
-            Err(_) => torn += 1,
-        }
+    let mut seg_bytes = Vec::new();
+    for (_, seg) in wal::discover_segments(&RealStorage, std::path::Path::new(&wal_path)) {
+        seg_bytes.extend_from_slice(&std::fs::read(&seg).expect("read segment"));
+    }
+    let scan = wal::scan_frames(&seg_bytes);
+    for rec in wal::dedup_records(&scan.records) {
+        file_checker.ingest_wal_record("wal-file", rec);
     }
     let file_report = file_checker.finish();
     report_violations("B/file", &file_report);
-    assert_eq!(torn, replay.torn_lines, "torn-line counts must agree");
+    assert_eq!(
+        scan.corrupt_frames + scan.torn_tail,
+        replay.corrupt_frames + replay.torn_lines,
+        "quarantined-frame counts must agree"
+    );
     let replay_pending: Vec<u64> = replay.pending.iter().map(|p| p.id).collect();
     assert_eq!(
         file_report.wal_pending, replay_pending,
@@ -1071,6 +1075,74 @@ fn run_mutation_battery(chaos: &[TelemetryEvent], fleet: &[TelemetryEvent]) -> b
         stale.at_ms = exp + 60_000;
         ev.push(stale);
         b.run("stale-hit", ev, a_checker, &["cache-stale-hit"]);
+    }
+
+    // M9/M10: seeded *on-disk* corruption — a bit-flipped record and a
+    // truncated segment. Here the catching layer is the frame scanner: it
+    // must quarantine exactly the damaged frame (CRC mismatch / torn tail)
+    // and the surviving records must still replay model-legal. A scanner
+    // that swallows the damage, loses extra frames, or hands the model an
+    // illegal stream fails the case.
+    {
+        let inv = |id: u64| wal::PendingInvocation {
+            id,
+            fqdn: "f-1".to_string(),
+            tenant: Some("mut-a".to_string()),
+            tenant_weight: 1.0,
+            ..Default::default()
+        };
+        let done = |id: u64| WalRecord::Completed {
+            id,
+            ok: true,
+            tenant: Some("mut-a".to_string()),
+        };
+        let records = vec![
+            WalRecord::Enqueued { inv: inv(1) },
+            WalRecord::Dequeued { id: 1 },
+            done(1),
+            WalRecord::Enqueued { inv: inv(2) },
+            WalRecord::Dequeued { id: 2 },
+            done(2),
+            WalRecord::Enqueued { inv: inv(3) },
+        ];
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        for r in &records {
+            offsets.push(bytes.len());
+            bytes.extend_from_slice(&wal::encode_frame(r));
+        }
+        let total = records.len();
+        let mut check_damage = |name: &str, damaged: &[u8], want_corrupt: u64, want_torn: u64| {
+            b.total += 1;
+            let scan = wal::scan_frames(damaged);
+            let mut checker = Checker::new();
+            for rec in wal::dedup_records(&scan.records) {
+                checker.ingest_wal_record("wal-file", rec);
+            }
+            let report = checker.finish();
+            let quarantined_one = scan.corrupt_frames == want_corrupt
+                && scan.torn_tail == want_torn
+                && scan.records.len() == total - 1;
+            if quarantined_one && report.ok() {
+                b.caught += 1;
+                eprintln!("  mutation {name}: caught [wal/frame-quarantine]");
+            } else {
+                b.failed += 1;
+                eprintln!(
+                        "  mutation {name}: MISSED (corrupt={} torn={} survivors={}/{total} violations={})",
+                        scan.corrupt_frames,
+                        scan.torn_tail,
+                        scan.records.len(),
+                        report.violations.len()
+                    );
+            }
+        };
+        // M9: flip one payload bit in the middle completion → CRC mismatch.
+        let mut flipped = bytes.clone();
+        flipped[offsets[2] + 14] ^= 0x01;
+        check_damage("bitflip-record", &flipped, 1, 0);
+        // M10: cut the final frame short → torn tail.
+        check_damage("truncate-segment", &bytes[..bytes.len() - 3], 0, 1);
     }
 
     eprintln!(
