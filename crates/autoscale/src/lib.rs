@@ -218,12 +218,23 @@ pub struct FleetObservation {
     /// Arrivals since the previous observation, per function, sorted by
     /// fqdn (determinism: stable iteration order for the forecasters).
     pub per_fn_arrivals: Vec<(String, u64)>,
+    /// Invocations waiting in the balancer's pull-dispatch central queues
+    /// (0 in push mode / with no pull plane attached). Backlog that has
+    /// not reached any worker's queue yet, so it is invisible to `queued`
+    /// — without it a pull-mode fleet would never scale up.
+    pub pull_queue_depth: u64,
 }
 
 impl FleetObservation {
-    /// Total in-flight work: queued plus running.
+    /// Total in-flight work: queued plus running, plus backlog still
+    /// parked in the pull-dispatch central queues.
     pub fn in_flight(&self) -> u64 {
-        self.queued + self.running
+        self.queued + self.running + self.pull_queue_depth
+    }
+
+    /// Work waiting in *some* queue — per-worker or central pull.
+    pub fn total_queued(&self) -> u64 {
+        self.queued + self.pull_queue_depth
     }
 }
 

@@ -141,7 +141,7 @@ impl ScalingPolicy for MpcPolicy {
             };
         }
         if desired < live {
-            if obs.queued > 0 || !self.cooldowns.allow_down(obs.now_ms) {
+            if obs.total_queued() > 0 || !self.cooldowns.allow_down(obs.now_ms) {
                 return ScalingDecision::Hold;
             }
             let remove = (live - desired).min(self.max_step).max(1);

@@ -125,7 +125,7 @@ impl ScalingPolicy for ReactiveQueueDelayPolicy {
         if signal < lower {
             // Never shrink while a queue is still standing: a draining
             // backlog with a momentarily idle dequeue path is not idleness.
-            if obs.queued > 0 || !self.cooldowns.allow_down(obs.now_ms) {
+            if obs.total_queued() > 0 || !self.cooldowns.allow_down(obs.now_ms) {
                 return ScalingDecision::Hold;
             }
             self.cooldowns.note_down(obs.now_ms);
@@ -210,7 +210,7 @@ impl ScalingPolicy for ConcurrencyTargetPolicy {
         // full worker under the current size, so sizes straddling a
         // ceil() boundary don't flap.
         if desired_raw < (live - 1) as f64 && live > 1 {
-            if obs.queued > 0 || !self.cooldowns.allow_down(obs.now_ms) {
+            if obs.total_queued() > 0 || !self.cooldowns.allow_down(obs.now_ms) {
                 return ScalingDecision::Hold;
             }
             let remove = (live - desired.max(1)).min(self.max_step).max(1);

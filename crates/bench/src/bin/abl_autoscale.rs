@@ -41,6 +41,24 @@ fn fixed_cfg(n: usize) -> AutoscaleConfig {
 }
 
 fn row(label: String, out: &ElasticOutcome) -> Vec<String> {
+    // Scale-down eviction recovery: how long evicted tenants stay cold
+    // after a drain destroys their only warm residency. `n` counts
+    // recovered evictions; `+k` counts functions still cold at trace end.
+    let recov = if out.evicted_recovery_ms.is_empty() && out.evicted_unrecovered == 0 {
+        "-".to_string()
+    } else {
+        format!(
+            "{:.0}/{:.0} (n={}{})",
+            out.mean_recovery_ms(),
+            out.max_recovery_ms(),
+            out.evicted_recovery_ms.len(),
+            if out.evicted_unrecovered > 0 {
+                format!("+{}", out.evicted_unrecovered)
+            } else {
+                String::new()
+            }
+        )
+    };
     vec![
         label,
         format!("{:.4}", out.cold_ratio()),
@@ -49,6 +67,7 @@ fn row(label: String, out: &ElasticOutcome) -> Vec<String> {
         out.peak_fleet.to_string(),
         out.events.len().to_string(),
         out.total_dropped().to_string(),
+        recov,
     ]
 }
 
@@ -97,6 +116,7 @@ fn main() {
             "peak",
             "events",
             "dropped",
+            "recov mean/max ms",
         ],
         &rows,
     );

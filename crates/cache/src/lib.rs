@@ -30,10 +30,11 @@
 use iluvatar_containers::FunctionSpec;
 use iluvatar_sync::{Clock, TimeMs};
 use iluvatar_telemetry::{TelemetryBus, TelemetryKind};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Result-cache configuration. Defaults to fully disabled so the baseline
 /// hot path is untouched; the `0 = built-in default` convention matches the
@@ -145,6 +146,9 @@ pub struct TenantCacheStats {
     pub evictions: u64,
     pub expirations: u64,
     pub invalidations: u64,
+    /// Lookups that joined an in-flight fill instead of dispatching their
+    /// own copy of the same invocation (single-flight suppression).
+    pub coalesced: u64,
     pub entries: usize,
     pub bytes: u64,
 }
@@ -170,6 +174,7 @@ struct Partition {
     evictions: u64,
     expirations: u64,
     invalidations: u64,
+    coalesced: u64,
 }
 
 struct SpecInfo {
@@ -183,6 +188,10 @@ struct Inner {
     partitions: BTreeMap<String, Partition>,
     specs: BTreeMap<String, SpecInfo>,
     tick: u64,
+    /// Keys with a dispatch in flight under single-flight: the leader
+    /// inserted its key and will [`ResultCache::fill`] (or abandon) it;
+    /// followers wait on `flight_cv` instead of stampeding the workers.
+    in_flight: BTreeSet<String>,
 }
 
 /// The shared result cache. One instance serves a whole load balancer or
@@ -192,6 +201,8 @@ pub struct ResultCache {
     cfg: CacheConfig,
     clock: Arc<dyn Clock>,
     inner: Mutex<Inner>,
+    /// Wakes single-flight followers when a fill or abandon releases a key.
+    flight_cv: Condvar,
     telemetry: OnceLock<Arc<TelemetryBus>>,
 }
 
@@ -222,6 +233,7 @@ impl ResultCache {
             cfg,
             clock,
             inner: Mutex::new(Inner::default()),
+            flight_cv: Condvar::new(),
             telemetry: OnceLock::new(),
         }
     }
@@ -361,6 +373,86 @@ impl ResultCache {
         outcome
     }
 
+    /// Single-flight consult: like [`ResultCache::lookup`], but when the
+    /// same key already has a dispatch in flight the caller *joins* it —
+    /// blocking up to `wait_ms` for the leader's [`ResultCache::fill`] —
+    /// instead of stampeding the workers with duplicate work.
+    ///
+    /// A `Miss` return makes the caller the flight leader for that key: it
+    /// MUST either `fill` the result or [`ResultCache::abandon`] the key,
+    /// or followers will wait out their full budget. A follower whose wait
+    /// lapses (leader too slow, or abandoned without a refill) is promoted
+    /// to leader and dispatches its own copy — suppression is best-effort,
+    /// correctness never depends on it.
+    pub fn lookup_single_flight(
+        &self,
+        fqdn: &str,
+        tenant: Option<&str>,
+        args: &str,
+        wait_ms: u64,
+    ) -> CacheLookup {
+        if !self.cfg.enabled {
+            return CacheLookup::Bypass;
+        }
+        let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
+        let mut joined = false;
+        loop {
+            {
+                let inner = self.inner.lock();
+                if !inner.specs.get(fqdn).is_some_and(|s| s.idempotent) {
+                    return CacheLookup::Bypass;
+                }
+                let t = Self::resolve_tenant(&inner, fqdn, tenant);
+                let key = idempotency_key(fqdn, &t, args);
+                let mut inner = inner;
+                let fresh = inner
+                    .partitions
+                    .get(&t)
+                    .and_then(|p| p.entries.get(&key))
+                    .is_some_and(|e| self.clock.now_ms() < e.expires_at_ms);
+                if !fresh && inner.in_flight.contains(&key) && std::time::Instant::now() < deadline
+                {
+                    if !joined {
+                        joined = true;
+                        inner.partitions.entry(t.clone()).or_default().coalesced += 1;
+                        drop(inner);
+                        self.emit(
+                            None,
+                            &t,
+                            TelemetryKind::Cache {
+                                op: "coalesce".into(),
+                                key,
+                                expires_at_ms: None,
+                            },
+                        );
+                    } else {
+                        let remaining =
+                            deadline.saturating_duration_since(std::time::Instant::now());
+                        let _ = self
+                            .flight_cv
+                            .wait_for(&mut inner, remaining.min(Duration::from_millis(50)));
+                    }
+                    continue;
+                }
+            }
+            // Fresh entry, no flight, or budget exhausted: fall through to
+            // the plain lookup. On a miss, claim flight leadership.
+            let outcome = self.lookup(fqdn, tenant, args);
+            if let CacheLookup::Miss(key) = &outcome {
+                self.inner.lock().in_flight.insert(key.clone());
+            }
+            return outcome;
+        }
+    }
+
+    /// Release flight leadership for `key` without filling (the dispatch
+    /// failed). Followers wake and the first re-looker becomes leader.
+    pub fn abandon(&self, key: &str) {
+        if self.inner.lock().in_flight.remove(key) {
+            self.flight_cv.notify_all();
+        }
+    }
+
     /// Populate from a completed result. `trace_id` correlates the fill to
     /// the invocation that produced it (the conformance checker requires a
     /// durable completion behind every fill on worker streams).
@@ -390,7 +482,11 @@ impl ResultCache {
             let key = idempotency_key(fqdn, &t, args);
             let bytes = (key.len() + body.len()) as u64;
             if bytes > capacity {
-                // A single oversized result can never fit its partition.
+                // A single oversized result can never fit its partition —
+                // but it still ends the single-flight it was the leader of.
+                inner.in_flight.remove(&key);
+                drop(inner);
+                self.flight_cv.notify_all();
                 return;
             }
             inner.tick += 1;
@@ -431,8 +527,12 @@ impl ResultCache {
             );
             part.bytes += bytes;
             part.fills += 1;
+            // The fill ends any single-flight on this key: wake followers
+            // so they re-look and hit the entry just stored.
+            inner.in_flight.remove(&key);
             (t, key, true)
         };
+        self.flight_cv.notify_all();
         for (tenant, key) in evicted {
             self.emit(
                 None,
@@ -471,6 +571,7 @@ impl ResultCache {
                 evictions: p.evictions,
                 expirations: p.expirations,
                 invalidations: p.invalidations,
+                coalesced: p.coalesced,
                 entries: p.entries.len(),
                 bytes: p.bytes,
             })
@@ -689,6 +790,66 @@ mod tests {
             cache.lookup("f-1", None, "{}"),
             CacheLookup::Miss(_)
         ));
+    }
+
+    #[test]
+    fn single_flight_coalesces_a_stampede() {
+        // Wall clock: followers block on a condvar while the leader works.
+        let clock = SystemClock::shared();
+        let cache = Arc::new(ResultCache::new(CacheConfig::enabled_default(), clock));
+        cache.note_spec(&spec("f-1", Some("acme")));
+
+        // Leader takes the flight...
+        let key = match cache.lookup_single_flight("f-1", None, "{}", 5_000) {
+            CacheLookup::Miss(k) => k,
+            _ => panic!("first looker must lead"),
+        };
+        // ...followers pile onto the same key concurrently.
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.lookup_single_flight("f-1", None, "{}", 5_000))
+            })
+            .collect();
+        // Give followers time to join, then land the leader's result.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        cache.fill("f-1", None, "{}", "shared", 9, Some(1));
+        cache.abandon(&key);
+
+        for f in followers {
+            match f.join().unwrap() {
+                CacheLookup::Hit(r) => assert_eq!(r.body, "shared"),
+                _ => panic!("followers must be served the leader's fill"),
+            }
+        }
+        let st = cache.stats();
+        let acme = st.iter().find(|t| t.tenant == "acme").unwrap();
+        assert_eq!(acme.coalesced, 4, "every follower coalesced");
+        assert_eq!(acme.hits, 4, "every follower hit the shared fill");
+        assert_eq!(acme.misses, 1, "exactly one dispatch for the stampede");
+    }
+
+    #[test]
+    fn abandoned_flight_promotes_a_follower() {
+        let clock = SystemClock::shared();
+        let cache = Arc::new(ResultCache::new(CacheConfig::enabled_default(), clock));
+        cache.note_spec(&spec("f-1", Some("acme")));
+
+        let key = match cache.lookup_single_flight("f-1", None, "{}", 5_000) {
+            CacheLookup::Miss(k) => k,
+            _ => panic!("first looker must lead"),
+        };
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.lookup_single_flight("f-1", None, "{}", 5_000))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Leader's dispatch failed: no fill, flight released.
+        cache.abandon(&key);
+        match follower.join().unwrap() {
+            CacheLookup::Miss(_) => {}
+            _ => panic!("follower must be promoted to leader after abandon"),
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::breaker_model::BreakerModel;
 use crate::cache_model::CacheModel;
+use crate::dispatch_model::DispatchModel;
 use crate::drr_model::{DrrMode, DrrModel};
 use crate::fleet_model::FleetModel;
 use crate::wal_model::{TenantBook, WalModel};
@@ -127,6 +128,7 @@ pub struct Checker {
     breaker: BreakerModel,
     fleet: FleetModel,
     cache: CacheModel,
+    dispatch: DispatchModel,
     timelines: BTreeMap<u64, Timeline>,
     /// Per-source seqs seen in the current epoch (duplicates are torn
     /// streams; ordering is not enforced because independent emitter
@@ -156,6 +158,7 @@ impl Checker {
             breaker: BreakerModel::new(),
             fleet: FleetModel::new(),
             cache: CacheModel::new(),
+            dispatch: DispatchModel::new(),
             timelines: BTreeMap::new(),
             seqs: BTreeMap::new(),
             wal_sources: BTreeSet::new(),
@@ -216,6 +219,10 @@ impl Checker {
 
     pub fn wal(&self) -> &WalModel {
         &self.wal
+    }
+
+    pub fn dispatch(&self) -> &DispatchModel {
+        &self.dispatch
     }
 
     fn record(&mut self, model: &'static str, err: ModelError, ev: Option<&TelemetryEvent>) {
@@ -509,6 +516,33 @@ impl Checker {
                 // informational health signals.
                 _ => Ok(()),
             },
+            TelemetryKind::Lease {
+                op,
+                worker,
+                expires_at_ms,
+                class,
+            } => {
+                let Some(id) = ev.trace_id else {
+                    return Err((
+                        "dispatch",
+                        ModelError::new(
+                            "dispatch-missing-id",
+                            format!("lease:{op} event carries no trace id"),
+                        ),
+                    ));
+                };
+                self.dispatch
+                    .observe(
+                        id,
+                        ev.tenant.as_deref(),
+                        ev.at_ms,
+                        op,
+                        worker,
+                        *expires_at_ms,
+                        class.as_deref(),
+                    )
+                    .map_err(|e| ("dispatch", e))
+            }
             // Informational kinds: counted, no machine to advance.
             TelemetryKind::Dispatch { .. }
             | TelemetryKind::Reroute { .. }
@@ -684,6 +718,23 @@ impl Checker {
             } => {
                 *self.label_counts.entry("wal:shed".to_string()).or_default() += 1;
                 self.wal.shed(source, *id, tenant.as_deref(), *throttled)
+            }
+            WalRecord::LeaseIssued { .. } => {
+                // Lease records exist so *recovery* can requeue in-flight
+                // work; file replay treats them as informational (the book
+                // effects are exercised end-to-end by `wal::replay`).
+                *self
+                    .label_counts
+                    .entry("wal:lease_issued".to_string())
+                    .or_default() += 1;
+                Ok(())
+            }
+            WalRecord::LeaseRequeued { .. } => {
+                *self
+                    .label_counts
+                    .entry("wal:lease_requeued".to_string())
+                    .or_default() += 1;
+                Ok(())
             }
             WalRecord::Snapshot { snap } => {
                 *self

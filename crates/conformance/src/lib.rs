@@ -27,6 +27,7 @@
 pub mod breaker_model;
 pub mod cache_model;
 pub mod checker;
+pub mod dispatch_model;
 pub mod drr_model;
 pub mod fleet_model;
 pub mod online;
@@ -35,6 +36,7 @@ pub mod wal_model;
 pub use breaker_model::{BreakerMachine, BreakerModel, BreakerState, Stimulus};
 pub use cache_model::CacheModel;
 pub use checker::{Checker, ConformanceReport, Violation};
+pub use dispatch_model::DispatchModel;
 pub use drr_model::DrrModel;
 pub use fleet_model::FleetModel;
 pub use online::CheckerSink;

@@ -207,3 +207,170 @@ fn tiny_costs_do_not_accumulate_deficit() {
         report.violations
     );
 }
+
+// ---------------------------------------------------------------------------
+// Steal lockstep: the same DRR contract, now inside the pull plane. The real
+// `PullPlane` runs DRR per worker shard and lets an idle worker steal from a
+// sibling's shard; the checker's DispatchModel rides the plane's own
+// telemetry stream, so a steal path that bypassed the victim's DRR order
+// (or double-leased across the shard boundary) surfaces as a violation.
+// ---------------------------------------------------------------------------
+
+use iluvatar_admission::{TenantRegistry, TenantSpec};
+use iluvatar_dispatch::{DispatchConfig, PullPlane};
+use iluvatar_sync::{Clock, ManualClock};
+use iluvatar_telemetry::{TelemetrySink, VecSink};
+use std::sync::Arc;
+
+const STEAL_WORKERS: [&str; 3] = ["w0", "w1", "w2"];
+
+fn steal_plane(seed: u64) -> (Arc<PullPlane>, Arc<VecSink>) {
+    let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+    let sink = Arc::new(VecSink::new());
+    let bus = iluvatar_telemetry::TelemetryBus::new("lb", Arc::clone(&clock));
+    bus.add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+    let mut cfg = DispatchConfig::pull();
+    // No expiry noise: these cases are about grant *order*, not recovery.
+    cfg.lease_ttl_ms = 1_000_000;
+    cfg.seed = seed;
+    let plane = Arc::new(PullPlane::new(cfg, Arc::clone(&clock)));
+    plane.set_telemetry(bus);
+    let registry = Arc::new(TenantRegistry::new(Arc::clone(&clock)));
+    for &(t, w) in &TENANTS {
+        registry.upsert(TenantSpec::new(t).with_weight(w));
+    }
+    plane.set_registry(registry);
+    for w in STEAL_WORKERS {
+        plane.register_worker(w);
+    }
+    (plane, sink)
+}
+
+fn conformant(sink: &VecSink) -> iluvatar_conformance::ConformanceReport {
+    let mut checker = Checker::new().with_require_terminal(false);
+    for ev in sink.events() {
+        checker.ingest(&ev);
+    }
+    checker.finish()
+}
+
+proptest! {
+    /// Any interleaving of enqueues (random tenant/fqdn, so home shards
+    /// scatter) and pulls (random worker, so empty home shards steal)
+    /// keeps the plane's lease stream in lockstep with the DispatchModel:
+    /// no double-lease across shard boundaries, no phantom completion,
+    /// and the tenant-fairness bound holds through every steal.
+    #[test]
+    fn pull_plane_steals_stay_in_lockstep_with_model(
+        cmds in proptest::collection::vec((0u8..8, 0u8..6), 20..150),
+        seed in 0u64..64,
+    ) {
+        let (plane, sink) = steal_plane(seed);
+        let mut enqueued = 0u64;
+        for &(op, sel) in &cmds {
+            if op < 4 {
+                let (t, _) = TENANTS[(sel % 3) as usize];
+                plane
+                    .enqueue(&format!("f-{sel}"), "{}", Some(t))
+                    .expect("accept");
+                enqueued += 1;
+            } else {
+                let w = STEAL_WORKERS[(op % 3) as usize];
+                for l in plane.pull(w, 2) {
+                    plane.complete(l.lease_id, true, "ok", 1);
+                }
+            }
+        }
+        // Drain through one worker: everything left on the other shards
+        // arrives via the steal path.
+        let mut spins = 0;
+        while plane.depth() > 0 {
+            for l in plane.pull("w0", 4) {
+                plane.complete(l.lease_id, true, "ok", 1);
+            }
+            spins += 1;
+            prop_assert!(spins < 10_000, "drain did not converge");
+        }
+        let c = plane.counters();
+        prop_assert_eq!(c.completed, enqueued, "every accepted task completes once");
+        let report = conformant(&sink);
+        prop_assert!(
+            report.ok(),
+            "steal interleaving diverged from the dispatch model: {:?}",
+            report.violations
+        );
+    }
+}
+
+/// Deterministic steal-fairness case: every task homes on one shard (a
+/// single fqdn), three tenants with weights 1:2:4 stay backlogged, and a
+/// *sibling* worker drains the shard entirely via steals. The thief must
+/// inherit the victim's DRR order — per-tenant grant shares stay
+/// proportional to weight over the backlogged window — and the stream must
+/// replay clean through the DispatchModel's starvation audit.
+#[test]
+fn cross_shard_steals_preserve_victim_drr_order() {
+    let (plane, sink) = steal_plane(7);
+    const ROUNDS: usize = 80;
+    for _ in 0..ROUNDS {
+        for &(t, _) in &TENANTS {
+            plane.enqueue("f-steal", "{}", Some(t)).expect("accept");
+        }
+    }
+    // All work homes on fnv("f-steal")'s shard; steal from a sibling.
+    let home = plane
+        .shard_depths()
+        .into_iter()
+        .find(|(_, d)| *d > 0)
+        .map(|(w, _)| w)
+        .expect("backlog homed somewhere");
+    let thief = STEAL_WORKERS
+        .iter()
+        .find(|&&w| w != home)
+        .expect("sibling exists");
+
+    let mut grants: Vec<String> = Vec::new();
+    loop {
+        let leases = plane.pull(thief, 1);
+        if leases.is_empty() {
+            break;
+        }
+        for l in leases {
+            assert_eq!(
+                l.stolen_from.as_deref(),
+                Some(home.as_str()),
+                "every grant to the thief must record the victim shard"
+            );
+            grants.push(l.task.tenant.clone().unwrap_or_default());
+            plane.complete(l.lease_id, true, "ok", 1);
+        }
+    }
+    assert_eq!(grants.len(), ROUNDS * TENANTS.len(), "full drain");
+    assert_eq!(
+        plane.counters().stolen,
+        (ROUNDS * TENANTS.len()) as u64,
+        "every grant crossed the shard boundary"
+    );
+
+    // Weighted fairness over a window where all tenants stay backlogged:
+    // 105 grants = 15 full unit-cost DRR rounds of (1 + 2 + 4).
+    let window = &grants[..105];
+    let weight_sum: f64 = TENANTS.iter().map(|&(_, w)| w).sum();
+    for &(t, w) in &TENANTS {
+        let got = window.iter().filter(|g| g.as_str() == t).count() as f64 / window.len() as f64;
+        let want = w / weight_sum;
+        assert!(
+            (got - want).abs() <= 0.15 * want,
+            "stolen grants for `{t}`: {:.1}% of the window, weight entitles {:.1}%",
+            got * 100.0,
+            want * 100.0
+        );
+    }
+
+    let report = conformant(&sink);
+    assert!(
+        report.ok(),
+        "steal drain diverged from the dispatch model: {:?}",
+        report.violations
+    );
+}

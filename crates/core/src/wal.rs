@@ -166,6 +166,17 @@ pub enum WalRecord {
         /// true = tenant rate limit, false = best-effort overload shed.
         throttled: bool,
     },
+    /// A pull-mode dispatch lease was issued for a pending invocation.
+    /// Replay keeps the invocation pending (marked in-flight) so a crashed
+    /// dispatch plane requeues it instead of stranding it.
+    LeaseIssued {
+        id: u64,
+        worker: String,
+        expires_at_ms: u64,
+    },
+    /// A pull-mode lease expired (or was revoked) and its invocation went
+    /// back to the queue; replay clears the in-flight mark.
+    LeaseRequeued { id: u64 },
     /// Compaction point: replay restarts from the latest of these.
     Snapshot { snap: WalSnapshot },
 }
@@ -179,6 +190,8 @@ impl WalRecord {
             WalRecord::Dequeued { .. } => "dequeued",
             WalRecord::Completed { .. } => "completed",
             WalRecord::Shed { .. } => "shed",
+            WalRecord::LeaseIssued { .. } => "lease_issued",
+            WalRecord::LeaseRequeued { .. } => "lease_requeued",
             WalRecord::Snapshot { .. } => "snapshot",
         }
     }
@@ -193,7 +206,9 @@ impl WalRecord {
             WalRecord::Enqueued { inv } => Some(inv.id),
             WalRecord::Dequeued { id }
             | WalRecord::Completed { id, .. }
-            | WalRecord::Shed { id, .. } => Some(*id),
+            | WalRecord::Shed { id, .. }
+            | WalRecord::LeaseIssued { id, .. }
+            | WalRecord::LeaseRequeued { id } => Some(*id),
             WalRecord::Snapshot { .. } => None,
         }
     }
@@ -715,6 +730,16 @@ impl Inner {
             WalRecord::Completed { id, .. } => {
                 w.pending.remove(id);
             }
+            WalRecord::LeaseIssued { id, .. } => {
+                if let Some(p) = w.pending.get_mut(id) {
+                    p.dequeued = true;
+                }
+            }
+            WalRecord::LeaseRequeued { id } => {
+                if let Some(p) = w.pending.get_mut(id) {
+                    p.dequeued = false;
+                }
+            }
             WalRecord::Shed { .. } | WalRecord::Snapshot { .. } => {}
         }
     }
@@ -753,9 +778,13 @@ impl Inner {
         if w.poisoned {
             return (AppendOutcome::Poisoned, None);
         }
-        // A dequeue/completion for an id the log is not tracking has
+        // A dequeue/completion/lease for an id the log is not tracking has
         // nothing to make durable (its enqueue was shed or non-durable).
-        if let WalRecord::Dequeued { id } | WalRecord::Completed { id, .. } = rec {
+        if let WalRecord::Dequeued { id }
+        | WalRecord::Completed { id, .. }
+        | WalRecord::LeaseIssued { id, .. }
+        | WalRecord::LeaseRequeued { id } = rec
+        {
             if !w.pending.contains_key(id) {
                 return (AppendOutcome::Skipped, None);
             }
@@ -1293,6 +1322,16 @@ fn apply_record(st: &mut ReplayState, cur: &mut ReplayCursor, rec: WalRecord) {
         WalRecord::Dequeued { id } => {
             if let Some(p) = cur.pending.get_mut(&id) {
                 p.dequeued = true;
+            }
+        }
+        WalRecord::LeaseIssued { id, .. } => {
+            if let Some(p) = cur.pending.get_mut(&id) {
+                p.dequeued = true;
+            }
+        }
+        WalRecord::LeaseRequeued { id } => {
+            if let Some(p) = cur.pending.get_mut(&id) {
+                p.dequeued = false;
             }
         }
         WalRecord::Completed { id, ok, tenant } => {

@@ -1,0 +1,133 @@
+//! Property: under random kill points — workers abandoning leases
+//! mid-flight and the whole plane crashing and recovering from its WAL —
+//! every accepted invocation executes **at least once** and is accounted
+//! **exactly once**. This is the pull-mode half of the `accepted ⟹
+//! durable` story: a lease is a loan, not a transfer, until the completion
+//! record lands.
+
+use iluvatar_core::wal::{self, Wal};
+use iluvatar_dispatch::{DispatchConfig, PullPlane};
+use iluvatar_sync::{Clock, ManualClock};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const TTL: u64 = 500;
+const WORKERS: [&str; 2] = ["w0", "w1"];
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn boot(path: &Path, clock: &Arc<ManualClock>) -> Arc<PullPlane> {
+    let st = wal::replay(path).expect("replay");
+    let mut cfg = DispatchConfig::pull();
+    cfg.lease_ttl_ms = TTL;
+    cfg.seed = 11;
+    let plane = Arc::new(PullPlane::new(cfg, Arc::clone(clock) as Arc<dyn Clock>));
+    for w in WORKERS {
+        plane.register_worker(w);
+    }
+    let walh = Arc::new(Wal::open(path, 10_000).expect("open wal"));
+    walh.prime_pending(&st.pending);
+    plane.attach_wal(walh);
+    plane.recover(&st);
+    plane
+}
+
+proptest! {
+    /// Random interleaving of complete / abandon / clock-advance / crash
+    /// steps over a batch of accepted invocations: at-least-once
+    /// execution, exactly-once accounting, nothing stranded.
+    #[test]
+    fn kill_points_preserve_exactly_once_accounting(
+        n_tasks in 1usize..16,
+        ops in proptest::collection::vec((0usize..4, 0usize..2), 1..60),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "iluvatar-lease-replay-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dispatch.wal");
+
+        let clock = Arc::new(ManualClock::new());
+        let mut plane = boot(&path, &clock);
+        let mut executed: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut accounted: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut accepted = Vec::new();
+        for i in 0..n_tasks {
+            let tenant = if i % 2 == 0 { "a" } else { "b" };
+            let id = plane
+                .enqueue(&format!("f-{}", i % 5), "{}", Some(tenant))
+                .expect("accept");
+            accepted.push(id);
+        }
+
+        for (action, widx) in ops {
+            let w = WORKERS[widx];
+            match action {
+                // A healthy worker: lease one task, run it, complete it.
+                0 => {
+                    for l in plane.pull(w, 1) {
+                        *executed.entry(l.task.id).or_default() += 1;
+                        if plane.complete(l.lease_id, true, "ok", 1) {
+                            *accounted.entry(l.task.id).or_default() += 1;
+                        }
+                    }
+                }
+                // A doomed worker: lease a task, run it, then die without
+                // completing — the TTL must recover it.
+                1 => {
+                    for l in plane.pull(w, 1) {
+                        *executed.entry(l.task.id).or_default() += 1;
+                    }
+                }
+                // Time passes; expired leases requeue.
+                2 => {
+                    clock.advance(TTL);
+                    plane.sweep();
+                }
+                // The whole plane crashes and recovers from its WAL.
+                _ => {
+                    drop(plane);
+                    plane = boot(&path, &clock);
+                }
+            }
+        }
+
+        // Drain: a healthy worker finishes whatever survives, letting any
+        // abandoned leases expire along the way.
+        let mut spins = 0;
+        while plane.depth() > 0 || plane.live_leases() > 0 {
+            for l in plane.pull("w0", 4) {
+                *executed.entry(l.task.id).or_default() += 1;
+                if plane.complete(l.lease_id, true, "ok", 1) {
+                    *accounted.entry(l.task.id).or_default() += 1;
+                }
+            }
+            clock.advance(TTL);
+            plane.sweep();
+            spins += 1;
+            prop_assert!(spins < 10_000, "drain did not converge");
+        }
+
+        for id in &accepted {
+            let ran = executed.get(id).copied().unwrap_or(0);
+            prop_assert!(ran >= 1, "accepted task {id} never executed");
+            let acct = accounted.get(id).copied().unwrap_or(0);
+            prop_assert!(acct == 1, "task {id} accounted {acct} times, want exactly 1");
+        }
+
+        // The durable book agrees: nothing pending after the dust settles.
+        let fin = wal::replay(&path).unwrap();
+        prop_assert!(
+            fin.pending.is_empty(),
+            "WAL still holds {} pending invocations",
+            fin.pending.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,10 +24,12 @@
 
 use crate::cluster::{Cluster, ClusterSnapshot, TenantClusterStats};
 use crate::fleet::Fleet;
+use crate::pull::{CompleteBody, CompleteReply, PullBody};
 use iluvatar_cache::TenantCacheStats;
 use iluvatar_core::api::WireResult;
 use iluvatar_core::exposition::{render_span_histograms, PromWriter};
 use iluvatar_core::InvokeError;
+use iluvatar_dispatch::{DispatchMode, EnqueueError, PullPlane};
 use iluvatar_http::server::Handler;
 use iluvatar_http::{HttpServer, Method, Request, Response, Status, CACHE_HEADER, SEQ_HEADER};
 use iluvatar_sync::{SystemClock, TaskPool};
@@ -62,6 +64,20 @@ pub struct LbStatus {
     /// Cluster-wide per-tenant rollup (admission + LB counters).
     #[serde(default)]
     pub tenants: Vec<TenantClusterStats>,
+    /// Pull-dispatch central queue depth per priority class (empty when no
+    /// pull plane is attached) — the same signal the autoscale loop reads.
+    #[serde(default)]
+    pub pull_queues: Vec<PullQueueDepth>,
+    /// Pull leases currently live (issued, neither completed nor expired).
+    #[serde(default)]
+    pub live_leases: u64,
+}
+
+/// One priority class's central-queue depth, as `/status` reports it.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PullQueueDepth {
+    pub class: String,
+    pub depth: u64,
 }
 
 /// One worker as the balancer sees it.
@@ -85,7 +101,7 @@ pub struct LbWorkerStatus {
     pub present: bool,
 }
 
-fn status_of(snap: &ClusterSnapshot) -> LbStatus {
+fn status_of(snap: &ClusterSnapshot, dispatch: Option<&PullPlane>) -> LbStatus {
     LbStatus {
         workers: snap
             .workers
@@ -110,6 +126,15 @@ fn status_of(snap: &ClusterSnapshot) -> LbStatus {
         evictions: snap.evictions,
         rerouted: snap.rerouted,
         tenants: snap.tenants.clone(),
+        pull_queues: dispatch
+            .map(|p| {
+                p.depths()
+                    .into_iter()
+                    .map(|(class, depth)| PullQueueDepth { class, depth })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        live_leases: dispatch.map(|p| p.live_leases()).unwrap_or(0),
     }
 }
 
@@ -119,6 +144,7 @@ fn render_metrics(
     fleet: Option<&Fleet>,
     tel: &CounterBridge,
     cache: &[TenantCacheStats],
+    dispatch: Option<&PullPlane>,
 ) -> String {
     let mut w = PromWriter::new();
     w.gauge(
@@ -251,9 +277,10 @@ fn render_metrics(
     }
     // Balancer-side result cache: cluster totals plus per-tenant eviction
     // pressure (hard partitions make evictions a per-tenant signal).
-    let (hits, misses): (u64, u64) = cache
-        .iter()
-        .fold((0, 0), |(h, m), t| (h + t.hits, m + t.misses));
+    let (hits, misses, coalesced): (u64, u64, u64) =
+        cache.iter().fold((0, 0, 0), |(h, m, c), t| {
+            (h + t.hits, m + t.misses, c + t.coalesced)
+        });
     w.counter(
         "iluvatar_cache_hits_total",
         "Invocations served from the balancer's result cache",
@@ -265,6 +292,12 @@ fn render_metrics(
         "Cache-eligible invocations that missed and were dispatched",
         &[("source", "lb")],
         misses as f64,
+    );
+    w.counter(
+        "iluvatar_cache_coalesced_total",
+        "Cache-eligible invocations that joined an identical in-flight dispatch (single-flight)",
+        &[("source", "lb")],
+        coalesced as f64,
     );
     for t in cache {
         w.counter(
@@ -308,6 +341,39 @@ fn render_metrics(
             );
         }
     }
+    if let Some(p) = dispatch {
+        for (class, depth) in p.depths() {
+            w.gauge(
+                "iluvatar_pull_queue_depth",
+                "Pull-dispatch central queue depth per priority class",
+                &[("class", &class)],
+                depth as f64,
+            );
+        }
+        w.gauge(
+            "iluvatar_lease_live",
+            "Pull leases currently live",
+            &[],
+            p.live_leases() as f64,
+        );
+        let c = p.counters();
+        for (op, n) in [
+            ("queued", c.queued),
+            ("issued", c.issued),
+            ("stolen", c.stolen),
+            ("completed", c.completed),
+            ("expired", c.expired),
+            ("requeued", c.requeued),
+            ("dead_completion", c.dead_completions),
+        ] {
+            w.counter(
+                "iluvatar_lease_events_total",
+                "Pull-dispatch lease transitions by op",
+                &[("op", op)],
+                n as f64,
+            );
+        }
+    }
     w.counter(
         "iluvatar_lb_http_requests_total",
         "Requests served by the balancer API",
@@ -332,6 +398,44 @@ fn render_metrics(
     w.finish()
 }
 
+/// Pull-mode `/invoke`: accept into the central queues (durable first when
+/// a WAL is attached) and block until a worker's lease completes the task.
+fn pull_invoke(plane: &PullPlane, fqdn: &str, args: &str, tenant: Option<&str>) -> Response {
+    let started = std::time::Instant::now();
+    let id = match plane.enqueue(fqdn, args, tenant) {
+        Ok(id) => id,
+        Err(e @ EnqueueError::NoWorkers) | Err(e @ EnqueueError::NotDurable) => {
+            return json_resp(
+                Status::SERVICE_UNAVAILABLE,
+                format!("{{\"error\":{:?}}}", e.to_string()),
+            );
+        }
+    };
+    match plane.wait(id, PULL_INVOKE_TIMEOUT_MS) {
+        Some(r) if r.ok => {
+            let wire = WireResult {
+                body: r.body,
+                exec_ms: r.exec_ms,
+                e2e_ms: started.elapsed().as_millis() as u64,
+                cold: false,
+                queue_ms: 0,
+                trace_id: id,
+                tenant: tenant.map(str::to_string),
+            };
+            json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+        }
+        Some(r) => json_resp(
+            Status::INTERNAL_ERROR,
+            format!("{{\"error\":{:?}}}", r.body),
+        ),
+        // The task stays queued and durable; only this caller's wait ends.
+        None => json_resp(
+            Status::SERVICE_UNAVAILABLE,
+            "{\"error\":\"pull dispatch timed out\"}".into(),
+        ),
+    }
+}
+
 fn json_resp(status: Status, body: String) -> Response {
     Response::new(status)
         .with_header("Content-Type", "application/json")
@@ -353,6 +457,15 @@ fn error_resp(e: &InvokeError) -> Response {
 /// the LB ring is larger than a worker's).
 const LB_FLIGHT_RECORDER_CAPACITY: usize = 512;
 
+/// How long a pull-mode `/invoke` blocks for a worker to lease and finish
+/// the task before the balancer gives up with a 503 (the task stays queued
+/// and durable; only this caller's wait ends).
+const PULL_INVOKE_TIMEOUT_MS: u64 = 30_000;
+
+/// Cap on a single `/pull` long-poll so a worker's client timeout cannot
+/// outlive the server's patience.
+const PULL_WAIT_CAP_MS: u64 = 10_000;
+
 /// The balancer's HTTP server plus its background scrape task (and, for
 /// elastic fleets, the autoscale control loop).
 pub struct LbApi {
@@ -360,6 +473,7 @@ pub struct LbApi {
     tasks: TaskPool,
     snapshot: Arc<Mutex<ClusterSnapshot>>,
     fleet: Option<Arc<Fleet>>,
+    dispatch: Option<Arc<PullPlane>>,
     telemetry: Arc<TelemetryBus>,
     recorder: Arc<FlightRecorder>,
 }
@@ -378,6 +492,19 @@ impl LbApi {
         scrape_period: Duration,
         fleet: Option<Arc<Fleet>>,
     ) -> std::io::Result<Self> {
+        Self::serve_with_dispatch(cluster, scrape_period, fleet, None)
+    }
+
+    /// Serve with a pull-dispatch plane attached: same routes plus
+    /// `POST /pull` / `POST /pull/complete`, with `/invoke` routed by
+    /// `dispatch.mode` (push = CH-BL as ever, pull = central queues,
+    /// hybrid = warm-hit-likely pushes, the rest spills to pull).
+    pub fn serve_with_dispatch(
+        cluster: Arc<Cluster>,
+        scrape_period: Duration,
+        fleet: Option<Arc<Fleet>>,
+        dispatch: Option<Arc<PullPlane>>,
+    ) -> std::io::Result<Self> {
         // The balancer's own canonical telemetry stream: the cluster's
         // dispatch/reroute/breaker/membership events and the fleet's scale
         // events fan out to a flight recorder and a counter bridge.
@@ -389,6 +516,15 @@ impl LbApi {
         cluster.set_telemetry(Arc::clone(&telemetry));
         if let Some(f) = fleet.as_ref() {
             f.set_telemetry(Arc::clone(&telemetry));
+        }
+        if let Some(p) = dispatch.as_ref() {
+            p.set_telemetry(Arc::clone(&telemetry));
+            // Feed the central pull backlog into autoscale observations:
+            // pull-mode demand lives in the plane, not worker queues.
+            if let Some(f) = fleet.as_ref() {
+                let plane = Arc::clone(p);
+                f.set_pull_depth_provider(Box::new(move || plane.depth()));
+            }
         }
         let snapshot = Arc::new(Mutex::new(cluster.scrape()));
         let tasks = TaskPool::new(if fleet.is_some() { 2 } else { 1 });
@@ -414,6 +550,7 @@ impl LbApi {
         }
         let snap = Arc::clone(&snapshot);
         let fleet_for_handler = fleet.clone();
+        let dispatch_for_handler = dispatch.clone();
         let tel_for_handler = Arc::clone(&tel_counts);
         let bus_for_handler = Arc::clone(&telemetry);
         let recorder_for_handler = Arc::clone(&recorder);
@@ -424,7 +561,11 @@ impl LbApi {
             match (req.method, req.path.as_str()) {
                 (Method::Get, "/status") => json_resp(
                     Status::OK,
-                    serde_json::to_string(&status_of(&snap.lock())).unwrap(),
+                    serde_json::to_string(&status_of(
+                        &snap.lock(),
+                        dispatch_for_handler.as_deref(),
+                    ))
+                    .unwrap(),
                 ),
                 (Method::Get, "/metrics") => {
                     let n = served2.lock().as_ref().map(|h| h.served()).unwrap_or(0);
@@ -434,6 +575,7 @@ impl LbApi {
                         fleet_for_handler.as_deref(),
                         &tel_for_handler,
                         &cluster.cache_stats(),
+                        dispatch_for_handler.as_deref(),
                     ))
                     .with_header("Content-Type", "text/plain; version=0.0.4")
                 }
@@ -452,6 +594,47 @@ impl LbApi {
                         "{\"error\":\"no elastic fleet configured\"}".into(),
                     ),
                 },
+                (Method::Post, "/pull") => match (
+                    serde_json::from_str::<PullBody>(body),
+                    dispatch_for_handler.as_ref(),
+                ) {
+                    (Ok(b), Some(plane)) => {
+                        let leases = if b.wait_ms > 0 {
+                            plane.pull_wait(&b.worker, b.max, b.wait_ms.min(PULL_WAIT_CAP_MS))
+                        } else {
+                            plane.pull(&b.worker, b.max)
+                        };
+                        json_resp(Status::OK, serde_json::to_string(&leases).unwrap())
+                    }
+                    (_, None) => json_resp(
+                        Status::NOT_FOUND,
+                        "{\"error\":\"no pull-dispatch plane attached\"}".into(),
+                    ),
+                    (Err(e), _) => json_resp(
+                        Status::BAD_REQUEST,
+                        format!("{{\"error\":{:?}}}", e.to_string()),
+                    ),
+                },
+                (Method::Post, "/pull/complete") => match (
+                    serde_json::from_str::<CompleteBody>(body),
+                    dispatch_for_handler.as_ref(),
+                ) {
+                    (Ok(b), Some(plane)) => {
+                        let accepted = plane.complete(b.lease_id, b.ok, &b.body, b.exec_ms);
+                        json_resp(
+                            Status::OK,
+                            serde_json::to_string(&CompleteReply { accepted }).unwrap(),
+                        )
+                    }
+                    (_, None) => json_resp(
+                        Status::NOT_FOUND,
+                        "{\"error\":\"no pull-dispatch plane attached\"}".into(),
+                    ),
+                    (Err(e), _) => json_resp(
+                        Status::BAD_REQUEST,
+                        format!("{{\"error\":{:?}}}", e.to_string()),
+                    ),
+                },
                 (Method::Post, "/invoke") => match serde_json::from_str::<InvokeBody>(body) {
                     Ok(b) => {
                         let tenant = req
@@ -462,14 +645,37 @@ impl LbApi {
                         if let Some(f) = &fleet_for_handler {
                             f.note_arrival(&b.fqdn);
                         }
-                        let resp = match cluster.invoke_cached(&b.fqdn, &b.args, tenant.as_deref())
-                        {
-                            Ok((r, cache)) => {
-                                let wire: WireResult = r.into();
-                                json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
-                                    .with_header(CACHE_HEADER, cache.as_str())
+                        // Route by dispatch mode: push stays on CH-BL, pull
+                        // spills to the central queues, hybrid pushes only
+                        // warm-hit-likely fqdns.
+                        let via_pull = dispatch_for_handler
+                            .as_ref()
+                            .map(|p| match p.mode() {
+                                DispatchMode::Push => false,
+                                DispatchMode::Pull => true,
+                                DispatchMode::Hybrid => p.warm_target(&b.fqdn).is_none(),
+                            })
+                            .unwrap_or(false);
+                        let resp = if via_pull {
+                            let plane = dispatch_for_handler.as_ref().expect("checked");
+                            pull_invoke(plane, &b.fqdn, &b.args, tenant.as_deref())
+                        } else {
+                            match cluster.invoke_cached(&b.fqdn, &b.args, tenant.as_deref()) {
+                                Ok((r, cache)) => {
+                                    // Keep the hybrid warm signal alive for
+                                    // fqdns the push path keeps serving.
+                                    if let Some(p) = dispatch_for_handler
+                                        .as_ref()
+                                        .filter(|p| p.mode() == DispatchMode::Hybrid)
+                                    {
+                                        p.note_warm(&b.fqdn, "chbl");
+                                    }
+                                    let wire: WireResult = r.into();
+                                    json_resp(Status::OK, serde_json::to_string(&wire).unwrap())
+                                        .with_header(CACHE_HEADER, cache.as_str())
+                                }
+                                Err(e) => error_resp(&e),
                             }
-                            Err(e) => error_resp(&e),
                         };
                         // Propagate the latest balancer event seqno so callers
                         // can correlate responses with the telemetry stream.
@@ -490,6 +696,7 @@ impl LbApi {
             tasks,
             snapshot,
             fleet,
+            dispatch,
             telemetry,
             recorder,
         })
@@ -507,6 +714,11 @@ impl LbApi {
     /// The elastic fleet, when one is attached.
     pub fn fleet(&self) -> Option<&Arc<Fleet>> {
         self.fleet.as_ref()
+    }
+
+    /// The pull-dispatch plane, when one is attached.
+    pub fn dispatch(&self) -> Option<&Arc<PullPlane>> {
+        self.dispatch.as_ref()
     }
 
     /// The balancer's canonical telemetry bus (source `lb`).
@@ -893,6 +1105,100 @@ mod tests {
                 "p{q}: merged {est} vs direct {exact} (rel {rel})"
             );
         }
+    }
+
+    #[test]
+    fn pull_mode_invoke_over_http_round_trips() {
+        use crate::pull::HttpLeaseSource;
+        use iluvatar_dispatch::{DispatchConfig, PullLoop, PullPlane, PullTask, TaskExecutor};
+
+        let w0 = live_worker("w0");
+        let w1 = live_worker("w1");
+        let workers: Vec<Arc<dyn WorkerHandle>> = vec![Arc::clone(&w0) as _, Arc::clone(&w1) as _];
+        let cluster = Arc::new(Cluster::new(workers, LbPolicy::RoundRobin));
+        cluster
+            .register_all(FunctionSpec::new("f", "1").with_timing(100, 400))
+            .unwrap();
+        let plane = Arc::new(PullPlane::new(
+            DispatchConfig::pull(),
+            SystemClock::shared(),
+        ));
+        plane.register_worker("w0");
+        plane.register_worker("w1");
+        let api = LbApi::serve_with_dispatch(
+            Arc::clone(&cluster),
+            Duration::from_millis(25),
+            None,
+            Some(Arc::clone(&plane)),
+        )
+        .unwrap();
+
+        // Worker-side pull loops, leasing through the HTTP routes and
+        // executing on the live workers.
+        let spawn_loop = |name: &'static str, worker: Arc<Worker>| {
+            let source = Arc::new(HttpLeaseSource::new(api.addr(), 200));
+            let exec: Arc<TaskExecutor> = Arc::new(move |t: &PullTask| {
+                match worker.invoke_tenant(&t.fqdn, &t.args, t.tenant.as_deref()) {
+                    Ok(r) => (true, r.body, r.exec_ms),
+                    Err(e) => (false, e.to_string(), 0),
+                }
+            });
+            PullLoop::spawn(
+                source as Arc<dyn iluvatar_dispatch::LeaseSource>,
+                name.to_string(),
+                2,
+                Duration::from_millis(5),
+                exec,
+            )
+        };
+        let lp0 = spawn_loop("w0", w0);
+        let lp1 = spawn_loop("w1", w1);
+
+        for i in 0..3 {
+            let body = serde_json::to_vec(&InvokeBody {
+                fqdn: "f-1".into(),
+                args: format!("{{\"k\":{i}}}"),
+                tenant: Some("acme".into()),
+            })
+            .unwrap();
+            let resp = HttpClient::send(
+                api.addr(),
+                &Request::new(Method::Post, "/invoke").with_body(body),
+                Duration::from_secs(30),
+            )
+            .unwrap();
+            assert_eq!(resp.status, Status::OK, "body: {}", resp.body_str());
+            let wire: WireResult = serde_json::from_str(resp.body_str()).unwrap();
+            assert_ne!(wire.trace_id, 0);
+            assert_eq!(wire.tenant.as_deref(), Some("acme"));
+        }
+        lp0.stop();
+        lp1.stop();
+
+        let c = plane.counters();
+        assert_eq!(c.queued, 3);
+        assert_eq!(c.completed, 3);
+        assert_eq!(plane.live_leases(), 0);
+        assert_eq!(plane.depth(), 0);
+
+        // /status exposes the pull-plane signal alongside the cluster view.
+        let st: LbStatus = serde_json::from_str(get(api.addr(), "/status").body_str()).unwrap();
+        assert_eq!(st.live_leases, 0);
+        let classes: Vec<&str> = st.pull_queues.iter().map(|q| q.class.as_str()).collect();
+        assert_eq!(classes, vec!["best_effort", "guaranteed"]);
+        assert!(st.pull_queues.iter().all(|q| q.depth == 0));
+
+        // Lease series land on /metrics.
+        let text = get(api.addr(), "/metrics").body_str().to_string();
+        assert!(
+            text.contains("iluvatar_lease_events_total{op=\"completed\"} 3"),
+            "text:\n{text}"
+        );
+        assert!(text.contains("iluvatar_pull_queue_depth{class=\"guaranteed\"} 0"));
+        assert!(
+            text.contains("iluvatar_telemetry_events_total{source=\"lb\",kind=\"lease:completed\",tenant=\"acme\"} 3"),
+            "lease events flow through the balancer bus:\n{text}"
+        );
     }
 
     #[test]

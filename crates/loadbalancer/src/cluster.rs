@@ -25,6 +25,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+/// How long a cache-eligible invocation waits behind an identical one
+/// already dispatching before giving up and dispatching its own copy.
+const SINGLE_FLIGHT_WAIT_MS: u64 = 10_000;
+
 /// One health probe of a worker: its load plus whether it is draining.
 /// Draining workers are routed around but not treated as failed — they are
 /// finishing in-flight work and will either stop or return to service.
@@ -995,7 +999,10 @@ impl Cluster {
         let Some(cache) = self.cache.get() else {
             return Ok((self.invoke_tenant(fqdn, args, tenant)?, CacheStatus::Bypass));
         };
-        match cache.lookup(fqdn, tenant, args) {
+        // Single-flight: concurrent misses on one key coalesce behind the
+        // first dispatcher instead of stampeding the workers; followers
+        // block briefly and are served the leader's fill as a hit.
+        match cache.lookup_single_flight(fqdn, tenant, args, SINGLE_FLIGHT_WAIT_MS) {
             CacheLookup::Hit(hit) => Ok((
                 InvocationResult {
                     body: hit.body,
@@ -1009,11 +1016,21 @@ impl Cluster {
                 },
                 CacheStatus::Hit,
             )),
-            CacheLookup::Miss(_) => {
-                let r = self.invoke_tenant(fqdn, args, tenant)?;
-                cache.fill(fqdn, tenant, args, &r.body, r.exec_ms, Some(r.trace_id));
-                Ok((r, CacheStatus::Miss))
-            }
+            CacheLookup::Miss(key) => match self.invoke_tenant(fqdn, args, tenant) {
+                Ok(r) => {
+                    cache.fill(fqdn, tenant, args, &r.body, r.exec_ms, Some(r.trace_id));
+                    // A rejected fill (oversized body) also releases the
+                    // flight; this is belt and braces for followers.
+                    cache.abandon(&key);
+                    Ok((r, CacheStatus::Miss))
+                }
+                Err(e) => {
+                    // Failed dispatches must hand flight leadership back,
+                    // or followers wait out their whole budget.
+                    cache.abandon(&key);
+                    Err(e)
+                }
+            },
             CacheLookup::Bypass => {
                 Ok((self.invoke_tenant(fqdn, args, tenant)?, CacheStatus::Bypass))
             }

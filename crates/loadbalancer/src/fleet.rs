@@ -95,6 +95,10 @@ pub struct Fleet {
     /// Canonical telemetry stream: every journaled scale event is mirrored
     /// here once a bus is attached.
     telemetry: OnceLock<Arc<TelemetryBus>>,
+    /// Central pull-queue depth sampler, set when a dispatch plane is
+    /// attached. Push-mode fleets never set this, so observations carry 0
+    /// and existing policy traces are unchanged.
+    pull_depth: OnceLock<Box<dyn Fn() -> u64 + Send + Sync>>,
 }
 
 impl Fleet {
@@ -119,7 +123,16 @@ impl Fleet {
             event_counts: Mutex::new(BTreeMap::new()),
             arrivals: Mutex::new(BTreeMap::new()),
             telemetry: OnceLock::new(),
+            pull_depth: OnceLock::new(),
         }
+    }
+
+    /// Attach a sampler for the central pull-queue depth (the dispatch
+    /// plane's backlog). First call wins. Once set, every observation
+    /// carries the sampled depth so scale-up sees pull-mode demand and
+    /// scale-down waits for the central queue to drain.
+    pub fn set_pull_depth_provider(&self, f: Box<dyn Fn() -> u64 + Send + Sync>) {
+        let _ = self.pull_depth.set(f);
     }
 
     /// Attach the canonical telemetry bus. First call wins; scale events
@@ -218,6 +231,7 @@ impl Fleet {
             concurrency_limit,
             arrivals: per_fn.iter().map(|(_, c)| c).sum(),
             per_fn_arrivals: per_fn,
+            pull_queue_depth: self.pull_depth.get().map(|f| f()).unwrap_or(0),
         }
     }
 

@@ -18,6 +18,7 @@ pub mod api;
 pub mod chbl;
 pub mod cluster;
 pub mod fleet;
+pub mod pull;
 
 pub use api::{LbApi, LbStatus};
 pub use chbl::{ChBl, ChBlConfig};
@@ -25,3 +26,4 @@ pub use cluster::{
     BreakerConfig, Cluster, ClusterSnapshot, HandleStats, LbPolicy, ProbeResult, WorkerHandle,
 };
 pub use fleet::{Fleet, FleetStatus, WorkerFactory};
+pub use pull::HttpLeaseSource;

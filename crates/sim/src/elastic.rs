@@ -45,6 +45,15 @@ pub struct ElasticOutcome {
     /// the memory bill for keeping containers warm. Idle over-provisioned
     /// fleets grow this without improving the cold ratio.
     pub warm_gb_seconds: f64,
+    /// Cold-start recovery times for functions whose *only* warm residency
+    /// a scale-down destroyed: ms from the drain decision until the
+    /// function is warm again (its next arrival finishes paying init). One
+    /// entry per recovered eviction — the hidden cost of shrinking the
+    /// fleet that the cold ratio alone averages away.
+    pub evicted_recovery_ms: Vec<u64>,
+    /// Scale-down evictions whose function never arrived again before the
+    /// trace ended (recovery unbounded within the run).
+    pub evicted_unrecovered: u64,
 }
 
 impl ElasticOutcome {
@@ -69,6 +78,21 @@ impl ElasticOutcome {
             self.total_cold() as f64 / served as f64
         }
     }
+
+    /// Mean scale-down eviction recovery time, ms (0 when none recovered).
+    pub fn mean_recovery_ms(&self) -> f64 {
+        if self.evicted_recovery_ms.is_empty() {
+            0.0
+        } else {
+            self.evicted_recovery_ms.iter().sum::<u64>() as f64
+                / self.evicted_recovery_ms.len() as f64
+        }
+    }
+
+    /// Worst scale-down eviction recovery time, ms.
+    pub fn max_recovery_ms(&self) -> u64 {
+        self.evicted_recovery_ms.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// The elastic cluster simulator: a scaling policy driving fleet size
@@ -92,6 +116,10 @@ pub struct ElasticClusterSim {
     last_integral_t: u64,
     fleet_acc: f64,
     warm_mb_ms_acc: f64,
+    /// Functions whose only warm residency a scale-down destroyed:
+    /// fn index → drain time. Cleared at the function's next arrival.
+    evicted_pending: BTreeMap<u32, u64>,
+    evicted_recovery_ms: Vec<u64>,
 }
 
 impl ElasticClusterSim {
@@ -119,6 +147,8 @@ impl ElasticClusterSim {
             last_integral_t: 0,
             fleet_acc: 0.0,
             warm_mb_ms_acc: 0.0,
+            evicted_pending: BTreeMap::new(),
+            evicted_recovery_ms: Vec::new(),
             profiles,
             per_worker_cfg,
             autoscale,
@@ -201,6 +231,7 @@ impl ElasticClusterSim {
             },
             max_queue_delay_ms: max_delay,
             concurrency_limit: self.per_worker_cfg.concurrency.unwrap_or(0),
+            pull_queue_depth: 0,
             arrivals: per_fn.iter().map(|(_, c)| c).sum(),
             per_fn_arrivals: per_fn,
         }
@@ -261,8 +292,23 @@ impl ElasticClusterSim {
                         // Drain the most recently activated live workers
                         // (LIFO): least cache value, deterministic order.
                         let live = self.live_indices();
-                        for &i in live.iter().rev().take(remove) {
+                        let victims: Vec<usize> = live.iter().rev().take(remove).copied().collect();
+                        for &i in &victims {
                             self.slots[i].draining = true;
+                        }
+                        // Warm-set damage: a draining worker takes no new
+                        // arrivals, so any function resident *only* on the
+                        // victims loses all usable warm capacity at the
+                        // drain decision. Recovery clocks start here.
+                        let survivors = self.live_indices();
+                        for &i in &victims {
+                            for f in self.slots[i].sim.resident_fns() {
+                                let elsewhere =
+                                    survivors.iter().any(|&j| self.slots[j].sim.is_resident(f));
+                                if !elsewhere {
+                                    self.evicted_pending.entry(f).or_insert(tick_t);
+                                }
+                            }
                         }
                         self.events.push(ScaleEvent {
                             t_ms: tick_t,
@@ -286,6 +332,18 @@ impl ElasticClusterSim {
         *self.arrivals.entry(fqdn).or_default() += 1;
         let live = self.live_indices();
         let w = self.pick(&live);
+        // Eviction recovery: the first arrival after a scale-down destroyed
+        // the function's warm set ends the outage — warm again once this
+        // serve finishes init (zero extra if a preload already restored it).
+        if let Some(drain_t) = self.evicted_pending.remove(&func) {
+            let init = if self.slots[w].sim.is_resident(func) {
+                0
+            } else {
+                self.profiles[func as usize].init_ms
+            };
+            self.evicted_recovery_ms
+                .push(t.saturating_sub(drain_t) + init);
+        }
         self.slots[w].sim.on_event(t, func);
     }
 
@@ -323,6 +381,8 @@ impl ElasticClusterSim {
             mean_fleet: mean,
             // MB·ms → GB·s.
             warm_gb_seconds: self.warm_mb_ms_acc / 1024.0 / 1000.0,
+            evicted_recovery_ms: self.evicted_recovery_ms,
+            evicted_unrecovered: self.evicted_pending.len() as u64,
         }
     }
 }
@@ -419,6 +479,35 @@ mod tests {
         assert_eq!(out.total_dropped(), 0);
         let served = out.total_warm() + out.total_cold();
         assert_eq!(served, burst_trace().len() as u64);
+    }
+
+    #[test]
+    fn scale_down_evictions_are_tracked_and_recovered() {
+        let out = ElasticClusterSim::run(
+            profiles(8),
+            &burst_trace(),
+            worker_cfg(),
+            scale_cfg(ScalingPolicyKind::ReactiveQueueDelay),
+        );
+        assert!(
+            out.events
+                .iter()
+                .any(|e| e.direction == ScaleDirection::Down),
+            "the quiet tail must trigger a scale-down"
+        );
+        // The burst spreads fns 1..8 across the scaled-up workers; draining
+        // them must strand at least one function's warm set, and each
+        // stranding is either recovered (fn arrived again) or still pending
+        // at the end — never silently dropped.
+        let total = out.evicted_recovery_ms.len() as u64 + out.evicted_unrecovered;
+        assert!(total > 0, "scale-down must destroy some warm residency");
+        for &ms in &out.evicted_recovery_ms {
+            assert!(ms > 0, "recovery after an eviction cannot be free");
+        }
+        if !out.evicted_recovery_ms.is_empty() {
+            assert!(out.mean_recovery_ms() > 0.0);
+            assert!(out.max_recovery_ms() as f64 >= out.mean_recovery_ms());
+        }
     }
 
     #[test]

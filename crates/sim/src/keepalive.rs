@@ -315,6 +315,26 @@ impl KeepaliveSim {
         self.executing.len()
     }
 
+    /// Function indices with at least one container (idle or busy)
+    /// resident in this worker's cache — the warm set a scale-down of
+    /// this worker would destroy.
+    pub fn resident_fns(&self) -> Vec<u32> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(f, _)| f as u32)
+            .collect()
+    }
+
+    /// Whether the function has any resident container on this worker.
+    pub fn is_resident(&self, func: u32) -> bool {
+        self.items
+            .get(func as usize)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+    }
+
     /// Advance housekeeping (sweeps, preloads, occupancy, completions) to
     /// time `t` without an arrival — the elastic cluster simulator calls
     /// this at control-loop ticks so queue observations are current.

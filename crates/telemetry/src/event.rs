@@ -68,6 +68,20 @@ pub enum TelemetryKind {
         #[serde(default)]
         expires_at_ms: Option<u64>,
     },
+    /// A pull-dispatch lease transition: `op` is `queued`, `issued`,
+    /// `stolen`, `completed`, `expired`, or `requeued`; `worker` is the
+    /// holder (the victim shard for `stolen`, empty for `queued` and
+    /// `requeued`). `expires_at_ms` rides `issued` so stream consumers can
+    /// audit expiry legality; `class` (priority-class name) rides `queued`
+    /// and `issued` so the conformance model can bound starvation.
+    Lease {
+        op: String,
+        worker: String,
+        #[serde(default)]
+        expires_at_ms: Option<u64>,
+        #[serde(default)]
+        class: Option<String>,
+    },
     /// The chaos harness fired an injected fault at `site`.
     Fault { site: String },
     /// A flight-recorder snapshot was frozen (`reason`: `kill`, `drain`,
@@ -103,6 +117,7 @@ impl TelemetryKind {
             TelemetryKind::Membership { change, .. } => format!("membership:{change}"),
             TelemetryKind::Scale { direction, .. } => format!("scale:{direction}"),
             TelemetryKind::Cache { op, .. } => format!("cache:{op}"),
+            TelemetryKind::Lease { op, .. } => format!("lease:{op}"),
             TelemetryKind::Fault { site } => format!("fault:{site}"),
             TelemetryKind::RecorderSnapshot { .. } => "recorder_snapshot".into(),
         }
@@ -178,6 +193,12 @@ mod tests {
             TelemetryKind::WalIo {
                 op: "rotate".into(),
             },
+            TelemetryKind::Lease {
+                op: "issued".into(),
+                worker: "w0".into(),
+                expires_at_ms: Some(2_000),
+                class: Some("best_effort".into()),
+            },
         ];
         let labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
         let mut dedup = labels.clone();
@@ -188,6 +209,7 @@ mod tests {
         assert_eq!(labels[9], "cache:hit");
         assert_eq!(labels[10], "fault:invoke_error");
         assert_eq!(labels[12], "wal_io:rotate");
+        assert_eq!(labels[13], "lease:issued");
     }
 
     #[test]

@@ -130,15 +130,38 @@ if [[ "$digest_a" != "$digest_b" ]]; then
 fi
 echo "storage digest stable: $digest_a"
 
+echo "=== dispatch determinism (fixed seed, mid-run worker kill, two runs) ==="
+# Pull-mode dispatch under a worker crash: two pull loops lease from one
+# WAL-backed plane, one is killed mid-flight, and its abandoned leases must
+# expire, requeue exactly once, and complete on the survivor. The binary
+# itself asserts zero lost accepted invocations, zero conformance
+# violations in the lease stream, and an empty WAL pending set; the digest
+# double-run asserts the accepted id/tenant map is a pure function of the
+# seed (which leases the crash strands must not leak in).
+DISPATCH_SEED=42
+digest_a=$(./target/release/dispatch_session --seed "$DISPATCH_SEED" 2>/dev/null)
+digest_b=$(./target/release/dispatch_session --seed "$DISPATCH_SEED" 2>/dev/null)
+if [[ "$digest_a" != "$digest_b" ]]; then
+    echo "dispatch digests diverged for seed $DISPATCH_SEED: $digest_a vs $digest_b" >&2
+    exit 1
+fi
+echo "dispatch digest stable: $digest_a"
+
 echo "=== conformance mutation smoke (checker must catch seeded corruption) ==="
 # Flips one event in known-good streams (duplicate completion, dropped
 # append, reordered result, flipped ok-bit, illegal breaker edge, kill of
-# a draining worker, double-attach, stale cache hit) plus two on-disk
-# corruptions (bit-flipped WAL record, truncated segment) and requires
-# the checker — or the frame scanner — to flag each with the expected
-# rule. A silent pass here means the checker has gone blind and the
-# replay gate above is vacuous.
+# a draining worker, double-attach, stale cache hit, double-lease,
+# dropped requeue) plus two on-disk corruptions (bit-flipped WAL record,
+# truncated segment) and requires the checker — or the frame scanner — to
+# flag each with the expected rule. A silent pass here means the checker
+# has gone blind and the replay gate above is vacuous.
 ./target/release/conformance_session --mutate
+
+echo "=== dispatch ablation (pull/hybrid p99 <= push p99) ==="
+# One seeded heavy-tailed workload through push (CH-BL with a stale load
+# signal), pull (the real PullPlane), and hybrid planes. The binary
+# asserts the tail-latency claim the pull plane exists for.
+./target/release/abl_dispatch
 
 echo "=== overhead budget (p50/p99 per Table-1 group) ==="
 # Replays a fixed warm trace over the real HTTP hot path and checks each

@@ -169,6 +169,7 @@ fn main() {
             mean_queue_delay_ms: delay_ms,
             max_queue_delay_ms: delay_ms as u64,
             concurrency_limit: 8,
+            pull_queue_depth: 0,
             arrivals,
             per_fn_arrivals: per_fn,
         };

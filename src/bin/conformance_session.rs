@@ -528,6 +528,7 @@ fn scenario_fleet(seed: u64, time_scale: f64) -> (Vec<TelemetryEvent>, String) {
             mean_queue_delay_ms: delay_ms,
             max_queue_delay_ms: delay_ms as u64,
             concurrency_limit: 8,
+            pull_queue_depth: 0,
             arrivals,
             per_fn_arrivals: per_fn,
         };
@@ -1143,6 +1144,56 @@ fn run_mutation_battery(chaos: &[TelemetryEvent], fleet: &[TelemetryEvent]) -> b
         check_damage("bitflip-record", &flipped, 1, 0);
         // M10: cut the final frame short → torn tail.
         check_damage("truncate-segment", &bytes[..bytes.len() - 3], 0, 1);
+    }
+
+    // M11/M12: pull-dispatch lease stream mutations. The reference is a
+    // clean lease lifecycle with one expiry-requeue cycle; each mutation
+    // breaks one plane invariant and the DispatchModel must name it.
+    {
+        let lease =
+            |seq: u64, at_ms: u64, op: &str, worker: &str, expires: Option<u64>| TelemetryEvent {
+                seq,
+                at_ms,
+                source: "lb".to_string(),
+                trace_id: Some(7),
+                tenant: Some("mut-a".to_string()),
+                kind: TelemetryKind::Lease {
+                    op: op.to_string(),
+                    worker: worker.to_string(),
+                    expires_at_ms: expires,
+                    class: Some("best_effort".to_string()),
+                },
+            };
+        let clean = vec![
+            lease(1, 0, "queued", "", None),
+            lease(2, 10, "issued", "w0", Some(2_000)),
+            lease(3, 2_010, "expired", "w0", None),
+            lease(4, 2_010, "requeued", "", None),
+            lease(5, 2_020, "issued", "w1", Some(4_020)),
+            lease(6, 2_050, "completed", "w1", None),
+        ];
+        {
+            let mut checker = Checker::new().with_require_terminal(false);
+            for ev in &clean {
+                checker.ingest(ev);
+            }
+            if !checker.finish().ok() {
+                eprintln!("  sanity-lease: reference lease stream no longer clean");
+                return false;
+            }
+            eprintln!("  sanity-lease: clean");
+        }
+        let mk = || Checker::new().with_require_terminal(false);
+        // M11: issue the invocation a second time while w0's lease is
+        // still live → lease exclusivity broken.
+        let mut ev = clean.clone();
+        ev.insert(2, lease(1_000, 20, "issued", "w2", Some(2_020)));
+        b.run("double-lease", ev, mk, &["dispatch-double-lease"]);
+        // M12: the plane expires the lease but loses the requeue — the
+        // later re-issue grabs a task that is not in any queue.
+        let mut ev = clean.clone();
+        ev.remove(3);
+        b.run("dropped-requeue", ev, mk, &["dispatch-lease-not-queued"]);
     }
 
     eprintln!(

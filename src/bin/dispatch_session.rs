@@ -1,0 +1,225 @@
+//! Pull-dispatch session: two workers lease from one plane, one dies
+//! mid-run, and the lease TTL proves no accepted invocation is lost.
+//!
+//! A skewed two-tenant mix (weight-2 "hot" vs weight-1 "cold") is enqueued
+//! onto a WAL-backed [`iluvatar_dispatch::PullPlane`] in pull mode while
+//! two [`iluvatar_dispatch::PullLoop`]s execute leases on real simulated
+//! workers. At the seeded kill point one loop dies mid-flight — its held
+//! leases are abandoned, expire, requeue exactly once, and the surviving
+//! worker (stealing from the dead worker's shard) serves them. The session
+//! then asserts the pull-mode contract:
+//!
+//! * **zero lost invocations** — every accepted id yields a result;
+//! * **zero model violations** — the full lease telemetry stream replays
+//!   clean through the conformance [`DispatchModel`];
+//! * **nothing stranded** — final queue depth and live-lease count are 0,
+//!   and a fresh WAL replay has an empty pending set.
+//!
+//! ```text
+//! dispatch_session [--seed n] [--invocations n] [--kill-at n] [--time-scale f]
+//! ```
+//!
+//! Stdout carries exactly one line (the hex digest over kill-timing-
+//! independent state: the accepted id→tenant map, per-tenant totals, and
+//! the drained-clean terminal facts). The human-readable summary goes to
+//! stderr. `check.sh` runs this twice with the same seed and diffs stdout.
+
+use iluvatar_admission::{TenantRegistry, TenantSpec};
+use iluvatar_conformance::Checker;
+use iluvatar_containers::simulated::{SimBackend, SimBackendConfig};
+use iluvatar_containers::{ContainerBackend, FunctionSpec};
+use iluvatar_core::wal::{self, Wal};
+use iluvatar_core::{Worker, WorkerConfig};
+use iluvatar_dispatch::{DispatchConfig, LeaseSource, PullLoop, PullPlane, PullTask, TaskExecutor};
+use iluvatar_sync::SystemClock;
+use iluvatar_telemetry::{TelemetryBus, TelemetrySink, VecSink};
+use rand::{Rng, SeedableRng, StdRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fold(digest: &mut u64, s: &str) {
+    for b in s.bytes() {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let invocations: u64 = arg_value(&args, "--invocations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let kill_at: u64 = arg_value(&args, "--kill-at")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(invocations / 2);
+    let time_scale: f64 = arg_value(&args, "--time-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+
+    let wal_dir = std::env::temp_dir().join(format!("iluvatar-dispatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("wal dir");
+    let wal_path = wal_dir.join(format!("dispatch-{seed}.wal"));
+
+    let clock = SystemClock::shared();
+    let sink = Arc::new(VecSink::new());
+    let bus = TelemetryBus::new("lb", Arc::clone(&clock));
+    bus.add_sink(Arc::clone(&sink) as Arc<dyn TelemetrySink>);
+
+    // The plane: pull mode, short lease TTL so abandoned leases from the
+    // killed loop requeue inside the run, seeded steal victim selection.
+    let mut cfg = DispatchConfig::pull();
+    cfg.lease_ttl_ms = 300;
+    cfg.max_batch = 2;
+    cfg.seed = seed;
+    let plane = Arc::new(PullPlane::new(cfg, Arc::clone(&clock)));
+    plane.set_telemetry(Arc::clone(&bus));
+    plane.register_worker("w0");
+    plane.register_worker("w1");
+    let registry = Arc::new(TenantRegistry::new(Arc::clone(&clock)));
+    registry.upsert(TenantSpec::new("hot").with_weight(2.0));
+    registry.upsert(TenantSpec::new("cold").with_weight(1.0));
+    plane.set_registry(registry);
+    let walh = Arc::new(Wal::open(&wal_path, 1_000).expect("open wal"));
+    plane.attach_wal(walh);
+
+    // Two real workers behind pull loops: leases execute on a simulated
+    // backend so service times are realistic but compressed.
+    let spec = FunctionSpec::new("f", "1").with_timing(100, 400);
+    let mk_worker = |_name: &str| {
+        let backend: Arc<dyn ContainerBackend> = Arc::new(SimBackend::new(
+            Arc::clone(&clock),
+            SimBackendConfig {
+                time_scale,
+                ..Default::default()
+            },
+        ));
+        let w = Worker::new(WorkerConfig::for_testing(), backend, Arc::clone(&clock));
+        w.register(spec.clone()).expect("register");
+        Arc::new(w)
+    };
+    let spawn_loop = |name: &'static str, worker: Arc<Worker>| {
+        let exec: Arc<TaskExecutor> = Arc::new(move |t: &PullTask| {
+            match worker.invoke_tenant(&t.fqdn, &t.args, t.tenant.as_deref()) {
+                Ok(r) => (true, r.body, r.exec_ms),
+                Err(e) => (false, e.to_string(), 0),
+            }
+        });
+        PullLoop::spawn(
+            Arc::clone(&plane) as Arc<dyn LeaseSource>,
+            name.to_string(),
+            2,
+            Duration::from_millis(3),
+            exec,
+        )
+    };
+    let mut lp0 = Some(spawn_loop("w0", mk_worker("w0")));
+    let lp1 = spawn_loop("w1", mk_worker("w1"));
+
+    // The skewed mix: ~75% of arrivals belong to the weight-2 tenant.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted: Vec<(u64, &'static str)> = Vec::new();
+    for i in 0..invocations {
+        if i == kill_at {
+            // The crash: w0 dies mid-flight, leases and all. No drain.
+            lp0.take().expect("loop alive").kill();
+        }
+        let tenant = if rng.gen_bool(0.75) { "hot" } else { "cold" };
+        let id = plane
+            .enqueue("f-1", &format!("{{\"i\":{i}}}"), Some(tenant))
+            .expect("accepted invocations are durable");
+        accepted.push((id, tenant));
+        clock.sleep_ms(2);
+    }
+
+    // Zero loss: every accepted id completes — killed-worker leases expire
+    // (TTL 300ms), requeue exactly once, and w1 steals them from w0's shard.
+    let mut lost = 0u64;
+    for (id, _) in &accepted {
+        if plane.wait(*id, 20_000).is_none() {
+            eprintln!("LOST: invocation {id} never completed");
+            lost += 1;
+        }
+    }
+    assert_eq!(lost, 0, "accepted invocations lost after worker kill");
+    lp1.stop();
+    plane.sweep();
+    assert_eq!(plane.depth(), 0, "queues drained");
+    assert_eq!(plane.live_leases(), 0, "no lease outlives the run");
+
+    // The full lease stream must replay clean through the reference model:
+    // no double-lease, requeue exactly once per expiry, no early expiry.
+    let mut checker = Checker::new().with_require_terminal(false);
+    let events = sink.events();
+    for ev in &events {
+        checker.ingest(ev);
+    }
+    let report = checker.finish();
+    for v in &report.violations {
+        eprintln!("VIOLATION {}/{}: {}", v.model, v.rule, v.detail);
+    }
+    assert!(
+        report.violations.is_empty(),
+        "conformance violations in the lease stream"
+    );
+
+    // Nothing stranded on disk either: a fresh replay of the plane's WAL
+    // must find a durable Completed for every accepted Enqueued.
+    let counters = plane.counters();
+    drop(plane);
+    let replayed = wal::replay(&wal_path).expect("replay wal");
+    assert!(
+        replayed.pending.is_empty(),
+        "WAL replay found stranded invocations: {:?}",
+        replayed.pending.iter().map(|p| p.id).collect::<Vec<_>>()
+    );
+
+    // Digest only kill-timing-independent state. How many leases expired,
+    // requeued, or were stolen depends on where the crash landed relative
+    // to in-flight executions — stderr material, never digest material.
+    let mut hot = 0u64;
+    let mut cold = 0u64;
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for (id, tenant) in &accepted {
+        fold(&mut digest, &format!("{id}:{tenant};"));
+        if *tenant == "hot" {
+            hot += 1;
+        } else {
+            cold += 1;
+        }
+    }
+    fold(&mut digest, &format!("hot={hot};cold={cold};"));
+    fold(&mut digest, "depth=0;leases=0;lost=0;violations=0;");
+
+    eprintln!(
+        "seed={seed} invocations={invocations} kill_at={kill_at} accepted={} hot={hot} cold={cold}",
+        accepted.len()
+    );
+    eprintln!(
+        "  plane: completed={} issued={} stolen={} expired={} requeued={} dead_completions={}",
+        counters.completed,
+        counters.issued,
+        counters.stolen,
+        counters.expired,
+        counters.requeued,
+        counters.dead_completions
+    );
+    eprintln!(
+        "  stream: {} events, {} violations; wal pending after replay: {}",
+        events.len(),
+        report.violations.len(),
+        replayed.pending.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    println!("{digest:016x}");
+}

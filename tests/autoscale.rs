@@ -101,6 +101,7 @@ fn seeded_burst_scales_real_fleet_without_drops() {
             mean_queue_delay_ms: delay_ms,
             max_queue_delay_ms: delay_ms as u64,
             concurrency_limit: 8,
+            pull_queue_depth: 0,
             arrivals,
             per_fn_arrivals: vec![("ride0-1".into(), arrivals)],
         };
